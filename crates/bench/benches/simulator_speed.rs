@@ -1,0 +1,76 @@
+//! The speed comparison behind Table I's `t_sim` columns: sigmoid
+//! prototype vs digital baseline on the same circuit and stimuli (the
+//! analog reference's cost is covered by `spice_engine.rs`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use digilog::{simulate as simulate_digital, GateChannels, InertialDelay};
+use sigcircuit::Benchmark;
+use sigsim::{digital_to_sigmoid, simulate_sigmoid, GateModels, StimulusSpec};
+use sigtom::{GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery};
+use sigwave::SigmoidTrace;
+
+/// A cheap analytic transfer so the bench isolates simulator overhead from
+/// ANN inference (which `transfer_backends.rs` measures separately).
+struct Analytic;
+
+impl TransferFunction for Analytic {
+    fn predict(&self, q: TransferQuery) -> TransferPrediction {
+        let degradation = 1.0 - (-q.t / 0.2).exp();
+        TransferPrediction {
+            a_out: -q.a_in.signum() * 14.0 * degradation.max(0.05),
+            delay: 0.055,
+        }
+    }
+    fn backend_name(&self) -> &'static str {
+        "analytic"
+    }
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    for name in ["c17", "c499"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let circuit = bench.nor_mapped.clone();
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = StimulusSpec::fast();
+        let digital_stimuli: HashMap<_, _> = circuit
+            .inputs()
+            .iter()
+            .map(|&i| (i, spec.sample(&mut rng)))
+            .collect();
+        let sigmoid_stimuli: HashMap<_, SigmoidTrace> = digital_stimuli
+            .iter()
+            .map(|(&i, t)| (i, digital_to_sigmoid(t, 0.8)))
+            .collect();
+        let models = GateModels::uniform(GateModel::new(Arc::new(Analytic)));
+        let channels = GateChannels::uniform(&circuit, InertialDelay::symmetric(5.5e-12));
+
+        let mut group = c.benchmark_group(format!("simulate_{name}"));
+        group.sample_size(20);
+        group.bench_function("sigmoid", |b| {
+            b.iter(|| {
+                simulate_sigmoid(
+                    black_box(&circuit),
+                    &sigmoid_stimuli,
+                    &models,
+                    TomOptions::default(),
+                )
+                .expect("sim")
+            })
+        });
+        group.bench_function("digital", |b| {
+            b.iter(|| {
+                simulate_digital(black_box(&circuit), &digital_stimuli, &channels).expect("sim")
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

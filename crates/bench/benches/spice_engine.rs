@@ -1,0 +1,58 @@
+//! Analog-engine costs: one derivative evaluation of benchmark-scale
+//! networks (the inner loop of transient analysis) and a complete inverter
+//! transient.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use nanospice::{Dc, Engine, GateParams, NetworkBuilder, Pwl, Stimulus};
+use sigchar::{build_analog, AnalogOptions};
+use sigcircuit::Benchmark;
+use sigwave::{DigitalTrace, Level};
+
+fn bench_derivatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derivatives_eval");
+    for name in ["c17", "c499"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let circuit = &bench.nor_mapped;
+        let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+        let mut init = HashMap::new();
+        for &i in circuit.inputs() {
+            stimuli.insert(i, Box::new(Dc(0.0)));
+            init.insert(i, Level::Low);
+        }
+        let analog = build_analog(circuit, stimuli, &init, &AnalogOptions::default())
+            .expect("build");
+        let state = analog.network.initial_state();
+        let mut dstate = vec![0.0; state.len()];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                analog
+                    .network
+                    .derivatives(black_box(1e-10), black_box(&state), &mut dstate)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverter_transient(c: &mut Criterion) {
+    let step = DigitalTrace::new(Level::Low, vec![50e-12]).expect("trace");
+    c.bench_function("inverter_transient_200ps", |b| {
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new(0.8);
+            let a = nb.add_source("a", Pwl::heaviside_train(&step, 0.8, 2e-12));
+            let out = nb.add_state("out", 0.8);
+            nb.add_inverter(a, out, &GateParams::default_15nm());
+            nb.add_cap(out, 0.2e-15);
+            let net = nb.build();
+            Engine::default()
+                .run(&net, 0.0, 2e-10, &["out"])
+                .expect("run")
+        })
+    });
+}
+
+criterion_group!(benches, bench_derivatives, bench_inverter_transient);
+criterion_main!(benches);

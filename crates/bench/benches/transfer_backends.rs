@@ -1,0 +1,59 @@
+//! Per-query cost of the three transfer-function backends (ANN vs LUT vs
+//! polynomial) — the inner loop of the sigmoid simulator, evaluated once
+//! per gate transition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sigchar::{Dataset, GateTag, TransferSample, T_FAR};
+use sigtom::{
+    AnnTrainConfig, AnnTransfer, LutTransfer, PolyTransfer, TransferFunction, TransferQuery,
+};
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut d = Dataset::new(GateTag::NorFo1);
+    for i in 0..n {
+        let t = 0.05 + (i as f64 / n as f64) * (T_FAR - 0.05);
+        for j in 0..6 {
+            let mag = 6.0 + 3.0 * j as f64;
+            for &a_in in &[mag, -mag] {
+                let a_prev = -a_in;
+                d.push(TransferSample {
+                    t,
+                    a_in,
+                    a_prev_out: a_prev,
+                    a_out: -a_in * 0.9,
+                    delay: 0.05 + 0.2 / a_in.abs(),
+                });
+            }
+        }
+    }
+    d
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let data = synthetic_dataset(40);
+    let ann = AnnTransfer::train(
+        &data,
+        &AnnTrainConfig {
+            epochs: 50,
+            ..AnnTrainConfig::default()
+        },
+    )
+    .expect("train");
+    let lut = LutTransfer::build(&data, 4).expect("lut");
+    let poly = PolyTransfer::fit(&data).expect("poly");
+    let q = TransferQuery {
+        t: 1.1,
+        a_in: 13.0,
+        a_prev_out: -12.0,
+    };
+
+    let mut group = c.benchmark_group("transfer_predict");
+    group.bench_function("ann", |b| b.iter(|| ann.predict(black_box(q))));
+    group.bench_function("lut_knn", |b| b.iter(|| lut.predict(black_box(q))));
+    group.bench_function("poly", |b| b.iter(|| poly.predict(black_box(q))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

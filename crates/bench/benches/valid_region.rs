@@ -1,0 +1,57 @@
+//! Valid-region cost (Sec. IV-B): membership tests and projections on a
+//! characterization-sized kd-tree — paid once per gate transition when
+//! region containment is enabled.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sigtom::{TransferQuery, ValidRegion};
+
+fn grid(n: usize) -> Vec<[f64; 3]> {
+    let mut pts = Vec::with_capacity(n * n * 4);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..4 {
+                pts.push([
+                    i as f64 * 3.0 / n as f64,
+                    5.0 + 25.0 * j as f64 / n as f64,
+                    -(5.0 + 6.0 * k as f64),
+                ]);
+            }
+        }
+    }
+    pts
+}
+
+fn bench_region(c: &mut Criterion) {
+    let region = ValidRegion::build(&grid(30), 3.0); // 3600 points
+    let inside = TransferQuery {
+        t: 1.5,
+        a_in: 15.0,
+        a_prev_out: -11.0,
+    };
+    let outside = TransferQuery {
+        t: 40.0,
+        a_in: 300.0,
+        a_prev_out: 50.0,
+    };
+    let mut group = c.benchmark_group("valid_region");
+    group.bench_function("contains_inside", |b| {
+        b.iter(|| region.contains(black_box(&inside)))
+    });
+    group.bench_function("contains_outside", |b| {
+        b.iter(|| region.contains(black_box(&outside)))
+    });
+    group.bench_function("project_outside", |b| {
+        b.iter(|| region.project(black_box(outside)))
+    });
+    group.finish();
+
+    // Build cost (once per training run).
+    let pts = grid(20);
+    c.bench_function("region_build_1600pts", |b| {
+        b.iter(|| ValidRegion::build(black_box(&pts), 3.0))
+    });
+}
+
+criterion_group!(benches, bench_region);
+criterion_main!(benches);

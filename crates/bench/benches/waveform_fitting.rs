@@ -1,0 +1,34 @@
+//! Cost of the Levenberg–Marquardt sigmoidal waveform fit (Sec. II) — the
+//! per-waveform cost of characterization and of input preparation in the
+//! comparison harness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sigfit::{fit_waveform, FitOptions};
+use sigwave::{Level, Sigmoid, SigmoidTrace, VDD_DEFAULT};
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waveform_fit");
+    for transitions in [1usize, 2, 4, 8] {
+        let trs: Vec<Sigmoid> = (0..transitions)
+            .map(|i| {
+                let b = 1.0 + i as f64 * 0.8;
+                if i % 2 == 0 {
+                    Sigmoid::rising(10.0 + i as f64, b)
+                } else {
+                    Sigmoid::falling(12.0 + i as f64, b)
+                }
+            })
+            .collect();
+        let truth = SigmoidTrace::from_transitions(Level::Low, trs, VDD_DEFAULT).expect("trace");
+        let span = 1e-10 * (transitions as f64 * 0.8 + 2.0);
+        let wave = truth.to_waveform(0.0, span, 600);
+        group.bench_function(format!("{transitions}_transitions"), |b| {
+            b.iter(|| fit_waveform(black_box(&wave), &FitOptions::default()).expect("fit"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//!
+//! * transfer backend — ANN (paper) vs LUT vs interpolation polynomial,
+//! * valid-region containment — on (paper) vs off,
+//! * sub-threshold pulse cancellation — on (paper) vs off.
+//!
+//! Each variant runs the same randomized c17 comparison; `t_err` against
+//! the analog reference is reported per variant.
+//!
+//! Usage: `cargo run --release -p sigbench --bin ablation -- [--runs 5] [--circuit c17]`
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nanospice::EngineConfig;
+use sigbench::{load_models, results_dir, write_csv, Args};
+use sigchar::{AnalogOptions, DelayTable, GateTag};
+use sigcircuit::Benchmark;
+use sigsim::{
+    compare_circuit, random_stimuli, GateModels, HarnessConfig, StimulusSpec, TrainedModels,
+};
+use sigtom::{GateModel, LutTransfer, PolyTransfer, TomOptions, ValidRegion};
+
+fn backend_models(trained: &TrainedModels, backend: &str) -> GateModels {
+    let base = trained.gate_models();
+    if backend == "ann" {
+        return base;
+    }
+    let build = |tag: GateTag, template: &GateModel| -> GateModel {
+        let data = trained.dataset(tag).expect("dataset stored");
+        let transfer: Arc<dyn sigtom::TransferFunction + Send + Sync> = match backend {
+            "lut" => Arc::new(LutTransfer::build(data, 4).expect("lut build")),
+            "poly" => Arc::new(PolyTransfer::fit(data).expect("poly fit")),
+            other => panic!("unknown backend {other}"),
+        };
+        let mut m = GateModel::new(transfer);
+        if let Some(r) = &template.region {
+            m = m.with_region(r.clone());
+        }
+        m
+    };
+    GateModels {
+        inverter: build(GateTag::Inverter, &base.inverter),
+        inverter_fo2: build(GateTag::InverterFo2, &base.inverter_fo2),
+        nor_fo1: build(GateTag::NorFo1, &base.nor_fo1),
+        nor_fo2: build(GateTag::NorFo2, &base.nor_fo2),
+    }
+}
+
+fn strip_region(models: &GateModels) -> GateModels {
+    let strip = |m: &GateModel| GateModel::new(m.transfer.clone());
+    GateModels {
+        inverter: strip(&models.inverter),
+        inverter_fo2: strip(&models.inverter_fo2),
+        nor_fo1: strip(&models.nor_fo1),
+        nor_fo2: strip(&models.nor_fo2),
+    }
+}
+
+fn tighten_region(trained: &TrainedModels, models: &GateModels, margin: f64) -> GateModels {
+    let rebuild = |tag: GateTag, m: &GateModel| {
+        let data = trained.dataset(tag).expect("dataset stored");
+        let pts: Vec<[f64; 3]> = data
+            .rising
+            .iter()
+            .chain(&data.falling)
+            .map(|s| s.features())
+            .collect();
+        GateModel::new(m.transfer.clone()).with_region(Arc::new(ValidRegion::build(&pts, margin)))
+    };
+    GateModels {
+        inverter: rebuild(GateTag::Inverter, &models.inverter),
+        inverter_fo2: rebuild(GateTag::InverterFo2, &models.inverter_fo2),
+        nor_fo1: rebuild(GateTag::NorFo1, &models.nor_fo1),
+        nor_fo2: rebuild(GateTag::NorFo2, &models.nor_fo2),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let runs: usize = args.get_num("runs", 5);
+    let circuit_name = args.get("circuit", "c17");
+    let trained = load_models(&args);
+    let delays = DelayTable::measure(
+        1..=6,
+        &AnalogOptions::default(),
+        &EngineConfig::default(),
+    )
+    .expect("delay extraction");
+    let bench = Benchmark::by_name(&circuit_name).expect("unknown circuit");
+    let circuit = &bench.nor_mapped;
+
+    let ann = trained.gate_models();
+    let variants: Vec<(String, GateModels, TomOptions)> = vec![
+        ("ann(paper)".into(), ann.clone(), TomOptions::default()),
+        ("lut".into(), backend_models(&trained, "lut"), TomOptions::default()),
+        ("poly".into(), backend_models(&trained, "poly"), TomOptions::default()),
+        ("ann,no-region".into(), strip_region(&ann), TomOptions::default()),
+        (
+            "ann,tight-region".into(),
+            tighten_region(&trained, &ann, 1.5),
+            TomOptions::default(),
+        ),
+        (
+            "ann,no-cancel".into(),
+            ann.clone(),
+            TomOptions {
+                cancel_subthreshold: false,
+                ..TomOptions::default()
+            },
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "variant", "t_err_sig", "t_err_dig", "ratio"
+    );
+    let mut rows = Vec::new();
+    for (i, (name, models, tom)) in variants.iter().enumerate() {
+        let config = HarnessConfig {
+            tom: *tom,
+            ..HarnessConfig::default()
+        };
+        let mut sum_sig = 0.0;
+        let mut sum_dig = 0.0;
+        for r in 0..runs {
+            let mut rng = StdRng::seed_from_u64(77 + r as u64);
+            let stimuli = random_stimuli(circuit, &StimulusSpec::fast(), &mut rng);
+            let outcome = compare_circuit(circuit, &stimuli, models, &delays, &config)
+                .expect("comparison failed");
+            sum_sig += outcome.t_err_sigmoid;
+            sum_dig += outcome.t_err_digital;
+        }
+        println!(
+            "{:<18} {:>10.2}ps {:>10.2}ps {:>8.2}",
+            name,
+            sum_sig / runs as f64 * 1e12,
+            sum_dig / runs as f64 * 1e12,
+            sum_sig / sum_dig
+        );
+        rows.push(vec![
+            i as f64,
+            sum_sig / runs as f64 * 1e12,
+            sum_dig / runs as f64 * 1e12,
+            sum_sig / sum_dig,
+        ]);
+    }
+    write_csv(
+        &results_dir().join("ablation.csv"),
+        &["variant_index", "t_err_sigmoid_ps", "t_err_digital_ps", "ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,80 @@
+//! Regenerates **Fig. 1**: the analog waveform of two input and two output
+//! transitions of an inverter together with their sigmoidal fits, including
+//! the TOM parameter annotations `(a, b)` per transition.
+//!
+//! Output: `results/fig1.csv` with columns
+//! `t_s, vin_analog, vin_fit, vout_analog, vout_fit` and the fitted
+//! parameters on stdout.
+//!
+//! Usage: `cargo run --release -p sigbench --bin fig1`
+
+use std::collections::HashMap;
+
+use nanospice::{Engine, Pwl, Stimulus};
+use sigbench::{results_dir, write_csv};
+use sigchar::{build_analog, AnalogOptions, ChainGate, CharChain, PulseSpec};
+use sigfit::{fit_waveform, FitOptions};
+use sigwave::Level;
+
+fn main() {
+    // An inverter driven by a realistic (pulse-shaped) double transition —
+    // the Fig. 1 setup: input rise/fall, output fall/rise.
+    let chain = CharChain::new(ChainGate::Inverter, 1, 1);
+    let spec = PulseSpec {
+        t0: 60e-12,
+        ta: 18e-12,
+        tb: 12e-12,
+        tc: 15e-12,
+    };
+    let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+    stimuli.insert(
+        chain.input,
+        Box::new(Pwl::heaviside_train(&spec.to_trace(), 0.8, 1e-12)),
+    );
+    let mut init = HashMap::new();
+    init.insert(chain.input, Level::Low);
+    let analog = build_analog(&chain.circuit, stimuli, &init, &AnalogOptions::default())
+        .expect("analog build");
+    let p_in = analog.probe_name(chain.stage_nets[0]).to_string();
+    let p_out = analog.probe_name(chain.stage_nets[1]).to_string();
+    let res = Engine::default()
+        .run(&analog.network, 0.0, 200e-12, &[&p_in, &p_out])
+        .expect("analog run");
+    let win = res.waveform(&p_in).expect("probed");
+    let wout = res.waveform(&p_out).expect("probed");
+
+    let fit_in = fit_waveform(win, &FitOptions::default()).expect("fit input");
+    let fit_out = fit_waveform(wout, &FitOptions::default()).expect("fit output");
+
+    println!("TOM parameters (scaled units, cf. Fig. 1 annotations):");
+    for (tag, trace) in [("in", &fit_in.trace), ("out", &fit_out.trace)] {
+        for (n, s) in trace.transitions().iter().enumerate() {
+            println!("  (a{tag}_{n}, b{tag}_{n}) = ({:+8.3}, {:8.4})", s.a, s.b);
+        }
+    }
+    println!(
+        "fit RMS: input {:.2} mV, output {:.2} mV",
+        fit_in.rms_error * 1e3,
+        fit_out.rms_error * 1e3
+    );
+
+    let n = 1200;
+    let (t0, t1) = (40e-12, 180e-12);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+            vec![
+                t,
+                win.value_at(t),
+                fit_in.trace.value_at(t),
+                wout.value_at(t),
+                fit_out.trace.value_at(t),
+            ]
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("fig1.csv"),
+        &["t_s", "vin_analog", "vin_fit", "vout_analog", "vout_fit"],
+        &rows,
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates the content of **Fig. 2**: the architecture of the four
+//! MLPs implementing one gate's TOM transfer function (SPICE operates on
+//! continuous waveforms; the TOM maps sigmoid parameter lists to sigmoid
+//! parameter lists).
+//!
+//! Usage: `cargo run --release -p sigbench --bin fig2`
+
+use signn::Mlp;
+
+fn main() {
+    let mlp = Mlp::paper_architecture(3, 0);
+    println!("TOM transfer-function implementation (per gate input):");
+    println!("  4 MLPs: {{F-up, F-down}} x {{output slope, output delay}}");
+    println!(
+        "  architecture: {:?} (ReLU hidden, linear output)",
+        mlp.layer_sizes()
+    );
+    println!("  parameters per network: {}", mlp.parameter_count());
+    println!("  inputs:  (T = b_in - b_prev_out,  a_in,  a_prev_out)");
+    println!("  outputs: a_out  or  (b_out - b_in)");
+    println!();
+    println!("SPICE:  Vin(t) --[solve ODEs]--> Vout(t)");
+    println!("TOM:    (..., (a_in_n, b_in_n)) --[4 ANNs]--> (..., (a_out_n, b_out_n))");
+}

@@ -1,0 +1,66 @@
+//! Regenerates the content of **Fig. 3**: the NOR characterization chain —
+//! pulse shaping, identical target gates `G1 … GN`, termination — printed
+//! as a `.bench` netlist plus the analog node inventory, and one example
+//! stage waveform summary.
+//!
+//! Usage: `cargo run --release -p sigbench --bin fig3 -- [--targets 4] [--fanout 1]`
+
+use std::collections::HashMap;
+
+use nanospice::{Engine, Pwl, Stimulus};
+use sigbench::Args;
+use sigchar::{build_analog, AnalogOptions, ChainGate, CharChain, PulseSpec};
+use sigcircuit::to_bench;
+use sigwave::Level;
+
+fn main() {
+    let args = Args::parse();
+    let targets: usize = args.get_num("targets", 4);
+    let fanout: usize = args.get_num("fanout", 1);
+    let chain = CharChain::new(ChainGate::Nor, targets, fanout);
+
+    println!("=== gate-level chain (.bench), fan-out {fanout} ===");
+    print!("{}", to_bench(&chain.circuit));
+
+    let spec = PulseSpec {
+        t0: 60e-12,
+        ta: 12e-12,
+        tb: 10e-12,
+        tc: 15e-12,
+    };
+    let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+    stimuli.insert(
+        chain.input,
+        Box::new(Pwl::heaviside_train(&spec.to_trace(), 0.8, 1e-12)),
+    );
+    stimuli.insert(chain.tie.expect("nor"), Box::new(nanospice::Dc(0.0)));
+    let mut init = HashMap::new();
+    init.insert(chain.input, Level::Low);
+    init.insert(chain.tie.expect("nor"), Level::Low);
+    let analog = build_analog(&chain.circuit, stimuli, &init, &AnalogOptions::default())
+        .expect("analog build");
+
+    println!("\n=== analog realization ===");
+    println!(
+        "{} transistors, {} dynamic nodes (incl. pulse shaping & termination)",
+        analog.network.transistor_count(),
+        analog.network.state_count()
+    );
+
+    let probe_names: Vec<String> = chain
+        .stage_nets
+        .iter()
+        .map(|n| analog.probe_name(*n).to_string())
+        .collect();
+    let probes: Vec<&str> = probe_names.iter().map(String::as_str).collect();
+    let res = Engine::default()
+        .run(&analog.network, 0.0, 220e-12, &probes)
+        .expect("analog run");
+    println!("\n=== stage activity (threshold crossings at VDD/2) ===");
+    for (i, p) in probe_names.iter().enumerate() {
+        let c = res.waveform(p).expect("probed").crossings(0.4);
+        let label = if i == 0 { "input".into() } else { format!("G{i}") };
+        let times: Vec<String> = c.iter().map(|x| format!("{:.1}ps", x.0 * 1e12)).collect();
+        println!("  {label:>6}: {} crossings  [{}]", c.len(), times.join(", "));
+    }
+}

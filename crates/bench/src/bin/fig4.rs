@@ -1,0 +1,60 @@
+//! Regenerates **Fig. 4**: the raw Heaviside input pulse train (four
+//! transitions governed by `TA`, `TB`, `TC`) and the pulse-shaped waveform
+//! arriving at the first target gate `G1`.
+//!
+//! Output: `results/fig4.csv` with columns `t_s, v_heaviside, v_shaped`.
+//!
+//! Usage: `cargo run --release -p sigbench --bin fig4 -- [--ta 10] [--tb 8] [--tc 14]` (ps)
+
+use std::collections::HashMap;
+
+use nanospice::{Engine, Pwl, Stimulus};
+use sigbench::{results_dir, write_csv, Args};
+use sigchar::{build_analog, AnalogOptions, ChainGate, CharChain, PulseSpec};
+use sigwave::Level;
+
+fn main() {
+    let args = Args::parse();
+    let spec = PulseSpec {
+        t0: 60e-12,
+        ta: args.get_num("ta", 10.0) * 1e-12,
+        tb: args.get_num("tb", 8.0) * 1e-12,
+        tc: args.get_num("tc", 14.0) * 1e-12,
+    };
+    println!(
+        "TA = {:.0} ps, TB = {:.0} ps, TC = {:.0} ps",
+        spec.ta * 1e12,
+        spec.tb * 1e12,
+        spec.tc * 1e12
+    );
+
+    let raw = Pwl::heaviside_train(&spec.to_trace(), 0.8, 1e-12);
+    let chain = CharChain::new(ChainGate::Nor, 1, 1);
+    let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+    stimuli.insert(chain.input, Box::new(raw.clone()));
+    stimuli.insert(chain.tie.expect("nor"), Box::new(nanospice::Dc(0.0)));
+    let mut init = HashMap::new();
+    init.insert(chain.input, Level::Low);
+    init.insert(chain.tie.expect("nor"), Level::Low);
+    let analog = build_analog(&chain.circuit, stimuli, &init, &AnalogOptions::default())
+        .expect("analog build");
+    let shaped = analog.probe_name(chain.stage_nets[0]).to_string();
+    let res = Engine::default()
+        .run(&analog.network, 0.0, 180e-12, &[&shaped])
+        .expect("analog run");
+    let wave = res.waveform(&shaped).expect("probed");
+
+    let n = 1000;
+    let (t0, t1) = (40e-12, 160e-12);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
+            vec![t, nanospice::Stimulus::voltage(&raw, t), wave.value_at(t)]
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("fig4.csv"),
+        &["t_s", "v_heaviside", "v_shaped"],
+        &rows,
+    );
+}

@@ -1,0 +1,196 @@
+//! Regenerates **Table I**: `t_err` of the digital baseline and the sigmoid
+//! prototype against the analog reference, error ratios, and simulation
+//! wall times, for c17/c499/c1355 under the three stimulus setups, plus the
+//! c1355 same-stimulus row.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sigbench --bin table1 -- \
+//!     [--circuits c17,c499,c1355] [--runs 5] [--seed 1] [--paper-scale]
+//! ```
+//!
+//! The paper uses 50 runs per cell; `--runs 50` reproduces that scale.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nanospice::EngineConfig;
+use sigbench::{load_models, results_dir, write_csv, Args};
+use sigchar::{AnalogOptions, DelayTable};
+use sigcircuit::Benchmark;
+use sigsim::{
+    compare_circuit, random_stimuli, HarnessConfig, SigmoidInputMode, StimulusSpec,
+};
+
+struct Cell {
+    circuit: String,
+    nor_gates: usize,
+    mu_ps: f64,
+    sigma_ps: f64,
+    err_ratio: f64,
+    t_err_digital_ps: f64,
+    t_err_sigmoid_ps: f64,
+    wall_sigmoid: Duration,
+    wall_analog: Duration,
+    same_stimulus: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let circuits = args.get("circuits", "c17,c499,c1355");
+    let runs: usize = args.get_num("runs", 5);
+    let seed: u64 = args.get_num("seed", 1);
+
+    // Benchmark circuits carry per-instance interconnect variation; the
+    // digital baseline's extraction grid covers it (fan-out x load), the
+    // sigmoid prototype keeps only its nominal FO1/FO2 ANNs (Sec. V-C's
+    // "much more accurate gate characterization used for ModelSim").
+    let variation: f64 = args.get_num("wire-variation", 0.35);
+    let analog = AnalogOptions {
+        wire_cap_variation: variation,
+        ..AnalogOptions::default()
+    };
+    let trained = load_models(&args);
+    let models = trained.gate_models();
+    let delays = DelayTable::measure_grid(
+        1..=6,
+        &[1.0 - variation, 1.0 - variation / 2.0, 1.0, 1.0 + variation / 2.0, 1.0 + variation],
+        &AnalogOptions::default(),
+        &EngineConfig::default(),
+    )
+    .expect("delay extraction failed");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for name in circuits.split(',') {
+        let bench = Benchmark::by_name(name.trim()).expect("unknown circuit");
+        let circuit = &bench.nor_mapped;
+        for spec in StimulusSpec::table1() {
+            let cell = run_cell(
+                &bench, circuit, &spec, runs, seed, &models, &delays, &analog,
+                SigmoidInputMode::Fitted,
+            );
+            print_cell(&cell);
+            cells.push(cell);
+        }
+    }
+
+    // The detailed same-stimulus comparison (last row of Table I) on the
+    // largest circuit requested.
+    if let Some(last) = circuits.split(',').next_back() {
+        let bench = Benchmark::by_name(last.trim()).expect("unknown circuit");
+        let spec = StimulusSpec::fast();
+        let cell = run_cell(
+            &bench,
+            &bench.nor_mapped,
+            &spec,
+            runs,
+            seed,
+            &models,
+            &delays,
+            &analog,
+            SigmoidInputMode::SameAsDigital,
+        );
+        print_cell(&cell);
+        cells.push(cell);
+    }
+
+    // CSV artifact.
+    let rows: Vec<Vec<f64>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.nor_gates as f64,
+                c.mu_ps,
+                c.sigma_ps,
+                c.err_ratio,
+                c.t_err_digital_ps,
+                c.t_err_sigmoid_ps,
+                c.wall_sigmoid.as_secs_f64(),
+                c.wall_analog.as_secs_f64(),
+                f64::from(u8::from(c.same_stimulus)),
+            ]
+        })
+        .collect();
+    write_csv(
+        &results_dir().join("table1.csv"),
+        &[
+            "nor_gates",
+            "mu_ps",
+            "sigma_ps",
+            "error_ratio",
+            "t_err_digital_ps",
+            "t_err_sigmoid_ps",
+            "t_sim_sigmoid_s",
+            "t_sim_analog_s",
+            "same_stimulus",
+        ],
+        &rows,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    bench: &Benchmark,
+    circuit: &sigcircuit::Circuit,
+    spec: &StimulusSpec,
+    runs: usize,
+    seed: u64,
+    models: &sigsim::GateModels,
+    delays: &DelayTable,
+    analog: &AnalogOptions,
+    mode: SigmoidInputMode,
+) -> Cell {
+    let config = HarnessConfig {
+        sigmoid_inputs: mode,
+        analog: *analog,
+        ..HarnessConfig::default()
+    };
+    let mut sum_dig = 0.0;
+    let mut sum_sig = 0.0;
+    let mut wall_sig = Duration::ZERO;
+    let mut wall_ana = Duration::ZERO;
+    for r in 0..runs {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (r as u64).wrapping_mul(0x9e37_79b9) ^ spec.transitions as u64,
+        );
+        let stimuli = random_stimuli(circuit, spec, &mut rng);
+        let outcome = compare_circuit(circuit, &stimuli, models, delays, &config)
+            .expect("comparison failed");
+        sum_dig += outcome.t_err_digital;
+        sum_sig += outcome.t_err_sigmoid;
+        wall_sig += outcome.wall_sigmoid;
+        wall_ana += outcome.wall_analog;
+    }
+    let n = runs as f64;
+    Cell {
+        circuit: bench.name.to_string(),
+        nor_gates: bench.nor_gate_count(),
+        mu_ps: spec.mu * 1e12,
+        sigma_ps: spec.sigma * 1e12,
+        err_ratio: if sum_dig > 0.0 { sum_sig / sum_dig } else { f64::NAN },
+        t_err_digital_ps: sum_dig / n * 1e12,
+        t_err_sigmoid_ps: sum_sig / n * 1e12,
+        wall_sigmoid: wall_sig / runs as u32,
+        wall_analog: wall_ana / runs as u32,
+        same_stimulus: mode == SigmoidInputMode::SameAsDigital,
+    }
+}
+
+fn print_cell(c: &Cell) {
+    println!(
+        "{:>6}{} #NOR={:<5} ({:>5.0},{:>5.0})ps  ratio={:<5.2} t_err_dig={:>9.2}ps t_err_sig={:>9.2}ps  t_sim_sig={:>9.3?} t_sim_spice={:>9.3?}",
+        c.circuit,
+        if c.same_stimulus { "*" } else { " " },
+        c.nor_gates,
+        c.mu_ps,
+        c.sigma_ps,
+        c.err_ratio,
+        c.t_err_digital_ps,
+        c.t_err_sigmoid_ps,
+        c.wall_sigmoid,
+        c.wall_analog,
+    );
+}

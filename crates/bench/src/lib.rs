@@ -1,0 +1,150 @@
+//! Shared utilities for the benchmark harness: every table and figure of
+//! the paper has a matching binary in `src/bin/` (see `DESIGN.md` for the
+//! experiment index), plus Criterion micro-benchmarks in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use sigsim::{train_models_cached, PipelineConfig, TrainedModels};
+
+/// Minimal `--key value` / `--flag` argument parser for the experiment
+/// binaries (keeps the dependency set to the approved list).
+#[derive(Debug, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments (a value-flag at the end of the line).
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = argv[i].trim_start_matches("--").to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                values.insert(a, argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(a);
+                i += 1;
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// String option with default.
+    #[must_use]
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Numeric option with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.values
+            .get(key)
+            .map(|v| v.parse().expect("malformed numeric argument"))
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag presence.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::parse()
+    }
+}
+
+/// Where experiment CSV outputs are written.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Loads (or trains) the standard gate models: `--paper-scale` switches to
+/// the full-granularity characterization sweep and long training.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails — the experiment binaries have no way to
+/// proceed without models.
+#[must_use]
+pub fn load_models(args: &Args) -> TrainedModels {
+    let (config, cache) = if args.has("paper-scale") {
+        (
+            PipelineConfig {
+                characterization: sigchar::CharacterizationConfig::paper(),
+                ..PipelineConfig::default()
+            },
+            PathBuf::from("target/sigmodels/paper.json"),
+        )
+    } else if args.has("fast-models") {
+        (PipelineConfig::fast(), PathBuf::from("target/sigmodels/quickstart.json"))
+    } else {
+        (PipelineConfig::default(), PathBuf::from("target/sigmodels/default.json"))
+    };
+    let cache = args
+        .values
+        .get("models")
+        .map(PathBuf::from)
+        .unwrap_or(cache);
+    train_models_cached(&cache, &config).expect("training pipeline failed")
+}
+
+/// Writes rows of `f64` columns as CSV with a header.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment outputs are not recoverable).
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) {
+    let mut f = std::fs::File::create(path).expect("cannot create CSV");
+    writeln!(f, "{}", header.join(",")).expect("write");
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.6e}")).collect();
+        writeln!(f, "{}", line.join(",")).expect("write");
+    }
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_defaults() {
+        let a = Args {
+            values: HashMap::new(),
+            flags: vec!["fast".into()],
+        };
+        assert_eq!(a.get("circuits", "c17"), "c17");
+        assert_eq!(a.get_num("runs", 3usize), 3);
+        assert!(a.has("fast"));
+        assert!(!a.has("slow"));
+    }
+}

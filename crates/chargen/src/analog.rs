@@ -1,0 +1,394 @@
+//! Translating gate-level circuits into transistor-level analog networks,
+//! with the paper's pulse-shaping and termination augmentation (Sec. IV-A,
+//! V-B: "the SPICE circuits were augmented by pulse-shaping at the inputs
+//! and termination at the outputs").
+
+use std::collections::HashMap;
+
+use nanospice::{GateParams, Network, NetworkBuilder, NodeRef, Stimulus};
+use sigcircuit::{Circuit, GateKind, NetId};
+use sigwave::Level;
+
+/// Options for [`build_analog`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogOptions {
+    /// Gate electrical parameters.
+    pub gate: GateParams,
+    /// Extra wire capacitance added to every gate output net (farads).
+    pub wire_cap: f64,
+    /// Per-net interconnect variation in `[0, 1)`: each gate output's wire
+    /// capacitance is scaled by `1 + variation · h(net)` with a
+    /// deterministic hash `h(net) ∈ [-1, 1]`. This models the
+    /// instance-specific interconnect the paper's benchmark circuits have
+    /// (and the signoff extraction feeds to ModelSim); characterization
+    /// chains keep it at 0 (nominal interconnect, Sec. V-B).
+    pub wire_cap_variation: f64,
+    /// Number of shaping inverter stages inserted between each raw source
+    /// and the circuit input net (even, to preserve polarity).
+    pub shaping_stages: usize,
+    /// Number of termination inverter stages loading each primary output.
+    pub termination_stages: usize,
+}
+
+impl Default for AnalogOptions {
+    fn default() -> Self {
+        Self {
+            gate: GateParams::default_15nm(),
+            wire_cap: 0.05e-15,
+            wire_cap_variation: 0.0,
+            shaping_stages: 2,
+            termination_stages: 2,
+        }
+    }
+}
+
+/// The deterministic per-net wire-capacitance multiplier used by
+/// [`build_analog`] (and by the delay extraction of the digital baseline,
+/// which — like real signoff extraction — knows the instance parasitics).
+#[must_use]
+pub fn wire_cap_multiplier(net_name: &str, variation: f64) -> f64 {
+    if variation == 0.0 {
+        return 1.0;
+    }
+    // FNV-1a with a murmur-style finalizer (FNV alone mixes its high bits
+    // poorly for short strings), folded into [-1, 1].
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in net_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    1.0 + variation * (2.0 * unit - 1.0)
+}
+
+/// Error translating a circuit into an analog network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildAnalogError {
+    /// A primary input has no stimulus.
+    MissingStimulus {
+        /// Input net name.
+        net: String,
+    },
+    /// A gate kind is not realizable at transistor level by this
+    /// translator (only INV and NOR up to 3 inputs, the gates the paper's
+    /// prototype supports).
+    UnsupportedGate {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// Its arity.
+        arity: usize,
+    },
+    /// No initial input levels were provided for DC initialization.
+    MissingInitialLevel {
+        /// Input net name.
+        net: String,
+    },
+}
+
+impl std::fmt::Display for BuildAnalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingStimulus { net } => write!(f, "no stimulus for input {net:?}"),
+            Self::UnsupportedGate { kind, arity } => {
+                write!(f, "gate {kind} with {arity} inputs has no transistor model")
+            }
+            Self::MissingInitialLevel { net } => {
+                write!(f, "no initial level for input {net:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildAnalogError {}
+
+/// The analog realization of a gate-level circuit.
+#[derive(Debug)]
+pub struct AnalogCircuit {
+    /// The transistor-level network.
+    pub network: Network,
+    /// Analog node name of each circuit net (`NetId`-indexed). For primary
+    /// inputs with shaping this is the *shaped* net actually entering the
+    /// circuit (probe this to know what the gates saw).
+    pub net_nodes: Vec<String>,
+}
+
+impl AnalogCircuit {
+    /// The probe name of a circuit net.
+    #[must_use]
+    pub fn probe_name(&self, net: NetId) -> &str {
+        &self.net_nodes[net.0]
+    }
+}
+
+/// Builds the transistor-level network of `circuit`.
+///
+/// `stimuli` provides a voltage source per primary input; `initial_levels`
+/// gives the DC starting level of every input so that internal nodes can be
+/// initialized consistently (the circuit is assumed settled at `t = 0`).
+///
+/// # Errors
+///
+/// Returns [`BuildAnalogError`] for missing stimuli/levels or gates outside
+/// the INV/NOR2/NOR3 subset.
+pub fn build_analog(
+    circuit: &Circuit,
+    stimuli: HashMap<NetId, Box<dyn Stimulus>>,
+    initial_levels: &HashMap<NetId, Level>,
+    options: &AnalogOptions,
+) -> Result<AnalogCircuit, BuildAnalogError> {
+    let vdd = 0.8; // The characterization point of the whole reproduction.
+    let mut b = NetworkBuilder::new(vdd);
+    let mut node_of: Vec<Option<NodeRef>> = vec![None; circuit.net_count()];
+    let mut net_nodes: Vec<String> = (0..circuit.net_count())
+        .map(|i| circuit.net_name(NetId(i)).to_string())
+        .collect();
+
+    // Compute settled boolean levels of all nets for initialization.
+    let input_bits: Vec<bool> = circuit
+        .inputs()
+        .iter()
+        .map(|i| {
+            initial_levels
+                .get(i)
+                .map(|l| l.is_high())
+                .ok_or_else(|| BuildAnalogError::MissingInitialLevel {
+                    net: circuit.net_name(*i).to_string(),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let levels = settled_levels(circuit, &input_bits);
+
+    // Sources (+ shaping chains).
+    let mut stimuli = stimuli;
+    for &input in circuit.inputs() {
+        let name = circuit.net_name(input).to_string();
+        let stim = stimuli
+            .remove(&input)
+            .ok_or_else(|| BuildAnalogError::MissingStimulus { net: name.clone() })?;
+        let src = b.add_source(&format!("{name}__src"), BoxedStimulus(stim));
+        let mut prev = src;
+        let high = levels[input.0];
+        for s in 0..options.shaping_stages {
+            // Polarity at this stage: even stages carry the input value.
+            let stage_high = if s % 2 == 0 { !high } else { high };
+            let node = b.add_state(
+                &format!("{name}__shape{s}"),
+                if stage_high { vdd } else { 0.0 },
+            );
+            b.add_inverter(prev, node, &options.gate);
+            b.add_cap(node, options.wire_cap);
+            prev = node;
+        }
+        if options.shaping_stages == 0 {
+            node_of[input.0] = Some(src);
+        } else {
+            node_of[input.0] = Some(prev);
+            // The shaped net is the one the circuit (and the comparison
+            // harness) observes.
+            net_nodes[input.0] = format!("{name}__shape{}", options.shaping_stages - 1);
+        }
+    }
+
+    // Gates in topological order.
+    for &gi in circuit.topological_gates() {
+        let gate = &circuit.gates()[gi];
+        let out_name = circuit.net_name(gate.output).to_string();
+        let v0 = if levels[gate.output.0] { vdd } else { 0.0 };
+        let out = b.add_state(&out_name, v0);
+        b.add_cap(
+            out,
+            options.wire_cap * wire_cap_multiplier(&out_name, options.wire_cap_variation),
+        );
+        let ins: Vec<NodeRef> = gate
+            .inputs
+            .iter()
+            .map(|i| node_of[i.0].expect("topological order"))
+            .collect();
+        match (gate.kind, ins.len()) {
+            (GateKind::Inv, 1) | (GateKind::Nor, 1) => {
+                b.add_inverter(ins[0], out, &options.gate);
+            }
+            (GateKind::Nor, 2) => {
+                let mid = b.add_nor2(ins[0], ins[1], out, &options.gate);
+                // Initialize the stack node consistently: it sits at VDD
+                // unless the top PMOS is off and the path discharged.
+                let _ = mid;
+            }
+            (GateKind::Nor, 3) => {
+                let _ = b.add_nor3(ins[0], ins[1], ins[2], out, &options.gate);
+            }
+            (kind, arity) => {
+                return Err(BuildAnalogError::UnsupportedGate { kind, arity });
+            }
+        }
+        node_of[gate.output.0] = Some(out);
+    }
+
+    // Termination stages on primary outputs.
+    for &output in circuit.outputs() {
+        let node = node_of[output.0].expect("outputs driven");
+        let name = circuit.net_name(output).to_string();
+        let mut prev = node;
+        let mut high = levels[output.0];
+        for s in 0..options.termination_stages {
+            high = !high;
+            let t = b.add_state(&format!("{name}__term{s}"), if high { vdd } else { 0.0 });
+            b.add_inverter(prev, t, &options.gate);
+            b.add_cap(t, options.wire_cap);
+            prev = t;
+        }
+    }
+
+    Ok(AnalogCircuit {
+        network: b.build(),
+        net_nodes,
+    })
+}
+
+/// Boolean levels of all nets for a settled input assignment.
+fn settled_levels(circuit: &Circuit, input_bits: &[bool]) -> Vec<bool> {
+    let mut levels = vec![false; circuit.net_count()];
+    for (net, &v) in circuit.inputs().iter().zip(input_bits) {
+        levels[net.0] = v;
+    }
+    for &gi in circuit.topological_gates() {
+        let g = &circuit.gates()[gi];
+        let bits: Vec<bool> = g.inputs.iter().map(|i| levels[i.0]).collect();
+        levels[g.output.0] = g.kind.eval(&bits);
+    }
+    levels
+}
+
+/// Newtype making a boxed stimulus usable where `impl Stimulus` is needed.
+struct BoxedStimulus(Box<dyn Stimulus>);
+
+impl Stimulus for BoxedStimulus {
+    fn voltage(&self, t: f64) -> f64 {
+        self.0.voltage(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanospice::{Dc, Engine, Pwl};
+    use sigcircuit::CircuitBuilder;
+    use sigwave::DigitalTrace;
+
+    fn nor_only_c17() -> Circuit {
+        sigcircuit::to_nor_only(&sigcircuit::c17(), sigcircuit::NorMappingOptions::default())
+    }
+
+    #[test]
+    fn c17_settles_to_boolean_levels() {
+        let c = nor_only_c17();
+        let mut stimuli: HashMap<NetId, Box<dyn Stimulus>> = HashMap::new();
+        let mut init = HashMap::new();
+        for &i in c.inputs() {
+            stimuli.insert(i, Box::new(Dc(0.0)));
+            init.insert(i, Level::Low);
+        }
+        let analog = build_analog(&c, stimuli, &init, &AnalogOptions::default()).unwrap();
+        let probes: Vec<&str> = c
+            .outputs()
+            .iter()
+            .map(|o| analog.probe_name(*o))
+            .collect();
+        let res = Engine::default()
+            .run(&analog.network, 0.0, 1.5e-10, &probes)
+            .unwrap();
+        let expect = c.eval(&vec![false; c.inputs().len()]);
+        for (o, e) in c.outputs().iter().zip(expect) {
+            let v = res
+                .waveform(analog.probe_name(*o))
+                .unwrap()
+                .value_at(1.5e-10);
+            let target = if e { 0.8 } else { 0.0 };
+            assert!(
+                (v - target).abs() < 0.05,
+                "output {} settled to {v}, expected {target}",
+                c.net_name(*o)
+            );
+        }
+    }
+
+    #[test]
+    fn shaped_input_is_realistic() {
+        // A single inverter with shaping: the shaped input must have a
+        // finite slope (tens of fs at least), unlike the raw 1 ps ramp.
+        let mut cb = CircuitBuilder::new();
+        let a = cb.add_input("a");
+        let y = cb.add_gate(GateKind::Inv, &[a], "y");
+        cb.mark_output(y);
+        let c = cb.build().unwrap();
+
+        let step = DigitalTrace::new(Level::Low, vec![60e-12]).unwrap();
+        let mut stimuli: HashMap<NetId, Box<dyn Stimulus>> = HashMap::new();
+        stimuli.insert(a, Box::new(Pwl::heaviside_train(&step, 0.8, 0.5e-12)));
+        let mut init = HashMap::new();
+        init.insert(a, Level::Low);
+        let analog = build_analog(&c, stimuli, &init, &AnalogOptions::default()).unwrap();
+        let shaped = analog.probe_name(a).to_string();
+        let res = Engine::default()
+            .run(&analog.network, 0.0, 2e-10, &[&shaped])
+            .unwrap();
+        let w = res.waveform(&shaped).unwrap();
+        // 20%..80% duration of the shaped edge.
+        let c20 = w.crossings(0.8 * 0.2);
+        let c80 = w.crossings(0.8 * 0.8);
+        assert_eq!(c20.len(), 1);
+        assert_eq!(c80.len(), 1);
+        let rise = (c80[0].0 - c20[0].0).abs();
+        assert!(
+            rise > 1.5e-12,
+            "shaped edge too sharp ({rise:.2e}s), shaping ineffective"
+        );
+    }
+
+    #[test]
+    fn wire_cap_multiplier_deterministic_and_bounded() {
+        for name in ["n1", "some_net", "__nor2_mid_17", ""] {
+            let a = wire_cap_multiplier(name, 0.4);
+            let b = wire_cap_multiplier(name, 0.4);
+            assert_eq!(a, b, "must be deterministic");
+            assert!((0.6..=1.4).contains(&a), "{name}: {a}");
+        }
+        // Zero variation is exactly 1 for every net.
+        assert_eq!(wire_cap_multiplier("anything", 0.0), 1.0);
+        // Different nets spread out (not all identical).
+        let m1 = wire_cap_multiplier("net_a", 0.5);
+        let m2 = wire_cap_multiplier("net_b", 0.5);
+        assert!((m1 - m2).abs() > 1e-6);
+    }
+
+    #[test]
+    fn missing_stimulus_rejected() {
+        let c = nor_only_c17();
+        let init: HashMap<NetId, Level> =
+            c.inputs().iter().map(|&i| (i, Level::Low)).collect();
+        let err =
+            build_analog(&c, HashMap::new(), &init, &AnalogOptions::default()).unwrap_err();
+        assert!(matches!(err, BuildAnalogError::MissingStimulus { .. }));
+    }
+
+    #[test]
+    fn unsupported_gate_rejected() {
+        let mut cb = CircuitBuilder::new();
+        let a = cb.add_input("a");
+        let b2 = cb.add_input("b");
+        let y = cb.add_gate(GateKind::Xor, &[a, b2], "y");
+        cb.mark_output(y);
+        let c = cb.build().unwrap();
+        let mut stimuli: HashMap<NetId, Box<dyn Stimulus>> = HashMap::new();
+        let mut init = HashMap::new();
+        for &i in c.inputs() {
+            stimuli.insert(i, Box::new(Dc(0.0)));
+            init.insert(i, Level::Low);
+        }
+        let err = build_analog(&c, stimuli, &init, &AnalogOptions::default()).unwrap_err();
+        assert!(matches!(err, BuildAnalogError::UnsupportedGate { .. }));
+    }
+}

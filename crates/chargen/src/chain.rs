@@ -1,0 +1,147 @@
+//! Characterization chains (Fig. 3): pulse-shaping stages, identical target
+//! gates `G1 … GN`, and termination, with configurable fan-out.
+
+use sigcircuit::{Circuit, CircuitBuilder, GateKind, NetId};
+
+/// Which elementary gate a chain characterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainGate {
+    /// Inverters (single-input NOR).
+    Inverter,
+    /// Two-input NOR with the second input tied to GND (the configuration
+    /// in which the relevant-input transfer function is observed).
+    Nor,
+}
+
+/// A characterization chain: the gate-level circuit plus bookkeeping about
+/// which nets are the observed stage boundaries.
+#[derive(Debug, Clone)]
+pub struct CharChain {
+    /// The chain circuit (shaping and termination are added later by the
+    /// analog translator, exactly like for the benchmark circuits).
+    pub circuit: Circuit,
+    /// The driven primary input.
+    pub input: NetId,
+    /// The tie-low auxiliary input (present only for NOR chains).
+    pub tie: Option<NetId>,
+    /// Stage boundary nets: `stage_nets[0]` is the chain input (after
+    /// shaping, when probed through the analog translator) and
+    /// `stage_nets[i]` is the output of target gate `Gi`.
+    pub stage_nets: Vec<NetId>,
+    /// The fan-out each target gate drives.
+    pub fanout: usize,
+}
+
+impl CharChain {
+    /// Builds a chain of `targets` identical gates, each driving `fanout`
+    /// loads (one being the next stage, the rest dummy gates), mirroring
+    /// the paper's FO1/FO2 characterization circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets == 0` or `fanout == 0`.
+    #[must_use]
+    pub fn new(gate: ChainGate, targets: usize, fanout: usize) -> Self {
+        assert!(targets > 0, "need at least one target gate");
+        assert!(fanout > 0, "fan-out must be at least 1");
+        let mut b = CircuitBuilder::new();
+        let input = b.add_input("stim");
+        let tie = match gate {
+            ChainGate::Nor => Some(b.add_input("tie")),
+            ChainGate::Inverter => None,
+        };
+        let mut stage_nets = vec![input];
+        let mut prev = input;
+        for i in 0..targets {
+            let out = match gate {
+                ChainGate::Inverter => {
+                    b.add_gate(GateKind::Nor, &[prev], &format!("g{}", i + 1))
+                }
+                ChainGate::Nor => b.add_gate(
+                    GateKind::Nor,
+                    &[prev, tie.expect("nor chains have a tie input")],
+                    &format!("g{}", i + 1),
+                ),
+            };
+            // Dummy loads for fan-out > 1.
+            for l in 1..fanout {
+                match gate {
+                    ChainGate::Inverter => {
+                        let _ = b.add_gate(GateKind::Nor, &[out], &format!("g{}_load{l}", i + 1));
+                    }
+                    ChainGate::Nor => {
+                        let _ = b.add_gate(
+                            GateKind::Nor,
+                            &[out, tie.expect("nor")],
+                            &format!("g{}_load{l}", i + 1),
+                        );
+                    }
+                }
+            }
+            stage_nets.push(out);
+            prev = out;
+        }
+        // The last stage output is the primary output (the analog
+        // translator hangs the termination stages off it).
+        b.mark_output(prev);
+        let circuit = b.build().expect("chains are structurally valid");
+        Self {
+            circuit,
+            input,
+            tie,
+            stage_nets,
+            fanout,
+        }
+    }
+
+    /// Number of target gates.
+    #[must_use]
+    pub fn targets(&self) -> usize {
+        self.stage_nets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_chain_structure() {
+        let c = CharChain::new(ChainGate::Inverter, 4, 1);
+        assert_eq!(c.targets(), 4);
+        assert_eq!(c.circuit.gates().len(), 4);
+        assert!(c.tie.is_none());
+        // Chain of 4 inverters: identity function.
+        assert_eq!(c.circuit.eval(&[false]), vec![false]);
+        assert_eq!(c.circuit.eval(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn nor_chain_acts_as_inverter_chain_when_tied_low() {
+        let c = CharChain::new(ChainGate::Nor, 3, 1);
+        assert_eq!(c.circuit.gates().len(), 3);
+        // inputs: [stim, tie]
+        assert_eq!(c.circuit.eval(&[false, false]), vec![true]);
+        assert_eq!(c.circuit.eval(&[true, false]), vec![false]);
+        // Tie high forces all outputs low regardless.
+        assert_eq!(c.circuit.eval(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn fanout_adds_dummy_loads() {
+        let fo1 = CharChain::new(ChainGate::Nor, 3, 1);
+        let fo2 = CharChain::new(ChainGate::Nor, 3, 2);
+        assert_eq!(fo2.circuit.gates().len(), fo1.circuit.gates().len() + 3);
+        // Each target net now feeds 2 gate inputs.
+        let fo = fo2.circuit.fanout_counts();
+        for &net in &fo2.stage_nets[1..fo2.stage_nets.len() - 1] {
+            assert_eq!(fo[net.0], 2, "stage net should drive 2 loads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_targets_rejected() {
+        let _ = CharChain::new(ChainGate::Nor, 0, 1);
+    }
+}

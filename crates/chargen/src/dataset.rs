@@ -1,0 +1,278 @@
+//! Transfer-function training data: `(T, a_in, a_prev_out) → (a_out, delay)`
+//! tuples (Eq. 3 of the paper), grouped by input polarity.
+
+use serde::{Deserialize, Serialize};
+
+/// The clamp applied to the history interval `T = b_in − b_prev_out` in
+/// scaled time units (100 ps): a previous output transition further in the
+/// past than this has no measurable influence (Sec. III), and the very
+/// first transition of a trace uses the dummy predecessor `(s, −∞)`, which
+/// is represented by exactly this value.
+pub const T_FAR: f64 = 3.0;
+
+/// The fixed slope magnitude `s` of the dummy initial transition in
+/// Algorithm 1 (scaled units; the polarity is set from the circuit's
+/// initial conditions).
+pub const DUMMY_SLOPE: f64 = 25.0;
+
+/// One training sample of the TOM transfer function (Eq. 3): all times in
+/// scaled units (`t · 10^10`), slopes in the units of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferSample {
+    /// History interval `T = b_in − b_prev_out`, clamped to [`T_FAR`].
+    pub t: f64,
+    /// Slope of the current input transition (sign = polarity).
+    pub a_in: f64,
+    /// Slope of the previous output transition.
+    pub a_prev_out: f64,
+    /// Target: slope of the produced output transition.
+    pub a_out: f64,
+    /// Target: input-to-output delay `b_out − b_in` (scaled units).
+    pub delay: f64,
+}
+
+impl TransferSample {
+    /// The three-feature input vector of the transfer ANNs.
+    #[must_use]
+    pub fn features(&self) -> [f64; 3] {
+        [self.t, self.a_in, self.a_prev_out]
+    }
+}
+
+/// Which gate variant a dataset characterizes (the paper trains separate
+/// ANNs for fan-out-1 and fan-out-2 NOR gates, plus inverters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateTag {
+    /// Inverter (or single-input NOR) driving one load.
+    Inverter,
+    /// Inverter driving two or more loads (an extension the paper lists as
+    /// future work: "ANNs for elementary gates with arbitrary fan-out").
+    InverterFo2,
+    /// Two-input NOR driving one load.
+    NorFo1,
+    /// Two-input NOR driving two or more loads.
+    NorFo2,
+}
+
+impl std::fmt::Display for GateTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateTag::Inverter => write!(f, "INV"),
+            GateTag::InverterFo2 => write!(f, "INV/FO2"),
+            GateTag::NorFo1 => write!(f, "NOR/FO1"),
+            GateTag::NorFo2 => write!(f, "NOR/FO2"),
+        }
+    }
+}
+
+/// A characterization dataset for one gate variant, split by current-input
+/// polarity exactly as the transfer function is split into `F↑` and `F↓`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The gate variant this data characterizes.
+    pub gate: GateTag,
+    /// Samples with rising input transitions (`a_in > 0`, used for `F↑`).
+    pub rising: Vec<TransferSample>,
+    /// Samples with falling input transitions (`a_in < 0`, used for `F↓`).
+    pub falling: Vec<TransferSample>,
+}
+
+impl Dataset {
+    /// An empty dataset for a gate variant.
+    #[must_use]
+    pub fn new(gate: GateTag) -> Self {
+        Self {
+            gate,
+            rising: Vec::new(),
+            falling: Vec::new(),
+        }
+    }
+
+    /// Adds a sample to the polarity-appropriate half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample has a zero input slope or non-finite fields.
+    pub fn push(&mut self, sample: TransferSample) {
+        assert!(
+            sample.a_in != 0.0
+                && sample.t.is_finite()
+                && sample.a_in.is_finite()
+                && sample.a_prev_out.is_finite()
+                && sample.a_out.is_finite()
+                && sample.delay.is_finite(),
+            "invalid sample {sample:?}"
+        );
+        if sample.a_in > 0.0 {
+            self.rising.push(sample);
+        } else {
+            self.falling.push(sample);
+        }
+    }
+
+    /// Total sample count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rising.len() + self.falling.len()
+    }
+
+    /// `true` if no samples were collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rising.is_empty() && self.falling.is_empty()
+    }
+
+    /// Merges another dataset of the same gate variant into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate tags differ.
+    pub fn merge(&mut self, other: Dataset) {
+        assert_eq!(self.gate, other.gate, "cannot merge across gate variants");
+        self.rising.extend(other.rising);
+        self.falling.extend(other.falling);
+    }
+
+    /// Deterministic train/validation split (fraction in `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
+        let cut = |v: &[TransferSample]| {
+            // Interleaved split: every k-th sample goes to validation, so
+            // both halves cover the whole sweep range.
+            let k = (1.0 / (1.0 - train_fraction)).round().max(2.0) as usize;
+            let mut train = Vec::new();
+            let mut val = Vec::new();
+            for (i, s) in v.iter().enumerate() {
+                if i % k == k - 1 {
+                    val.push(*s);
+                } else {
+                    train.push(*s);
+                }
+            }
+            (train, val)
+        };
+        let (rt, rv) = cut(&self.rising);
+        let (ft, fv) = cut(&self.falling);
+        (
+            Dataset {
+                gate: self.gate,
+                rising: rt,
+                falling: ft,
+            },
+            Dataset {
+                gate: self.gate,
+                rising: rv,
+                falling: fv,
+            },
+        )
+    }
+
+    /// Serializes to JSON (the on-disk characterization artifact).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(a_in: f64) -> TransferSample {
+        TransferSample {
+            t: 1.0,
+            a_in,
+            a_prev_out: -10.0,
+            a_out: 12.0,
+            delay: 0.05,
+        }
+    }
+
+    #[test]
+    fn push_routes_by_polarity() {
+        let mut d = Dataset::new(GateTag::NorFo1);
+        d.push(sample(5.0));
+        d.push(sample(-5.0));
+        d.push(sample(7.0));
+        assert_eq!(d.rising.len(), 2);
+        assert_eq!(d.falling.len(), 1);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sample")]
+    fn rejects_nan() {
+        let mut d = Dataset::new(GateTag::Inverter);
+        d.push(TransferSample {
+            t: f64::NAN,
+            ..sample(1.0)
+        });
+    }
+
+    #[test]
+    fn split_is_disjoint_and_covering() {
+        let mut d = Dataset::new(GateTag::NorFo2);
+        for i in 0..100 {
+            d.push(TransferSample {
+                t: i as f64,
+                ..sample(if i % 2 == 0 { 3.0 } else { -3.0 })
+            });
+        }
+        let (train, val) = d.split(0.8);
+        assert_eq!(train.len() + val.len(), d.len());
+        assert!(val.len() >= 15 && val.len() <= 25, "val {}", val.len());
+    }
+
+    #[test]
+    fn merge_same_tag() {
+        let mut a = Dataset::new(GateTag::Inverter);
+        a.push(sample(1.0));
+        let mut b = Dataset::new(GateTag::Inverter);
+        b.push(sample(-1.0));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "across gate variants")]
+    fn merge_rejects_mixed_tags() {
+        let mut a = Dataset::new(GateTag::Inverter);
+        a.merge(Dataset::new(GateTag::NorFo1));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut d = Dataset::new(GateTag::NorFo1);
+        d.push(sample(2.0));
+        let j = d.to_json().unwrap();
+        let back = Dataset::from_json(&j).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn features_order() {
+        let s = sample(4.0);
+        assert_eq!(s.features(), [1.0, 4.0, -10.0]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Per-gate digital delay extraction from analog step responses — the
+//! reproduction's stand-in for the paper's Genus/Innovus delay extraction
+//! feeding ModelSim.
+
+use std::collections::HashMap;
+
+use digilog::InertialDelay;
+use nanospice::{Dc, EngineConfig, Engine, Pwl, Stimulus};
+use sigwave::{DigitalTrace, Level};
+
+use crate::analog::{build_analog, AnalogOptions};
+use crate::chain::{ChainGate, CharChain};
+use crate::extract::CharError;
+
+/// Extracted 50 %→50 % propagation delays of one gate configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateDelays {
+    /// Input-to-output delay for a rising *output* transition (seconds).
+    pub rise: f64,
+    /// Delay for a falling output transition (seconds).
+    pub fall: f64,
+}
+
+impl GateDelays {
+    /// As an inertial channel (the classic digital-simulator model).
+    #[must_use]
+    pub fn to_inertial(self) -> InertialDelay {
+        InertialDelay {
+            rise: self.rise,
+            fall: self.fall,
+        }
+    }
+}
+
+/// Measures the rise/fall delay of a NOR gate driving `fanout` loads by
+/// simulating a two-target chain and timing the second target (the first
+/// shapes the edge realistically).
+///
+/// # Errors
+///
+/// Returns [`CharError`] if the analog run fails or the expected crossings
+/// are missing.
+pub fn measure_nor_delays(
+    fanout: usize,
+    analog_options: &AnalogOptions,
+    engine_config: &EngineConfig,
+) -> Result<GateDelays, CharError> {
+    measure_nor_delays_loaded(fanout, 1.0, analog_options, engine_config)
+}
+
+/// Like [`measure_nor_delays`] with the wire capacitance scaled by
+/// `load_multiplier` — the per-instance extraction a signoff flow performs
+/// for every gate's actual interconnect.
+///
+/// # Errors
+///
+/// Returns [`CharError`] if the analog run fails or the expected crossings
+/// are missing.
+pub fn measure_nor_delays_loaded(
+    fanout: usize,
+    load_multiplier: f64,
+    analog_options: &AnalogOptions,
+    engine_config: &EngineConfig,
+) -> Result<GateDelays, CharError> {
+    measure_gate_delays(ChainGate::Nor, fanout, load_multiplier, analog_options, engine_config)
+}
+
+/// Measures the delays of either elementary gate kind (inverter or NOR)
+/// at a given fan-out and interconnect load.
+///
+/// # Errors
+///
+/// Returns [`CharError`] if the analog run fails or the expected crossings
+/// are missing.
+pub fn measure_gate_delays(
+    gate: ChainGate,
+    fanout: usize,
+    load_multiplier: f64,
+    analog_options: &AnalogOptions,
+    engine_config: &EngineConfig,
+) -> Result<GateDelays, CharError> {
+    let analog_options = &AnalogOptions {
+        wire_cap: analog_options.wire_cap * load_multiplier,
+        wire_cap_variation: 0.0,
+        ..*analog_options
+    };
+    let chain = CharChain::new(gate, 2, fanout);
+    // A single slow pulse: edges are far apart, so delays are "fresh".
+    let stim = DigitalTrace::new(Level::Low, vec![60e-12, 160e-12])
+        .expect("static toggle times");
+    let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+    stimuli.insert(chain.input, Box::new(Pwl::heaviside_train(&stim, 0.8, 1e-12)));
+    let mut init = HashMap::new();
+    init.insert(chain.input, Level::Low);
+    if let Some(tie) = chain.tie {
+        stimuli.insert(tie, Box::new(Dc(0.0)));
+        init.insert(tie, Level::Low);
+    }
+    let analog = build_analog(&chain.circuit, stimuli, &init, analog_options)?;
+    let p_in = analog.probe_name(chain.stage_nets[1]).to_string();
+    let p_out = analog.probe_name(chain.stage_nets[2]).to_string();
+    let res = Engine::new(*engine_config).run(&analog.network, 0.0, 3.2e-10, &[&p_in, &p_out])?;
+    let win = res.waveform(&p_in).expect("probed");
+    let wout = res.waveform(&p_out).expect("probed");
+    let cin = win.crossings(0.4);
+    let cout = wout.crossings(0.4);
+    if cin.len() != 2 || cout.len() != 2 {
+        return Err(CharError::Simulation(
+            nanospice::SimulationError::UnknownProbe(format!(
+                "expected 2 crossings on measurement stage, got {}/{}",
+                cin.len(),
+                cout.len()
+            )),
+        ));
+    }
+    // Second target inverts: input falling edge -> output rising edge.
+    let d1 = cout[0].0 - cin[0].0;
+    let d2 = cout[1].0 - cin[1].0;
+    let (rise, fall) = match cout[0].1 {
+        sigwave::CrossingDirection::Rising => (d1, d2),
+        sigwave::CrossingDirection::Falling => (d2, d1),
+    };
+    Ok(GateDelays { rise, fall })
+}
+
+/// A delay table indexed by fan-out and interconnect load multiplier —
+/// the reproduction's equivalent of a signoff extraction database: one
+/// delay entry per gate configuration *including its actual interconnect*.
+#[derive(Debug, Clone, Default)]
+pub struct DelayTable {
+    /// Per (is-inverter, fan-out): `(load multiplier, delays)` sorted by
+    /// multiplier.
+    by_fanout: HashMap<(bool, usize), Vec<(f64, GateDelays)>>,
+}
+
+impl DelayTable {
+    /// Builds the table for every fan-out in `fanouts` at nominal load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors.
+    pub fn measure(
+        fanouts: impl IntoIterator<Item = usize>,
+        analog_options: &AnalogOptions,
+        engine_config: &EngineConfig,
+    ) -> Result<Self, CharError> {
+        Self::measure_grid(fanouts, &[1.0], analog_options, engine_config)
+    }
+
+    /// Builds the full (fan-out × load multiplier) grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multipliers` is empty.
+    pub fn measure_grid(
+        fanouts: impl IntoIterator<Item = usize>,
+        multipliers: &[f64],
+        analog_options: &AnalogOptions,
+        engine_config: &EngineConfig,
+    ) -> Result<Self, CharError> {
+        assert!(!multipliers.is_empty(), "need at least one load multiplier");
+        let mut by_fanout: HashMap<(bool, usize), Vec<(f64, GateDelays)>> = HashMap::new();
+        for f in fanouts {
+            let f = f.max(1);
+            for gate in [ChainGate::Nor, ChainGate::Inverter] {
+                let key = (gate == ChainGate::Inverter, f);
+                if by_fanout.contains_key(&key) {
+                    continue;
+                }
+                let mut entries = Vec::with_capacity(multipliers.len());
+                for &m in multipliers {
+                    entries.push((
+                        m,
+                        measure_gate_delays(gate, f, m, analog_options, engine_config)?,
+                    ));
+                }
+                entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+                by_fanout.insert(key, entries);
+            }
+        }
+        Ok(Self { by_fanout })
+    }
+
+    /// Delays for a gate driving `fanout` loads at nominal interconnect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    #[must_use]
+    pub fn lookup(&self, fanout: usize) -> GateDelays {
+        self.lookup_loaded(fanout, 1.0)
+    }
+
+    /// Nominal-load delays of an inverter (1-input NOR) at `fanout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    #[must_use]
+    pub fn lookup_inverter(&self, fanout: usize) -> GateDelays {
+        self.lookup_gate(true, fanout, 1.0)
+    }
+
+    /// Delays for a gate driving `fanout` loads with its wire capacitance
+    /// scaled by `multiplier`; linearly interpolated (clamped) between the
+    /// measured multipliers. Unmeasured fan-outs fall back to the largest
+    /// measured one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    #[must_use]
+    pub fn lookup_loaded(&self, fanout: usize, multiplier: f64) -> GateDelays {
+        self.lookup_gate(false, fanout, multiplier)
+    }
+
+    /// Full lookup: gate kind (`inverter` = 1-input NOR), fan-out and load
+    /// multiplier, with interpolation and graceful fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    #[must_use]
+    pub fn lookup_gate(&self, inverter: bool, fanout: usize, multiplier: f64) -> GateDelays {
+        let key = (inverter, fanout.max(1));
+        let entries = self.by_fanout.get(&key).unwrap_or_else(|| {
+            // Fall back to the largest measured fan-out of the same kind,
+            // then to any entry at all.
+            let fallback = self
+                .by_fanout
+                .keys()
+                .filter(|(inv, _)| *inv == inverter)
+                .max_by_key(|(_, f)| *f)
+                .or_else(|| self.by_fanout.keys().max_by_key(|(_, f)| *f))
+                .expect("delay table must not be empty");
+            &self.by_fanout[fallback]
+        });
+        if entries.len() == 1 {
+            return entries[0].1;
+        }
+        // Clamp outside the measured range.
+        if multiplier <= entries[0].0 {
+            return entries[0].1;
+        }
+        if multiplier >= entries[entries.len() - 1].0 {
+            return entries[entries.len() - 1].1;
+        }
+        let i = entries.partition_point(|(m, _)| *m <= multiplier);
+        let (m0, d0) = entries[i - 1];
+        let (m1, d1) = entries[i];
+        let w = (multiplier - m0) / (m1 - m0);
+        GateDelays {
+            rise: d0.rise + w * (d1.rise - d0.rise),
+            fall: d0.fall + w * (d1.fall - d0.fall),
+        }
+    }
+
+    /// Number of measured fan-outs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_fanout.len()
+    }
+
+    /// `true` if nothing was measured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_fanout.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nor_delays_in_calibrated_range() {
+        let d = measure_nor_delays(
+            1,
+            &AnalogOptions::default(),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(d.rise > 0.5e-12 && d.rise < 40e-12, "rise {:.2e}", d.rise);
+        assert!(d.fall > 0.5e-12 && d.fall < 40e-12, "fall {:.2e}", d.fall);
+        // With the widened (pre-charged) pull-up stack the edges are
+        // roughly balanced; they must at least be within 2x of each other.
+        let ratio = d.rise / d.fall;
+        assert!((0.5..2.0).contains(&ratio), "unbalanced edges, ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_fanout_is_slower() {
+        let cfg = EngineConfig::default();
+        let opts = AnalogOptions::default();
+        let fo1 = measure_nor_delays(1, &opts, &cfg).unwrap();
+        let fo3 = measure_nor_delays(3, &opts, &cfg).unwrap();
+        assert!(fo3.rise > fo1.rise, "{} vs {}", fo3.rise, fo1.rise);
+        assert!(fo3.fall > fo1.fall);
+    }
+
+    #[test]
+    fn table_lookup_and_fallback() {
+        let cfg = EngineConfig::default();
+        let opts = AnalogOptions::default();
+        let table = DelayTable::measure([1, 2], &opts, &cfg).unwrap();
+        // Two fan-outs x two gate kinds (NOR + inverter).
+        assert_eq!(table.len(), 4);
+        // Inverters are characterized separately from NOR gates.
+        let inv = table.lookup_inverter(1);
+        assert!(inv.rise > 0.5e-12 && inv.rise < 40e-12);
+        let d1 = table.lookup(1);
+        let d9 = table.lookup(9); // falls back to fan-out 2
+        let d2 = table.lookup(2);
+        assert_eq!(d9, d2);
+        assert!(d2.rise > d1.rise);
+    }
+
+    #[test]
+    fn loaded_grid_interpolates() {
+        let cfg = EngineConfig::default();
+        let opts = AnalogOptions::default();
+        let table =
+            DelayTable::measure_grid([1], &[0.5, 1.0, 1.5], &opts, &cfg).unwrap();
+        let light = table.lookup_loaded(1, 0.5);
+        let nominal = table.lookup_loaded(1, 1.0);
+        let heavy = table.lookup_loaded(1, 1.5);
+        assert!(light.fall < nominal.fall && nominal.fall < heavy.fall);
+        // Interpolated point sits between the grid values.
+        let mid = table.lookup_loaded(1, 1.25);
+        assert!(mid.fall > nominal.fall && mid.fall < heavy.fall);
+        // Clamped outside the range.
+        assert_eq!(table.lookup_loaded(1, 0.1), light);
+        assert_eq!(table.lookup_loaded(1, 9.0), heavy);
+    }
+}

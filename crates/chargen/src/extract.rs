@@ -1,0 +1,393 @@
+//! Running characterization chains and extracting transfer samples from
+//! fitted stage waveforms (Sec. IV-A).
+
+use std::collections::HashMap;
+
+use nanospice::{Engine, EngineConfig, Pwl, Stimulus};
+use sigfit::{fit_waveform, FitOptions};
+use sigwave::{Level, SigmoidTrace, Waveform};
+
+use crate::analog::{build_analog, AnalogOptions, BuildAnalogError};
+use crate::chain::CharChain;
+use crate::dataset::{TransferSample, DUMMY_SLOPE, T_FAR};
+use crate::pulses::PulseSpec;
+
+/// Error during a characterization run.
+#[derive(Debug)]
+pub enum CharError {
+    /// The analog network could not be built.
+    Build(BuildAnalogError),
+    /// The analog simulation failed.
+    Simulation(nanospice::SimulationError),
+    /// Waveform fitting failed on a stage boundary.
+    Fit(sigfit::WaveformFitError),
+}
+
+impl std::fmt::Display for CharError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "analog build failed: {e}"),
+            Self::Simulation(e) => write!(f, "analog simulation failed: {e}"),
+            Self::Fit(e) => write!(f, "waveform fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CharError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            Self::Simulation(e) => Some(e),
+            Self::Fit(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildAnalogError> for CharError {
+    fn from(e: BuildAnalogError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<nanospice::SimulationError> for CharError {
+    fn from(e: nanospice::SimulationError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+impl From<sigfit::WaveformFitError> for CharError {
+    fn from(e: sigfit::WaveformFitError) -> Self {
+        Self::Fit(e)
+    }
+}
+
+/// One simulated chain run: analog waveforms at every stage boundary.
+#[derive(Debug, Clone)]
+pub struct ChainRun {
+    /// `waveforms[0]` is the (shaped) chain input, `waveforms[i]` the
+    /// output of target gate `Gi`.
+    pub waveforms: Vec<Waveform>,
+}
+
+/// Simulates a chain stimulated by a Fig. 4 pulse pair and records all
+/// stage boundary waveforms.
+///
+/// # Errors
+///
+/// Returns [`CharError`] on analog build/simulation failure.
+pub fn run_chain(
+    chain: &CharChain,
+    spec: &PulseSpec,
+    analog_options: &AnalogOptions,
+    engine_config: &EngineConfig,
+) -> Result<ChainRun, CharError> {
+    let trace = spec.to_trace();
+    let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+    stimuli.insert(
+        chain.input,
+        Box::new(Pwl::heaviside_train(&trace, 0.8, 1e-12)),
+    );
+    let mut init = HashMap::new();
+    init.insert(chain.input, Level::Low);
+    if let Some(tie) = chain.tie {
+        stimuli.insert(tie, Box::new(nanospice::Dc(0.0)));
+        init.insert(tie, Level::Low);
+    }
+    let analog = build_analog(&chain.circuit, stimuli, &init, analog_options)?;
+    let probe_names: Vec<String> = chain
+        .stage_nets
+        .iter()
+        .map(|n| analog.probe_name(*n).to_string())
+        .collect();
+    let probes: Vec<&str> = probe_names.iter().map(String::as_str).collect();
+    // Simulate past the last transition long enough for full settling.
+    let t_end = spec.t0 + spec.duration() + 120e-12;
+    let result = Engine::new(*engine_config).run(&analog.network, 0.0, t_end, &probes)?;
+    let waveforms = probe_names
+        .iter()
+        .map(|p| result.waveform(p).expect("probed").clone())
+        .collect();
+    Ok(ChainRun { waveforms })
+}
+
+/// Outcome of extracting samples from one gate's input/output waveforms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExtractionStats {
+    /// Samples extracted.
+    pub samples: usize,
+    /// Input transitions without a matching output transition — the pulse
+    /// they belonged to was suppressed inside the gate (useful data for
+    /// cancellation statistics but not for transfer-function training).
+    pub cancelled_inputs: usize,
+    /// Gate pairs abandoned entirely because the output trace could not be
+    /// aligned with the input trace at all.
+    pub skipped_pairs: usize,
+}
+
+/// Extracts transfer samples from the fitted sigmoid traces of one gate's
+/// input and output waveforms.
+///
+/// An inverting single-input gate maps each input transition to exactly one
+/// output transition of opposite polarity; pairs are matched in order. If
+/// the counts differ (sub-threshold pulse suppressed inside the gate), the
+/// pair is skipped and counted in the stats.
+///
+/// # Errors
+///
+/// Returns [`CharError::Fit`] if either waveform cannot be fitted.
+pub fn extract_from_pair(
+    input_wave: &Waveform,
+    output_wave: &Waveform,
+    fit_options: &FitOptions,
+    out: &mut Vec<TransferSample>,
+) -> Result<ExtractionStats, CharError> {
+    let input = fit_waveform(input_wave, fit_options)?.trace;
+    let output = fit_waveform(output_wave, fit_options)?.trace;
+    Ok(extract_from_traces(&input, &output, out))
+}
+
+/// Largest plausible input-to-output delay (scaled units, 20 ps — about
+/// 3x the most degraded gate delay of the calibrated technology): output
+/// transitions further away are not attributed to the current input
+/// transition during matching. A loose cap would mis-attribute the
+/// response of a *later* input edge to an input edge whose pulse vanished,
+/// poisoning the training set with phantom long delays.
+const MAX_DELAY: f64 = 0.2;
+
+/// Like [`extract_from_pair`], starting from already fitted traces.
+///
+/// Input and output transitions are aligned in order: for an inverting
+/// single-input gate each surviving input transition causes exactly one
+/// output transition of opposite polarity within the plausibility cap
+/// (`MAX_DELAY`, 20 ps); input
+/// transitions whose pulse was suppressed inside the gate stay unmatched
+/// and are counted as cancelled.
+#[must_use]
+pub fn extract_from_traces(
+    input: &SigmoidTrace,
+    output: &SigmoidTrace,
+    out: &mut Vec<TransferSample>,
+) -> ExtractionStats {
+    let mut stats = ExtractionStats::default();
+    if input.is_empty() {
+        stats.skipped_pairs = usize::from(!output.is_empty());
+        return stats;
+    }
+    // Dummy predecessor: polarity opposite to the first input transition
+    // for an inverting gate (the previous output has the same polarity as
+    // the current input's *caused* output inverted — i.e. it matches the
+    // input polarity of the first transition's opposite).
+    let mut prev_a = if input.transitions()[0].is_rising() {
+        DUMMY_SLOPE
+    } else {
+        -DUMMY_SLOPE
+    };
+    let mut prev_b = f64::NEG_INFINITY;
+    let outs = output.transitions();
+    let mut oi = 0usize;
+    for sin in input.transitions() {
+        let matched = oi < outs.len() && {
+            let sout = &outs[oi];
+            sout.is_rising() != sin.is_rising()
+                && sout.b > sin.b
+                && sout.b - sin.b < MAX_DELAY
+        };
+        if !matched {
+            stats.cancelled_inputs += 1;
+            continue;
+        }
+        let sout = outs[oi];
+        oi += 1;
+        let t = (sin.b - prev_b).min(T_FAR);
+        out.push(TransferSample {
+            t,
+            a_in: sin.a,
+            a_prev_out: prev_a,
+            a_out: sout.a,
+            delay: sout.b - sin.b,
+        });
+        stats.samples += 1;
+        prev_a = sout.a;
+        prev_b = sout.b;
+    }
+    if oi != outs.len() {
+        // Output transitions nobody caused: the alignment is unreliable,
+        // discard everything extracted from this pair.
+        out.truncate(out.len() - stats.samples);
+        return ExtractionStats {
+            samples: 0,
+            cancelled_inputs: 0,
+            skipped_pairs: 1,
+        };
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainGate;
+    use sigwave::{Sigmoid, VDD_DEFAULT};
+
+    #[test]
+    fn extract_from_synthetic_traces() {
+        // Input: rise@1.0, fall@2.0; Output (inverted, delayed 0.1):
+        // fall@1.1, rise@2.1.
+        let input = SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![Sigmoid::rising(10.0, 1.0), Sigmoid::falling(10.0, 2.0)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let output = SigmoidTrace::from_transitions(
+            Level::High,
+            vec![Sigmoid::falling(12.0, 1.1), Sigmoid::rising(9.0, 2.1)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let mut samples = Vec::new();
+        let stats = extract_from_traces(&input, &output, &mut samples);
+        assert_eq!(stats.samples, 2);
+        assert_eq!(stats.skipped_pairs, 0);
+        // First sample uses the dummy predecessor.
+        assert_eq!(samples[0].t, T_FAR);
+        assert_eq!(samples[0].a_prev_out, DUMMY_SLOPE); // first out falls -> dummy rose
+        assert!((samples[0].delay - 0.1).abs() < 1e-12);
+        // Second sample: T = 2.0 - 1.1 = 0.9 vs previous output.
+        assert!((samples[1].t - 0.9).abs() < 1e-12);
+        assert_eq!(samples[1].a_prev_out, -12.0);
+        assert!((samples[1].delay - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanished_pulse_counts_cancelled_inputs() {
+        // Input pulse, constant output: both input transitions cancelled.
+        let input = SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![Sigmoid::rising(10.0, 1.0), Sigmoid::falling(10.0, 2.0)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let output = SigmoidTrace::constant(Level::High, VDD_DEFAULT);
+        let mut samples = Vec::new();
+        let stats = extract_from_traces(&input, &output, &mut samples);
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.cancelled_inputs, 2);
+        assert_eq!(stats.skipped_pairs, 0);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn partial_pulse_survival_still_extracts() {
+        // Two input pulses; only the second survives the gate.
+        let input = SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![
+                Sigmoid::rising(10.0, 1.0),
+                Sigmoid::falling(10.0, 1.2),
+                Sigmoid::rising(10.0, 2.0),
+                Sigmoid::falling(10.0, 3.0),
+            ],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let output = SigmoidTrace::from_transitions(
+            Level::High,
+            vec![Sigmoid::falling(9.0, 2.05), Sigmoid::rising(9.0, 3.05)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let mut samples = Vec::new();
+        let stats = extract_from_traces(&input, &output, &mut samples);
+        assert_eq!(stats.samples, 2);
+        assert_eq!(stats.cancelled_inputs, 2);
+        // The first surviving sample's predecessor is still the dummy.
+        assert_eq!(samples[0].t, T_FAR);
+    }
+
+    #[test]
+    fn unexplained_output_discards_pair() {
+        // Output has a transition before any input transition: alignment
+        // impossible.
+        let input = SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![Sigmoid::rising(10.0, 2.0)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let output = SigmoidTrace::from_transitions(
+            Level::High,
+            vec![Sigmoid::falling(9.0, 0.5), Sigmoid::rising(9.0, 1.0)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let mut samples = Vec::new();
+        let stats = extract_from_traces(&input, &output, &mut samples);
+        assert_eq!(stats.skipped_pairs, 1);
+        assert_eq!(stats.samples, 0);
+        assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn chain_run_produces_clean_stages() {
+        // One coarse pulse spec through a short NOR chain: every stage
+        // boundary should show 4 transitions (two pulses).
+        let chain = CharChain::new(ChainGate::Nor, 2, 1);
+        let spec = PulseSpec {
+            t0: 60e-12,
+            ta: 18e-12,
+            tb: 18e-12,
+            tc: 18e-12,
+        };
+        let run = run_chain(
+            &chain,
+            &spec,
+            &AnalogOptions::default(),
+            &nanospice::EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.waveforms.len(), 3);
+        for (i, w) in run.waveforms.iter().enumerate() {
+            let crossings = w.crossings(0.4);
+            assert_eq!(
+                crossings.len(),
+                4,
+                "stage {i} should carry both pulses, got {} crossings",
+                crossings.len()
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_extraction_from_chain() {
+        let chain = CharChain::new(ChainGate::Nor, 2, 1);
+        let spec = PulseSpec {
+            t0: 60e-12,
+            ta: 15e-12,
+            tb: 12e-12,
+            tc: 18e-12,
+        };
+        let run = run_chain(
+            &chain,
+            &spec,
+            &AnalogOptions::default(),
+            &nanospice::EngineConfig::default(),
+        )
+        .unwrap();
+        let mut samples = Vec::new();
+        let mut total = ExtractionStats::default();
+        for pair in run.waveforms.windows(2) {
+            let s = extract_from_pair(&pair[0], &pair[1], &FitOptions::default(), &mut samples)
+                .unwrap();
+            total.samples += s.samples;
+            total.cancelled_inputs += s.cancelled_inputs;
+            total.skipped_pairs += s.skipped_pairs;
+        }
+        assert_eq!(total.samples, 8, "2 gates x 4 transitions");
+        for s in &samples {
+            assert!(s.delay > 0.0 && s.delay < 1.0, "delay {self:?}", self = s);
+            assert!(s.a_in.abs() > 1.0 && s.a_in.abs() < 200.0);
+            assert!(s.t > 0.0 && s.t <= T_FAR);
+        }
+    }
+}

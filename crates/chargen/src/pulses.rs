@@ -1,0 +1,160 @@
+//! The paper's characterization stimulus (Fig. 4): four Heaviside
+//! transitions governed by the three intervals `TA`, `TB`, `TC`.
+
+use sigwave::{DigitalTrace, Level};
+
+/// The three-interval pulse pair of Fig. 4: transitions at `t0`,
+/// `t0 + TA`, `t0 + TA + TB` and `t0 + TA + TB + TC`, starting from low.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseSpec {
+    /// Quiet time before the first transition (seconds).
+    pub t0: f64,
+    /// First pulse width `TA` (seconds).
+    pub ta: f64,
+    /// Gap `TB` (seconds).
+    pub tb: f64,
+    /// Second pulse width `TC` (seconds).
+    pub tc: f64,
+}
+
+impl PulseSpec {
+    /// Builds the digital stimulus trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interval is not positive.
+    #[must_use]
+    pub fn to_trace(&self) -> DigitalTrace {
+        assert!(
+            self.ta > 0.0 && self.tb > 0.0 && self.tc > 0.0,
+            "pulse intervals must be positive"
+        );
+        let t1 = self.t0;
+        let t2 = t1 + self.ta;
+        let t3 = t2 + self.tb;
+        let t4 = t3 + self.tc;
+        DigitalTrace::new(Level::Low, vec![t1, t2, t3, t4]).expect("increasing by construction")
+    }
+
+    /// Total stimulus duration after `t0`.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.ta + self.tb + self.tc
+    }
+}
+
+/// The systematic sweep of Sec. IV-A: `TA`, `TB`, `TC` each ranging over
+/// `[min, max]` with the given step (the paper: 5 ps to 20 ps in 1 ps steps,
+/// "approximately 15³ different SPICE simulation runs").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseSweep {
+    /// Smallest interval value (seconds).
+    pub min: f64,
+    /// Largest interval value (seconds).
+    pub max: f64,
+    /// Sweep step (seconds).
+    pub step: f64,
+    /// Quiet time before the first transition (seconds).
+    pub t0: f64,
+}
+
+impl PulseSweep {
+    /// The paper's full sweep: 5–20 ps in 1 ps steps.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            min: 5e-12,
+            max: 20e-12,
+            step: 1e-12,
+            t0: 60e-12,
+        }
+    }
+
+    /// A coarse sweep for CI-scale runs: 5–20 ps in 5 ps steps (4³ runs).
+    #[must_use]
+    pub fn coarse() -> Self {
+        Self {
+            step: 5e-12,
+            ..Self::paper()
+        }
+    }
+
+    /// Values one interval takes in this sweep.
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        let mut v = Vec::new();
+        let mut x = self.min;
+        while x <= self.max + 1e-18 {
+            v.push(x);
+            x += self.step;
+        }
+        v
+    }
+
+    /// Iterates all `(TA, TB, TC)` combinations as pulse specs.
+    #[must_use]
+    pub fn specs(&self) -> Vec<PulseSpec> {
+        let vals = self.values();
+        let mut out = Vec::with_capacity(vals.len().pow(3));
+        for &ta in &vals {
+            for &tb in &vals {
+                for &tc in &vals {
+                    out.push(PulseSpec {
+                        t0: self.t0,
+                        ta,
+                        tb,
+                        tc,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_four_transitions() {
+        let spec = PulseSpec {
+            t0: 50e-12,
+            ta: 10e-12,
+            tb: 7e-12,
+            tc: 12e-12,
+        };
+        let t = spec.to_trace();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.initial(), Level::Low);
+        assert!((t.toggles()[3] - 79e-12).abs() < 1e-18);
+        assert!((spec.duration() - 29e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_interval() {
+        let _ = PulseSpec {
+            t0: 0.0,
+            ta: 0.0,
+            tb: 1e-12,
+            tc: 1e-12,
+        }
+        .to_trace();
+    }
+
+    #[test]
+    fn paper_sweep_is_16_cubed() {
+        // 5..=20 ps at 1 ps -> 16 values ("approximately 15^3" in the text).
+        let sweep = PulseSweep::paper();
+        assert_eq!(sweep.values().len(), 16);
+        assert_eq!(sweep.specs().len(), 16 * 16 * 16);
+    }
+
+    #[test]
+    fn coarse_sweep_small() {
+        let sweep = PulseSweep::coarse();
+        assert_eq!(sweep.values().len(), 4);
+        assert_eq!(sweep.specs().len(), 64);
+    }
+}

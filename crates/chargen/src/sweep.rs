@@ -1,0 +1,155 @@
+//! The full characterization sweep: chains × pulse specs → datasets
+//! (Sec. IV-A's "systematically varied TA, TB and TC" flow).
+
+use nanospice::EngineConfig;
+use sigfit::FitOptions;
+
+use crate::analog::AnalogOptions;
+use crate::chain::{ChainGate, CharChain};
+use crate::dataset::{Dataset, GateTag};
+use crate::extract::{extract_from_pair, run_chain, CharError, ExtractionStats};
+use crate::pulses::PulseSweep;
+
+/// Configuration of one characterization campaign.
+#[derive(Debug, Clone)]
+pub struct CharacterizationConfig {
+    /// The TA/TB/TC sweep.
+    pub sweep: PulseSweep,
+    /// Target gates per chain (each contributes one sample set per run).
+    pub chain_targets: usize,
+    /// Analog translation options (shaping/termination).
+    pub analog: AnalogOptions,
+    /// Transient engine settings.
+    pub engine: EngineConfig,
+    /// Waveform fitting options.
+    pub fit: FitOptions,
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        Self {
+            sweep: PulseSweep::coarse(),
+            chain_targets: 4,
+            analog: AnalogOptions::default(),
+            engine: EngineConfig::default(),
+            fit: FitOptions::default(),
+        }
+    }
+}
+
+impl CharacterizationConfig {
+    /// The paper-scale configuration (16³ runs — minutes of CPU time).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            sweep: PulseSweep::paper(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a characterization campaign.
+#[derive(Debug, Clone)]
+pub struct CharacterizationOutcome {
+    /// The collected dataset.
+    pub dataset: Dataset,
+    /// Extraction statistics (skipped pairs = vanished pulses).
+    pub stats: ExtractionStats,
+    /// Number of analog runs performed.
+    pub runs: usize,
+}
+
+/// Characterizes one gate variant by sweeping pulse specs through the
+/// matching chain and fitting every stage boundary.
+///
+/// # Errors
+///
+/// Returns [`CharError`] if any analog run or fit fails structurally
+/// (degenerate runs are skipped, not errors).
+pub fn characterize(
+    tag: GateTag,
+    config: &CharacterizationConfig,
+) -> Result<CharacterizationOutcome, CharError> {
+    let (gate, fanout) = match tag {
+        GateTag::Inverter => (ChainGate::Inverter, 1),
+        GateTag::InverterFo2 => (ChainGate::Inverter, 2),
+        GateTag::NorFo1 => (ChainGate::Nor, 1),
+        GateTag::NorFo2 => (ChainGate::Nor, 2),
+    };
+    let chain = CharChain::new(gate, config.chain_targets, fanout);
+    let mut dataset = Dataset::new(tag);
+    let mut stats = ExtractionStats::default();
+    let mut samples = Vec::new();
+    let specs = config.sweep.specs();
+    for spec in &specs {
+        let run = run_chain(&chain, spec, &config.analog, &config.engine)?;
+        for pair in run.waveforms.windows(2) {
+            samples.clear();
+            let s = extract_from_pair(&pair[0], &pair[1], &config.fit, &mut samples)?;
+            stats.samples += s.samples;
+            stats.cancelled_inputs += s.cancelled_inputs;
+            stats.skipped_pairs += s.skipped_pairs;
+            for sample in &samples {
+                dataset.push(*sample);
+            }
+        }
+    }
+    Ok(CharacterizationOutcome {
+        dataset,
+        stats,
+        runs: specs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulses::PulseSweep;
+
+    fn tiny_config() -> CharacterizationConfig {
+        CharacterizationConfig {
+            sweep: PulseSweep {
+                min: 12e-12,
+                max: 18e-12,
+                step: 6e-12, // 2 values -> 8 runs
+                t0: 60e-12,
+            },
+            chain_targets: 2,
+            ..CharacterizationConfig::default()
+        }
+    }
+
+    #[test]
+    fn characterize_nor_fo1_collects_balanced_data() {
+        let out = characterize(GateTag::NorFo1, &tiny_config()).unwrap();
+        assert_eq!(out.runs, 8);
+        // 8 runs x 2 gates x 4 transitions = up to 64 samples.
+        assert!(out.dataset.len() >= 40, "got {}", out.dataset.len());
+        // Both polarities must be populated (2 rising + 2 falling per run).
+        assert!(!out.dataset.rising.is_empty());
+        assert!(!out.dataset.falling.is_empty());
+        let diff =
+            (out.dataset.rising.len() as i64 - out.dataset.falling.len() as i64).abs();
+        assert!(diff <= out.runs as i64 * 2, "polarities unbalanced");
+    }
+
+    #[test]
+    fn inverter_characterization_works() {
+        let out = characterize(GateTag::Inverter, &tiny_config()).unwrap();
+        assert!(out.dataset.len() >= 40, "got {}", out.dataset.len());
+        assert_eq!(out.dataset.gate, GateTag::Inverter);
+    }
+
+    #[test]
+    fn delays_positive_and_slopes_signed() {
+        let out = characterize(GateTag::NorFo1, &tiny_config()).unwrap();
+        for s in out.dataset.rising.iter().chain(&out.dataset.falling) {
+            assert!(s.delay > 0.0, "negative delay {s:?}");
+            // Rising input -> falling output for the relevant-input NOR.
+            assert!(
+                s.a_in * s.a_out < 0.0,
+                "inverting gate polarities violated {s:?}"
+            );
+        }
+    }
+}

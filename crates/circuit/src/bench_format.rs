@@ -1,0 +1,353 @@
+//! Parser for the ISCAS `.bench` netlist format.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(y)
+//! n1 = NAND(a, b)
+//! y  = NOT(n1)
+//! ```
+
+use crate::netlist::{BuildCircuitError, Circuit, CircuitBuilder, GateKind, NetId};
+use std::collections::HashMap;
+
+/// Error parsing a `.bench` netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// Malformed line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Unknown gate function name.
+    UnknownFunction {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized function.
+        function: String,
+    },
+    /// A referenced signal was never defined.
+    UndefinedSignal {
+        /// The missing signal name.
+        name: String,
+    },
+    /// Structural validation failed after parsing.
+    Build(BuildCircuitError),
+}
+
+impl std::fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::UnknownFunction { line, function } => {
+                write!(f, "line {line}: unknown function {function:?}")
+            }
+            Self::UndefinedSignal { name } => write!(f, "undefined signal {name:?}"),
+            Self::Build(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildCircuitError> for ParseBenchError {
+    fn from(e: BuildCircuitError) -> Self {
+        Self::Build(e)
+    }
+}
+
+fn gate_kind(name: &str) -> Option<GateKind> {
+    match name.to_ascii_uppercase().as_str() {
+        "NOT" | "INV" => Some(GateKind::Inv),
+        "BUF" | "BUFF" => Some(GateKind::Buf),
+        "AND" => Some(GateKind::And),
+        "NAND" => Some(GateKind::Nand),
+        "OR" => Some(GateKind::Or),
+        "NOR" => Some(GateKind::Nor),
+        "XOR" => Some(GateKind::Xor),
+        "XNOR" => Some(GateKind::Xnor),
+        _ => None,
+    }
+}
+
+/// Parses `.bench` text into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on syntax errors, unknown functions,
+/// undefined signals or structural violations.
+pub fn parse_bench(text: &str) -> Result<Circuit, ParseBenchError> {
+    struct PendingGate {
+        kind: GateKind,
+        output: String,
+        inputs: Vec<String>,
+        line: usize,
+    }
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<PendingGate> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let s = raw.split('#').next().unwrap_or("").trim();
+        if s.is_empty() {
+            continue;
+        }
+        let upper = s.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT") {
+            let name = parse_paren(rest, s, line)?;
+            inputs.push(name);
+            continue;
+        }
+        if let Some(rest) = upper.strip_prefix("OUTPUT") {
+            let name = parse_paren(rest, s, line)?;
+            outputs.push(name);
+            continue;
+        }
+        // Assignment: out = FUNC(a, b, ...)
+        let Some(eq) = s.find('=') else {
+            return Err(ParseBenchError::Syntax {
+                line,
+                message: format!("expected assignment, got {s:?}"),
+            });
+        };
+        let output = s[..eq].trim().to_string();
+        let rhs = s[eq + 1..].trim();
+        let Some(open) = rhs.find('(') else {
+            return Err(ParseBenchError::Syntax {
+                line,
+                message: "missing '(' in gate expression".into(),
+            });
+        };
+        let Some(close) = rhs.rfind(')') else {
+            return Err(ParseBenchError::Syntax {
+                line,
+                message: "missing ')' in gate expression".into(),
+            });
+        };
+        let func = rhs[..open].trim();
+        let kind = gate_kind(func).ok_or_else(|| ParseBenchError::UnknownFunction {
+            line,
+            function: func.to_string(),
+        })?;
+        let args: Vec<String> = rhs[open + 1..close]
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if args.is_empty() {
+            return Err(ParseBenchError::Syntax {
+                line,
+                message: "gate with no inputs".into(),
+            });
+        }
+        gates.push(PendingGate {
+            kind,
+            output,
+            inputs: args,
+            line,
+        });
+    }
+
+    // Build: inputs first, then gates in an order that defines outputs
+    // before use (the builder interns output nets at gate-add time, so we
+    // add gates in dependency order via simple fixed-point iteration).
+    let mut builder = CircuitBuilder::new();
+    let mut known: HashMap<String, NetId> = HashMap::new();
+    for name in &inputs {
+        let id = builder.try_add_input(name)?;
+        known.insert(name.clone(), id);
+    }
+    let mut remaining = gates;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut still = Vec::with_capacity(before);
+        for g in remaining {
+            if g.inputs.iter().all(|i| known.contains_key(i)) {
+                let ins: Vec<NetId> = g.inputs.iter().map(|i| known[i]).collect();
+                if !g.kind.arity_ok(ins.len()) {
+                    return Err(ParseBenchError::Syntax {
+                        line: g.line,
+                        message: format!("{} with arity {}", g.kind, ins.len()),
+                    });
+                }
+                let out = builder.try_add_gate(g.kind, &ins, &g.output)?;
+                known.insert(g.output.clone(), out);
+            } else {
+                still.push(g);
+            }
+        }
+        if still.len() == before {
+            // No progress: an input is genuinely undefined (or cyclic).
+            let missing = still
+                .iter()
+                .flat_map(|g| g.inputs.iter())
+                .find(|i| !known.contains_key(*i))
+                .cloned()
+                .unwrap_or_else(|| still[0].output.clone());
+            return Err(ParseBenchError::UndefinedSignal { name: missing });
+        }
+        remaining = still;
+    }
+    for name in &outputs {
+        let id = known
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseBenchError::UndefinedSignal { name: name.clone() })?;
+        builder.mark_output(id);
+    }
+    Ok(builder.build()?)
+}
+
+fn parse_paren(rest: &str, original: &str, line: usize) -> Result<String, ParseBenchError> {
+    let rest = rest.trim();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Err(ParseBenchError::Syntax {
+            line,
+            message: format!("expected NAME(signal), got {original:?}"),
+        });
+    }
+    // Slice from the *original* line to preserve case.
+    let open = original.find('(').expect("checked above");
+    let close = original.rfind(')').expect("checked above");
+    Ok(original[open + 1..close].trim().to_string())
+}
+
+/// Serializes a circuit back to `.bench` text (round-trip inverse of
+/// [`parse_bench`] up to formatting).
+#[must_use]
+pub fn to_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    for &i in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.net_name(i)));
+    }
+    for &o in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.net_name(o)));
+    }
+    for &gi in circuit.topological_gates() {
+        let g = &circuit.gates()[gi];
+        let func = match g.kind {
+            GateKind::Inv => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        };
+        let args: Vec<&str> = g.inputs.iter().map(|i| circuit.net_name(*i)).collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            circuit.net_name(g.output),
+            func,
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+# a tiny netlist
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)
+y = NOT(n1)
+";
+
+    #[test]
+    fn parses_small_netlist() {
+        let c = parse_bench(SMALL).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.gates().len(), 2);
+        // y = AND(a, b)
+        assert_eq!(c.eval(&[true, true]), vec![true]);
+        assert_eq!(c.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn out_of_order_definitions() {
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(n1)
+n1 = NOT(a)
+";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.eval(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn error_on_unknown_function() {
+        let text = "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n";
+        assert!(matches!(
+            parse_bench(text),
+            Err(ParseBenchError::UnknownFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_undefined_signal() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n";
+        assert!(matches!(
+            parse_bench(text),
+            Err(ParseBenchError::UndefinedSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(matches!(
+            parse_bench("INPUT a\n"),
+            Err(ParseBenchError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_bench("y NOT(a)\n"),
+            Err(ParseBenchError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hi\nINPUT(a)  # trailing\n\nOUTPUT(y)\ny = BUFF(a)\n";
+        let c = parse_bench(text).unwrap();
+        assert_eq!(c.gates().len(), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = parse_bench(SMALL).unwrap();
+        let text = to_bench(&c);
+        let c2 = parse_bench(&text).unwrap();
+        for v in 0..4u8 {
+            let bits = vec![v & 1 == 1, v & 2 == 2];
+            assert_eq!(c.eval(&bits), c2.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn case_preserved_in_names() {
+        let text = "INPUT(MixedCase)\nOUTPUT(Out1)\nOut1 = NOT(MixedCase)\n";
+        let c = parse_bench(text).unwrap();
+        assert!(c.find_net("MixedCase").is_some());
+        assert!(c.find_net("mixedcase").is_none());
+    }
+}

@@ -1,0 +1,330 @@
+//! ISCAS-85 benchmark circuits used in the paper's evaluation (Table I).
+//!
+//! * [`c17`] — the exact 6-NAND netlist, embedded in `.bench` form.
+//! * [`c499`] — a structurally faithful generator for the 32-bit
+//!   single-error-correcting circuit: XOR syndrome trees over 41 inputs
+//!   feeding a two-level decoder and 32 XOR correctors. The original
+//!   netlist is reverse-engineering-encumbered; this surrogate preserves
+//!   the properties the experiments depend on (scale, XOR-dominance,
+//!   reconvergent fan-out, 41 in / 32 out). See `DESIGN.md`.
+//! * [`c1355`] — the same function with every XOR expanded into four NAND2
+//!   gates, exactly the structural relation between the real c499/c1355
+//!   pair.
+//!
+//! After [`crate::to_nor_only`] mapping, the surrogates land near the
+//! paper's reported NOR-gate counts (860 / 2068).
+
+use crate::bench_format::parse_bench;
+use crate::mapping::{to_nor_only, NorMappingOptions};
+use crate::netlist::{Circuit, CircuitBuilder, GateKind, NetId};
+
+/// The exact ISCAS-85 c17 netlist (6 NAND2 gates, 5 inputs, 2 outputs).
+const C17_BENCH: &str = "\
+# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Builds ISCAS-85 c17.
+///
+/// # Example
+///
+/// ```
+/// let c17 = sigcircuit::c17();
+/// assert_eq!(c17.gates().len(), 6);
+/// assert_eq!(c17.inputs().len(), 5);
+/// ```
+#[must_use]
+pub fn c17() -> Circuit {
+    parse_bench(C17_BENCH).expect("embedded netlist is valid")
+}
+
+/// Which XOR realization the error-correction surrogate uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XorStyle {
+    /// XOR2 primitives (c499).
+    Primitive,
+    /// Four NAND2 per XOR (c1355).
+    NandExpanded,
+}
+
+/// Emits an XOR of two nets in the requested style.
+fn emit_xor(
+    b: &mut CircuitBuilder,
+    style: XorStyle,
+    x: NetId,
+    y: NetId,
+    name: &str,
+) -> NetId {
+    match style {
+        XorStyle::Primitive => b.add_gate(GateKind::Xor, &[x, y], name),
+        XorStyle::NandExpanded => {
+            let n1 = b.add_gate(GateKind::Nand, &[x, y], &format!("{name}_n1"));
+            let n2 = b.add_gate(GateKind::Nand, &[x, n1], &format!("{name}_n2"));
+            let n3 = b.add_gate(GateKind::Nand, &[y, n1], &format!("{name}_n3"));
+            b.add_gate(GateKind::Nand, &[n2, n3], name)
+        }
+    }
+}
+
+/// XOR tree over a slice of nets.
+fn xor_tree(b: &mut CircuitBuilder, style: XorStyle, nets: &[NetId], tag: &str) -> NetId {
+    assert!(!nets.is_empty());
+    let mut layer = nets.to_vec();
+    let mut stage = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (i, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                next.push(emit_xor(
+                    b,
+                    style,
+                    pair[0],
+                    pair[1],
+                    &format!("{tag}_s{stage}_{i}"),
+                ));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+        stage += 1;
+    }
+    layer[0]
+}
+
+/// Shared builder for the c499/c1355 surrogates.
+fn error_corrector(style: XorStyle) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    // 41 primary inputs: 32 data, 8 parity, 1 enable.
+    let data: Vec<NetId> = (0..32).map(|i| b.add_input(&format!("d{i}"))).collect();
+    let parity: Vec<NetId> = (0..8).map(|j| b.add_input(&format!("p{j}"))).collect();
+    let enable = b.add_input("en");
+
+    // Syndrome: s_j = p_j XOR (XOR of 8 data bits). The participation
+    // pattern gives each data bit membership in exactly two checks, which
+    // creates the reconvergent fan-out characteristic of the original.
+    let mut syndrome = Vec::with_capacity(8);
+    for j in 0..8 {
+        let members: Vec<NetId> = (0..8).map(|k| data[(j * 4 + k * 5) % 32]).collect();
+        let tree = xor_tree(&mut b, style, &members, &format!("syn{j}"));
+        let s = emit_xor(&mut b, style, tree, parity[j], &format!("s{j}"));
+        syndrome.push(s);
+    }
+
+    // Two 4-to-16 decoders over the syndrome halves.
+    let dec = |b: &mut CircuitBuilder, s: &[NetId], tag: &str| -> Vec<NetId> {
+        let inv: Vec<NetId> = s
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| b.add_gate(GateKind::Inv, &[n], &format!("{tag}_inv{i}")))
+            .collect();
+        (0..16)
+            .map(|code: usize| {
+                let lits: Vec<NetId> = (0..4)
+                    .map(|bit| if code >> bit & 1 == 1 { s[bit] } else { inv[bit] })
+                    .collect();
+                let a01 =
+                    b.add_gate(GateKind::And, &[lits[0], lits[1]], &format!("{tag}_a{code}_0"));
+                let a23 =
+                    b.add_gate(GateKind::And, &[lits[2], lits[3]], &format!("{tag}_a{code}_1"));
+                b.add_gate(GateKind::And, &[a01, a23], &format!("{tag}_dec{code}"))
+            })
+            .collect()
+    };
+    let dec_lo = dec(&mut b, &syndrome[..4], "lo");
+    let dec_hi = dec(&mut b, &syndrome[4..], "hi");
+
+    // Correction: e_i = lo[i % 16] AND hi[h(i)] AND en; out_i = d_i XOR e_i.
+    for i in 0..32 {
+        let lo = dec_lo[i % 16];
+        let hi = dec_hi[(i / 16) * 8 + i % 8];
+        let pair = b.add_gate(GateKind::And, &[lo, hi], &format!("e{i}_pair"));
+        let e = b.add_gate(GateKind::And, &[pair, enable], &format!("e{i}"));
+        let out = emit_xor(&mut b, style, data[i], e, &format!("od{i}"));
+        b.mark_output(out);
+    }
+    b.build().expect("generator produces valid circuits")
+}
+
+/// Builds the c499 surrogate (XOR-primitive error corrector, 41 inputs,
+/// 32 outputs).
+#[must_use]
+pub fn c499() -> Circuit {
+    error_corrector(XorStyle::Primitive)
+}
+
+/// Builds the c1355 surrogate: same function as [`c499`] with XORs expanded
+/// to 4-NAND blocks.
+#[must_use]
+pub fn c1355() -> Circuit {
+    error_corrector(XorStyle::NandExpanded)
+}
+
+/// An ISCAS-85 benchmark instance from Table I, NOR-mapped and annotated.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name, e.g. `"c17"`.
+    pub name: &'static str,
+    /// The original (multi-kind) circuit.
+    pub original: Circuit,
+    /// The NOR-only mapped circuit actually simulated.
+    pub nor_mapped: Circuit,
+}
+
+impl Benchmark {
+    /// Builds one of the Table I benchmarks by name (`"c17"`, `"c499"`,
+    /// `"c1355"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name back as `Err`.
+    pub fn by_name(name: &str) -> Result<Benchmark, String> {
+        let (name, original) = match name {
+            "c17" => ("c17", c17()),
+            "c499" => ("c499", c499()),
+            "c1355" => ("c1355", c1355()),
+            other => return Err(other.to_string()),
+        };
+        // NOR mapping followed by standard fan-out limiting: the paper's
+        // prototype only has FO1/FO2 models, and synthesized netlists keep
+        // fan-outs low by buffering anyway.
+        let nor_mapped = crate::limit_fanout(
+            &to_nor_only(&original, NorMappingOptions::default()),
+            4,
+        );
+        Ok(Benchmark {
+            name,
+            original,
+            nor_mapped,
+        })
+    }
+
+    /// Number of NOR gates in the mapped circuit (Table I's `#NOR-gates`).
+    #[must_use]
+    pub fn nor_gate_count(&self) -> usize {
+        self.nor_mapped.gates().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn c17_structure_and_function() {
+        let c = c17();
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.gates().len(), 6);
+        // Reference function: out22 = NAND(NAND(1,3), NAND(2, NAND(3,6))).
+        let eval = |v: [bool; 5]| c.eval(&v);
+        let reference = |i1: bool, i2: bool, i3: bool, i6: bool, i7: bool| {
+            let n10 = !(i1 & i3);
+            let n11 = !(i3 & i6);
+            let n16 = !(i2 & n11);
+            let n19 = !(n11 & i7);
+            (!(n10 & n16), !(n16 & n19))
+        };
+        for v in 0..32u8 {
+            let bits = [v & 1 != 0, v & 2 != 0, v & 4 != 0, v & 8 != 0, v & 16 != 0];
+            let got = eval(bits);
+            let (o22, o23) = reference(bits[0], bits[1], bits[2], bits[3], bits[4]);
+            assert_eq!(got, vec![o22, o23], "input {bits:?}");
+        }
+    }
+
+    #[test]
+    fn c17_nor_mapping_matches_paper_count() {
+        let bench = Benchmark::by_name("c17").unwrap();
+        assert_eq!(bench.nor_gate_count(), 24, "Table I reports 24 NOR gates");
+        assert!(bench.nor_mapped.is_nor_only());
+    }
+
+    #[test]
+    fn c499_shape() {
+        let c = c499();
+        assert_eq!(c.inputs().len(), 41);
+        assert_eq!(c.outputs().len(), 32);
+        // XOR-dominated like the original.
+        let h = c.gate_histogram();
+        let xors = h.get(&GateKind::Xor).copied().unwrap_or(0);
+        assert!(xors >= 90, "expected XOR-dominance, got {xors}");
+    }
+
+    #[test]
+    fn c499_transparent_when_syndrome_zero() {
+        // With parity chosen so every syndrome bit is 0, the decoders
+        // cannot fire e_i for a "no error" word... but more robustly:
+        // enable=0 forces e_i = 0, so outputs must equal the data inputs.
+        let c = c499();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut v: Vec<bool> = (0..41).map(|_| rng.gen()).collect();
+            v[40] = false; // enable off
+            let out = c.eval(&v);
+            assert_eq!(&out[..], &v[..32], "disabled corrector must pass data");
+        }
+    }
+
+    #[test]
+    fn c1355_same_function_as_c499() {
+        let a = c499();
+        let b = c1355();
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v: Vec<bool> = (0..41).map(|_| rng.gen()).collect();
+            assert_eq!(a.eval(&v), b.eval(&v));
+        }
+    }
+
+    #[test]
+    fn c1355_is_larger() {
+        assert!(c1355().gates().len() > 2 * c499().gates().len());
+    }
+
+    #[test]
+    fn nor_counts_near_paper() {
+        let c499 = Benchmark::by_name("c499").unwrap();
+        let c1355 = Benchmark::by_name("c1355").unwrap();
+        // Paper: 860 and 2068. The surrogates (incl. fan-out buffering,
+        // which the paper's flow performs implicitly via its cell library)
+        // must land in the same regime.
+        let n499 = c499.nor_gate_count();
+        let n1355 = c1355.nor_gate_count();
+        assert!((600..=1300).contains(&n499), "c499 NOR count {n499}");
+        assert!((1600..=2900).contains(&n1355), "c1355 NOR count {n1355}");
+    }
+
+    #[test]
+    fn mapped_benchmarks_stay_equivalent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for name in ["c17", "c499"] {
+            let b = Benchmark::by_name(name).unwrap();
+            let n = b.original.inputs().len();
+            for _ in 0..10 {
+                let v: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+                assert_eq!(b.original.eval(&v), b.nor_mapped.eval(&v), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_rejected() {
+        assert!(Benchmark::by_name("c9999").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Gate-level netlists, ISCAS-85 benchmarks and NOR-only mapping.
+//!
+//! This crate provides the circuit substrate of the reproduction of
+//! *Signal Prediction for Digital Circuits by Sigmoidal Approximations
+//! using Neural Networks* (DATE 2025):
+//!
+//! * [`Circuit`]/[`CircuitBuilder`] — validated combinational netlists with
+//!   topological ordering, levelization, fan-out analysis and boolean
+//!   evaluation,
+//! * [`parse_bench`]/[`to_bench`] — the ISCAS `.bench` netlist format,
+//! * [`to_nor_only`] — technology mapping to 1-/2-input NOR gates (the only
+//!   gates the paper's prototype simulator supports),
+//! * [`c17`], [`c499`], [`c1355`] — the Table I benchmarks (c17 exact;
+//!   c499/c1355 structurally faithful surrogates, see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use sigcircuit::{Benchmark, GateKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = Benchmark::by_name("c17").map_err(|n| format!("unknown {n}"))?;
+//! assert_eq!(bench.nor_gate_count(), 24); // Table I's #NOR-gates for c17
+//! assert!(bench.nor_mapped.is_nor_only());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench_format;
+mod fanout;
+mod iscas;
+mod mapping;
+mod netlist;
+
+pub use bench_format::{parse_bench, to_bench, ParseBenchError};
+pub use fanout::limit_fanout;
+pub use iscas::{c1355, c17, c499, Benchmark};
+pub use mapping::{to_nor_only, NorMappingOptions};
+pub use netlist::{BuildCircuitError, Circuit, CircuitBuilder, Gate, GateKind, NetId};

@@ -1,0 +1,661 @@
+//! Gate-level netlists: nets, gates, validation, topological ordering and
+//! boolean evaluation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a net (signal) in a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub usize);
+
+/// The boolean function of a gate; arity is given by its input list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Inverter (arity 1).
+    Inv,
+    /// Buffer (arity 1).
+    Buf,
+    /// AND (arity ≥ 2).
+    And,
+    /// NAND (arity ≥ 2).
+    Nand,
+    /// OR (arity ≥ 2).
+    Or,
+    /// NOR (arity ≥ 1; a 1-input NOR is an inverter, the form produced by
+    /// NOR-only mapping).
+    Nor,
+    /// XOR (arity 2).
+    Xor,
+    /// XNOR (arity 2).
+    Xnor,
+}
+
+impl GateKind {
+    /// Evaluates the gate on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity violations (validated at circuit construction).
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Inv => {
+                assert_eq!(inputs.len(), 1);
+                !inputs[0]
+            }
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1);
+                inputs[0]
+            }
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => {
+                assert_eq!(inputs.len(), 2);
+                inputs[0] ^ inputs[1]
+            }
+            GateKind::Xnor => {
+                assert_eq!(inputs.len(), 2);
+                !(inputs[0] ^ inputs[1])
+            }
+        }
+    }
+
+    /// Whether `arity` inputs are legal for this gate kind.
+    #[must_use]
+    pub fn arity_ok(&self, arity: usize) -> bool {
+        match self {
+            GateKind::Inv | GateKind::Buf => arity == 1,
+            GateKind::Xor | GateKind::Xnor => arity == 2,
+            GateKind::Nor => arity >= 1,
+            GateKind::And | GateKind::Nand | GateKind::Or => arity >= 2,
+        }
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GateKind::Inv => "INV",
+            GateKind::Buf => "BUF",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Boolean function.
+    pub kind: GateKind,
+    /// Input nets, in order.
+    pub inputs: Vec<NetId>,
+    /// Output net (each net is driven by at most one gate).
+    pub output: NetId,
+}
+
+/// A combinational gate-level circuit.
+///
+/// Built via [`CircuitBuilder`]; construction validates arities, single
+/// drivers and acyclicity, so every constructed circuit has a topological
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    net_names: Vec<String>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+    /// Gate indices in topological order (computed at build time).
+    topo: Vec<usize>,
+}
+
+/// Error building a [`Circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCircuitError {
+    /// A net is driven by more than one gate.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: String,
+    },
+    /// A gate output drives a primary input.
+    DrivesInput {
+        /// The offending net.
+        net: String,
+    },
+    /// Gate has an invalid number of inputs for its kind.
+    BadArity {
+        /// Gate index.
+        gate: usize,
+        /// Gate kind.
+        kind: GateKind,
+        /// Provided arity.
+        arity: usize,
+    },
+    /// A net is read but never driven and is not a primary input.
+    Undriven {
+        /// The floating net.
+        net: String,
+    },
+    /// The gate graph contains a combinational cycle.
+    Cyclic,
+    /// An output was declared that no gate drives and is not an input.
+    UndrivenOutput {
+        /// The output net.
+        net: String,
+    },
+    /// Duplicate net name.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MultipleDrivers { net } => write!(f, "net {net:?} has multiple drivers"),
+            Self::DrivesInput { net } => write!(f, "gate drives primary input {net:?}"),
+            Self::BadArity { gate, kind, arity } => {
+                write!(f, "gate {gate} ({kind}) has invalid arity {arity}")
+            }
+            Self::Undriven { net } => write!(f, "net {net:?} is read but never driven"),
+            Self::Cyclic => write!(f, "circuit contains a combinational cycle"),
+            Self::UndrivenOutput { net } => write!(f, "declared output {net:?} is undriven"),
+            Self::DuplicateName(n) => write!(f, "duplicate net name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildCircuitError {}
+
+impl Circuit {
+    /// Primary input nets.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All gates (unordered; see [`Circuit::topological_gates`]).
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.0]
+    }
+
+    /// Looks up a net by name.
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.iter().position(|n| n == name).map(NetId)
+    }
+
+    /// Gate indices in topological (input→output) order.
+    #[must_use]
+    pub fn topological_gates(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Number of gate inputs reading each net (the net's fan-out); primary
+    /// outputs additionally count as one load each.
+    #[must_use]
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.net_names.len()];
+        for g in &self.gates {
+            for i in &g.inputs {
+                counts[i.0] += 1;
+            }
+        }
+        for o in &self.outputs {
+            counts[o.0] += 1;
+        }
+        counts
+    }
+
+    /// Logic level (longest path in gates) of each net; inputs are level 0.
+    #[must_use]
+    pub fn levels(&self) -> Vec<usize> {
+        let mut level = vec![0usize; self.net_names.len()];
+        for &gi in &self.topo {
+            let g = &self.gates[gi];
+            let max_in = g.inputs.iter().map(|i| level[i.0]).max().unwrap_or(0);
+            level[g.output.0] = max_in + 1;
+        }
+        level
+    }
+
+    /// Circuit depth: the maximum output level.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let levels = self.levels();
+        self.outputs.iter().map(|o| levels[o.0]).max().unwrap_or(0)
+    }
+
+    /// Evaluates the circuit on a boolean input assignment (same order as
+    /// [`Circuit::inputs`]); returns output values (same order as
+    /// [`Circuit::outputs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the input count.
+    #[must_use]
+    pub fn eval(&self, values: &[bool]) -> Vec<bool> {
+        assert_eq!(values.len(), self.inputs.len(), "input count mismatch");
+        let mut nets = vec![false; self.net_names.len()];
+        for (net, &v) in self.inputs.iter().zip(values) {
+            nets[net.0] = v;
+        }
+        let mut buf = Vec::new();
+        for &gi in &self.topo {
+            let g = &self.gates[gi];
+            buf.clear();
+            buf.extend(g.inputs.iter().map(|i| nets[i.0]));
+            nets[g.output.0] = g.kind.eval(&buf);
+        }
+        self.outputs.iter().map(|o| nets[o.0]).collect()
+    }
+
+    /// Per-kind gate counts (for reporting, cf. Table I's `#NOR-gates`).
+    #[must_use]
+    pub fn gate_histogram(&self) -> HashMap<GateKind, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(g.kind).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// `true` if every gate is a NOR (of any arity) — the form accepted by
+    /// the paper's prototype simulator.
+    #[must_use]
+    pub fn is_nor_only(&self) -> bool {
+        self.gates.iter().all(|g| g.kind == GateKind::Nor)
+    }
+}
+
+/// Incrementally builds and validates a [`Circuit`].
+///
+/// # Example
+///
+/// ```
+/// use sigcircuit::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new();
+/// let a = b.add_input("a");
+/// let c = b.add_gate(GateKind::Inv, &[a], "a_n");
+/// b.mark_output(c);
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.eval(&[false]), vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    net_names: Vec<String>,
+    name_index: HashMap<String, NetId>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, name: &str) -> Result<NetId, BuildCircuitError> {
+        if self.name_index.contains_key(name) {
+            return Err(BuildCircuitError::DuplicateName(name.to_string()));
+        }
+        let id = NetId(self.net_names.len());
+        self.net_names.push(name.to_string());
+        self.name_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a primary input net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (use [`CircuitBuilder::try_add_input`] for
+    /// a fallible version).
+    pub fn add_input(&mut self, name: &str) -> NetId {
+        self.try_add_input(name).expect("duplicate input name")
+    }
+
+    /// Adds a primary input net; errors on duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::DuplicateName`] if the name exists.
+    pub fn try_add_input(&mut self, name: &str) -> Result<NetId, BuildCircuitError> {
+        let id = self.intern(name)?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Adds a gate driving a freshly created net named `output_name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or bad arity (use
+    /// [`CircuitBuilder::try_add_gate`] for a fallible version).
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId], output_name: &str) -> NetId {
+        self.try_add_gate(kind, inputs, output_name)
+            .expect("invalid gate")
+    }
+
+    /// Adds a gate driving a new net; errors on duplicates or bad arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] on duplicate name or arity violation.
+    pub fn try_add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output_name: &str,
+    ) -> Result<NetId, BuildCircuitError> {
+        if !kind.arity_ok(inputs.len()) {
+            return Err(BuildCircuitError::BadArity {
+                gate: self.gates.len(),
+                kind,
+                arity: inputs.len(),
+            });
+        }
+        let out = self.intern(output_name)?;
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        Ok(out)
+    }
+
+    /// Declares a net as primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Validates and finalizes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] when structural invariants are violated
+    /// (multiple drivers, cycles, floating nets, undriven outputs).
+    pub fn build(self) -> Result<Circuit, BuildCircuitError> {
+        let n = self.net_names.len();
+        // Driver map.
+        let mut driver: Vec<Option<usize>> = vec![None; n];
+        let is_input: Vec<bool> = {
+            let mut v = vec![false; n];
+            for i in &self.inputs {
+                v[i.0] = true;
+            }
+            v
+        };
+        for (gi, g) in self.gates.iter().enumerate() {
+            if is_input[g.output.0] {
+                return Err(BuildCircuitError::DrivesInput {
+                    net: self.net_names[g.output.0].clone(),
+                });
+            }
+            if driver[g.output.0].is_some() {
+                return Err(BuildCircuitError::MultipleDrivers {
+                    net: self.net_names[g.output.0].clone(),
+                });
+            }
+            driver[g.output.0] = Some(gi);
+        }
+        // All read nets must be driven or inputs.
+        for g in &self.gates {
+            for i in &g.inputs {
+                if !is_input[i.0] && driver[i.0].is_none() {
+                    return Err(BuildCircuitError::Undriven {
+                        net: self.net_names[i.0].clone(),
+                    });
+                }
+            }
+        }
+        for o in &self.outputs {
+            if !is_input[o.0] && driver[o.0].is_none() {
+                return Err(BuildCircuitError::UndrivenOutput {
+                    net: self.net_names[o.0].clone(),
+                });
+            }
+        }
+        // Kahn topological sort over gates.
+        let mut indegree: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|i| driver[i.0].is_some())
+                    .count()
+            })
+            .collect();
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for i in &g.inputs {
+                if let Some(d) = driver[i.0] {
+                    consumers[d].push(gi);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut topo = Vec::with_capacity(self.gates.len());
+        while let Some(gi) = queue.pop() {
+            topo.push(gi);
+            for &c in &consumers[gi] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if topo.len() != self.gates.len() {
+            return Err(BuildCircuitError::Cyclic);
+        }
+        Ok(Circuit {
+            net_names: self.net_names,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            gates: self.gates,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn half_adder() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let sum = b.add_gate(GateKind::Xor, &[a, c], "sum");
+        let carry = b.add_gate(GateKind::And, &[a, c], "carry");
+        b.mark_output(sum);
+        b.mark_output(carry);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn half_adder_truth_table() {
+        let c = half_adder();
+        assert_eq!(c.eval(&[false, false]), vec![false, false]);
+        assert_eq!(c.eval(&[true, false]), vec![true, false]);
+        assert_eq!(c.eval(&[false, true]), vec![true, false]);
+        assert_eq!(c.eval(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn all_gate_kinds_eval() {
+        assert!(GateKind::Inv.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(GateKind::And.eval(&[true, true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(!GateKind::Nor.eval(&[false, true]));
+        assert!(GateKind::Xor.eval(&[true, false]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+    }
+
+    #[test]
+    fn single_input_nor_is_inverter() {
+        assert!(GateKind::Nor.arity_ok(1));
+        assert!(GateKind::Nor.eval(&[false]));
+        assert!(!GateKind::Nor.eval(&[true]));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let x = b.add_gate(GateKind::Inv, &[a], "x");
+        // Manually force a second driver for x.
+        b.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![a],
+            output: x,
+        });
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        // x = INV(y), y = INV(x): construct the cycle manually.
+        let x = NetId(b.net_names.len());
+        b.net_names.push("x".into());
+        let y = NetId(b.net_names.len());
+        b.net_names.push("y".into());
+        b.gates.push(Gate {
+            kind: GateKind::And,
+            inputs: vec![a, y],
+            output: x,
+        });
+        b.gates.push(Gate {
+            kind: GateKind::Inv,
+            inputs: vec![x],
+            output: y,
+        });
+        assert_eq!(b.build().unwrap_err(), BuildCircuitError::Cyclic);
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        assert!(matches!(
+            b.try_add_gate(GateKind::Xor, &[a], "x"),
+            Err(BuildCircuitError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undriven_output() {
+        let mut b = CircuitBuilder::new();
+        let _ = b.add_input("a");
+        let phantom = NetId(b.net_names.len());
+        b.net_names.push("ghost".into());
+        b.outputs.push(phantom);
+        assert!(matches!(
+            b.build(),
+            Err(BuildCircuitError::UndrivenOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn fanout_and_levels() {
+        let c = half_adder();
+        let fo = c.fanout_counts();
+        let a = c.find_net("a").unwrap();
+        assert_eq!(fo[a.0], 2); // read by XOR and AND
+        assert_eq!(c.depth(), 1);
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let n1 = b.add_gate(GateKind::Inv, &[x], "n1");
+        let n2 = b.add_gate(GateKind::Inv, &[n1], "n2");
+        b.mark_output(n2);
+        let chain = b.build().unwrap();
+        assert_eq!(chain.depth(), 2);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let c = half_adder();
+        // Each gate's driven inputs must appear earlier in topo order.
+        let mut seen = std::collections::HashSet::new();
+        for i in c.inputs() {
+            seen.insert(*i);
+        }
+        for &gi in c.topological_gates() {
+            let g = &c.gates()[gi];
+            for i in &g.inputs {
+                assert!(seen.contains(i), "dependency violated");
+            }
+            seen.insert(g.output);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn random_nor_trees_evaluate_consistently(bits in proptest::collection::vec(any::<bool>(), 4)) {
+            // NOR(NOR(a,b), NOR(c,d)) == (a|b) & (c|d)
+            let mut b = CircuitBuilder::new();
+            let ins: Vec<NetId> = (0..4).map(|i| b.add_input(&format!("i{i}"))).collect();
+            let n1 = b.add_gate(GateKind::Nor, &[ins[0], ins[1]], "n1");
+            let n2 = b.add_gate(GateKind::Nor, &[ins[2], ins[3]], "n2");
+            let out = b.add_gate(GateKind::Nor, &[n1, n2], "out");
+            b.mark_output(out);
+            let c = b.build().unwrap();
+            let got = c.eval(&bits)[0];
+            let expect = (bits[0] | bits[1]) & (bits[2] | bits[3]);
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Algorithm 1: output parameter prediction for single-input gates, plus
+//! the sub-threshold pulse removal and the multi-input decision procedure
+//! described in Sec. III.
+
+use std::sync::Arc;
+
+use sigwave::{Level, Sigmoid, SigmoidTrace};
+
+use sigchar::{DUMMY_SLOPE, T_FAR};
+
+use crate::region::ValidRegion;
+use crate::transfer::{TransferFunction, TransferQuery};
+
+/// A gate model: a transfer function plus (optionally) its valid region.
+#[derive(Clone)]
+pub struct GateModel {
+    /// The transfer backend (ANN in the paper, LUT/poly for comparison).
+    pub transfer: Arc<dyn TransferFunction + Send + Sync>,
+    /// Valid-region containment (Sec. IV-B); `None` disables projection
+    /// (an ablation the benchmarks exercise).
+    pub region: Option<Arc<ValidRegion>>,
+}
+
+impl std::fmt::Debug for GateModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateModel")
+            .field("backend", &self.transfer.backend_name())
+            .field("region", &self.region.as_ref().map(|r| r.len()))
+            .finish()
+    }
+}
+
+impl GateModel {
+    /// A model without valid-region projection.
+    #[must_use]
+    pub fn new(transfer: Arc<dyn TransferFunction + Send + Sync>) -> Self {
+        Self {
+            transfer,
+            region: None,
+        }
+    }
+
+    /// Attaches a valid region.
+    #[must_use]
+    pub fn with_region(mut self, region: Arc<ValidRegion>) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    fn predict(&self, query: TransferQuery) -> crate::transfer::TransferPrediction {
+        let q = match &self.region {
+            Some(r) => {
+                // Keep the true polarity even if projection moved a_in
+                // across zero (it cannot for per-polarity regions, but be
+                // defensive).
+                let projected = r.project(query.clamped());
+                TransferQuery {
+                    a_in: projected.a_in.abs() * query.a_in.signum(),
+                    ..projected
+                }
+            }
+            None => query.clamped(),
+        };
+        self.transfer.predict(q)
+    }
+}
+
+/// Options of the prediction algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TomOptions {
+    /// Supply voltage (sub-threshold check threshold is `vdd/2`).
+    pub vdd: f64,
+    /// Remove output transition pairs whose pulse never crosses `vdd/2`
+    /// (Sec. III); disabling this is an ablation knob.
+    pub cancel_subthreshold: bool,
+}
+
+impl Default for TomOptions {
+    fn default() -> Self {
+        Self {
+            vdd: sigwave::VDD_DEFAULT,
+            cancel_subthreshold: true,
+        }
+    }
+}
+
+/// Internal running state of Algorithm 1 (the `Prev` variable plus the
+/// accumulated output list).
+#[derive(Debug)]
+struct OutputState {
+    transitions: Vec<Sigmoid>,
+    initial: Level,
+    options: TomOptions,
+}
+
+impl OutputState {
+    fn new(initial: Level, options: TomOptions) -> Self {
+        Self {
+            transitions: Vec::new(),
+            initial,
+            options,
+        }
+    }
+
+    /// The `Prev` tuple: the last surviving output transition, or the
+    /// dummy `(±s, −∞)` whose polarity matches the initial output level
+    /// (line 1-2 of Algorithm 1).
+    fn prev(&self) -> (f64, f64) {
+        match self.transitions.last() {
+            Some(s) => (s.a, s.b),
+            None => {
+                let a = if self.initial.is_high() {
+                    DUMMY_SLOPE
+                } else {
+                    -DUMMY_SLOPE
+                };
+                (a, f64::NEG_INFINITY)
+            }
+        }
+    }
+
+    /// The polarity the *next* output transition must have.
+    fn expected_rising(&self) -> bool {
+        match self.transitions.last() {
+            Some(s) => !s.is_rising(),
+            None => !self.initial.is_high(),
+        }
+    }
+
+    /// Appends a predicted transition, enforcing alternation/monotonicity
+    /// and applying sub-threshold pulse removal.
+    fn push(&mut self, a_out: f64, b_out: f64) {
+        let expected = self.expected_rising();
+        // Defensive polarity repair: the ANN predicts a signed slope; if
+        // the sign came out wrong (far outside training data), coerce it.
+        let a = if expected { a_out.abs() } else { -a_out.abs() };
+        let a = if a == 0.0 { if expected { 1e-3 } else { -1e-3 } } else { a };
+
+        if let Some(last) = self.transitions.last().copied() {
+            if b_out <= last.b {
+                // Out-of-order schedule: the pulse collapsed entirely —
+                // remove the previous transition and drop this one (the
+                // cancellation rule of single-history models).
+                self.transitions.pop();
+                return;
+            }
+        }
+        self.transitions.push(Sigmoid { a, b: b_out });
+
+        if self.options.cancel_subthreshold {
+            self.cancel_tail_pulses();
+        }
+    }
+
+    /// Removes trailing transition pairs that form sub-threshold pulses
+    /// ("removing two adjacent tuples that would form such a sub-threshold
+    /// pulse", Sec. III).
+    fn cancel_tail_pulses(&mut self) {
+        while self.transitions.len() >= 2 {
+            let s2 = self.transitions[self.transitions.len() - 1];
+            let s1 = self.transitions[self.transitions.len() - 2];
+            let ext = s1.pair_extremum(&s2);
+            let crosses = if ext.is_maximum {
+                // Positive pulse visible iff the pair sum exceeds 1.5
+                // (trace = vdd (sum - offset) crosses vdd/2).
+                ext.sum > 1.5
+            } else {
+                ext.sum < 0.5
+            };
+            if crosses {
+                break;
+            }
+            self.transitions.pop();
+            self.transitions.pop();
+        }
+    }
+
+    fn into_trace(self, vdd: f64) -> SigmoidTrace {
+        SigmoidTrace::from_transitions(self.initial, self.transitions, vdd)
+            .expect("state maintains trace invariants")
+    }
+}
+
+/// Algorithm 1: predicts the output sigmoid trace of a single-input
+/// inverting gate (inverter, or NOR with all other inputs low).
+///
+/// `initial_output` is the gate's settled output level before the first
+/// input transition; for an inverter it is the inverse of the input's
+/// initial level.
+#[must_use]
+pub fn predict_single_input(
+    model: &GateModel,
+    input: &SigmoidTrace,
+    initial_output: Level,
+    options: TomOptions,
+) -> SigmoidTrace {
+    let mut state = OutputState::new(initial_output, options);
+    for sin in input.transitions() {
+        step(model, &mut state, sin);
+    }
+    state.into_trace(options.vdd)
+}
+
+/// One iteration of Algorithm 1's loop body.
+fn step(model: &GateModel, state: &mut OutputState, sin: &Sigmoid) {
+    let (a_prev, b_prev) = state.prev();
+    let t = if b_prev == f64::NEG_INFINITY {
+        T_FAR
+    } else {
+        sin.b - b_prev
+    };
+    let prediction = model.predict(TransferQuery {
+        t,
+        a_in: sin.a,
+        a_prev_out: a_prev,
+    });
+    let b_out = sin.b + prediction.delay;
+    state.push(prediction.a_out, b_out);
+}
+
+/// Multi-input NOR prediction: one Algorithm-1 instance per input plus the
+/// decision procedure selecting the currently relevant input (Sec. III:
+/// "Algorithm 1 can be performed with input I1 as the relevant one as long
+/// as input I2 = GND").
+///
+/// A transition on input `i` is relevant iff every *other* input is low at
+/// that moment (otherwise the NOR output is held low by the other input
+/// and nothing happens at the output).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn predict_nor(
+    model: &GateModel,
+    inputs: &[&SigmoidTrace],
+    options: TomOptions,
+) -> SigmoidTrace {
+    assert!(!inputs.is_empty(), "NOR needs at least one input");
+    if inputs.len() == 1 {
+        let initial = if inputs[0].initial().is_high() {
+            Level::Low
+        } else {
+            Level::High
+        };
+        return predict_single_input(model, inputs[0], initial, options);
+    }
+    // Merge transitions from all inputs, tagged with their source.
+    let mut events: Vec<(usize, Sigmoid)> = Vec::new();
+    for (i, tr) in inputs.iter().enumerate() {
+        for s in tr.transitions() {
+            events.push((i, *s));
+        }
+    }
+    events.sort_by(|a, b| a.1.b.total_cmp(&b.1.b));
+
+    // Track digital levels of all inputs (by crossing time).
+    let mut levels: Vec<bool> = inputs.iter().map(|t| t.initial().is_high()).collect();
+    let initial_out = Level::from_bool(!levels.iter().any(|&l| l));
+    let mut state = OutputState::new(initial_out, options);
+
+    for (src, sin) in events {
+        let others_low = levels
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| i == src || !l);
+        if others_low {
+            step(model, &mut state, &sin);
+        }
+        levels[src] = sin.is_rising();
+    }
+    state.into_trace(options.vdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::{TransferPrediction, TransferFunction};
+    use sigwave::VDD_DEFAULT;
+
+    /// A deterministic mock transfer: fixed delay, slope mirrors input
+    /// with degradation for small T.
+    struct MockTransfer {
+        delay: f64,
+    }
+
+    impl TransferFunction for MockTransfer {
+        fn predict(&self, q: TransferQuery) -> TransferPrediction {
+            let degradation = 1.0 - (-q.t / 0.2).exp();
+            TransferPrediction {
+                a_out: -q.a_in.signum() * 15.0 * degradation.max(0.05),
+                delay: self.delay,
+            }
+        }
+        fn backend_name(&self) -> &'static str {
+            "mock"
+        }
+    }
+
+    fn model(delay: f64) -> GateModel {
+        GateModel::new(Arc::new(MockTransfer { delay }))
+    }
+
+    fn trace(transitions: Vec<Sigmoid>, initial: Level) -> SigmoidTrace {
+        SigmoidTrace::from_transitions(initial, transitions, VDD_DEFAULT).unwrap()
+    }
+
+    #[test]
+    fn single_transition_prediction() {
+        let input = trace(vec![Sigmoid::rising(10.0, 1.0)], Level::Low);
+        let out = predict_single_input(&model(0.06), &input, Level::High, TomOptions::default());
+        assert_eq!(out.initial(), Level::High);
+        assert_eq!(out.len(), 1);
+        let s = out.transitions()[0];
+        assert!(!s.is_rising());
+        assert!((s.b - 1.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_pulse_passes_through() {
+        let input = trace(
+            vec![Sigmoid::rising(20.0, 1.0), Sigmoid::falling(20.0, 2.0)],
+            Level::Low,
+        );
+        let out = predict_single_input(&model(0.05), &input, Level::High, TomOptions::default());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn subthreshold_pulse_is_cancelled() {
+        // Input transitions 4 ps apart: T for the second is tiny, the mock
+        // degrades the output slope to near zero -> the output pulse never
+        // develops and must be removed.
+        let input = trace(
+            vec![Sigmoid::rising(20.0, 1.0), Sigmoid::falling(20.0, 1.04)],
+            Level::Low,
+        );
+        let out = predict_single_input(&model(0.05), &input, Level::High, TomOptions::default());
+        assert!(
+            out.is_empty(),
+            "degenerate pulse should cancel, got {:?}",
+            out.transitions()
+        );
+        // Ablation: with cancellation off the transitions remain.
+        let opts = TomOptions {
+            cancel_subthreshold: false,
+            ..TomOptions::default()
+        };
+        let out = predict_single_input(&model(0.05), &input, Level::High, opts);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_schedule_cancels() {
+        // Make the second event schedule before the first: huge delay for
+        // the first input transition only.
+        struct WeirdTransfer;
+        impl TransferFunction for WeirdTransfer {
+            fn predict(&self, q: TransferQuery) -> TransferPrediction {
+                let delay = if q.a_in > 0.0 { 0.5 } else { 0.01 };
+                TransferPrediction {
+                    a_out: -q.a_in.signum() * 10.0,
+                    delay,
+                }
+            }
+            fn backend_name(&self) -> &'static str {
+                "weird"
+            }
+        }
+        let m = GateModel::new(Arc::new(WeirdTransfer));
+        let input = trace(
+            vec![Sigmoid::rising(20.0, 1.0), Sigmoid::falling(20.0, 1.1)],
+            Level::Low,
+        );
+        // First: out falls at 1.5; second: out would rise at 1.11 <= 1.5 ->
+        // both cancel.
+        let out = predict_single_input(&m, &input, Level::High, TomOptions::default());
+        assert!(out.is_empty(), "got {:?}", out.transitions());
+    }
+
+    #[test]
+    fn polarity_repair_keeps_alternation() {
+        // A transfer that always predicts positive slopes: the state must
+        // still produce an alternating, valid trace.
+        struct BrokenSign;
+        impl TransferFunction for BrokenSign {
+            fn predict(&self, _q: TransferQuery) -> TransferPrediction {
+                TransferPrediction {
+                    a_out: 42.0,
+                    delay: 0.05,
+                }
+            }
+            fn backend_name(&self) -> &'static str {
+                "broken"
+            }
+        }
+        let m = GateModel::new(Arc::new(BrokenSign));
+        let input = trace(
+            vec![Sigmoid::rising(20.0, 1.0), Sigmoid::falling(20.0, 2.0)],
+            Level::Low,
+        );
+        let out = predict_single_input(&m, &input, Level::High, TomOptions::default());
+        assert_eq!(out.len(), 2);
+        assert!(!out.transitions()[0].is_rising());
+        assert!(out.transitions()[1].is_rising());
+    }
+
+    #[test]
+    fn nor_relevant_input_selection() {
+        // I2 stays low: I1 transitions drive the output (inverted).
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 2.0)],
+            Level::Low,
+        );
+        let i2 = SigmoidTrace::constant(Level::Low, VDD_DEFAULT);
+        let out = predict_nor(&model(0.05), &[&i1, &i2], TomOptions::default());
+        assert_eq!(out.initial(), Level::High);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn nor_masked_input_is_ignored() {
+        // I2 high the whole time: I1 transitions are irrelevant, output
+        // stays low.
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 2.0)],
+            Level::Low,
+        );
+        let i2 = SigmoidTrace::constant(Level::High, VDD_DEFAULT);
+        let out = predict_nor(&model(0.05), &[&i1, &i2], TomOptions::default());
+        assert_eq!(out.initial(), Level::Low);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nor_handover_between_inputs() {
+        // I1 rises (output falls); then I2 rises while I1 high (masked);
+        // I1 falls while I2 high (masked); I2 falls last with I1 low ->
+        // output rises again.
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 3.0)],
+            Level::Low,
+        );
+        let i2 = trace(
+            vec![Sigmoid::rising(15.0, 2.0), Sigmoid::falling(15.0, 4.0)],
+            Level::Low,
+        );
+        let out = predict_nor(&model(0.05), &[&i1, &i2], TomOptions::default());
+        assert_eq!(out.initial(), Level::High);
+        assert_eq!(out.len(), 2, "{:?}", out.transitions());
+        assert!(!out.transitions()[0].is_rising());
+        assert!((out.transitions()[0].b - 1.05).abs() < 1e-9);
+        assert!((out.transitions()[1].b - 4.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nor3_only_relevant_when_both_others_low() {
+        // Three inputs; I2 and I3 trade places being high: only windows
+        // where BOTH are low let I1 drive the output.
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 5.0)],
+            Level::Low,
+        );
+        let i2 = trace(
+            vec![Sigmoid::rising(15.0, 2.0), Sigmoid::falling(15.0, 3.0)],
+            Level::Low,
+        );
+        let i3 = SigmoidTrace::constant(Level::Low, VDD_DEFAULT);
+        let out = predict_nor(&model(0.05), &[&i1, &i2, &i3], TomOptions::default());
+        // I1 rise at 1.0 -> out falls; I2 pulse 2..3 is masked by I1 high;
+        // I1 fall at 5.0 -> out rises.
+        assert_eq!(out.len(), 2, "{:?}", out.transitions());
+        assert!((out.transitions()[0].b - 1.05).abs() < 1e-9);
+        assert!((out.transitions()[1].b - 5.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nor_initial_level_from_inputs() {
+        // Any input initially high -> output initially low.
+        let hi = SigmoidTrace::constant(Level::High, VDD_DEFAULT);
+        let lo = SigmoidTrace::constant(Level::Low, VDD_DEFAULT);
+        let out = predict_nor(&model(0.05), &[&hi, &lo], TomOptions::default());
+        assert_eq!(out.initial(), Level::Low);
+        let out = predict_nor(&model(0.05), &[&lo, &lo], TomOptions::default());
+        assert_eq!(out.initial(), Level::High);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let input = SigmoidTrace::constant(Level::Low, VDD_DEFAULT);
+        let out = predict_single_input(&model(0.05), &input, Level::High, TomOptions::default());
+        assert!(out.is_empty());
+        assert_eq!(out.initial(), Level::High);
+    }
+}

@@ -1,0 +1,313 @@
+//! The ANN transfer-function backend (Sec. IV): four MLPs per gate input —
+//! `{rising, falling} × {output slope, output delay}` — each using the
+//! paper's `3 → 10 → 10 → 5 → 1` ReLU architecture.
+
+use serde::{Deserialize, Serialize};
+use signn::{train_with_validation, Mlp, ScaledModel, Standardizer, TrainConfig};
+
+use sigchar::Dataset;
+
+use crate::transfer::{TransferFunction, TransferPrediction, TransferQuery};
+
+/// Training configuration for one [`AnnTransfer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnTrainConfig {
+    /// Epochs per network.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Seed for initialization and shuffling.
+    pub seed: u64,
+    /// Early-stopping patience (0 = off).
+    pub patience: usize,
+    /// Fraction of the data used for training (rest validates).
+    pub train_fraction: f64,
+}
+
+impl Default for AnnTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 1500,
+            batch_size: 32,
+            learning_rate: 4e-3,
+            seed: 0x5160,
+            patience: 200,
+            train_fraction: 0.85,
+        }
+    }
+}
+
+impl AnnTrainConfig {
+    /// A fast configuration for tests/CI.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            epochs: 350,
+            patience: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Error training a transfer function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainTransferError {
+    /// A polarity half of the dataset is empty.
+    EmptyPolarity {
+        /// `"rising"` or `"falling"`.
+        which: &'static str,
+    },
+}
+
+impl std::fmt::Display for TrainTransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyPolarity { which } => {
+                write!(f, "dataset has no {which} samples to train on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainTransferError {}
+
+/// One trained scalar network (features → slope or delay).
+fn train_scalar(
+    samples: &[sigchar::TransferSample],
+    target: impl Fn(&sigchar::TransferSample) -> f64,
+    config: &AnnTrainConfig,
+    seed_offset: u64,
+) -> ScaledModel {
+    let raw_x: Vec<Vec<f64>> = samples.iter().map(|s| s.features().to_vec()).collect();
+    let raw_y: Vec<Vec<f64>> = samples.iter().map(|s| vec![target(s)]).collect();
+    let in_scaler = Standardizer::fit(&raw_x);
+    let out_scaler = Standardizer::fit(&raw_y);
+    let xs: Vec<Vec<f64>> = raw_x.iter().map(|r| in_scaler.transform(r)).collect();
+    let ys: Vec<Vec<f64>> = raw_y.iter().map(|r| out_scaler.transform(r)).collect();
+    // Deterministic interleaved split.
+    let k = ((1.0 / (1.0 - config.train_fraction)).round() as usize).max(2);
+    let mut tx = Vec::new();
+    let mut ty = Vec::new();
+    let mut vx = Vec::new();
+    let mut vy = Vec::new();
+    for (i, (x, y)) in xs.into_iter().zip(ys).enumerate() {
+        if i % k == k - 1 {
+            vx.push(x);
+            vy.push(y);
+        } else {
+            tx.push(x);
+            ty.push(y);
+        }
+    }
+    if tx.is_empty() {
+        std::mem::swap(&mut tx, &mut vx);
+        std::mem::swap(&mut ty, &mut vy);
+    }
+    let mut mlp = Mlp::paper_architecture(3, config.seed ^ seed_offset);
+    let train_cfg = TrainConfig {
+        epochs: config.epochs,
+        batch_size: config.batch_size,
+        learning_rate: config.learning_rate,
+        seed: config.seed ^ seed_offset,
+        patience: config.patience,
+    };
+    let _ = train_with_validation(&mut mlp, &tx, &ty, &vx, &vy, &train_cfg);
+    ScaledModel::new(mlp, in_scaler, out_scaler)
+}
+
+/// The paper's transfer-function implementation: four MLPs covering
+/// `{F↑, F↓} × {slope, delay}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnTransfer {
+    rise_slope: ScaledModel,
+    rise_delay: ScaledModel,
+    fall_slope: ScaledModel,
+    fall_delay: ScaledModel,
+}
+
+impl AnnTransfer {
+    /// Trains the four networks from a characterization dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainTransferError`] if either polarity has no samples.
+    pub fn train(dataset: &Dataset, config: &AnnTrainConfig) -> Result<Self, TrainTransferError> {
+        if dataset.rising.is_empty() {
+            return Err(TrainTransferError::EmptyPolarity { which: "rising" });
+        }
+        if dataset.falling.is_empty() {
+            return Err(TrainTransferError::EmptyPolarity { which: "falling" });
+        }
+        Ok(Self {
+            rise_slope: train_scalar(&dataset.rising, |s| s.a_out, config, 0x01),
+            rise_delay: train_scalar(&dataset.rising, |s| s.delay, config, 0x02),
+            fall_slope: train_scalar(&dataset.falling, |s| s.a_out, config, 0x03),
+            fall_delay: train_scalar(&dataset.falling, |s| s.delay, config, 0x04),
+        })
+    }
+
+    /// Serializes to JSON (the trained-model artifact).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Loads from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` errors.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl TransferFunction for AnnTransfer {
+    fn predict(&self, query: TransferQuery) -> TransferPrediction {
+        let q = query.clamped();
+        let x = q.features();
+        let (slope_net, delay_net) = if q.a_in > 0.0 {
+            (&self.rise_slope, &self.rise_delay)
+        } else {
+            (&self.fall_slope, &self.fall_delay)
+        };
+        TransferPrediction {
+            a_out: slope_net.predict(&x)[0],
+            delay: delay_net.predict(&x)[0],
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "ann"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigchar::{Dataset, GateTag, TransferSample, T_FAR};
+
+    /// A synthetic dataset following a known smooth transfer law, so the
+    /// ANN's approximation quality can be verified exactly.
+    pub(crate) fn synthetic_dataset(n: usize) -> Dataset {
+        // Continuous coverage of (T, a_in), like real characterization data
+        // where slopes vary smoothly across the sweep.
+        let mut d = Dataset::new(GateTag::NorFo1);
+        for i in 0..n {
+            let t = 0.05 + (i as f64 / n as f64) * (T_FAR - 0.05);
+            for j in 0..8 {
+                let mag = 6.0 + 3.0 * j as f64 + 1.3 * (i % 3) as f64;
+                for &a_in in &[mag, -mag] {
+                    let a_prev = if a_in > 0.0 { 10.0 } else { -10.0 };
+                    d.push(law(t, a_in, a_prev));
+                }
+            }
+        }
+        d
+    }
+
+    /// The synthetic "ground truth" transfer law: delay decays with T,
+    /// output slope grows with |a_in| and degrades for small T.
+    pub(crate) fn law(t: f64, a_in: f64, a_prev_out: f64) -> TransferSample {
+        let degradation = 1.0 - (-t / 0.3).exp();
+        let delay = 0.05 + 0.02 * (-t / 0.5).exp() + 0.2 / a_in.abs();
+        let a_out_mag = (8.0 + 0.5 * a_in.abs()) * degradation;
+        TransferSample {
+            t,
+            a_in,
+            a_prev_out,
+            a_out: if a_in > 0.0 { -a_out_mag } else { a_out_mag },
+            delay,
+        }
+    }
+
+    #[test]
+    fn learns_synthetic_law() {
+        let data = synthetic_dataset(60);
+        let ann = AnnTransfer::train(&data, &AnnTrainConfig::fast()).unwrap();
+        // Probe interior points not exactly on the training grid.
+        let mut worst_delay = 0.0f64;
+        let mut worst_slope = 0.0f64;
+        for &t in &[0.2, 0.7, 1.3, 2.2] {
+            for &a_in in &[8.0, -18.0] {
+                let a_prev = if a_in > 0.0 { 10.0 } else { -10.0 };
+                let truth = law(t, a_in, a_prev);
+                let p = ann.predict(TransferQuery {
+                    t,
+                    a_in,
+                    a_prev_out: a_prev,
+                });
+                worst_delay = worst_delay.max((p.delay - truth.delay).abs());
+                worst_slope =
+                    worst_slope.max((p.a_out - truth.a_out).abs() / truth.a_out.abs());
+            }
+        }
+        assert!(worst_delay < 0.02, "delay error {worst_delay} (2 ps)");
+        assert!(worst_slope < 0.15, "relative slope error {worst_slope}");
+    }
+
+    #[test]
+    fn polarity_routing() {
+        let data = synthetic_dataset(30);
+        let ann = AnnTransfer::train(&data, &AnnTrainConfig::fast()).unwrap();
+        let up = ann.predict(TransferQuery {
+            t: 1.0,
+            a_in: 10.0,
+            a_prev_out: 10.0,
+        });
+        let down = ann.predict(TransferQuery {
+            t: 1.0,
+            a_in: -10.0,
+            a_prev_out: -10.0,
+        });
+        // Inverting gate: rising input -> falling output and vice versa.
+        assert!(up.a_out < 0.0, "{up:?}");
+        assert!(down.a_out > 0.0, "{down:?}");
+    }
+
+    #[test]
+    fn empty_polarity_rejected() {
+        let mut d = Dataset::new(GateTag::Inverter);
+        d.push(law(1.0, 5.0, 10.0));
+        let err = AnnTransfer::train(&d, &AnnTrainConfig::fast()).unwrap_err();
+        assert_eq!(err, TrainTransferError::EmptyPolarity { which: "falling" });
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data = synthetic_dataset(10);
+        let ann = AnnTransfer::train(&data, &AnnTrainConfig::fast()).unwrap();
+        let json = ann.to_json().unwrap();
+        let back = AnnTransfer::from_json(&json).unwrap();
+        let q = TransferQuery {
+            t: 0.5,
+            a_in: 9.0,
+            a_prev_out: 11.0,
+        };
+        assert_eq!(ann.predict(q), back.predict(q));
+        assert_eq!(ann.backend_name(), "ann");
+    }
+
+    #[test]
+    fn far_history_plateau() {
+        // Queries beyond T_FAR must behave like T_FAR (clamping).
+        let data = synthetic_dataset(30);
+        let ann = AnnTransfer::train(&data, &AnnTrainConfig::fast()).unwrap();
+        let at_far = ann.predict(TransferQuery {
+            t: T_FAR,
+            a_in: 10.0,
+            a_prev_out: 10.0,
+        });
+        let beyond = ann.predict(TransferQuery {
+            t: 50.0,
+            a_in: 10.0,
+            a_prev_out: 10.0,
+        });
+        assert_eq!(at_far, beyond);
+    }
+}

@@ -1,0 +1,277 @@
+//! Non-ANN transfer-function backends the paper mentions generating "for
+//! comparison purposes": a look-up-table style nearest-neighbour regressor
+//! and an interpolation polynomial.
+
+use serde::{Deserialize, Serialize};
+
+use sigchar::{Dataset, TransferSample};
+
+use crate::ann::TrainTransferError;
+use crate::transfer::{TransferFunction, TransferPrediction, TransferQuery};
+
+/// A look-up-table backend: inverse-distance-weighted k-nearest-neighbour
+/// regression over the characterization samples (the scattered-data
+/// generalization of a delay table like CSM/ECSM lookup).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LutTransfer {
+    rising: Vec<TransferSample>,
+    falling: Vec<TransferSample>,
+    scales: [f64; 3],
+    k: usize,
+}
+
+impl LutTransfer {
+    /// Builds the table from a dataset with `k` neighbours per query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainTransferError`] if a polarity half is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn build(dataset: &Dataset, k: usize) -> Result<Self, TrainTransferError> {
+        assert!(k > 0, "k must be positive");
+        if dataset.rising.is_empty() {
+            return Err(TrainTransferError::EmptyPolarity { which: "rising" });
+        }
+        if dataset.falling.is_empty() {
+            return Err(TrainTransferError::EmptyPolarity { which: "falling" });
+        }
+        // Axis scales from the full data spread.
+        let mut scales = [1.0f64; 3];
+        for axis in 0..3 {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for s in dataset.rising.iter().chain(&dataset.falling) {
+                let f = s.features();
+                lo = lo.min(f[axis]);
+                hi = hi.max(f[axis]);
+            }
+            let spread = hi - lo;
+            scales[axis] = if spread > 1e-12 { spread } else { 1.0 };
+        }
+        Ok(Self {
+            rising: dataset.rising.clone(),
+            falling: dataset.falling.clone(),
+            scales,
+            k,
+        })
+    }
+
+    fn weighted(&self, samples: &[TransferSample], q: &TransferQuery) -> TransferPrediction {
+        let qf = q.features();
+        // Collect (distance², sample) of the k nearest (linear scan: the
+        // LUT baseline is about accuracy, not speed).
+        let mut best: Vec<(f64, &TransferSample)> = Vec::with_capacity(self.k + 1);
+        for s in samples {
+            let f = s.features();
+            let mut d2 = 0.0;
+            for a in 0..3 {
+                let d = (f[a] - qf[a]) / self.scales[a];
+                d2 += d * d;
+            }
+            let pos = best.partition_point(|(bd, _)| *bd < d2);
+            if pos < self.k {
+                best.insert(pos, (d2, s));
+                best.truncate(self.k);
+            }
+        }
+        let mut wsum = 0.0;
+        let mut a_out = 0.0;
+        let mut delay = 0.0;
+        for (d2, s) in &best {
+            let w = 1.0 / (d2 + 1e-9);
+            wsum += w;
+            a_out += w * s.a_out;
+            delay += w * s.delay;
+        }
+        TransferPrediction {
+            a_out: a_out / wsum,
+            delay: delay / wsum,
+        }
+    }
+}
+
+impl TransferFunction for LutTransfer {
+    fn predict(&self, query: TransferQuery) -> TransferPrediction {
+        let q = query.clamped();
+        let samples = if q.a_in > 0.0 {
+            &self.rising
+        } else {
+            &self.falling
+        };
+        self.weighted(samples, &q)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "lut"
+    }
+}
+
+/// A quadratic interpolation-polynomial backend: ridge-regularized least
+/// squares over the 10 monomials of degree ≤ 2 in `(T, a_in, a_prev_out)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolyTransfer {
+    rise_slope: [f64; 10],
+    rise_delay: [f64; 10],
+    fall_slope: [f64; 10],
+    fall_delay: [f64; 10],
+}
+
+fn monomials(f: [f64; 3]) -> [f64; 10] {
+    let [x, y, z] = f;
+    [1.0, x, y, z, x * x, y * y, z * z, x * y, x * z, y * z]
+}
+
+fn ridge_fit(samples: &[TransferSample], target: impl Fn(&TransferSample) -> f64) -> [f64; 10] {
+    // Normal equations (XᵀX + λI) w = Xᵀy via sigfit's Cholesky.
+    use sigfit::linalg::Matrix;
+    let m = samples.len();
+    let x = Matrix::from_fn(m, 10, |i, j| monomials(samples[i].features())[j]);
+    let y: Vec<f64> = samples.iter().map(&target).collect();
+    let mut gram = x.gram();
+    for i in 0..10 {
+        gram[(i, i)] += 1e-6 * (m as f64);
+    }
+    let rhs = x.transpose_mul_vec(&y);
+    let w = gram
+        .cholesky_solve(&rhs)
+        .expect("ridge-regularized Gram matrix is SPD");
+    let mut out = [0.0; 10];
+    out.copy_from_slice(&w);
+    out
+}
+
+impl PolyTransfer {
+    /// Fits the four polynomials from a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainTransferError`] if a polarity half is empty.
+    pub fn fit(dataset: &Dataset) -> Result<Self, TrainTransferError> {
+        if dataset.rising.is_empty() {
+            return Err(TrainTransferError::EmptyPolarity { which: "rising" });
+        }
+        if dataset.falling.is_empty() {
+            return Err(TrainTransferError::EmptyPolarity { which: "falling" });
+        }
+        Ok(Self {
+            rise_slope: ridge_fit(&dataset.rising, |s| s.a_out),
+            rise_delay: ridge_fit(&dataset.rising, |s| s.delay),
+            fall_slope: ridge_fit(&dataset.falling, |s| s.a_out),
+            fall_delay: ridge_fit(&dataset.falling, |s| s.delay),
+        })
+    }
+}
+
+impl TransferFunction for PolyTransfer {
+    fn predict(&self, query: TransferQuery) -> TransferPrediction {
+        let q = query.clamped();
+        let phi = monomials(q.features());
+        let (ws, wd) = if q.a_in > 0.0 {
+            (&self.rise_slope, &self.rise_delay)
+        } else {
+            (&self.fall_slope, &self.fall_delay)
+        };
+        let dot = |w: &[f64; 10]| w.iter().zip(&phi).map(|(a, b)| a * b).sum::<f64>();
+        TransferPrediction {
+            a_out: dot(ws),
+            delay: dot(wd),
+        }
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "poly"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigchar::{Dataset, GateTag, T_FAR};
+
+    fn synthetic(n: usize) -> Dataset {
+        // Quadratic-friendly law so the polynomial can fit it well.
+        let mut d = Dataset::new(GateTag::NorFo1);
+        for i in 0..n {
+            let t = 0.1 + (i as f64 / n as f64) * (T_FAR - 0.1);
+            for &a_in in &[5.0f64, 10.0, 20.0, -5.0, -10.0, -20.0] {
+                let a_prev = -a_in * 0.8;
+                let delay = 0.04 + 0.01 * t - 0.001 * t * t + 0.3 / a_in.abs();
+                let a_out = -a_in * 0.9 + 0.2 * t;
+                d.push(TransferSample {
+                    t,
+                    a_in,
+                    a_prev_out: a_prev,
+                    a_out,
+                    delay,
+                });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn lut_exact_on_training_points() {
+        let d = synthetic(20);
+        let lut = LutTransfer::build(&d, 1).unwrap();
+        let s = d.rising[7];
+        let p = lut.predict(TransferQuery {
+            t: s.t,
+            a_in: s.a_in,
+            a_prev_out: s.a_prev_out,
+        });
+        assert!((p.a_out - s.a_out).abs() < 1e-6);
+        assert!((p.delay - s.delay).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lut_interpolates_smoothly() {
+        let d = synthetic(40);
+        let lut = LutTransfer::build(&d, 4).unwrap();
+        let p = lut.predict(TransferQuery {
+            t: 1.234,
+            a_in: 10.0,
+            a_prev_out: -8.0,
+        });
+        // Neighbours bound the prediction.
+        assert!(p.delay > 0.03 && p.delay < 0.1, "{p:?}");
+    }
+
+    #[test]
+    fn poly_fits_quadratic_law_closely() {
+        let d = synthetic(30);
+        let poly = PolyTransfer::fit(&d).unwrap();
+        let q = TransferQuery {
+            t: 1.5,
+            a_in: 12.0,
+            a_prev_out: -9.6,
+        };
+        let truth_delay = 0.04 + 0.01 * 1.5 - 0.001 * 1.5 * 1.5 + 0.3 / 12.0;
+        let truth_a = -12.0 * 0.9 + 0.2 * 1.5;
+        let p = poly.predict(q);
+        assert!((p.delay - truth_delay).abs() < 5e-3, "{p:?} vs {truth_delay}");
+        assert!((p.a_out - truth_a).abs() / truth_a.abs() < 0.05);
+    }
+
+    #[test]
+    fn backends_report_names() {
+        let d = synthetic(5);
+        assert_eq!(LutTransfer::build(&d, 2).unwrap().backend_name(), "lut");
+        assert_eq!(PolyTransfer::fit(&d).unwrap().backend_name(), "poly");
+    }
+
+    #[test]
+    fn empty_polarity_rejected() {
+        let mut d = Dataset::new(GateTag::Inverter);
+        d.push(TransferSample {
+            t: 1.0,
+            a_in: 5.0,
+            a_prev_out: -5.0,
+            a_out: -7.0,
+            delay: 0.05,
+        });
+        assert!(LutTransfer::build(&d, 2).is_err());
+        assert!(PolyTransfer::fit(&d).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Event-driven digital timing simulation with classic delay channels.
+//!
+//! This crate is the reproduction's substitute for ModelSim in *Signal
+//! Prediction for Digital Circuits by Sigmoidal Approximations using Neural
+//! Networks* (DATE 2025): a digital dynamic timing simulator over gate-level
+//! netlists, where logic evaluation is instantaneous and all timing lives in
+//! per-gate *delay channels*:
+//!
+//! * [`PureDelay`] and [`InertialDelay`] — the standard channels digital
+//!   simulators provide,
+//! * [`DdmChannel`] — the Delay Degradation Model (single-history),
+//! * [`IdmChannel`] — an exponential Involution Delay Model channel pair.
+//!
+//! Per-gate delays are extracted from analog characterization runs (see the
+//! `sigchar` crate), mirroring the paper's Genus/Innovus extraction flow.
+//!
+//! # Example
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use digilog::{simulate, GateChannels, PureDelay};
+//! use sigcircuit::{CircuitBuilder, GateKind};
+//! use sigwave::{DigitalTrace, Level};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CircuitBuilder::new();
+//! let a = b.add_input("a");
+//! let y = b.add_gate(GateKind::Inv, &[a], "y");
+//! b.mark_output(y);
+//! let circuit = b.build()?;
+//!
+//! let mut stimuli = HashMap::new();
+//! stimuli.insert(a, DigitalTrace::new(Level::Low, vec![10e-12])?);
+//! let channels = GateChannels::uniform(&circuit, PureDelay::symmetric(5e-12));
+//! let result = simulate(&circuit, &stimuli, &channels)?;
+//! assert_eq!(result.trace(y).toggles(), &[15e-12]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod sim;
+
+pub use channel::{
+    apply_channel, DdmChannel, DelayChannel, IdmChannel, InertialDelay, PureDelay,
+};
+pub use sim::{
+    ideal_gate_output, simulate, DigitalSimError, DigitalSimResult, GateChannels,
+};

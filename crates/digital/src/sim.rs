@@ -1,0 +1,398 @@
+//! Circuit-level digital timing simulation.
+//!
+//! Gates are evaluated in topological order: the zero-time boolean output
+//! trace of each gate is computed by merging its input traces, then pushed
+//! through the gate's delay channel. This is the architecture of digital
+//! dynamic timing analysis (and of the involution tool): logic is
+//! instantaneous, all timing lives in the channels.
+
+use std::collections::HashMap;
+
+use sigwave::{DigitalTrace, Level};
+
+use sigcircuit::{Circuit, GateKind, NetId};
+
+use crate::channel::{apply_channel, DelayChannel};
+
+/// Computes the ideal (zero-delay) output trace of a gate from its input
+/// traces by sweeping the merged event list.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn ideal_gate_output(kind: GateKind, inputs: &[&DigitalTrace]) -> DigitalTrace {
+    assert!(!inputs.is_empty(), "gate needs at least one input trace");
+    // Merge all toggle times.
+    let mut events: Vec<f64> = inputs.iter().flat_map(|t| t.toggles().iter().copied()).collect();
+    events.sort_by(f64::total_cmp);
+    events.dedup();
+
+    let mut levels: Vec<Level> = inputs.iter().map(|t| t.initial()).collect();
+    let eval = |levels: &[Level]| {
+        let bits: Vec<bool> = levels.iter().map(|l| l.is_high()).collect();
+        Level::from_bool(kind.eval(&bits))
+    };
+    let initial = eval(&levels);
+    let mut cur = initial;
+    let mut toggles = Vec::new();
+    let mut cursor = vec![0usize; inputs.len()];
+    for &t in &events {
+        for (i, trace) in inputs.iter().enumerate() {
+            while cursor[i] < trace.len() && trace.toggles()[cursor[i]] <= t {
+                levels[i] = levels[i].inverted();
+                cursor[i] += 1;
+            }
+        }
+        let new = eval(&levels);
+        if new != cur {
+            toggles.push(t);
+            cur = new;
+        }
+    }
+    DigitalTrace::new(initial, toggles).expect("merged events are increasing")
+}
+
+/// Per-gate channel assignment for a circuit simulation.
+pub struct GateChannels {
+    channels: Vec<Box<dyn DelayChannel + Send + Sync>>,
+}
+
+impl std::fmt::Debug for GateChannels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateChannels")
+            .field("gates", &self.channels.len())
+            .finish()
+    }
+}
+
+impl GateChannels {
+    /// One boxed channel per gate, in gate-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (later, at simulation time) if the count does not match the
+    /// circuit's gate count.
+    #[must_use]
+    pub fn new(channels: Vec<Box<dyn DelayChannel + Send + Sync>>) -> Self {
+        Self { channels }
+    }
+
+    /// The same channel (cloned) for every gate of a circuit.
+    #[must_use]
+    pub fn uniform<C>(circuit: &Circuit, channel: C) -> Self
+    where
+        C: DelayChannel + Clone + Send + Sync + 'static,
+    {
+        Self {
+            channels: circuit
+                .gates()
+                .iter()
+                .map(|_| Box::new(channel.clone()) as Box<dyn DelayChannel + Send + Sync>)
+                .collect(),
+        }
+    }
+
+    /// Builds channels per gate from a closure receiving the gate index.
+    #[must_use]
+    pub fn from_fn(
+        circuit: &Circuit,
+        mut f: impl FnMut(usize) -> Box<dyn DelayChannel + Send + Sync>,
+    ) -> Self {
+        Self {
+            channels: (0..circuit.gates().len()).map(&mut f).collect(),
+        }
+    }
+
+    /// Number of per-gate channels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// `true` if no channels are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+}
+
+/// Error running a digital simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DigitalSimError {
+    /// Stimulus missing for a primary input.
+    MissingStimulus {
+        /// The input net's name.
+        net: String,
+    },
+    /// Channel count does not match the circuit's gate count.
+    ChannelCountMismatch {
+        /// Channels provided.
+        provided: usize,
+        /// Gates in the circuit.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for DigitalSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingStimulus { net } => write!(f, "no stimulus for input {net:?}"),
+            Self::ChannelCountMismatch { provided, expected } => write!(
+                f,
+                "got {provided} channels for a circuit with {expected} gates"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DigitalSimError {}
+
+/// Result of a digital circuit simulation: a trace per net.
+#[derive(Debug, Clone)]
+pub struct DigitalSimResult {
+    traces: Vec<DigitalTrace>,
+}
+
+impl DigitalSimResult {
+    /// The trace on a net.
+    #[must_use]
+    pub fn trace(&self, net: NetId) -> &DigitalTrace {
+        &self.traces[net.0]
+    }
+
+    /// Traces of all nets, indexed by [`NetId`].
+    #[must_use]
+    pub fn traces(&self) -> &[DigitalTrace] {
+        &self.traces
+    }
+}
+
+/// Simulates a circuit: input stimuli (by input net id) propagate through
+/// zero-time gates followed by per-gate delay channels.
+///
+/// # Errors
+///
+/// Returns [`DigitalSimError`] if a stimulus is missing or channel counts
+/// mismatch.
+pub fn simulate(
+    circuit: &Circuit,
+    stimuli: &HashMap<NetId, DigitalTrace>,
+    channels: &GateChannels,
+) -> Result<DigitalSimResult, DigitalSimError> {
+    if channels.len() != circuit.gates().len() {
+        return Err(DigitalSimError::ChannelCountMismatch {
+            provided: channels.len(),
+            expected: circuit.gates().len(),
+        });
+    }
+    let mut traces: Vec<Option<DigitalTrace>> = vec![None; circuit.net_count()];
+    for &input in circuit.inputs() {
+        let stim = stimuli
+            .get(&input)
+            .ok_or_else(|| DigitalSimError::MissingStimulus {
+                net: circuit.net_name(input).to_string(),
+            })?;
+        traces[input.0] = Some(stim.clone());
+    }
+    for &gi in circuit.topological_gates() {
+        let gate = &circuit.gates()[gi];
+        let ins: Vec<&DigitalTrace> = gate
+            .inputs
+            .iter()
+            .map(|i| traces[i.0].as_ref().expect("topological order"))
+            .collect();
+        let ideal = ideal_gate_output(gate.kind, &ins);
+        let delayed = apply_channel(&ideal, channels.channels[gi].as_ref());
+        traces[gate.output.0] = Some(delayed);
+    }
+    Ok(DigitalSimResult {
+        traces: traces
+            .into_iter()
+            .map(|t| t.unwrap_or_else(|| DigitalTrace::constant(Level::Low)))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{InertialDelay, PureDelay};
+    use sigcircuit::CircuitBuilder;
+
+    fn inv_chain(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let mut prev = b.add_input("in");
+        for i in 0..n {
+            prev = b.add_gate(GateKind::Inv, &[prev], &format!("n{i}"));
+        }
+        b.mark_output(prev);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ideal_nor_output() {
+        let a = DigitalTrace::new(Level::Low, vec![1.0]).unwrap();
+        let b = DigitalTrace::new(Level::Low, vec![2.0]).unwrap();
+        let out = ideal_gate_output(GateKind::Nor, &[&a, &b]);
+        // NOR: high until a rises at t=1, low afterwards.
+        assert_eq!(out.initial(), Level::High);
+        assert_eq!(out.toggles(), &[1.0]);
+    }
+
+    #[test]
+    fn ideal_output_drops_glitch_free_events() {
+        // AND with one input constant low: no output events at all.
+        let a = DigitalTrace::new(Level::Low, vec![1.0, 2.0, 3.0]).unwrap();
+        let b = DigitalTrace::constant(Level::Low);
+        let out = ideal_gate_output(GateKind::And, &[&a, &b]);
+        assert!(out.is_empty());
+        assert_eq!(out.initial(), Level::Low);
+    }
+
+    #[test]
+    fn simultaneous_input_events_coalesce() {
+        // XOR of two identical traces: always low, even at common toggles.
+        let a = DigitalTrace::new(Level::Low, vec![1.0, 2.0]).unwrap();
+        let out = ideal_gate_output(GateKind::Xor, &[&a, &a]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chain_accumulates_delay() {
+        let c = inv_chain(4);
+        let mut stim = HashMap::new();
+        stim.insert(
+            c.inputs()[0],
+            DigitalTrace::new(Level::Low, vec![100e-12]).unwrap(),
+        );
+        let channels = GateChannels::uniform(&c, PureDelay::symmetric(5e-12));
+        let res = simulate(&c, &stim, &channels).unwrap();
+        let out = res.trace(c.outputs()[0]);
+        assert_eq!(out.len(), 1);
+        assert!((out.toggles()[0] - 120e-12).abs() < 1e-18);
+        // Even number of inverters: polarity preserved.
+        assert_eq!(out.initial(), Level::Low);
+    }
+
+    #[test]
+    fn inertial_chain_swallows_glitch() {
+        let c = inv_chain(2);
+        let mut stim = HashMap::new();
+        stim.insert(
+            c.inputs()[0],
+            DigitalTrace::new(Level::Low, vec![100e-12, 102e-12]).unwrap(),
+        );
+        let channels = GateChannels::uniform(&c, InertialDelay::symmetric(5e-12));
+        let res = simulate(&c, &stim, &channels).unwrap();
+        assert!(res.trace(c.outputs()[0]).is_empty());
+        // A pure-delay simulation would pass the pulse through.
+        let channels = GateChannels::uniform(&c, PureDelay::symmetric(5e-12));
+        let res = simulate(&c, &stim, &channels).unwrap();
+        assert_eq!(res.trace(c.outputs()[0]).len(), 2);
+    }
+
+    #[test]
+    fn ddm_chain_degrades_fast_pulses() {
+        use crate::channel::DdmChannel;
+        let c = inv_chain(3);
+        let ch = DdmChannel {
+            rise_inf: 5e-12,
+            fall_inf: 5e-12,
+            tau: 8e-12,
+        };
+        // A pulse narrower than tau: each stage's second transition sees a
+        // degraded (shorter) delay, widening the gap until cancellation.
+        let mut stim = HashMap::new();
+        stim.insert(
+            c.inputs()[0],
+            DigitalTrace::new(Level::Low, vec![100e-12, 103e-12]).unwrap(),
+        );
+        let channels = GateChannels::uniform(&c, ch);
+        let res = simulate(&c, &stim, &channels).unwrap();
+        // Pulse survives (DDM degrades but does not hard-filter): both
+        // transitions present with shrunken spacing.
+        let out = res.trace(c.outputs()[0]);
+        if out.len() == 2 {
+            let width = out.toggles()[1] - out.toggles()[0];
+            assert!(width < 3.2e-12, "DDM must not widen the pulse: {width:.2e}");
+        }
+        // A slow pulse passes with full delays.
+        stim.insert(
+            c.inputs()[0],
+            DigitalTrace::new(Level::Low, vec![100e-12, 180e-12]).unwrap(),
+        );
+        let channels = GateChannels::uniform(&c, ch);
+        let res = simulate(&c, &stim, &channels).unwrap();
+        assert_eq!(res.trace(c.outputs()[0]).len(), 2);
+    }
+
+    #[test]
+    fn idm_chain_is_faithful_to_involution() {
+        use crate::channel::IdmChannel;
+        let c = inv_chain(2);
+        let ch = IdmChannel {
+            delta_inf: 6e-12,
+            shift: 1e-12,
+            tau: 5e-12,
+        };
+        let mut stim = HashMap::new();
+        stim.insert(
+            c.inputs()[0],
+            DigitalTrace::new(Level::Low, vec![100e-12, 108e-12, 200e-12]).unwrap(),
+        );
+        let channels = GateChannels::uniform(&c, ch);
+        let res = simulate(&c, &stim, &channels).unwrap();
+        let out = res.trace(c.outputs()[0]);
+        // Involution channels preserve transition parity; all toggle times
+        // strictly increase (checked by the trace invariant) and the final
+        // level matches the boolean function (even #inverters).
+        assert_eq!(out.len() % 2, 1);
+        assert_eq!(out.final_level(), Level::High);
+    }
+
+    #[test]
+    fn missing_stimulus_is_error() {
+        let c = inv_chain(1);
+        let channels = GateChannels::uniform(&c, PureDelay::symmetric(1e-12));
+        let err = simulate(&c, &HashMap::new(), &channels).unwrap_err();
+        assert!(matches!(err, DigitalSimError::MissingStimulus { .. }));
+    }
+
+    #[test]
+    fn channel_count_mismatch_is_error() {
+        let c = inv_chain(2);
+        let channels = GateChannels::new(vec![Box::new(PureDelay::symmetric(1e-12))]);
+        let mut stim = HashMap::new();
+        stim.insert(c.inputs()[0], DigitalTrace::constant(Level::Low));
+        let err = simulate(&c, &stim, &channels).unwrap_err();
+        assert!(matches!(err, DigitalSimError::ChannelCountMismatch { .. }));
+    }
+
+    #[test]
+    fn c17_functional_check_with_delays() {
+        // Apply a single input change and verify the steady-state output
+        // equals the boolean evaluation.
+        let bench = sigcircuit::c17();
+        let mut stim = HashMap::new();
+        // Start all low; raise input "3" (index 2) at 50 ps.
+        for (i, &inp) in bench.inputs().iter().enumerate() {
+            let tr = if i == 2 {
+                DigitalTrace::new(Level::Low, vec![50e-12]).unwrap()
+            } else {
+                DigitalTrace::constant(Level::Low)
+            };
+            stim.insert(inp, tr);
+        }
+        let channels = GateChannels::uniform(&bench, InertialDelay::symmetric(8e-12));
+        let res = simulate(&bench, &stim, &channels).unwrap();
+        let final_levels: Vec<bool> = bench
+            .outputs()
+            .iter()
+            .map(|o| res.trace(*o).final_level().is_high())
+            .collect();
+        let mut bits = vec![false; 5];
+        bits[2] = true;
+        assert_eq!(final_levels, bench.eval(&bits));
+    }
+}

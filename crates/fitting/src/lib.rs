@@ -1,0 +1,42 @@
+//! Levenberg–Marquardt least-squares fitting of sigmoidal approximations.
+//!
+//! This crate implements Sec. II of *Signal Prediction for Digital Circuits
+//! by Sigmoidal Approximations using Neural Networks* (DATE 2025): analog
+//! waveforms are approximated by sums of logistic sigmoids (Eq. 2), whose
+//! parameters are obtained with the Levenberg–Marquardt algorithm, after
+//! clipping the waveform to `[0, VDD]` and weighting samples near the
+//! inflection points.
+//!
+//! The [`lm`] module is a general nonlinear least-squares solver (usable on
+//! its own); [`fit_waveform`] is the paper's waveform-fitting pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use sigwave::{Level, Sigmoid, SigmoidTrace, VDD_DEFAULT};
+//! use sigfit::{fit_waveform, FitOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Synthesize an "analog" waveform from a known trace, then recover it.
+//! let truth = SigmoidTrace::from_transitions(
+//!     Level::Low,
+//!     vec![Sigmoid::rising(10.0, 1.5)],
+//!     VDD_DEFAULT,
+//! )?;
+//! let wave = truth.to_waveform(0.0, 4e-10, 400);
+//! let fit = fit_waveform(&wave, &FitOptions::default())?;
+//! assert_eq!(fit.trace.len(), 1);
+//! assert!((fit.trace.transitions()[0].b - 1.5).abs() < 0.02);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+pub mod lm;
+mod sigmoid_fit;
+
+pub use lm::{fit, FitError, LeastSquaresProblem, LmConfig, LmReport, StopReason};
+pub use sigmoid_fit::{fit_waveform, FitOptions, FitOutcome, WaveformFitError};

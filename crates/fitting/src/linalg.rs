@@ -1,0 +1,271 @@
+//! Minimal dense linear algebra needed by the Levenberg–Marquardt solver:
+//! row-major matrices, Cholesky factorization, and triangular solves.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error from [`Matrix::cholesky_solve`]: the system matrix is not positive
+/// definite (within numerical tolerance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefiniteError;
+
+impl std::fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for NotPositiveDefiniteError {}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `Aᵀ A`, the Gram matrix (used for the LM normal equations).
+    #[must_use]
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for k in 0..self.rows {
+                    s += self[(k, i)] * self[(k, j)];
+                }
+                g[(i, j)] = s;
+                g[(j, i)] = s;
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ v` for a vector `v` of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows`.
+    #[must_use]
+    pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for k in 0..self.rows {
+            let vk = v[k];
+            for j in 0..self.cols {
+                out[j] += self[(k, j)] * vk;
+            }
+        }
+        out
+    }
+
+    /// `A v` for a vector `v` of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    #[must_use]
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut s = 0.0;
+            for j in 0..self.cols {
+                s += self[(i, j)] * v[j];
+            }
+            out[i] = s;
+        }
+        out
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] if a non-positive pivot appears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefiniteError> {
+        assert_eq!(self.rows, self.cols, "matrix must be square");
+        assert_eq!(b.len(), self.rows, "dimension mismatch");
+        let n = self.rows;
+        // Factor A = L Lᵀ.
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(NotPositiveDefiniteError);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        // Forward solve L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        // Back solve Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= l[(k, i)] * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Euclidean norm of a vector.
+#[must_use]
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = Matrix::identity(3);
+        let x = a.cholesky_solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_spd_system() {
+        // A = [[4,2],[2,3]], b=[2,1] -> x = [0.5, 0]
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        let x = a.cholesky_solve(&[2.0, 1.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = -1.0;
+        assert_eq!(a.cholesky_solve(&[1.0, 1.0]), Err(NotPositiveDefiniteError));
+    }
+
+    #[test]
+    fn gram_of_tall_matrix() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let g = a.gram();
+        // columns: [0,1,2] and [1,2,3]
+        assert!((g[(0, 0)] - 5.0).abs() < 1e-12);
+        assert!((g[(0, 1)] - 8.0).abs() < 1e-12);
+        assert!((g[(1, 1)] - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_products() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+        assert_eq!(a.transpose_mul_vec(&[1.0, 1.0]), vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn norm_basics() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cholesky_solves_random_spd(
+            vals in proptest::collection::vec(-2.0..2.0f64, 12),
+            xs in proptest::collection::vec(-3.0..3.0f64, 3),
+        ) {
+            // Build A = BᵀB + I (guaranteed SPD), random x, check round trip.
+            let b = Matrix::from_fn(4, 3, |i, j| vals[i * 3 + j]);
+            let mut a = b.gram();
+            for i in 0..3 { a[(i, i)] += 1.0; }
+            let rhs = a.mul_vec(&xs);
+            let solved = a.cholesky_solve(&rhs).unwrap();
+            for (s, x) in solved.iter().zip(&xs) {
+                prop_assert!((s - x).abs() < 1e-8, "{} vs {}", s, x);
+            }
+        }
+    }
+}

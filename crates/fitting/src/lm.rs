@@ -1,0 +1,402 @@
+//! A general Levenberg–Marquardt nonlinear least-squares solver, as used by
+//! the paper for fitting sigmoid parameters to SPICE waveforms (Sec. II-A,
+//! citing Gavin's LM formulation).
+
+use crate::linalg::{norm2, Matrix};
+
+/// A residual model for least squares: minimizes `Σᵢ wᵢ rᵢ(p)²`.
+pub trait LeastSquaresProblem {
+    /// Number of residuals (data points).
+    fn residual_count(&self) -> usize;
+    /// Number of parameters.
+    fn parameter_count(&self) -> usize;
+    /// Writes the residual vector `r(p)` into `out` (length
+    /// `residual_count`).
+    fn residuals(&self, params: &[f64], out: &mut [f64]);
+    /// Writes the Jacobian `J[i][j] = ∂rᵢ/∂pⱼ` into `out`.
+    ///
+    /// The default implementation uses central finite differences; override
+    /// with an analytic Jacobian for speed and robustness.
+    fn jacobian(&self, params: &[f64], out: &mut Matrix) {
+        let m = self.residual_count();
+        let n = self.parameter_count();
+        let mut p = params.to_vec();
+        let mut r_plus = vec![0.0; m];
+        let mut r_minus = vec![0.0; m];
+        for j in 0..n {
+            let h = 1e-6 * params[j].abs().max(1e-6);
+            let orig = p[j];
+            p[j] = orig + h;
+            self.residuals(&p, &mut r_plus);
+            p[j] = orig - h;
+            self.residuals(&p, &mut r_minus);
+            p[j] = orig;
+            for i in 0..m {
+                out[(i, j)] = (r_plus[i] - r_minus[i]) / (2.0 * h);
+            }
+        }
+    }
+    /// Optional per-residual weights `wᵢ` (the paper's weighting vector σ
+    /// used to tighten the fit near inflection points). `None` means all 1.
+    fn weights(&self) -> Option<&[f64]> {
+        None
+    }
+}
+
+/// Configuration of the LM iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmConfig {
+    /// Maximum number of accepted + rejected iterations.
+    pub max_iterations: usize,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplicative λ update on rejected/accepted steps.
+    pub lambda_factor: f64,
+    /// Convergence: stop when the relative cost improvement drops below this.
+    pub cost_tolerance: f64,
+    /// Convergence: stop when the step norm drops below this.
+    pub step_tolerance: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            initial_lambda: 1e-3,
+            lambda_factor: 10.0,
+            cost_tolerance: 1e-12,
+            step_tolerance: 1e-12,
+        }
+    }
+}
+
+/// Why the LM iteration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Relative cost improvement below tolerance.
+    CostConverged,
+    /// Step norm below tolerance.
+    StepConverged,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// Damping grew without producing an acceptable step.
+    StalledLambda,
+}
+
+/// Result of an LM fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmReport {
+    /// The fitted parameters.
+    pub params: Vec<f64>,
+    /// Final weighted cost `Σ wᵢ rᵢ²`.
+    pub cost: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Why the solver stopped.
+    pub stop: StopReason,
+}
+
+/// Error from [`fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The problem has no residuals or no parameters.
+    EmptyProblem,
+    /// The initial guess has the wrong length.
+    BadInitialGuess {
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided parameter count.
+        actual: usize,
+    },
+    /// Residuals became non-finite at the initial guess.
+    NonFiniteResiduals,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyProblem => write!(f, "problem has no residuals or parameters"),
+            Self::BadInitialGuess { expected, actual } => {
+                write!(f, "initial guess has {actual} entries, expected {expected}")
+            }
+            Self::NonFiniteResiduals => write!(f, "residuals are non-finite at the start point"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn weighted_cost(r: &[f64], w: Option<&[f64]>) -> f64 {
+    match w {
+        Some(w) => r.iter().zip(w).map(|(r, w)| w * r * r).sum(),
+        None => r.iter().map(|r| r * r).sum(),
+    }
+}
+
+/// Runs Levenberg–Marquardt on `problem` starting from `initial`.
+///
+/// # Errors
+///
+/// Returns [`FitError`] for structurally invalid problems; a poor fit is not
+/// an error (inspect [`LmReport::cost`]).
+pub fn fit(
+    problem: &impl LeastSquaresProblem,
+    initial: &[f64],
+    config: &LmConfig,
+) -> Result<LmReport, FitError> {
+    let m = problem.residual_count();
+    let n = problem.parameter_count();
+    if m == 0 || n == 0 {
+        return Err(FitError::EmptyProblem);
+    }
+    if initial.len() != n {
+        return Err(FitError::BadInitialGuess {
+            expected: n,
+            actual: initial.len(),
+        });
+    }
+
+    let mut params = initial.to_vec();
+    let mut r = vec![0.0; m];
+    problem.residuals(&params, &mut r);
+    if r.iter().any(|x| !x.is_finite()) {
+        return Err(FitError::NonFiniteResiduals);
+    }
+    let weights = problem.weights();
+    if let Some(w) = weights {
+        assert_eq!(w.len(), m, "weight vector length must match residuals");
+    }
+    let mut cost = weighted_cost(&r, weights);
+    let mut lambda = config.initial_lambda;
+    let mut jac = Matrix::zeros(m, n);
+    let mut stop = StopReason::MaxIterations;
+    let mut iterations = 0;
+
+    'outer: while iterations < config.max_iterations {
+        iterations += 1;
+        problem.jacobian(&params, &mut jac);
+        // Apply weights: scale rows of J and r by sqrt(w).
+        let (jw, rw): (Matrix, Vec<f64>) = if let Some(w) = weights {
+            let jw = Matrix::from_fn(m, n, |i, j| jac[(i, j)] * w[i].sqrt());
+            let rw = r.iter().zip(w).map(|(r, w)| r * w.sqrt()).collect();
+            (jw, rw)
+        } else {
+            (jac.clone(), r.clone())
+        };
+        let jtj = jw.gram();
+        let jtr = jw.transpose_mul_vec(&rw);
+
+        // Inner loop: grow λ until a cost-reducing step is found.
+        let mut inner = 0;
+        loop {
+            inner += 1;
+            // (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀr   (Marquardt scaling)
+            let mut a = jtj.clone();
+            for i in 0..n {
+                let d = jtj[(i, i)].max(1e-12);
+                a[(i, i)] += lambda * d;
+            }
+            let neg_jtr: Vec<f64> = jtr.iter().map(|x| -x).collect();
+            let step = match a.cholesky_solve(&neg_jtr) {
+                Ok(s) => s,
+                Err(_) => {
+                    lambda *= config.lambda_factor;
+                    if lambda > 1e12 {
+                        stop = StopReason::StalledLambda;
+                        break 'outer;
+                    }
+                    continue;
+                }
+            };
+            let trial: Vec<f64> = params.iter().zip(&step).map(|(p, s)| p + s).collect();
+            let mut r_trial = vec![0.0; m];
+            problem.residuals(&trial, &mut r_trial);
+            let trial_cost = if r_trial.iter().all(|x| x.is_finite()) {
+                weighted_cost(&r_trial, weights)
+            } else {
+                f64::INFINITY
+            };
+            if trial_cost < cost {
+                let improvement = (cost - trial_cost) / cost.max(1e-300);
+                params = trial;
+                r = r_trial;
+                cost = trial_cost;
+                lambda = (lambda / config.lambda_factor).max(1e-12);
+                if improvement < config.cost_tolerance {
+                    stop = StopReason::CostConverged;
+                    break 'outer;
+                }
+                if norm2(&step) < config.step_tolerance {
+                    stop = StopReason::StepConverged;
+                    break 'outer;
+                }
+                break;
+            }
+            lambda *= config.lambda_factor;
+            if lambda > 1e12 || inner > 40 {
+                stop = StopReason::StalledLambda;
+                break 'outer;
+            }
+        }
+    }
+
+    Ok(LmReport {
+        params,
+        cost,
+        iterations,
+        stop,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// r_i = y_i - (p0 * x_i + p1): linear regression.
+    struct Linear {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl LeastSquaresProblem for Linear {
+        fn residual_count(&self) -> usize {
+            self.xs.len()
+        }
+        fn parameter_count(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) {
+            for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+                out[i] = y - (p[0] * x + p[1]);
+            }
+        }
+    }
+
+    /// Rosenbrock-style valley expressed as residuals.
+    struct Rosenbrock;
+
+    impl LeastSquaresProblem for Rosenbrock {
+        fn residual_count(&self) -> usize {
+            2
+        }
+        fn parameter_count(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) {
+            out[0] = 10.0 * (p[1] - p[0] * p[0]);
+            out[1] = 1.0 - p[0];
+        }
+    }
+
+    /// Exponential decay y = p0 * exp(-p1 * x), a classic LM test.
+    struct ExpDecay {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        weights: Option<Vec<f64>>,
+    }
+
+    impl LeastSquaresProblem for ExpDecay {
+        fn residual_count(&self) -> usize {
+            self.xs.len()
+        }
+        fn parameter_count(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) {
+            for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+                out[i] = y - p[0] * (-p[1] * x).exp();
+            }
+        }
+        fn weights(&self) -> Option<&[f64]> {
+            self.weights.as_deref()
+        }
+    }
+
+    #[test]
+    fn linear_regression_exact() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.25).collect();
+        let rep = fit(&Linear { xs, ys }, &[0.0, 0.0], &LmConfig::default()).unwrap();
+        assert!((rep.params[0] - 2.5).abs() < 1e-8, "{:?}", rep);
+        assert!((rep.params[1] + 1.25).abs() < 1e-8);
+        assert!(rep.cost < 1e-16);
+    }
+
+    #[test]
+    fn rosenbrock_minimum() {
+        let rep = fit(&Rosenbrock, &[-1.2, 1.0], &LmConfig { max_iterations: 500, ..LmConfig::default() }).unwrap();
+        assert!((rep.params[0] - 1.0).abs() < 1e-6, "{:?}", rep);
+        assert!((rep.params[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_decay_recovery() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (-0.7 * x).exp()).collect();
+        let rep = fit(
+            &ExpDecay { xs, ys, weights: None },
+            &[1.0, 1.0],
+            &LmConfig::default(),
+        )
+        .unwrap();
+        assert!((rep.params[0] - 3.0).abs() < 1e-6);
+        assert!((rep.params[1] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_emphasize_points() {
+        // Data from two inconsistent lines; heavy weights on the second half
+        // pull the fit toward it.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 5.0 { 1.0 } else { 2.0 })
+            .collect();
+        let w: Vec<f64> = xs.iter().map(|&x| if x < 5.0 { 1e-6 } else { 1.0 }).collect();
+        let rep = fit(
+            &ExpDecay {
+                xs,
+                ys,
+                weights: Some(w),
+            },
+            &[1.5, 0.01],
+            &LmConfig::default(),
+        )
+        .unwrap();
+        // Model ~ p0 * exp(-p1 x) ≈ 2 with p1 ≈ 0 fits the heavy points.
+        let v = rep.params[0] * (-rep.params[1] * 7.0).exp();
+        assert!((v - 2.0).abs() < 0.05, "weighted fit should track heavy half, got {v}");
+    }
+
+    #[test]
+    fn rejects_bad_guess_length() {
+        let p = Linear {
+            xs: vec![0.0, 1.0],
+            ys: vec![0.0, 1.0],
+        };
+        assert!(matches!(
+            fit(&p, &[0.0], &LmConfig::default()),
+            Err(FitError::BadInitialGuess { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_problem() {
+        let p = Linear {
+            xs: vec![],
+            ys: vec![],
+        };
+        assert!(matches!(
+            fit(&p, &[0.0, 0.0], &LmConfig::default()),
+            Err(FitError::EmptyProblem)
+        ));
+    }
+
+    #[test]
+    fn already_converged_stops_fast() {
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        let rep = fit(&Linear { xs, ys }, &[2.0, 0.0], &LmConfig::default()).unwrap();
+        assert!(rep.iterations <= 3, "{:?}", rep);
+    }
+}

@@ -1,0 +1,378 @@
+//! Fitting sigmoidal approximations to analog waveforms (Sec. II of the
+//! paper): clipping, crossing-based initial guesses, inflection-point
+//! weighting, and Levenberg–Marquardt refinement with an analytic Jacobian.
+
+use sigwave::{
+    to_scaled_time, CrossingDirection, Level, Sigmoid, SigmoidTrace, Waveform, TIME_SCALE,
+};
+
+use crate::linalg::Matrix;
+use crate::lm::{fit, FitError, LeastSquaresProblem, LmConfig};
+
+/// Options controlling [`fit_waveform`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitOptions {
+    /// Supply voltage; the waveform is clipped to `[0, vdd]` before fitting
+    /// because sigmoids cannot express over/undershoot (Sec. II-B).
+    pub vdd: f64,
+    /// Extra weight applied near the `vdd/2` inflection points (the paper's
+    /// weighting vector σ ensures "a tight fit at the inflection points").
+    pub inflection_weight: f64,
+    /// Width of the inflection emphasis band as a fraction of `vdd`.
+    pub inflection_band: f64,
+    /// LM iteration settings.
+    pub lm: LmConfig,
+    /// Number of uniform samples the waveform is evaluated on for fitting.
+    pub samples: usize,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        Self {
+            vdd: sigwave::VDD_DEFAULT,
+            inflection_weight: 8.0,
+            inflection_band: 0.2,
+            lm: LmConfig {
+                max_iterations: 80,
+                ..LmConfig::default()
+            },
+            samples: 600,
+        }
+    }
+}
+
+/// Error from [`fit_waveform`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveformFitError {
+    /// The optimizer failed structurally (see inner error).
+    Solver(FitError),
+    /// The fitted transitions could not be assembled into a valid trace;
+    /// usually a symptom of a degenerate waveform.
+    InvalidTrace(String),
+}
+
+impl std::fmt::Display for WaveformFitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Solver(e) => write!(f, "least-squares solver failed: {e}"),
+            Self::InvalidTrace(m) => write!(f, "fitted parameters form no valid trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveformFitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Solver(e) => Some(e),
+            Self::InvalidTrace(_) => None,
+        }
+    }
+}
+
+impl From<FitError> for WaveformFitError {
+    fn from(e: FitError) -> Self {
+        Self::Solver(e)
+    }
+}
+
+/// Outcome of a waveform fit: the sigmoidal approximation plus quality data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitOutcome {
+    /// The fitted sigmoidal trace.
+    pub trace: SigmoidTrace,
+    /// Root-mean-square error (volts) between fit and (clipped) waveform.
+    pub rms_error: f64,
+    /// LM iterations used.
+    pub iterations: usize,
+}
+
+/// The least-squares problem for Eq. 2: residuals between the normalized
+/// waveform and a sum of sigmoids minus the level offset `k`.
+struct TraceProblem {
+    /// Scaled sample times.
+    xs: Vec<f64>,
+    /// Normalized voltages (`v / vdd`).
+    ys: Vec<f64>,
+    /// Per-sample weights (inflection emphasis).
+    ws: Vec<f64>,
+    /// Fixed polarity (+1/-1) of each transition; the optimizer fits
+    /// magnitudes so transitions can never flip direction.
+    signs: Vec<f64>,
+    /// Level offset `k` of Eq. 2.
+    offset: f64,
+}
+
+impl TraceProblem {
+    fn model(&self, p: &[f64], x: f64) -> f64 {
+        let mut s = -self.offset;
+        for (j, sign) in self.signs.iter().enumerate() {
+            let a = sign * p[2 * j].abs();
+            let b = p[2 * j + 1];
+            s += Sigmoid { a, b }.eval_scaled(x);
+        }
+        s
+    }
+}
+
+impl LeastSquaresProblem for TraceProblem {
+    fn residual_count(&self) -> usize {
+        self.xs.len()
+    }
+    fn parameter_count(&self) -> usize {
+        2 * self.signs.len()
+    }
+    fn residuals(&self, p: &[f64], out: &mut [f64]) {
+        for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+            out[i] = y - self.model(p, x);
+        }
+    }
+    fn jacobian(&self, p: &[f64], out: &mut Matrix) {
+        // ∂r/∂a = -sign(a_param) · sign_j · f(1-f)(x-b); ∂r/∂b = a f(1-f)
+        for (i, &x) in self.xs.iter().enumerate() {
+            for (j, sign) in self.signs.iter().enumerate() {
+                let a_mag = p[2 * j].abs();
+                let a = sign * a_mag;
+                let b = p[2 * j + 1];
+                let f = Sigmoid { a: if a == 0.0 { 1e-9 } else { a }, b }.eval_scaled(x);
+                let d = f * (1.0 - f);
+                let dsign = if p[2 * j] >= 0.0 { 1.0 } else { -1.0 };
+                out[(i, 2 * j)] = -dsign * sign * d * (x - b);
+                out[(i, 2 * j + 1)] = a * d;
+            }
+        }
+    }
+    fn weights(&self) -> Option<&[f64]> {
+        Some(&self.ws)
+    }
+}
+
+/// Fits a sigmoidal approximation (Eq. 2) to an analog waveform.
+///
+/// The pipeline follows Sec. II of the paper:
+/// 1. clip the waveform to `[0, vdd]`,
+/// 2. detect `vdd/2` crossings to obtain one sigmoid per transition with
+///    crossing-time/slope initial guesses,
+/// 3. weight samples near the inflection points,
+/// 4. refine all `(aᵢ, bᵢ)` jointly with Levenberg–Marquardt.
+///
+/// A waveform with no crossings yields a constant trace.
+///
+/// # Errors
+///
+/// Returns [`WaveformFitError`] if the optimizer cannot run or the fitted
+/// parameters violate trace invariants.
+pub fn fit_waveform(
+    waveform: &Waveform,
+    options: &FitOptions,
+) -> Result<FitOutcome, WaveformFitError> {
+    let vdd = options.vdd;
+    let clipped = waveform.clipped(0.0, vdd);
+    let threshold = vdd / 2.0;
+    let crossings = clipped.crossings(threshold);
+    let initial_level = Level::from_bool(clipped.values()[0] > threshold);
+
+    if crossings.is_empty() {
+        return Ok(FitOutcome {
+            trace: SigmoidTrace::constant(initial_level, vdd),
+            rms_error: flat_rms(&clipped, initial_level, vdd),
+            iterations: 0,
+        });
+    }
+
+    // Initial guesses from crossing times and local slopes.
+    let mut signs = Vec::with_capacity(crossings.len());
+    let mut p0 = Vec::with_capacity(2 * crossings.len());
+    for &(tc, dir) in &crossings {
+        let slope_scaled = clipped.derivative_at(tc) / TIME_SCALE; // V per scaled unit
+        // vdd · a / 4 = |dV/dx|  =>  a = 4 |slope| / vdd
+        let a_mag = (4.0 * slope_scaled.abs() / vdd).max(0.5);
+        signs.push(match dir {
+            CrossingDirection::Rising => 1.0,
+            CrossingDirection::Falling => -1.0,
+        });
+        p0.push(a_mag);
+        p0.push(to_scaled_time(tc));
+    }
+    let offset = signs.iter().filter(|s| **s < 0.0).count() as f64
+        - if initial_level.is_high() { 1.0 } else { 0.0 };
+
+    // Sample the clipped waveform uniformly for the residuals.
+    let n = options.samples.max(2 * crossings.len() + 8);
+    let resampled = clipped.resampled(n);
+    let xs: Vec<f64> = resampled.times().iter().map(|&t| to_scaled_time(t)).collect();
+    let ys: Vec<f64> = resampled.values().iter().map(|&v| v / vdd).collect();
+    let band = options.inflection_band * vdd;
+    let ws: Vec<f64> = resampled
+        .values()
+        .iter()
+        .map(|&v| {
+            let d = (v - threshold) / band;
+            1.0 + options.inflection_weight * (-d * d).exp()
+        })
+        .collect();
+
+    let problem = TraceProblem {
+        xs,
+        ys,
+        ws,
+        signs: signs.clone(),
+        offset,
+    };
+    let report = fit(&problem, &p0, &options.lm)?;
+
+    // Assemble the trace: reapply polarities, enforce ordering.
+    let mut sigmoids: Vec<Sigmoid> = signs
+        .iter()
+        .enumerate()
+        .map(|(j, sign)| Sigmoid {
+            a: sign * report.params[2 * j].abs().max(1e-6),
+            b: report.params[2 * j + 1],
+        })
+        .collect();
+    // LM may nudge near-coincident crossings out of order; the crossing
+    // *sequence* (and with it the polarity alternation) is authoritative,
+    // so clamp the times monotone rather than re-sorting.
+    for i in 1..sigmoids.len() {
+        if sigmoids[i].b < sigmoids[i - 1].b {
+            sigmoids[i].b = sigmoids[i - 1].b;
+        }
+    }
+    let trace = SigmoidTrace::from_transitions(initial_level, sigmoids, vdd)
+        .map_err(|e| WaveformFitError::InvalidTrace(e.to_string()))?;
+
+    let fitted = trace.to_waveform(clipped.t_start(), clipped.t_end(), n.max(64));
+    let rms = fitted.rms_difference(&clipped, n.max(64));
+    Ok(FitOutcome {
+        trace,
+        rms_error: rms,
+        iterations: report.iterations,
+    })
+}
+
+fn flat_rms(w: &Waveform, level: Level, vdd: f64) -> f64 {
+    let target = if level.is_high() { vdd } else { 0.0 };
+    let n = w.len();
+    let sum: f64 = w.values().iter().map(|v| (v - target) * (v - target)).sum();
+    (sum / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigwave::VDD_DEFAULT;
+
+    fn synth_trace(transitions: Vec<Sigmoid>, initial: Level) -> SigmoidTrace {
+        SigmoidTrace::from_transitions(initial, transitions, VDD_DEFAULT).unwrap()
+    }
+
+    #[test]
+    fn recovers_single_transition() {
+        let truth = synth_trace(vec![Sigmoid::rising(12.0, 2.0)], Level::Low);
+        let wave = truth.to_waveform(0.0, 5e-10, 500);
+        let out = fit_waveform(&wave, &FitOptions::default()).unwrap();
+        assert_eq!(out.trace.len(), 1);
+        let s = out.trace.transitions()[0];
+        assert!((s.a - 12.0).abs() < 0.2, "a = {}", s.a);
+        assert!((s.b - 2.0).abs() < 0.01, "b = {}", s.b);
+        assert!(out.rms_error < 1e-3);
+    }
+
+    #[test]
+    fn recovers_double_pulse() {
+        let truth = synth_trace(
+            vec![
+                Sigmoid::rising(9.0, 1.0),
+                Sigmoid::falling(14.0, 2.2),
+                Sigmoid::rising(20.0, 3.0),
+                Sigmoid::falling(7.0, 4.5),
+            ],
+            Level::Low,
+        );
+        let wave = truth.to_waveform(0.0, 7e-10, 900);
+        let out = fit_waveform(&wave, &FitOptions::default()).unwrap();
+        assert_eq!(out.trace.len(), 4);
+        for (fitted, truth) in out.trace.transitions().iter().zip(truth.transitions()) {
+            assert!((fitted.b - truth.b).abs() < 0.02, "b {} vs {}", fitted.b, truth.b);
+            assert!(
+                (fitted.a - truth.a).abs() / truth.a.abs() < 0.1,
+                "a {} vs {}",
+                fitted.a,
+                truth.a
+            );
+        }
+    }
+
+    #[test]
+    fn fits_high_start() {
+        let truth = synth_trace(
+            vec![Sigmoid::falling(15.0, 1.5), Sigmoid::rising(15.0, 3.0)],
+            Level::High,
+        );
+        let wave = truth.to_waveform(0.0, 5e-10, 600);
+        let out = fit_waveform(&wave, &FitOptions::default()).unwrap();
+        assert_eq!(out.trace.initial(), Level::High);
+        assert_eq!(out.trace.len(), 2);
+        assert!(out.rms_error < 1e-3, "rms {}", out.rms_error);
+    }
+
+    #[test]
+    fn constant_waveform_yields_constant_trace() {
+        let wave = Waveform::from_fn(0.0, 1e-10, 50, |_| 0.01);
+        let out = fit_waveform(&wave, &FitOptions::default()).unwrap();
+        assert!(out.trace.is_empty());
+        assert_eq!(out.trace.initial(), Level::Low);
+    }
+
+    #[test]
+    fn clipping_handles_overshoot() {
+        // Truth plus a 15% overshoot after the rise: fit should still land
+        // close to the underlying transition.
+        let truth = Sigmoid::rising(10.0, 2.0);
+        let wave = Waveform::from_fn(0.0, 5e-10, 600, |t| {
+            let base = VDD_DEFAULT * truth.eval_seconds(t);
+            let x = to_scaled_time(t);
+            let bump = 0.15 * VDD_DEFAULT * (-(x - 2.6) * (x - 2.6) / 0.05).exp();
+            base + bump
+        });
+        let out = fit_waveform(&wave, &FitOptions::default()).unwrap();
+        assert_eq!(out.trace.len(), 1);
+        let s = out.trace.transitions()[0];
+        assert!((s.b - 2.0).abs() < 0.05, "b = {}", s.b);
+    }
+
+    #[test]
+    fn noisy_waveform_fit_is_robust() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth = synth_trace(
+            vec![Sigmoid::rising(10.0, 1.0), Sigmoid::falling(10.0, 3.0)],
+            Level::Low,
+        );
+        let clean = truth.to_waveform(0.0, 5e-10, 700);
+        let noisy = Waveform::new(
+            clean.times().to_vec(),
+            clean
+                .values()
+                .iter()
+                .map(|v| v + rng.gen_range(-0.01..0.01))
+                .collect(),
+        )
+        .unwrap();
+        let out = fit_waveform(&noisy, &FitOptions::default()).unwrap();
+        assert_eq!(out.trace.len(), 2);
+        assert!((out.trace.transitions()[0].b - 1.0).abs() < 0.05);
+        assert!((out.trace.transitions()[1].b - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fit_improves_on_initial_guess() {
+        // Asymmetric ramp waveform: the refined sigmoid must beat the
+        // crossing-only guess in RMS.
+        let wave = Waveform::from_fn(0.0, 4e-10, 400, |t| {
+            let x = to_scaled_time(t);
+            (VDD_DEFAULT * (0.5 + 0.5 * ((x - 2.0) / 0.8).tanh())).clamp(0.0, VDD_DEFAULT)
+        });
+        let out = fit_waveform(&wave, &FitOptions::default()).unwrap();
+        assert!(out.rms_error < 0.02, "rms {}", out.rms_error);
+    }
+}

@@ -1,0 +1,132 @@
+//! The Adam optimizer (Kingma & Ba) with bias correction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::{Mlp, MlpGradients};
+
+/// Adam state: first/second moment estimates per parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamOptimizer {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    step: u64,
+    m_weights: Vec<Vec<f64>>,
+    m_biases: Vec<Vec<f64>>,
+    v_weights: Vec<Vec<f64>>,
+    v_biases: Vec<Vec<f64>>,
+}
+
+impl AdamOptimizer {
+    /// Creates an optimizer for `mlp` with the given learning rate and the
+    /// standard moment decay rates (β₁ = 0.9, β₂ = 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not positive.
+    #[must_use]
+    pub fn new(mlp: &Mlp, learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        let g = mlp.zero_gradients();
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            m_weights: g.weights.clone(),
+            m_biases: g.biases.clone(),
+            v_weights: g.weights,
+            v_biases: g.biases,
+        }
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Changes the learning rate (e.g. for decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+    }
+
+    /// Applies one Adam update to `mlp` from (mean) gradients `grads`.
+    pub fn step(&mut self, mlp: &mut Mlp, grads: &MlpGradients) {
+        self.step += 1;
+        let t = self.step as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let mut update = mlp.zero_gradients();
+
+        for li in 0..grads.weights.len() {
+            for (slot, ((m, v), (g, u))) in self.m_weights[li]
+                .iter_mut()
+                .zip(&mut self.v_weights[li])
+                .zip(grads.weights[li].iter().zip(&mut update.weights[li]))
+                .enumerate()
+            {
+                let _ = slot;
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *u = self.learning_rate * mhat / (vhat.sqrt() + self.epsilon);
+            }
+            for ((m, v), (g, u)) in self.m_biases[li]
+                .iter_mut()
+                .zip(&mut self.v_biases[li])
+                .zip(grads.biases[li].iter().zip(&mut update.biases[li]))
+            {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *u = self.learning_rate * mhat / (vhat.sqrt() + self.epsilon);
+            }
+        }
+        mlp.apply_update(&update);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descends_on_quadratic() {
+        // Fit y = 0 from a random single-layer net: loss must decrease.
+        let mut mlp = Mlp::new(&[1, 1], 5);
+        let mut opt = AdamOptimizer::new(&mlp, 0.05);
+        let mut last = f64::INFINITY;
+        for _ in 0..100 {
+            let mut g = mlp.zero_gradients();
+            let loss = mlp.backward(&[1.0], &[0.0], &mut g);
+            opt.step(&mut mlp, &g);
+            last = loss;
+        }
+        assert!(last < 1e-3, "loss {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lr() {
+        let mlp = Mlp::new(&[1, 1], 0);
+        let _ = AdamOptimizer::new(&mlp, 0.0);
+    }
+
+    #[test]
+    fn lr_mutator() {
+        let mlp = Mlp::new(&[1, 1], 0);
+        let mut opt = AdamOptimizer::new(&mlp, 0.1);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-15);
+    }
+}

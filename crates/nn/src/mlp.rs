@@ -1,0 +1,417 @@
+//! Dense feed-forward network with ReLU hidden layers and a linear output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `y = W x + b` with `W` stored row-major (`out × in`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Dense {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major weights, `outputs × inputs`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+}
+
+impl Dense {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        // He initialization, appropriate for ReLU nets.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-1.0..1.0) * scale)
+            .collect();
+        Self {
+            inputs,
+            outputs,
+            weights,
+            biases: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut s = self.biases[o];
+            for (w, xi) in row.iter().zip(x) {
+                s += w * xi;
+            }
+            out.push(s);
+        }
+    }
+}
+
+/// A multilayer perceptron: ReLU on all hidden layers, linear output layer —
+/// the architecture family used for the paper's transfer functions
+/// (`[3, 10, 10, 5, 1]` in Fig. 2).
+///
+/// # Example
+///
+/// ```
+/// use signn::Mlp;
+/// let mlp = Mlp::paper_architecture(3, 7);
+/// assert_eq!(mlp.layer_sizes(), &[3, 10, 10, 5, 1]);
+/// let y = mlp.forward(&[0.1, 0.2, 0.3]);
+/// assert_eq!(y.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    sizes: Vec<usize>,
+}
+
+/// Per-parameter gradients of an [`Mlp`], same shapes as the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpGradients {
+    pub(crate) weights: Vec<Vec<f64>>,
+    pub(crate) biases: Vec<Vec<f64>>,
+}
+
+impl MlpGradients {
+    fn zeros_like(mlp: &Mlp) -> Self {
+        Self {
+            weights: mlp.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect(),
+            biases: mlp.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect(),
+        }
+    }
+
+    /// Scales all gradients by `f` (e.g. `1 / batch_size`).
+    pub fn scale(&mut self, f: f64) {
+        for w in &mut self.weights {
+            for v in w {
+                *v *= f;
+            }
+        }
+        for b in &mut self.biases {
+            for v in b {
+                *v *= f;
+            }
+        }
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes (first = inputs, last =
+    /// outputs) and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Self {
+            layers,
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// The paper's architecture (Fig. 2): `inputs → 10 → 10 → 5 → 1`.
+    #[must_use]
+    pub fn paper_architecture(inputs: usize, seed: u64) -> Self {
+        Self::new(&[inputs, 10, 10, 5, 1], seed)
+    }
+
+    /// Layer sizes, including input and output.
+    #[must_use]
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of scalar inputs.
+    #[must_use]
+    pub fn input_size(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Number of scalar outputs.
+    #[must_use]
+    pub fn output_size(&self) -> usize {
+        *self.sizes.last().expect("at least two sizes")
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the input size.
+    #[must_use]
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_size(), "input size mismatch");
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if i + 1 < n {
+                for v in &mut next {
+                    *v = v.max(0.0); // ReLU on hidden layers
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Forward + backward pass for one sample under MSE loss
+    /// (`L = Σ (y - t)² / outputs`); accumulates gradients into `grads` and
+    /// returns the sample loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/target size mismatches.
+    pub fn backward(&self, x: &[f64], target: &[f64], grads: &mut MlpGradients) -> f64 {
+        assert_eq!(x.len(), self.input_size(), "input size mismatch");
+        assert_eq!(target.len(), self.output_size(), "target size mismatch");
+
+        // Forward, remembering post-activation values of every layer.
+        let n = self.layers.len();
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        activations.push(x.to_vec());
+        let mut buf = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(activations.last().expect("pushed"), &mut buf);
+            if i + 1 < n {
+                for v in &mut buf {
+                    *v = v.max(0.0);
+                }
+            }
+            activations.push(buf.clone());
+        }
+        let output = activations.last().expect("pushed");
+        let m = self.output_size() as f64;
+        let loss: f64 = output
+            .iter()
+            .zip(target)
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f64>()
+            / m;
+
+        // Backward: delta on the output (linear) layer.
+        let mut delta: Vec<f64> = output
+            .iter()
+            .zip(target)
+            .map(|(y, t)| 2.0 * (y - t) / m)
+            .collect();
+        for li in (0..n).rev() {
+            let layer = &self.layers[li];
+            let input = &activations[li];
+            // Accumulate gradients.
+            for o in 0..layer.outputs {
+                grads.biases[li][o] += delta[o];
+                let row = &mut grads.weights[li][o * layer.inputs..(o + 1) * layer.inputs];
+                for (g, xi) in row.iter_mut().zip(input) {
+                    *g += delta[o] * xi;
+                }
+            }
+            if li == 0 {
+                break;
+            }
+            // Propagate delta through W and the previous ReLU.
+            let mut prev = vec![0.0; layer.inputs];
+            for o in 0..layer.outputs {
+                let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                for (p, w) in prev.iter_mut().zip(row) {
+                    *p += w * delta[o];
+                }
+            }
+            // ReLU derivative: post-activation of layer li-1 is zero exactly
+            // where the unit was clamped.
+            for (p, a) in prev.iter_mut().zip(&activations[li]) {
+                if *a <= 0.0 {
+                    *p = 0.0;
+                }
+            }
+            delta = prev;
+        }
+        loss
+    }
+
+    /// A fresh zero-gradient buffer matching this network.
+    #[must_use]
+    pub fn zero_gradients(&self) -> MlpGradients {
+        MlpGradients::zeros_like(self)
+    }
+
+    /// Applies a parameter update `p -= update` elementwise, where `update`
+    /// has gradient shapes (used by optimizers).
+    pub(crate) fn apply_update(&mut self, update: &MlpGradients) {
+        for (layer, (dw, db)) in self
+            .layers
+            .iter_mut()
+            .zip(update.weights.iter().zip(&update.biases))
+        {
+            for (w, d) in layer.weights.iter_mut().zip(dw) {
+                *w -= d;
+            }
+            for (b, d) in layer.biases.iter_mut().zip(db) {
+                *b -= d;
+            }
+        }
+    }
+
+    /// Flat view of all parameters (weights then biases, per layer) — used
+    /// by tests and optimizers.
+    #[must_use]
+    pub fn flat_parameters(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.parameter_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.weights);
+            out.extend_from_slice(&l.biases);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector (inverse of
+    /// [`Mlp::flat_parameters`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` does not equal [`Mlp::parameter_count`].
+    pub fn set_flat_parameters(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.parameter_count(), "parameter count mismatch");
+        let mut i = 0;
+        for l in &mut self.layers {
+            let wlen = l.weights.len();
+            l.weights.copy_from_slice(&flat[i..i + wlen]);
+            i += wlen;
+            let blen = l.biases.len();
+            l.biases.copy_from_slice(&flat[i..i + blen]);
+            i += blen;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let mlp = Mlp::paper_architecture(3, 0);
+        assert_eq!(mlp.input_size(), 3);
+        assert_eq!(mlp.output_size(), 1);
+        // (3*10+10) + (10*10+10) + (10*5+5) + (5*1+1) = 40+110+55+6 = 211
+        assert_eq!(mlp.parameter_count(), 211);
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        let a = Mlp::new(&[2, 4, 1], 9);
+        let b = Mlp::new(&[2, 4, 1], 9);
+        let c = Mlp::new(&[2, 4, 1], 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn forward_checks_input_size() {
+        let mlp = Mlp::new(&[2, 2, 1], 0);
+        let _ = mlp.forward(&[1.0]);
+    }
+
+    #[test]
+    fn flat_parameters_round_trip() {
+        let mut a = Mlp::new(&[3, 5, 2], 1);
+        let b = Mlp::new(&[3, 5, 2], 2);
+        a.set_flat_parameters(&b.flat_parameters());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut mlp = Mlp::new(&[2, 6, 4, 1], 3);
+        // Nudge every parameter (including the zero-initialized biases) off
+        // the ReLU kink: at a pre-activation of exactly 0 the subgradient
+        // and finite differences legitimately disagree.
+        let nudged: Vec<f64> = mlp
+            .flat_parameters()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p + 0.011 * ((i % 7) as f64 + 1.0))
+            .collect();
+        mlp.set_flat_parameters(&nudged);
+        let x = [0.3, -0.7];
+        let t = [0.42];
+
+        let mut grads = mlp.zero_gradients();
+        mlp.backward(&x, &t, &mut grads);
+
+        // Flatten analytic gradients in the same order as flat_parameters.
+        let mut flat_grad = Vec::new();
+        for (w, b) in grads.weights.iter().zip(&grads.biases) {
+            flat_grad.extend_from_slice(w);
+            flat_grad.extend_from_slice(b);
+        }
+
+        let params = mlp.flat_parameters();
+        let mut worst = 0.0f64;
+        for i in 0..params.len() {
+            let h = 1e-6;
+            let mut p = params.clone();
+            p[i] += h;
+            let mut m = mlp.clone();
+            m.set_flat_parameters(&p);
+            let up = loss_of(&m, &x, &t);
+            p[i] -= 2.0 * h;
+            m.set_flat_parameters(&p);
+            let down = loss_of(&m, &x, &t);
+            let fd = (up - down) / (2.0 * h);
+            worst = worst.max((fd - flat_grad[i]).abs());
+        }
+        assert!(worst < 1e-6, "max gradient error {worst}");
+    }
+
+    fn loss_of(m: &Mlp, x: &[f64], t: &[f64]) -> f64 {
+        let y = m.forward(x);
+        y.iter().zip(t).map(|(y, t)| (y - t) * (y - t)).sum::<f64>() / t.len() as f64
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mlp = Mlp::paper_architecture(3, 11);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(mlp, back);
+        let x = [0.5, -0.5, 1.0];
+        assert_eq!(mlp.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn relu_clamps_hidden_only() {
+        // A 1-1 "network" (no hidden layer) is purely linear: negative
+        // outputs must pass through.
+        let mut mlp = Mlp::new(&[1, 1], 0);
+        let n = mlp.parameter_count();
+        mlp.set_flat_parameters(&vec![-1.0; n]); // w=-1, b=-1
+        let y = mlp.forward(&[1.0]);
+        assert!((y[0] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_scale() {
+        let mlp = Mlp::new(&[1, 2, 1], 0);
+        let mut g = mlp.zero_gradients();
+        mlp.backward(&[1.0], &[0.0], &mut g);
+        let before = g.weights[0][0];
+        g.scale(0.5);
+        assert!((g.weights[0][0] - 0.5 * before).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,205 @@
+//! Feature standardization and the scaled-model wrapper.
+//!
+//! The TOM features mix quantities of very different ranges (scaled times in
+//! units of 100 ps, slopes in the tens); standardizing both inputs and
+//! targets keeps the small ReLU networks in a well-conditioned regime.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::Mlp;
+
+/// Per-feature mean/std normalization fitted on a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations per feature column.
+    ///
+    /// Columns with (near-)zero variance get `std = 1` so they pass through
+    /// unscaled instead of dividing by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    #[must_use]
+    pub fn fit(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot fit a standardizer on no data");
+        let dim = data[0].len();
+        assert!(
+            data.iter().all(|r| r.len() == dim),
+            "all rows must have the same length"
+        );
+        let n = data.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in data {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for row in data {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Identity transform of the given dimension.
+    #[must_use]
+    pub fn identity(dim: usize) -> Self {
+        Self {
+            means: vec![0.0; dim],
+            stds: vec![1.0; dim],
+        }
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes a row: `(x - mean) / std`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "dimension mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Inverts the transform: `x * std + mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn inverse(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dim(), "dimension mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| v * s + m)
+            .collect()
+    }
+}
+
+/// An [`Mlp`] bundled with input/output standardizers: callers work in
+/// physical units, the network sees standardized values. This is the form a
+/// trained transfer function is stored in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaledModel {
+    /// The trained network (operates on standardized values).
+    pub mlp: Mlp,
+    /// Input standardizer.
+    pub input_scaler: Standardizer,
+    /// Output standardizer.
+    pub output_scaler: Standardizer,
+}
+
+impl ScaledModel {
+    /// Wraps a network with the scalers fitted from raw training data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scaler dimensions do not match the network.
+    #[must_use]
+    pub fn new(mlp: Mlp, input_scaler: Standardizer, output_scaler: Standardizer) -> Self {
+        assert_eq!(mlp.input_size(), input_scaler.dim(), "input scaler dim");
+        assert_eq!(mlp.output_size(), output_scaler.dim(), "output scaler dim");
+        Self {
+            mlp,
+            input_scaler,
+            output_scaler,
+        }
+    }
+
+    /// Predicts in physical units.
+    #[must_use]
+    pub fn predict(&self, raw_input: &[f64]) -> Vec<f64> {
+        let x = self.input_scaler.transform(raw_input);
+        let y = self.mlp.forward(&x);
+        self.output_scaler.inverse(&y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_and_transform() {
+        let data = vec![vec![1.0, 100.0], vec![3.0, 300.0]];
+        let s = Standardizer::fit(&data);
+        let t = s.transform(&[2.0, 200.0]);
+        assert!(t[0].abs() < 1e-12 && t[1].abs() < 1e-12);
+        let t = s.transform(&[3.0, 300.0]);
+        assert!((t[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_passthrough() {
+        let data = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let s = Standardizer::fit(&data);
+        assert_eq!(s.transform(&[5.0]), vec![0.0]);
+        assert_eq!(s.inverse(&[0.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let s = Standardizer::identity(3);
+        let x = vec![1.0, -2.0, 3.5];
+        assert_eq!(s.transform(&x), x);
+    }
+
+    #[test]
+    fn scaled_model_predicts_physical_units() {
+        use crate::{train, TrainConfig};
+        // y = 1000 * x on x in [0, 1e-3]: raw scales are hostile, the
+        // standardized problem is trivial.
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 * 1e-3 / 64.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![1000.0 * x[0]]).collect();
+        let in_s = Standardizer::fit(&xs);
+        let out_s = Standardizer::fit(&ys);
+        let xs_t: Vec<Vec<f64>> = xs.iter().map(|x| in_s.transform(x)).collect();
+        let ys_t: Vec<Vec<f64>> = ys.iter().map(|y| out_s.transform(y)).collect();
+        let mut mlp = Mlp::new(&[1, 8, 1], 2);
+        train(&mut mlp, &xs_t, &ys_t, &TrainConfig { epochs: 200, ..Default::default() });
+        let model = ScaledModel::new(mlp, in_s, out_s);
+        let y = model.predict(&[0.5e-3]);
+        assert!((y[0] - 0.5).abs() < 0.05, "prediction {}", y[0]);
+    }
+
+    proptest! {
+        #[test]
+        fn transform_inverse_round_trip(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0..100.0f64, 3), 2..20),
+            probe in proptest::collection::vec(-100.0..100.0f64, 3),
+        ) {
+            let s = Standardizer::fit(&rows);
+            let back = s.inverse(&s.transform(&probe));
+            for (a, b) in back.iter().zip(&probe) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Mini-batch training loop with shuffling and optional validation split.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::adam::AdamOptimizer;
+use crate::mlp::Mlp;
+
+/// Configuration of the training loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Stop early if the (validation or training) loss has not improved for
+    /// this many epochs; `0` disables early stopping.
+    pub patience: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 400,
+            batch_size: 32,
+            learning_rate: 5e-3,
+            seed: 0,
+            patience: 0,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss of the final epoch.
+    pub final_loss: f64,
+    /// Mean training loss per epoch.
+    pub history: Vec<f64>,
+    /// Validation loss per epoch (empty when trained without a split).
+    pub validation_history: Vec<f64>,
+    /// Epochs actually run (≤ `epochs` with early stopping).
+    pub epochs_run: usize,
+}
+
+/// Trains `mlp` on `(inputs, targets)` with mini-batch Adam.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty, lengths mismatch, or row sizes do not
+/// match the network.
+pub fn train(
+    mlp: &mut Mlp,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    config: &TrainConfig,
+) -> TrainReport {
+    train_with_validation(mlp, inputs, targets, &[], &[], config)
+}
+
+/// Trains with an explicit validation set; early stopping (if enabled)
+/// watches the validation loss when a validation set is given, otherwise
+/// the training loss.
+///
+/// # Panics
+///
+/// Panics if the training set is empty or shapes are inconsistent.
+pub fn train_with_validation(
+    mlp: &mut Mlp,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    val_inputs: &[Vec<f64>],
+    val_targets: &[Vec<f64>],
+    config: &TrainConfig,
+) -> TrainReport {
+    assert!(!inputs.is_empty(), "training set must be non-empty");
+    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+    assert_eq!(val_inputs.len(), val_targets.len(), "validation length mismatch");
+
+    let mut opt = AdamOptimizer::new(mlp, config.learning_rate);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    let batch = config.batch_size.clamp(1, inputs.len());
+
+    let mut history = Vec::with_capacity(config.epochs);
+    let mut validation_history = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+
+    for _ in 0..config.epochs {
+        epochs_run += 1;
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for chunk in order.chunks(batch) {
+            let mut grads = mlp.zero_gradients();
+            let mut loss = 0.0;
+            for &i in chunk {
+                loss += mlp.backward(&inputs[i], &targets[i], &mut grads);
+            }
+            grads.scale(1.0 / chunk.len() as f64);
+            opt.step(mlp, &grads);
+            epoch_loss += loss;
+        }
+        epoch_loss /= inputs.len() as f64;
+        history.push(epoch_loss);
+
+        let watch = if val_inputs.is_empty() {
+            epoch_loss
+        } else {
+            let v = evaluate(mlp, val_inputs, val_targets);
+            validation_history.push(v);
+            v
+        };
+        if config.patience > 0 {
+            if watch < best - 1e-15 {
+                best = watch;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= config.patience {
+                    break;
+                }
+            }
+        }
+    }
+
+    TrainReport {
+        final_loss: *history.last().expect("at least one epoch"),
+        history,
+        validation_history,
+        epochs_run,
+    }
+}
+
+/// Mean MSE of `mlp` over a dataset.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or the set is empty.
+#[must_use]
+pub fn evaluate(mlp: &Mlp, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+    assert!(!inputs.is_empty(), "evaluation set must be non-empty");
+    assert_eq!(inputs.len(), targets.len());
+    let mut total = 0.0;
+    for (x, t) in inputs.iter().zip(targets) {
+        let y = mlp.forward(x);
+        total += y
+            .iter()
+            .zip(t)
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f64>()
+            / t.len() as f64;
+    }
+    total / inputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (xs, ys) = xor_data();
+        let mut mlp = Mlp::new(&[2, 8, 8, 1], 3);
+        let rep = train(
+            &mut mlp,
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 2000,
+                batch_size: 4,
+                learning_rate: 1e-2,
+                ..Default::default()
+            },
+        );
+        assert!(rep.final_loss < 1e-3, "final loss {}", rep.final_loss);
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = mlp.forward(x)[0];
+            assert!((p - y[0]).abs() < 0.1, "xor({x:?}) = {p}");
+        }
+    }
+
+    #[test]
+    fn loss_decreases_overall() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![(3.0 * x[0]).sin()]).collect();
+        let mut mlp = Mlp::new(&[1, 16, 16, 1], 1);
+        let rep = train(&mut mlp, &xs, &ys, &TrainConfig { epochs: 150, ..Default::default() });
+        let early: f64 = rep.history[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = rep.history[rep.history.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(late < early / 5.0, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn early_stopping_truncates() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![vec![0.0], vec![1.0]];
+        let mut mlp = Mlp::new(&[1, 4, 1], 0);
+        let rep = train(
+            &mut mlp,
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 10_000,
+                patience: 20,
+                ..Default::default()
+            },
+        );
+        assert!(rep.epochs_run < 10_000, "ran {}", rep.epochs_run);
+    }
+
+    #[test]
+    fn validation_history_populated() {
+        let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 / 32.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0]]).collect();
+        let mut mlp = Mlp::new(&[1, 4, 1], 0);
+        let rep = train_with_validation(
+            &mut mlp,
+            &xs,
+            &ys,
+            &xs,
+            &ys,
+            &TrainConfig { epochs: 5, ..Default::default() },
+        );
+        assert_eq!(rep.validation_history.len(), rep.epochs_run);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * 0.5]).collect();
+        let mut a = Mlp::new(&[1, 4, 1], 7);
+        let mut b = Mlp::new(&[1, 4, 1], 7);
+        let cfg = TrainConfig { epochs: 20, ..Default::default() };
+        train(&mut a, &xs, &ys, &cfg);
+        train(&mut b, &xs, &ys, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dataset_rejected() {
+        let mut mlp = Mlp::new(&[1, 1], 0);
+        let _ = train(&mut mlp, &[], &[], &TrainConfig::default());
+    }
+}

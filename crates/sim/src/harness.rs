@@ -1,0 +1,444 @@
+//! The three-way comparison harness of Sec. V: one circuit, one stimulus,
+//! three simulators — analog reference (nanospice standing in for
+//! SPICE/Spectre), digital baseline (digilog standing in for ModelSim),
+//! and the sigmoid prototype — with the paper's `t_err` accounting.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use digilog::{simulate as simulate_digital, GateChannels};
+use nanospice::{Engine, EngineConfig, Pwl, Stimulus};
+use sigchar::{build_analog, AnalogOptions, BuildAnalogError, CharError, DelayTable};
+use sigcircuit::{Circuit, NetId};
+use sigfit::{fit_waveform, FitOptions};
+use sigtom::TomOptions;
+use sigwave::metrics::{t_err_digital, Window};
+use sigwave::{DigitalTrace, Level, SigmoidTrace, Waveform};
+
+use crate::simulator::{simulate_sigmoid, GateModels, SigmoidSimError};
+
+/// How the sigmoid simulator's input traces are derived from the analog
+/// reference inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SigmoidInputMode {
+    /// Fit sigmoids to the shaped analog input waveforms (the paper's
+    /// standard setup).
+    #[default]
+    Fitted,
+    /// Use exactly the transitions the digital simulator sees (threshold
+    /// crossings with a fixed steep slope) — the "same stimulus" row of
+    /// Table I, where "our sigmoid simulator was stimulated with exactly
+    /// the same input waveforms as ModelSim".
+    SameAsDigital,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Analog translation options (shaping/termination, caps).
+    pub analog: AnalogOptions,
+    /// Analog engine settings.
+    pub engine: EngineConfig,
+    /// Waveform fitting options (for input fitting).
+    pub fit: FitOptions,
+    /// TOM prediction options.
+    pub tom: TomOptions,
+    /// Extra settling time simulated after the last input transition
+    /// (seconds).
+    pub tail: f64,
+    /// How the sigmoid simulator's inputs are derived.
+    pub sigmoid_inputs: SigmoidInputMode,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            analog: AnalogOptions::default(),
+            engine: EngineConfig::default(),
+            fit: FitOptions::default(),
+            tom: TomOptions::default(),
+            tail: 120e-12,
+            sigmoid_inputs: SigmoidInputMode::Fitted,
+        }
+    }
+}
+
+/// The fixed slope used when converting Heaviside transitions to sigmoids
+/// in [`SigmoidInputMode::SameAsDigital`] (scaled units; a sharp but
+/// finite edge).
+pub const SAME_STIMULUS_SLOPE: f64 = 40.0;
+
+/// Converts a digital trace into a sigmoidal trace with fixed steep slopes
+/// at the same crossing times.
+#[must_use]
+pub fn digital_to_sigmoid(trace: &DigitalTrace, vdd: f64) -> SigmoidTrace {
+    let mut rising = !trace.initial().is_high();
+    let transitions = trace
+        .toggles()
+        .iter()
+        .map(|&t| {
+            let s = if rising {
+                sigwave::Sigmoid::rising(SAME_STIMULUS_SLOPE, sigwave::to_scaled_time(t))
+            } else {
+                sigwave::Sigmoid::falling(SAME_STIMULUS_SLOPE, sigwave::to_scaled_time(t))
+            };
+            rising = !rising;
+            s
+        })
+        .collect();
+    SigmoidTrace::from_transitions(trace.initial(), transitions, vdd)
+        .expect("digital traces alternate by construction")
+}
+
+/// Error from the harness.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// Analog build failed.
+    Build(BuildAnalogError),
+    /// Analog simulation failed.
+    Analog(nanospice::SimulationError),
+    /// Input fitting failed.
+    Fit(sigfit::WaveformFitError),
+    /// Sigmoid simulation failed.
+    Sigmoid(SigmoidSimError),
+    /// Digital simulation failed.
+    Digital(digilog::DigitalSimError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "analog build: {e}"),
+            Self::Analog(e) => write!(f, "analog simulation: {e}"),
+            Self::Fit(e) => write!(f, "input fitting: {e}"),
+            Self::Sigmoid(e) => write!(f, "sigmoid simulation: {e}"),
+            Self::Digital(e) => write!(f, "digital simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<BuildAnalogError> for HarnessError {
+    fn from(e: BuildAnalogError) -> Self {
+        Self::Build(e)
+    }
+}
+impl From<nanospice::SimulationError> for HarnessError {
+    fn from(e: nanospice::SimulationError) -> Self {
+        Self::Analog(e)
+    }
+}
+impl From<sigfit::WaveformFitError> for HarnessError {
+    fn from(e: sigfit::WaveformFitError) -> Self {
+        Self::Fit(e)
+    }
+}
+impl From<SigmoidSimError> for HarnessError {
+    fn from(e: SigmoidSimError) -> Self {
+        Self::Sigmoid(e)
+    }
+}
+impl From<digilog::DigitalSimError> for HarnessError {
+    fn from(e: digilog::DigitalSimError) -> Self {
+        Self::Digital(e)
+    }
+}
+
+impl From<CharError> for HarnessError {
+    fn from(e: CharError) -> Self {
+        match e {
+            CharError::Build(b) => Self::Build(b),
+            CharError::Simulation(s) => Self::Analog(s),
+            CharError::Fit(f) => Self::Fit(f),
+        }
+    }
+}
+
+/// Per-output traces from one comparison run (the Fig. 5 data).
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// Output net name.
+    pub net: String,
+    /// The analog reference waveform.
+    pub analog: Waveform,
+    /// The digital baseline's prediction.
+    pub digital: DigitalTrace,
+    /// The sigmoid prototype's prediction.
+    pub sigmoid: SigmoidTrace,
+}
+
+/// Aggregate result of one comparison run (one Table I cell contribution).
+#[derive(Debug, Clone)]
+pub struct ComparisonOutcome {
+    /// Total `t_err` of the digital baseline vs the analog reference,
+    /// summed over all outputs (seconds).
+    pub t_err_digital: f64,
+    /// Total `t_err` of the sigmoid prototype (seconds).
+    pub t_err_sigmoid: f64,
+    /// Number of primary outputs compared.
+    pub outputs: usize,
+    /// Wall time of the analog engine run.
+    pub wall_analog: Duration,
+    /// Wall time of the digital simulation.
+    pub wall_digital: Duration,
+    /// Wall time of the sigmoid simulation (prediction only).
+    pub wall_sigmoid: Duration,
+    /// The observation window used for `t_err`.
+    pub window: Window,
+    /// Per-output traces (for plots and debugging).
+    pub bundles: Vec<TraceBundle>,
+}
+
+impl ComparisonOutcome {
+    /// The paper's error ratio `t_err_sigmoid / t_err_digital` (∞ when the
+    /// digital baseline is perfect).
+    #[must_use]
+    pub fn error_ratio(&self) -> f64 {
+        if self.t_err_digital == 0.0 {
+            if self.t_err_sigmoid == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.t_err_sigmoid / self.t_err_digital
+        }
+    }
+}
+
+/// Runs the full three-way comparison of a NOR-only circuit under the given
+/// digital input stimuli.
+///
+/// The analog run is the reference: its shaped input waveforms are fitted
+/// (for the sigmoid simulator) and digitized (for the digital simulator),
+/// so all three simulators observe the *same* inputs, exactly as in the
+/// paper's setup.
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] if any stage fails structurally.
+pub fn compare_circuit(
+    circuit: &Circuit,
+    stimuli: &HashMap<NetId, DigitalTrace>,
+    models: &GateModels,
+    delays: &DelayTable,
+    config: &HarnessConfig,
+) -> Result<ComparisonOutcome, HarnessError> {
+    // ---- Analog reference -------------------------------------------------
+    let mut analog_stimuli: HashMap<NetId, Box<dyn Stimulus>> = HashMap::new();
+    let mut init = HashMap::new();
+    let mut t_last: f64 = 0.0;
+    for (&net, trace) in stimuli {
+        analog_stimuli.insert(net, Box::new(Pwl::heaviside_train(trace, 0.8, 1e-12)));
+        init.insert(net, trace.initial());
+        if let Some(&last) = trace.toggles().last() {
+            t_last = t_last.max(last);
+        }
+    }
+    let analog = build_analog(circuit, analog_stimuli, &init, &config.analog)?;
+    let mut probe_names: Vec<String> = Vec::new();
+    for &i in circuit.inputs() {
+        probe_names.push(analog.probe_name(i).to_string());
+    }
+    for &o in circuit.outputs() {
+        probe_names.push(analog.probe_name(o).to_string());
+    }
+    let probes: Vec<&str> = probe_names.iter().map(String::as_str).collect();
+    let t_end = t_last + config.tail;
+
+    let start = Instant::now();
+    let analog_result = Engine::new(config.engine).run(&analog.network, 0.0, t_end, &probes)?;
+    let wall_analog = start.elapsed();
+
+    // ---- Derive the common inputs -----------------------------------------
+    let threshold = config.tom.vdd / 2.0;
+    let mut sigmoid_inputs: HashMap<NetId, SigmoidTrace> = HashMap::new();
+    let mut digital_inputs: HashMap<NetId, DigitalTrace> = HashMap::new();
+    for &i in circuit.inputs() {
+        let wave = analog_result
+            .waveform(analog.probe_name(i))
+            .expect("probed");
+        let digitized = wave.digitize(threshold);
+        let sigmoid = match config.sigmoid_inputs {
+            SigmoidInputMode::Fitted => fit_waveform(wave, &config.fit)?.trace,
+            SigmoidInputMode::SameAsDigital => digital_to_sigmoid(&digitized, config.tom.vdd),
+        };
+        sigmoid_inputs.insert(i, sigmoid);
+        digital_inputs.insert(i, digitized);
+    }
+
+    // ---- Digital baseline --------------------------------------------------
+    // Per-instance delays: the digital baseline knows each gate's actual
+    // fan-out *and* interconnect (like ModelSim fed by Genus/Innovus
+    // extraction), while the sigmoid prototype only has its FO1/FO2 models.
+    let fanouts = circuit.fanout_counts();
+    let channels = GateChannels::from_fn(circuit, |gi| {
+        let gate = &circuit.gates()[gi];
+        let mult = sigchar::wire_cap_multiplier(
+            circuit.net_name(gate.output),
+            config.analog.wire_cap_variation,
+        );
+        Box::new(
+            delays
+                .lookup_gate(gate.inputs.len() == 1, fanouts[gate.output.0], mult)
+                .to_inertial(),
+        )
+    });
+    let start = Instant::now();
+    let digital_result = simulate_digital(circuit, &digital_inputs, &channels)?;
+    let wall_digital = start.elapsed();
+
+    // ---- Sigmoid prototype -------------------------------------------------
+    let start = Instant::now();
+    let sigmoid_result = simulate_sigmoid(circuit, &sigmoid_inputs, models, config.tom)?;
+    let wall_sigmoid = start.elapsed();
+
+    // ---- t_err accounting ---------------------------------------------------
+    let window = Window::new(0.0, t_end);
+    let mut t_err_dig = 0.0;
+    let mut t_err_sig = 0.0;
+    let mut bundles = Vec::with_capacity(circuit.outputs().len());
+    for &o in circuit.outputs() {
+        let wave = analog_result
+            .waveform(analog.probe_name(o))
+            .expect("probed");
+        let reference = wave.digitize(threshold);
+        let dig = digital_result.trace(o).clone();
+        let sig = sigmoid_result.trace(o).clone();
+        t_err_dig += t_err_digital(&reference, &dig, window);
+        t_err_sig += t_err_digital(&reference, &sig.digitize(threshold), window);
+        bundles.push(TraceBundle {
+            net: circuit.net_name(o).to_string(),
+            analog: wave.clone(),
+            digital: dig,
+            sigmoid: sig,
+        });
+    }
+
+    Ok(ComparisonOutcome {
+        t_err_digital: t_err_dig,
+        t_err_sigmoid: t_err_sig,
+        outputs: circuit.outputs().len(),
+        wall_analog,
+        wall_digital,
+        wall_sigmoid,
+        window,
+        bundles,
+    })
+}
+
+/// Sanity check used by tests and examples: all three simulators must agree
+/// on the final settled levels of every output (boolean correctness).
+#[must_use]
+pub fn final_levels_agree(outcome: &ComparisonOutcome, vdd: f64) -> bool {
+    outcome.bundles.iter().all(|b| {
+        let analog = b.analog.values().last().copied().unwrap_or(0.0) > vdd / 2.0;
+        let digital = b.digital.final_level().is_high();
+        let sigmoid = b.sigmoid.final_level().is_high();
+        analog == digital && digital == sigmoid
+    })
+}
+
+/// Generates per-input random stimuli for a circuit from a spec.
+#[must_use]
+pub fn random_stimuli(
+    circuit: &Circuit,
+    spec: &crate::stimulus::StimulusSpec,
+    rng: &mut rand::rngs::StdRng,
+) -> HashMap<NetId, DigitalTrace> {
+    circuit
+        .inputs()
+        .iter()
+        .map(|&i| (i, spec.sample(rng)))
+        .collect()
+}
+
+/// Holds one input assignment fixed at constant levels (useful to settle a
+/// circuit or drive only a subset of inputs).
+#[must_use]
+pub fn constant_stimuli(circuit: &Circuit, level: Level) -> HashMap<NetId, DigitalTrace> {
+    circuit
+        .inputs()
+        .iter()
+        .map(|&i| (i, DigitalTrace::constant(level)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{train_models, PipelineConfig};
+    use crate::stimulus::StimulusSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sigchar::CharacterizationConfig;
+    use sigchar::PulseSweep;
+    use sigtom::AnnTrainConfig;
+
+    fn tiny_pipeline() -> PipelineConfig {
+        PipelineConfig {
+            characterization: CharacterizationConfig {
+                sweep: PulseSweep {
+                    min: 10e-12,
+                    max: 20e-12,
+                    step: 5e-12,
+                    t0: 60e-12,
+                },
+                chain_targets: 3,
+                ..CharacterizationConfig::default()
+            },
+            training: AnnTrainConfig {
+                epochs: 250,
+                patience: 0,
+                ..AnnTrainConfig::default()
+            },
+            region_margin: Some(4.0),
+        }
+    }
+
+    #[test]
+    fn c17_three_way_comparison() {
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        let circuit = &bench.nor_mapped;
+        let trained = train_models(&tiny_pipeline()).unwrap();
+        let models = trained.gate_models();
+        let delays = DelayTable::measure(
+            1..=3,
+            &AnalogOptions::default(),
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = StimulusSpec::new(60e-12, 20e-12, 6);
+        let stimuli = random_stimuli(circuit, &spec, &mut rng);
+        let outcome = compare_circuit(
+            circuit,
+            &stimuli,
+            &models,
+            &delays,
+            &HarnessConfig::default(),
+        )
+        .unwrap();
+
+        assert_eq!(outcome.outputs, 2);
+        assert!(
+            final_levels_agree(&outcome, 0.8),
+            "all simulators must agree on settled levels"
+        );
+        // Errors must be small relative to the window (sane predictions).
+        let budget = outcome.window.duration() * outcome.outputs as f64;
+        assert!(
+            outcome.t_err_sigmoid < 0.25 * budget,
+            "sigmoid t_err {:.3e} too large",
+            outcome.t_err_sigmoid
+        );
+        assert!(
+            outcome.t_err_digital < 0.25 * budget,
+            "digital t_err {:.3e} too large",
+            outcome.t_err_digital
+        );
+        // The analog engine dominates the wall-clock comparison.
+        assert!(outcome.wall_analog > outcome.wall_sigmoid);
+    }
+}

@@ -1,0 +1,76 @@
+//! The prototype sigmoidal circuit simulator and the Sec. V experiment
+//! harness.
+//!
+//! This crate assembles the whole reproduction of *Signal Prediction for
+//! Digital Circuits by Sigmoidal Approximations using Neural Networks*
+//! (DATE 2025):
+//!
+//! * [`simulate_sigmoid`] — the prototype simulator: NOR-only circuits,
+//!   sigmoid traces in, sigmoid traces out, with separate models for
+//!   inverters, fan-out-1 and fan-out-≥2 NOR gates (Sec. V-A).
+//! * [`train_models`]/[`train_models_cached`] — the end-to-end pipeline:
+//!   analog characterization sweeps → waveform fitting → four ANNs per
+//!   gate variant → valid regions.
+//! * [`StimulusSpec`] — Table I's randomized stimuli (normal
+//!   inter-transition times).
+//! * [`compare_circuit`] — the three-way comparison: analog reference,
+//!   digital baseline with extracted inertial delays, sigmoid prototype;
+//!   produces `t_err` totals, wall-clock times and per-output traces.
+//!
+//! # Example
+//!
+//! Training is expensive; see `examples/quickstart.rs` for the full
+//! pipeline. Simulating with an already-built model:
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use std::sync::Arc;
+//! use sigsim::{simulate_sigmoid, GateModels};
+//! use sigcircuit::{CircuitBuilder, GateKind};
+//! use sigtom::{GateModel, TomOptions, TransferFunction,
+//!              TransferPrediction, TransferQuery};
+//! use sigwave::{Level, Sigmoid, SigmoidTrace, VDD_DEFAULT};
+//!
+//! struct Fixed;
+//! impl TransferFunction for Fixed {
+//!     fn predict(&self, q: TransferQuery) -> TransferPrediction {
+//!         TransferPrediction { a_out: -q.a_in.signum() * 14.0, delay: 0.06 }
+//!     }
+//!     fn backend_name(&self) -> &'static str { "fixed" }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = CircuitBuilder::new();
+//! let a = b.add_input("a");
+//! let y = b.add_gate(GateKind::Nor, &[a], "y");
+//! b.mark_output(y);
+//! let circuit = b.build()?;
+//!
+//! let models = GateModels::uniform(GateModel::new(Arc::new(Fixed)));
+//! let mut stimuli = HashMap::new();
+//! stimuli.insert(a, SigmoidTrace::from_transitions(
+//!     Level::Low, vec![Sigmoid::rising(12.0, 1.0)], VDD_DEFAULT)?);
+//! let result = simulate_sigmoid(&circuit, &stimuli, &models, TomOptions::default())?;
+//! assert_eq!(result.trace(y).len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+mod models;
+mod simulator;
+mod stimulus;
+
+pub use harness::{
+    compare_circuit, constant_stimuli, digital_to_sigmoid, final_levels_agree, random_stimuli,
+    ComparisonOutcome, HarnessConfig, HarnessError, SigmoidInputMode, TraceBundle,
+    SAME_STIMULUS_SLOPE,
+};
+pub use models::{
+    train_models, train_models_cached, PipelineConfig, PipelineError, TrainedModels,
+};
+pub use simulator::{simulate_sigmoid, GateModels, SigmoidSimError, SigmoidSimResult};
+pub use stimulus::StimulusSpec;

@@ -1,0 +1,314 @@
+//! The end-to-end training pipeline: characterize → train ANNs → build
+//! valid regions → assemble [`GateModels`], with JSON caching of the
+//! trained artifacts (the paper's "trained ANNs stored with the prototype"
+//! flow).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use sigchar::{characterize, CharError, CharacterizationConfig, Dataset, GateTag};
+use sigtom::{AnnTrainConfig, AnnTransfer, GateModel, TrainTransferError, ValidRegion};
+
+use crate::simulator::GateModels;
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Characterization campaign settings (sweep, chains, engine).
+    pub characterization: CharacterizationConfig,
+    /// ANN training settings.
+    pub training: AnnTrainConfig,
+    /// Valid-region margin; `None` disables region containment (ablation).
+    pub region_margin: Option<f64>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            characterization: CharacterizationConfig {
+                sweep: sigchar::PulseSweep {
+                    min: 5e-12,
+                    max: 20e-12,
+                    step: 2.5e-12, // 7 values -> 343 runs per gate variant
+                    t0: 60e-12,
+                },
+                chain_targets: 4,
+                ..CharacterizationConfig::default()
+            },
+            training: AnnTrainConfig::default(),
+            region_margin: Some(4.0),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast, CI-scale pipeline (coarser sweep, shorter training).
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            characterization: CharacterizationConfig {
+                sweep: sigchar::PulseSweep {
+                    min: 6e-12,
+                    max: 20e-12,
+                    step: 7e-12, // 3 values -> 27 runs per gate variant
+                    t0: 60e-12,
+                },
+                chain_targets: 3,
+                ..CharacterizationConfig::default()
+            },
+            training: AnnTrainConfig {
+                epochs: 400,
+                patience: 60,
+                ..AnnTrainConfig::default()
+            },
+            region_margin: Some(4.0),
+        }
+    }
+}
+
+/// Error from the training pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Characterization failed.
+    Characterization(CharError),
+    /// Training failed.
+    Training(TrainTransferError),
+    /// Cache I/O failed.
+    Io(std::io::Error),
+    /// Cache (de)serialization failed.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Characterization(e) => write!(f, "characterization failed: {e}"),
+            Self::Training(e) => write!(f, "training failed: {e}"),
+            Self::Io(e) => write!(f, "model cache I/O failed: {e}"),
+            Self::Serde(e) => write!(f, "model cache corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Characterization(e) => Some(e),
+            Self::Training(e) => Some(e),
+            Self::Io(e) => Some(e),
+            Self::Serde(e) => Some(e),
+        }
+    }
+}
+
+impl From<CharError> for PipelineError {
+    fn from(e: CharError) -> Self {
+        Self::Characterization(e)
+    }
+}
+
+impl From<TrainTransferError> for PipelineError {
+    fn from(e: TrainTransferError) -> Self {
+        Self::Training(e)
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PipelineError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Serde(e)
+    }
+}
+
+/// One trained gate variant in serializable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredModel {
+    ann: AnnTransfer,
+    region: Option<ValidRegion>,
+}
+
+impl StoredModel {
+    fn to_gate_model(&self) -> GateModel {
+        let mut m = GateModel::new(Arc::new(self.ann.clone()));
+        if let Some(r) = &self.region {
+            m = m.with_region(Arc::new(r.clone()));
+        }
+        m
+    }
+}
+
+/// The trained artifact bundle: gate models plus the datasets they were
+/// trained on (kept for valid-region ablations and benchmarks).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedModels {
+    inverter: StoredModel,
+    inverter_fo2: StoredModel,
+    nor_fo1: StoredModel,
+    nor_fo2: StoredModel,
+    /// The characterization datasets by gate variant.
+    pub datasets: HashMap<String, Dataset>,
+}
+
+impl TrainedModels {
+    /// Assembles the runtime gate models.
+    #[must_use]
+    pub fn gate_models(&self) -> GateModels {
+        GateModels {
+            inverter: self.inverter.to_gate_model(),
+            inverter_fo2: self.inverter_fo2.to_gate_model(),
+            nor_fo1: self.nor_fo1.to_gate_model(),
+            nor_fo2: self.nor_fo2.to_gate_model(),
+        }
+    }
+
+    /// The dataset of one gate variant.
+    #[must_use]
+    pub fn dataset(&self, tag: GateTag) -> Option<&Dataset> {
+        self.datasets.get(&tag.to_string())
+    }
+}
+
+fn train_one(
+    tag: GateTag,
+    config: &PipelineConfig,
+) -> Result<(StoredModel, Dataset), PipelineError> {
+    let outcome = characterize(tag, &config.characterization)?;
+    let ann = AnnTransfer::train(&outcome.dataset, &config.training)?;
+    let region = config.region_margin.map(|margin| {
+        let pts: Vec<[f64; 3]> = outcome
+            .dataset
+            .rising
+            .iter()
+            .chain(&outcome.dataset.falling)
+            .map(|s| s.features())
+            .collect();
+        ValidRegion::build(&pts, margin)
+    });
+    Ok((StoredModel { ann, region }, outcome.dataset))
+}
+
+/// Runs the full pipeline: characterize and train all three gate variants.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on characterization or training failure.
+pub fn train_models(config: &PipelineConfig) -> Result<TrainedModels, PipelineError> {
+    let (inverter, d_inv) = train_one(GateTag::Inverter, config)?;
+    let (inverter_fo2, d_inv2) = train_one(GateTag::InverterFo2, config)?;
+    let (nor_fo1, d_fo1) = train_one(GateTag::NorFo1, config)?;
+    let (nor_fo2, d_fo2) = train_one(GateTag::NorFo2, config)?;
+    let mut datasets = HashMap::new();
+    datasets.insert(GateTag::Inverter.to_string(), d_inv);
+    datasets.insert(GateTag::InverterFo2.to_string(), d_inv2);
+    datasets.insert(GateTag::NorFo1.to_string(), d_fo1);
+    datasets.insert(GateTag::NorFo2.to_string(), d_fo2);
+    Ok(TrainedModels {
+        inverter,
+        inverter_fo2,
+        nor_fo1,
+        nor_fo2,
+        datasets,
+    })
+}
+
+/// Like [`train_models`] but cached: loads the JSON artifact at `path` if
+/// present, otherwise trains and writes it.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on pipeline or I/O failure. A corrupt cache is
+/// retrained, not an error.
+pub fn train_models_cached(
+    path: &Path,
+    config: &PipelineConfig,
+) -> Result<TrainedModels, PipelineError> {
+    if path.exists() {
+        let text = std::fs::read_to_string(path)?;
+        if let Ok(models) = serde_json::from_str::<TrainedModels>(&text) {
+            return Ok(models);
+        }
+        // fall through: retrain over a corrupt/outdated cache
+    }
+    let models = train_models(config)?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde_json::to_string(&models)?)?;
+    Ok(models)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigchar::PulseSweep;
+
+    fn tiny() -> PipelineConfig {
+        PipelineConfig {
+            characterization: CharacterizationConfig {
+                sweep: PulseSweep {
+                    min: 12e-12,
+                    max: 18e-12,
+                    step: 6e-12,
+                    t0: 60e-12,
+                },
+                chain_targets: 2,
+                ..CharacterizationConfig::default()
+            },
+            training: AnnTrainConfig {
+                epochs: 60,
+                patience: 0,
+                ..AnnTrainConfig::default()
+            },
+            region_margin: Some(4.0),
+        }
+    }
+
+    #[test]
+    fn pipeline_trains_all_variants() {
+        let trained = train_models(&tiny()).unwrap();
+        let models = trained.gate_models();
+        // Sanity: a moderate rising input long after the previous output
+        // must produce a falling output with positive delay.
+        let q = sigtom::TransferQuery {
+            t: 2.0,
+            a_in: 15.0,
+            a_prev_out: 15.0,
+        };
+        for m in [&models.inverter, &models.nor_fo1, &models.nor_fo2] {
+            let p = m.transfer.predict(q);
+            assert!(p.delay > 0.0 && p.delay < 0.5, "delay {p:?}");
+            assert!(p.a_out < 0.0, "inverting polarity {p:?}");
+        }
+        assert_eq!(trained.datasets.len(), 4);
+        assert!(trained.dataset(GateTag::NorFo1).is_some());
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let dir = std::env::temp_dir().join("sigsim_test_models");
+        let path = dir.join("models.json");
+        let _ = std::fs::remove_file(&path);
+        let a = train_models_cached(&path, &tiny()).unwrap();
+        assert!(path.exists());
+        let b = train_models_cached(&path, &tiny()).unwrap();
+        // The second load must come from cache and be identical.
+        let q = sigtom::TransferQuery {
+            t: 1.0,
+            a_in: 10.0,
+            a_prev_out: -12.0,
+        };
+        assert_eq!(
+            a.gate_models().nor_fo1.transfer.predict(q),
+            b.gate_models().nor_fo1.transfer.predict(q)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

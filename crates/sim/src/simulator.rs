@@ -1,0 +1,291 @@
+//! The prototype sigmoidal circuit simulator (Sec. V-A): topological
+//! evaluation of NOR-only circuits with per-variant TOM gate models.
+
+use std::collections::HashMap;
+
+use sigcircuit::{Circuit, GateKind, NetId};
+use sigtom::{predict_nor, GateModel, TomOptions};
+use sigwave::{Level, SigmoidTrace};
+
+/// The trained gate models the prototype uses: "all elementary gates of the
+/// same type are identical … the only exception are NOR gates with fan-out
+/// of 2 or more, which use different ANNs than NOR gates with fan-out 1"
+/// (Sec. V-A).
+#[derive(Debug, Clone)]
+pub struct GateModels {
+    /// Model for 1-input NOR (inverter) at fan-out 1.
+    pub inverter: GateModel,
+    /// Model for 1-input NOR at fan-out ≥ 2 (the paper's future-work
+    /// extension to wider fan-outs).
+    pub inverter_fo2: GateModel,
+    /// Model for 2-input NOR with fan-out 1.
+    pub nor_fo1: GateModel,
+    /// Model for 2-input NOR with fan-out ≥ 2.
+    pub nor_fo2: GateModel,
+}
+
+impl GateModels {
+    /// Selects the model for a gate of the given arity and fan-out.
+    #[must_use]
+    pub fn select(&self, arity: usize, fanout: usize) -> &GateModel {
+        match (arity, fanout) {
+            (1, 0..=1) => &self.inverter,
+            (1, _) => &self.inverter_fo2,
+            (_, 0..=1) => &self.nor_fo1,
+            _ => &self.nor_fo2,
+        }
+    }
+
+    /// Clones one model into all four slots (useful for tests and
+    /// analytic-backend benchmarks).
+    #[must_use]
+    pub fn uniform(model: GateModel) -> Self {
+        Self {
+            inverter: model.clone(),
+            inverter_fo2: model.clone(),
+            nor_fo1: model.clone(),
+            nor_fo2: model,
+        }
+    }
+}
+
+/// Error from the sigmoid circuit simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigmoidSimError {
+    /// A primary input has no stimulus trace.
+    MissingStimulus {
+        /// Input net name.
+        net: String,
+    },
+    /// The circuit contains a gate the prototype does not support (it
+    /// simulates NOR-only circuits, Sec. V-A).
+    UnsupportedGate {
+        /// Offending gate kind.
+        kind: GateKind,
+        /// Its arity.
+        arity: usize,
+    },
+}
+
+impl std::fmt::Display for SigmoidSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingStimulus { net } => write!(f, "no stimulus for input {net:?}"),
+            Self::UnsupportedGate { kind, arity } => {
+                write!(f, "prototype cannot simulate {kind} with {arity} inputs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SigmoidSimError {}
+
+/// Result of a sigmoid circuit simulation: one sigmoidal trace per net.
+#[derive(Debug, Clone)]
+pub struct SigmoidSimResult {
+    traces: Vec<SigmoidTrace>,
+}
+
+impl SigmoidSimResult {
+    /// The trace on a net.
+    #[must_use]
+    pub fn trace(&self, net: NetId) -> &SigmoidTrace {
+        &self.traces[net.0]
+    }
+
+    /// All traces, indexed by [`NetId`].
+    #[must_use]
+    pub fn traces(&self) -> &[SigmoidTrace] {
+        &self.traces
+    }
+}
+
+/// Simulates a NOR-only circuit: input sigmoid traces propagate gate by
+/// gate in topological order through the TOM transfer functions.
+///
+/// # Errors
+///
+/// Returns [`SigmoidSimError`] on missing stimuli or unsupported gates
+/// (only NOR with 1–3 inputs is accepted).
+pub fn simulate_sigmoid(
+    circuit: &Circuit,
+    stimuli: &HashMap<NetId, SigmoidTrace>,
+    models: &GateModels,
+    options: TomOptions,
+) -> Result<SigmoidSimResult, SigmoidSimError> {
+    let fanouts = circuit.fanout_counts();
+    let mut traces: Vec<Option<SigmoidTrace>> = vec![None; circuit.net_count()];
+    for &input in circuit.inputs() {
+        let t = stimuli
+            .get(&input)
+            .ok_or_else(|| SigmoidSimError::MissingStimulus {
+                net: circuit.net_name(input).to_string(),
+            })?;
+        traces[input.0] = Some(t.clone());
+    }
+    for &gi in circuit.topological_gates() {
+        let gate = &circuit.gates()[gi];
+        if gate.kind != GateKind::Nor || gate.inputs.len() > 3 {
+            return Err(SigmoidSimError::UnsupportedGate {
+                kind: gate.kind,
+                arity: gate.inputs.len(),
+            });
+        }
+        let ins: Vec<&SigmoidTrace> = gate
+            .inputs
+            .iter()
+            .map(|i| traces[i.0].as_ref().expect("topological order"))
+            .collect();
+        let model = models.select(gate.inputs.len(), fanouts[gate.output.0]);
+        let out = predict_nor(model, &ins, options);
+        traces[gate.output.0] = Some(out);
+    }
+    Ok(SigmoidSimResult {
+        traces: traces
+            .into_iter()
+            .map(|t| t.unwrap_or_else(|| SigmoidTrace::constant(Level::Low, options.vdd)))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use sigcircuit::CircuitBuilder;
+    use sigtom::{TransferFunction, TransferPrediction, TransferQuery};
+    use sigwave::{Sigmoid, VDD_DEFAULT};
+
+    struct Fixed(f64);
+    impl TransferFunction for Fixed {
+        fn predict(&self, q: TransferQuery) -> TransferPrediction {
+            TransferPrediction {
+                a_out: -q.a_in.signum() * 14.0,
+                delay: self.0,
+            }
+        }
+        fn backend_name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    fn models(inv_d: f64, fo1_d: f64, fo2_d: f64) -> GateModels {
+        GateModels {
+            inverter: GateModel::new(Arc::new(Fixed(inv_d))),
+            inverter_fo2: GateModel::new(Arc::new(Fixed(inv_d))),
+            nor_fo1: GateModel::new(Arc::new(Fixed(fo1_d))),
+            nor_fo2: GateModel::new(Arc::new(Fixed(fo2_d))),
+        }
+    }
+
+    fn rising_input() -> SigmoidTrace {
+        SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![Sigmoid::rising(12.0, 1.0)],
+            VDD_DEFAULT,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inverter_chain_accumulates_delay() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let n1 = b.add_gate(GateKind::Nor, &[a], "n1");
+        let n2 = b.add_gate(GateKind::Nor, &[n1], "n2");
+        b.mark_output(n2);
+        let c = b.build().unwrap();
+        let mut stim = HashMap::new();
+        stim.insert(a, rising_input());
+        let res = simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default())
+            .unwrap();
+        let out = res.trace(n2);
+        assert_eq!(out.len(), 1);
+        assert!((out.transitions()[0].b - 1.10).abs() < 1e-9);
+        assert!(out.transitions()[0].is_rising());
+        assert_eq!(out.initial(), Level::Low);
+    }
+
+    #[test]
+    fn fanout_selects_model() {
+        // One NOR2 drives two loads: it must use the FO2 model (delay 0.2).
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let z = b.add_input("z");
+        let n1 = b.add_gate(GateKind::Nor, &[a, z], "n1");
+        let l1 = b.add_gate(GateKind::Nor, &[n1], "l1");
+        let l2 = b.add_gate(GateKind::Nor, &[n1], "l2");
+        b.mark_output(l1);
+        b.mark_output(l2);
+        let c = b.build().unwrap();
+        let mut stim = HashMap::new();
+        stim.insert(a, rising_input());
+        stim.insert(z, SigmoidTrace::constant(Level::Low, VDD_DEFAULT));
+        let res = simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default())
+            .unwrap();
+        // n1 falls at 1.0 + 0.2 (FO2 model).
+        assert!((res.trace(n1).transitions()[0].b - 1.2).abs() < 1e-9);
+        // loads are single-input NORs -> inverter model, +0.05.
+        assert!((res.trace(l1).transitions()[0].b - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsupported_gate_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let n1 = b.add_gate(GateKind::Inv, &[a], "n1");
+        b.mark_output(n1);
+        let c = b.build().unwrap();
+        let mut stim = HashMap::new();
+        stim.insert(a, rising_input());
+        let err = simulate_sigmoid(&c, &stim, &models(0.1, 0.1, 0.1), TomOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SigmoidSimError::UnsupportedGate { .. }));
+    }
+
+    #[test]
+    fn missing_stimulus_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let n1 = b.add_gate(GateKind::Nor, &[a], "n1");
+        b.mark_output(n1);
+        let c = b.build().unwrap();
+        let err = simulate_sigmoid(
+            &c,
+            &HashMap::new(),
+            &models(0.1, 0.1, 0.1),
+            TomOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SigmoidSimError::MissingStimulus { .. }));
+    }
+
+    #[test]
+    fn c17_nor_mapped_simulates() {
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        let c = &bench.nor_mapped;
+        let mut stim = HashMap::new();
+        for (i, &input) in c.inputs().iter().enumerate() {
+            let t = if i == 2 {
+                rising_input()
+            } else {
+                SigmoidTrace::constant(Level::Low, VDD_DEFAULT)
+            };
+            stim.insert(input, t);
+        }
+        let res =
+            simulate_sigmoid(c, &stim, &models(0.05, 0.08, 0.12), TomOptions::default()).unwrap();
+        // Final levels must match the boolean evaluation.
+        let mut bits = vec![false; 5];
+        bits[2] = true;
+        let expect = c.eval(&bits);
+        for (o, e) in c.outputs().iter().zip(expect) {
+            assert_eq!(
+                res.trace(*o).final_level().is_high(),
+                e,
+                "output {} disagrees with boolean evaluation",
+                c.net_name(*o)
+            );
+        }
+    }
+}

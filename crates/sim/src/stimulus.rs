@@ -1,0 +1,160 @@
+//! Randomized stimulus generation (Sec. V-B): "randomized transition
+//! sequences with inter-transition times having a normal distribution,
+//! given by µt, σt".
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sigwave::{DigitalTrace, Level};
+
+/// A stimulus family from Table I: mean/stddev of inter-transition times
+/// and the number of transitions per input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StimulusSpec {
+    /// Mean inter-transition time µt (seconds).
+    pub mu: f64,
+    /// Standard deviation σt (seconds).
+    pub sigma: f64,
+    /// Transitions per input.
+    pub transitions: usize,
+    /// Quiet time before the first transition (seconds), giving the analog
+    /// substrate room to settle.
+    pub start: f64,
+    /// Minimum allowed inter-transition time (seconds); normal samples
+    /// below this are clamped (the analog stimulus needs distinct ramps).
+    pub min_gap: f64,
+}
+
+impl StimulusSpec {
+    /// One of the paper's three setups: `(µt, σt)` in seconds with the
+    /// matching transition count (20, 10 or 5 as in Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` or `sigma` are not positive.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64, transitions: usize) -> Self {
+        assert!(mu > 0.0 && sigma > 0.0, "mu and sigma must be positive");
+        Self {
+            mu,
+            sigma,
+            transitions,
+            start: 60e-12,
+            min_gap: 3e-12,
+        }
+    }
+
+    /// Table I's `(20 ps, 10 ps)` setup with 20 transitions.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self::new(20e-12, 10e-12, 20)
+    }
+
+    /// Table I's `(100 ps, 50 ps)` setup with 10 transitions.
+    #[must_use]
+    pub fn medium() -> Self {
+        Self::new(100e-12, 50e-12, 10)
+    }
+
+    /// Table I's `(500 ps, 250 ps)` setup with 5 transitions.
+    #[must_use]
+    pub fn slow() -> Self {
+        Self::new(500e-12, 250e-12, 5)
+    }
+
+    /// All three Table I setups in paper order.
+    #[must_use]
+    pub fn table1() -> [StimulusSpec; 3] {
+        [Self::fast(), Self::medium(), Self::slow()]
+    }
+
+    /// Draws one random stimulus trace starting from [`Level::Low`].
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> DigitalTrace {
+        let mut t = self.start;
+        let mut toggles = Vec::with_capacity(self.transitions);
+        for _ in 0..self.transitions {
+            let gap = normal(rng, self.mu, self.sigma).max(self.min_gap);
+            t += gap;
+            toggles.push(t);
+        }
+        DigitalTrace::new(Level::Low, toggles).expect("gaps are positive")
+    }
+
+    /// The expected end of activity (used to size simulation windows).
+    #[must_use]
+    pub fn expected_span(&self) -> f64 {
+        self.start + self.transitions as f64 * (self.mu + 2.0 * self.sigma)
+    }
+}
+
+/// A standard-normal draw via Box–Muller, scaled to `(mu, sigma)` — keeps
+/// the dependency footprint to `rand` itself.
+fn normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mu + sigma * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_has_requested_transitions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = StimulusSpec::fast();
+        let t = spec.sample(&mut rng);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.initial(), Level::Low);
+        assert!(t.toggles()[0] >= spec.start);
+    }
+
+    #[test]
+    fn gaps_respect_minimum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = StimulusSpec::new(5e-12, 20e-12, 200); // wild sigma
+        let t = spec.sample(&mut rng);
+        let mut prev = 0.0;
+        for &x in t.toggles() {
+            assert!(x - prev >= spec.min_gap - 1e-18);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_mu() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = StimulusSpec::new(100e-12, 10e-12, 2000);
+        let t = spec.sample(&mut rng);
+        let gaps: Vec<f64> = std::iter::once(spec.start)
+            .chain(t.toggles().iter().copied())
+            .collect::<Vec<_>>()
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (mean - 100e-12).abs() < 2e-12,
+            "empirical mean {mean:.3e} too far from 100 ps"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = StimulusSpec::medium();
+        let a = spec.sample(&mut StdRng::seed_from_u64(7));
+        let b = spec.sample(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table1_specs() {
+        let specs = StimulusSpec::table1();
+        assert_eq!(specs[0].transitions, 20);
+        assert_eq!(specs[1].transitions, 10);
+        assert_eq!(specs[2].transitions, 5);
+        assert!((specs[2].mu - 500e-12).abs() < 1e-18);
+    }
+}

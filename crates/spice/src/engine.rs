@@ -1,0 +1,461 @@
+//! Adaptive Runge–Kutta (Cash–Karp 4/5) transient analysis engine.
+//!
+//! This is the "iteratively solve the differential equations that govern the
+//! electrical behaviour" core of the analog simulator: the node-voltage
+//! ODE system assembled by [`crate::Network`] is integrated with an
+//! embedded 4th/5th-order Runge–Kutta pair and PI-style step control, and
+//! selected nodes are recorded into [`Waveform`]s.
+
+use std::collections::HashMap;
+
+use sigwave::Waveform;
+
+use crate::network::{Network, NodeRef};
+
+/// Transient-analysis settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Absolute voltage tolerance (volts).
+    pub abs_tol: f64,
+    /// Relative tolerance.
+    pub rel_tol: f64,
+    /// Initial step (seconds).
+    pub dt_initial: f64,
+    /// Smallest allowed step (seconds).
+    pub dt_min: f64,
+    /// Largest allowed step (seconds).
+    pub dt_max: f64,
+    /// Maximum recorded sample spacing (seconds); accepted steps larger
+    /// than this are subdivided in the output by dense interpolation.
+    pub record_dt: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            abs_tol: 2e-4,
+            rel_tol: 1e-3,
+            dt_initial: 1e-14,
+            dt_min: 1e-17,
+            dt_max: 2e-12,
+            record_dt: 2e-13,
+        }
+    }
+}
+
+/// Error during transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// The controller could not meet the tolerance even at `dt_min`.
+    StepUnderflow {
+        /// Time at which integration stalled (seconds).
+        at: f64,
+    },
+    /// A probed node name does not exist.
+    UnknownProbe(String),
+    /// A probe refers to a source/rail; only state nodes are recorded by
+    /// the engine (source waveforms are known analytically).
+    NotAStateNode(String),
+    /// Invalid time span.
+    BadSpan {
+        /// Requested start (seconds).
+        t0: f64,
+        /// Requested end (seconds).
+        t1: f64,
+    },
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StepUnderflow { at } => {
+                write!(f, "step size underflow at t = {at:.3e} s")
+            }
+            Self::UnknownProbe(n) => write!(f, "unknown probe node {n:?}"),
+            Self::NotAStateNode(n) => write!(f, "probe {n:?} is not a state node"),
+            Self::BadSpan { t0, t1 } => write!(f, "invalid time span [{t0:.3e}, {t1:.3e}]"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Result of a transient run: waveforms of the probed nodes plus solver
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    waveforms: HashMap<String, Waveform>,
+    /// Accepted integration steps.
+    pub steps_accepted: usize,
+    /// Rejected (re-tried) steps.
+    pub steps_rejected: usize,
+}
+
+impl SimulationResult {
+    /// The waveform recorded for `node`, if it was probed.
+    #[must_use]
+    pub fn waveform(&self, node: &str) -> Option<&Waveform> {
+        self.waveforms.get(node)
+    }
+
+    /// All probed waveforms by node name.
+    #[must_use]
+    pub fn waveforms(&self) -> &HashMap<String, Waveform> {
+        &self.waveforms
+    }
+}
+
+/// The transient analysis engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+// Cash–Karp tableau.
+const A2: f64 = 1.0 / 5.0;
+const A3: [f64; 2] = [3.0 / 40.0, 9.0 / 40.0];
+const A4: [f64; 3] = [3.0 / 10.0, -9.0 / 10.0, 6.0 / 5.0];
+const A5: [f64; 4] = [-11.0 / 54.0, 5.0 / 2.0, -70.0 / 27.0, 35.0 / 27.0];
+const A6: [f64; 5] = [
+    1631.0 / 55296.0,
+    175.0 / 512.0,
+    575.0 / 13824.0,
+    44275.0 / 110592.0,
+    253.0 / 4096.0,
+];
+const B5: [f64; 6] = [
+    37.0 / 378.0,
+    0.0,
+    250.0 / 621.0,
+    125.0 / 594.0,
+    0.0,
+    512.0 / 1771.0,
+];
+const B4: [f64; 6] = [
+    2825.0 / 27648.0,
+    0.0,
+    18575.0 / 48384.0,
+    13525.0 / 55296.0,
+    277.0 / 14336.0,
+    1.0 / 4.0,
+];
+
+impl Engine {
+    /// An engine with the given configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Integrates `network` over `[t0, t1]`, recording the named state
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`] for invalid spans, unknown probes, or if
+    /// the step controller stalls.
+    pub fn run(
+        &self,
+        network: &Network,
+        t0: f64,
+        t1: f64,
+        probes: &[&str],
+    ) -> Result<SimulationResult, SimulationError> {
+        if !(t0 < t1) || !t0.is_finite() || !t1.is_finite() {
+            return Err(SimulationError::BadSpan { t0, t1 });
+        }
+        // Resolve probes to state indices.
+        let mut probe_ids = Vec::with_capacity(probes.len());
+        for &p in probes {
+            match network.node(p) {
+                None => return Err(SimulationError::UnknownProbe(p.to_string())),
+                Some(NodeRef::State(i)) => probe_ids.push((p.to_string(), i)),
+                Some(_) => return Err(SimulationError::NotAStateNode(p.to_string())),
+            }
+        }
+
+        let n = network.state_count();
+        let cfg = &self.config;
+        let mut y = network.initial_state();
+        let mut t = t0;
+        let mut dt = cfg.dt_initial;
+        let mut k = vec![vec![0.0; n]; 6];
+        let mut ytmp = vec![0.0; n];
+        let mut y5 = vec![0.0; n];
+        let mut y4 = vec![0.0; n];
+
+        let mut times = Vec::with_capacity(4096);
+        let mut probe_values: Vec<Vec<f64>> = probe_ids.iter().map(|_| Vec::new()).collect();
+        let record = |t: f64, y: &[f64], times: &mut Vec<f64>, pv: &mut Vec<Vec<f64>>| {
+            times.push(t);
+            for ((_, idx), vals) in probe_ids.iter().zip(pv.iter_mut()) {
+                vals.push(y[*idx]);
+            }
+        };
+        record(t, &y, &mut times, &mut probe_values);
+
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        let mut last_recorded = t0;
+
+        while t < t1 {
+            dt = dt.min(t1 - t).min(cfg.dt_max);
+            // Stage evaluations.
+            network.derivatives(t, &y, &mut k[0]);
+            for i in 0..n {
+                ytmp[i] = y[i] + dt * A2 * k[0][i];
+            }
+            network.derivatives(t + 0.2 * dt, &ytmp, &mut k[1]);
+            for i in 0..n {
+                ytmp[i] = y[i] + dt * (A3[0] * k[0][i] + A3[1] * k[1][i]);
+            }
+            network.derivatives(t + 0.3 * dt, &ytmp, &mut k[2]);
+            for i in 0..n {
+                ytmp[i] = y[i] + dt * (A4[0] * k[0][i] + A4[1] * k[1][i] + A4[2] * k[2][i]);
+            }
+            network.derivatives(t + 0.6 * dt, &ytmp, &mut k[3]);
+            for i in 0..n {
+                ytmp[i] = y[i]
+                    + dt * (A5[0] * k[0][i] + A5[1] * k[1][i] + A5[2] * k[2][i] + A5[3] * k[3][i]);
+            }
+            network.derivatives(t + dt, &ytmp, &mut k[4]);
+            for i in 0..n {
+                ytmp[i] = y[i]
+                    + dt * (A6[0] * k[0][i]
+                        + A6[1] * k[1][i]
+                        + A6[2] * k[2][i]
+                        + A6[3] * k[3][i]
+                        + A6[4] * k[4][i]);
+            }
+            network.derivatives(t + 0.875 * dt, &ytmp, &mut k[5]);
+
+            let mut err_ratio = 0.0f64;
+            for i in 0..n {
+                let mut s5 = 0.0;
+                let mut s4 = 0.0;
+                for s in 0..6 {
+                    s5 += B5[s] * k[s][i];
+                    s4 += B4[s] * k[s][i];
+                }
+                y5[i] = y[i] + dt * s5;
+                y4[i] = y[i] + dt * s4;
+                let scale = cfg.abs_tol + cfg.rel_tol * y[i].abs().max(y5[i].abs());
+                err_ratio = err_ratio.max((y5[i] - y4[i]).abs() / scale);
+            }
+
+            if err_ratio <= 1.0 || dt <= cfg.dt_min {
+                // Accept.
+                t += dt;
+                std::mem::swap(&mut y, &mut y5);
+                accepted += 1;
+                if t - last_recorded >= cfg.record_dt || t >= t1 {
+                    record(t, &y, &mut times, &mut probe_values);
+                    last_recorded = t;
+                }
+                // PI-ish growth, bounded.
+                let grow = if err_ratio > 0.0 {
+                    0.9 * err_ratio.powf(-0.2)
+                } else {
+                    5.0
+                };
+                dt = (dt * grow.clamp(0.2, 5.0)).clamp(cfg.dt_min, cfg.dt_max);
+            } else {
+                rejected += 1;
+                let shrink = (0.9 * err_ratio.powf(-0.25)).clamp(0.1, 0.9);
+                dt *= shrink;
+                if dt < cfg.dt_min {
+                    return Err(SimulationError::StepUnderflow { at: t });
+                }
+            }
+        }
+
+        // Assemble waveforms; guarantee at least two samples.
+        if times.len() < 2 {
+            record(t1, &y, &mut times, &mut probe_values);
+        }
+        let mut waveforms = HashMap::with_capacity(probe_ids.len());
+        for ((name, _), vals) in probe_ids.iter().zip(probe_values) {
+            let wf = Waveform::new(times.clone(), vals)
+                .expect("accepted steps produce monotone times");
+            waveforms.insert(name.clone(), wf);
+        }
+        Ok(SimulationResult {
+            waveforms,
+            steps_accepted: accepted,
+            steps_rejected: rejected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GateParams, NetworkBuilder};
+    use crate::stimulus::{Dc, Pwl};
+    use sigwave::{DigitalTrace, Level};
+
+    const VDD: f64 = 0.8;
+
+    fn inverter_net(stim: impl crate::stimulus::Stimulus + 'static) -> Network {
+        let mut b = NetworkBuilder::new(VDD);
+        let a = b.add_source("a", stim);
+        let out = b.add_state("out", VDD);
+        let p = GateParams::default_15nm();
+        b.add_inverter(a, out, &p);
+        b.add_cap(out, 0.2e-15); // FO1-ish load
+        b.build()
+    }
+
+    #[test]
+    fn rc_decay_matches_analytic() {
+        // Single node with R to ground: V(t) = V0 e^{-t/RC}.
+        let mut b = NetworkBuilder::new(VDD);
+        let n1 = b.add_state("n1", 0.8);
+        b.add_cap(n1, 1e-15);
+        b.add_resistor(n1, crate::network::NodeRef::Ground, 10_000.0);
+        let net = b.build();
+        let tau = 1e-15 * 10_000.0; // 10 ps
+        let res = Engine::default().run(&net, 0.0, 5.0 * tau, &["n1"]).unwrap();
+        let w = res.waveform("n1").unwrap();
+        for &t in &[tau, 2.0 * tau, 3.0 * tau] {
+            let expect = 0.8 * (-t / tau).exp();
+            let got = w.value_at(t);
+            assert!(
+                (got - expect).abs() < 2e-3,
+                "V({t:.1e}) = {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverter_static_levels() {
+        // Input low -> output settles at VDD; input high -> near 0.
+        let net = inverter_net(Dc(0.0));
+        let res = Engine::default().run(&net, 0.0, 1e-10, &["out"]).unwrap();
+        let w = res.waveform("out").unwrap();
+        assert!((w.value_at(1e-10) - VDD).abs() < 0.01);
+
+        let mut b = NetworkBuilder::new(VDD);
+        let a = b.add_source("a", Dc(VDD));
+        let out = b.add_state("out", VDD);
+        b.add_inverter(a, out, &GateParams::default_15nm());
+        b.add_cap(out, 0.2e-15);
+        let net = b.build();
+        let res = Engine::default().run(&net, 0.0, 1e-10, &["out"]).unwrap();
+        assert!(res.waveform("out").unwrap().value_at(1e-10) < 0.01);
+    }
+
+    #[test]
+    fn inverter_switching_delay_in_range() {
+        // Rising input at 50 ps -> falling output; delay must land in the
+        // calibrated 1–30 ps window.
+        let d = DigitalTrace::new(Level::Low, vec![50e-12]).unwrap();
+        let stim = Pwl::heaviside_train(&d, VDD, 2e-12);
+        let net = inverter_net(stim);
+        let res = Engine::default().run(&net, 0.0, 2e-10, &["out"]).unwrap();
+        let w = res.waveform("out").unwrap();
+        let crossings = w.crossings(VDD / 2.0);
+        assert_eq!(crossings.len(), 1, "one output transition expected");
+        let delay = crossings[0].0 - 50e-12;
+        assert!(
+            delay > 1e-12 && delay < 30e-12,
+            "inverter delay {delay:.3e}s outside calibration window"
+        );
+    }
+
+    #[test]
+    fn short_pulse_degrades() {
+        // A 2 ps input pulse through an inverter must produce a weaker
+        // output pulse than a 40 ps pulse (pulse degradation).
+        let mk = |width: f64| {
+            let d = DigitalTrace::new(Level::Low, vec![50e-12, 50e-12 + width]).unwrap();
+            let stim = Pwl::heaviside_train(&d, VDD, 1e-12);
+            let net = inverter_net(stim);
+            let res = Engine::default().run(&net, 0.0, 2.5e-10, &["out"]).unwrap();
+            let w = res.waveform("out").unwrap().clone();
+            // Output is a falling pulse from VDD: its depth = VDD - min.
+            let min = w.values().iter().cloned().fold(f64::INFINITY, f64::min);
+            VDD - min
+        };
+        let deep = mk(40e-12);
+        let shallow = mk(2e-12);
+        assert!(deep > shallow, "deep {deep} vs shallow {shallow}");
+        assert!(deep > 0.75 * VDD, "wide pulse should swing fully, {deep}");
+        assert!(
+            shallow < 0.9 * deep,
+            "short pulse must degrade: {shallow} vs {deep}"
+        );
+    }
+
+    #[test]
+    fn nor2_truth_table_static() {
+        let cases = [
+            (0.0, 0.0, VDD),
+            (VDD, 0.0, 0.0),
+            (0.0, VDD, 0.0),
+            (VDD, VDD, 0.0),
+        ];
+        for (va, vb, expect) in cases {
+            let mut b = NetworkBuilder::new(VDD);
+            let a = b.add_source("a", Dc(va));
+            let bb = b.add_source("b", Dc(vb));
+            let out = b.add_state("out", VDD / 2.0);
+            b.add_nor2(a, bb, out, &GateParams::default_15nm());
+            b.add_cap(out, 0.2e-15);
+            let net = b.build();
+            let res = Engine::default().run(&net, 0.0, 2e-10, &["out"]).unwrap();
+            let got = res.waveform("out").unwrap().value_at(2e-10);
+            assert!(
+                (got - expect).abs() < 0.02,
+                "NOR({va},{vb}) = {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_errors() {
+        let net = inverter_net(Dc(0.0));
+        let e = Engine::default().run(&net, 0.0, 1e-12, &["zz"]).unwrap_err();
+        assert!(matches!(e, SimulationError::UnknownProbe(_)));
+        let e = Engine::default().run(&net, 0.0, 1e-12, &["a"]).unwrap_err();
+        assert!(matches!(e, SimulationError::NotAStateNode(_)));
+        let e = Engine::default().run(&net, 1.0, 0.0, &["out"]).unwrap_err();
+        assert!(matches!(e, SimulationError::BadSpan { .. }));
+    }
+
+    #[test]
+    fn multi_input_switching_effect() {
+        // Simultaneous falling inputs on a NOR2 produce a faster rising
+        // output than a single falling input (both PMOS help charge the
+        // stack) — the MIS effect the paper's related work discusses.
+        let run = |skew: f64| {
+            let da = DigitalTrace::new(Level::High, vec![50e-12]).unwrap();
+            let db = DigitalTrace::new(Level::High, vec![50e-12 + skew]).unwrap();
+            let mut b = NetworkBuilder::new(VDD);
+            let a = b.add_source("a", Pwl::heaviside_train(&da, VDD, 2e-12));
+            let bb = b.add_source("b", Pwl::heaviside_train(&db, VDD, 2e-12));
+            let out = b.add_state("out", 0.0);
+            b.add_nor2(a, bb, out, &GateParams::default_15nm());
+            b.add_cap(out, 0.2e-15);
+            let net = b.build();
+            let res = Engine::default().run(&net, 0.0, 3e-10, &["out"]).unwrap();
+            let w = res.waveform("out").unwrap().clone();
+            w.crossings(VDD / 2.0)
+                .first()
+                .map(|c| c.0)
+                .expect("output must rise")
+        };
+        let together = run(0.0);
+        let skewed = run(30e-12);
+        assert!(
+            together < skewed,
+            "simultaneous switching should be no slower: {together} vs {skewed}"
+        );
+    }
+}

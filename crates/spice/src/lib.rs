@@ -1,0 +1,54 @@
+//! A transistor-level analog circuit simulator ("nanospice").
+//!
+//! This crate is the reproduction's substitute for SPICE/Spectre and the
+//! Nangate 15 nm FinFET PDK used by *Signal Prediction for Digital Circuits
+//! by Sigmoidal Approximations using Neural Networks* (DATE 2025). It
+//! provides:
+//!
+//! * [`MosfetParams`] — a smooth alpha-power-law MOSFET model calibrated to
+//!   `VDD = 0.8 V` with FO1 inverter delays in the paper's picosecond range,
+//! * [`NetworkBuilder`]/[`Network`] — transistor-level gate models
+//!   (inverter, NOR2, NOR3 with real series-stack internal nodes), RC wire
+//!   parasitics, and arbitrary stimuli,
+//! * [`Engine`] — adaptive Cash–Karp Runge–Kutta transient analysis with
+//!   waveform probes.
+//!
+//! The substitution rationale and calibration targets are documented in the
+//! repository's `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use nanospice::{Engine, GateParams, NetworkBuilder, Pwl};
+//! use sigwave::{DigitalTrace, Level};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An inverter driven by a step at 50 ps.
+//! let step = DigitalTrace::new(Level::Low, vec![50e-12])?;
+//! let mut b = NetworkBuilder::new(0.8);
+//! let a = b.add_source("a", Pwl::heaviside_train(&step, 0.8, 2e-12));
+//! let out = b.add_state("out", 0.8);
+//! b.add_inverter(a, out, &GateParams::default_15nm());
+//! b.add_cap(out, 0.2e-15);
+//! let net = b.build();
+//!
+//! let result = Engine::default().run(&net, 0.0, 2e-10, &["out"])?;
+//! let wave = result.waveform("out").expect("probed");
+//! assert!(wave.value_at(0.0) > 0.79);      // starts high
+//! assert!(wave.value_at(2e-10) < 0.01);    // ends low
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod mosfet;
+mod network;
+mod stimulus;
+
+pub use engine::{Engine, EngineConfig, SimulationError, SimulationResult};
+pub use mosfet::{channel_current, MosfetKind, MosfetParams};
+pub use network::{GateParams, Network, NetworkBuilder, NodeRef, Resistor, Transistor};
+pub use stimulus::{Dc, Pwl, SigmoidSource, Stimulus};

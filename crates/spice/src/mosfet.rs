@@ -1,0 +1,240 @@
+//! Alpha-power-law MOSFET model (Sakurai–Newton style).
+//!
+//! The paper characterizes gates with the Nangate 15 nm FinFET PDK, which is
+//! proprietary. We substitute a smooth alpha-power-law model: it reproduces
+//! the behaviour the experiments rely on — slope-dependent delays, pulse
+//! degradation, sub-threshold pulse suppression and stack effects — while
+//! remaining well-suited for explicit ODE integration (everything is C¹
+//! thanks to a softplus-smoothed overdrive).
+
+use serde::{Deserialize, Serialize};
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosfetKind {
+    /// N-channel device (conducts when the gate is high).
+    Nmos,
+    /// P-channel device (conducts when the gate is low).
+    Pmos,
+}
+
+/// Parameters of the alpha-power-law model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosfetParams {
+    /// Threshold voltage magnitude (volts).
+    pub vth: f64,
+    /// Transconductance scale: drain current at 1 V of overdrive (amperes).
+    pub k: f64,
+    /// Velocity-saturation exponent α (≈ 2 long-channel, ≈ 1.2–1.4 FinFET).
+    pub alpha: f64,
+    /// Saturation-voltage fraction: `Vdsat = vdsat_frac · overdrive`.
+    pub vdsat_frac: f64,
+    /// Channel-length modulation (1/V), mild output-conductance slope.
+    pub lambda: f64,
+    /// Softplus width (volts) smoothing the overdrive near threshold; also
+    /// sets the (tiny) sub-threshold conduction scale.
+    pub subthreshold_width: f64,
+}
+
+impl MosfetParams {
+    /// NMOS defaults calibrated so an FO1 inverter at `VDD = 0.8 V` has a
+    /// propagation delay of roughly 5–15 ps with ~0.35 fF of load.
+    #[must_use]
+    pub fn nmos_15nm() -> Self {
+        Self {
+            vth: 0.25,
+            k: 8.0e-5,
+            alpha: 1.3,
+            vdsat_frac: 0.8,
+            lambda: 0.05,
+            subthreshold_width: 0.018,
+        }
+    }
+
+    /// PMOS defaults: same threshold magnitude, slightly weaker drive (hole
+    /// mobility), matching a balanced standard-cell inverter after the usual
+    /// widening of the pull-up.
+    #[must_use]
+    pub fn pmos_15nm() -> Self {
+        Self {
+            k: 6.8e-5,
+            ..Self::nmos_15nm()
+        }
+    }
+
+    /// Scales the drive strength (device width multiplier).
+    #[must_use]
+    pub fn scaled(self, width_multiplier: f64) -> Self {
+        Self {
+            k: self.k * width_multiplier,
+            ..self
+        }
+    }
+
+    /// Smoothed overdrive `max(0, vgs - vth)` via softplus.
+    #[inline]
+    fn overdrive(&self, vgs: f64) -> f64 {
+        let w = self.subthreshold_width;
+        let z = (vgs - self.vth) / w;
+        if z > 30.0 {
+            vgs - self.vth
+        } else if z < -30.0 {
+            0.0
+        } else {
+            w * z.exp().ln_1p()
+        }
+    }
+
+    /// Drain current of an N-channel device for `vgs`, `vds ≥ 0` (amperes);
+    /// negative `vds` is handled by source/drain symmetry.
+    ///
+    /// The model is the alpha-power law: saturation current
+    /// `K · overdrive^α · (1 + λ·vds)`, with a smooth quadratic linear
+    /// region below `Vdsat`.
+    #[must_use]
+    pub fn drain_current(&self, vgs: f64, vds: f64) -> f64 {
+        if vds < 0.0 {
+            // Swap source/drain: gate-to-(new source=old drain) voltage.
+            return -self.drain_current(vgs - vds, -vds);
+        }
+        let ov = self.overdrive(vgs);
+        if ov <= 0.0 {
+            return 0.0;
+        }
+        let isat = self.k * ov.powf(self.alpha);
+        let vdsat = (self.vdsat_frac * ov).max(1e-6);
+        let current = if vds >= vdsat {
+            isat
+        } else {
+            let r = vds / vdsat;
+            isat * r * (2.0 - r)
+        };
+        current * (1.0 + self.lambda * vds)
+    }
+}
+
+/// A MOSFET instance current evaluator working in absolute node voltages.
+///
+/// Returns the current flowing **drain→source** (positive in that
+/// direction) for both polarities: a conducting NMOS yields a positive
+/// value, a conducting PMOS a negative one (its physical current flows
+/// source→drain, i.e. from the supply into the drain node).
+#[must_use]
+pub fn channel_current(
+    kind: MosfetKind,
+    params: &MosfetParams,
+    v_gate: f64,
+    v_drain: f64,
+    v_source: f64,
+) -> f64 {
+    match kind {
+        MosfetKind::Nmos => params.drain_current(v_gate - v_source, v_drain - v_source),
+        MosfetKind::Pmos => {
+            // Mirror: PMOS conducts for vsg > vth, vsd > 0, with current
+            // source->drain; negate to express it in drain->source terms.
+            -params.drain_current(v_source - v_gate, v_source - v_drain)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VDD: f64 = 0.8;
+
+    #[test]
+    fn off_below_threshold() {
+        let p = MosfetParams::nmos_15nm();
+        let off = p.drain_current(0.0, VDD);
+        let on = p.drain_current(VDD, VDD);
+        assert!(off < on * 1e-4, "off {off} vs on {on}");
+    }
+
+    #[test]
+    fn saturation_current_scale() {
+        let p = MosfetParams::nmos_15nm();
+        let i = p.drain_current(VDD, VDD);
+        // ~ K * 0.55^1.3 = 4e-5 * 0.46 ≈ 18 µA (±CLM)
+        assert!(i > 1.0e-5 && i < 4.0e-5, "unexpected drive current {i}");
+    }
+
+    #[test]
+    fn linear_region_below_saturation() {
+        let p = MosfetParams::nmos_15nm();
+        let ov = VDD - p.vth;
+        let vdsat = p.vdsat_frac * ov;
+        let lin = p.drain_current(VDD, vdsat * 0.25);
+        let sat = p.drain_current(VDD, vdsat);
+        assert!(lin < sat, "linear current must be below saturation");
+        assert!(lin > 0.0);
+    }
+
+    #[test]
+    fn monotone_in_vgs() {
+        let p = MosfetParams::nmos_15nm();
+        let mut last = -1.0;
+        for i in 0..=16 {
+            let vgs = i as f64 * VDD / 16.0;
+            let cur = p.drain_current(vgs, VDD);
+            assert!(cur >= last, "current must grow with vgs");
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn monotone_and_continuous_in_vds() {
+        let p = MosfetParams::nmos_15nm();
+        let mut last = 0.0;
+        for i in 0..=400 {
+            let vds = i as f64 * VDD / 400.0;
+            let cur = p.drain_current(VDD, vds);
+            assert!(cur >= last - 1e-9, "kink at vds={vds}");
+            // No jump bigger than a smooth model allows at this resolution.
+            assert!(cur - last < 2e-6, "discontinuity at vds={vds}");
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn symmetric_for_negative_vds() {
+        let p = MosfetParams::nmos_15nm();
+        // I(vgs, -vds) = -I(vgs + vds, vds): check antisymmetry property.
+        let fwd = p.drain_current(0.6 + 0.3, 0.3);
+        let rev = p.drain_current(0.6, -0.3);
+        assert!((fwd + rev).abs() < 1e-12, "{fwd} vs {rev}");
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let p = MosfetParams::pmos_15nm();
+        // PMOS with gate low, source at VDD, drain at 0: conducting, with
+        // current flowing source->drain, i.e. negative in drain->source
+        // convention.
+        let i = channel_current(MosfetKind::Pmos, &p, 0.0, 0.0, VDD);
+        assert!(i < -1e-5, "pmos should conduct into the drain, i = {i}");
+        // Gate high: off.
+        let i_off = channel_current(MosfetKind::Pmos, &p, VDD, 0.0, VDD);
+        assert!(i_off.abs() < i.abs() * 1e-4);
+    }
+
+    #[test]
+    fn width_scaling() {
+        let p = MosfetParams::nmos_15nm();
+        let d = p.scaled(2.0);
+        let i1 = p.drain_current(VDD, VDD);
+        let i2 = d.drain_current(VDD, VDD);
+        assert!((i2 / i1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_effect_series_weaker() {
+        // Two series devices conduct less than one: solve the internal node
+        // where currents match, qualitatively check via midpoint estimate.
+        let p = MosfetParams::nmos_15nm();
+        let single = p.drain_current(VDD, VDD);
+        // Internal node at ~0.1 V: top device has vgs=VDD-0.1, vds=VDD-0.1.
+        let stacked_top = p.drain_current(VDD - 0.1, VDD - 0.1);
+        assert!(stacked_top < single);
+    }
+}

@@ -1,0 +1,535 @@
+//! Circuit networks: nodes, devices and the gate-level builders
+//! (inverter, NOR2/NOR3) used throughout the reproduction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::mosfet::{channel_current, MosfetKind, MosfetParams};
+use crate::stimulus::Stimulus;
+
+/// Reference to a circuit node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// The ground rail (0 V).
+    Ground,
+    /// The supply rail (`vdd` volts).
+    Vdd,
+    /// A driven input: index into the network's stimulus table.
+    Source(usize),
+    /// A dynamic node with capacitance: index into the state vector.
+    State(usize),
+}
+
+/// Electrical parameters of one logic gate instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateParams {
+    /// NMOS model.
+    pub nmos: MosfetParams,
+    /// PMOS model.
+    pub pmos: MosfetParams,
+    /// Intrinsic output capacitance: drain junctions + local wire (farads).
+    pub output_cap: f64,
+    /// Gate input capacitance added to the *driving* node per fan-out
+    /// (farads).
+    pub input_cap: f64,
+    /// Capacitance of internal stack nodes (farads).
+    pub internal_cap: f64,
+}
+
+impl GateParams {
+    /// Calibrated defaults for the 15 nm-class substitute technology.
+    #[must_use]
+    pub fn default_15nm() -> Self {
+        Self {
+            nmos: MosfetParams::nmos_15nm(),
+            pmos: MosfetParams::pmos_15nm(),
+            output_cap: 0.12e-15,
+            input_cap: 0.08e-15,
+            internal_cap: 0.10e-15,
+        }
+    }
+}
+
+impl Default for GateParams {
+    fn default() -> Self {
+        Self::default_15nm()
+    }
+}
+
+/// One transistor in the flat device list.
+#[derive(Debug, Clone)]
+pub struct Transistor {
+    /// Polarity.
+    pub kind: MosfetKind,
+    /// Gate terminal.
+    pub gate: NodeRef,
+    /// Drain terminal (current flows drain→source for NMOS conduction).
+    pub drain: NodeRef,
+    /// Source terminal.
+    pub source: NodeRef,
+    /// Model parameters.
+    pub params: MosfetParams,
+}
+
+/// A linear resistor between two nodes (wire models).
+#[derive(Debug, Clone, Copy)]
+pub struct Resistor {
+    /// One terminal.
+    pub a: NodeRef,
+    /// Other terminal.
+    pub b: NodeRef,
+    /// Resistance in ohms.
+    pub ohms: f64,
+}
+
+/// A flat transistor-level network ready for simulation.
+///
+/// Build one with [`NetworkBuilder`]; simulate with
+/// [`crate::Engine::run`].
+pub struct Network {
+    pub(crate) vdd: f64,
+    pub(crate) state_caps: Vec<f64>,
+    pub(crate) state_names: Vec<String>,
+    pub(crate) initial_voltages: Vec<f64>,
+    pub(crate) sources: Vec<Arc<dyn Stimulus>>,
+    pub(crate) source_names: Vec<String>,
+    pub(crate) transistors: Vec<Transistor>,
+    pub(crate) resistors: Vec<Resistor>,
+    pub(crate) name_to_node: HashMap<String, NodeRef>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("vdd", &self.vdd)
+            .field("states", &self.state_caps.len())
+            .field("sources", &self.sources.len())
+            .field("transistors", &self.transistors.len())
+            .field("resistors", &self.resistors.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+
+    /// Number of dynamic (state) nodes.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.state_caps.len()
+    }
+
+    /// Number of transistors.
+    #[must_use]
+    pub fn transistor_count(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// Looks up a node by name.
+    #[must_use]
+    pub fn node(&self, name: &str) -> Option<NodeRef> {
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Names of all state nodes, indexed by state id.
+    #[must_use]
+    pub fn state_names(&self) -> &[String] {
+        &self.state_names
+    }
+
+    /// Names of all driven source nodes, indexed by source id.
+    #[must_use]
+    pub fn source_names(&self) -> &[String] {
+        &self.source_names
+    }
+
+    /// Voltage of `node` given time and the current state vector.
+    #[must_use]
+    pub fn node_voltage(&self, node: NodeRef, t: f64, state: &[f64]) -> f64 {
+        match node {
+            NodeRef::Ground => 0.0,
+            NodeRef::Vdd => self.vdd,
+            NodeRef::Source(i) => self.sources[i].voltage(t),
+            NodeRef::State(i) => state[i],
+        }
+    }
+
+    /// Writes `dV/dt` for every state node into `dstate`.
+    ///
+    /// Each transistor contributes its channel current to its drain (out of
+    /// the node) and source (into the node); resistors contribute ohmic
+    /// currents; finally each accumulated current is divided by the node
+    /// capacitance.
+    pub fn derivatives(&self, t: f64, state: &[f64], dstate: &mut [f64]) {
+        dstate.fill(0.0);
+        for tr in &self.transistors {
+            let vg = self.node_voltage(tr.gate, t, state);
+            let vd = self.node_voltage(tr.drain, t, state);
+            let vs = self.node_voltage(tr.source, t, state);
+            let i = channel_current(tr.kind, &tr.params, vg, vd, vs);
+            // Positive i flows drain -> source (for NMOS conduction).
+            if let NodeRef::State(d) = tr.drain {
+                dstate[d] -= i;
+            }
+            if let NodeRef::State(s) = tr.source {
+                dstate[s] += i;
+            }
+        }
+        for r in &self.resistors {
+            let va = self.node_voltage(r.a, t, state);
+            let vb = self.node_voltage(r.b, t, state);
+            let i = (va - vb) / r.ohms;
+            if let NodeRef::State(a) = r.a {
+                dstate[a] -= i;
+            }
+            if let NodeRef::State(b) = r.b {
+                dstate[b] += i;
+            }
+        }
+        for (dv, c) in dstate.iter_mut().zip(&self.state_caps) {
+            *dv /= c;
+        }
+    }
+
+    /// Initial state-vector (per-node starting voltages).
+    #[must_use]
+    pub fn initial_state(&self) -> Vec<f64> {
+        self.initial_voltages.clone()
+    }
+}
+
+/// Incrementally builds a [`Network`] out of sources, gates and wires.
+///
+/// # Example
+///
+/// ```
+/// use nanospice::{NetworkBuilder, GateParams, Dc};
+///
+/// let mut b = NetworkBuilder::new(0.8);
+/// let a = b.add_source("a", Dc(0.0));
+/// let out = b.add_state("out", 0.8);
+/// b.add_inverter(a, out, &GateParams::default_15nm());
+/// let net = b.build();
+/// assert_eq!(net.state_count(), 1);
+/// assert_eq!(net.transistor_count(), 2);
+/// ```
+pub struct NetworkBuilder {
+    vdd: f64,
+    state_caps: Vec<f64>,
+    state_names: Vec<String>,
+    initial_voltages: Vec<f64>,
+    sources: Vec<Arc<dyn Stimulus>>,
+    source_names: Vec<String>,
+    transistors: Vec<Transistor>,
+    resistors: Vec<Resistor>,
+    name_to_node: HashMap<String, NodeRef>,
+}
+
+impl std::fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkBuilder")
+            .field("vdd", &self.vdd)
+            .field("states", &self.state_caps.len())
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive.
+    #[must_use]
+    pub fn new(vdd: f64) -> Self {
+        assert!(vdd > 0.0, "vdd must be positive");
+        Self {
+            vdd,
+            state_caps: Vec::new(),
+            state_names: Vec::new(),
+            initial_voltages: Vec::new(),
+            sources: Vec::new(),
+            source_names: Vec::new(),
+            transistors: Vec::new(),
+            resistors: Vec::new(),
+            name_to_node: HashMap::new(),
+        }
+    }
+
+    fn register(&mut self, name: &str, node: NodeRef) {
+        let prev = self.name_to_node.insert(name.to_string(), node);
+        assert!(prev.is_none(), "duplicate node name {name:?}");
+    }
+
+    /// Adds a driven input node.
+    pub fn add_source(&mut self, name: &str, stimulus: impl Stimulus + 'static) -> NodeRef {
+        let id = self.sources.len();
+        self.sources.push(Arc::new(stimulus));
+        self.source_names.push(name.to_string());
+        let node = NodeRef::Source(id);
+        self.register(name, node);
+        node
+    }
+
+    /// Adds a dynamic node with the default state capacitance of zero; gates
+    /// connected to it add their capacitances. `initial` is the starting
+    /// voltage.
+    pub fn add_state(&mut self, name: &str, initial: f64) -> NodeRef {
+        let id = self.state_caps.len();
+        self.state_caps.push(0.0);
+        self.state_names.push(name.to_string());
+        self.initial_voltages.push(initial);
+        let node = NodeRef::State(id);
+        self.register(name, node);
+        node
+    }
+
+    /// Adds extra capacitance (farads) to a state node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a state node.
+    pub fn add_cap(&mut self, node: NodeRef, farads: f64) {
+        match node {
+            NodeRef::State(i) => self.state_caps[i] += farads,
+            _ => panic!("capacitance can only be added to state nodes"),
+        }
+    }
+
+    /// Adds a resistor between two nodes (wire segment).
+    pub fn add_resistor(&mut self, a: NodeRef, b: NodeRef, ohms: f64) {
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.resistors.push(Resistor { a, b, ohms });
+    }
+
+    /// Adds an inverter: PMOS pull-up, NMOS pull-down driving `output`.
+    ///
+    /// Adds `output_cap` to the output and `input_cap` to the input (if the
+    /// input is a state node, modelling the gate capacitance it presents).
+    pub fn add_inverter(&mut self, input: NodeRef, output: NodeRef, p: &GateParams) {
+        self.transistors.push(Transistor {
+            kind: MosfetKind::Pmos,
+            gate: input,
+            drain: output,
+            source: NodeRef::Vdd,
+            params: p.pmos,
+        });
+        self.transistors.push(Transistor {
+            kind: MosfetKind::Nmos,
+            gate: input,
+            drain: output,
+            source: NodeRef::Ground,
+            params: p.nmos,
+        });
+        self.attach_caps(&[input], output, p);
+    }
+
+    /// Adds a 2-input NOR with a proper series PMOS stack: the internal
+    /// stack node is a real state variable, so multi-input-switching
+    /// effects emerge naturally.
+    ///
+    /// Returns the internal stack node.
+    pub fn add_nor2(
+        &mut self,
+        in_a: NodeRef,
+        in_b: NodeRef,
+        output: NodeRef,
+        p: &GateParams,
+    ) -> NodeRef {
+        let mid_name = format!("__nor2_mid_{}", self.transistors.len());
+        let mid = self.add_state(&mid_name, self.vdd);
+        self.add_cap(mid, p.internal_cap);
+        // Pull-up: VDD -PMOS(a)- mid -PMOS(b)- out. Stacked devices are
+        // conventionally widened; 1.5x approximates equalized drive.
+        let pm = p.pmos.scaled(1.5);
+        self.transistors.push(Transistor {
+            kind: MosfetKind::Pmos,
+            gate: in_a,
+            drain: mid,
+            source: NodeRef::Vdd,
+            params: pm,
+        });
+        self.transistors.push(Transistor {
+            kind: MosfetKind::Pmos,
+            gate: in_b,
+            drain: output,
+            source: mid,
+            params: pm,
+        });
+        // Pull-down: two parallel NMOS.
+        for &g in &[in_a, in_b] {
+            self.transistors.push(Transistor {
+                kind: MosfetKind::Nmos,
+                gate: g,
+                drain: output,
+                source: NodeRef::Ground,
+                params: p.nmos,
+            });
+        }
+        self.attach_caps(&[in_a, in_b], output, p);
+        mid
+    }
+
+    /// Adds a 3-input NOR (series stack of three PMOS, three parallel NMOS);
+    /// returns the two internal stack nodes.
+    pub fn add_nor3(
+        &mut self,
+        in_a: NodeRef,
+        in_b: NodeRef,
+        in_c: NodeRef,
+        output: NodeRef,
+        p: &GateParams,
+    ) -> (NodeRef, NodeRef) {
+        let m1_name = format!("__nor3_m1_{}", self.transistors.len());
+        let m2_name = format!("__nor3_m2_{}", self.transistors.len());
+        let m1 = self.add_state(&m1_name, self.vdd);
+        let m2 = self.add_state(&m2_name, self.vdd);
+        self.add_cap(m1, p.internal_cap);
+        self.add_cap(m2, p.internal_cap);
+        let pm = p.pmos.scaled(2.0);
+        let chain = [(NodeRef::Vdd, m1, in_a), (m1, m2, in_b), (m2, output, in_c)];
+        for (src, drn, gate) in chain {
+            self.transistors.push(Transistor {
+                kind: MosfetKind::Pmos,
+                gate,
+                drain: drn,
+                source: src,
+                params: pm,
+            });
+        }
+        for &g in &[in_a, in_b, in_c] {
+            self.transistors.push(Transistor {
+                kind: MosfetKind::Nmos,
+                gate: g,
+                drain: output,
+                source: NodeRef::Ground,
+                params: p.nmos,
+            });
+        }
+        self.attach_caps(&[in_a, in_b, in_c], output, p);
+        (m1, m2)
+    }
+
+    fn attach_caps(&mut self, inputs: &[NodeRef], output: NodeRef, p: &GateParams) {
+        if let NodeRef::State(i) = output {
+            self.state_caps[i] += p.output_cap;
+        }
+        for &input in inputs {
+            if let NodeRef::State(i) = input {
+                self.state_caps[i] += p.input_cap;
+            }
+        }
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state node ended up with zero capacitance (it would
+    /// have infinitely fast dynamics) — add a gate or explicit cap to it.
+    #[must_use]
+    pub fn build(self) -> Network {
+        for (i, &c) in self.state_caps.iter().enumerate() {
+            assert!(
+                c > 0.0,
+                "state node {:?} has no capacitance",
+                self.state_names[i]
+            );
+        }
+        Network {
+            vdd: self.vdd,
+            state_caps: self.state_caps,
+            state_names: self.state_names,
+            initial_voltages: self.initial_voltages,
+            sources: self.sources,
+            source_names: self.source_names,
+            transistors: self.transistors,
+            resistors: self.resistors,
+            name_to_node: self.name_to_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::Dc;
+
+    #[test]
+    fn inverter_structure() {
+        let mut b = NetworkBuilder::new(0.8);
+        let a = b.add_source("a", Dc(0.0));
+        let out = b.add_state("out", 0.0);
+        b.add_inverter(a, out, &GateParams::default_15nm());
+        let n = b.build();
+        assert_eq!(n.transistor_count(), 2);
+        assert_eq!(n.state_count(), 1);
+        assert_eq!(n.node("out"), Some(out));
+        assert_eq!(n.node("nope"), None);
+    }
+
+    #[test]
+    fn nor2_creates_internal_node() {
+        let mut b = NetworkBuilder::new(0.8);
+        let a = b.add_source("a", Dc(0.0));
+        let c = b.add_source("b", Dc(0.0));
+        let out = b.add_state("out", 0.0);
+        b.add_nor2(a, c, out, &GateParams::default_15nm());
+        let n = b.build();
+        assert_eq!(n.transistor_count(), 4);
+        assert_eq!(n.state_count(), 2); // out + mid
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_rejected() {
+        let mut b = NetworkBuilder::new(0.8);
+        let _ = b.add_source("x", Dc(0.0));
+        let _ = b.add_state("x", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacitance")]
+    fn floating_state_rejected() {
+        let mut b = NetworkBuilder::new(0.8);
+        let _ = b.add_state("float", 0.0);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn derivative_signs_inverter() {
+        // Input low -> PMOS pulls output up: dV/dt > 0 at V_out = 0.
+        let mut b = NetworkBuilder::new(0.8);
+        let a = b.add_source("a", Dc(0.0));
+        let out = b.add_state("out", 0.0);
+        b.add_inverter(a, out, &GateParams::default_15nm());
+        let n = b.build();
+        let mut d = vec![0.0];
+        n.derivatives(0.0, &[0.0], &mut d);
+        assert!(d[0] > 0.0, "pull-up expected, got {}", d[0]);
+        // At V_out = VDD the pull-up has no drive left.
+        n.derivatives(0.0, &[0.8], &mut d);
+        assert!(d[0].abs() < 1e9, "settled node should be slow, {}", d[0]);
+    }
+
+    #[test]
+    fn resistor_currents() {
+        let mut b = NetworkBuilder::new(0.8);
+        let n1 = b.add_state("n1", 0.8);
+        let n2 = b.add_state("n2", 0.0);
+        b.add_cap(n1, 1e-15);
+        b.add_cap(n2, 1e-15);
+        b.add_resistor(n1, n2, 1000.0);
+        let n = b.build();
+        let mut d = vec![0.0, 0.0];
+        n.derivatives(0.0, &[0.8, 0.0], &mut d);
+        // I = 0.8/1000 = 0.8 mA; dV/dt = ±I/C.
+        assert!((d[0] + 8e11).abs() / 8e11 < 1e-9);
+        assert!((d[1] - 8e11).abs() / 8e11 < 1e-9);
+    }
+}

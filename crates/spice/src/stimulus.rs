@@ -1,0 +1,162 @@
+//! Voltage stimuli driving circuit inputs.
+
+use sigwave::{DigitalTrace, SigmoidTrace};
+
+/// A time-dependent voltage source.
+pub trait Stimulus: Send + Sync {
+    /// The source voltage at time `t` (seconds).
+    fn voltage(&self, t: f64) -> f64;
+}
+
+/// A constant DC source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dc(pub f64);
+
+impl Stimulus for Dc {
+    fn voltage(&self, _t: f64) -> f64 {
+        self.0
+    }
+}
+
+/// A piecewise-linear source defined by `(time, voltage)` breakpoints;
+/// clamps to the first/last value outside the defined range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pwl {
+    points: Vec<(f64, f64)>,
+}
+
+impl Pwl {
+    /// Creates a PWL source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one point is given or times are not strictly
+    /// increasing.
+    #[must_use]
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "PWL times must be strictly increasing"
+        );
+        Self { points }
+    }
+
+    /// A "Heaviside" train as produced by the paper's stimulus generator:
+    /// ideal transitions are realized with a fast linear ramp of `rise_time`
+    /// seconds centred on each toggle (the pulse-shaping stages then turn
+    /// these into realistic waveforms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rise_time` is not positive or toggles are too close
+    /// (closer than `rise_time`).
+    #[must_use]
+    pub fn heaviside_train(trace: &DigitalTrace, vdd: f64, rise_time: f64) -> Self {
+        assert!(rise_time > 0.0, "rise time must be positive");
+        let lvl = |high: bool| if high { vdd } else { 0.0 };
+        let mut high = trace.initial().is_high();
+        let mut points = Vec::with_capacity(2 * trace.len() + 1);
+        let t_first = trace.toggles().first().copied().unwrap_or(0.0);
+        points.push((t_first - 1e-9 - rise_time, lvl(high)));
+        for &t in trace.toggles() {
+            assert!(
+                points.last().expect("non-empty").0 < t - rise_time / 2.0,
+                "toggles closer than the ramp time"
+            );
+            points.push((t - rise_time / 2.0, lvl(high)));
+            high = !high;
+            points.push((t + rise_time / 2.0, lvl(high)));
+        }
+        Self::new(points)
+    }
+}
+
+impl Stimulus for Pwl {
+    fn voltage(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        if t >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let i = pts.partition_point(|p| p.0 <= t);
+        let (t0, v0) = pts[i - 1];
+        let (t1, v1) = pts[i];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+}
+
+/// A source following a sigmoidal trace — used when the sigmoid simulator
+/// and the analog reference must see *identical* input waveforms (the
+/// "same stimulus" row of Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigmoidSource {
+    trace: SigmoidTrace,
+}
+
+impl SigmoidSource {
+    /// Wraps a sigmoidal trace as a voltage source.
+    #[must_use]
+    pub fn new(trace: SigmoidTrace) -> Self {
+        Self { trace }
+    }
+}
+
+impl Stimulus for SigmoidSource {
+    fn voltage(&self, t: f64) -> f64 {
+        self.trace.value_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigwave::{Level, Sigmoid, VDD_DEFAULT};
+
+    #[test]
+    fn dc_is_flat() {
+        assert_eq!(Dc(0.8).voltage(0.0), 0.8);
+        assert_eq!(Dc(0.8).voltage(1e-9), 0.8);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let p = Pwl::new(vec![(0.0, 0.0), (1e-12, 0.8)]);
+        assert_eq!(p.voltage(-1.0), 0.0);
+        assert!((p.voltage(0.5e-12) - 0.4).abs() < 1e-12);
+        assert_eq!(p.voltage(1.0), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn pwl_rejects_unsorted() {
+        let _ = Pwl::new(vec![(1.0, 0.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    fn heaviside_train_matches_trace() {
+        let d = DigitalTrace::new(Level::Low, vec![10e-12, 30e-12]).unwrap();
+        let p = Pwl::heaviside_train(&d, VDD_DEFAULT, 1e-12);
+        assert_eq!(p.voltage(0.0), 0.0);
+        assert!((p.voltage(20e-12) - VDD_DEFAULT).abs() < 1e-12);
+        assert_eq!(p.voltage(40e-12), 0.0);
+        // Midpoint of the ramp is at the toggle time.
+        assert!((p.voltage(10e-12) - VDD_DEFAULT / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_source_tracks_trace() {
+        let tr = SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![Sigmoid::rising(10.0, 1.0)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let s = SigmoidSource::new(tr.clone());
+        for &t in &[0.0, 1e-10, 2e-10] {
+            assert_eq!(s.voltage(t), tr.value_at(t));
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Sampled analog waveforms, as produced by an analog (SPICE-like) simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DigitalTrace, Level};
+
+/// A sampled analog waveform: strictly increasing sample times (seconds) and
+/// node voltages (volts). Values between samples are linearly interpolated.
+///
+/// # Example
+///
+/// ```
+/// use sigwave::Waveform;
+/// let w = Waveform::new(vec![0.0, 1e-12, 2e-12], vec![0.0, 0.4, 0.8]).unwrap();
+/// assert!((w.value_at(0.5e-12) - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    ts: Vec<f64>,
+    vs: Vec<f64>,
+}
+
+/// Error constructing a [`Waveform`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildWaveformError {
+    /// Time and value vectors have different lengths.
+    LengthMismatch,
+    /// Fewer than two samples.
+    TooFewSamples,
+    /// Sample times are not strictly increasing or contain non-finite values.
+    NonMonotonicTimes {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// A voltage sample is not finite.
+    NonFiniteValue {
+        /// Index of the offending sample.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for BuildWaveformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LengthMismatch => write!(f, "time and value vectors differ in length"),
+            Self::TooFewSamples => write!(f, "a waveform needs at least two samples"),
+            Self::NonMonotonicTimes { index } => {
+                write!(f, "sample times must be strictly increasing (index {index})")
+            }
+            Self::NonFiniteValue { index } => {
+                write!(f, "voltage sample is not finite (index {index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildWaveformError {}
+
+impl Waveform {
+    /// Creates a waveform from parallel time/value vectors.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildWaveformError`].
+    pub fn new(ts: Vec<f64>, vs: Vec<f64>) -> Result<Self, BuildWaveformError> {
+        if ts.len() != vs.len() {
+            return Err(BuildWaveformError::LengthMismatch);
+        }
+        if ts.len() < 2 {
+            return Err(BuildWaveformError::TooFewSamples);
+        }
+        for (i, w) in ts.windows(2).enumerate() {
+            if !(w[0] < w[1]) || !w[0].is_finite() || !w[1].is_finite() {
+                return Err(BuildWaveformError::NonMonotonicTimes { index: i + 1 });
+            }
+        }
+        if let Some((i, _)) = vs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(BuildWaveformError::NonFiniteValue { index: i });
+        }
+        Ok(Self { ts, vs })
+    }
+
+    /// Samples a closure uniformly on `[t0, t1]` with `n` points (n ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `t0 >= t1`.
+    #[must_use]
+    pub fn from_fn(t0: f64, t1: f64, n: usize, f: impl Fn(f64) -> f64) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        assert!(t0 < t1, "t0 must precede t1");
+        let dt = (t1 - t0) / (n - 1) as f64;
+        let ts: Vec<f64> = (0..n).map(|i| t0 + i as f64 * dt).collect();
+        let vs = ts.iter().map(|&t| f(t)).collect();
+        Self { ts, vs }
+    }
+
+    /// Sample times in seconds.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.ts
+    }
+
+    /// Sampled voltages in volts.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.vs
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Always `false`: construction requires at least two samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First sample time.
+    #[must_use]
+    pub fn t_start(&self) -> f64 {
+        self.ts[0]
+    }
+
+    /// Last sample time.
+    #[must_use]
+    pub fn t_end(&self) -> f64 {
+        *self.ts.last().expect("non-empty")
+    }
+
+    /// Linear interpolation at `t`; clamps to the end values outside the
+    /// sampled range.
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.ts[0] {
+            return self.vs[0];
+        }
+        if t >= *self.ts.last().expect("non-empty") {
+            return *self.vs.last().expect("non-empty");
+        }
+        let i = self.ts.partition_point(|&x| x <= t);
+        let (t0, t1) = (self.ts[i - 1], self.ts[i]);
+        let (v0, v1) = (self.vs[i - 1], self.vs[i]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Clips all samples into `[lo, hi]` — the paper clips SPICE waveforms
+    /// to `[0, VDD]` before fitting because sigmoids cannot model
+    /// over/undershoots (Sec. II-B).
+    #[must_use]
+    pub fn clipped(&self, lo: f64, hi: f64) -> Waveform {
+        Waveform {
+            ts: self.ts.clone(),
+            vs: self.vs.iter().map(|v| v.clamp(lo, hi)).collect(),
+        }
+    }
+
+    /// All times where the linearly-interpolated waveform crosses `threshold`,
+    /// each tagged with the direction of the crossing.
+    ///
+    /// Exact-threshold plateaus are attributed to the first sample leaving
+    /// the plateau.
+    #[must_use]
+    pub fn crossings(&self, threshold: f64) -> Vec<(f64, CrossingDirection)> {
+        let mut out = Vec::new();
+        let mut prev_side: Option<bool> = side(self.vs[0], threshold);
+        let mut prev_t = self.ts[0];
+        for i in 1..self.ts.len() {
+            let s = side(self.vs[i], threshold);
+            match (prev_side, s) {
+                (Some(a), Some(b)) if a != b => {
+                    // Interpolate crossing inside [ts[i-1], ts[i]].
+                    let (t0, t1) = (self.ts[i - 1], self.ts[i]);
+                    let (v0, v1) = (self.vs[i - 1], self.vs[i]);
+                    let tc = t0 + (threshold - v0) * (t1 - t0) / (v1 - v0);
+                    out.push((
+                        tc,
+                        if b {
+                            CrossingDirection::Rising
+                        } else {
+                            CrossingDirection::Falling
+                        },
+                    ));
+                    prev_side = s;
+                }
+                (None, Some(b)) => {
+                    // Leaving an exact-threshold plateau: count as a crossing
+                    // if the level before the plateau differed.
+                    out.push((
+                        prev_t,
+                        if b {
+                            CrossingDirection::Rising
+                        } else {
+                            CrossingDirection::Falling
+                        },
+                    ));
+                    prev_side = s;
+                }
+                (Some(_), None) => { /* entering plateau: wait */ }
+                _ => {
+                    if s.is_some() {
+                        prev_side = s;
+                    }
+                }
+            }
+            prev_t = self.ts[i];
+        }
+        // Deduplicate: a plateau entered and left on the same side yields
+        // spurious same-direction repeats; keep alternating directions only.
+        dedup_alternating(out)
+    }
+
+    /// Numerical derivative (central differences) at `t`, volts/second.
+    #[must_use]
+    pub fn derivative_at(&self, t: f64) -> f64 {
+        let span = self.t_end() - self.t_start();
+        let h = (span / (self.len() as f64)).max(1e-18);
+        (self.value_at(t + h) - self.value_at(t - h)) / (2.0 * h)
+    }
+
+    /// Digitizes at `threshold` into a [`DigitalTrace`], exactly like the
+    /// comparator of a digital simulator front-end.
+    #[must_use]
+    pub fn digitize(&self, threshold: f64) -> DigitalTrace {
+        let initial = Level::from_bool(self.vs[0] > threshold);
+        let toggles: Vec<f64> = self.crossings(threshold).into_iter().map(|(t, _)| t).collect();
+        DigitalTrace::new(initial, toggles).expect("crossings are strictly increasing")
+    }
+
+    /// Resamples uniformly with `n` points over the full span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn resampled(&self, n: usize) -> Waveform {
+        Waveform::from_fn(self.t_start(), self.t_end(), n, |t| self.value_at(t))
+    }
+
+    /// Root-mean-square difference against another waveform, evaluated on
+    /// `n` uniform points of the overlap of both spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spans do not overlap or `n < 2`.
+    #[must_use]
+    pub fn rms_difference(&self, other: &Waveform, n: usize) -> f64 {
+        let t0 = self.t_start().max(other.t_start());
+        let t1 = self.t_end().min(other.t_end());
+        assert!(t0 < t1, "waveform spans do not overlap");
+        assert!(n >= 2);
+        let dt = (t1 - t0) / (n - 1) as f64;
+        let sum: f64 = (0..n)
+            .map(|i| {
+                let t = t0 + i as f64 * dt;
+                let d = self.value_at(t) - other.value_at(t);
+                d * d
+            })
+            .sum();
+        (sum / n as f64).sqrt()
+    }
+}
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrossingDirection {
+    /// The waveform goes from below to above the threshold.
+    Rising,
+    /// The waveform goes from above to below the threshold.
+    Falling,
+}
+
+fn side(v: f64, threshold: f64) -> Option<bool> {
+    if v > threshold {
+        Some(true)
+    } else if v < threshold {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn dedup_alternating(
+    xs: Vec<(f64, CrossingDirection)>,
+) -> Vec<(f64, CrossingDirection)> {
+    let mut out: Vec<(f64, CrossingDirection)> = Vec::with_capacity(xs.len());
+    for x in xs {
+        if let Some(last) = out.last() {
+            if last.1 == x.1 {
+                continue;
+            }
+        }
+        out.push(x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(matches!(
+            Waveform::new(vec![0.0], vec![0.0]),
+            Err(BuildWaveformError::TooFewSamples)
+        ));
+        assert!(matches!(
+            Waveform::new(vec![0.0, 1.0], vec![0.0]),
+            Err(BuildWaveformError::LengthMismatch)
+        ));
+        assert!(matches!(
+            Waveform::new(vec![1.0, 0.0], vec![0.0, 0.0]),
+            Err(BuildWaveformError::NonMonotonicTimes { index: 1 })
+        ));
+        assert!(matches!(
+            Waveform::new(vec![0.0, 1.0], vec![0.0, f64::NAN]),
+            Err(BuildWaveformError::NonFiniteValue { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = ramp();
+        assert!((w.value_at(0.5) - 0.5).abs() < 1e-12);
+        assert!((w.value_at(1.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(-5.0), 0.0);
+        assert_eq!(w.value_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn crossings_of_triangle() {
+        let w = ramp();
+        let c = w.crossings(0.5);
+        assert_eq!(c.len(), 2);
+        assert!((c[0].0 - 0.5).abs() < 1e-12);
+        assert_eq!(c[0].1, CrossingDirection::Rising);
+        assert!((c[1].0 - 1.5).abs() < 1e-12);
+        assert_eq!(c[1].1, CrossingDirection::Falling);
+    }
+
+    #[test]
+    fn digitize_triangle() {
+        let d = ramp().digitize(0.5);
+        assert_eq!(d.initial(), Level::Low);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn clip_removes_overshoot() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![-0.1, 0.9, 0.3]).unwrap();
+        let c = w.clipped(0.0, 0.8);
+        assert_eq!(c.values(), &[0.0, 0.8, 0.3]);
+    }
+
+    #[test]
+    fn from_fn_samples_uniformly() {
+        let w = Waveform::from_fn(0.0, 1.0, 11, |t| 2.0 * t);
+        assert_eq!(w.len(), 11);
+        assert!((w.value_at(0.25) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_of_line() {
+        let w = Waveform::from_fn(0.0, 1.0, 101, |t| 3.0 * t);
+        assert!((w.derivative_at(0.5) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rms_of_identical_is_zero() {
+        let w = ramp();
+        assert!(w.rms_difference(&w, 64) < 1e-12);
+    }
+
+    #[test]
+    fn plateau_does_not_double_count() {
+        // Waveform rises, sits exactly at threshold, then continues up:
+        // exactly one rising crossing.
+        let w =
+            Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.5, 0.5, 1.0]).unwrap();
+        let c = w.crossings(0.5);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].1, CrossingDirection::Rising);
+    }
+
+    #[test]
+    fn resample_preserves_shape() {
+        let w = ramp();
+        let r = w.resampled(201);
+        assert!(w.rms_difference(&r, 101) < 1e-9);
+    }
+}

@@ -1,0 +1,360 @@
+//! Classic digital traces: Heaviside transitions at threshold crossings.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary signal level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Logic low (GND).
+    Low,
+    /// Logic high (VDD).
+    High,
+}
+
+impl Level {
+    /// The opposite level.
+    #[must_use]
+    pub fn inverted(self) -> Level {
+        match self {
+            Level::Low => Level::High,
+            Level::High => Level::Low,
+        }
+    }
+
+    /// `true` for [`Level::High`].
+    #[must_use]
+    pub fn is_high(self) -> bool {
+        matches!(self, Level::High)
+    }
+
+    /// Converts a boolean (`true` = high).
+    #[must_use]
+    pub fn from_bool(high: bool) -> Level {
+        if high {
+            Level::High
+        } else {
+            Level::Low
+        }
+    }
+}
+
+impl std::ops::Not for Level {
+    type Output = Level;
+    fn not(self) -> Level {
+        self.inverted()
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::Low => write!(f, "0"),
+            Level::High => write!(f, "1"),
+        }
+    }
+}
+
+/// A digital signal trace: an initial level and a strictly increasing list of
+/// toggle times (seconds). Each time flips the level; this encodes the
+/// sequence of Heaviside transitions produced by a digital simulator or by
+/// digitizing an analog waveform at the `VDD/2` threshold.
+///
+/// # Example
+///
+/// ```
+/// use sigwave::{DigitalTrace, Level};
+/// let t = DigitalTrace::new(Level::Low, vec![1e-10, 3e-10]).unwrap();
+/// assert_eq!(t.level_at(0.0), Level::Low);
+/// assert_eq!(t.level_at(2e-10), Level::High);
+/// assert_eq!(t.level_at(4e-10), Level::Low);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigitalTrace {
+    initial: Level,
+    toggles: Vec<f64>,
+}
+
+/// Error constructing a [`DigitalTrace`] from toggle times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonotonicityError {
+    /// Index of the first out-of-order toggle time.
+    pub index: usize,
+}
+
+impl std::fmt::Display for MonotonicityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "toggle times must be strictly increasing and finite (violation at index {})",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for MonotonicityError {}
+
+impl DigitalTrace {
+    /// Creates a trace from an initial level and strictly increasing toggle
+    /// times in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonotonicityError`] if the times are not strictly
+    /// increasing or not finite.
+    pub fn new(initial: Level, toggles: Vec<f64>) -> Result<Self, MonotonicityError> {
+        for (i, w) in toggles.windows(2).enumerate() {
+            if !(w[0] < w[1]) {
+                return Err(MonotonicityError { index: i + 1 });
+            }
+        }
+        if let Some((i, _)) = toggles.iter().enumerate().find(|(_, t)| !t.is_finite()) {
+            return Err(MonotonicityError { index: i });
+        }
+        Ok(Self { initial, toggles })
+    }
+
+    /// A constant trace with no transitions.
+    #[must_use]
+    pub fn constant(level: Level) -> Self {
+        Self {
+            initial: level,
+            toggles: Vec::new(),
+        }
+    }
+
+    /// The level before the first toggle.
+    #[must_use]
+    pub fn initial(&self) -> Level {
+        self.initial
+    }
+
+    /// The toggle times in seconds, strictly increasing.
+    #[must_use]
+    pub fn toggles(&self) -> &[f64] {
+        &self.toggles
+    }
+
+    /// Number of transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.toggles.len()
+    }
+
+    /// `true` if the trace never switches.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.toggles.is_empty()
+    }
+
+    /// The level at time `t` (toggle instants belong to the *new* level).
+    #[must_use]
+    pub fn level_at(&self, t: f64) -> Level {
+        let n = self.toggles.partition_point(|&x| x <= t);
+        if n % 2 == 0 {
+            self.initial
+        } else {
+            self.initial.inverted()
+        }
+    }
+
+    /// The final level after all transitions.
+    #[must_use]
+    pub fn final_level(&self) -> Level {
+        if self.toggles.len() % 2 == 0 {
+            self.initial
+        } else {
+            self.initial.inverted()
+        }
+    }
+
+    /// Appends a toggle at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not strictly after the last toggle, or not finite.
+    pub fn push_toggle(&mut self, t: f64) {
+        assert!(t.is_finite(), "toggle time must be finite");
+        if let Some(&last) = self.toggles.last() {
+            assert!(t > last, "toggle times must be strictly increasing");
+        }
+        self.toggles.push(t);
+    }
+
+    /// The total time within `[t0, t1]` during which this trace and `other`
+    /// disagree — the paper's `t_err` contribution of one signal pair
+    /// (Sec. V-B: traces "match at time t if both are above (below) the
+    /// threshold").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 > t1`.
+    #[must_use]
+    pub fn mismatch_time(&self, other: &DigitalTrace, t0: f64, t1: f64) -> f64 {
+        assert!(t0 <= t1, "empty or inverted interval");
+        // Sweep the merged toggle sequence, accumulating the measure of the
+        // sub-intervals on which the levels differ.
+        let mut err = 0.0;
+        let mut t = t0;
+        let mut ia = self.toggles.partition_point(|&x| x <= t0);
+        let mut ib = other.toggles.partition_point(|&x| x <= t0);
+        let mut la = self.level_at(t0);
+        let mut lb = other.level_at(t0);
+        loop {
+            let next_a = self.toggles.get(ia).copied().unwrap_or(f64::INFINITY);
+            let next_b = other.toggles.get(ib).copied().unwrap_or(f64::INFINITY);
+            let next = next_a.min(next_b).min(t1);
+            if la != lb {
+                err += next - t;
+            }
+            if next >= t1 {
+                break;
+            }
+            t = next;
+            if next_a <= next {
+                la = la.inverted();
+                ia += 1;
+            }
+            if next_b <= next {
+                lb = lb.inverted();
+                ib += 1;
+            }
+        }
+        err
+    }
+
+    /// Inverts the trace (as an ideal zero-delay inverter would).
+    #[must_use]
+    pub fn inverted(&self) -> DigitalTrace {
+        DigitalTrace {
+            initial: self.initial.inverted(),
+            toggles: self.toggles.clone(),
+        }
+    }
+
+    /// Shifts every toggle by `dt` seconds (a pure delay channel).
+    #[must_use]
+    pub fn delayed(&self, dt: f64) -> DigitalTrace {
+        DigitalTrace {
+            initial: self.initial,
+            toggles: self.toggles.iter().map(|t| t + dt).collect(),
+        }
+    }
+}
+
+impl Default for DigitalTrace {
+    fn default() -> Self {
+        Self::constant(Level::Low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn level_sampling() {
+        let t = DigitalTrace::new(Level::High, vec![1.0, 2.0, 5.0]).unwrap();
+        assert_eq!(t.level_at(0.5), Level::High);
+        assert_eq!(t.level_at(1.0), Level::Low); // toggle instant -> new level
+        assert_eq!(t.level_at(1.5), Level::Low);
+        assert_eq!(t.level_at(3.0), Level::High);
+        assert_eq!(t.level_at(6.0), Level::Low);
+        assert_eq!(t.final_level(), Level::Low);
+    }
+
+    #[test]
+    fn rejects_non_monotonic() {
+        let err = DigitalTrace::new(Level::Low, vec![2.0, 1.0]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("strictly increasing"));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(DigitalTrace::new(Level::Low, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn mismatch_simple() {
+        // A toggles at 1, B at 2: they disagree on [1,2).
+        let a = DigitalTrace::new(Level::Low, vec![1.0]).unwrap();
+        let b = DigitalTrace::new(Level::Low, vec![2.0]).unwrap();
+        assert!((a.mismatch_time(&b, 0.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_missed_pulse() {
+        // Reference has a pulse [1,2]; prediction is constant low.
+        let r = DigitalTrace::new(Level::Low, vec![1.0, 2.0]).unwrap();
+        let p = DigitalTrace::constant(Level::Low);
+        assert!((r.mismatch_time(&p, 0.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_opposite_constants() {
+        let a = DigitalTrace::constant(Level::Low);
+        let b = DigitalTrace::constant(Level::High);
+        assert!((a.mismatch_time(&b, 2.0, 7.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_clipped_to_window() {
+        let a = DigitalTrace::new(Level::Low, vec![1.0]).unwrap();
+        let b = DigitalTrace::constant(Level::Low);
+        // Disagreement is [1, inf) but window is [0, 3].
+        assert!((a.mismatch_time(&b, 0.0, 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_and_delayed() {
+        let a = DigitalTrace::new(Level::Low, vec![1.0, 2.0]).unwrap();
+        let inv = a.inverted();
+        assert_eq!(inv.initial(), Level::High);
+        assert_eq!(inv.level_at(1.5), Level::Low);
+        let d = a.delayed(0.5);
+        assert_eq!(d.toggles(), &[1.5, 2.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn mismatch_symmetric(times_a in proptest::collection::vec(0.0..100.0f64, 0..8),
+                              times_b in proptest::collection::vec(0.0..100.0f64, 0..8)) {
+            let mut ta = times_a; ta.sort_by(f64::total_cmp); ta.dedup();
+            let mut tb = times_b; tb.sort_by(f64::total_cmp); tb.dedup();
+            let a = DigitalTrace::new(Level::Low, ta).unwrap();
+            let b = DigitalTrace::new(Level::High, tb).unwrap();
+            let ab = a.mismatch_time(&b, 0.0, 100.0);
+            let ba = b.mismatch_time(&a, 0.0, 100.0);
+            prop_assert!((ab - ba).abs() < 1e-9);
+        }
+
+        #[test]
+        fn mismatch_self_is_zero(times in proptest::collection::vec(0.0..100.0f64, 0..8)) {
+            let mut t = times; t.sort_by(f64::total_cmp); t.dedup();
+            let a = DigitalTrace::new(Level::Low, t).unwrap();
+            prop_assert!(a.mismatch_time(&a, 0.0, 100.0) < 1e-12);
+        }
+
+        #[test]
+        fn mismatch_triangle_inequality(
+            xs in proptest::collection::vec(0.0..50.0f64, 0..6),
+            ys in proptest::collection::vec(0.0..50.0f64, 0..6),
+            zs in proptest::collection::vec(0.0..50.0f64, 0..6)) {
+            let mk = |mut v: Vec<f64>| { v.sort_by(f64::total_cmp); v.dedup(); DigitalTrace::new(Level::Low, v).unwrap() };
+            let (a, b, c) = (mk(xs), mk(ys), mk(zs));
+            let ab = a.mismatch_time(&b, 0.0, 60.0);
+            let bc = b.mismatch_time(&c, 0.0, 60.0);
+            let ac = a.mismatch_time(&c, 0.0, 60.0);
+            // Symmetric-difference measure satisfies the triangle inequality.
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+
+        #[test]
+        fn level_at_consistent_with_final(times in proptest::collection::vec(0.0..10.0f64, 0..10)) {
+            let mut t = times; t.sort_by(f64::total_cmp); t.dedup();
+            let a = DigitalTrace::new(Level::Low, t).unwrap();
+            prop_assert_eq!(a.level_at(1e9), a.final_level());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Signal representations for dynamic timing analysis with sigmoidal
+//! approximations.
+//!
+//! This crate provides the three signal representations used throughout the
+//! reproduction of *Signal Prediction for Digital Circuits by Sigmoidal
+//! Approximations using Neural Networks* (DATE 2025):
+//!
+//! * [`Sigmoid`] — a single logistic transition `Fs(t, a, b) = 1 / (1 +
+//!   exp(-a (t·10^10 - b)))` (Eq. 1 of the paper), parameterized by a slope
+//!   `a` (sign gives polarity) and a threshold-crossing time `b`.
+//! * [`SigmoidTrace`] — a waveform as a sum of sigmoids scaled by `VDD`
+//!   (Eq. 2), i.e. the "sigmoidal approximation" of an analog waveform.
+//! * [`Waveform`] — a sampled analog waveform as produced by an analog
+//!   simulator.
+//! * [`DigitalTrace`] — a classic digital trace of Heaviside transitions, as
+//!   produced by a digital timing simulator.
+//!
+//! The [`metrics`] module implements the paper's error measure `t_err`: the
+//! total amount of time during which two traces disagree about being
+//! above/below the `VDD/2` threshold.
+//!
+//! # Example
+//!
+//! ```
+//! use sigwave::{Sigmoid, SigmoidTrace, Level, VDD_DEFAULT};
+//!
+//! // A rising transition crossing VDD/2 at 100 ps with a moderate slope,
+//! // followed by a falling transition at 200 ps.
+//! let trace = SigmoidTrace::from_transitions(
+//!     Level::Low,
+//!     vec![Sigmoid::new(30.0, 1.0), Sigmoid::new(-30.0, 2.0)],
+//!     VDD_DEFAULT,
+//! )
+//! .expect("alternating polarities");
+//! let mid = trace.value_at(1.5e-10);
+//! assert!((mid - VDD_DEFAULT).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analog;
+mod digital;
+pub mod metrics;
+mod sigmoid;
+mod trace;
+
+pub use analog::{BuildWaveformError, CrossingDirection, Waveform};
+pub use digital::{DigitalTrace, Level, MonotonicityError};
+pub use sigmoid::{PairExtremum, Sigmoid};
+pub use trace::{BuildTraceError, SigmoidTrace};
+
+/// Supply voltage used throughout the reproduction, matching the paper's
+/// Nangate 15 nm FinFET characterization point (`VDD = 0.8 V`).
+pub const VDD_DEFAULT: f64 = 0.8;
+
+/// The time scale factor of Eq. 1: parameters `b` are expressed in units of
+/// `1 / TIME_SCALE` seconds (100 ps), so that `a` and `b` live in comparable
+/// numeric ranges (see Sec. II of the paper).
+pub const TIME_SCALE: f64 = 1e10;
+
+/// Converts a time in seconds to the scaled time unit used by sigmoid
+/// parameters (`x = t · 10^10`).
+#[inline]
+pub fn to_scaled_time(t_seconds: f64) -> f64 {
+    t_seconds * TIME_SCALE
+}
+
+/// Converts a scaled time (units of 100 ps) back to seconds.
+#[inline]
+pub fn to_seconds(scaled: f64) -> f64 {
+    scaled / TIME_SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_time_round_trip() {
+        let t = 3.37e-10;
+        assert!((to_seconds(to_scaled_time(t)) - t).abs() < 1e-24);
+    }
+
+    #[test]
+    fn scale_constants_consistent() {
+        // 100 ps maps to 1.0 scaled units.
+        assert_eq!(to_scaled_time(100e-12), 1.0);
+        assert_eq!(VDD_DEFAULT, 0.8);
+    }
+}

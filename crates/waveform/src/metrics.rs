@@ -1,0 +1,204 @@
+//! The paper's accuracy metric: `t_err`, the total time two traces disagree
+//! about being above/below the `VDD/2` threshold (Sec. V-B).
+//!
+//! Predictions (digital or sigmoidal) are digitized at the threshold and
+//! compared against the reference (analog) trace over an observation window;
+//! per-output errors are summed over all outputs of a circuit.
+
+use crate::{DigitalTrace, SigmoidTrace, Waveform};
+
+/// An observation window `[t0, t1]` in seconds over which `t_err` is
+/// accumulated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Window start (seconds).
+    pub t0: f64,
+    /// Window end (seconds).
+    pub t1: f64,
+}
+
+impl Window {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 > t1` or either bound is not finite.
+    #[must_use]
+    pub fn new(t0: f64, t1: f64) -> Self {
+        assert!(t0.is_finite() && t1.is_finite(), "window must be finite");
+        assert!(t0 <= t1, "window start must not exceed end");
+        Self { t0, t1 }
+    }
+
+    /// Window length in seconds.
+    #[must_use]
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// `t_err` between two digital traces over `window` (seconds).
+#[must_use]
+pub fn t_err_digital(reference: &DigitalTrace, prediction: &DigitalTrace, window: Window) -> f64 {
+    reference.mismatch_time(prediction, window.t0, window.t1)
+}
+
+/// `t_err` of a digital prediction against an analog reference waveform:
+/// the reference is digitized at `threshold` first.
+#[must_use]
+pub fn t_err_vs_analog(
+    reference: &Waveform,
+    prediction: &DigitalTrace,
+    threshold: f64,
+    window: Window,
+) -> f64 {
+    t_err_digital(&reference.digitize(threshold), prediction, window)
+}
+
+/// `t_err` of a sigmoidal prediction against an analog reference waveform;
+/// both are digitized at `threshold` (the paper compares all predictions in
+/// the digital domain at `VDD/2`).
+#[must_use]
+pub fn t_err_sigmoid_vs_analog(
+    reference: &Waveform,
+    prediction: &SigmoidTrace,
+    threshold: f64,
+    window: Window,
+) -> f64 {
+    t_err_digital(
+        &reference.digitize(threshold),
+        &prediction.digitize(threshold),
+        window,
+    )
+}
+
+/// Aggregates per-output `t_err` values over all outputs of a circuit, as in
+/// Table I ("summed among all outputs of a circuit").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorAccumulator {
+    total: f64,
+    count: usize,
+    max: f64,
+}
+
+impl ErrorAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one output's `t_err` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_err` is negative or not finite.
+    pub fn add(&mut self, t_err: f64) {
+        assert!(t_err.is_finite() && t_err >= 0.0, "t_err must be >= 0");
+        self.total += t_err;
+        self.count += 1;
+        self.max = self.max.max(t_err);
+    }
+
+    /// Total `t_err` over all added outputs (seconds).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of outputs added.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Mean per-output `t_err`; 0 if nothing was added.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+
+    /// Largest single-output `t_err`.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for ErrorAccumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Level, Sigmoid, VDD_DEFAULT};
+
+    #[test]
+    fn window_duration() {
+        let w = Window::new(1.0, 3.5);
+        assert!((w.duration() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn window_rejects_inverted() {
+        let _ = Window::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn digital_vs_digital() {
+        let a = DigitalTrace::new(Level::Low, vec![1.0, 5.0]).unwrap();
+        let b = DigitalTrace::new(Level::Low, vec![2.0, 5.0]).unwrap();
+        assert!((t_err_digital(&a, &b, Window::new(0.0, 10.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_prediction_against_analog() {
+        // Analog reference: clean pulse 100..300 ps; sigmoid prediction
+        // shifted by 10 ps -> t_err = 20 ps.
+        let reference = Waveform::from_fn(0.0, 5e-10, 2000, |t| {
+            if t > 1e-10 && t < 3e-10 {
+                VDD_DEFAULT
+            } else {
+                0.0
+            }
+        });
+        let pred = SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![Sigmoid::rising(50.0, 1.1), Sigmoid::falling(50.0, 3.1)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let e = t_err_sigmoid_vs_analog(
+            &reference,
+            &pred,
+            VDD_DEFAULT / 2.0,
+            Window::new(0.0, 5e-10),
+        );
+        assert!((e - 2e-11).abs() < 1e-12, "t_err {e}");
+    }
+
+    #[test]
+    fn accumulator_statistics() {
+        let mut acc = ErrorAccumulator::new();
+        acc.extend([1.0, 2.0, 3.0]);
+        assert_eq!(acc.count(), 3);
+        assert!((acc.total() - 6.0).abs() < 1e-12);
+        assert!((acc.mean() - 2.0).abs() < 1e-12);
+        assert!((acc.max() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_mean() {
+        assert_eq!(ErrorAccumulator::new().mean(), 0.0);
+    }
+}

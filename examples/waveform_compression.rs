@@ -1,0 +1,70 @@
+//! Sigmoidal approximation as lossy waveform compression (Sec. II: the
+//! parameter list "can be interpreted as some sort of lossy compression").
+//!
+//! An analog waveform with several transitions is simulated, fitted with
+//! sigmoids, and the storage/accuracy trade-off is reported: thousands of
+//! samples collapse into two floats per transition at millivolt-level RMS
+//! error.
+//!
+//! Run with: `cargo run --release --example waveform_compression`
+
+use std::collections::HashMap;
+
+use nanospice::{Engine, Pwl, Stimulus};
+use sigchar::{build_analog, AnalogOptions, ChainGate, CharChain, PulseSpec};
+use sigfit::{fit_waveform, FitOptions};
+use sigwave::Level;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Simulate a 3-stage NOR chain driven by the Fig. 4 double pulse.
+    let chain = CharChain::new(ChainGate::Nor, 3, 1);
+    let spec = PulseSpec {
+        t0: 60e-12,
+        ta: 15e-12,
+        tb: 10e-12,
+        tc: 18e-12,
+    };
+    let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+    stimuli.insert(
+        chain.input,
+        Box::new(Pwl::heaviside_train(&spec.to_trace(), 0.8, 1e-12)),
+    );
+    stimuli.insert(chain.tie.expect("nor chain"), Box::new(nanospice::Dc(0.0)));
+    let mut init = HashMap::new();
+    init.insert(chain.input, Level::Low);
+    init.insert(chain.tie.expect("nor chain"), Level::Low);
+    let analog = build_analog(&chain.circuit, stimuli, &init, &AnalogOptions::default())?;
+
+    let probe_names: Vec<String> = chain
+        .stage_nets
+        .iter()
+        .map(|n| analog.probe_name(*n).to_string())
+        .collect();
+    let probes: Vec<&str> = probe_names.iter().map(String::as_str).collect();
+    let result = Engine::default().run(&analog.network, 0.0, 250e-12, &probes)?;
+
+    println!(
+        "{:>10} {:>9} {:>12} {:>12} {:>10} {:>8}",
+        "stage", "samples", "raw bytes", "fit params", "fit bytes", "rms(mV)"
+    );
+    for (i, name) in probe_names.iter().enumerate() {
+        let wave = result.waveform(name).expect("probed");
+        let fit = fit_waveform(wave, &FitOptions::default())?;
+        let raw_bytes = wave.len() * 16; // (t, v) per sample
+        let params = fit.trace.len() * 2; // (a, b) per transition
+        println!(
+            "{:>10} {:>9} {:>12} {:>12} {:>10} {:>8.2}",
+            if i == 0 { "input".to_string() } else { format!("G{i}") },
+            wave.len(),
+            raw_bytes,
+            params,
+            params * 8,
+            fit.rms_error * 1e3,
+        );
+    }
+    println!(
+        "\nEach transition costs exactly two parameters (a, b) — Eq. 1 —\n\
+         yet reconstructs the waveform to a few millivolts RMS."
+    );
+    Ok(())
+}

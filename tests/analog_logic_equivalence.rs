@@ -1,0 +1,73 @@
+//! The analog realization of a NOR-mapped circuit must settle to the same
+//! boolean function as the gate-level netlist, for random input vectors —
+//! the bridge between the logical and electrical worlds every experiment
+//! rests on.
+
+use std::collections::HashMap;
+
+use nanospice::{Dc, Engine, Stimulus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sigchar::{build_analog, AnalogOptions};
+use sigcircuit::Benchmark;
+use sigwave::Level;
+
+#[test]
+fn c17_analog_settles_to_boolean_function() {
+    let bench = Benchmark::by_name("c17").expect("benchmark");
+    let circuit = &bench.nor_mapped;
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..4 {
+        let bits: Vec<bool> = (0..circuit.inputs().len()).map(|_| rng.gen()).collect();
+        let expect = circuit.eval(&bits);
+
+        let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+        let mut init = HashMap::new();
+        for (&net, &bit) in circuit.inputs().iter().zip(&bits) {
+            stimuli.insert(net, Box::new(Dc(if bit { 0.8 } else { 0.0 })));
+            init.insert(net, Level::from_bool(bit));
+        }
+        let analog = build_analog(circuit, stimuli, &init, &AnalogOptions::default())
+            .expect("build");
+        let probes: Vec<String> = circuit
+            .outputs()
+            .iter()
+            .map(|o| analog.probe_name(*o).to_string())
+            .collect();
+        let probe_refs: Vec<&str> = probes.iter().map(String::as_str).collect();
+        let res = Engine::default()
+            .run(&analog.network, 0.0, 2e-10, &probe_refs)
+            .expect("run");
+        for (o, e) in circuit.outputs().iter().zip(&expect) {
+            let v = res
+                .waveform(analog.probe_name(*o))
+                .expect("probed")
+                .value_at(2e-10);
+            let logical = v > 0.4;
+            assert_eq!(
+                logical,
+                *e,
+                "output {} settled to {v:.3} V for inputs {bits:?}",
+                circuit.net_name(*o)
+            );
+        }
+    }
+}
+
+#[test]
+fn nor_mapped_benchmarks_equal_originals_logically() {
+    let mut rng = StdRng::seed_from_u64(123);
+    for name in ["c17", "c499", "c1355"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let n = bench.original.inputs().len();
+        for _ in 0..20 {
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            assert_eq!(
+                bench.original.eval(&bits),
+                bench.nor_mapped.eval(&bits),
+                "{name} mapping not equivalent at {bits:?}"
+            );
+        }
+        assert!(bench.nor_mapped.is_nor_only(), "{name} not NOR-only");
+    }
+}

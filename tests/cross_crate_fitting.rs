@@ -1,0 +1,80 @@
+//! Cross-crate integration: analog waveforms produced by `nanospice` are
+//! faithfully recovered by `sigfit`'s sigmoidal approximations (the Sec. II
+//! pipeline), across a range of pulse shapes.
+
+use std::collections::HashMap;
+
+use nanospice::{EngineConfig, Pwl, Stimulus};
+use sigchar::{run_chain, AnalogOptions, ChainGate, CharChain, PulseSpec};
+use sigfit::{fit_waveform, FitOptions};
+use sigwave::Level;
+
+#[test]
+fn chain_waveforms_fit_with_small_rms() {
+    let chain = CharChain::new(ChainGate::Nor, 3, 1);
+    for (ta, tb, tc) in [(15.0, 12.0, 18.0), (20.0, 20.0, 20.0), (12.0, 15.0, 12.0)] {
+        let spec = PulseSpec {
+            t0: 60e-12,
+            ta: ta * 1e-12,
+            tb: tb * 1e-12,
+            tc: tc * 1e-12,
+        };
+        let run = run_chain(
+            &chain,
+            &spec,
+            &AnalogOptions::default(),
+            &EngineConfig::default(),
+        )
+        .expect("chain run");
+        for (i, wave) in run.waveforms.iter().enumerate() {
+            let fit = fit_waveform(wave, &FitOptions::default()).expect("fit");
+            assert!(
+                fit.rms_error < 0.04,
+                "stage {i} of ({ta},{tb},{tc}): rms {} V too large",
+                fit.rms_error
+            );
+            // Crossing times of fit and waveform agree to sub-picosecond.
+            let wave_crossings = wave.crossings(0.4);
+            let fit_digital = fit.trace.digitize(0.4);
+            assert_eq!(wave_crossings.len(), fit_digital.len(), "stage {i}");
+            for (w, f) in wave_crossings.iter().zip(fit_digital.toggles()) {
+                assert!(
+                    (w.0 - f).abs() < 1.0e-12,
+                    "stage {i}: crossing {:.2}ps vs fit {:.2}ps",
+                    w.0 * 1e12,
+                    f * 1e12
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn heaviside_source_round_trips_through_fit() {
+    // A clean step through pulse shaping: the fitted slope must be finite
+    // and in the physically calibrated range, the crossing within 1 ps.
+    let trace = sigwave::DigitalTrace::new(Level::Low, vec![80e-12]).expect("trace");
+    let chain = CharChain::new(ChainGate::Inverter, 1, 1);
+    let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
+    stimuli.insert(chain.input, Box::new(Pwl::heaviside_train(&trace, 0.8, 1e-12)));
+    let mut init = HashMap::new();
+    init.insert(chain.input, Level::Low);
+    let analog =
+        sigchar::build_analog(&chain.circuit, stimuli, &init, &AnalogOptions::default())
+            .expect("build");
+    let shaped = analog.probe_name(chain.input).to_string();
+    let res = nanospice::Engine::default()
+        .run(&analog.network, 0.0, 2e-10, &[&shaped])
+        .expect("run");
+    let fit = fit_waveform(res.waveform(&shaped).expect("probed"), &FitOptions::default())
+        .expect("fit");
+    assert_eq!(fit.trace.len(), 1);
+    let s = fit.trace.transitions()[0];
+    assert!(s.is_rising());
+    // Shaped edge slope: 20%-80% within 1..20 ps for this technology.
+    let rise = s.transition_time_20_80();
+    assert!(
+        rise > 1e-12 && rise < 20e-12,
+        "unphysical fitted slope: {rise:.2e} s"
+    );
+}
