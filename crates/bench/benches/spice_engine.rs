@@ -22,8 +22,8 @@ fn bench_derivatives(c: &mut Criterion) {
             stimuli.insert(i, Box::new(Dc(0.0)));
             init.insert(i, Level::Low);
         }
-        let analog = build_analog(circuit, stimuli, &init, &AnalogOptions::default())
-            .expect("build");
+        let analog =
+            build_analog(circuit, stimuli, &init, &AnalogOptions::default()).expect("build");
         let state = analog.network.initial_state();
         let mut dstate = vec![0.0; state.len()];
         group.bench_function(name, |b| {

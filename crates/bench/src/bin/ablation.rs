@@ -83,21 +83,29 @@ fn main() {
     let runs: usize = args.get_num("runs", 5);
     let circuit_name = args.get("circuit", "c17");
     let trained = load_models(&args);
-    let delays = DelayTable::measure(
-        1..=6,
-        &AnalogOptions::default(),
-        &EngineConfig::default(),
-    )
-    .expect("delay extraction");
+    let delays = DelayTable::measure(1..=6, &AnalogOptions::default(), &EngineConfig::default())
+        .expect("delay extraction");
     let bench = Benchmark::by_name(&circuit_name).expect("unknown circuit");
     let circuit = &bench.nor_mapped;
 
     let ann = trained.gate_models();
     let variants: Vec<(String, GateModels, TomOptions)> = vec![
         ("ann(paper)".into(), ann.clone(), TomOptions::default()),
-        ("lut".into(), backend_models(&trained, "lut"), TomOptions::default()),
-        ("poly".into(), backend_models(&trained, "poly"), TomOptions::default()),
-        ("ann,no-region".into(), strip_region(&ann), TomOptions::default()),
+        (
+            "lut".into(),
+            backend_models(&trained, "lut"),
+            TomOptions::default(),
+        ),
+        (
+            "poly".into(),
+            backend_models(&trained, "poly"),
+            TomOptions::default(),
+        ),
+        (
+            "ann,no-region".into(),
+            strip_region(&ann),
+            TomOptions::default(),
+        ),
         (
             "ann,tight-region".into(),
             tighten_region(&trained, &ann, 1.5),
@@ -149,7 +157,12 @@ fn main() {
     }
     write_csv(
         &results_dir().join("ablation.csv"),
-        &["variant_index", "t_err_sigmoid_ps", "t_err_digital_ps", "ratio"],
+        &[
+            "variant_index",
+            "t_err_sigmoid_ps",
+            "t_err_digital_ps",
+            "ratio",
+        ],
         &rows,
     );
 }

@@ -59,8 +59,16 @@ fn main() {
     println!("\n=== stage activity (threshold crossings at VDD/2) ===");
     for (i, p) in probe_names.iter().enumerate() {
         let c = res.waveform(p).expect("probed").crossings(0.4);
-        let label = if i == 0 { "input".into() } else { format!("G{i}") };
+        let label = if i == 0 {
+            "input".into()
+        } else {
+            format!("G{i}")
+        };
         let times: Vec<String> = c.iter().map(|x| format!("{:.1}ps", x.0 * 1e12)).collect();
-        println!("  {label:>6}: {} crossings  [{}]", c.len(), times.join(", "));
+        println!(
+            "  {label:>6}: {} crossings  [{}]",
+            c.len(),
+            times.join(", ")
+        );
     }
 }

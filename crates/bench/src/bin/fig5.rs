@@ -16,9 +16,7 @@ use nanospice::EngineConfig;
 use sigbench::{load_models, results_dir, write_csv, Args};
 use sigchar::{AnalogOptions, DelayTable};
 use sigcircuit::Benchmark;
-use sigsim::{
-    compare_circuit, random_stimuli, HarnessConfig, SigmoidInputMode, StimulusSpec,
-};
+use sigsim::{compare_circuit, random_stimuli, HarnessConfig, SigmoidInputMode, StimulusSpec};
 use sigwave::metrics::t_err_digital;
 
 fn main() {
@@ -28,12 +26,8 @@ fn main() {
 
     let trained = load_models(&args);
     let models = trained.gate_models();
-    let delays = DelayTable::measure(
-        1..=6,
-        &AnalogOptions::default(),
-        &EngineConfig::default(),
-    )
-    .expect("delay extraction");
+    let delays = DelayTable::measure(1..=6, &AnalogOptions::default(), &EngineConfig::default())
+        .expect("delay extraction");
 
     let bench = Benchmark::by_name(&name).expect("unknown circuit");
     let circuit = &bench.nor_mapped;
@@ -43,8 +37,8 @@ fn main() {
         sigmoid_inputs: SigmoidInputMode::SameAsDigital,
         ..HarnessConfig::default()
     };
-    let outcome = compare_circuit(circuit, &stimuli, &models, &delays, &config)
-        .expect("comparison failed");
+    let outcome =
+        compare_circuit(circuit, &stimuli, &models, &delays, &config).expect("comparison failed");
 
     // Pick the busiest output.
     let bundle = outcome
@@ -81,8 +75,17 @@ fn main() {
     let rows: Vec<Vec<f64>> = (0..n)
         .map(|i| {
             let t = t0 + (t1 - t0) * i as f64 / (n - 1) as f64;
-            let dig = if bundle.digital.level_at(t).is_high() { 0.8 } else { 0.0 };
-            vec![t, bundle.analog.value_at(t), bundle.sigmoid.value_at(t), dig]
+            let dig = if bundle.digital.level_at(t).is_high() {
+                0.8
+            } else {
+                0.0
+            };
+            vec![
+                t,
+                bundle.analog.value_at(t),
+                bundle.sigmoid.value_at(t),
+                dig,
+            ]
         })
         .collect();
     write_csv(

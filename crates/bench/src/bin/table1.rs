@@ -7,22 +7,26 @@
 //!
 //! ```text
 //! cargo run --release -p sigbench --bin table1 -- \
-//!     [--circuits c17,c499,c1355] [--runs 5] [--seed 1] [--paper-scale]
+//!     [--circuits c17,c499,c1355] [--runs 5] [--seed 1] [--paper-scale] \
+//!     [--parallelism 0] [--mc-parallelism 1]
 //! ```
 //!
 //! The paper uses 50 runs per cell; `--runs 50` reproduces that scale.
+//! `--parallelism` gates the model-training pipeline (0 = all cores, the
+//! default). `--mc-parallelism 0` additionally fans the Monte-Carlo
+//! comparison runs out across all cores (`t_err` columns are
+//! bit-identical at any setting), but it defaults to sequential because
+//! the reported `t_sim` wall-clock columns are per-run timings —
+//! measuring them under parallel contention would inflate them.
 
 use std::time::Duration;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use nanospice::EngineConfig;
 use sigbench::{load_models, results_dir, write_csv, Args};
 use sigchar::{AnalogOptions, DelayTable};
 use sigcircuit::Benchmark;
 use sigsim::{
-    compare_circuit, random_stimuli, HarnessConfig, SigmoidInputMode, StimulusSpec,
+    compare_circuit_monte_carlo, HarnessConfig, MonteCarloConfig, SigmoidInputMode, StimulusSpec,
 };
 
 struct Cell {
@@ -41,8 +45,16 @@ struct Cell {
 fn main() {
     let args = Args::parse();
     let circuits = args.get("circuits", "c17,c499,c1355");
-    let runs: usize = args.get_num("runs", 5);
-    let seed: u64 = args.get_num("seed", 1);
+    let mc = MonteCarloConfig {
+        runs: args.get_num("runs", 5),
+        seed: args.get_num("seed", 1),
+        // Sequential by default: the t_sim columns are per-run wall-clock
+        // timings and must not include parallel contention (see module
+        // docs); pass `--mc-parallelism 0` to use every core when only
+        // the t_err columns matter. Distinct from `--parallelism`, which
+        // gates model training (where timing fidelity is irrelevant).
+        parallelism: args.get_num("mc-parallelism", 1),
+    };
 
     // Benchmark circuits carry per-instance interconnect variation; the
     // digital baseline's extraction grid covers it (fan-out x load), the
@@ -57,7 +69,13 @@ fn main() {
     let models = trained.gate_models();
     let delays = DelayTable::measure_grid(
         1..=6,
-        &[1.0 - variation, 1.0 - variation / 2.0, 1.0, 1.0 + variation / 2.0, 1.0 + variation],
+        &[
+            1.0 - variation,
+            1.0 - variation / 2.0,
+            1.0,
+            1.0 + variation / 2.0,
+            1.0 + variation,
+        ],
         &AnalogOptions::default(),
         &EngineConfig::default(),
     )
@@ -69,7 +87,13 @@ fn main() {
         let circuit = &bench.nor_mapped;
         for spec in StimulusSpec::table1() {
             let cell = run_cell(
-                &bench, circuit, &spec, runs, seed, &models, &delays, &analog,
+                &bench,
+                circuit,
+                &spec,
+                &mc,
+                &models,
+                &delays,
+                &analog,
                 SigmoidInputMode::Fitted,
             );
             print_cell(&cell);
@@ -86,8 +110,7 @@ fn main() {
             &bench,
             &bench.nor_mapped,
             &spec,
-            runs,
-            seed,
+            &mc,
             &models,
             &delays,
             &analog,
@@ -136,8 +159,7 @@ fn run_cell(
     bench: &Benchmark,
     circuit: &sigcircuit::Circuit,
     spec: &StimulusSpec,
-    runs: usize,
-    seed: u64,
+    mc: &MonteCarloConfig,
     models: &sigsim::GateModels,
     delays: &DelayTable,
     analog: &AnalogOptions,
@@ -148,29 +170,30 @@ fn run_cell(
         analog: *analog,
         ..HarnessConfig::default()
     };
+    let outcomes = compare_circuit_monte_carlo(circuit, spec, models, delays, &config, mc)
+        .expect("comparison failed");
     let mut sum_dig = 0.0;
     let mut sum_sig = 0.0;
     let mut wall_sig = Duration::ZERO;
     let mut wall_ana = Duration::ZERO;
-    for r in 0..runs {
-        let mut rng = StdRng::seed_from_u64(
-            seed ^ (r as u64).wrapping_mul(0x9e37_79b9) ^ spec.transitions as u64,
-        );
-        let stimuli = random_stimuli(circuit, spec, &mut rng);
-        let outcome = compare_circuit(circuit, &stimuli, models, delays, &config)
-            .expect("comparison failed");
+    for outcome in &outcomes {
         sum_dig += outcome.t_err_digital;
         sum_sig += outcome.t_err_sigmoid;
         wall_sig += outcome.wall_sigmoid;
         wall_ana += outcome.wall_analog;
     }
+    let runs = mc.runs;
     let n = runs as f64;
     Cell {
         circuit: bench.name.to_string(),
         nor_gates: bench.nor_gate_count(),
         mu_ps: spec.mu * 1e12,
         sigma_ps: spec.sigma * 1e12,
-        err_ratio: if sum_dig > 0.0 { sum_sig / sum_dig } else { f64::NAN },
+        err_ratio: if sum_dig > 0.0 {
+            sum_sig / sum_dig
+        } else {
+            f64::NAN
+        },
         t_err_digital_ps: sum_dig / n * 1e12,
         t_err_sigmoid_ps: sum_sig / n * 1e12,
         wall_sigmoid: wall_sig / runs as u32,

@@ -47,7 +47,10 @@ impl Args {
     /// String option with default.
     #[must_use]
     pub fn get(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Numeric option with default.
@@ -105,15 +108,23 @@ pub fn load_models(args: &Args) -> TrainedModels {
             PathBuf::from("target/sigmodels/paper.json"),
         )
     } else if args.has("fast-models") {
-        (PipelineConfig::fast(), PathBuf::from("target/sigmodels/quickstart.json"))
+        (
+            PipelineConfig::fast(),
+            PathBuf::from("target/sigmodels/quickstart.json"),
+        )
     } else {
-        (PipelineConfig::default(), PathBuf::from("target/sigmodels/default.json"))
+        (
+            PipelineConfig::default(),
+            PathBuf::from("target/sigmodels/default.json"),
+        )
     };
     let cache = args
         .values
         .get("models")
         .map(PathBuf::from)
         .unwrap_or(cache);
+    // `--parallelism N` gates every worker pool in the pipeline (0 = auto).
+    let config = config.with_parallelism(args.get_num("parallelism", 0));
     train_models_cached(&cache, &config).expect("training pipeline failed")
 }
 

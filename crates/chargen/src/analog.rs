@@ -151,12 +151,11 @@ pub fn build_analog(
         .inputs()
         .iter()
         .map(|i| {
-            initial_levels
-                .get(i)
-                .map(|l| l.is_high())
-                .ok_or_else(|| BuildAnalogError::MissingInitialLevel {
+            initial_levels.get(i).map(|l| l.is_high()).ok_or_else(|| {
+                BuildAnalogError::MissingInitialLevel {
                     net: circuit.net_name(*i).to_string(),
-                })
+                }
+            })
         })
         .collect::<Result<_, _>>()?;
     let levels = settled_levels(circuit, &input_bits);
@@ -292,11 +291,7 @@ mod tests {
             init.insert(i, Level::Low);
         }
         let analog = build_analog(&c, stimuli, &init, &AnalogOptions::default()).unwrap();
-        let probes: Vec<&str> = c
-            .outputs()
-            .iter()
-            .map(|o| analog.probe_name(*o))
-            .collect();
+        let probes: Vec<&str> = c.outputs().iter().map(|o| analog.probe_name(*o)).collect();
         let res = Engine::default()
             .run(&analog.network, 0.0, 1.5e-10, &probes)
             .unwrap();
@@ -367,10 +362,8 @@ mod tests {
     #[test]
     fn missing_stimulus_rejected() {
         let c = nor_only_c17();
-        let init: HashMap<NetId, Level> =
-            c.inputs().iter().map(|&i| (i, Level::Low)).collect();
-        let err =
-            build_analog(&c, HashMap::new(), &init, &AnalogOptions::default()).unwrap_err();
+        let init: HashMap<NetId, Level> = c.inputs().iter().map(|&i| (i, Level::Low)).collect();
+        let err = build_analog(&c, HashMap::new(), &init, &AnalogOptions::default()).unwrap_err();
         assert!(matches!(err, BuildAnalogError::MissingStimulus { .. }));
     }
 

@@ -54,9 +54,7 @@ impl CharChain {
         let mut prev = input;
         for i in 0..targets {
             let out = match gate {
-                ChainGate::Inverter => {
-                    b.add_gate(GateKind::Nor, &[prev], &format!("g{}", i + 1))
-                }
+                ChainGate::Inverter => b.add_gate(GateKind::Nor, &[prev], &format!("g{}", i + 1)),
                 ChainGate::Nor => b.add_gate(
                     GateKind::Nor,
                     &[prev, tie.expect("nor chains have a tie input")],

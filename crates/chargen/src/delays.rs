@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use digilog::InertialDelay;
-use nanospice::{Dc, EngineConfig, Engine, Pwl, Stimulus};
+use nanospice::{Dc, Engine, EngineConfig, Pwl, Stimulus};
 use sigwave::{DigitalTrace, Level};
 
 use crate::analog::{build_analog, AnalogOptions};
@@ -62,7 +62,13 @@ pub fn measure_nor_delays_loaded(
     analog_options: &AnalogOptions,
     engine_config: &EngineConfig,
 ) -> Result<GateDelays, CharError> {
-    measure_gate_delays(ChainGate::Nor, fanout, load_multiplier, analog_options, engine_config)
+    measure_gate_delays(
+        ChainGate::Nor,
+        fanout,
+        load_multiplier,
+        analog_options,
+        engine_config,
+    )
 }
 
 /// Measures the delays of either elementary gate kind (inverter or NOR)
@@ -86,10 +92,12 @@ pub fn measure_gate_delays(
     };
     let chain = CharChain::new(gate, 2, fanout);
     // A single slow pulse: edges are far apart, so delays are "fresh".
-    let stim = DigitalTrace::new(Level::Low, vec![60e-12, 160e-12])
-        .expect("static toggle times");
+    let stim = DigitalTrace::new(Level::Low, vec![60e-12, 160e-12]).expect("static toggle times");
     let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
-    stimuli.insert(chain.input, Box::new(Pwl::heaviside_train(&stim, 0.8, 1e-12)));
+    stimuli.insert(
+        chain.input,
+        Box::new(Pwl::heaviside_train(&stim, 0.8, 1e-12)),
+    );
     let mut init = HashMap::new();
     init.insert(chain.input, Level::Low);
     if let Some(tie) = chain.tie {
@@ -278,18 +286,16 @@ mod tests {
 
     #[test]
     fn nor_delays_in_calibrated_range() {
-        let d = measure_nor_delays(
-            1,
-            &AnalogOptions::default(),
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let d = measure_nor_delays(1, &AnalogOptions::default(), &EngineConfig::default()).unwrap();
         assert!(d.rise > 0.5e-12 && d.rise < 40e-12, "rise {:.2e}", d.rise);
         assert!(d.fall > 0.5e-12 && d.fall < 40e-12, "fall {:.2e}", d.fall);
         // With the widened (pre-charged) pull-up stack the edges are
         // roughly balanced; they must at least be within 2x of each other.
         let ratio = d.rise / d.fall;
-        assert!((0.5..2.0).contains(&ratio), "unbalanced edges, ratio {ratio}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "unbalanced edges, ratio {ratio}"
+        );
     }
 
     #[test]
@@ -323,8 +329,7 @@ mod tests {
     fn loaded_grid_interpolates() {
         let cfg = EngineConfig::default();
         let opts = AnalogOptions::default();
-        let table =
-            DelayTable::measure_grid([1], &[0.5, 1.0, 1.5], &opts, &cfg).unwrap();
+        let table = DelayTable::measure_grid([1], &[0.5, 1.0, 1.5], &opts, &cfg).unwrap();
         let light = table.lookup_loaded(1, 0.5);
         let nominal = table.lookup_loaded(1, 1.0);
         let heavy = table.lookup_loaded(1, 1.5);

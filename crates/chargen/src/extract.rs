@@ -188,9 +188,7 @@ pub fn extract_from_traces(
     for sin in input.transitions() {
         let matched = oi < outs.len() && {
             let sout = &outs[oi];
-            sout.is_rising() != sin.is_rising()
-                && sout.b > sin.b
-                && sout.b - sin.b < MAX_DELAY
+            sout.is_rising() != sin.is_rising() && sout.b > sin.b && sout.b - sin.b < MAX_DELAY
         };
         if !matched {
             stats.cancelled_inputs += 1;

@@ -35,10 +35,14 @@ mod extract;
 mod pulses;
 mod sweep;
 
-pub use analog::{build_analog, wire_cap_multiplier, AnalogCircuit, AnalogOptions, BuildAnalogError};
+pub use analog::{
+    build_analog, wire_cap_multiplier, AnalogCircuit, AnalogOptions, BuildAnalogError,
+};
 pub use chain::{ChainGate, CharChain};
 pub use dataset::{Dataset, GateTag, TransferSample, DUMMY_SLOPE, T_FAR};
-pub use delays::{measure_gate_delays, measure_nor_delays, measure_nor_delays_loaded, DelayTable, GateDelays};
+pub use delays::{
+    measure_gate_delays, measure_nor_delays, measure_nor_delays_loaded, DelayTable, GateDelays,
+};
 pub use extract::{
     extract_from_pair, extract_from_traces, run_chain, ChainRun, CharError, ExtractionStats,
 };

@@ -23,6 +23,10 @@ pub struct CharacterizationConfig {
     pub engine: EngineConfig,
     /// Waveform fitting options.
     pub fit: FitOptions,
+    /// Worker threads for the sweep (`0` = auto-detect, `1` = sequential).
+    /// Each pulse spec's analog run + extraction is an independent work
+    /// item, so results are identical at any setting.
+    pub parallelism: usize,
 }
 
 impl Default for CharacterizationConfig {
@@ -33,6 +37,7 @@ impl Default for CharacterizationConfig {
             analog: AnalogOptions::default(),
             engine: EngineConfig::default(),
             fit: FitOptions::default(),
+            parallelism: sigwave::parallel::available_parallelism(),
         }
     }
 }
@@ -77,21 +82,32 @@ pub fn characterize(
         GateTag::NorFo2 => (ChainGate::Nor, 2),
     };
     let chain = CharChain::new(gate, config.chain_targets, fanout);
-    let mut dataset = Dataset::new(tag);
-    let mut stats = ExtractionStats::default();
-    let mut samples = Vec::new();
     let specs = config.sweep.specs();
-    for spec in &specs {
+
+    // Each spec is an independent analog run + extraction; fan the sweep
+    // out across the worker pool and merge in spec order so the dataset is
+    // identical at any parallelism setting.
+    let per_spec = sigwave::parallel::try_par_map(config.parallelism, &specs, |_, spec| {
         let run = run_chain(&chain, spec, &config.analog, &config.engine)?;
+        let mut stats = ExtractionStats::default();
+        let mut collected = Vec::new();
         for pair in run.waveforms.windows(2) {
-            samples.clear();
-            let s = extract_from_pair(&pair[0], &pair[1], &config.fit, &mut samples)?;
+            let s = extract_from_pair(&pair[0], &pair[1], &config.fit, &mut collected)?;
             stats.samples += s.samples;
             stats.cancelled_inputs += s.cancelled_inputs;
             stats.skipped_pairs += s.skipped_pairs;
-            for sample in &samples {
-                dataset.push(*sample);
-            }
+        }
+        Ok::<_, CharError>((collected, stats))
+    })?;
+
+    let mut dataset = Dataset::new(tag);
+    let mut stats = ExtractionStats::default();
+    for (samples, s) in per_spec {
+        stats.samples += s.samples;
+        stats.cancelled_inputs += s.cancelled_inputs;
+        stats.skipped_pairs += s.skipped_pairs;
+        for sample in samples {
+            dataset.push(sample);
         }
     }
     Ok(CharacterizationOutcome {
@@ -128,8 +144,7 @@ mod tests {
         // Both polarities must be populated (2 rising + 2 falling per run).
         assert!(!out.dataset.rising.is_empty());
         assert!(!out.dataset.falling.is_empty());
-        let diff =
-            (out.dataset.rising.len() as i64 - out.dataset.falling.len() as i64).abs();
+        let diff = (out.dataset.rising.len() as i64 - out.dataset.falling.len() as i64).abs();
         assert!(diff <= out.runs as i64 * 2, "polarities unbalanced");
     }
 
@@ -138,6 +153,24 @@ mod tests {
         let out = characterize(GateTag::Inverter, &tiny_config()).unwrap();
         assert!(out.dataset.len() >= 40, "got {}", out.dataset.len());
         assert_eq!(out.dataset.gate, GateTag::Inverter);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let sequential = CharacterizationConfig {
+            parallelism: 1,
+            ..tiny_config()
+        };
+        let parallel = CharacterizationConfig {
+            parallelism: 4,
+            ..tiny_config()
+        };
+        let a = characterize(GateTag::Inverter, &sequential).unwrap();
+        let b = characterize(GateTag::Inverter, &parallel).unwrap();
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.stats.samples, b.stats.samples);
+        assert_eq!(a.dataset.rising, b.dataset.rising);
+        assert_eq!(a.dataset.falling, b.dataset.falling);
     }
 
     #[test]

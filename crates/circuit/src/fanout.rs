@@ -23,7 +23,11 @@ use crate::netlist::{Circuit, CircuitBuilder, GateKind, NetId};
 pub fn limit_fanout(circuit: &Circuit, max_fanout: usize) -> Circuit {
     assert!(max_fanout >= 2, "max_fanout must be at least 2");
     let nor_only = circuit.is_nor_only();
-    let buf_kind = if nor_only { GateKind::Nor } else { GateKind::Inv };
+    let buf_kind = if nor_only {
+        GateKind::Nor
+    } else {
+        GateKind::Inv
+    };
 
     // Count *gate input* consumers per net and assign each consumer edge a
     // rank (order of appearance over gates in index order, for
@@ -48,24 +52,23 @@ pub fn limit_fanout(circuit: &Circuit, max_fanout: usize) -> Circuit {
     // including the original drives at most `max_fanout - 1` consumers plus
     // one chain link, except the last copy which takes `max_fanout`.
     let per_copy = max_fanout - 1;
-    let make_copies =
-        |b: &mut CircuitBuilder, fresh: &mut usize, net: NetId, mapped: NetId| {
-            let n_consumers = counts.get(&net).copied().unwrap_or(0);
-            let mut list = vec![mapped];
-            if n_consumers > max_fanout {
-                let groups = n_consumers.div_ceil(per_copy);
-                let mut prev = mapped;
-                for _ in 1..groups {
-                    *fresh += 1;
-                    let inv = b.add_gate(buf_kind, &[prev], &format!("__buf{fresh}_n"));
-                    *fresh += 1;
-                    let buf = b.add_gate(buf_kind, &[inv], &format!("__buf{fresh}"));
-                    list.push(buf);
-                    prev = buf;
-                }
+    let make_copies = |b: &mut CircuitBuilder, fresh: &mut usize, net: NetId, mapped: NetId| {
+        let n_consumers = counts.get(&net).copied().unwrap_or(0);
+        let mut list = vec![mapped];
+        if n_consumers > max_fanout {
+            let groups = n_consumers.div_ceil(per_copy);
+            let mut prev = mapped;
+            for _ in 1..groups {
+                *fresh += 1;
+                let inv = b.add_gate(buf_kind, &[prev], &format!("__buf{fresh}_n"));
+                *fresh += 1;
+                let buf = b.add_gate(buf_kind, &[inv], &format!("__buf{fresh}"));
+                list.push(buf);
+                prev = buf;
             }
-            list
-        };
+        }
+        list
+    };
 
     for &i in circuit.inputs() {
         let mapped = b.add_input(circuit.net_name(i));

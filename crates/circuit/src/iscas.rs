@@ -60,13 +60,7 @@ enum XorStyle {
 }
 
 /// Emits an XOR of two nets in the requested style.
-fn emit_xor(
-    b: &mut CircuitBuilder,
-    style: XorStyle,
-    x: NetId,
-    y: NetId,
-    name: &str,
-) -> NetId {
+fn emit_xor(b: &mut CircuitBuilder, style: XorStyle, x: NetId, y: NetId, name: &str) -> NetId {
     match style {
         XorStyle::Primitive => b.add_gate(GateKind::Xor, &[x, y], name),
         XorStyle::NandExpanded => {
@@ -133,12 +127,24 @@ fn error_corrector(style: XorStyle) -> Circuit {
         (0..16)
             .map(|code: usize| {
                 let lits: Vec<NetId> = (0..4)
-                    .map(|bit| if code >> bit & 1 == 1 { s[bit] } else { inv[bit] })
+                    .map(|bit| {
+                        if code >> bit & 1 == 1 {
+                            s[bit]
+                        } else {
+                            inv[bit]
+                        }
+                    })
                     .collect();
-                let a01 =
-                    b.add_gate(GateKind::And, &[lits[0], lits[1]], &format!("{tag}_a{code}_0"));
-                let a23 =
-                    b.add_gate(GateKind::And, &[lits[2], lits[3]], &format!("{tag}_a{code}_1"));
+                let a01 = b.add_gate(
+                    GateKind::And,
+                    &[lits[0], lits[1]],
+                    &format!("{tag}_a{code}_0"),
+                );
+                let a23 = b.add_gate(
+                    GateKind::And,
+                    &[lits[2], lits[3]],
+                    &format!("{tag}_a{code}_1"),
+                );
                 b.add_gate(GateKind::And, &[a01, a23], &format!("{tag}_dec{code}"))
             })
             .collect()
@@ -200,10 +206,8 @@ impl Benchmark {
         // NOR mapping followed by standard fan-out limiting: the paper's
         // prototype only has FO1/FO2 models, and synthesized netlists keep
         // fan-outs low by buffering anyway.
-        let nor_mapped = crate::limit_fanout(
-            &to_nor_only(&original, NorMappingOptions::default()),
-            4,
-        );
+        let nor_mapped =
+            crate::limit_fanout(&to_nor_only(&original, NorMappingOptions::default()), 4);
         Ok(Benchmark {
             name,
             original,

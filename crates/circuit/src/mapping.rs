@@ -17,7 +17,7 @@
 use crate::netlist::{Circuit, CircuitBuilder, GateKind, NetId};
 
 /// Options for [`to_nor_only`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NorMappingOptions {
     /// Share one inverter per inverted net instead of emitting a fresh
     /// single-input NOR at each use. The paper's gate counts (c17 → 24)
@@ -28,15 +28,6 @@ pub struct NorMappingOptions {
     /// structural difference between ISCAS c499 (XOR primitives) and c1355
     /// (NAND-expanded XORs).
     pub expand_xor_to_nand: bool,
-}
-
-impl Default for NorMappingOptions {
-    fn default() -> Self {
-        Self {
-            share_inverters: false,
-            expand_xor_to_nand: false,
-        }
-    }
 }
 
 /// State of one NOR-mapping run.
@@ -151,10 +142,7 @@ impl Mapper<'_> {
                     self.nor(&[left, ins[ins.len() - 1]], "norn")
                 }
             }
-            GateKind::Or => {
-                let n = self.tree(ins, Self::or2);
-                n
-            }
+            GateKind::Or => self.tree(ins, Self::or2),
             GateKind::And => self.tree(ins, Self::and2),
             GateKind::Nand => {
                 let and = self.tree(ins, Self::and2);
@@ -273,7 +261,11 @@ mod tests {
     fn nand2_costs_four_nors() {
         let c = single_gate(GateKind::Nand, 2);
         let m = to_nor_only(&c, NorMappingOptions::default());
-        assert_eq!(m.gates().len(), 4, "paper's c17 count implies NAND2 = 4 NORs");
+        assert_eq!(
+            m.gates().len(),
+            4,
+            "paper's c17 count implies NAND2 = 4 NORs"
+        );
     }
 
     #[test]
@@ -281,7 +273,13 @@ mod tests {
         let c = single_gate(GateKind::Xor, 2);
         let m = to_nor_only(&c, NorMappingOptions::default());
         assert_eq!(m.gates().len(), 5);
-        let x = to_nor_only(&c, NorMappingOptions { expand_xor_to_nand: true, ..Default::default() });
+        let x = to_nor_only(
+            &c,
+            NorMappingOptions {
+                expand_xor_to_nand: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(x.gates().len(), 16, "4 NAND2 x 4 NORs each");
     }
 

@@ -457,12 +457,7 @@ impl CircuitBuilder {
         let mut indegree: Vec<usize> = self
             .gates
             .iter()
-            .map(|g| {
-                g.inputs
-                    .iter()
-                    .filter(|i| driver[i.0].is_some())
-                    .count()
-            })
+            .map(|g| g.inputs.iter().filter(|i| driver[i.0].is_some()).count())
             .collect();
         let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
         for (gi, g) in self.gates.iter().enumerate() {

@@ -134,7 +134,15 @@ impl OutputState {
         // Defensive polarity repair: the ANN predicts a signed slope; if
         // the sign came out wrong (far outside training data), coerce it.
         let a = if expected { a_out.abs() } else { -a_out.abs() };
-        let a = if a == 0.0 { if expected { 1e-3 } else { -1e-3 } } else { a };
+        let a = if a == 0.0 {
+            if expected {
+                1e-3
+            } else {
+                -1e-3
+            }
+        } else {
+            a
+        };
 
         if let Some(last) = self.transitions.last().copied() {
             if b_out <= last.b {
@@ -260,10 +268,7 @@ pub fn predict_nor(
     let mut state = OutputState::new(initial_out, options);
 
     for (src, sin) in events {
-        let others_low = levels
-            .iter()
-            .enumerate()
-            .all(|(i, &l)| i == src || !l);
+        let others_low = levels.iter().enumerate().all(|(i, &l)| i == src || !l);
         if others_low {
             step(model, &mut state, &sin);
         }
@@ -275,7 +280,7 @@ pub fn predict_nor(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transfer::{TransferPrediction, TransferFunction};
+    use crate::transfer::{TransferFunction, TransferPrediction};
     use sigwave::VDD_DEFAULT;
 
     /// A deterministic mock transfer: fixed delay, slope mirrors input

@@ -24,6 +24,10 @@ pub struct AnnTrainConfig {
     pub patience: usize,
     /// Fraction of the data used for training (rest validates).
     pub train_fraction: f64,
+    /// Worker threads for the four per-gate networks (`0` = auto-detect,
+    /// `1` = sequential). Each network trains from its own seeded RNG, so
+    /// results are identical at any setting.
+    pub parallelism: usize,
 }
 
 impl Default for AnnTrainConfig {
@@ -35,6 +39,7 @@ impl Default for AnnTrainConfig {
             seed: 0x5160,
             patience: 200,
             train_fraction: 0.85,
+            parallelism: sigwave::parallel::available_parallelism(),
         }
     }
 }
@@ -140,11 +145,27 @@ impl AnnTransfer {
         if dataset.falling.is_empty() {
             return Err(TrainTransferError::EmptyPolarity { which: "falling" });
         }
+        // The four `{polarity} × {slope, delay}` networks are independent
+        // (each derives its RNG from `seed ^ offset`), so train them on the
+        // worker pool; results match the sequential path bit-for-bit.
+        type Target = fn(&sigchar::TransferSample) -> f64;
+        let jobs: [(&[sigchar::TransferSample], Target, u64); 4] = [
+            (&dataset.rising, |s| s.a_out, 0x01),
+            (&dataset.rising, |s| s.delay, 0x02),
+            (&dataset.falling, |s| s.a_out, 0x03),
+            (&dataset.falling, |s| s.delay, 0x04),
+        ];
+        let mut nets = sigwave::parallel::par_map(
+            config.parallelism,
+            &jobs,
+            |_, &(samples, target, offset)| train_scalar(samples, target, config, offset),
+        )
+        .into_iter();
         Ok(Self {
-            rise_slope: train_scalar(&dataset.rising, |s| s.a_out, config, 0x01),
-            rise_delay: train_scalar(&dataset.rising, |s| s.delay, config, 0x02),
-            fall_slope: train_scalar(&dataset.falling, |s| s.a_out, config, 0x03),
-            fall_delay: train_scalar(&dataset.falling, |s| s.delay, config, 0x04),
+            rise_slope: nets.next().expect("four networks"),
+            rise_delay: nets.next().expect("four networks"),
+            fall_slope: nets.next().expect("four networks"),
+            fall_delay: nets.next().expect("four networks"),
         })
     }
 
@@ -243,8 +264,7 @@ mod tests {
                     a_prev_out: a_prev,
                 });
                 worst_delay = worst_delay.max((p.delay - truth.delay).abs());
-                worst_slope =
-                    worst_slope.max((p.a_out - truth.a_out).abs() / truth.a_out.abs());
+                worst_slope = worst_slope.max((p.a_out - truth.a_out).abs() / truth.a_out.abs());
             }
         }
         assert!(worst_delay < 0.02, "delay error {worst_delay} (2 ps)");
@@ -268,6 +288,32 @@ mod tests {
         // Inverting gate: rising input -> falling output and vice versa.
         assert!(up.a_out < 0.0, "{up:?}");
         assert!(down.a_out > 0.0, "{down:?}");
+    }
+
+    #[test]
+    fn parallel_training_matches_sequential() {
+        let data = synthetic_dataset(12);
+        let seq = AnnTransfer::train(
+            &data,
+            &AnnTrainConfig {
+                parallelism: 1,
+                epochs: 80,
+                ..AnnTrainConfig::fast()
+            },
+        )
+        .unwrap();
+        let par = AnnTransfer::train(
+            &data,
+            &AnnTrainConfig {
+                parallelism: 4,
+                epochs: 80,
+                ..AnnTrainConfig::fast()
+            },
+        )
+        .unwrap();
+        // Each network derives its RNG from `seed ^ offset`, so the fanned
+        // out training must be bit-identical to the sequential path.
+        assert_eq!(seq, par);
     }
 
     #[test]

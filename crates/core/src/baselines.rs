@@ -250,7 +250,10 @@ mod tests {
         let truth_delay = 0.04 + 0.01 * 1.5 - 0.001 * 1.5 * 1.5 + 0.3 / 12.0;
         let truth_a = -12.0 * 0.9 + 0.2 * 1.5;
         let p = poly.predict(q);
-        assert!((p.delay - truth_delay).abs() < 5e-3, "{p:?} vs {truth_delay}");
+        assert!(
+            (p.delay - truth_delay).abs() < 5e-3,
+            "{p:?} vs {truth_delay}"
+        );
         assert!((p.a_out - truth_a).abs() / truth_a.abs() < 0.05);
     }
 

@@ -44,9 +44,5 @@
 mod channel;
 mod sim;
 
-pub use channel::{
-    apply_channel, DdmChannel, DelayChannel, IdmChannel, InertialDelay, PureDelay,
-};
-pub use sim::{
-    ideal_gate_output, simulate, DigitalSimError, DigitalSimResult, GateChannels,
-};
+pub use channel::{apply_channel, DdmChannel, DelayChannel, IdmChannel, InertialDelay, PureDelay};
+pub use sim::{ideal_gate_output, simulate, DigitalSimError, DigitalSimResult, GateChannels};

@@ -24,7 +24,10 @@ use crate::channel::{apply_channel, DelayChannel};
 pub fn ideal_gate_output(kind: GateKind, inputs: &[&DigitalTrace]) -> DigitalTrace {
     assert!(!inputs.is_empty(), "gate needs at least one input trace");
     // Merge all toggle times.
-    let mut events: Vec<f64> = inputs.iter().flat_map(|t| t.toggles().iter().copied()).collect();
+    let mut events: Vec<f64> = inputs
+        .iter()
+        .flat_map(|t| t.toggles().iter().copied())
+        .collect();
     events.sort_by(f64::total_cmp);
     events.dedup();
 

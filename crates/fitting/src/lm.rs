@@ -324,7 +324,15 @@ mod tests {
 
     #[test]
     fn rosenbrock_minimum() {
-        let rep = fit(&Rosenbrock, &[-1.2, 1.0], &LmConfig { max_iterations: 500, ..LmConfig::default() }).unwrap();
+        let rep = fit(
+            &Rosenbrock,
+            &[-1.2, 1.0],
+            &LmConfig {
+                max_iterations: 500,
+                ..LmConfig::default()
+            },
+        )
+        .unwrap();
         assert!((rep.params[0] - 1.0).abs() < 1e-6, "{:?}", rep);
         assert!((rep.params[1] - 1.0).abs() < 1e-6);
     }
@@ -334,7 +342,11 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (-0.7 * x).exp()).collect();
         let rep = fit(
-            &ExpDecay { xs, ys, weights: None },
+            &ExpDecay {
+                xs,
+                ys,
+                weights: None,
+            },
             &[1.0, 1.0],
             &LmConfig::default(),
         )
@@ -352,7 +364,10 @@ mod tests {
             .iter()
             .map(|&x| if x < 5.0 { 1.0 } else { 2.0 })
             .collect();
-        let w: Vec<f64> = xs.iter().map(|&x| if x < 5.0 { 1e-6 } else { 1.0 }).collect();
+        let w: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 5.0 { 1e-6 } else { 1.0 })
+            .collect();
         let rep = fit(
             &ExpDecay {
                 xs,
@@ -365,7 +380,10 @@ mod tests {
         .unwrap();
         // Model ~ p0 * exp(-p1 x) ≈ 2 with p1 ≈ 0 fits the heavy points.
         let v = rep.params[0] * (-rep.params[1] * 7.0).exp();
-        assert!((v - 2.0).abs() < 0.05, "weighted fit should track heavy half, got {v}");
+        assert!(
+            (v - 2.0).abs() < 0.05,
+            "weighted fit should track heavy half, got {v}"
+        );
     }
 
     #[test]
@@ -376,7 +394,10 @@ mod tests {
         };
         assert!(matches!(
             fit(&p, &[0.0], &LmConfig::default()),
-            Err(FitError::BadInitialGuess { expected: 2, actual: 1 })
+            Err(FitError::BadInitialGuess {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 

@@ -133,7 +133,11 @@ impl LeastSquaresProblem for TraceProblem {
                 let a_mag = p[2 * j].abs();
                 let a = sign * a_mag;
                 let b = p[2 * j + 1];
-                let f = Sigmoid { a: if a == 0.0 { 1e-9 } else { a }, b }.eval_scaled(x);
+                let f = Sigmoid {
+                    a: if a == 0.0 { 1e-9 } else { a },
+                    b,
+                }
+                .eval_scaled(x);
                 let d = f * (1.0 - f);
                 let dsign = if p[2 * j] >= 0.0 { 1.0 } else { -1.0 };
                 out[(i, 2 * j)] = -dsign * sign * d * (x - b);
@@ -183,8 +187,9 @@ pub fn fit_waveform(
     let mut signs = Vec::with_capacity(crossings.len());
     let mut p0 = Vec::with_capacity(2 * crossings.len());
     for &(tc, dir) in &crossings {
-        let slope_scaled = clipped.derivative_at(tc) / TIME_SCALE; // V per scaled unit
-        // vdd · a / 4 = |dV/dx|  =>  a = 4 |slope| / vdd
+        // Local slope in V per scaled time unit, then
+        // vdd · a / 4 = |dV/dx|  =>  a = 4 |slope| / vdd.
+        let slope_scaled = clipped.derivative_at(tc) / TIME_SCALE;
         let a_mag = (4.0 * slope_scaled.abs() / vdd).max(0.5);
         signs.push(match dir {
             CrossingDirection::Rising => 1.0,
@@ -199,7 +204,11 @@ pub fn fit_waveform(
     // Sample the clipped waveform uniformly for the residuals.
     let n = options.samples.max(2 * crossings.len() + 8);
     let resampled = clipped.resampled(n);
-    let xs: Vec<f64> = resampled.times().iter().map(|&t| to_scaled_time(t)).collect();
+    let xs: Vec<f64> = resampled
+        .times()
+        .iter()
+        .map(|&t| to_scaled_time(t))
+        .collect();
     let ys: Vec<f64> = resampled.values().iter().map(|&v| v / vdd).collect();
     let band = options.inflection_band * vdd;
     let ws: Vec<f64> = resampled
@@ -292,7 +301,12 @@ mod tests {
         let out = fit_waveform(&wave, &FitOptions::default()).unwrap();
         assert_eq!(out.trace.len(), 4);
         for (fitted, truth) in out.trace.transitions().iter().zip(truth.transitions()) {
-            assert!((fitted.b - truth.b).abs() < 0.02, "b {} vs {}", fitted.b, truth.b);
+            assert!(
+                (fitted.b - truth.b).abs() < 0.02,
+                "b {} vs {}",
+                fitted.b,
+                truth.b
+            );
             assert!(
                 (fitted.a - truth.a).abs() / truth.a.abs() < 0.1,
                 "a {} vs {}",

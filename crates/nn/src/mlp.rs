@@ -71,8 +71,16 @@ pub struct MlpGradients {
 impl MlpGradients {
     fn zeros_like(mlp: &Mlp) -> Self {
         Self {
-            weights: mlp.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect(),
-            biases: mlp.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect(),
+            weights: mlp
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.weights.len()])
+                .collect(),
+            biases: mlp
+                .layers
+                .iter()
+                .map(|l| vec![0.0; l.biases.len()])
+                .collect(),
         }
     }
 
@@ -213,11 +221,11 @@ impl Mlp {
             let layer = &self.layers[li];
             let input = &activations[li];
             // Accumulate gradients.
-            for o in 0..layer.outputs {
-                grads.biases[li][o] += delta[o];
+            for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
+                grads.biases[li][o] += d;
                 let row = &mut grads.weights[li][o * layer.inputs..(o + 1) * layer.inputs];
                 for (g, xi) in row.iter_mut().zip(input) {
-                    *g += delta[o] * xi;
+                    *g += d * xi;
                 }
             }
             if li == 0 {
@@ -225,10 +233,10 @@ impl Mlp {
             }
             // Propagate delta through W and the previous ReLU.
             let mut prev = vec![0.0; layer.inputs];
-            for o in 0..layer.outputs {
+            for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
                 let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
                 for (p, w) in prev.iter_mut().zip(row) {
-                    *p += w * delta[o];
+                    *p += w * d;
                 }
             }
             // ReLU derivative: post-activation of layer li-1 is zero exactly
@@ -285,7 +293,11 @@ impl Mlp {
     ///
     /// Panics if `flat.len()` does not equal [`Mlp::parameter_count`].
     pub fn set_flat_parameters(&mut self, flat: &[f64]) {
-        assert_eq!(flat.len(), self.parameter_count(), "parameter count mismatch");
+        assert_eq!(
+            flat.len(),
+            self.parameter_count(),
+            "parameter count mismatch"
+        );
         let mut i = 0;
         for l in &mut self.layers {
             let wlen = l.weights.len();

@@ -182,7 +182,15 @@ mod tests {
         let xs_t: Vec<Vec<f64>> = xs.iter().map(|x| in_s.transform(x)).collect();
         let ys_t: Vec<Vec<f64>> = ys.iter().map(|y| out_s.transform(y)).collect();
         let mut mlp = Mlp::new(&[1, 8, 1], 2);
-        train(&mut mlp, &xs_t, &ys_t, &TrainConfig { epochs: 200, ..Default::default() });
+        train(
+            &mut mlp,
+            &xs_t,
+            &ys_t,
+            &TrainConfig {
+                epochs: 200,
+                ..Default::default()
+            },
+        );
         let model = ScaledModel::new(mlp, in_s, out_s);
         let y = model.predict(&[0.5e-3]);
         assert!((y[0] - 0.5).abs() < 0.05, "prediction {}", y[0]);

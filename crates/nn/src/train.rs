@@ -79,8 +79,16 @@ pub fn train_with_validation(
     config: &TrainConfig,
 ) -> TrainReport {
     assert!(!inputs.is_empty(), "training set must be non-empty");
-    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
-    assert_eq!(val_inputs.len(), val_targets.len(), "validation length mismatch");
+    assert_eq!(
+        inputs.len(),
+        targets.len(),
+        "inputs/targets length mismatch"
+    );
+    assert_eq!(
+        val_inputs.len(),
+        val_targets.len(),
+        "validation length mismatch"
+    );
 
     let mut opt = AdamOptimizer::new(mlp, config.learning_rate);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -150,12 +158,7 @@ pub fn evaluate(mlp: &Mlp, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
     let mut total = 0.0;
     for (x, t) in inputs.iter().zip(targets) {
         let y = mlp.forward(x);
-        total += y
-            .iter()
-            .zip(t)
-            .map(|(y, t)| (y - t) * (y - t))
-            .sum::<f64>()
-            / t.len() as f64;
+        total += y.iter().zip(t).map(|(y, t)| (y - t) * (y - t)).sum::<f64>() / t.len() as f64;
     }
     total / inputs.len() as f64
 }
@@ -202,7 +205,15 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![(3.0 * x[0]).sin()]).collect();
         let mut mlp = Mlp::new(&[1, 16, 16, 1], 1);
-        let rep = train(&mut mlp, &xs, &ys, &TrainConfig { epochs: 150, ..Default::default() });
+        let rep = train(
+            &mut mlp,
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 150,
+                ..Default::default()
+            },
+        );
         let early: f64 = rep.history[..10].iter().sum::<f64>() / 10.0;
         let late: f64 = rep.history[rep.history.len() - 10..].iter().sum::<f64>() / 10.0;
         assert!(late < early / 5.0, "early {early}, late {late}");
@@ -237,7 +248,10 @@ mod tests {
             &ys,
             &xs,
             &ys,
-            &TrainConfig { epochs: 5, ..Default::default() },
+            &TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(rep.validation_history.len(), rep.epochs_run);
     }
@@ -248,7 +262,10 @@ mod tests {
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * 0.5]).collect();
         let mut a = Mlp::new(&[1, 4, 1], 7);
         let mut b = Mlp::new(&[1, 4, 1], 7);
-        let cfg = TrainConfig { epochs: 20, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            ..Default::default()
+        };
         train(&mut a, &xs, &ys, &cfg);
         train(&mut b, &xs, &ys, &cfg);
         assert_eq!(a, b);

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use digilog::{simulate as simulate_digital, GateChannels};
 use nanospice::{Engine, EngineConfig, Pwl, Stimulus};
+use rand::SeedableRng;
 use sigchar::{build_analog, AnalogOptions, BuildAnalogError, CharError, DelayTable};
 use sigcircuit::{Circuit, NetId};
 use sigfit::{fit_waveform, FitOptions};
@@ -328,6 +329,67 @@ pub fn compare_circuit(
     })
 }
 
+/// Configuration of a multi-seed Monte-Carlo comparison campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloConfig {
+    /// Number of independent runs (the paper uses 50 per Table I cell).
+    pub runs: usize,
+    /// Base seed; each run derives its own stream deterministically.
+    pub seed: u64,
+    /// Worker threads for the runs (`0` = auto-detect, `1` = sequential).
+    pub parallelism: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self {
+            runs: 5,
+            seed: 1,
+            parallelism: sigwave::parallel::available_parallelism(),
+        }
+    }
+}
+
+impl MonteCarloConfig {
+    /// The derived seed of run `r` for a stimulus spec with `transitions`
+    /// transitions (the Table I binary's historical formula, kept so cached
+    /// results stay comparable).
+    #[must_use]
+    pub fn run_seed(&self, r: usize, transitions: usize) -> u64 {
+        self.seed ^ (r as u64).wrapping_mul(0x9e37_79b9) ^ transitions as u64
+    }
+}
+
+/// Runs [`compare_circuit`] for `mc.runs` independently seeded stimuli,
+/// fanned out across the worker pool; outcomes are returned in run order
+/// and the `t_err` results are identical at any parallelism setting (each
+/// run owns its RNG).
+///
+/// **Timing caveat:** each outcome's `wall_*` fields are per-run
+/// `Instant`-based measurements. At `parallelism > 1` concurrent runs
+/// contend for cores and inflate those timings — set `parallelism: 1`
+/// when the wall-clock fields are the quantity of interest (as the
+/// `table1` binary does for the paper's `t_sim` columns).
+///
+/// # Errors
+///
+/// Returns the lowest-index run's [`HarnessError`] if any run fails.
+pub fn compare_circuit_monte_carlo(
+    circuit: &Circuit,
+    spec: &crate::stimulus::StimulusSpec,
+    models: &GateModels,
+    delays: &DelayTable,
+    config: &HarnessConfig,
+    mc: &MonteCarloConfig,
+) -> Result<Vec<ComparisonOutcome>, HarnessError> {
+    let runs: Vec<usize> = (0..mc.runs).collect();
+    sigwave::parallel::try_par_map(mc.parallelism, &runs, |_, &r| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(mc.run_seed(r, spec.transitions));
+        let stimuli = random_stimuli(circuit, spec, &mut rng);
+        compare_circuit(circuit, &stimuli, models, delays, config)
+    })
+}
+
 /// Sanity check used by tests and examples: all three simulators must agree
 /// on the final settled levels of every output (boolean correctness).
 #[must_use]
@@ -394,6 +456,7 @@ mod tests {
                 ..AnnTrainConfig::default()
             },
             region_margin: Some(4.0),
+            ..PipelineConfig::default()
         }
     }
 
@@ -403,12 +466,9 @@ mod tests {
         let circuit = &bench.nor_mapped;
         let trained = train_models(&tiny_pipeline()).unwrap();
         let models = trained.gate_models();
-        let delays = DelayTable::measure(
-            1..=3,
-            &AnalogOptions::default(),
-            &EngineConfig::default(),
-        )
-        .unwrap();
+        let delays =
+            DelayTable::measure(1..=3, &AnalogOptions::default(), &EngineConfig::default())
+                .unwrap();
         let mut rng = StdRng::seed_from_u64(42);
         let spec = StimulusSpec::new(60e-12, 20e-12, 6);
         let stimuli = random_stimuli(circuit, &spec, &mut rng);

@@ -65,12 +65,10 @@ mod simulator;
 mod stimulus;
 
 pub use harness::{
-    compare_circuit, constant_stimuli, digital_to_sigmoid, final_levels_agree, random_stimuli,
-    ComparisonOutcome, HarnessConfig, HarnessError, SigmoidInputMode, TraceBundle,
-    SAME_STIMULUS_SLOPE,
+    compare_circuit, compare_circuit_monte_carlo, constant_stimuli, digital_to_sigmoid,
+    final_levels_agree, random_stimuli, ComparisonOutcome, HarnessConfig, HarnessError,
+    MonteCarloConfig, SigmoidInputMode, TraceBundle, SAME_STIMULUS_SLOPE,
 };
-pub use models::{
-    train_models, train_models_cached, PipelineConfig, PipelineError, TrainedModels,
-};
+pub use models::{train_models, train_models_cached, PipelineConfig, PipelineError, TrainedModels};
 pub use simulator::{simulate_sigmoid, GateModels, SigmoidSimError, SigmoidSimResult};
 pub use stimulus::StimulusSpec;

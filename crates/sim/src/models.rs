@@ -23,6 +23,10 @@ pub struct PipelineConfig {
     pub training: AnnTrainConfig,
     /// Valid-region margin; `None` disables region containment (ablation).
     pub region_margin: Option<f64>,
+    /// Worker threads for the four gate variants (`0` = auto-detect, `1` =
+    /// sequential). Nested stages (sweep, per-network training) have their
+    /// own knobs; [`PipelineConfig::with_parallelism`] sets all three.
+    pub parallelism: usize,
 }
 
 impl Default for PipelineConfig {
@@ -40,6 +44,7 @@ impl Default for PipelineConfig {
             },
             training: AnnTrainConfig::default(),
             region_margin: Some(4.0),
+            parallelism: sigwave::parallel::available_parallelism(),
         }
     }
 }
@@ -65,7 +70,19 @@ impl PipelineConfig {
                 ..AnnTrainConfig::default()
             },
             region_margin: Some(4.0),
+            parallelism: sigwave::parallel::available_parallelism(),
         }
+    }
+
+    /// Sets every parallelism knob in the pipeline — the variant fan-out
+    /// plus the nested characterization-sweep and per-network-training
+    /// pools (`0` = auto-detect, `1` = fully sequential).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self.characterization.parallelism = parallelism;
+        self.training.parallelism = parallelism;
+        self
     }
 }
 
@@ -195,16 +212,41 @@ fn train_one(
     Ok((StoredModel { ann, region }, outcome.dataset))
 }
 
-/// Runs the full pipeline: characterize and train all three gate variants.
+/// Runs the full pipeline: characterize and train all four gate variants
+/// (inverter at fan-out 1/2, NOR at fan-out 1/2).
 ///
 /// # Errors
 ///
 /// Returns [`PipelineError`] on characterization or training failure.
 pub fn train_models(config: &PipelineConfig) -> Result<TrainedModels, PipelineError> {
-    let (inverter, d_inv) = train_one(GateTag::Inverter, config)?;
-    let (inverter_fo2, d_inv2) = train_one(GateTag::InverterFo2, config)?;
-    let (nor_fo1, d_fo1) = train_one(GateTag::NorFo1, config)?;
-    let (nor_fo2, d_fo2) = train_one(GateTag::NorFo2, config)?;
+    // The four gate variants are independent end-to-end (characterization
+    // chain, dataset, networks), so fan them out across the worker pool.
+    let tags = [
+        GateTag::Inverter,
+        GateTag::InverterFo2,
+        GateTag::NorFo1,
+        GateTag::NorFo2,
+    ];
+    // The nested stages (sweep, per-network training) have their own
+    // pools; divide the budget instead of multiplying it, so e.g. a
+    // 16-core default runs 4 variant workers × 4 sweep workers rather
+    // than 4 × 16 oversubscribed threads. Results are unaffected —
+    // parallelism never changes outputs.
+    use sigwave::parallel::resolve_parallelism;
+    let outer = resolve_parallelism(config.parallelism).clamp(1, tags.len());
+    let mut inner = config.clone();
+    inner.characterization.parallelism =
+        (resolve_parallelism(config.characterization.parallelism) / outer).max(1);
+    inner.training.parallelism = (resolve_parallelism(config.training.parallelism) / outer).max(1);
+    let mut trained = sigwave::parallel::try_par_map(config.parallelism, &tags, |_, &tag| {
+        train_one(tag, &inner)
+    })?
+    .into_iter();
+    let mut next = || trained.next().expect("four variants");
+    let (inverter, d_inv) = next();
+    let (inverter_fo2, d_inv2) = next();
+    let (nor_fo1, d_fo1) = next();
+    let (nor_fo2, d_fo2) = next();
     let mut datasets = HashMap::new();
     datasets.insert(GateTag::Inverter.to_string(), d_inv);
     datasets.insert(GateTag::InverterFo2.to_string(), d_inv2);
@@ -268,6 +310,7 @@ mod tests {
                 ..AnnTrainConfig::default()
             },
             region_margin: Some(4.0),
+            ..PipelineConfig::default()
         }
     }
 
@@ -289,6 +332,53 @@ mod tests {
         }
         assert_eq!(trained.datasets.len(), 4);
         assert!(trained.dataset(GateTag::NorFo1).is_some());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_models() {
+        let trained = train_models(&tiny()).unwrap();
+        let json = serde_json::to_string(&trained).unwrap();
+        let back: TrainedModels = serde_json::from_str(&json).unwrap();
+        // The reloaded bundle must be byte-identical when re-serialized and
+        // must predict identically.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+        assert_eq!(back.datasets.len(), trained.datasets.len());
+        let q = sigtom::TransferQuery {
+            t: 0.8,
+            a_in: -11.0,
+            a_prev_out: 9.0,
+        };
+        assert_eq!(
+            trained.gate_models().inverter.transfer.predict(q),
+            back.gate_models().inverter.transfer.predict(q)
+        );
+    }
+
+    #[test]
+    fn corrupt_cache_is_retrained_not_fatal() {
+        let dir = std::env::temp_dir().join("sigsim_test_corrupt_cache");
+        let path = dir.join("models.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        for corrupt in ["", "{not json", "{\"inverter\": 3}"] {
+            std::fs::write(&path, corrupt).unwrap();
+            let trained = train_models_cached(&path, &tiny()).expect("retrain over corrupt cache");
+            assert_eq!(trained.datasets.len(), 4);
+            // The cache must have been replaced by a loadable artifact.
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(serde_json::from_str::<TrainedModels>(&text).is_ok());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_creates_missing_parent_dirs() {
+        let dir = std::env::temp_dir().join("sigsim_test_nested_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("a").join("b").join("models.json");
+        let trained = train_models_cached(&path, &tiny()).expect("train into missing dirs");
+        assert!(path.exists());
+        assert_eq!(trained.datasets.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

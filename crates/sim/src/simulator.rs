@@ -151,10 +151,10 @@ pub fn simulate_sigmoid(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use sigcircuit::CircuitBuilder;
     use sigtom::{TransferFunction, TransferPrediction, TransferQuery};
     use sigwave::{Sigmoid, VDD_DEFAULT};
+    use std::sync::Arc;
 
     struct Fixed(f64);
     impl TransferFunction for Fixed {
@@ -179,12 +179,8 @@ mod tests {
     }
 
     fn rising_input() -> SigmoidTrace {
-        SigmoidTrace::from_transitions(
-            Level::Low,
-            vec![Sigmoid::rising(12.0, 1.0)],
-            VDD_DEFAULT,
-        )
-        .unwrap()
+        SigmoidTrace::from_transitions(Level::Low, vec![Sigmoid::rising(12.0, 1.0)], VDD_DEFAULT)
+            .unwrap()
     }
 
     #[test]
@@ -197,8 +193,8 @@ mod tests {
         let c = b.build().unwrap();
         let mut stim = HashMap::new();
         stim.insert(a, rising_input());
-        let res = simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default())
-            .unwrap();
+        let res =
+            simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default()).unwrap();
         let out = res.trace(n2);
         assert_eq!(out.len(), 1);
         assert!((out.transitions()[0].b - 1.10).abs() < 1e-9);
@@ -221,8 +217,8 @@ mod tests {
         let mut stim = HashMap::new();
         stim.insert(a, rising_input());
         stim.insert(z, SigmoidTrace::constant(Level::Low, VDD_DEFAULT));
-        let res = simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default())
-            .unwrap();
+        let res =
+            simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default()).unwrap();
         // n1 falls at 1.0 + 0.2 (FO2 model).
         assert!((res.trace(n1).transitions()[0].b - 1.2).abs() < 1e-9);
         // loads are single-input NORs -> inverter model, +0.05.
@@ -238,8 +234,8 @@ mod tests {
         let c = b.build().unwrap();
         let mut stim = HashMap::new();
         stim.insert(a, rising_input());
-        let err = simulate_sigmoid(&c, &stim, &models(0.1, 0.1, 0.1), TomOptions::default())
-            .unwrap_err();
+        let err =
+            simulate_sigmoid(&c, &stim, &models(0.1, 0.1, 0.1), TomOptions::default()).unwrap_err();
         assert!(matches!(err, SigmoidSimError::UnsupportedGate { .. }));
     }
 

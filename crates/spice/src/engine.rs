@@ -167,7 +167,7 @@ impl Engine {
         t1: f64,
         probes: &[&str],
     ) -> Result<SimulationResult, SimulationError> {
-        if !(t0 < t1) || !t0.is_finite() || !t1.is_finite() {
+        if !t0.is_finite() || !t1.is_finite() || t0 >= t1 {
             return Err(SimulationError::BadSpan { t0, t1 });
         }
         // Resolve probes to state indices.
@@ -281,8 +281,8 @@ impl Engine {
         }
         let mut waveforms = HashMap::with_capacity(probe_ids.len());
         for ((name, _), vals) in probe_ids.iter().zip(probe_values) {
-            let wf = Waveform::new(times.clone(), vals)
-                .expect("accepted steps produce monotone times");
+            let wf =
+                Waveform::new(times.clone(), vals).expect("accepted steps produce monotone times");
             waveforms.insert(name.clone(), wf);
         }
         Ok(SimulationResult {
@@ -321,7 +321,9 @@ mod tests {
         b.add_resistor(n1, crate::network::NodeRef::Ground, 10_000.0);
         let net = b.build();
         let tau = 1e-15 * 10_000.0; // 10 ps
-        let res = Engine::default().run(&net, 0.0, 5.0 * tau, &["n1"]).unwrap();
+        let res = Engine::default()
+            .run(&net, 0.0, 5.0 * tau, &["n1"])
+            .unwrap();
         let w = res.waveform("n1").unwrap();
         for &t in &[tau, 2.0 * tau, 3.0 * tau] {
             let expect = 0.8 * (-t / tau).exp();
@@ -421,7 +423,9 @@ mod tests {
     #[test]
     fn probe_errors() {
         let net = inverter_net(Dc(0.0));
-        let e = Engine::default().run(&net, 0.0, 1e-12, &["zz"]).unwrap_err();
+        let e = Engine::default()
+            .run(&net, 0.0, 1e-12, &["zz"])
+            .unwrap_err();
         assert!(matches!(e, SimulationError::UnknownProbe(_)));
         let e = Engine::default().run(&net, 0.0, 1e-12, &["a"]).unwrap_err();
         assert!(matches!(e, SimulationError::NotAStateNode(_)));

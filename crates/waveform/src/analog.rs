@@ -45,7 +45,10 @@ impl std::fmt::Display for BuildWaveformError {
             Self::LengthMismatch => write!(f, "time and value vectors differ in length"),
             Self::TooFewSamples => write!(f, "a waveform needs at least two samples"),
             Self::NonMonotonicTimes { index } => {
-                write!(f, "sample times must be strictly increasing (index {index})")
+                write!(
+                    f,
+                    "sample times must be strictly increasing (index {index})"
+                )
             }
             Self::NonFiniteValue { index } => {
                 write!(f, "voltage sample is not finite (index {index})")
@@ -70,7 +73,7 @@ impl Waveform {
             return Err(BuildWaveformError::TooFewSamples);
         }
         for (i, w) in ts.windows(2).enumerate() {
-            if !(w[0] < w[1]) || !w[0].is_finite() || !w[1].is_finite() {
+            if !w[0].is_finite() || !w[1].is_finite() || w[0] >= w[1] {
                 return Err(BuildWaveformError::NonMonotonicTimes { index: i + 1 });
             }
         }
@@ -226,7 +229,11 @@ impl Waveform {
     #[must_use]
     pub fn digitize(&self, threshold: f64) -> DigitalTrace {
         let initial = Level::from_bool(self.vs[0] > threshold);
-        let toggles: Vec<f64> = self.crossings(threshold).into_iter().map(|(t, _)| t).collect();
+        let toggles: Vec<f64> = self
+            .crossings(threshold)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         DigitalTrace::new(initial, toggles).expect("crossings are strictly increasing")
     }
 
@@ -283,9 +290,7 @@ fn side(v: f64, threshold: f64) -> Option<bool> {
     }
 }
 
-fn dedup_alternating(
-    xs: Vec<(f64, CrossingDirection)>,
-) -> Vec<(f64, CrossingDirection)> {
+fn dedup_alternating(xs: Vec<(f64, CrossingDirection)>) -> Vec<(f64, CrossingDirection)> {
     let mut out: Vec<(f64, CrossingDirection)> = Vec::with_capacity(xs.len());
     for x in xs {
         if let Some(last) = out.last() {
@@ -383,8 +388,7 @@ mod tests {
     fn plateau_does_not_double_count() {
         // Waveform rises, sits exactly at threshold, then continues up:
         // exactly one rising crossing.
-        let w =
-            Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.5, 0.5, 1.0]).unwrap();
+        let w = Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.5, 0.5, 1.0]).unwrap();
         let c = w.crossings(0.5);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].1, CrossingDirection::Rising);

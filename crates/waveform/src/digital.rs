@@ -103,7 +103,7 @@ impl DigitalTrace {
     /// increasing or not finite.
     pub fn new(initial: Level, toggles: Vec<f64>) -> Result<Self, MonotonicityError> {
         for (i, w) in toggles.windows(2).enumerate() {
-            if !(w[0] < w[1]) {
+            if w[0].partial_cmp(&w[1]) != Some(std::cmp::Ordering::Less) {
                 return Err(MonotonicityError { index: i + 1 });
             }
         }
@@ -160,7 +160,7 @@ impl DigitalTrace {
     /// The final level after all transitions.
     #[must_use]
     pub fn final_level(&self) -> Level {
-        if self.toggles.len() % 2 == 0 {
+        if self.toggles.len().is_multiple_of(2) {
             self.initial
         } else {
             self.initial.inverted()

@@ -42,6 +42,7 @@
 mod analog;
 mod digital;
 pub mod metrics;
+pub mod parallel;
 mod sigmoid;
 mod trace;
 

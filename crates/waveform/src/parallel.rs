@@ -1,0 +1,218 @@
+//! A scoped worker-pool layer for the workspace's embarrassingly parallel
+//! hot paths: characterization sweeps (`sigchar`), per-network ANN
+//! training (`sigtom`), and multi-seed Monte-Carlo comparisons (`sigsim`).
+//!
+//! Design constraints:
+//!
+//! * **Determinism** — results are returned in item order and every work
+//!   item owns its inputs (callers seed per-item RNGs), so output is
+//!   bit-identical regardless of the worker count.
+//! * **No dependencies** — plain `std::thread::scope` with an atomic
+//!   work-stealing cursor; no unsafe, no channels.
+//! * **Config-gated** — callers expose a `parallelism: usize` knob
+//!   defaulting to [`available_parallelism`]; `0` means "auto" and `1`
+//!   falls back to a plain sequential loop on the calling thread.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the hardware's available parallelism (falls
+/// back to 1 when the runtime cannot tell).
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a `parallelism` config knob: `0` means "auto" (use
+/// [`available_parallelism`]), anything else is taken literally.
+#[must_use]
+pub fn resolve_parallelism(configured: usize) -> usize {
+    if configured == 0 {
+        available_parallelism()
+    } else {
+        configured
+    }
+}
+
+/// Maps `f` over `items` on up to `parallelism` scoped worker threads,
+/// returning results in item order.
+///
+/// `f` receives `(index, &item)`. With `parallelism <= 1` (after `0` is
+/// resolved to the hardware count) or fewer than two items, the map runs
+/// sequentially on the calling thread — the deterministic baseline the
+/// parallel path must match.
+///
+/// # Panics
+///
+/// Propagates panics from `f` after all workers have stopped.
+pub fn par_map<T, R, F>(parallelism: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    // Infallible bodies share the fallible engine below.
+    match try_par_map(parallelism, items, |i, item| {
+        Ok::<R, std::convert::Infallible>(f(i, item))
+    }) {
+        Ok(results) => results,
+        Err(infallible) => match infallible {},
+    }
+}
+
+/// Like [`par_map`] but for fallible work: returns the lowest-index error
+/// if any item fails, and stops handing out new work as soon as an error
+/// is observed.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-index failing item (deterministic
+/// regardless of worker count or scheduling).
+///
+/// # Panics
+///
+/// Propagates panics from `f` after all workers have stopped.
+pub fn try_par_map<T, R, E, F>(parallelism: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let workers = resolve_parallelism(parallelism).min(n);
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Stops the pool when a work item panics (mirroring the prompt-abort
+    // behavior of the `Err` path): armed before `f` runs, disarmed after —
+    // an unwinding `f` leaves it armed and the drop sets the flag.
+    struct PanicAbort<'a>(&'a AtomicBool, bool);
+    impl Drop for PanicAbort<'_> {
+        fn drop(&mut self) {
+            if self.1 {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut guard = PanicAbort(&abort, true);
+                let result = f(i, &items[i]);
+                guard.1 = false;
+                if result.is_err() {
+                    abort.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    // Indices are handed out in order, so every index below the first
+    // error's has been computed: scanning in order yields the lowest-index
+    // error deterministically.
+    let mut results = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(r)) => results.push(r),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("slot skipped without a preceding error"),
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_in_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let seq: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for parallelism in [0, 1, 2, 3, 8] {
+            let par = par_map(parallelism, &items, |_, &x| x * x);
+            assert_eq!(par, seq, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn passes_item_indices() {
+        let items = vec!["a", "b", "c"];
+        let idx = par_map(4, &items, |i, _| i);
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let items: Vec<usize> = (0..64).collect();
+        for parallelism in [1, 2, 8] {
+            let got: Result<Vec<usize>, usize> = try_par_map(parallelism, &items, |_, &x| {
+                if x == 13 || x == 40 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            });
+            assert_eq!(got.unwrap_err(), 13, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..256).collect();
+        par_map(4, &items, |_, _| {
+            seen.lock()
+                .expect("lock")
+                .insert(std::thread::current().id());
+            // Enough work that all workers get scheduled.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert!(
+            seen.lock().expect("lock").len() > 1,
+            "expected work on more than one thread"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, &items, |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -229,8 +229,8 @@ mod tests {
     #[test]
     fn eval_matches_closed_form() {
         let s = Sigmoid::new(7.3, 1.5);
-        for &x in &[-3.0, 0.0, 1.5, 2.0, 9.0] {
-            let expect = 1.0 / (1.0 + (-7.3 * (x - 1.5) as f64).exp());
+        for &x in &[-3.0f64, 0.0, 1.5, 2.0, 9.0] {
+            let expect = 1.0 / (1.0 + (-7.3 * (x - 1.5)).exp());
             assert!((s.eval_scaled(x) - expect).abs() < 1e-12);
         }
     }
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly between")]
     fn time_at_level_rejects_bounds() {
-        Sigmoid::new(1.0, 0.0).time_at_level_scaled(1.0);
+        let _ = Sigmoid::new(1.0, 0.0).time_at_level_scaled(1.0);
     }
 
     #[test]
@@ -313,7 +313,11 @@ mod tests {
         let r = Sigmoid::rising(5.0, 0.0);
         let f = Sigmoid::falling(5.0, 0.1);
         let ext = r.pair_extremum(&f);
-        assert!(ext.sum < 1.5, "sub-threshold pulse expected, sum {}", ext.sum);
+        assert!(
+            ext.sum < 1.5,
+            "sub-threshold pulse expected, sum {}",
+            ext.sum
+        );
     }
 
     #[test]

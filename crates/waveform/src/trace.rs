@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{DigitalTrace, Level, Sigmoid, Waveform, to_scaled_time};
+use crate::{to_scaled_time, DigitalTrace, Level, Sigmoid, Waveform};
 
 /// A waveform expressed as the joint model function of Eq. 2:
 ///
@@ -70,7 +70,7 @@ impl SigmoidTrace {
         transitions: Vec<Sigmoid>,
         vdd: f64,
     ) -> Result<Self, BuildTraceError> {
-        if !(vdd > 0.0) || !vdd.is_finite() {
+        if !vdd.is_finite() || vdd <= 0.0 {
             return Err(BuildTraceError::InvalidVdd(vdd));
         }
         let mut expect_rising = matches!(initial, Level::Low);
@@ -157,7 +157,7 @@ impl SigmoidTrace {
     /// The final logic level after all transitions.
     #[must_use]
     pub fn final_level(&self) -> Level {
-        if self.transitions.len() % 2 == 0 {
+        if self.transitions.len().is_multiple_of(2) {
             self.initial
         } else {
             self.initial.inverted()

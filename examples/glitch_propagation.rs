@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = PathBuf::from("target/sigmodels/quickstart.json");
     let trained = train_models_cached(&cache, &PipelineConfig::fast())?;
     let models = trained.gate_models();
-    let delays =
-        DelayTable::measure([1], &AnalogOptions::default(), &EngineConfig::default())?;
+    let delays = DelayTable::measure([1], &AnalogOptions::default(), &EngineConfig::default())?;
     let inertial = delays.lookup(1).to_inertial();
     let pure = PureDelay {
         rise: inertial.rise,
@@ -37,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("pulse width -> stages survived (out of {STAGES})");
-    println!("{:>10} {:>8} {:>8} {:>9} {:>9}", "width", "analog", "sigmoid", "inertial", "pure");
+    println!(
+        "{:>10} {:>8} {:>8} {:>9} {:>9}",
+        "width", "analog", "sigmoid", "inertial", "pure"
+    );
 
     for width_ps in [3.0, 5.0, 8.0, 12.0, 20.0, 40.0] {
         let width = width_ps * 1e-12;
@@ -46,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // --- analog reference ------------------------------------------------
         let chain = CharChain::new(ChainGate::Nor, STAGES, 1);
         let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
-        stimuli.insert(chain.input, Box::new(Pwl::heaviside_train(&stim, 0.8, 1e-12)));
+        stimuli.insert(
+            chain.input,
+            Box::new(Pwl::heaviside_train(&stim, 0.8, 1e-12)),
+        );
         stimuli.insert(chain.tie.expect("nor chain"), Box::new(nanospice::Dc(0.0)));
         let mut init = HashMap::new();
         init.insert(chain.input, Level::Low);

@@ -24,7 +24,10 @@ use sigsim::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Train (or load) the gate models --------------------------------
     let cache = PathBuf::from("target/sigmodels/quickstart.json");
-    println!("training/loading TOM gate models (cache: {})", cache.display());
+    println!(
+        "training/loading TOM gate models (cache: {})",
+        cache.display()
+    );
     let trained = train_models_cached(&cache, &PipelineConfig::fast())?;
     let models = trained.gate_models();
     for tag in ["INV", "NOR/FO1", "NOR/FO2"] {
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2. Digital baseline delays ----------------------------------------
     let delays = DelayTable::measure(1..=4, &AnalogOptions::default(), &EngineConfig::default())?;
-    println!("extracted digital delays for {} fan-out classes", delays.len());
+    println!(
+        "extracted digital delays for {} fan-out classes",
+        delays.len()
+    );
 
     // --- 3. Compare on c17 ---------------------------------------------------
     let bench = Benchmark::by_name("c17").map_err(|n| format!("unknown benchmark {n}"))?;

@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let params = fit.trace.len() * 2; // (a, b) per transition
         println!(
             "{:>10} {:>9} {:>12} {:>12} {:>10} {:>8.2}",
-            if i == 0 { "input".to_string() } else { format!("G{i}") },
+            if i == 0 {
+                "input".to_string()
+            } else {
+                format!("G{i}")
+            },
             wave.len(),
             raw_bytes,
             params,

@@ -1,0 +1,5 @@
+//! Workspace-root crate.
+//!
+//! This package exists solely so the repo-root `tests/` (integration
+//! tests) and `examples/` directories are first-class Cargo targets; all
+//! functionality lives in the crates under `crates/`.

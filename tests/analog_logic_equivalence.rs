@@ -27,8 +27,8 @@ fn c17_analog_settles_to_boolean_function() {
             stimuli.insert(net, Box::new(Dc(if bit { 0.8 } else { 0.0 })));
             init.insert(net, Level::from_bool(bit));
         }
-        let analog = build_analog(circuit, stimuli, &init, &AnalogOptions::default())
-            .expect("build");
+        let analog =
+            build_analog(circuit, stimuli, &init, &AnalogOptions::default()).expect("build");
         let probes: Vec<String> = circuit
             .outputs()
             .iter()

@@ -56,18 +56,23 @@ fn heaviside_source_round_trips_through_fit() {
     let trace = sigwave::DigitalTrace::new(Level::Low, vec![80e-12]).expect("trace");
     let chain = CharChain::new(ChainGate::Inverter, 1, 1);
     let mut stimuli: HashMap<sigcircuit::NetId, Box<dyn Stimulus>> = HashMap::new();
-    stimuli.insert(chain.input, Box::new(Pwl::heaviside_train(&trace, 0.8, 1e-12)));
+    stimuli.insert(
+        chain.input,
+        Box::new(Pwl::heaviside_train(&trace, 0.8, 1e-12)),
+    );
     let mut init = HashMap::new();
     init.insert(chain.input, Level::Low);
-    let analog =
-        sigchar::build_analog(&chain.circuit, stimuli, &init, &AnalogOptions::default())
-            .expect("build");
+    let analog = sigchar::build_analog(&chain.circuit, stimuli, &init, &AnalogOptions::default())
+        .expect("build");
     let shaped = analog.probe_name(chain.input).to_string();
     let res = nanospice::Engine::default()
         .run(&analog.network, 0.0, 2e-10, &[&shaped])
         .expect("run");
-    let fit = fit_waveform(res.waveform(&shaped).expect("probed"), &FitOptions::default())
-        .expect("fit");
+    let fit = fit_waveform(
+        res.waveform(&shaped).expect("probed"),
+        &FitOptions::default(),
+    )
+    .expect("fit");
     assert_eq!(fit.trace.len(), 1);
     let s = fit.trace.transitions()[0];
     assert!(s.is_rising());

@@ -24,15 +24,15 @@ fn shared_models() -> sigsim::TrainedModels {
 fn pipeline_to_comparison_on_c17() {
     let trained = shared_models();
     let models = trained.gate_models();
-    let delays = DelayTable::measure(
-        1..=4,
-        &AnalogOptions::default(),
-        &EngineConfig::default(),
-    )
-    .expect("delay extraction");
+    let delays = DelayTable::measure(1..=4, &AnalogOptions::default(), &EngineConfig::default())
+        .expect("delay extraction");
     let bench = Benchmark::by_name("c17").expect("benchmark");
     let mut rng = StdRng::seed_from_u64(11);
-    let stimuli = random_stimuli(&bench.nor_mapped, &StimulusSpec::new(60e-12, 25e-12, 8), &mut rng);
+    let stimuli = random_stimuli(
+        &bench.nor_mapped,
+        &StimulusSpec::new(60e-12, 25e-12, 8),
+        &mut rng,
+    );
     let outcome = compare_circuit(
         &bench.nor_mapped,
         &stimuli,
@@ -67,15 +67,15 @@ fn pipeline_to_comparison_on_c17() {
 fn same_stimulus_mode_runs() {
     let trained = shared_models();
     let models = trained.gate_models();
-    let delays = DelayTable::measure(
-        1..=4,
-        &AnalogOptions::default(),
-        &EngineConfig::default(),
-    )
-    .expect("delay extraction");
+    let delays = DelayTable::measure(1..=4, &AnalogOptions::default(), &EngineConfig::default())
+        .expect("delay extraction");
     let bench = Benchmark::by_name("c17").expect("benchmark");
     let mut rng = StdRng::seed_from_u64(5);
-    let stimuli = random_stimuli(&bench.nor_mapped, &StimulusSpec::new(60e-12, 25e-12, 6), &mut rng);
+    let stimuli = random_stimuli(
+        &bench.nor_mapped,
+        &StimulusSpec::new(60e-12, 25e-12, 6),
+        &mut rng,
+    );
     let config = HarnessConfig {
         sigmoid_inputs: SigmoidInputMode::SameAsDigital,
         ..HarnessConfig::default()

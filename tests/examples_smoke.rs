@@ -1,0 +1,51 @@
+//! Smoke coverage for the `examples/` directory: every example must at
+//! least type-check, and the quickstart must complete end-to-end on its
+//! small (fast-pipeline) configuration.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    // CARGO is set for integration tests; fall back to PATH lookup when the
+    // binary is run outside of cargo.
+    Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string()))
+}
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn every_example_type_checks() {
+    let output = cargo()
+        .args(["check", "--examples", "--quiet"])
+        .current_dir(repo_root())
+        .output()
+        .expect("failed to spawn cargo check");
+    assert!(
+        output.status.success(),
+        "`cargo check --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_completes_on_small_config() {
+    let output = cargo()
+        .args(["run", "--release", "--quiet", "--example", "quickstart"])
+        .current_dir(repo_root())
+        .output()
+        .expect("failed to spawn cargo run");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "quickstart failed:\n{}\n{}",
+        stdout,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The example must reach its final report, not just start up.
+    assert!(
+        stdout.contains("error ratio:"),
+        "quickstart did not print its comparison summary:\n{stdout}"
+    );
+}

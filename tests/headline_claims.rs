@@ -39,12 +39,8 @@ fn models_and_delays() -> (sigsim::GateModels, DelayTable) {
         ..PipelineConfig::default()
     };
     let trained = train_models_cached(&path, &config).expect("pipeline");
-    let delays = DelayTable::measure(
-        1..=4,
-        &AnalogOptions::default(),
-        &EngineConfig::default(),
-    )
-    .expect("delays");
+    let delays = DelayTable::measure(1..=4, &AnalogOptions::default(), &EngineConfig::default())
+        .expect("delays");
     (trained.gate_models(), delays)
 }
 

@@ -1,0 +1,283 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion): the
+//! build container has no crates.io access, so the workspace vendors a
+//! minimal wall-clock harness with the same surface the benches use
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`]).
+//!
+//! Measurement model: each benchmark is warmed up for a fixed wall-clock
+//! budget, then timed over `sample_size` samples; the mean, median, and
+//! min per-iteration times are printed in criterion's familiar
+//! `time: [low mid high]` shape (here: min / median / mean rather than a
+//! bootstrapped confidence interval).
+//!
+//! Supported CLI flags (unknown flags are ignored so cargo's pass-through
+//! arguments never crash a bench): `--test` (type-check mode upstream
+//! uses under `cargo test`: run every body exactly once), and a positional
+//! `<filter>` substring applied to benchmark names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            test_mode: false,
+            sample_size: 60,
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test`, a name filter);
+    /// unknown flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                // Flags cargo/criterion users commonly pass; all take no
+                // value in our model.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with('-') => {
+                    // Ignore any other flag, consuming a value if present.
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with('-') {
+                            args.next();
+                        }
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks; ids inside the group are
+    /// reported as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: None,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: Option<usize>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        run_one(self.criterion, &full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations to run per sample in measurement mode; 1 in test mode.
+    iters: u64,
+    /// Total elapsed time across `iter` calls in this sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the benchmark body `iters` times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(c: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &c.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if c.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("Testing {name} ... ok");
+        return;
+    }
+
+    // Warm-up: also estimates the per-iteration cost to size batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_start.elapsed() < c.warm_up {
+        f(&mut b);
+        warm_iters += b.iters.max(1);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    // Aim for ~5 ms per sample so fast bodies are batched.
+    let iters_per_sample = ((0.005 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        c.bench_function("counts", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            filter: Some("nope".to_string()),
+            test_mode: true,
+            ..Criterion::default()
+        };
+        c.bench_function("other", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_run() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .bench_function("x", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 0);
+    }
+}

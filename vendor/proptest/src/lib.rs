@@ -1,0 +1,292 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest) covering
+//! the subset of the API this workspace's property tests use: the
+//! [`proptest!`] macro, range and [`collection::vec`] /
+//! [`array::uniform3`] strategies, [`any`]`::<bool>()`, and the
+//! `prop_assert*` macros.
+//!
+//! Unlike upstream there is no shrinking and no persisted failure
+//! database: each test runs a fixed number of cases (default 64, override
+//! with `PROPTEST_CASES`) from a deterministic seed, so failures
+//! reproduce exactly. `prop_assert!` panics immediately with the failing
+//! message; the panic output plus the deterministic seed replace the
+//! shrink report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+pub use rand;
+
+use rand::rngs::StdRng;
+
+/// Number of random cases per property test.
+#[must_use]
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + (rand::RngCore::next_u64(rng) % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! impl_signed_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty integer range strategy");
+                let r = (rand::RngCore::next_u64(rng) as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+/// Strategy for any value of a type with a canonical full-range
+/// distribution (only `bool` is needed in this workspace).
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Mirrors `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<T>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rand::Rng::gen(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use std::ops::Range;
+
+    /// A length specification: a fixed size or a half-open range.
+    #[derive(Clone, Copy)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// Uniformly between `.0` (inclusive) and `.1` (exclusive).
+        Between(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Fixed(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Between(r.start, r.end)
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Fixed(n) => n,
+                SizeRange::Between(lo, hi) => {
+                    assert!(lo < hi, "empty vec size range");
+                    lo + (rand::RngCore::next_u64(rng) % (hi - lo) as u64) as usize
+                }
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::{StdRng, Strategy};
+
+    /// Strategy producing `[S::Value; 3]` from one element strategy.
+    pub struct Uniform3<S> {
+        elem: S,
+    }
+
+    /// Mirrors `proptest::array::uniform3`.
+    pub fn uniform3<S: Strategy>(elem: S) -> Uniform3<S> {
+        Uniform3 { elem }
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            [
+                self.elem.generate(rng),
+                self.elem.generate(rng),
+                self.elem.generate(rng),
+            ]
+        }
+    }
+}
+
+/// Everything a property test typically imports.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`cases`] seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            // Seed differs per test (by name) but is stable across runs.
+            let seed: u64 = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+                });
+            let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
+            for case in 0..$crate::cases() {
+                let case_fn = |rng: &mut $crate::rand::rngs::StdRng| {
+                    $(let $pat = $crate::Strategy::generate(&$strat, rng);)+
+                    $body
+                };
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || case_fn(&mut rng),
+                ));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (seed {seed:#x})",
+                        case + 1,
+                        $crate::cases(),
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )+};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0..2.0f64, n in 1usize..5) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            fixed in crate::collection::vec(0.0..1.0f64, 3),
+            ranged in crate::collection::vec(any::<bool>(), 0..8),
+        ) {
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(ranged.len() < 8);
+        }
+
+        #[test]
+        fn uniform3_fills_arrays(a in crate::array::uniform3(-1.0..1.0f64)) {
+            prop_assert_eq!(a.len(), 3);
+            prop_assert!(a.iter().all(|v| (-1.0..1.0).contains(v)));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stub.
+//!
+//! The offline build container has neither `syn` nor `quote`, so this
+//! crate parses the item's token stream by hand and emits the impl as a
+//! formatted string. It supports exactly the shapes this workspace
+//! derives on: structs with named fields, tuple structs, and enums with
+//! unit variants (serialized as the variant-name string, matching
+//! serde_json's externally-tagged format). Anything else produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a type we can derive for.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum E { X, Y }` — variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! literal"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]` / `#![...]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // Optional `!` then the bracket group.
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    tokens.next();
+                }
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` etc.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => {
+            return Err(format!(
+                "expected body of `{name}` (unit structs unsupported), found {other:?}"
+            ))
+        }
+    };
+
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::NamedStruct(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => {
+            Shape::TupleStruct(split_top_level_commas(body.stream()).len())
+        }
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(body.stream())?),
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Splits a token stream on top-level commas, dropping empty chunks (e.g.
+/// from a trailing comma). Commas inside `<...>` generic arguments are not
+/// split points (angle brackets are plain puncts, not delimiter groups).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth: usize = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("chunks is never empty").push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strips leading `#[...]` attributes and a `pub` / `pub(...)` visibility
+/// from a field or variant chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                other => Err(format!("expected field name, found {other:?}")),
+            }
+        })
+        .collect()
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk {
+                [TokenTree::Ident(id)] => Ok(id.to_string()),
+                [TokenTree::Ident(id), rest @ ..] if !rest.is_empty() => Err(format!(
+                    "serde stub derive supports only unit enum variants; `{id}` has data or a discriminant"
+                )),
+                other => Err(format!("expected enum variant, found {other:?}")),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Self::{v} => {v:?}"))
+                .collect();
+            format!(
+                "::serde::Value::Str(match self {{ {} }}.to_string())",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.get_field({f:?})?)?"))
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 \t::serde::Value::Arr(items) if items.len() == {n} => Ok(Self({elems})),\n\
+                 \tother => Err(::serde::Error::new(format!(\n\
+                 \t\t\"expected array of length {n} for `{name}`, found {{}}\", other.kind()))),\n\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok(Self::{v})"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 \t::serde::Value::Str(s) => match s.as_str() {{\n\
+                 \t\t{arms},\n\
+                 \t\tother => Err(::serde::Error::new(format!(\n\
+                 \t\t\t\"unknown `{name}` variant `{{other}}`\"))),\n\
+                 \t}},\n\
+                 \tother => Err(::serde::Error::new(format!(\n\
+                 \t\t\"expected string for enum `{name}`, found {{}}\", other.kind()))),\n\
+                 }}",
+                arms = arms.join(",\n\t\t")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         \t\t{body}\n\
+         \t}}\n\
+         }}"
+    )
+}

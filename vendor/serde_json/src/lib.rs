@@ -1,0 +1,437 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json),
+//! rendering and parsing the vendored `serde` stub's [`Value`] tree as
+//! JSON text.
+//!
+//! Deviations from upstream, chosen so workspace artifacts always
+//! round-trip (see `DESIGN.md`):
+//!
+//! * Numbers are always `f64`; Rust's shortest round-trip float
+//!   formatting guarantees `parse(format(x)) == x`.
+//! * Non-finite floats serialize as the bare tokens `NaN`, `Infinity`,
+//!   and `-Infinity` (upstream writes `null` and fails to round-trip);
+//!   the parser accepts them back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self { msg: e.to_string() }
+    }
+}
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the value model of the vendored stub; the `Result`
+/// mirrors upstream's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Serializes a value to an indented JSON string.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors upstream's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or on a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Obj(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use fmt::Write;
+    if n.is_nan() {
+        out.push_str("NaN");
+    } else if n.is_infinite() {
+        out.push_str(if n > 0.0 { "Infinity" } else { "-Infinity" });
+    } else {
+        // Rust's `{}` for f64 is shortest-round-trip.
+        write!(out, "{n}").expect("writing to String cannot fail");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: format!("{msg} at byte {}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Num(f64::NAN)),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(Value::Num(f64::INFINITY)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') if self.bytes[self.pos + 1..].starts_with(b"Infinity") => {
+                self.pos += 1 + "Infinity".len();
+                Ok(Value::Num(f64::NEG_INFINITY))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        for x in [0.0f64, -1.5, 1e-300, 6.02214076e23, f64::MIN_POSITIVE] {
+            let s = to_string(&x).expect("serialize");
+            let back: f64 = from_str(&s).expect("parse");
+            assert_eq!(back, x, "round-trip of {x} via {s}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = to_string(&x).expect("serialize");
+            let back: f64 = from_str(&s).expect("parse");
+            assert!(back == x || (back.is_nan() && x.is_nan()));
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut m: HashMap<String, Vec<f64>> = HashMap::new();
+        m.insert("a\"quote".to_string(), vec![1.0, 2.5]);
+        m.insert("newline\n".to_string(), vec![]);
+        let s = to_string(&m).expect("serialize");
+        let back: HashMap<String, Vec<f64>> = from_str(&s).expect("parse");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn options_and_tuples_round_trip() {
+        let v: Vec<Option<(f64, String)>> = vec![None, Some((2.0, "hi".to_string()))];
+        let s = to_string(&v).expect("serialize");
+        let back: Vec<Option<(f64, String)>> = from_str(&s).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1.0, 2.0], vec![3.0]];
+        let s = to_string_pretty(&v).expect("serialize");
+        assert!(s.contains('\n'));
+        let back: Vec<Vec<f64>> = from_str(&s).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1.2.3x",
+        ] {
+            assert!(from_str::<serde::Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}
