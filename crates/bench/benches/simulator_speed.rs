@@ -1,6 +1,15 @@
 //! The speed comparison behind Table I's `t_sim` columns: sigmoid
 //! prototype vs digital baseline on the same circuit and stimuli (the
 //! analog reference's cost is covered by `spice_engine.rs`).
+//!
+//! The sigmoid rows compare the levelized engine's scheduling modes —
+//! `scalar` (per-gate one-shot predictions, the pre-levelization
+//! behavior), `batched` (one `predict_batch` per model and level round on
+//! one thread), and `parallel` (batched + the worker pool) — first with a
+//! cheap analytic transfer isolating scheduling overhead, then with
+//! untrained paper-architecture MLPs where batched inference is the win.
+//! All modes produce bit-identical traces; only wall-clock differs (the
+//! parallel rows only separate from `batched` on multi-core hosts).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,12 +20,20 @@ use rand::SeedableRng;
 
 use digilog::{simulate as simulate_digital, GateChannels, InertialDelay};
 use sigcircuit::Benchmark;
-use sigsim::{digital_to_sigmoid, simulate_sigmoid, GateModels, StimulusSpec};
-use sigtom::{GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery};
+use signn::{Mlp, ScaledModel, Standardizer};
+use sigsim::{
+    digital_to_sigmoid, simulate_sigmoid_with, GateModels, SigmoidSimConfig, StimulusSpec,
+};
+use sigtom::{
+    AnnTransfer, GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery,
+};
 use sigwave::SigmoidTrace;
 
-/// A cheap analytic transfer so the bench isolates simulator overhead from
-/// ANN inference (which `transfer_backends.rs` measures separately).
+type NetTraces = HashMap<sigcircuit::NetId, Arc<SigmoidTrace>>;
+
+/// A cheap analytic transfer so the scheduling rows isolate simulator
+/// overhead from inference cost (which the `ann_*` rows and
+/// `transfer_backends.rs` measure).
 struct Analytic;
 
 impl TransferFunction for Analytic {
@@ -32,8 +49,39 @@ impl TransferFunction for Analytic {
     }
 }
 
+/// Untrained paper-architecture networks: real `3 → 10 → 10 → 5 → 1`
+/// inference cost without a training campaign in the bench.
+fn synthetic_ann_models() -> GateModels {
+    let net = |seed: u64| {
+        ScaledModel::new(
+            Mlp::paper_architecture(3, seed),
+            Standardizer::identity(3),
+            Standardizer::identity(1),
+        )
+    };
+    let ann = AnnTransfer::from_parts(net(1), net(2), net(3), net(4));
+    GateModels::uniform(GateModel::new(Arc::new(ann)))
+}
+
 fn bench_simulators(c: &mut Criterion) {
-    for name in ["c17", "c499"] {
+    let scheduling_modes = [
+        ("scalar", SigmoidSimConfig::scalar()),
+        (
+            "batched",
+            SigmoidSimConfig {
+                parallelism: 1,
+                batch: true,
+            },
+        ),
+        (
+            "parallel",
+            SigmoidSimConfig {
+                parallelism: 0,
+                batch: true,
+            },
+        ),
+    ];
+    for name in ["c17", "c499", "c1355"] {
         let bench = Benchmark::by_name(name).expect("benchmark");
         let circuit = bench.nor_mapped.clone();
         let mut rng = StdRng::seed_from_u64(4);
@@ -43,26 +91,44 @@ fn bench_simulators(c: &mut Criterion) {
             .iter()
             .map(|&i| (i, spec.sample(&mut rng)))
             .collect();
-        let sigmoid_stimuli: HashMap<_, SigmoidTrace> = digital_stimuli
+        let sigmoid_stimuli: NetTraces = digital_stimuli
             .iter()
-            .map(|(&i, t)| (i, digital_to_sigmoid(t, 0.8)))
+            .map(|(&i, t)| (i, Arc::new(digital_to_sigmoid(t, 0.8))))
             .collect();
-        let models = GateModels::uniform(GateModel::new(Arc::new(Analytic)));
+        let analytic = GateModels::uniform(GateModel::new(Arc::new(Analytic)));
+        let ann = synthetic_ann_models();
         let channels = GateChannels::uniform(&circuit, InertialDelay::symmetric(5.5e-12));
 
         let mut group = c.benchmark_group(format!("simulate_{name}"));
         group.sample_size(20);
-        group.bench_function("sigmoid", |b| {
-            b.iter(|| {
-                simulate_sigmoid(
-                    black_box(&circuit),
-                    &sigmoid_stimuli,
-                    &models,
-                    TomOptions::default(),
-                )
-                .expect("sim")
-            })
-        });
+        for (label, config) in scheduling_modes {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    simulate_sigmoid_with(
+                        black_box(&circuit),
+                        &sigmoid_stimuli,
+                        &analytic,
+                        TomOptions::default(),
+                        &config,
+                    )
+                    .expect("sim")
+                })
+            });
+        }
+        for (label, config) in scheduling_modes {
+            group.bench_function(format!("ann_{label}"), |b| {
+                b.iter(|| {
+                    simulate_sigmoid_with(
+                        black_box(&circuit),
+                        &sigmoid_stimuli,
+                        &ann,
+                        TomOptions::default(),
+                        &config,
+                    )
+                    .expect("sim")
+                })
+            });
+        }
         group.bench_function("digital", |b| {
             b.iter(|| {
                 simulate_digital(black_box(&circuit), &digital_stimuli, &channels).expect("sim")

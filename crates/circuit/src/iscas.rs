@@ -284,6 +284,37 @@ mod tests {
     }
 
     #[test]
+    fn benchmark_levels_flatten_to_topological_order() {
+        // The levelized schedule of every Table I benchmark (both the
+        // original netlist and its NOR mapping) must visit each gate once,
+        // with all of its driven inputs produced at strictly earlier
+        // levels — i.e. flattening the levels is a topological order.
+        for name in ["c17", "c499", "c1355"] {
+            let bench = Benchmark::by_name(name).unwrap();
+            for circuit in [&bench.original, &bench.nor_mapped] {
+                let mut seen: std::collections::HashSet<_> =
+                    circuit.inputs().iter().copied().collect();
+                let mut visited = 0usize;
+                for level in circuit.levels() {
+                    for &gi in level {
+                        let g = &circuit.gates()[gi];
+                        for i in &g.inputs {
+                            assert!(seen.contains(i), "{name}: gate {gi} input not ready");
+                        }
+                        visited += 1;
+                    }
+                    // Outputs of a level only become visible to later levels.
+                    for &gi in level {
+                        seen.insert(circuit.gates()[gi].output);
+                    }
+                }
+                assert_eq!(visited, circuit.gates().len(), "{name}: gate missed");
+                assert_eq!(circuit.levels().len(), circuit.depth(), "{name}: depth");
+            }
+        }
+    }
+
+    #[test]
     fn c1355_same_function_as_c499() {
         let a = c499();
         let b = c1355();

@@ -107,7 +107,11 @@ pub struct Gate {
 /// Built via [`CircuitBuilder`]; construction validates arities, single
 /// drivers and acyclicity, so every constructed circuit has a topological
 /// order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization carries only the source data (nets, inputs, outputs,
+/// gates); the derived schedules (`topo`, `levels`) are recomputed on
+/// deserialization so they can never disagree with the gate list.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
     net_names: Vec<String>,
     inputs: Vec<NetId>,
@@ -115,6 +119,116 @@ pub struct Circuit {
     gates: Vec<Gate>,
     /// Gate indices in topological order (computed at build time).
     topo: Vec<usize>,
+    /// ASAP levelization: `levels[l]` holds the (ascending) indices of the
+    /// gates whose inputs are all primary inputs or outputs of gates in
+    /// levels `< l` (computed at build time, like `topo`).
+    levels: Vec<Vec<usize>>,
+}
+
+/// Computes the derived schedules of a gate list: the topological order
+/// (Kahn) and the ASAP levelization. Returns `None` if the gate graph
+/// contains a combinational cycle. Shared by [`CircuitBuilder::build`] and
+/// deserialization (which must not trust schedules from the wire).
+fn derive_schedules(gates: &[Gate], net_count: usize) -> Option<(Vec<usize>, Vec<Vec<usize>>)> {
+    let mut driver: Vec<Option<usize>> = vec![None; net_count];
+    for (gi, g) in gates.iter().enumerate() {
+        // Both callers run `validate_structure` first, so each net has at
+        // most one driver.
+        driver[g.output.0].get_or_insert(gi);
+    }
+    // Kahn topological sort over gates.
+    let mut indegree: Vec<usize> = gates
+        .iter()
+        .map(|g| g.inputs.iter().filter(|i| driver[i.0].is_some()).count())
+        .collect();
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    for (gi, g) in gates.iter().enumerate() {
+        for i in &g.inputs {
+            if let Some(d) = driver[i.0] {
+                consumers[d].push(gi);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = indegree
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut topo = Vec::with_capacity(gates.len());
+    while let Some(gi) = queue.pop() {
+        topo.push(gi);
+        for &c in &consumers[gi] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if topo.len() != gates.len() {
+        return None;
+    }
+    // ASAP levelization: a gate's level is the maximum level of its
+    // input nets, where a net's level is its driver's level + 1 and
+    // primary inputs are level 0. Walking in topological order, every
+    // input net's level is final by the time its consumer is placed.
+    let mut net_level = vec![0usize; net_count];
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for &gi in &topo {
+        let g = &gates[gi];
+        let lvl = g.inputs.iter().map(|i| net_level[i.0]).max().unwrap_or(0);
+        net_level[g.output.0] = lvl + 1;
+        if levels.len() <= lvl {
+            levels.resize_with(lvl + 1, Vec::new);
+        }
+        levels[lvl].push(gi);
+    }
+    for level in &mut levels {
+        level.sort_unstable();
+    }
+    Some((topo, levels))
+}
+
+impl Serialize for Circuit {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("net_names".to_string(), self.net_names.to_value()),
+            ("inputs".to_string(), self.inputs.to_value()),
+            ("outputs".to_string(), self.outputs.to_value()),
+            ("gates".to_string(), self.gates.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Circuit {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let net_names = Vec::<String>::from_value(v.get_field("net_names")?)?;
+        let inputs = Vec::<NetId>::from_value(v.get_field("inputs")?)?;
+        let outputs = Vec::<NetId>::from_value(v.get_field("outputs")?)?;
+        let gates = Vec::<Gate>::from_value(v.get_field("gates")?)?;
+        let n = net_names.len();
+        let in_range = |id: &NetId| id.0 < n;
+        if !inputs.iter().all(in_range)
+            || !outputs.iter().all(in_range)
+            || !gates
+                .iter()
+                .all(|g| in_range(&g.output) && g.inputs.iter().all(in_range))
+        {
+            return Err(serde::Error::new("circuit references a net out of range"));
+        }
+        validate_structure(&net_names, &inputs, &outputs, &gates)
+            .map_err(|e| serde::Error::new(format!("invalid circuit: {e}")))?;
+        let (topo, levels) = derive_schedules(&gates, n)
+            .ok_or_else(|| serde::Error::new("circuit contains a combinational cycle"))?;
+        Ok(Self {
+            net_names,
+            inputs,
+            outputs,
+            gates,
+            topo,
+            levels,
+        })
+    }
 }
 
 /// Error building a [`Circuit`].
@@ -220,6 +334,19 @@ impl Circuit {
         &self.topo
     }
 
+    /// ASAP levelization of the gate graph, cached at build time: level 0
+    /// holds the gates fed only by primary inputs, level `l` the gates
+    /// whose deepest input is driven from level `l − 1`. All gates within
+    /// one level are independent of each other, so they can be evaluated
+    /// in any order — or in parallel, or as one batch — once every
+    /// earlier level is done. Gate indices within a level are ascending,
+    /// and flattening the levels in order yields a valid topological
+    /// order (see [`Circuit::topological_gates`]).
+    #[must_use]
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+
     /// Number of gate inputs reading each net (the net's fan-out); primary
     /// outputs additionally count as one load each.
     #[must_use]
@@ -237,8 +364,9 @@ impl Circuit {
     }
 
     /// Logic level (longest path in gates) of each net; inputs are level 0.
+    /// A gate's output net sits one past its level in [`Circuit::levels`].
     #[must_use]
-    pub fn levels(&self) -> Vec<usize> {
+    pub fn net_levels(&self) -> Vec<usize> {
         let mut level = vec![0usize; self.net_names.len()];
         for &gi in &self.topo {
             let g = &self.gates[gi];
@@ -251,7 +379,7 @@ impl Circuit {
     /// Circuit depth: the maximum output level.
     #[must_use]
     pub fn depth(&self) -> usize {
-        let levels = self.levels();
+        let levels = self.net_levels();
         self.outputs.iter().map(|o| levels[o.0]).max().unwrap_or(0)
     }
 
@@ -413,87 +541,78 @@ impl CircuitBuilder {
     /// Returns [`BuildCircuitError`] when structural invariants are violated
     /// (multiple drivers, cycles, floating nets, undriven outputs).
     pub fn build(self) -> Result<Circuit, BuildCircuitError> {
-        let n = self.net_names.len();
-        // Driver map.
-        let mut driver: Vec<Option<usize>> = vec![None; n];
-        let is_input: Vec<bool> = {
-            let mut v = vec![false; n];
-            for i in &self.inputs {
-                v[i.0] = true;
-            }
-            v
-        };
-        for (gi, g) in self.gates.iter().enumerate() {
-            if is_input[g.output.0] {
-                return Err(BuildCircuitError::DrivesInput {
-                    net: self.net_names[g.output.0].clone(),
-                });
-            }
-            if driver[g.output.0].is_some() {
-                return Err(BuildCircuitError::MultipleDrivers {
-                    net: self.net_names[g.output.0].clone(),
-                });
-            }
-            driver[g.output.0] = Some(gi);
-        }
-        // All read nets must be driven or inputs.
-        for g in &self.gates {
-            for i in &g.inputs {
-                if !is_input[i.0] && driver[i.0].is_none() {
-                    return Err(BuildCircuitError::Undriven {
-                        net: self.net_names[i.0].clone(),
-                    });
-                }
-            }
-        }
-        for o in &self.outputs {
-            if !is_input[o.0] && driver[o.0].is_none() {
-                return Err(BuildCircuitError::UndrivenOutput {
-                    net: self.net_names[o.0].clone(),
-                });
-            }
-        }
-        // Kahn topological sort over gates.
-        let mut indegree: Vec<usize> = self
-            .gates
-            .iter()
-            .map(|g| g.inputs.iter().filter(|i| driver[i.0].is_some()).count())
-            .collect();
-        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
-        for (gi, g) in self.gates.iter().enumerate() {
-            for i in &g.inputs {
-                if let Some(d) = driver[i.0] {
-                    consumers[d].push(gi);
-                }
-            }
-        }
-        let mut queue: Vec<usize> = indegree
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d == 0)
-            .map(|(i, _)| i)
-            .collect();
-        let mut topo = Vec::with_capacity(self.gates.len());
-        while let Some(gi) = queue.pop() {
-            topo.push(gi);
-            for &c in &consumers[gi] {
-                indegree[c] -= 1;
-                if indegree[c] == 0 {
-                    queue.push(c);
-                }
-            }
-        }
-        if topo.len() != self.gates.len() {
-            return Err(BuildCircuitError::Cyclic);
-        }
+        validate_structure(&self.net_names, &self.inputs, &self.outputs, &self.gates)?;
+        let (topo, levels) =
+            derive_schedules(&self.gates, self.net_names.len()).ok_or(BuildCircuitError::Cyclic)?;
         Ok(Circuit {
             net_names: self.net_names,
             inputs: self.inputs,
             outputs: self.outputs,
             gates: self.gates,
             topo,
+            levels,
         })
     }
+}
+
+/// The structural invariants every [`Circuit`] upholds (arities, single
+/// drivers, all read nets driven, declared outputs driven) — enforced by
+/// [`CircuitBuilder::build`] and by deserialization, which must not admit
+/// circuits the builder would reject (acyclicity is checked separately by
+/// `derive_schedules`). Expects net ids already bounds-checked.
+fn validate_structure(
+    net_names: &[String],
+    inputs: &[NetId],
+    outputs: &[NetId],
+    gates: &[Gate],
+) -> Result<(), BuildCircuitError> {
+    let n = net_names.len();
+    let mut driver: Vec<Option<usize>> = vec![None; n];
+    let is_input: Vec<bool> = {
+        let mut v = vec![false; n];
+        for i in inputs {
+            v[i.0] = true;
+        }
+        v
+    };
+    for (gi, g) in gates.iter().enumerate() {
+        if !g.kind.arity_ok(g.inputs.len()) {
+            return Err(BuildCircuitError::BadArity {
+                gate: gi,
+                kind: g.kind,
+                arity: g.inputs.len(),
+            });
+        }
+        if is_input[g.output.0] {
+            return Err(BuildCircuitError::DrivesInput {
+                net: net_names[g.output.0].clone(),
+            });
+        }
+        if driver[g.output.0].is_some() {
+            return Err(BuildCircuitError::MultipleDrivers {
+                net: net_names[g.output.0].clone(),
+            });
+        }
+        driver[g.output.0] = Some(gi);
+    }
+    // All read nets must be driven or inputs.
+    for g in gates {
+        for i in &g.inputs {
+            if !is_input[i.0] && driver[i.0].is_none() {
+                return Err(BuildCircuitError::Undriven {
+                    net: net_names[i.0].clone(),
+                });
+            }
+        }
+    }
+    for o in outputs {
+        if !is_input[o.0] && driver[o.0].is_none() {
+            return Err(BuildCircuitError::UndrivenOutput {
+                net: net_names[o.0].clone(),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -621,6 +740,51 @@ mod tests {
     }
 
     #[test]
+    fn levels_partition_gates_by_asap_depth() {
+        let c = half_adder();
+        // Both gates read only primary inputs: one level with both gates.
+        assert_eq!(c.levels(), &[vec![0, 1]]);
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let n1 = b.add_gate(GateKind::Inv, &[x], "n1");
+        let n2 = b.add_gate(GateKind::And, &[n1, y], "n2");
+        let n3 = b.add_gate(GateKind::Or, &[n1, y], "n3");
+        let n4 = b.add_gate(GateKind::And, &[n2, n3], "n4");
+        b.mark_output(n4);
+        let c = b.build().unwrap();
+        // INV at level 0; AND/OR both wait on it; the final AND on both.
+        assert_eq!(c.levels(), &[vec![0], vec![1, 2], vec![3]]);
+        // Every gate appears exactly once across the levels.
+        let mut flat: Vec<usize> = c.levels().iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![0, 1, 2, 3]);
+        // A gate's level is its output net's level minus one.
+        let net_levels = c.net_levels();
+        for (lvl, gates) in c.levels().iter().enumerate() {
+            for &gi in gates {
+                assert_eq!(net_levels[c.gates()[gi].output.0], lvl + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_flatten_to_topological_order() {
+        let c = half_adder();
+        let mut seen = std::collections::HashSet::new();
+        for i in c.inputs() {
+            seen.insert(*i);
+        }
+        for &gi in c.levels().iter().flatten() {
+            let g = &c.gates()[gi];
+            for i in &g.inputs {
+                assert!(seen.contains(i), "dependency violated");
+            }
+            seen.insert(g.output);
+        }
+    }
+
+    #[test]
     fn topo_order_respects_dependencies() {
         let c = half_adder();
         // Each gate's driven inputs must appear earlier in topo order.
@@ -635,6 +799,77 @@ mod tests {
             }
             seen.insert(g.output);
         }
+    }
+
+    #[test]
+    fn serde_round_trip_recomputes_schedules() {
+        let c = half_adder();
+        let json = serde_json::to_string(&c).unwrap();
+        // Only source data travels; derived schedules are rebuilt.
+        assert!(!json.contains("topo"), "derived fields must not serialize");
+        let back: Circuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        assert_eq!(c.topological_gates(), back.topological_gates());
+        assert_eq!(c.levels(), back.levels());
+    }
+
+    #[test]
+    fn deserialize_rejects_cycles_and_bad_ids() {
+        // x = AND(a, y), y = INV(x): a cycle no builder would produce.
+        let cyclic = r#"{
+            "net_names": ["a", "x", "y"],
+            "inputs": [[0]],
+            "outputs": [[1]],
+            "gates": [
+                {"kind": "And", "inputs": [[0], [2]], "output": [1]},
+                {"kind": "Inv", "inputs": [[1]], "output": [2]}
+            ]
+        }"#;
+        let err = serde_json::from_str::<Circuit>(cyclic).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+        // A gate referencing a net that does not exist.
+        let oob = r#"{
+            "net_names": ["a"],
+            "inputs": [[0]],
+            "outputs": [],
+            "gates": [{"kind": "Inv", "inputs": [[7]], "output": [0]}]
+        }"#;
+        let err = serde_json::from_str::<Circuit>(oob).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_enforces_builder_invariants() {
+        // A gate reading a net that is neither an input nor gate-driven.
+        let read_undriven = r#"{
+            "net_names": ["a", "y", "w"],
+            "inputs": [[0]],
+            "outputs": [[1]],
+            "gates": [{"kind": "Nor", "inputs": [[2]], "output": [1]}]
+        }"#;
+        let err = serde_json::from_str::<Circuit>(read_undriven).unwrap_err();
+        assert!(err.to_string().contains("never driven"), "{err}");
+        // Two gates driving the same net.
+        let dup = r#"{
+            "net_names": ["a", "y"],
+            "inputs": [[0]],
+            "outputs": [[1]],
+            "gates": [
+                {"kind": "Inv", "inputs": [[0]], "output": [1]},
+                {"kind": "Buf", "inputs": [[0]], "output": [1]}
+            ]
+        }"#;
+        let err = serde_json::from_str::<Circuit>(dup).unwrap_err();
+        assert!(err.to_string().contains("multiple drivers"), "{err}");
+        // A zero-input NOR (no builder produces one).
+        let zero_arity = r#"{
+            "net_names": ["a", "y"],
+            "inputs": [[0]],
+            "outputs": [[1]],
+            "gates": [{"kind": "Nor", "inputs": [], "output": [1]}]
+        }"#;
+        let err = serde_json::from_str::<Circuit>(zero_arity).unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
     }
 
     proptest! {

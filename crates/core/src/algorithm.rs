@@ -2,6 +2,7 @@
 //! the sub-threshold pulse removal and the multi-input decision procedure
 //! described in Sec. III.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use sigwave::{Level, Sigmoid, SigmoidTrace};
@@ -47,8 +48,11 @@ impl GateModel {
         self
     }
 
-    fn predict(&self, query: TransferQuery) -> crate::transfer::TransferPrediction {
-        let q = match &self.region {
+    /// Clamps a raw query to the trained domain and (when a region is
+    /// attached) projects it into the valid region — the per-query
+    /// preparation shared by the scalar and batch paths.
+    fn prepare(&self, query: TransferQuery) -> TransferQuery {
+        match &self.region {
             Some(r) => {
                 // Keep the true polarity even if projection moved a_in
                 // across zero (it cannot for per-polarity regions, but be
@@ -60,8 +64,36 @@ impl GateModel {
                 }
             }
             None => query.clamped(),
-        };
-        self.transfer.predict(q)
+        }
+    }
+
+    fn predict(&self, query: TransferQuery) -> crate::transfer::TransferPrediction {
+        self.transfer.predict(self.prepare(query))
+    }
+
+    /// Prepares a batch of raw queries **in place**: each is
+    /// clamped/projected exactly as the scalar [`GateModel`] prediction
+    /// does before inference. Idempotent, so re-preparing is harmless.
+    pub fn prepare_batch(&self, queries: &mut [TransferQuery]) {
+        for q in queries.iter_mut() {
+            *q = self.prepare(*q);
+        }
+    }
+
+    /// Predicts a batch of independent queries: each is clamped/projected
+    /// in place (see [`GateModel::prepare_batch`] — the batch buffer is
+    /// the scratch, so nothing is allocated per call), then the whole
+    /// batch goes through [`TransferFunction::predict_batch`] in one
+    /// call. `out` is overwritten with one prediction per query, in
+    /// order, bit-identical to per-query [`TransferFunction::predict`]
+    /// calls.
+    pub fn predict_batch(
+        &self,
+        queries: &mut [TransferQuery],
+        out: &mut Vec<crate::transfer::TransferPrediction>,
+    ) {
+        self.prepare_batch(queries);
+        self.transfer.predict_batch(queries, out);
     }
 }
 
@@ -189,8 +221,182 @@ impl OutputState {
     }
 }
 
+/// A planned NOR (or single-input gate) prediction: the model-independent
+/// half of Algorithm 1, separated from the transfer-function evaluation so
+/// queries from many gates can be batched together.
+///
+/// Planning resolves everything that does **not** depend on predictions:
+/// the initial output level and the *relevant* input transitions (for a
+/// multi-input NOR, the transitions arriving while every other input is
+/// low — the Sec. III decision procedure). What remains is inherently
+/// sequential per gate — each query's history interval and previous-output
+/// slope come from the preceding prediction — so the plan is driven as a
+/// query/apply loop:
+///
+/// 1. [`NorPlan::next_query`] yields the query for the next relevant
+///    transition (or `None` when the plan is exhausted),
+/// 2. the caller evaluates it — alone, or batched with the pending queries
+///    of *other* gates via [`GateModel::predict_batch`] —
+/// 3. [`NorPlan::apply`] consumes the prediction, advancing Algorithm 1's
+///    output state (alternation repair, out-of-order cancellation,
+///    sub-threshold pulse removal),
+/// 4. [`NorPlan::into_trace`] finalizes the output trace.
+///
+/// [`apply_nor`] packages the single-gate loop; the one-shot
+/// [`predict_nor`]/[`predict_single_input`] wrappers are plan + apply and
+/// remain bit-identical to driving the plan any other way.
+#[derive(Debug)]
+pub struct NorPlan<'a> {
+    /// The relevant input transitions, in arrival order: borrowed straight
+    /// from the input trace for single-input gates (no copy), owned only
+    /// when a multi-input merge had to build the list.
+    relevant: Cow<'a, [Sigmoid]>,
+    /// Index of the next unconsumed transition in `relevant`.
+    cursor: usize,
+    state: OutputState,
+}
+
+impl NorPlan<'_> {
+    /// Number of relevant input transitions still awaiting a prediction.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.relevant.len() - self.cursor
+    }
+
+    /// The query for the next relevant input transition, or `None` when
+    /// every transition has been applied. Stable until the next
+    /// [`NorPlan::apply`] call.
+    #[must_use]
+    pub fn next_query(&self) -> Option<TransferQuery> {
+        let sin = self.relevant.get(self.cursor)?;
+        let (a_prev, b_prev) = self.state.prev();
+        let t = if b_prev == f64::NEG_INFINITY {
+            T_FAR
+        } else {
+            sin.b - b_prev
+        };
+        Some(TransferQuery {
+            t,
+            a_in: sin.a,
+            a_prev_out: a_prev,
+        })
+    }
+
+    /// Consumes the prediction for the query returned by
+    /// [`NorPlan::next_query`]: schedules the output transition and runs
+    /// the cancellation bookkeeping (Algorithm 1's loop body).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is already exhausted.
+    pub fn apply(&mut self, prediction: crate::transfer::TransferPrediction) {
+        let sin = self.relevant[self.cursor];
+        self.cursor += 1;
+        let b_out = sin.b + prediction.delay;
+        self.state.push(prediction.a_out, b_out);
+    }
+
+    /// Finalizes the predicted output trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if relevant transitions are still pending — a finished trace
+    /// with queries unconsumed would silently drop transitions.
+    #[must_use]
+    pub fn into_trace(self) -> SigmoidTrace {
+        assert_eq!(
+            self.cursor,
+            self.relevant.len(),
+            "plan finalized with {} transitions pending",
+            self.relevant.len() - self.cursor
+        );
+        let vdd = self.state.options.vdd;
+        self.state.into_trace(vdd)
+    }
+}
+
+/// Plans Algorithm 1 for a single-input inverting gate (inverter, or NOR
+/// with all other inputs low): every input transition is relevant.
+///
+/// `initial_output` is the gate's settled output level before the first
+/// input transition; for an inverter it is the inverse of the input's
+/// initial level.
+#[must_use]
+pub fn plan_single_input(
+    input: &SigmoidTrace,
+    initial_output: Level,
+    options: TomOptions,
+) -> NorPlan<'_> {
+    NorPlan {
+        relevant: Cow::Borrowed(input.transitions()),
+        cursor: 0,
+        state: OutputState::new(initial_output, options),
+    }
+}
+
+/// Plans a multi-input NOR prediction: merges the input transitions in
+/// time order and keeps those arriving while every *other* input is low
+/// (Sec. III: "Algorithm 1 can be performed with input I1 as the relevant
+/// one as long as input I2 = GND") — transitions on a masked input never
+/// reach the output, so they produce no query at all.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn plan_nor<'a>(inputs: &[&'a SigmoidTrace], options: TomOptions) -> NorPlan<'a> {
+    assert!(!inputs.is_empty(), "NOR needs at least one input");
+    if inputs.len() == 1 {
+        let initial = if inputs[0].initial().is_high() {
+            Level::Low
+        } else {
+            Level::High
+        };
+        return plan_single_input(inputs[0], initial, options);
+    }
+    // Merge transitions from all inputs, tagged with their source.
+    let mut events: Vec<(usize, Sigmoid)> = Vec::new();
+    for (i, tr) in inputs.iter().enumerate() {
+        for s in tr.transitions() {
+            events.push((i, *s));
+        }
+    }
+    events.sort_by(|a, b| a.1.b.total_cmp(&b.1.b));
+
+    // Track digital levels of all inputs (by crossing time); relevance
+    // depends only on the input traces, never on predictions.
+    let mut levels: Vec<bool> = inputs.iter().map(|t| t.initial().is_high()).collect();
+    let initial_out = Level::from_bool(!levels.iter().any(|&l| l));
+    let mut relevant = Vec::new();
+    for (src, sin) in events {
+        let others_low = levels.iter().enumerate().all(|(i, &l)| i == src || !l);
+        if others_low {
+            relevant.push(sin);
+        }
+        levels[src] = sin.is_rising();
+    }
+    NorPlan {
+        relevant: Cow::Owned(relevant),
+        cursor: 0,
+        state: OutputState::new(initial_out, options),
+    }
+}
+
+/// Drives a plan to completion against one model: the scalar
+/// query→predict→apply loop. (A level-scheduled simulator instead
+/// interleaves the loops of many plans through
+/// [`GateModel::predict_batch`]; both produce identical traces.)
+#[must_use]
+pub fn apply_nor(mut plan: NorPlan<'_>, model: &GateModel) -> SigmoidTrace {
+    while let Some(query) = plan.next_query() {
+        plan.apply(model.predict(query));
+    }
+    plan.into_trace()
+}
+
 /// Algorithm 1: predicts the output sigmoid trace of a single-input
-/// inverting gate (inverter, or NOR with all other inputs low).
+/// inverting gate (inverter, or NOR with all other inputs low). Thin
+/// wrapper over [`plan_single_input`] + [`apply_nor`].
 ///
 /// `initial_output` is the gate's settled output level before the first
 /// input transition; for an inverter it is the inverse of the input's
@@ -202,34 +408,12 @@ pub fn predict_single_input(
     initial_output: Level,
     options: TomOptions,
 ) -> SigmoidTrace {
-    let mut state = OutputState::new(initial_output, options);
-    for sin in input.transitions() {
-        step(model, &mut state, sin);
-    }
-    state.into_trace(options.vdd)
-}
-
-/// One iteration of Algorithm 1's loop body.
-fn step(model: &GateModel, state: &mut OutputState, sin: &Sigmoid) {
-    let (a_prev, b_prev) = state.prev();
-    let t = if b_prev == f64::NEG_INFINITY {
-        T_FAR
-    } else {
-        sin.b - b_prev
-    };
-    let prediction = model.predict(TransferQuery {
-        t,
-        a_in: sin.a,
-        a_prev_out: a_prev,
-    });
-    let b_out = sin.b + prediction.delay;
-    state.push(prediction.a_out, b_out);
+    apply_nor(plan_single_input(input, initial_output, options), model)
 }
 
 /// Multi-input NOR prediction: one Algorithm-1 instance per input plus the
-/// decision procedure selecting the currently relevant input (Sec. III:
-/// "Algorithm 1 can be performed with input I1 as the relevant one as long
-/// as input I2 = GND").
+/// decision procedure selecting the currently relevant input. Thin wrapper
+/// over [`plan_nor`] + [`apply_nor`].
 ///
 /// A transition on input `i` is relevant iff every *other* input is low at
 /// that moment (otherwise the NOR output is held low by the other input
@@ -244,37 +428,7 @@ pub fn predict_nor(
     inputs: &[&SigmoidTrace],
     options: TomOptions,
 ) -> SigmoidTrace {
-    assert!(!inputs.is_empty(), "NOR needs at least one input");
-    if inputs.len() == 1 {
-        let initial = if inputs[0].initial().is_high() {
-            Level::Low
-        } else {
-            Level::High
-        };
-        return predict_single_input(model, inputs[0], initial, options);
-    }
-    // Merge transitions from all inputs, tagged with their source.
-    let mut events: Vec<(usize, Sigmoid)> = Vec::new();
-    for (i, tr) in inputs.iter().enumerate() {
-        for s in tr.transitions() {
-            events.push((i, *s));
-        }
-    }
-    events.sort_by(|a, b| a.1.b.total_cmp(&b.1.b));
-
-    // Track digital levels of all inputs (by crossing time).
-    let mut levels: Vec<bool> = inputs.iter().map(|t| t.initial().is_high()).collect();
-    let initial_out = Level::from_bool(!levels.iter().any(|&l| l));
-    let mut state = OutputState::new(initial_out, options);
-
-    for (src, sin) in events {
-        let others_low = levels.iter().enumerate().all(|(i, &l)| i == src || !l);
-        if others_low {
-            step(model, &mut state, &sin);
-        }
-        levels[src] = sin.is_rising();
-    }
-    state.into_trace(options.vdd)
+    apply_nor(plan_nor(inputs, options), model)
 }
 
 #[cfg(test)]
@@ -488,6 +642,111 @@ mod tests {
         assert_eq!(out.initial(), Level::Low);
         let out = predict_nor(&model(0.05), &[&lo, &lo], TomOptions::default());
         assert_eq!(out.initial(), Level::High);
+    }
+
+    #[test]
+    fn plan_apply_matches_one_shot_prediction() {
+        // Drive a plan manually (as the levelized simulator does) and
+        // through apply_nor: both must equal the one-shot wrapper exactly.
+        let m = model(0.07);
+        let i1 = trace(
+            vec![
+                Sigmoid::rising(15.0, 1.0),
+                Sigmoid::falling(15.0, 1.04), // sub-threshold pulse: cancels
+                Sigmoid::rising(15.0, 3.0),
+                Sigmoid::falling(15.0, 5.0),
+            ],
+            Level::Low,
+        );
+        let i2 = trace(
+            vec![Sigmoid::rising(15.0, 3.5), Sigmoid::falling(15.0, 4.0)],
+            Level::Low,
+        );
+        let opts = TomOptions::default();
+        let one_shot = predict_nor(&m, &[&i1, &i2], opts);
+
+        let mut plan = plan_nor(&[&i1, &i2], opts);
+        let mut queries_seen = 0;
+        let mut batch = Vec::new();
+        while let Some(q) = plan.next_query() {
+            // Route through the batch entry point one query at a time.
+            let mut one = [q];
+            m.predict_batch(&mut one, &mut batch);
+            plan.apply(batch[0]);
+            queries_seen += 1;
+        }
+        assert!(queries_seen >= 2, "multi-transition plan expected");
+        assert_eq!(plan.pending(), 0);
+        assert_eq!(plan.into_trace(), one_shot);
+
+        let via_apply = apply_nor(plan_nor(&[&i1, &i2], opts), &m);
+        assert_eq!(via_apply, one_shot);
+    }
+
+    #[test]
+    fn plan_masks_irrelevant_transitions() {
+        // I2 high the whole time: no transition is relevant, no query is
+        // ever emitted, and the trace settles low.
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 2.0)],
+            Level::Low,
+        );
+        let i2 = SigmoidTrace::constant(Level::High, VDD_DEFAULT);
+        let plan = plan_nor(&[&i1, &i2], TomOptions::default());
+        assert_eq!(plan.pending(), 0);
+        assert!(plan.next_query().is_none());
+        let out = plan.into_trace();
+        assert_eq!(out.initial(), Level::Low);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "transitions pending")]
+    fn unfinished_plan_cannot_finalize() {
+        let input = trace(vec![Sigmoid::rising(15.0, 1.0)], Level::Low);
+        let plan = plan_single_input(&input, Level::High, TomOptions::default());
+        let _ = plan.into_trace();
+    }
+
+    #[test]
+    fn gate_model_predict_batch_applies_region() {
+        use crate::region::ValidRegion;
+        use sigchar::TransferSample;
+        let mut samples = Vec::new();
+        for i in 0..30 {
+            let t = 0.2 + 0.1 * f64::from(i);
+            for s in [1.0, -1.0] {
+                samples.push(TransferSample {
+                    t,
+                    a_in: s * (8.0 + 0.2 * f64::from(i)),
+                    a_prev_out: -s * 10.0,
+                    a_out: -s * 12.0,
+                    delay: 0.05,
+                });
+            }
+        }
+        let region = Arc::new(ValidRegion::from_samples(&samples, 2.0));
+        let m = GateModel::new(Arc::new(MockTransfer { delay: 0.05 })).with_region(region);
+        // Far outside the trained slopes: projection must kick in, and the
+        // batch path must match the scalar path bit for bit.
+        let queries = [
+            TransferQuery {
+                t: 0.5,
+                a_in: 500.0,
+                a_prev_out: -9.0,
+            },
+            TransferQuery {
+                t: 2.0,
+                a_in: -0.01,
+                a_prev_out: 9.0,
+            },
+        ];
+        let mut prepared = queries;
+        let mut out = Vec::new();
+        m.predict_batch(&mut prepared, &mut out);
+        for (q, p) in queries.iter().zip(&out) {
+            assert_eq!(*p, m.predict(*q));
+        }
     }
 
     #[test]

@@ -133,6 +133,32 @@ pub struct AnnTransfer {
 }
 
 impl AnnTransfer {
+    /// Assembles a transfer function from four already-built networks
+    /// (`{rising, falling} × {slope, delay}`) — for loading individually
+    /// trained artifacts or building synthetic backends in benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any network does not map 3 features to 1 output.
+    #[must_use]
+    pub fn from_parts(
+        rise_slope: ScaledModel,
+        rise_delay: ScaledModel,
+        fall_slope: ScaledModel,
+        fall_delay: ScaledModel,
+    ) -> Self {
+        for net in [&rise_slope, &rise_delay, &fall_slope, &fall_delay] {
+            assert_eq!(net.mlp.input_size(), 3, "transfer nets take 3 features");
+            assert_eq!(net.mlp.output_size(), 1, "transfer nets are scalar");
+        }
+        Self {
+            rise_slope,
+            rise_delay,
+            fall_slope,
+            fall_delay,
+        }
+    }
+
     /// Trains the four networks from a characterization dataset.
     ///
     /// # Errors
@@ -200,6 +226,54 @@ impl TransferFunction for AnnTransfer {
         TransferPrediction {
             a_out: slope_net.predict(&x)[0],
             delay: delay_net.predict(&x)[0],
+        }
+    }
+
+    /// Batched inference: the queries are split by polarity (the same
+    /// `a_in > 0` routing as the scalar path), each half runs through its
+    /// slope/delay networks as one row-major matrix per layer
+    /// ([`signn::Mlp::forward_batch`]), and the results are scattered back
+    /// into query order. Bit-identical to the scalar loop per query.
+    fn predict_batch(&self, queries: &[TransferQuery], out: &mut Vec<TransferPrediction>) {
+        out.clear();
+        if queries.is_empty() {
+            return;
+        }
+        out.resize(
+            queries.len(),
+            TransferPrediction {
+                a_out: 0.0,
+                delay: 0.0,
+            },
+        );
+        // [falling, rising] halves: original index + packed feature rows.
+        let mut idx: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        let mut rows: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        for (i, q) in queries.iter().enumerate() {
+            let q = q.clamped();
+            let p = usize::from(q.a_in > 0.0);
+            idx[p].push(i);
+            rows[p].extend_from_slice(&q.features());
+        }
+        let nets = [
+            (&self.fall_slope, &self.fall_delay),
+            (&self.rise_slope, &self.rise_delay),
+        ];
+        let mut slopes = Vec::new();
+        let mut delays = Vec::new();
+        for (p, (slope_net, delay_net)) in nets.into_iter().enumerate() {
+            let n = idx[p].len();
+            if n == 0 {
+                continue;
+            }
+            slope_net.predict_batch(&rows[p], n, &mut slopes);
+            delay_net.predict_batch(&rows[p], n, &mut delays);
+            for (j, &i) in idx[p].iter().enumerate() {
+                out[i] = TransferPrediction {
+                    a_out: slopes[j],
+                    delay: delays[j],
+                };
+            }
         }
     }
 
@@ -314,6 +388,51 @@ mod tests {
         // Each network derives its RNG from `seed ^ offset`, so the fanned
         // out training must be bit-identical to the sequential path.
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn predict_batch_bit_identical_to_scalar() {
+        let data = synthetic_dataset(20);
+        let ann = AnnTransfer::train(&data, &AnnTrainConfig::fast()).unwrap();
+        // Mixed polarities, out-of-domain T (exercises clamping), and a
+        // batch of one.
+        let queries: Vec<TransferQuery> = [
+            (0.3, 9.0, -11.0),
+            (1.7, -14.0, 12.0),
+            (50.0, 7.5, -8.0),
+            (0.9, -6.0, 9.0),
+            (2.4, 16.0, -15.0),
+        ]
+        .iter()
+        .map(|&(t, a_in, a_prev_out)| TransferQuery {
+            t,
+            a_in,
+            a_prev_out,
+        })
+        .collect();
+        let mut out = Vec::new();
+        ann.predict_batch(&queries, &mut out);
+        assert_eq!(out.len(), queries.len());
+        for (q, p) in queries.iter().zip(&out) {
+            assert_eq!(*p, ann.predict(*q), "query {q:?}");
+        }
+        ann.predict_batch(&queries[..1], &mut out);
+        assert_eq!(out, vec![ann.predict(queries[0])]);
+        ann.predict_batch(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips_trained_networks() {
+        let data = synthetic_dataset(10);
+        let ann = AnnTransfer::train(&data, &AnnTrainConfig::fast()).unwrap();
+        let rebuilt = AnnTransfer::from_parts(
+            ann.rise_slope.clone(),
+            ann.rise_delay.clone(),
+            ann.fall_slope.clone(),
+            ann.fall_delay.clone(),
+        );
+        assert_eq!(ann, rebuilt);
     }
 
     #[test]

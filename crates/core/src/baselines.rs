@@ -59,10 +59,20 @@ impl LutTransfer {
     }
 
     fn weighted(&self, samples: &[TransferSample], q: &TransferQuery) -> TransferPrediction {
+        let mut best = Vec::with_capacity(self.k + 1);
+        self.weighted_into(samples, q, &mut best)
+    }
+
+    fn weighted_into<'a>(
+        &self,
+        samples: &'a [TransferSample],
+        q: &TransferQuery,
+        best: &mut Vec<(f64, &'a TransferSample)>,
+    ) -> TransferPrediction {
         let qf = q.features();
         // Collect (distance², sample) of the k nearest (linear scan: the
         // LUT baseline is about accuracy, not speed).
-        let mut best: Vec<(f64, &TransferSample)> = Vec::with_capacity(self.k + 1);
+        best.clear();
         for s in samples {
             let f = s.features();
             let mut d2 = 0.0;
@@ -79,7 +89,7 @@ impl LutTransfer {
         let mut wsum = 0.0;
         let mut a_out = 0.0;
         let mut delay = 0.0;
-        for (d2, s) in &best {
+        for (d2, s) in best.iter() {
             let w = 1.0 / (d2 + 1e-9);
             wsum += w;
             a_out += w * s.a_out;
@@ -101,6 +111,24 @@ impl TransferFunction for LutTransfer {
             &self.falling
         };
         self.weighted(samples, &q)
+    }
+
+    /// Batch form: one shared neighbour scratch buffer across the whole
+    /// batch instead of one allocation per query; the per-query scan and
+    /// weighting are unchanged, so results are bit-identical.
+    fn predict_batch(&self, queries: &[TransferQuery], out: &mut Vec<TransferPrediction>) {
+        out.clear();
+        out.reserve(queries.len());
+        let mut best = Vec::with_capacity(self.k + 1);
+        for query in queries {
+            let q = query.clamped();
+            let samples = if q.a_in > 0.0 {
+                &self.rising
+            } else {
+                &self.falling
+            };
+            out.push(self.weighted_into(samples, &q, &mut best));
+        }
     }
 
     fn backend_name(&self) -> &'static str {
@@ -180,6 +208,14 @@ impl TransferFunction for PolyTransfer {
         }
     }
 
+    /// Batch form: the polynomial evaluation is already allocation-free,
+    /// so the batch pass is the scalar loop with a single `reserve`.
+    fn predict_batch(&self, queries: &[TransferQuery], out: &mut Vec<TransferPrediction>) {
+        out.clear();
+        out.reserve(queries.len());
+        out.extend(queries.iter().map(|&q| self.predict(q)));
+    }
+
     fn backend_name(&self) -> &'static str {
         "poly"
     }
@@ -255,6 +291,29 @@ mod tests {
             "{p:?} vs {truth_delay}"
         );
         assert!((p.a_out - truth_a).abs() / truth_a.abs() < 0.05);
+    }
+
+    #[test]
+    fn batch_predictions_bit_identical_to_scalar() {
+        let d = synthetic(25);
+        let queries: Vec<TransferQuery> = (0..12)
+            .map(|i| TransferQuery {
+                t: 0.2 + 0.3 * i as f64,
+                a_in: if i % 2 == 0 { 9.0 } else { -13.0 },
+                a_prev_out: if i % 2 == 0 { -7.0 } else { 11.0 },
+            })
+            .collect();
+        let lut = LutTransfer::build(&d, 3).unwrap();
+        let poly = PolyTransfer::fit(&d).unwrap();
+        let mut out = Vec::new();
+        lut.predict_batch(&queries, &mut out);
+        for (q, p) in queries.iter().zip(&out) {
+            assert_eq!(*p, lut.predict(*q));
+        }
+        poly.predict_batch(&queries, &mut out);
+        for (q, p) in queries.iter().zip(&out) {
+            assert_eq!(*p, poly.predict(*q));
+        }
     }
 
     #[test]

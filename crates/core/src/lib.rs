@@ -21,6 +21,12 @@
 //!   removal and transition cancellation (Sec. III).
 //! * [`predict_nor`] — the multi-input decision procedure reducing a NOR
 //!   gate to per-input single-input predictions.
+//! * [`plan_nor`]/[`NorPlan`]/[`apply_nor`] — the plan → apply split of
+//!   Algorithm 1: planning resolves the relevant input transitions, the
+//!   query/apply loop lets a level-scheduled simulator batch the pending
+//!   queries of many gates through one
+//!   [`TransferFunction::predict_batch`] call per model (bit-identical to
+//!   the scalar loop; see `DESIGN.md` § Levelized batched engine).
 //!
 //! # Example
 //!
@@ -59,7 +65,10 @@ mod baselines;
 mod region;
 mod transfer;
 
-pub use algorithm::{predict_nor, predict_single_input, GateModel, TomOptions};
+pub use algorithm::{
+    apply_nor, plan_nor, plan_single_input, predict_nor, predict_single_input, GateModel, NorPlan,
+    TomOptions,
+};
 pub use ann::{AnnTrainConfig, AnnTransfer, TrainTransferError};
 pub use baselines::{LutTransfer, PolyTransfer};
 pub use region::ValidRegion;

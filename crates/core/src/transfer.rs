@@ -58,6 +58,22 @@ pub trait TransferFunction {
     /// query already clamped to the trained domain.
     fn predict(&self, query: TransferQuery) -> TransferPrediction;
 
+    /// Predicts a batch of independent queries, overwriting `out` with one
+    /// prediction per query (same order).
+    ///
+    /// The default implementation is the scalar loop, so external
+    /// implementations keep compiling unchanged. Backends with a cheaper
+    /// batch form (one matrix pass per MLP layer for [`crate::AnnTransfer`],
+    /// scratch reuse for [`crate::LutTransfer`]) override it; every
+    /// override must stay bit-identical to the scalar loop per query — the
+    /// levelized simulator's determinism guarantee rests on that (see
+    /// `DESIGN.md` § Levelized batched engine).
+    fn predict_batch(&self, queries: &[TransferQuery], out: &mut Vec<TransferPrediction>) {
+        out.clear();
+        out.reserve(queries.len());
+        out.extend(queries.iter().map(|&q| self.predict(q)));
+    }
+
     /// A short human-readable backend name (for reports).
     fn backend_name(&self) -> &'static str;
 }

@@ -7,10 +7,16 @@
 //! that capability from scratch:
 //!
 //! * [`Mlp`] — dense feed-forward network with ReLU hidden layers and a
-//!   linear output, He initialization, forward and backward passes.
+//!   linear output, He initialization, forward and backward passes, plus
+//!   [`Mlp::forward_batch`]: row-major batched inference, one pass per
+//!   layer, bit-identical per row to the scalar pass — the inference form
+//!   the levelized simulator feeds whole circuit levels through (see
+//!   `DESIGN.md` § Levelized batched engine).
 //! * [`AdamOptimizer`] — Adam with the usual bias correction.
 //! * [`Standardizer`] — per-feature mean/std normalization of inputs and
-//!   targets (essential for the picosecond-scale features involved).
+//!   targets (essential for the picosecond-scale features involved), with
+//!   batch-aware forms ([`Standardizer::transform_batch`]/
+//!   [`Standardizer::inverse_batch`]) and [`ScaledModel::predict_batch`].
 //! * [`train`] — a mini-batch training loop with shuffling and optional
 //!   early stopping on a validation split.
 //!

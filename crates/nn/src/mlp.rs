@@ -40,6 +40,25 @@ impl Dense {
             out.push(s);
         }
     }
+
+    /// Batched forward pass over `rows` row-major samples. Per-row
+    /// arithmetic is the exact accumulation order of [`Dense::forward`],
+    /// so results are bit-identical to the scalar pass.
+    fn forward_batch(&self, x: &[f64], rows: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(rows * self.outputs);
+        for r in 0..rows {
+            let xr = &x[r * self.inputs..(r + 1) * self.inputs];
+            for o in 0..self.outputs {
+                let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+                let mut s = self.biases[o];
+                for (w, xi) in row.iter().zip(xr) {
+                    s += w * xi;
+                }
+                out.push(s);
+            }
+        }
+    }
 }
 
 /// A multilayer perceptron: ReLU on all hidden layers, linear output layer —
@@ -175,6 +194,60 @@ impl Mlp {
             std::mem::swap(&mut cur, &mut next);
         }
         cur
+    }
+
+    /// Batched forward pass: `x` is a row-major `n_rows × input_size`
+    /// matrix; `out` is overwritten with the row-major
+    /// `n_rows × output_size` result.
+    ///
+    /// One pass per layer over the whole batch, with two ping-pong scratch
+    /// buffers for the entire call — no per-sample allocation. Each row's
+    /// result is bit-identical to [`Mlp::forward`] on that row, so batched
+    /// and scalar inference are interchangeable (the levelized simulator
+    /// relies on this; see `DESIGN.md` § Levelized batched engine).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use signn::Mlp;
+    /// let mlp = Mlp::paper_architecture(3, 7);
+    /// let rows = [[0.1, 0.2, 0.3], [-1.0, 0.5, 2.0]];
+    /// let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+    /// let mut out = Vec::new();
+    /// mlp.forward_batch(&flat, 2, &mut out);
+    /// assert_eq!(out[0], mlp.forward(&rows[0])[0]);
+    /// assert_eq!(out[1], mlp.forward(&rows[1])[0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not `n_rows * input_size`.
+    pub fn forward_batch(&self, x: &[f64], n_rows: usize, out: &mut Vec<f64>) {
+        assert_eq!(
+            x.len(),
+            n_rows * self.input_size(),
+            "batch size mismatch: {} values for {} rows of {}",
+            x.len(),
+            n_rows,
+            self.input_size()
+        );
+        out.clear();
+        if n_rows == 0 {
+            return;
+        }
+        let n = self.layers.len();
+        let mut cur: Vec<f64> = x.to_vec();
+        let mut next: Vec<f64> = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward_batch(&cur, n_rows, &mut next);
+            if i + 1 < n {
+                for v in &mut next {
+                    *v = v.max(0.0); // ReLU on hidden layers
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        out.extend_from_slice(&cur);
     }
 
     /// Forward + backward pass for one sample under MSE loss
@@ -394,6 +467,45 @@ mod tests {
     fn loss_of(m: &Mlp, x: &[f64], t: &[f64]) -> f64 {
         let y = m.forward(x);
         y.iter().zip(t).map(|(y, t)| (y - t) * (y - t)).sum::<f64>() / t.len() as f64
+    }
+
+    #[test]
+    fn forward_batch_bit_identical_to_scalar() {
+        let mlp = Mlp::new(&[3, 10, 10, 5, 2], 17);
+        let rows: Vec<[f64; 3]> = (0..23)
+            .map(|i| {
+                let f = i as f64;
+                [0.3 * f - 2.0, (-0.7f64).powi(i), f.sin() * 5.0]
+            })
+            .collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        mlp.forward_batch(&flat, rows.len(), &mut out);
+        assert_eq!(out.len(), rows.len() * 2);
+        for (r, row) in rows.iter().enumerate() {
+            let scalar = mlp.forward(row);
+            // Bit-identical, not merely close: the batched pass must be a
+            // drop-in replacement on the simulator hot path.
+            assert_eq!(&out[r * 2..r * 2 + 2], &scalar[..], "row {r}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_empty_and_single() {
+        let mlp = Mlp::paper_architecture(3, 3);
+        let mut out = vec![1.0; 4];
+        mlp.forward_batch(&[], 0, &mut out);
+        assert!(out.is_empty());
+        mlp.forward_batch(&[0.5, -0.5, 1.0], 1, &mut out);
+        assert_eq!(out, mlp.forward(&[0.5, -0.5, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn forward_batch_checks_size() {
+        let mlp = Mlp::new(&[2, 2, 1], 0);
+        let mut out = Vec::new();
+        mlp.forward_batch(&[1.0, 2.0, 3.0], 2, &mut out);
     }
 
     #[test]

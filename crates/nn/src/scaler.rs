@@ -99,6 +99,45 @@ impl Standardizer {
             .map(|(v, (m, s))| v * s + m)
             .collect()
     }
+
+    /// Standardizes `n_rows` row-major rows into `out` without per-row
+    /// allocation. Elementwise math is identical to
+    /// [`Standardizer::transform`], so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not `n_rows * dim`.
+    pub fn transform_batch(&self, rows: &[f64], n_rows: usize, out: &mut Vec<f64>) {
+        assert_eq!(rows.len(), n_rows * self.dim(), "batch size mismatch");
+        out.clear();
+        out.reserve(rows.len());
+        for row in rows.chunks_exact(self.dim().max(1)) {
+            out.extend(
+                row.iter()
+                    .zip(self.means.iter().zip(&self.stds))
+                    .map(|(v, (m, s))| (v - m) / s),
+            );
+        }
+    }
+
+    /// Inverts the transform for `n_rows` row-major rows into `out`
+    /// (batch form of [`Standardizer::inverse`], bit-identical per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not `n_rows * dim`.
+    pub fn inverse_batch(&self, rows: &[f64], n_rows: usize, out: &mut Vec<f64>) {
+        assert_eq!(rows.len(), n_rows * self.dim(), "batch size mismatch");
+        out.clear();
+        out.reserve(rows.len());
+        for row in rows.chunks_exact(self.dim().max(1)) {
+            out.extend(
+                row.iter()
+                    .zip(self.means.iter().zip(&self.stds))
+                    .map(|(v, (m, s))| v * s + m),
+            );
+        }
+    }
 }
 
 /// An [`Mlp`] bundled with input/output standardizers: callers work in
@@ -137,6 +176,24 @@ impl ScaledModel {
         let x = self.input_scaler.transform(raw_input);
         let y = self.mlp.forward(&x);
         self.output_scaler.inverse(&y)
+    }
+
+    /// Batched prediction in physical units: `raw_rows` is a row-major
+    /// `n_rows × input_size` matrix; `out` is overwritten with the
+    /// row-major `n_rows × output_size` predictions. Standardization,
+    /// inference and inverse scaling each run as one pass over the batch
+    /// (see [`Mlp::forward_batch`]); every row is bit-identical to
+    /// [`ScaledModel::predict`] on that row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw_rows.len()` is not `n_rows * input_size`.
+    pub fn predict_batch(&self, raw_rows: &[f64], n_rows: usize, out: &mut Vec<f64>) {
+        let mut x = Vec::new();
+        self.input_scaler.transform_batch(raw_rows, n_rows, &mut x);
+        let mut y = Vec::new();
+        self.mlp.forward_batch(&x, n_rows, &mut y);
+        self.output_scaler.inverse_batch(&y, n_rows, out);
     }
 }
 
@@ -194,6 +251,49 @@ mod tests {
         let model = ScaledModel::new(mlp, in_s, out_s);
         let y = model.predict(&[0.5e-3]);
         assert!((y[0] - 0.5).abs() < 0.05, "prediction {}", y[0]);
+    }
+
+    #[test]
+    fn batch_scaling_bit_identical_to_scalar() {
+        let data = vec![
+            vec![1.0, 50.0, -3.0],
+            vec![4.0, -20.0, 9.0],
+            vec![2.5, 0.0, 1.0],
+        ];
+        let s = Standardizer::fit(&data);
+        let rows: Vec<Vec<f64>> = (0..7)
+            .map(|i| vec![i as f64 * 0.7, 100.0 - i as f64, (i as f64).cos()])
+            .collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut fwd = Vec::new();
+        s.transform_batch(&flat, rows.len(), &mut fwd);
+        let mut back = Vec::new();
+        s.inverse_batch(&fwd, rows.len(), &mut back);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(&fwd[r * 3..r * 3 + 3], &s.transform(row)[..], "row {r}");
+            assert_eq!(
+                &back[r * 3..r * 3 + 3],
+                &s.inverse(&s.transform(row))[..],
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_model_predict_batch_bit_identical() {
+        let mlp = Mlp::new(&[2, 6, 1], 5);
+        let model = ScaledModel::new(
+            mlp,
+            Standardizer::fit(&[vec![0.0, -4.0], vec![2.0, 4.0]]),
+            Standardizer::fit(&[vec![-10.0], vec![30.0]]),
+        );
+        let rows = [[0.1, -3.0], [1.9, 3.5], [-7.0, 40.0]];
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        model.predict_batch(&flat, rows.len(), &mut out);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(out[r], model.predict(row)[0], "row {r}");
+        }
     }
 
     proptest! {

@@ -4,6 +4,7 @@
 //! and the sigmoid prototype — with the paper's `t_err` accounting.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use digilog::{simulate as simulate_digital, GateChannels};
@@ -16,7 +17,7 @@ use sigtom::TomOptions;
 use sigwave::metrics::{t_err_digital, Window};
 use sigwave::{DigitalTrace, Level, SigmoidTrace, Waveform};
 
-use crate::simulator::{simulate_sigmoid, GateModels, SigmoidSimError};
+use crate::simulator::{simulate_sigmoid_with, GateModels, SigmoidSimConfig, SigmoidSimError};
 
 /// How the sigmoid simulator's input traces are derived from the analog
 /// reference inputs.
@@ -49,6 +50,9 @@ pub struct HarnessConfig {
     pub tail: f64,
     /// How the sigmoid simulator's inputs are derived.
     pub sigmoid_inputs: SigmoidInputMode,
+    /// Scheduling of the sigmoid simulator (batching/parallelism); traces
+    /// are identical at every setting, only `wall_sigmoid` changes.
+    pub sigmoid_sim: SigmoidSimConfig,
 }
 
 impl Default for HarnessConfig {
@@ -60,6 +64,7 @@ impl Default for HarnessConfig {
             tom: TomOptions::default(),
             tail: 120e-12,
             sigmoid_inputs: SigmoidInputMode::Fitted,
+            sigmoid_sim: SigmoidSimConfig::default(),
         }
     }
 }
@@ -254,7 +259,7 @@ pub fn compare_circuit(
 
     // ---- Derive the common inputs -----------------------------------------
     let threshold = config.tom.vdd / 2.0;
-    let mut sigmoid_inputs: HashMap<NetId, SigmoidTrace> = HashMap::new();
+    let mut sigmoid_inputs: HashMap<NetId, Arc<SigmoidTrace>> = HashMap::new();
     let mut digital_inputs: HashMap<NetId, DigitalTrace> = HashMap::new();
     for &i in circuit.inputs() {
         let wave = analog_result
@@ -265,7 +270,7 @@ pub fn compare_circuit(
             SigmoidInputMode::Fitted => fit_waveform(wave, &config.fit)?.trace,
             SigmoidInputMode::SameAsDigital => digital_to_sigmoid(&digitized, config.tom.vdd),
         };
-        sigmoid_inputs.insert(i, sigmoid);
+        sigmoid_inputs.insert(i, Arc::new(sigmoid));
         digital_inputs.insert(i, digitized);
     }
 
@@ -292,7 +297,13 @@ pub fn compare_circuit(
 
     // ---- Sigmoid prototype -------------------------------------------------
     let start = Instant::now();
-    let sigmoid_result = simulate_sigmoid(circuit, &sigmoid_inputs, models, config.tom)?;
+    let sigmoid_result = simulate_sigmoid_with(
+        circuit,
+        &sigmoid_inputs,
+        models,
+        config.tom,
+        &config.sigmoid_sim,
+    )?;
     let wall_sigmoid = start.elapsed();
 
     // ---- t_err accounting ---------------------------------------------------

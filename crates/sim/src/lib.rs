@@ -7,7 +7,12 @@
 //!
 //! * [`simulate_sigmoid`] — the prototype simulator: NOR-only circuits,
 //!   sigmoid traces in, sigmoid traces out, with separate models for
-//!   inverters, fan-out-1 and fan-out-≥2 NOR gates (Sec. V-A).
+//!   inverters, fan-out-1 and fan-out-≥2 NOR gates (Sec. V-A). The engine
+//!   is levelized: gates are scheduled per ASAP level, their queries
+//!   batched per model and fanned over the worker pool
+//!   ([`simulate_sigmoid_with`] + [`SigmoidSimConfig`]; results are
+//!   bit-identical at every setting — see `DESIGN.md` § Levelized batched
+//!   engine).
 //! * [`train_models`]/[`train_models_cached`] — the end-to-end pipeline:
 //!   analog characterization sweeps → waveform fitting → four ANNs per
 //!   gate variant → valid regions.
@@ -48,8 +53,9 @@
 //!
 //! let models = GateModels::uniform(GateModel::new(Arc::new(Fixed)));
 //! let mut stimuli = HashMap::new();
-//! stimuli.insert(a, SigmoidTrace::from_transitions(
-//!     Level::Low, vec![Sigmoid::rising(12.0, 1.0)], VDD_DEFAULT)?);
+//! // Stimuli are shared by reference (`Arc`), never cloned per run.
+//! stimuli.insert(a, Arc::new(SigmoidTrace::from_transitions(
+//!     Level::Low, vec![Sigmoid::rising(12.0, 1.0)], VDD_DEFAULT)?));
 //! let result = simulate_sigmoid(&circuit, &stimuli, &models, TomOptions::default())?;
 //! assert_eq!(result.trace(y).len(), 1);
 //! # Ok(())
@@ -70,5 +76,8 @@ pub use harness::{
     MonteCarloConfig, SigmoidInputMode, TraceBundle, SAME_STIMULUS_SLOPE,
 };
 pub use models::{train_models, train_models_cached, PipelineConfig, PipelineError, TrainedModels};
-pub use simulator::{simulate_sigmoid, GateModels, SigmoidSimError, SigmoidSimResult};
+pub use simulator::{
+    simulate_sigmoid, simulate_sigmoid_with, GateModels, SigmoidSimConfig, SigmoidSimError,
+    SigmoidSimResult, MODEL_SLOTS,
+};
 pub use stimulus::StimulusSpec;

@@ -1,10 +1,22 @@
-//! The prototype sigmoidal circuit simulator (Sec. V-A): topological
+//! The prototype sigmoidal circuit simulator (Sec. V-A): levelized
 //! evaluation of NOR-only circuits with per-variant TOM gate models.
+//!
+//! The engine schedules the circuit level by level
+//! ([`Circuit::levels`]): all gates within one ASAP level are independent,
+//! so their pending transfer-function queries are grouped by
+//! [`GateModels`] slot and evaluated as one [`predict_batch`] call per
+//! (model, round), and the per-gate plan/apply work fans out over the
+//! `sigwave::parallel` worker pool. Both knobs live in
+//! [`SigmoidSimConfig`]; every setting produces bit-identical traces (see
+//! `DESIGN.md` § Levelized batched engine).
+//!
+//! [`predict_batch`]: sigtom::GateModel::predict_batch
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sigcircuit::{Circuit, GateKind, NetId};
-use sigtom::{predict_nor, GateModel, TomOptions};
+use sigtom::{plan_nor, predict_nor, GateModel, NorPlan, TomOptions, TransferQuery};
 use sigwave::{Level, SigmoidTrace};
 
 /// The trained gate models the prototype uses: "all elementary gates of the
@@ -24,16 +36,42 @@ pub struct GateModels {
     pub nor_fo2: GateModel,
 }
 
+/// Number of model slots in [`GateModels`].
+pub const MODEL_SLOTS: usize = 4;
+
 impl GateModels {
+    /// The slot index a gate of the given arity and fan-out resolves to —
+    /// the grouping key the levelized engine batches queries by.
+    #[must_use]
+    pub fn slot_index(arity: usize, fanout: usize) -> usize {
+        match (arity, fanout) {
+            (1, 0..=1) => 0,
+            (1, _) => 1,
+            (_, 0..=1) => 2,
+            _ => 3,
+        }
+    }
+
+    /// The model in a slot (see [`GateModels::slot_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= MODEL_SLOTS`.
+    #[must_use]
+    pub fn by_slot(&self, slot: usize) -> &GateModel {
+        match slot {
+            0 => &self.inverter,
+            1 => &self.inverter_fo2,
+            2 => &self.nor_fo1,
+            3 => &self.nor_fo2,
+            _ => panic!("slot {slot} out of range"),
+        }
+    }
+
     /// Selects the model for a gate of the given arity and fan-out.
     #[must_use]
     pub fn select(&self, arity: usize, fanout: usize) -> &GateModel {
-        match (arity, fanout) {
-            (1, 0..=1) => &self.inverter,
-            (1, _) => &self.inverter_fo2,
-            (_, 0..=1) => &self.nor_fo1,
-            _ => &self.nor_fo2,
-        }
+        self.by_slot(Self::slot_index(arity, fanout))
     }
 
     /// Clones one model into all four slots (useful for tests and
@@ -48,6 +86,54 @@ impl GateModels {
         }
     }
 }
+
+/// Scheduling knobs of the levelized simulator. Every setting produces
+/// bit-identical traces; the knobs trade scheduling overhead against
+/// batching and multi-core throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigmoidSimConfig {
+    /// Worker threads for the per-level fan-out (`0` = auto-detect the
+    /// hardware parallelism, `1` = everything on the calling thread).
+    /// Small levels stay sequential regardless — the pool only engages
+    /// when a level has enough gates (or a batch enough rows) to amortize
+    /// the fan-out.
+    pub parallelism: usize,
+    /// `true`: group each level's pending queries by model slot and issue
+    /// one [`GateModel::predict_batch`] per (model, round). `false`:
+    /// evaluate each gate's plan with scalar predictions — together with
+    /// `parallelism: 1` this recovers the pre-levelization scalar path.
+    pub batch: bool,
+}
+
+impl Default for SigmoidSimConfig {
+    fn default() -> Self {
+        Self {
+            parallelism: sigwave::parallel::available_parallelism(),
+            batch: true,
+        }
+    }
+}
+
+impl SigmoidSimConfig {
+    /// The sequential scalar reference configuration: no batching, no
+    /// worker pool — the baseline every other setting must match
+    /// bit-for-bit.
+    #[must_use]
+    pub fn scalar() -> Self {
+        Self {
+            parallelism: 1,
+            batch: false,
+        }
+    }
+}
+
+/// Minimum gates in a level before per-gate work fans out to the pool
+/// (below this, thread-scope setup costs more than it saves).
+const PAR_MIN_GATES: usize = 8;
+
+/// Minimum queries per worker before a batched inference call is chunked
+/// across the pool.
+const PAR_MIN_BATCH_ROWS: usize = 32;
 
 /// Error from the sigmoid circuit simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,9 +167,16 @@ impl std::fmt::Display for SigmoidSimError {
 impl std::error::Error for SigmoidSimError {}
 
 /// Result of a sigmoid circuit simulation: one sigmoidal trace per net.
+///
+/// Traces are reference-counted: primary-input slots share the caller's
+/// stimulus traces instead of cloning them, and nets that no gate drives
+/// (possible only in circuits bypassing [`sigcircuit::CircuitBuilder`]
+/// validation, e.g. deserialized ones) share a single constant-Low filler
+/// trace and are reported by [`SigmoidSimResult::undriven`].
 #[derive(Debug, Clone)]
 pub struct SigmoidSimResult {
-    traces: Vec<SigmoidTrace>,
+    traces: Vec<Arc<SigmoidTrace>>,
+    undriven: Vec<NetId>,
 }
 
 impl SigmoidSimResult {
@@ -95,13 +188,30 @@ impl SigmoidSimResult {
 
     /// All traces, indexed by [`NetId`].
     #[must_use]
-    pub fn traces(&self) -> &[SigmoidTrace] {
+    pub fn traces(&self) -> &[Arc<SigmoidTrace>] {
         &self.traces
+    }
+
+    /// Nets that neither a stimulus nor any gate drives (ascending). Their
+    /// [`SigmoidSimResult::trace`] is a fabricated constant-Low — check
+    /// here before trusting it.
+    #[must_use]
+    pub fn undriven(&self) -> &[NetId] {
+        &self.undriven
+    }
+
+    /// Whether a net's trace is fabricated (see
+    /// [`SigmoidSimResult::undriven`]).
+    #[must_use]
+    pub fn is_undriven(&self, net: NetId) -> bool {
+        self.undriven.binary_search(&net).is_ok()
     }
 }
 
-/// Simulates a NOR-only circuit: input sigmoid traces propagate gate by
-/// gate in topological order through the TOM transfer functions.
+/// Simulates a NOR-only circuit with the default scheduling
+/// ([`SigmoidSimConfig::default`]: batched, auto parallelism). See
+/// [`simulate_sigmoid_with`] for the knobs; results are identical at any
+/// setting.
 ///
 /// # Errors
 ///
@@ -109,52 +219,223 @@ impl SigmoidSimResult {
 /// (only NOR with 1–3 inputs is accepted).
 pub fn simulate_sigmoid(
     circuit: &Circuit,
-    stimuli: &HashMap<NetId, SigmoidTrace>,
+    stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
     models: &GateModels,
     options: TomOptions,
 ) -> Result<SigmoidSimResult, SigmoidSimError> {
+    simulate_sigmoid_with(
+        circuit,
+        stimuli,
+        models,
+        options,
+        &SigmoidSimConfig::default(),
+    )
+}
+
+/// Simulates a NOR-only circuit: input sigmoid traces propagate level by
+/// level ([`Circuit::levels`]) through the TOM transfer functions.
+///
+/// Within a level every gate is independent, so the engine plans all of
+/// them ([`sigtom::plan_nor`]), then repeatedly gathers each plan's next
+/// pending query, groups the queries by [`GateModels`] slot, and issues
+/// one [`GateModel::predict_batch`] per (model, round) — with the
+/// plan/apply work and large inference batches fanned over the
+/// `sigwave::parallel` pool per `config`. Traces are bit-identical at
+/// every `config` setting, including the sequential scalar reference
+/// ([`SigmoidSimConfig::scalar`]).
+///
+/// # Errors
+///
+/// Returns [`SigmoidSimError`] on missing stimuli or unsupported gates
+/// (only NOR with 1–3 inputs is accepted).
+pub fn simulate_sigmoid_with(
+    circuit: &Circuit,
+    stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
+    models: &GateModels,
+    options: TomOptions,
+    config: &SigmoidSimConfig,
+) -> Result<SigmoidSimResult, SigmoidSimError> {
+    // Resolve the auto setting once: `available_parallelism` is a syscall
+    // and the engine consults the worker count per level and per round.
+    let parallelism = sigwave::parallel::resolve_parallelism(config.parallelism);
     let fanouts = circuit.fanout_counts();
-    let mut traces: Vec<Option<SigmoidTrace>> = vec![None; circuit.net_count()];
+    let mut slots: Vec<Option<Arc<SigmoidTrace>>> = vec![None; circuit.net_count()];
     for &input in circuit.inputs() {
         let t = stimuli
             .get(&input)
             .ok_or_else(|| SigmoidSimError::MissingStimulus {
                 net: circuit.net_name(input).to_string(),
             })?;
-        traces[input.0] = Some(t.clone());
+        slots[input.0] = Some(Arc::clone(t));
     }
     for &gi in circuit.topological_gates() {
         let gate = &circuit.gates()[gi];
-        if gate.kind != GateKind::Nor || gate.inputs.len() > 3 {
+        if gate.kind != GateKind::Nor || !(1..=3).contains(&gate.inputs.len()) {
             return Err(SigmoidSimError::UnsupportedGate {
                 kind: gate.kind,
                 arity: gate.inputs.len(),
             });
         }
-        let ins: Vec<&SigmoidTrace> = gate
-            .inputs
-            .iter()
-            .map(|i| traces[i.0].as_ref().expect("topological order"))
-            .collect();
-        let model = models.select(gate.inputs.len(), fanouts[gate.output.0]);
-        let out = predict_nor(model, &ins, options);
-        traces[gate.output.0] = Some(out);
     }
-    Ok(SigmoidSimResult {
-        traces: traces
-            .into_iter()
-            .map(|t| t.unwrap_or_else(|| SigmoidTrace::constant(Level::Low, options.vdd)))
-            .collect(),
-    })
+
+    // Reusable per-level scratch.
+    let mut queries: Vec<TransferQuery> = Vec::new();
+    let mut predictions = Vec::new();
+    let mut round: Vec<usize> = Vec::new();
+
+    for level in circuit.levels() {
+        // Small levels run on the calling thread: the scoped-pool setup
+        // would dwarf a handful of gate predictions.
+        let level_parallelism = if level.len() >= PAR_MIN_GATES {
+            parallelism
+        } else {
+            1
+        };
+        if config.batch {
+            // Plan every gate of the level (model-independent, fans out).
+            let mut plans: Vec<(usize, NetId, NorPlan)> =
+                sigwave::parallel::par_map(level_parallelism, level, |_, &gi| {
+                    let gate = &circuit.gates()[gi];
+                    let ins: Vec<&SigmoidTrace> = gate
+                        .inputs
+                        .iter()
+                        .map(|i| slots[i.0].as_deref().expect("level order"))
+                        .collect();
+                    let slot = GateModels::slot_index(gate.inputs.len(), fanouts[gate.output.0]);
+                    (slot, gate.output, plan_nor(&ins, options))
+                });
+            // Group the still-pending plans by model slot, then evaluate
+            // in rounds: one batched inference per (model, round),
+            // scattered back to the plans; exhausted plans drop out of
+            // their slot's list so each is polled exactly once per query.
+            // Each plan's own query sequence is untouched by the
+            // interleaving, so traces match the scalar path bit for bit.
+            let mut pending: [Vec<usize>; MODEL_SLOTS] = Default::default();
+            for (pi, (slot, _, plan)) in plans.iter().enumerate() {
+                if plan.pending() > 0 {
+                    pending[*slot].push(pi);
+                }
+            }
+            loop {
+                let mut progressed = false;
+                for (slot, member) in pending.iter_mut().enumerate() {
+                    if member.is_empty() {
+                        continue;
+                    }
+                    progressed = true;
+                    queries.clear();
+                    for &pi in member.iter() {
+                        queries.push(plans[pi].2.next_query().expect("pending plan"));
+                    }
+                    predict_chunked(
+                        models.by_slot(slot),
+                        &mut queries,
+                        &mut predictions,
+                        parallelism,
+                    );
+                    round.clear();
+                    std::mem::swap(member, &mut round);
+                    for (&pi, &p) in round.iter().zip(&predictions) {
+                        plans[pi].2.apply(p);
+                        if plans[pi].2.pending() > 0 {
+                            member.push(pi);
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            // Finalize after the plans (which borrow the input slots) are
+            // consumed, then publish the level's outputs.
+            let finished: Vec<(NetId, SigmoidTrace)> = plans
+                .into_iter()
+                .map(|(_, output, plan)| (output, plan.into_trace()))
+                .collect();
+            for (output, trace) in finished {
+                slots[output.0] = Some(Arc::new(trace));
+            }
+        } else {
+            // Scalar mode: per-gate one-shot predictions, optionally
+            // fanned over the pool (gates within a level are independent).
+            let outs: Vec<(NetId, SigmoidTrace)> =
+                sigwave::parallel::par_map(level_parallelism, level, |_, &gi| {
+                    let gate = &circuit.gates()[gi];
+                    let ins: Vec<&SigmoidTrace> = gate
+                        .inputs
+                        .iter()
+                        .map(|i| slots[i.0].as_deref().expect("level order"))
+                        .collect();
+                    let model = models.select(gate.inputs.len(), fanouts[gate.output.0]);
+                    (gate.output, predict_nor(model, &ins, options))
+                });
+            for (output, trace) in outs {
+                slots[output.0] = Some(Arc::new(trace));
+            }
+        }
+    }
+
+    let mut undriven = Vec::new();
+    let mut filler: Option<Arc<SigmoidTrace>> = None;
+    let traces = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            Some(t) => t,
+            None => {
+                undriven.push(NetId(i));
+                Arc::clone(filler.get_or_insert_with(|| {
+                    Arc::new(SigmoidTrace::constant(Level::Low, options.vdd))
+                }))
+            }
+        })
+        .collect();
+    Ok(SigmoidSimResult { traces, undriven })
+}
+
+/// One batched model evaluation: queries are clamped/projected in place
+/// (the round buffer doubles as the scratch — no allocation per call),
+/// then inference is chunked across the worker pool when the batch is
+/// large enough to amortize the fan-out. Chunking only regroups rows;
+/// every row's arithmetic is unchanged, so results are identical to the
+/// single-call form. `workers` must already be resolved (`>= 1`).
+fn predict_chunked(
+    model: &GateModel,
+    queries: &mut [TransferQuery],
+    out: &mut Vec<sigtom::TransferPrediction>,
+    workers: usize,
+) {
+    model.prepare_batch(queries);
+    if workers <= 1 || queries.len() < 2 * PAR_MIN_BATCH_ROWS {
+        model.transfer.predict_batch(queries, out);
+        return;
+    }
+    let queries: &[TransferQuery] = queries;
+    let chunk = queries.len().div_ceil(workers).max(PAR_MIN_BATCH_ROWS);
+    let ranges: Vec<std::ops::Range<usize>> = (0..queries.len())
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(queries.len()))
+        .collect();
+    let parts = sigwave::parallel::par_map(workers, &ranges, |_, range| {
+        let mut part = Vec::with_capacity(range.len());
+        model
+            .transfer
+            .predict_batch(&queries[range.clone()], &mut part);
+        part
+    });
+    out.clear();
+    out.reserve(queries.len());
+    for part in parts {
+        out.extend(part);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sigcircuit::CircuitBuilder;
-    use sigtom::{TransferFunction, TransferPrediction, TransferQuery};
+    use sigtom::{TransferFunction, TransferPrediction};
     use sigwave::{Sigmoid, VDD_DEFAULT};
-    use std::sync::Arc;
 
     struct Fixed(f64);
     impl TransferFunction for Fixed {
@@ -178,9 +459,19 @@ mod tests {
         }
     }
 
-    fn rising_input() -> SigmoidTrace {
-        SigmoidTrace::from_transitions(Level::Low, vec![Sigmoid::rising(12.0, 1.0)], VDD_DEFAULT)
-            .unwrap()
+    fn rising_input() -> Arc<SigmoidTrace> {
+        Arc::new(
+            SigmoidTrace::from_transitions(
+                Level::Low,
+                vec![Sigmoid::rising(12.0, 1.0)],
+                VDD_DEFAULT,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn constant(level: Level) -> Arc<SigmoidTrace> {
+        Arc::new(SigmoidTrace::constant(level, VDD_DEFAULT))
     }
 
     #[test]
@@ -200,6 +491,7 @@ mod tests {
         assert!((out.transitions()[0].b - 1.10).abs() < 1e-9);
         assert!(out.transitions()[0].is_rising());
         assert_eq!(out.initial(), Level::Low);
+        assert!(res.undriven().is_empty());
     }
 
     #[test]
@@ -216,7 +508,7 @@ mod tests {
         let c = b.build().unwrap();
         let mut stim = HashMap::new();
         stim.insert(a, rising_input());
-        stim.insert(z, SigmoidTrace::constant(Level::Low, VDD_DEFAULT));
+        stim.insert(z, constant(Level::Low));
         let res =
             simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default()).unwrap();
         // n1 falls at 1.0 + 0.2 (FO2 model).
@@ -265,7 +557,7 @@ mod tests {
             let t = if i == 2 {
                 rising_input()
             } else {
-                SigmoidTrace::constant(Level::Low, VDD_DEFAULT)
+                constant(Level::Low)
             };
             stim.insert(input, t);
         }
@@ -283,5 +575,203 @@ mod tests {
                 c.net_name(*o)
             );
         }
+    }
+
+    #[test]
+    fn input_traces_are_shared_not_cloned() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let n1 = b.add_gate(GateKind::Nor, &[a], "n1");
+        b.mark_output(n1);
+        let c = b.build().unwrap();
+        let stimulus = rising_input();
+        let mut stim = HashMap::new();
+        stim.insert(a, Arc::clone(&stimulus));
+        let res =
+            simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default()).unwrap();
+        // The result's input slot is the same allocation as the stimulus.
+        assert!(Arc::ptr_eq(&res.traces()[a.0], &stimulus));
+    }
+
+    #[test]
+    fn all_configs_bit_identical_on_c17() {
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        let c = &bench.nor_mapped;
+        let mut stim = HashMap::new();
+        for (i, &input) in c.inputs().iter().enumerate() {
+            let t = if i % 2 == 0 {
+                Arc::new(
+                    SigmoidTrace::from_transitions(
+                        Level::Low,
+                        vec![
+                            Sigmoid::rising(12.0, 1.0 + 0.3 * i as f64),
+                            Sigmoid::falling(9.0, 2.0 + 0.4 * i as f64),
+                            Sigmoid::rising(15.0, 4.0 + 0.2 * i as f64),
+                        ],
+                        VDD_DEFAULT,
+                    )
+                    .unwrap(),
+                )
+            } else {
+                constant(Level::Low)
+            };
+            stim.insert(input, t);
+        }
+        let m = models(0.05, 0.08, 0.12);
+        let opts = TomOptions::default();
+        let reference =
+            simulate_sigmoid_with(c, &stim, &m, opts, &SigmoidSimConfig::scalar()).unwrap();
+        for config in [
+            SigmoidSimConfig {
+                parallelism: 1,
+                batch: true,
+            },
+            SigmoidSimConfig {
+                parallelism: 4,
+                batch: true,
+            },
+            SigmoidSimConfig {
+                parallelism: 4,
+                batch: false,
+            },
+            SigmoidSimConfig {
+                parallelism: 0,
+                batch: true,
+            },
+        ] {
+            let got = simulate_sigmoid_with(c, &stim, &m, opts, &config).unwrap();
+            for net in 0..c.net_count() {
+                assert_eq!(
+                    got.trace(NetId(net)),
+                    reference.trace(NetId(net)),
+                    "net {net} differs under {config:?}"
+                );
+            }
+        }
+    }
+
+    /// A transfer with history (`T`) and slope dependence so interleaving
+    /// bugs would actually change the numbers.
+    struct HistoryTransfer;
+    impl TransferFunction for HistoryTransfer {
+        fn predict(&self, q: TransferQuery) -> TransferPrediction {
+            let degradation = 1.0 - (-q.t / 0.25).exp();
+            TransferPrediction {
+                a_out: -q.a_in.signum() * (10.0 + 0.2 * q.a_prev_out.abs()) * degradation.max(0.04),
+                delay: 0.05 + 0.01 * (-q.t / 0.4).exp() + 0.3 / q.a_in.abs().max(1.0),
+            }
+        }
+        fn backend_name(&self) -> &'static str {
+            "history"
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn batched_and_parallel_match_scalar_on_random_dags(seed in 0u64..u64::MAX) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+            // Random NOR-only DAG: 1–4 primary inputs, up to 14 gates of
+            // arity 1–3 reading any earlier net (so fan-outs of 0, 1 and
+            // ≥ 2 all occur and exercise every model slot).
+            let mut b = CircuitBuilder::new();
+            let n_inputs = rng.gen_range(1..5usize);
+            let mut nets: Vec<NetId> =
+                (0..n_inputs).map(|i| b.add_input(&format!("i{i}"))).collect();
+            let n_gates = rng.gen_range(1..15usize);
+            for g in 0..n_gates {
+                let arity = rng.gen_range(1..4usize);
+                let mut ins: Vec<NetId> = Vec::new();
+                for _ in 0..arity {
+                    let pick = nets[rng.gen_range(0..nets.len())];
+                    if !ins.contains(&pick) {
+                        ins.push(pick);
+                    }
+                }
+                let out = b.add_gate(GateKind::Nor, &ins, &format!("g{g}"));
+                nets.push(out);
+            }
+            b.mark_output(*nets.last().expect("at least one net"));
+            let c = b.build().expect("random DAG is valid");
+
+            // Random stimuli: 0–5 alternating transitions per input with
+            // random slopes, spacings and initial levels.
+            let mut stim = HashMap::new();
+            for &input in c.inputs() {
+                let initial = if rng.gen::<bool>() { Level::High } else { Level::Low };
+                let mut rising = !initial.is_high();
+                let mut t = 0.0;
+                let mut transitions = Vec::new();
+                for _ in 0..rng.gen_range(0..6usize) {
+                    t += rng.gen_range(0.03..1.5f64);
+                    let a = rng.gen_range(5.0..25.0f64);
+                    transitions.push(if rising {
+                        Sigmoid::rising(a, t)
+                    } else {
+                        Sigmoid::falling(a, t)
+                    });
+                    rising = !rising;
+                }
+                let trace =
+                    SigmoidTrace::from_transitions(initial, transitions, VDD_DEFAULT).unwrap();
+                stim.insert(input, Arc::new(trace));
+            }
+
+            // Distinct per-slot models so a slot mix-up changes results.
+            let m = GateModels {
+                inverter: GateModel::new(Arc::new(HistoryTransfer)),
+                inverter_fo2: GateModel::new(Arc::new(Fixed(0.09))),
+                nor_fo1: GateModel::new(Arc::new(HistoryTransfer)),
+                nor_fo2: GateModel::new(Arc::new(Fixed(0.13))),
+            };
+            let opts = TomOptions::default();
+            let reference =
+                simulate_sigmoid_with(&c, &stim, &m, opts, &SigmoidSimConfig::scalar()).unwrap();
+            for config in [
+                SigmoidSimConfig { parallelism: 1, batch: true },
+                SigmoidSimConfig { parallelism: 3, batch: true },
+                SigmoidSimConfig { parallelism: 3, batch: false },
+            ] {
+                let got = simulate_sigmoid_with(&c, &stim, &m, opts, &config).unwrap();
+                for net in 0..c.net_count() {
+                    proptest::prop_assert_eq!(
+                        got.trace(NetId(net)),
+                        reference.trace(NetId(net)),
+                        "net {} differs under {:?} (seed {})",
+                        net,
+                        config,
+                        seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn undriven_nets_reported() {
+        // Deserialization bypasses CircuitBuilder validation, so a net can
+        // exist that nothing drives; the simulator must say so instead of
+        // silently backfilling.
+        let json = r#"{
+            "net_names": ["a", "y", "ghost"],
+            "inputs": [[0]],
+            "outputs": [[1]],
+            "gates": [{"kind": "Nor", "inputs": [[0]], "output": [1]}],
+            "topo": [0],
+            "levels": [[0]]
+        }"#;
+        let c: Circuit = serde_json::from_str(json).expect("circuit JSON");
+        let ghost = c.find_net("ghost").unwrap();
+        let mut stim = HashMap::new();
+        stim.insert(c.find_net("a").unwrap(), rising_input());
+        let res =
+            simulate_sigmoid(&c, &stim, &models(0.05, 0.1, 0.2), TomOptions::default()).unwrap();
+        assert_eq!(res.undriven(), &[ghost]);
+        assert!(res.is_undriven(ghost));
+        assert!(!res.is_undriven(c.find_net("y").unwrap()));
+        // The fabricated trace is the documented constant-Low filler.
+        assert_eq!(res.trace(ghost).initial(), Level::Low);
+        assert!(res.trace(ghost).is_empty());
     }
 }
