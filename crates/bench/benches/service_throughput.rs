@@ -1,0 +1,187 @@
+//! Service throughput: N concurrent clients × M requests against one
+//! resident [`sigserve::Service`], cold vs warm circuit cache.
+//!
+//! The service runs synthetic (fixed-transfer) models registered
+//! directly in the registry, so the numbers isolate the service layer:
+//! request decode, cache lookup (content hash vs `.bench` parse +
+//! validation + NOR mapping + fan-out limiting + levelization),
+//! scheduling, and the levelized sigmoid engine itself.
+//!
+//! Requests send the **original** (multi-kind) c1355 netlist inline, so
+//! a cache miss pays the full build pipeline — exactly what a fleet
+//! client replaying the same netlist would otherwise pay per request.
+//! Two stimulus regimes bracket the win:
+//!
+//! * `settle` (0 transitions, a boolean settle/structure query): request
+//!   cost is almost entirely circuit building, so `warm_cache` must run
+//!   ≥ 5× faster than `cold_cache` — the repeated-circuit headline.
+//! * `active` (1 transition per input): simulation work grows with
+//!   stimulus activity and the cache win shrinks toward ~2×; both rows
+//!   together show where the cache matters and where the engine does.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sigserve::protocol::{CircuitSource, Request, SimRequest};
+use sigserve::{ModelSet, Service, ServiceConfig};
+use sigtom::{GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery};
+
+struct Fixed;
+impl TransferFunction for Fixed {
+    fn predict(&self, q: TransferQuery) -> TransferPrediction {
+        TransferPrediction {
+            a_out: -q.a_in.signum() * 14.0,
+            delay: 0.05,
+        }
+    }
+    fn backend_name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+fn bench_service(workers: usize) -> Arc<Service> {
+    let service = Service::new(ServiceConfig {
+        workers,
+        queue_capacity: 512,
+        cache_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    service.registry().insert(ModelSet {
+        name: "bench".to_string(),
+        trained: None,
+        models: Arc::new(sigsim::GateModels::uniform(GateModel::new(Arc::new(Fixed)))),
+        delays: sigserve::registry::DelaySource::none(),
+        options: TomOptions::default(),
+    });
+    service
+}
+
+/// The original (multi-kind) netlist text: the realistic client payload,
+/// NOR-mapped and fan-out-limited by the service on a cache miss.
+fn bench_text(name: &str) -> String {
+    sigcircuit::to_bench(
+        &sigcircuit::Benchmark::by_name(name)
+            .expect("benchmark")
+            .original,
+    )
+}
+
+fn request(text: String, seed: u64, transitions: usize) -> SimRequest {
+    SimRequest {
+        circuit: CircuitSource::Inline(text),
+        models: "bench".to_string(),
+        seed,
+        mu: 60e-12,
+        sigma: 25e-12,
+        transitions,
+        compare: false,
+        timing: false,
+    }
+}
+
+/// Cold vs warm: the same c1355 request, but the cold variant prepends a
+/// unique comment line per call so every content hash misses and the
+/// full build pipeline runs again.
+fn bench_cache_temperature(c: &mut Criterion) {
+    let service = bench_service(1);
+    let text = bench_text("c1355");
+    let mut group = c.benchmark_group("service_throughput/c1355");
+    group.sample_size(10);
+
+    for (label, transitions) in [("settle", 0usize), ("active", 1)] {
+        let unique = Cell::new(0u64);
+        group.bench_function(format!("cold_cache_{label}"), |b| {
+            b.iter(|| {
+                unique.set(unique.get() + 1);
+                let tagged = format!("# cold {}\n{}", unique.get(), text);
+                let result = service
+                    .execute_sim(&request(tagged, 7, transitions))
+                    .expect("cold request");
+                black_box(result.outputs.len())
+            });
+        });
+
+        // One priming call, then every iteration hits.
+        service
+            .execute_sim(&request(text.clone(), 7, transitions))
+            .expect("prime");
+        group.bench_function(format!("warm_cache_{label}"), |b| {
+            b.iter(|| {
+                let result = service
+                    .execute_sim(&request(text.clone(), 7, transitions))
+                    .expect("warm request");
+                black_box(result.outputs.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Full scheduling path: N clients push M requests each through
+/// `handle_request` (bounded queue + worker pool) and wait for all
+/// responses — the daemon's hot loop without the socket.
+fn bench_concurrent_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput/clients");
+    group.sample_size(10);
+    for clients in [1usize, 4] {
+        let service = bench_service(0);
+        // Warm the cache with the three benchmark circuits.
+        let texts: Vec<String> = ["c17", "c499", "c1355"]
+            .map(bench_text)
+            .into_iter()
+            .collect();
+        for t in &texts {
+            service
+                .execute_sim(&request(t.clone(), 1, 1))
+                .expect("warm");
+        }
+        group.bench_function(format!("{clients}x6_requests_warm"), |b| {
+            b.iter(|| {
+                let pending = Arc::new((Mutex::new(0usize), Condvar::new()));
+                let completed = Arc::new(AtomicU64::new(0));
+                std::thread::scope(|scope| {
+                    for client in 0..clients {
+                        let service = Arc::clone(&service);
+                        let texts = texts.clone();
+                        let pending = Arc::clone(&pending);
+                        let completed = Arc::clone(&completed);
+                        scope.spawn(move || {
+                            for (i, text) in texts.iter().cycle().take(6).enumerate() {
+                                {
+                                    let (count, _) = &*pending;
+                                    *count.lock().expect("count") += 1;
+                                }
+                                let pending = Arc::clone(&pending);
+                                let completed = Arc::clone(&completed);
+                                service.handle_request(
+                                    Request::Sim {
+                                        id: (client * 100 + i) as u64,
+                                        sim: request(text.clone(), i as u64, 1),
+                                    },
+                                    move |_response| {
+                                        completed.fetch_add(1, Ordering::Relaxed);
+                                        let (count, cv) = &*pending;
+                                        *count.lock().expect("count") -= 1;
+                                        cv.notify_all();
+                                    },
+                                );
+                            }
+                        });
+                    }
+                });
+                let (count, cv) = &*pending;
+                let mut count = count.lock().expect("count");
+                while *count > 0 {
+                    count = cv.wait(count).expect("count");
+                }
+                black_box(completed.load(Ordering::Relaxed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_temperature, bench_concurrent_clients);
+criterion_main!(benches);

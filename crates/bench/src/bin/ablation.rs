@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nanospice::EngineConfig;
-use sigbench::{load_models, results_dir, write_csv, Args};
+use sigbench::{load_models, results_dir_from, write_csv, Args};
 use sigchar::{AnalogOptions, DelayTable, GateTag};
 use sigcircuit::Benchmark;
 use sigsim::{
@@ -156,7 +156,7 @@ fn main() {
         ]);
     }
     write_csv(
-        &results_dir().join("ablation.csv"),
+        &results_dir_from(&args).join("ablation.csv"),
         &[
             "variant_index",
             "t_err_sigmoid_ps",

@@ -6,17 +6,18 @@
 //! `t_s, vin_analog, vin_fit, vout_analog, vout_fit` and the fitted
 //! parameters on stdout.
 //!
-//! Usage: `cargo run --release -p sigbench --bin fig1`
+//! Usage: `cargo run --release -p sigbench --bin fig1 -- [--out results]`
 
 use std::collections::HashMap;
 
 use nanospice::{Engine, Pwl, Stimulus};
-use sigbench::{results_dir, write_csv};
+use sigbench::{results_dir_from, write_csv, Args};
 use sigchar::{build_analog, AnalogOptions, ChainGate, CharChain, PulseSpec};
 use sigfit::{fit_waveform, FitOptions};
 use sigwave::Level;
 
 fn main() {
+    let args = Args::parse();
     // An inverter driven by a realistic (pulse-shaped) double transition —
     // the Fig. 1 setup: input rise/fall, output fall/rise.
     let chain = CharChain::new(ChainGate::Inverter, 1, 1);
@@ -73,7 +74,7 @@ fn main() {
         })
         .collect();
     write_csv(
-        &results_dir().join("fig1.csv"),
+        &results_dir_from(&args).join("fig1.csv"),
         &["t_s", "vin_analog", "vin_fit", "vout_analog", "vout_fit"],
         &rows,
     );

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use nanospice::{Engine, Pwl, Stimulus};
-use sigbench::{results_dir, write_csv, Args};
+use sigbench::{results_dir_from, write_csv, Args};
 use sigchar::{build_analog, AnalogOptions, ChainGate, CharChain, PulseSpec};
 use sigwave::Level;
 
@@ -53,7 +53,7 @@ fn main() {
         })
         .collect();
     write_csv(
-        &results_dir().join("fig4.csv"),
+        &results_dir_from(&args).join("fig4.csv"),
         &["t_s", "v_heaviside", "v_shaped"],
         &rows,
     );

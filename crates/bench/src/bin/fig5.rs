@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nanospice::EngineConfig;
-use sigbench::{load_models, results_dir, write_csv, Args};
+use sigbench::{load_models, results_dir_from, write_csv, Args};
 use sigchar::{AnalogOptions, DelayTable};
 use sigcircuit::Benchmark;
 use sigsim::{compare_circuit, random_stimuli, HarnessConfig, SigmoidInputMode, StimulusSpec};
@@ -89,7 +89,7 @@ fn main() {
         })
         .collect();
     write_csv(
-        &results_dir().join("fig5.csv"),
+        &results_dir_from(&args).join("fig5.csv"),
         &["t_s", "v_analog", "v_sigmoid", "v_digital"],
         &rows,
     );

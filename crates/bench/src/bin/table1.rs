@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run --release -p sigbench --bin table1 -- \
 //!     [--circuits c17,c499,c1355] [--runs 5] [--seed 1] [--paper-scale] \
-//!     [--parallelism 0] [--mc-parallelism 1]
+//!     [--parallelism 0] [--mc-parallelism 1] [--out results]
 //! ```
 //!
 //! The paper uses 50 runs per cell; `--runs 50` reproduces that scale.
@@ -22,7 +22,7 @@
 use std::time::Duration;
 
 use nanospice::EngineConfig;
-use sigbench::{load_models, results_dir, write_csv, Args};
+use sigbench::{load_models, results_dir_from, write_csv, Args};
 use sigchar::{AnalogOptions, DelayTable};
 use sigcircuit::Benchmark;
 use sigsim::{
@@ -138,7 +138,7 @@ fn main() {
         })
         .collect();
     write_csv(
-        &results_dir().join("table1.csv"),
+        &results_dir_from(&args).join("table1.csv"),
         &[
             "nor_gates",
             "mu_ps",

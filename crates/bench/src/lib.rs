@@ -82,11 +82,26 @@ impl Default for Args {
     }
 }
 
-/// Where experiment CSV outputs are written.
+/// Where experiment CSV outputs are written by default (`results/`).
+/// Prefer [`results_dir_from`] in binaries so `--out` can redirect.
 #[must_use]
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// The experiment output directory, honoring `--out <path>` (default
+/// `results/`). Lets CI smoke jobs and concurrent local runs write to
+/// disjoint directories instead of colliding in the checkout.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir_from(args: &Args) -> PathBuf {
+    let dir = PathBuf::from(args.get("out", "results"));
+    std::fs::create_dir_all(&dir).expect("cannot create output directory");
     dir
 }
 

@@ -8,6 +8,9 @@
 //!   topological ordering, levelization, fan-out analysis and boolean
 //!   evaluation,
 //! * [`parse_bench`]/[`to_bench`] — the ISCAS `.bench` netlist format,
+//! * [`load_circuit`] — format auto-detection (`.bench`/JSON by extension
+//!   plus content sniffing) and [`content_hash`]/[`Circuit::fingerprint`]
+//!   for the `sigserve` circuit cache,
 //! * [`to_nor_only`] — technology mapping to 1-/2-input NOR gates (the only
 //!   gates the paper's prototype simulator supports),
 //! * [`c17`], [`c499`], [`c1355`] — the Table I benchmarks (c17 exact;
@@ -32,11 +35,15 @@
 mod bench_format;
 mod fanout;
 mod iscas;
+mod loader;
 mod mapping;
 mod netlist;
 
 pub use bench_format::{parse_bench, to_bench, ParseBenchError};
 pub use fanout::limit_fanout;
 pub use iscas::{c1355, c17, c499, Benchmark};
+pub use loader::{
+    content_hash, load_circuit, parse_circuit, sniff_format, CircuitFormat, LoadCircuitError,
+};
 pub use mapping::{to_nor_only, NorMappingOptions};
 pub use netlist::{BuildCircuitError, Circuit, CircuitBuilder, Gate, GateKind, NetId};

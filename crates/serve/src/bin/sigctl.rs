@@ -1,0 +1,254 @@
+//! `sigctl` — client and tooling for the `sigserve` daemon.
+//!
+//! ```text
+//! sigctl request [sim flags]                  # print a request frame
+//! sigctl send    --addr HOST:PORT [sim flags] [--vcd PATH]
+//! sigctl golden  [sim flags] [--models-dir PATH]
+//! sigctl ping|stats|shutdown --addr HOST:PORT
+//! ```
+//!
+//! Sim flags: `--circuit <name|path>` (an existing file is sent inline —
+//! `.bench` or JSON, auto-detected), `--models NAME`, `--seed N`,
+//! `--mu SECONDS`, `--sigma SECONDS`, `--transitions N`, `--compare`,
+//! `--no-timing`, `--id N`.
+//!
+//! `golden` computes the response **without any service**: it builds the
+//! circuit and models directly and calls the same harness entry points a
+//! library user would. Because the service is a scheduling layer and
+//! never a numerics layer, `sigserve --stdio` fed the matching `request`
+//! frame must produce the byte-identical response (the CI smoke job
+//! diffs exactly that; use `--no-timing` so no wall-clock field varies).
+//!
+//! `send --vcd PATH` additionally writes the response's output traces as
+//! a VCD file for waveform viewers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use sigserve::protocol::{
+    decode_response, encode_request, encode_response, CacheOutcome, CircuitSource, Request,
+    Response, SimRequest,
+};
+use sigserve::{run_sim, ModelSet};
+use sigwave::{DigitalTrace, Level, VcdSignal};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sigctl <request|send|golden|ping|stats|shutdown> \
+         [--addr HOST:PORT] [--circuit NAME|PATH] [--models NAME] [--seed N] \
+         [--mu S] [--sigma S] [--transitions N] [--compare] [--no-timing] \
+         [--id N] [--models-dir PATH] [--vcd PATH]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    addr: String,
+    id: u64,
+    sim: SimRequest,
+    models_dir: std::path::PathBuf,
+    vcd: Option<std::path::PathBuf>,
+}
+
+fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
+    let mut o = Options {
+        addr: "127.0.0.1:4715".to_string(),
+        id: 1,
+        sim: SimRequest::default(),
+        models_dir: std::path::PathBuf::from("target/sigmodels"),
+        vcd: None,
+    };
+    let require = |v: Option<String>| v.unwrap_or_else(|| usage());
+    while let Some(flag) = args.next_arg() {
+        match flag.as_str() {
+            "--addr" => o.addr = require(args.value()),
+            "--id" => o.id = parse(args.parse()),
+            "--circuit" => {
+                let v = require(args.value());
+                o.sim.circuit = if std::path::Path::new(&v).is_file() {
+                    let text = std::fs::read_to_string(&v).unwrap_or_else(|e| {
+                        eprintln!("sigctl: cannot read {v}: {e}");
+                        std::process::exit(1);
+                    });
+                    CircuitSource::Inline(text)
+                } else {
+                    CircuitSource::Name(v)
+                };
+            }
+            "--models" => o.sim.models = require(args.value()),
+            "--seed" => o.sim.seed = parse(args.parse()),
+            "--mu" => o.sim.mu = parse(args.parse()),
+            "--sigma" => o.sim.sigma = parse(args.parse()),
+            "--transitions" => o.sim.transitions = parse(args.parse()),
+            "--compare" => o.sim.compare = true,
+            "--no-timing" => o.sim.timing = false,
+            "--models-dir" => o.models_dir = require(args.value()).into(),
+            "--vcd" => o.vcd = Some(require(args.value()).into()),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn parse<T>(value: Option<T>) -> T {
+    value.unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let mut args = sigserve::cli::CliArgs::from_env();
+    let Some(command) = args.next_arg() else {
+        usage()
+    };
+    let command = command.as_str();
+    let o = parse_options(args);
+    match command {
+        "request" => {
+            println!(
+                "{}",
+                encode_request(&Request::Sim {
+                    id: o.id,
+                    sim: o.sim
+                })
+            );
+        }
+        "golden" => golden(&o),
+        "send" => {
+            let response = exchange(
+                &o.addr,
+                &Request::Sim {
+                    id: o.id,
+                    sim: o.sim.clone(),
+                },
+            );
+            if let (Some(path), Response::Sim { result, .. }) = (&o.vcd, &response) {
+                write_vcd_file(path, result);
+            }
+            finish(&response);
+        }
+        "ping" => finish(&exchange(&o.addr, &Request::Ping { id: o.id })),
+        "stats" => finish(&exchange(&o.addr, &Request::Stats { id: o.id })),
+        "shutdown" => finish(&exchange(&o.addr, &Request::Shutdown { id: o.id })),
+        _ => usage(),
+    }
+}
+
+/// Prints the response and exits nonzero on protocol-level errors.
+fn finish(response: &Response) {
+    println!("{}", encode_response(response));
+    if matches!(response, Response::Error { .. }) {
+        std::process::exit(1);
+    }
+}
+
+/// Sends one request and waits for the response with the matching id
+/// (other responses on the stream are printed as they pass).
+fn exchange(addr: &str, request: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("sigctl: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    writeln!(stream, "{}", encode_request(request)).unwrap_or_else(|e| {
+        eprintln!("sigctl: send failed: {e}");
+        std::process::exit(1);
+    });
+    let reader = BufReader::new(stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("sigctl: stream clone failed: {e}");
+        std::process::exit(1);
+    }));
+    for line in reader.lines() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("sigctl: read failed: {e}");
+            std::process::exit(1);
+        });
+        match decode_response(&line) {
+            Ok(r) if r.id() == Some(request.id()) || r.id().is_none() => return r,
+            Ok(other) => println!("{}", encode_response(&other)),
+            Err(e) => {
+                eprintln!("sigctl: undecodable response {line:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("sigctl: connection closed before a response arrived");
+    std::process::exit(1);
+}
+
+/// The no-service reference path: build everything directly, run the
+/// same numerics, print the response frame.
+fn golden(o: &Options) {
+    let circuit = match &o.sim.circuit {
+        CircuitSource::Name(name) => sigcircuit::Benchmark::by_name(name)
+            .map(|b| b.nor_mapped)
+            .unwrap_or_else(|n| {
+                eprintln!("sigctl: unknown benchmark {n:?}");
+                std::process::exit(1);
+            }),
+        CircuitSource::Inline(text) => {
+            let parsed = sigcircuit::parse_circuit(text, sigcircuit::sniff_format(text))
+                .unwrap_or_else(|e| {
+                    eprintln!("sigctl: {e}");
+                    std::process::exit(1);
+                });
+            sigserve::service::map_for_simulation(parsed)
+        }
+    };
+    // The exact preset table the daemon's registry uses, so golden loads
+    // the identical on-disk artifact.
+    let Some((config, cache_file)) = sigserve::preset_config(&o.sim.models) else {
+        eprintln!(
+            "sigctl: golden supports preset models only ({}), not {:?}",
+            sigserve::registry::PRESETS.join("/"),
+            o.sim.models
+        );
+        std::process::exit(1);
+    };
+    let trained = sigsim::train_models_cached(&o.models_dir.join(cache_file), &config)
+        .unwrap_or_else(|e| {
+            eprintln!("sigctl: model pipeline failed: {e}");
+            std::process::exit(1);
+        });
+    let set = ModelSet {
+        name: o.sim.models.clone(),
+        models: Arc::new(trained.gate_models()),
+        trained: Some(Arc::new(trained)),
+        // Lazy like the daemon's registry sets: measured only when the
+        // request actually compares.
+        delays: sigserve::registry::DelaySource::on_demand(),
+        options: sigtom::TomOptions::default(),
+    };
+    // A fresh daemon's first request is always a cache miss; golden
+    // mirrors that so the frames compare byte-for-byte.
+    match run_sim(&circuit, &set, &o.sim, CacheOutcome::Miss) {
+        Ok(result) => finish(&Response::Sim { id: o.id, result }),
+        Err((kind, message)) => finish(&Response::Error {
+            id: Some(o.id),
+            kind,
+            message,
+        }),
+    }
+}
+
+fn write_vcd_file(path: &std::path::Path, result: &sigserve::SimResult) {
+    let signals: Vec<VcdSignal> = result
+        .outputs
+        .iter()
+        .map(|o| {
+            let trace = DigitalTrace::new(Level::from_bool(o.initial_high), o.toggles.clone())
+                .unwrap_or_else(|e| {
+                    eprintln!("sigctl: response trace for {} invalid: {e}", o.net);
+                    std::process::exit(1);
+                });
+            VcdSignal::digital(o.net.clone(), &trace)
+        })
+        .collect();
+    let mut file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("sigctl: cannot create {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    sigwave::write_vcd(&mut file, &signals).unwrap_or_else(|e| {
+        eprintln!("sigctl: VCD write failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("sigctl: wrote {}", path.display());
+}

@@ -1,0 +1,86 @@
+//! The `sigserve` daemon: a resident simulation service speaking
+//! newline-delimited JSON over TCP or stdio.
+//!
+//! ```text
+//! sigserve [--addr 127.0.0.1:4715 | --stdio]
+//!          [--workers N] [--queue N] [--cache N]
+//!          [--models-dir PATH] [--max-frame BYTES]
+//!          [--preload NAME[,NAME...]]
+//! ```
+//!
+//! `--stdio` reads requests from stdin and writes responses to stdout
+//! (one JSON object per line) — the CI smoke mode. Otherwise the daemon
+//! listens on `--addr` (default `127.0.0.1:4715`) and serves until a
+//! client sends a `shutdown` request; in-flight work drains first.
+//! `--preload` warms the model registry before accepting traffic so the
+//! first request doesn't pay the training/loading cost.
+
+use std::net::TcpListener;
+
+use sigserve::{serve_stdio, serve_tcp, Service, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sigserve [--addr HOST:PORT | --stdio] [--workers N] [--queue N] \
+         [--cache N] [--models-dir PATH] [--max-frame BYTES] [--preload NAME,...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServiceConfig::default();
+    let mut addr = "127.0.0.1:4715".to_string();
+    let mut stdio = false;
+    let mut preload: Vec<String> = Vec::new();
+
+    let mut args = sigserve::cli::CliArgs::from_env();
+    let require = |v: Option<String>| v.unwrap_or_else(|| usage());
+    while let Some(flag) = args.next_arg() {
+        match flag.as_str() {
+            "--stdio" => stdio = true,
+            "--addr" => addr = require(args.value()),
+            "--workers" => config.workers = parse(args.parse()),
+            "--queue" => config.queue_capacity = parse(args.parse()),
+            "--cache" => config.cache_capacity = parse(args.parse()),
+            "--max-frame" => config.max_frame = parse(args.parse()),
+            "--models-dir" => config.models_dir = require(args.value()).into(),
+            "--preload" => {
+                preload.extend(
+                    require(args.value())
+                        .split(',')
+                        .map(|s| s.trim().to_string()),
+                );
+            }
+            _ => usage(),
+        }
+    }
+
+    let service = Service::new(config);
+    for name in &preload {
+        if let Err(e) = service.registry().get_or_load(name) {
+            eprintln!("sigserve: preload {name:?} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if stdio {
+        serve_stdio(&service);
+    } else {
+        let listener = match TcpListener::bind(&addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("sigserve: cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("sigserve: listening on {addr}");
+        if let Err(e) = serve_tcp(&service, listener) {
+            eprintln!("sigserve: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T>(value: Option<T>) -> T {
+    value.unwrap_or_else(|| usage())
+}

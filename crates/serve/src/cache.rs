@@ -1,0 +1,269 @@
+//! The LRU circuit cache: repeated requests for the same netlist skip
+//! parsing, validation, NOR mapping and levelization.
+//!
+//! Keys are content-derived — [`sigcircuit::content_hash`] over the
+//! request's circuit source (`name:<benchmark>` or `inline:<text>`)
+//! paired with the source length, so two requests hit the same entry iff
+//! they sent the same bytes. Values are `Arc<Circuit>`: the parsed,
+//! validated, NOR-mapped netlist with its build-time `topo`/`levels`
+//! schedules, shared by every concurrent simulation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sigcircuit::Circuit;
+
+use crate::protocol::CircuitSource;
+
+/// A cache key: FNV-1a hash of the tagged source plus its length (the
+/// length guards against accidental 64-bit collisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hash: u64,
+    len: usize,
+}
+
+impl CacheKey {
+    /// The key of a request's circuit source.
+    #[must_use]
+    pub fn of(source: &CircuitSource) -> Self {
+        let bytes = source.key_bytes();
+        Self {
+            hash: sigcircuit::content_hash(&bytes),
+            len: bytes.len(),
+        }
+    }
+}
+
+/// A per-key slot: the slot mutex serializes building of *one* key, so
+/// concurrent misses on the same netlist parse once while hits (and
+/// builds) of other keys proceed untouched — the same pattern as the
+/// model registry's per-name locks.
+#[derive(Debug, Default)]
+struct Slot {
+    built: Mutex<Option<Arc<Circuit>>>,
+}
+
+/// A bounded LRU map from [`CacheKey`] to parsed circuits.
+///
+/// The outer map lock is held only for slot lookup and LRU bookkeeping
+/// (microseconds); a miss builds under its own key's slot lock, so one
+/// slow inline-netlist parse never stalls warm requests for other
+/// circuits. Hit/miss totals stay deterministic for any client
+/// interleaving (racing misses on one key: the first builds and counts
+/// the miss, the rest wait on the slot and count hits).
+#[derive(Debug)]
+pub struct CircuitCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, (Arc<Slot>, u64)>,
+    tick: u64,
+}
+
+impl std::fmt::Debug for CacheInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheInner")
+            .field("entries", &self.map.len())
+            .field("tick", &self.tick)
+            .finish()
+    }
+}
+
+impl CircuitCache {
+    /// A cache holding at most `capacity` circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the source; on a miss, runs `build` and caches its
+    /// result. Returns the circuit and whether this was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error (nothing is cached then — a bad netlist
+    /// is re-reported, not re-parsed into the same failure forever; error
+    /// paths are not the hot path).
+    pub fn get_or_insert<E>(
+        &self,
+        source: &CircuitSource,
+        build: impl FnOnce() -> Result<Circuit, E>,
+    ) -> Result<(Arc<Circuit>, bool), E> {
+        let key = CacheKey::of(source);
+        let slot = {
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((slot, last_used)) = inner.map.get_mut(&key) {
+                *last_used = tick;
+                Arc::clone(slot)
+            } else {
+                if inner.map.len() >= self.capacity {
+                    // Evict the least recently used entry (linear scan:
+                    // the cache holds tens of circuits, not thousands).
+                    // An in-flight build of the evicted key keeps its own
+                    // slot Arc and completes unaffected.
+                    if let Some(&lru) = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, (_, last_used))| *last_used)
+                        .map(|(k, _)| k)
+                    {
+                        inner.map.remove(&lru);
+                    }
+                }
+                let slot = Arc::new(Slot::default());
+                inner.map.insert(key, (Arc::clone(&slot), tick));
+                slot
+            }
+        };
+        let mut built = slot.built.lock().expect("cache slot poisoned");
+        if let Some(circuit) = &*built {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(circuit), true));
+        }
+        match build() {
+            Ok(circuit) => {
+                let circuit = Arc::new(circuit);
+                *built = Some(Arc::clone(&circuit));
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok((circuit, false))
+            }
+            Err(e) => {
+                // Drop the empty slot so failures are not cached and
+                // `entries()` keeps counting only built circuits.
+                let mut inner = self.inner.lock().expect("cache poisoned");
+                if let Some((resident, _)) = inner.map.get(&key) {
+                    if Arc::ptr_eq(resident, &slot) {
+                        inner.map.remove(&key);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (builds) so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Circuits currently resident.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcircuit::{CircuitBuilder, GateKind};
+
+    fn circuit(tag: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let y = b.add_gate(GateKind::Nor, &[a], &format!("y{tag}"));
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    fn name(n: &str) -> CircuitSource {
+        CircuitSource::Name(n.to_string())
+    }
+
+    #[test]
+    fn hit_returns_shared_arc_and_counts() {
+        let cache = CircuitCache::new(4);
+        let (a, hit_a) = cache
+            .get_or_insert::<()>(&name("x"), || Ok(circuit(0)))
+            .unwrap();
+        let (b, hit_b) = cache
+            .get_or_insert::<()>(&name("x"), || panic!("must not rebuild"))
+            .unwrap();
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_sources_do_not_collide() {
+        let cache = CircuitCache::new(4);
+        cache
+            .get_or_insert::<()>(&name("x"), || Ok(circuit(0)))
+            .unwrap();
+        // An inline source spelling the same bytes as a name must still
+        // be a different key (tag prefix).
+        let (_, hit) = cache
+            .get_or_insert::<()>(&CircuitSource::Inline("x".into()), || Ok(circuit(1)))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cache.entries(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let cache = CircuitCache::new(2);
+        cache
+            .get_or_insert::<()>(&name("a"), || Ok(circuit(0)))
+            .unwrap();
+        cache
+            .get_or_insert::<()>(&name("b"), || Ok(circuit(1)))
+            .unwrap();
+        // Touch `a` so `b` is the LRU, then insert `c`.
+        cache
+            .get_or_insert::<()>(&name("a"), || panic!("hit expected"))
+            .unwrap();
+        cache
+            .get_or_insert::<()>(&name("c"), || Ok(circuit(2)))
+            .unwrap();
+        assert_eq!(cache.entries(), 2);
+        let (_, hit_a) = cache
+            .get_or_insert::<()>(&name("a"), || Ok(circuit(0)))
+            .unwrap();
+        assert!(hit_a, "recently used entry survived eviction");
+        let (_, hit_b) = cache
+            .get_or_insert::<()>(&name("b"), || Ok(circuit(1)))
+            .unwrap();
+        assert!(!hit_b, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = CircuitCache::new(2);
+        let r = cache.get_or_insert::<&str>(&name("bad"), || Err("nope"));
+        assert_eq!(r.unwrap_err(), "nope");
+        assert_eq!(cache.entries(), 0);
+        // A later good build for the same key works.
+        let (_, hit) = cache
+            .get_or_insert::<()>(&name("bad"), || Ok(circuit(0)))
+            .unwrap();
+        assert!(!hit);
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal argv walker shared by the `sigserve` and `sigctl` binaries
+//! (kept here so a flag-parsing fix lands once; `sigbench::Args` serves
+//! the experiment bins but would invert the crate DAG if reused here).
+
+/// Sequential argument walker: [`CliArgs::next_arg`] yields the next raw
+/// argument, [`CliArgs::value`]/[`CliArgs::parse`] consume a flag's
+/// value. Missing or malformed values surface as `None`, letting each
+/// binary route to its own usage message.
+#[derive(Debug)]
+pub struct CliArgs {
+    argv: Vec<String>,
+    pos: usize,
+}
+
+impl CliArgs {
+    /// The process arguments, program name skipped.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1).collect())
+    }
+
+    /// From explicit arguments (tests).
+    #[must_use]
+    pub fn new(argv: Vec<String>) -> Self {
+        Self { argv, pos: 0 }
+    }
+
+    /// The next argument, if any.
+    pub fn next_arg(&mut self) -> Option<String> {
+        let arg = self.argv.get(self.pos).cloned();
+        if arg.is_some() {
+            self.pos += 1;
+        }
+        arg
+    }
+
+    /// The value following the flag just returned by [`CliArgs::next_arg`].
+    pub fn value(&mut self) -> Option<String> {
+        self.next_arg()
+    }
+
+    /// The parsed value following the current flag; `None` when missing
+    /// or malformed.
+    pub fn parse<T: std::str::FromStr>(&mut self) -> Option<T> {
+        self.value().and_then(|v| v.parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> CliArgs {
+        CliArgs::new(list.iter().map(ToString::to_string).collect())
+    }
+
+    #[test]
+    fn walks_flags_and_values() {
+        let mut a = args(&["--workers", "4", "--stdio", "--addr", "host:1"]);
+        assert_eq!(a.next_arg().as_deref(), Some("--workers"));
+        assert_eq!(a.parse::<usize>(), Some(4));
+        assert_eq!(a.next_arg().as_deref(), Some("--stdio"));
+        assert_eq!(a.next_arg().as_deref(), Some("--addr"));
+        assert_eq!(a.value().as_deref(), Some("host:1"));
+        assert_eq!(a.next_arg(), None);
+    }
+
+    #[test]
+    fn missing_or_malformed_values_are_none() {
+        let mut a = args(&["--workers"]);
+        a.next_arg();
+        assert_eq!(a.parse::<usize>(), None);
+        let mut a = args(&["--workers", "abc"]);
+        a.next_arg();
+        assert_eq!(a.parse::<usize>(), None);
+    }
+}

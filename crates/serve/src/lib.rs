@@ -1,0 +1,245 @@
+//! `sigserve` — the resident simulation service.
+//!
+//! Every earlier entry point (the experiment bins, the examples, the
+//! harness tests) re-loaded gate models and re-parsed circuits per
+//! invocation. This crate gives the expensive artifacts a resident home
+//! and puts a wire protocol in front of the PR-2 batched engine:
+//!
+//! * [`ModelRegistry`] — named [`sigsim::TrainedModels`] bundles loaded
+//!   once (`train_models_cached` + delay extraction) and shared as `Arc`
+//!   across all requests,
+//! * [`CircuitCache`] — an LRU keyed by content hash, so repeated
+//!   requests skip `.bench`/JSON parsing, validation, NOR mapping and
+//!   levelization,
+//! * [`Service`] — a bounded scheduler over the long-lived
+//!   [`sigwave::parallel::WorkerPool`]: requests stream in over
+//!   newline-delimited JSON ([`protocol`]), run concurrently, and stream
+//!   back per-request results with ids, explicit `overloaded`
+//!   backpressure, and drain-on-shutdown,
+//! * [`server`] — TCP (`std::net`) and stdio transports; the `sigserve`
+//!   daemon and `sigctl` client binaries wrap them.
+//!
+//! The service is a **scheduling layer, never a numerics layer**:
+//! responses are bit-identical to direct [`sigsim::compare_circuit`] /
+//! [`sigsim::simulate_sigmoid`] calls with the same seed (enforced by
+//! `tests/service_parity.rs`). Protocol grammar, cache keys and
+//! backpressure semantics are documented in `DESIGN.md` § Service layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheKey, CircuitCache};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, CacheOutcome, CircuitSource,
+    ErrorKind, FrameReader, ProtocolError, Request, Response, SimRequest, SimResult, StatsReply,
+    MAX_FRAME_BYTES,
+};
+pub use registry::{preset_config, DelaySource, ModelRegistry, ModelSet, RegistryError};
+pub use server::{run_connection, serve_stdio, serve_tcp};
+pub use service::{run_sim, Handled, Service, ServiceConfig};
+
+#[cfg(test)]
+mod service_tests {
+    use super::*;
+    use crate::registry::synthetic_set;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    fn collecting() -> (
+        Arc<Mutex<Vec<Response>>>,
+        impl Fn(Response) + Send + Sync + 'static,
+    ) {
+        let sink: Arc<Mutex<Vec<Response>>> = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&sink);
+        (sink, move |r| s.lock().expect("sink").push(r))
+    }
+
+    fn sim_request(id: u64) -> Request {
+        Request::Sim {
+            id,
+            sim: SimRequest {
+                circuit: CircuitSource::Name("c17".into()),
+                models: "synth".into(),
+                seed: id,
+                timing: false,
+                ..SimRequest::default()
+            },
+        }
+    }
+
+    #[test]
+    fn overload_rejects_instead_of_buffering() {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        service.registry().insert(synthetic_set("synth"));
+        // Occupy the single worker with a gate job, then fill the queue.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            service.pool_for_tests().execute(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().expect("gate");
+                while !*open {
+                    open = cv.wait(open).expect("gate");
+                }
+            });
+        }
+        while service.pool_for_tests().queued() > 0 {
+            std::thread::yield_now();
+        }
+        let (sink, respond) = collecting();
+        assert_eq!(
+            service.handle_request(sim_request(1), respond),
+            Handled::Continue
+        );
+        // Queue now holds request 1; request 2 must be rejected at once.
+        let (sink2, respond2) = collecting();
+        service.handle_request(sim_request(2), respond2);
+        let rejected = sink2.lock().expect("sink").clone();
+        assert_eq!(rejected.len(), 1, "rejection must be immediate");
+        assert!(
+            matches!(
+                rejected[0],
+                Response::Error {
+                    id: Some(2),
+                    kind: ErrorKind::Overloaded,
+                    ..
+                }
+            ),
+            "{rejected:?}"
+        );
+        assert_eq!(service.stats().rejected, 1);
+        // Open the gate: the accepted request still completes.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().expect("gate") = true;
+            cv.notify_all();
+        }
+        service.drain();
+        let done = sink.lock().expect("sink").clone();
+        assert_eq!(done.len(), 1);
+        assert!(matches!(done[0], Response::Sim { id: 1, .. }));
+        assert_eq!(service.stats().completed, 1);
+    }
+
+    #[test]
+    fn unknown_models_and_circuits_are_structured_errors() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let (sink, respond) = collecting();
+        let respond = Arc::new(respond);
+        for (id, circuit, models) in [
+            (1, CircuitSource::Name("c17".into()), "ghost"),
+            (2, CircuitSource::Name("c9999".into()), "synth"),
+            (3, CircuitSource::Inline("y = FROB(a)\n".into()), "synth"),
+        ] {
+            let respond = Arc::clone(&respond);
+            service.handle_request(
+                Request::Sim {
+                    id,
+                    sim: SimRequest {
+                        circuit,
+                        models: models.into(),
+                        ..SimRequest::default()
+                    },
+                },
+                move |r| respond(r),
+            );
+        }
+        service.drain();
+        let mut got: Vec<(Option<u64>, ErrorKind)> = sink
+            .lock()
+            .expect("sink")
+            .iter()
+            .map(|r| match r {
+                Response::Error { id, kind, .. } => (*id, *kind),
+                other => panic!("expected error, got {other:?}"),
+            })
+            .collect();
+        got.sort_unstable_by_key(|(id, _)| *id);
+        assert_eq!(
+            got,
+            vec![
+                (Some(1), ErrorKind::UnknownModels),
+                (Some(2), ErrorKind::Circuit),
+                (Some(3), ErrorKind::Circuit),
+            ]
+        );
+        // Failed builds never pollute the cache.
+        assert_eq!(service.cache().entries(), 0);
+    }
+
+    #[test]
+    fn compare_without_delay_table_is_rejected() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let err = service
+            .execute_sim(&SimRequest {
+                circuit: CircuitSource::Name("c17".into()),
+                models: "synth".into(),
+                compare: true,
+                ..SimRequest::default()
+            })
+            .unwrap_err();
+        assert_eq!(err.0, ErrorKind::Simulation);
+        assert!(err.1.contains("delay table"), "{}", err.1);
+    }
+
+    #[test]
+    fn inline_bench_text_simulates_and_caches_by_content() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let bench =
+            sigcircuit::to_bench(&sigcircuit::Benchmark::by_name("c17").unwrap().nor_mapped);
+        let sim = SimRequest {
+            circuit: CircuitSource::Inline(bench.clone()),
+            models: "synth".into(),
+            timing: false,
+            ..SimRequest::default()
+        };
+        let first = service.execute_sim(&sim).unwrap();
+        let second = service.execute_sim(&sim).unwrap();
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        assert_eq!(
+            first.outputs, second.outputs,
+            "results identical across cache states"
+        );
+        // The same netlist through a *name* source is a different cache
+        // key (and a structurally renumbered circuit after the
+        // `.bench` round trip), but inputs/outputs keep their names and
+        // order, so the predictions are identical.
+        let by_name = service
+            .execute_sim(&SimRequest {
+                circuit: CircuitSource::Name("c17".into()),
+                models: "synth".into(),
+                timing: false,
+                ..SimRequest::default()
+            })
+            .unwrap();
+        assert_eq!(by_name.outputs, first.outputs);
+        assert_eq!(service.cache().misses(), 2);
+        assert_eq!(service.cache().hits(), 1);
+        // Non-NOR inline netlists are NOR-mapped before simulation.
+        let non_nor = service
+            .execute_sim(&SimRequest {
+                circuit: CircuitSource::Inline(
+                    "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n".into(),
+                ),
+                models: "synth".into(),
+                timing: false,
+                ..SimRequest::default()
+            })
+            .unwrap();
+        assert_eq!(non_nor.outputs.len(), 1);
+    }
+}

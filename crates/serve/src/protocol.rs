@@ -1,0 +1,1107 @@
+//! The `sigserve` wire protocol: newline-delimited JSON frames.
+//!
+//! One request or response per line, LF-terminated, UTF-8, at most
+//! [`MAX_FRAME_BYTES`] per frame (the daemon may lower the limit). The
+//! full grammar lives in `DESIGN.md` § Service layer; the shape is:
+//!
+//! ```text
+//! → {"id":1,"op":"ping"}
+//! ← {"id":1,"ok":true,"reply":"pong"}
+//! → {"id":2,"op":"sim","circuit":{"name":"c17"},"models":"ci",
+//!    "seed":7,"mu":6e-11,"sigma":2.5e-11,"transitions":4,
+//!    "compare":true,"timing":false}
+//! ← {"id":2,"ok":true,"reply":"sim","result":{...}}
+//! ← {"id":3,"ok":false,"error":{"kind":"overloaded","message":"..."}}
+//! ```
+//!
+//! Every malformed input — arbitrary bytes, truncated frames, oversized
+//! frames, shape mismatches — yields a structured [`ProtocolError`]; the
+//! decoder never panics (property-tested in `tests/protocol_proptests.rs`).
+//!
+//! Integers (`id`, `seed`, counters) travel as JSON numbers and are exact
+//! up to `2^53` — the vendored JSON stub carries all numbers as `f64`.
+//! Full-range `u64` values (circuit fingerprints) travel as fixed-width
+//! hex strings instead.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Default hard cap on one frame's length in bytes, terminator included.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Exclusive upper bound on wire integers: values in `[0, 2^53)` are
+/// exact in the all-numbers-are-`f64` JSON model; the boundary itself is
+/// rejected because `2^53` and `2^53 + 1` parse to the same float.
+pub const MAX_WIRE_INT: u64 = 1 << 53;
+
+/// Hard cap on a sim request's `transitions` field. Table I's heaviest
+/// setup uses 20; the cap leaves three orders of magnitude of headroom
+/// while keeping one frame from demanding unbounded stimulus memory
+/// (the daemon promises bounded memory under any input).
+pub const MAX_TRANSITIONS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Where the circuit of a [`SimRequest`] comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitSource {
+    /// A built-in benchmark by name (`c17`, `c499`, `c1355`); the service
+    /// simulates its NOR-mapped form, exactly like the experiment bins.
+    Name(String),
+    /// An inline netlist: ISCAS `.bench` text or the JSON `Circuit`
+    /// serialization (auto-detected). Non-NOR netlists are NOR-mapped
+    /// with default options before simulation.
+    Inline(String),
+}
+
+impl CircuitSource {
+    /// The cache key material: a tag plus the source text, hashed by the
+    /// circuit cache ([`crate::cache::CircuitCache`]).
+    #[must_use]
+    pub fn key_bytes(&self) -> Vec<u8> {
+        match self {
+            Self::Name(n) => [b"name:" as &[u8], n.as_bytes()].concat(),
+            Self::Inline(t) => [b"inline:" as &[u8], t.as_bytes()].concat(),
+        }
+    }
+}
+
+/// One simulation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// The circuit to simulate.
+    pub circuit: CircuitSource,
+    /// Model-registry key (`default`, `fast`, `ci`, `paper`, or a name
+    /// pre-registered by the embedding process).
+    pub models: String,
+    /// Seed of the per-request stimulus RNG (`< 2^53`).
+    pub seed: u64,
+    /// Mean inter-transition time µt in seconds ([`sigsim::StimulusSpec`]).
+    pub mu: f64,
+    /// Stddev σt of inter-transition times in seconds.
+    pub sigma: f64,
+    /// Transitions per input.
+    pub transitions: usize,
+    /// `true`: run the full three-way comparison ([`sigsim::compare_circuit`]
+    /// — analog reference, digital baseline, sigmoid prototype) and report
+    /// `t_err` statistics. `false`: sigmoid-only prediction (stimuli
+    /// converted at the fixed same-stimulus slope), no analog run.
+    pub compare: bool,
+    /// Include wall-clock timing in the response. Off, responses are fully
+    /// deterministic (byte-for-byte reproducible), which the CI smoke job
+    /// relies on.
+    pub timing: bool,
+}
+
+impl Default for SimRequest {
+    fn default() -> Self {
+        Self {
+            circuit: CircuitSource::Name("c17".to_string()),
+            models: "default".to_string(),
+            seed: 1,
+            mu: 60e-12,
+            sigma: 25e-12,
+            transitions: 4,
+            compare: false,
+            timing: true,
+        }
+    }
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping {
+        /// Request id, echoed in the response.
+        id: u64,
+    },
+    /// Service counters (registry loads, cache hits, queue state).
+    Stats {
+        /// Request id.
+        id: u64,
+    },
+    /// Graceful shutdown: stop accepting simulations, drain in-flight
+    /// work, then confirm.
+    Shutdown {
+        /// Request id.
+        id: u64,
+    },
+    /// Run a simulation.
+    Sim {
+        /// Request id.
+        id: u64,
+        /// The simulation parameters.
+        sim: SimRequest,
+    },
+}
+
+impl Request {
+    /// The request id (echoed on every response).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Ping { id }
+            | Self::Stats { id }
+            | Self::Shutdown { id }
+            | Self::Sim { id, .. } => *id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One primary output's predicted trace in a [`SimResult`]: the sigmoid
+/// prototype's output digitized at `VDD/2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputTrace {
+    /// Output net name.
+    pub net: String,
+    /// Initial logic level (`true` = high).
+    pub initial_high: bool,
+    /// Threshold-crossing times in seconds, strictly increasing.
+    pub toggles: Vec<f64>,
+}
+
+impl OutputTrace {
+    /// The settled level after all toggles.
+    #[must_use]
+    pub fn final_high(&self) -> bool {
+        self.initial_high ^ (self.toggles.len() % 2 == 1)
+    }
+}
+
+/// `t_err` accounting of a compare-mode request (mirrors
+/// [`sigsim::ComparisonOutcome`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareStats {
+    /// Total `t_err` of the digital baseline (seconds).
+    pub t_err_digital: f64,
+    /// Total `t_err` of the sigmoid prototype (seconds).
+    pub t_err_sigmoid: f64,
+    /// `t_err_sigmoid / t_err_digital` (the paper's error ratio).
+    pub error_ratio: f64,
+}
+
+/// Wall-clock timings (present only when the request asked for them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingStats {
+    /// Analog reference wall time in seconds (compare mode only, else 0).
+    pub wall_analog_s: f64,
+    /// Digital baseline wall time in seconds (compare mode only, else 0).
+    pub wall_digital_s: f64,
+    /// Sigmoid prototype wall time in seconds.
+    pub wall_sigmoid_s: f64,
+}
+
+/// Whether a request's circuit came from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the circuit cache: no parsing or levelization ran.
+    Hit,
+    /// Parsed, validated and levelized on this request, then cached.
+    Miss,
+}
+
+/// The payload of a successful simulation response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Structural fingerprint of the simulated (NOR-mapped) circuit —
+    /// [`sigcircuit::Circuit::fingerprint`] as fixed-width hex.
+    pub fingerprint: String,
+    /// Circuit-cache outcome for this request.
+    pub cache: CacheOutcome,
+    /// Per-output predicted traces, in circuit output order.
+    pub outputs: Vec<OutputTrace>,
+    /// `t_err` statistics (compare mode only).
+    pub compare: Option<CompareStats>,
+    /// Wall-clock timings (only when requested).
+    pub timing: Option<TimingStats>,
+}
+
+/// Machine-readable error category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame was not a valid request (bad JSON, bad shape, oversized,
+    /// not UTF-8).
+    Protocol,
+    /// The scheduler queue is full — retry later (backpressure).
+    Overloaded,
+    /// The requested model-registry key does not exist.
+    UnknownModels,
+    /// The circuit could not be resolved (unknown name, parse failure).
+    Circuit,
+    /// The simulation itself failed (e.g. missing stimulus).
+    Simulation,
+    /// The daemon is draining and no longer accepts simulations.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Protocol => "protocol",
+            Self::Overloaded => "overloaded",
+            Self::UnknownModels => "unknown-models",
+            Self::Circuit => "circuit",
+            Self::Simulation => "simulation",
+            Self::ShuttingDown => "shutting-down",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "protocol" => Self::Protocol,
+            "overloaded" => Self::Overloaded,
+            "unknown-models" => Self::UnknownModels,
+            "circuit" => Self::Circuit,
+            "simulation" => Self::Simulation,
+            "shutting-down" => Self::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Service counters reported by a stats request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Model sets actually loaded/trained (not served from the registry).
+    pub model_loads: u64,
+    /// Model-set lookups, cached or not.
+    pub model_requests: u64,
+    /// Circuit-cache hits.
+    pub cache_hits: u64,
+    /// Circuit-cache misses (parses).
+    pub cache_misses: u64,
+    /// Circuits currently resident in the cache.
+    pub cache_entries: u64,
+    /// Worker threads in the scheduler pool.
+    pub workers: u64,
+    /// Scheduler queue capacity (requests beyond this are rejected).
+    pub queue_capacity: u64,
+    /// Simulation requests completed (ok or error).
+    pub completed: u64,
+    /// Simulation requests rejected with `overloaded`.
+    pub rejected: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to ping.
+    Pong {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Successful simulation.
+    Sim {
+        /// Echoed request id.
+        id: u64,
+        /// The simulation payload.
+        result: SimResult,
+    },
+    /// Service counters.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// The counters.
+        stats: StatsReply,
+    },
+    /// Shutdown acknowledged; in-flight work has drained.
+    ShuttingDown {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Any failure. `id` is `None` when the frame was too malformed to
+    /// carry one.
+    Error {
+        /// Echoed request id, if decodable.
+        id: Option<u64>,
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id, if any.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Self::Pong { id }
+            | Self::Sim { id, .. }
+            | Self::Stats { id, .. }
+            | Self::ShuttingDown { id } => Some(*id),
+            Self::Error { id, .. } => *id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A structured protocol failure (decoding direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame exceeded the size limit.
+    Oversized {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The frame was not valid UTF-8.
+    NotUtf8,
+    /// The frame was not valid JSON or not the expected shape.
+    Malformed {
+        /// Parser/shape detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Oversized { limit } => write!(f, "frame exceeds {limit} bytes"),
+            Self::NotUtf8 => f.write_str("frame is not valid UTF-8"),
+            Self::Malformed { message } => write!(f, "malformed frame: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl ProtocolError {
+    /// The error response this failure maps to. A best-effort `id` is
+    /// recovered from the broken frame when possible so the client can
+    /// correlate.
+    #[must_use]
+    pub fn to_response(&self, id: Option<u64>) -> Response {
+        Response::Error {
+            id,
+            kind: ErrorKind::Protocol,
+            message: self.to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value helpers (manual serde: the wire shape is a stable contract, kept
+// independent of Rust field names and the stub derive's capabilities)
+// ---------------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_truncation
+)]
+fn u64_from(v: &Value, what: &str) -> Result<u64, serde::Error> {
+    let n = f64::from_value(v)?;
+    // Strictly below 2^53: at the boundary the nearest-f64 parse already
+    // conflates 2^53 with 2^53+1, so accepting it would silently corrupt
+    // the value instead of erroring.
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n < MAX_WIRE_INT as f64 {
+        Ok(n as u64)
+    } else {
+        Err(serde::Error::new(format!(
+            "{what} must be an integer in [0, 2^53), got {n}"
+        )))
+    }
+}
+
+fn get_u64(v: &Value, field: &str) -> Result<u64, serde::Error> {
+    u64_from(v.get_field(field)?, &format!("field `{field}`"))
+}
+
+fn get_f64(v: &Value, field: &str) -> Result<f64, serde::Error> {
+    f64::from_value(v.get_field(field)?)
+}
+
+fn get_str(v: &Value, field: &str) -> Result<String, serde::Error> {
+    String::from_value(v.get_field(field)?)
+}
+
+fn get_bool_or(v: &Value, field: &str, default: bool) -> Result<bool, serde::Error> {
+    match v.get_field(field) {
+        Ok(f) => bool::from_value(f),
+        Err(_) => Ok(default),
+    }
+}
+
+/// Formats a full-range `u64` as the fixed-width hex string the wire
+/// format uses for fingerprints.
+#[must_use]
+pub fn hex64(x: u64) -> String {
+    format!("{x:016x}")
+}
+
+/// Parses a [`hex64`] string.
+///
+/// # Errors
+///
+/// Returns a serde error unless the input is exactly 16 lowercase hex
+/// digits.
+pub fn parse_hex64(s: &str) -> Result<u64, serde::Error> {
+    if s.len() == 16 && s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        u64::from_str_radix(s, 16).map_err(|e| serde::Error::new(e.to_string()))
+    } else {
+        Err(serde::Error::new(format!(
+            "expected 16 lowercase hex digits, got {s:?}"
+        )))
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Self::Ping { id } => obj(vec![("id", id.to_value()), ("op", "ping".to_value())]),
+            Self::Stats { id } => obj(vec![("id", id.to_value()), ("op", "stats".to_value())]),
+            Self::Shutdown { id } => {
+                obj(vec![("id", id.to_value()), ("op", "shutdown".to_value())])
+            }
+            Self::Sim { id, sim } => {
+                let circuit = match &sim.circuit {
+                    CircuitSource::Name(n) => obj(vec![("name", n.to_value())]),
+                    CircuitSource::Inline(t) => obj(vec![("inline", t.to_value())]),
+                };
+                obj(vec![
+                    ("id", id.to_value()),
+                    ("op", "sim".to_value()),
+                    ("circuit", circuit),
+                    ("models", sim.models.to_value()),
+                    ("seed", sim.seed.to_value()),
+                    ("mu", sim.mu.to_value()),
+                    ("sigma", sim.sigma.to_value()),
+                    ("transitions", (sim.transitions as u64).to_value()),
+                    ("compare", sim.compare.to_value()),
+                    ("timing", sim.timing.to_value()),
+                ])
+            }
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let id = get_u64(v, "id")?;
+        let op = get_str(v, "op")?;
+        match op.as_str() {
+            "ping" => Ok(Self::Ping { id }),
+            "stats" => Ok(Self::Stats { id }),
+            "shutdown" => Ok(Self::Shutdown { id }),
+            "sim" => {
+                let cv = v.get_field("circuit")?;
+                let circuit = if let Ok(name) = get_str(cv, "name") {
+                    CircuitSource::Name(name)
+                } else if let Ok(text) = get_str(cv, "inline") {
+                    CircuitSource::Inline(text)
+                } else {
+                    return Err(serde::Error::new(
+                        "field `circuit` needs `name` or `inline`",
+                    ));
+                };
+                let transitions = get_u64(v, "transitions")?;
+                let transitions = usize::try_from(transitions)
+                    .ok()
+                    .filter(|&t| t <= MAX_TRANSITIONS)
+                    .ok_or_else(|| {
+                        serde::Error::new(format!(
+                            "field `transitions` must be at most {MAX_TRANSITIONS}"
+                        ))
+                    })?;
+                let mu = get_f64(v, "mu")?;
+                let sigma = get_f64(v, "sigma")?;
+                if !(mu > 0.0 && sigma > 0.0 && mu.is_finite() && sigma.is_finite()) {
+                    return Err(serde::Error::new(
+                        "fields `mu` and `sigma` must be positive and finite",
+                    ));
+                }
+                Ok(Self::Sim {
+                    id,
+                    sim: SimRequest {
+                        circuit,
+                        models: get_str(v, "models")?,
+                        seed: get_u64(v, "seed")?,
+                        mu,
+                        sigma,
+                        transitions,
+                        compare: get_bool_or(v, "compare", false)?,
+                        timing: get_bool_or(v, "timing", true)?,
+                    },
+                })
+            }
+            other => Err(serde::Error::new(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for OutputTrace {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("net", self.net.to_value()),
+            ("initial_high", self.initial_high.to_value()),
+            ("toggles", self.toggles.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for OutputTrace {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            net: get_str(v, "net")?,
+            initial_high: bool::from_value(v.get_field("initial_high")?)?,
+            toggles: Vec::<f64>::from_value(v.get_field("toggles")?)?,
+        })
+    }
+}
+
+impl Serialize for SimResult {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("fingerprint", self.fingerprint.to_value()),
+            (
+                "cache",
+                match self.cache {
+                    CacheOutcome::Hit => "hit",
+                    CacheOutcome::Miss => "miss",
+                }
+                .to_value(),
+            ),
+            ("outputs", self.outputs.to_value()),
+        ];
+        if let Some(c) = &self.compare {
+            fields.push((
+                "compare",
+                obj(vec![
+                    ("t_err_digital", c.t_err_digital.to_value()),
+                    ("t_err_sigmoid", c.t_err_sigmoid.to_value()),
+                    ("error_ratio", c.error_ratio.to_value()),
+                ]),
+            ));
+        }
+        if let Some(t) = &self.timing {
+            fields.push((
+                "timing",
+                obj(vec![
+                    ("wall_analog_s", t.wall_analog_s.to_value()),
+                    ("wall_digital_s", t.wall_digital_s.to_value()),
+                    ("wall_sigmoid_s", t.wall_sigmoid_s.to_value()),
+                ]),
+            ));
+        }
+        obj(fields)
+    }
+}
+
+impl Deserialize for SimResult {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let fingerprint = get_str(v, "fingerprint")?;
+        parse_hex64(&fingerprint)?;
+        let cache = match get_str(v, "cache")?.as_str() {
+            "hit" => CacheOutcome::Hit,
+            "miss" => CacheOutcome::Miss,
+            other => {
+                return Err(serde::Error::new(format!(
+                    "field `cache` must be hit/miss, got {other:?}"
+                )))
+            }
+        };
+        let compare = match v.get_field("compare") {
+            Ok(c) => Some(CompareStats {
+                t_err_digital: get_f64(c, "t_err_digital")?,
+                t_err_sigmoid: get_f64(c, "t_err_sigmoid")?,
+                error_ratio: get_f64(c, "error_ratio")?,
+            }),
+            Err(_) => None,
+        };
+        let timing = match v.get_field("timing") {
+            Ok(t) => Some(TimingStats {
+                wall_analog_s: get_f64(t, "wall_analog_s")?,
+                wall_digital_s: get_f64(t, "wall_digital_s")?,
+                wall_sigmoid_s: get_f64(t, "wall_sigmoid_s")?,
+            }),
+            Err(_) => None,
+        };
+        Ok(Self {
+            fingerprint,
+            cache,
+            outputs: Vec::<OutputTrace>::from_value(v.get_field("outputs")?)?,
+            compare,
+            timing,
+        })
+    }
+}
+
+impl Serialize for StatsReply {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("model_loads", self.model_loads.to_value()),
+            ("model_requests", self.model_requests.to_value()),
+            ("cache_hits", self.cache_hits.to_value()),
+            ("cache_misses", self.cache_misses.to_value()),
+            ("cache_entries", self.cache_entries.to_value()),
+            ("workers", self.workers.to_value()),
+            ("queue_capacity", self.queue_capacity.to_value()),
+            ("completed", self.completed.to_value()),
+            ("rejected", self.rejected.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StatsReply {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            model_loads: get_u64(v, "model_loads")?,
+            model_requests: get_u64(v, "model_requests")?,
+            cache_hits: get_u64(v, "cache_hits")?,
+            cache_misses: get_u64(v, "cache_misses")?,
+            cache_entries: get_u64(v, "cache_entries")?,
+            workers: get_u64(v, "workers")?,
+            queue_capacity: get_u64(v, "queue_capacity")?,
+            completed: get_u64(v, "completed")?,
+            rejected: get_u64(v, "rejected")?,
+        })
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Self::Pong { id } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "pong".to_value()),
+            ]),
+            Self::Sim { id, result } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "sim".to_value()),
+                ("result", result.to_value()),
+            ]),
+            Self::Stats { id, stats } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "stats".to_value()),
+                ("stats", stats.to_value()),
+            ]),
+            Self::ShuttingDown { id } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "shutting-down".to_value()),
+            ]),
+            Self::Error { id, kind, message } => obj(vec![
+                (
+                    "id",
+                    match id {
+                        Some(id) => id.to_value(),
+                        None => Value::Null,
+                    },
+                ),
+                ("ok", false.to_value()),
+                (
+                    "error",
+                    obj(vec![
+                        ("kind", kind.as_str().to_value()),
+                        ("message", message.to_value()),
+                    ]),
+                ),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let ok = bool::from_value(v.get_field("ok")?)?;
+        if !ok {
+            let id = match v.get_field("id")? {
+                Value::Null => None,
+                other => Some(u64_from(other, "field `id`")?),
+            };
+            let e = v.get_field("error")?;
+            let kind_s = get_str(e, "kind")?;
+            let kind = ErrorKind::from_str(&kind_s)
+                .ok_or_else(|| serde::Error::new(format!("unknown error kind {kind_s:?}")))?;
+            return Ok(Self::Error {
+                id,
+                kind,
+                message: get_str(e, "message")?,
+            });
+        }
+        let id = get_u64(v, "id")?;
+        match get_str(v, "reply")?.as_str() {
+            "pong" => Ok(Self::Pong { id }),
+            "shutting-down" => Ok(Self::ShuttingDown { id }),
+            "sim" => Ok(Self::Sim {
+                id,
+                result: SimResult::from_value(v.get_field("result")?)?,
+            }),
+            "stats" => Ok(Self::Stats {
+                id,
+                stats: StatsReply::from_value(v.get_field("stats")?)?,
+            }),
+            other => Err(serde::Error::new(format!("unknown reply {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding / decoding
+// ---------------------------------------------------------------------------
+
+/// Encodes a request as one frame line (no terminator).
+#[must_use]
+pub fn encode_request(r: &Request) -> String {
+    serde_json::to_string(r).expect("request serialization is infallible")
+}
+
+/// Encodes a response as one frame line (no terminator).
+#[must_use]
+pub fn encode_response(r: &Response) -> String {
+    serde_json::to_string(r).expect("response serialization is infallible")
+}
+
+fn decode<T: Deserialize>(line: &str) -> Result<T, ProtocolError> {
+    serde_json::from_str(line).map_err(|e| ProtocolError::Malformed {
+        message: e.to_string(),
+    })
+}
+
+/// Decodes one request frame.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] on any invalid input; never
+/// panics.
+pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
+    decode(line)
+}
+
+/// Decodes one response frame.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Malformed`] on any invalid input; never
+/// panics.
+pub fn decode_response(line: &str) -> Result<Response, ProtocolError> {
+    decode(line)
+}
+
+/// Best-effort extraction of the `id` field from a frame that failed full
+/// decoding, so error responses can still be correlated.
+#[must_use]
+pub fn salvage_id(line: &str) -> Option<u64> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    get_u64(&v, "id").ok()
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Reads LF-terminated frames from a byte stream with a hard per-frame
+/// size cap. An oversized frame is consumed (discarded) up to its
+/// terminator so the stream recovers on the next frame; the memory used
+/// is bounded by the cap regardless of input. Partially read frames are
+/// kept across calls, so a transient I/O error (e.g. a read timeout on
+/// a socket polled for shutdown) never corrupts the stream.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    input: R,
+    max_frame: usize,
+    /// Bytes of the frame currently being assembled.
+    buf: Vec<u8>,
+    /// The current frame already blew the cap; discard until its LF.
+    oversized: bool,
+}
+
+impl<R: std::io::BufRead> FrameReader<R> {
+    /// Wraps a buffered reader with the given frame cap (bytes, LF
+    /// included).
+    #[must_use]
+    pub fn new(input: R, max_frame: usize) -> Self {
+        assert!(max_frame > 0, "frame cap must be positive");
+        Self {
+            input,
+            max_frame,
+            buf: Vec::new(),
+            oversized: false,
+        }
+    }
+
+    fn take_frame(&mut self) -> Result<String, ProtocolError> {
+        let buf = std::mem::take(&mut self.buf);
+        if std::mem::take(&mut self.oversized) {
+            Err(ProtocolError::Oversized {
+                limit: self.max_frame,
+            })
+        } else {
+            finish_frame(buf)
+        }
+    }
+
+    /// Reads the next frame. `Ok(None)` is end of stream; a final
+    /// unterminated frame is returned as a normal frame (standard
+    /// text-protocol tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Outer `Err` is transport I/O failure — for `WouldBlock`/`TimedOut`
+    /// the reader stays consistent and the call can simply be retried;
+    /// inner `Err` is a per-frame protocol violation (the stream stays
+    /// usable).
+    #[allow(clippy::missing_panics_doc)] // buffer arithmetic cannot underflow
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Result<String, ProtocolError>>> {
+        loop {
+            let available = self.input.fill_buf()?;
+            if available.is_empty() {
+                // EOF.
+                if self.buf.is_empty() && !self.oversized {
+                    return Ok(None);
+                }
+                return Ok(Some(self.take_frame()));
+            }
+            let newline = available.iter().position(|&b| b == b'\n');
+            let take = newline.map_or(available.len(), |i| i + 1);
+            if !self.oversized {
+                if self.buf.len() + take > self.max_frame {
+                    self.oversized = true;
+                    self.buf.clear();
+                } else {
+                    self.buf.extend_from_slice(&available[..take]);
+                }
+            }
+            let done = newline.is_some();
+            self.input.consume(take);
+            if done {
+                return Ok(Some(self.take_frame()));
+            }
+        }
+    }
+}
+
+fn finish_frame(mut buf: Vec<u8>) -> Result<String, ProtocolError> {
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| ProtocolError::NotUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frames(bytes: &[u8], cap: usize) -> Vec<Result<String, ProtocolError>> {
+        let mut reader = FrameReader::new(Cursor::new(bytes.to_vec()), cap);
+        let mut out = Vec::new();
+        while let Some(frame) = reader.next_frame().expect("cursor I/O cannot fail") {
+            out.push(frame);
+        }
+        out
+    }
+
+    #[test]
+    fn frames_split_on_lf_and_tolerate_missing_terminator() {
+        let got = frames(b"abc\ndef\r\nghi", 64);
+        assert_eq!(
+            got,
+            vec![
+                Ok("abc".to_string()),
+                Ok("def".to_string()),
+                Ok("ghi".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_and_stream_recovers() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let got = frames(&data, 16);
+        assert_eq!(
+            got,
+            vec![
+                Err(ProtocolError::Oversized { limit: 16 }),
+                Ok("ok".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error_not_a_panic() {
+        let got = frames(&[0xff, 0xfe, b'\n', b'o', b'k', b'\n'], 64);
+        assert_eq!(got[0], Err(ProtocolError::NotUtf8));
+        assert_eq!(got[1], Ok("ok".to_string()));
+    }
+
+    #[test]
+    fn request_round_trip_all_variants() {
+        let requests = vec![
+            Request::Ping { id: 1 },
+            Request::Stats { id: 2 },
+            Request::Shutdown { id: 3 },
+            Request::Sim {
+                id: 4,
+                sim: SimRequest {
+                    circuit: CircuitSource::Name("c17".into()),
+                    models: "ci".into(),
+                    seed: 42,
+                    mu: 60e-12,
+                    sigma: 25e-12,
+                    transitions: 4,
+                    compare: true,
+                    timing: false,
+                },
+            },
+            Request::Sim {
+                id: 5,
+                sim: SimRequest {
+                    circuit: CircuitSource::Inline("INPUT(a)\nOUTPUT(y)\ny = NOR(a)\n".into()),
+                    ..SimRequest::default()
+                },
+            },
+        ];
+        for r in requests {
+            let line = encode_request(&r);
+            assert!(!line.contains('\n'), "frames must be single lines");
+            assert_eq!(decode_request(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_round_trip_all_variants() {
+        let responses = vec![
+            Response::Pong { id: 1 },
+            Response::ShuttingDown { id: 9 },
+            Response::Stats {
+                id: 2,
+                stats: StatsReply {
+                    model_loads: 1,
+                    model_requests: 10,
+                    cache_hits: 90,
+                    cache_misses: 3,
+                    cache_entries: 3,
+                    workers: 4,
+                    queue_capacity: 64,
+                    completed: 93,
+                    rejected: 2,
+                },
+            },
+            Response::Sim {
+                id: 3,
+                result: SimResult {
+                    fingerprint: hex64(0xdead_beef_0123_4567),
+                    cache: CacheOutcome::Hit,
+                    outputs: vec![OutputTrace {
+                        net: "y".into(),
+                        initial_high: false,
+                        toggles: vec![1.25e-10, 3.5e-10],
+                    }],
+                    compare: Some(CompareStats {
+                        t_err_digital: 3.2e-12,
+                        t_err_sigmoid: 1.1e-12,
+                        error_ratio: 0.34375,
+                    }),
+                    timing: Some(TimingStats {
+                        wall_analog_s: 0.015,
+                        wall_digital_s: 0.0001,
+                        wall_sigmoid_s: 0.0002,
+                    }),
+                },
+            },
+            Response::Error {
+                id: None,
+                kind: ErrorKind::Protocol,
+                message: "malformed frame: expected a JSON value at byte 0".into(),
+            },
+            Response::Error {
+                id: Some(7),
+                kind: ErrorKind::Overloaded,
+                message: "queue full".into(),
+            },
+        ];
+        for r in responses {
+            let line = encode_response(&r);
+            assert!(!line.contains('\n'));
+            assert_eq!(decode_response(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        for bad in [
+            "",
+            "null",
+            "42",
+            "{}",
+            "{\"id\":1}",
+            "{\"id\":1,\"op\":\"warp\"}",
+            "{\"id\":-3,\"op\":\"ping\"}",
+            "{\"id\":1e300,\"op\":\"ping\"}",
+            "{\"id\":1.5,\"op\":\"ping\"}",
+            "{\"id\":1,\"op\":\"sim\"}",
+            "{\"id\":1,\"op\":\"sim\",\"circuit\":{},\"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2}",
+            "{\"id\":1,\"op\":\"sim\",\"circuit\":{\"name\":\"c17\"},\"models\":\"x\",\"seed\":1,\"mu\":-1.0,\"sigma\":1e-11,\"transitions\":2}",
+            "{\"id\":1,\"op\":\"sim\",\"circuit\":{\"name\":\"c17\"},\"models\":\"x\",\"seed\":1,\"mu\":NaN,\"sigma\":1e-11,\"transitions\":2}",
+            // An absurd transition count must be rejected at decode, not
+            // allowed to size stimulus allocations in a worker.
+            "{\"id\":1,\"op\":\"sim\",\"circuit\":{\"name\":\"c17\"},\"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":1e15}",
+        ] {
+            assert!(
+                matches!(decode_request(bad), Err(ProtocolError::Malformed { .. })),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_defaults_apply_for_optional_fields() {
+        let line = "{\"id\":1,\"op\":\"sim\",\"circuit\":{\"name\":\"c17\"},\
+                    \"models\":\"ci\",\"seed\":1,\"mu\":6e-11,\"sigma\":2.5e-11,\
+                    \"transitions\":4}";
+        let Request::Sim { sim, .. } = decode_request(line).unwrap() else {
+            panic!("expected sim");
+        };
+        assert!(!sim.compare, "compare defaults off");
+        assert!(sim.timing, "timing defaults on");
+    }
+
+    #[test]
+    fn salvage_id_recovers_ids_from_bad_requests() {
+        assert_eq!(salvage_id("{\"id\":9,\"op\":\"warp\"}"), Some(9));
+        assert_eq!(salvage_id("{\"op\":\"ping\"}"), None);
+        assert_eq!(salvage_id("not json"), None);
+    }
+
+    #[test]
+    fn hex64_round_trip() {
+        for x in [0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef] {
+            assert_eq!(parse_hex64(&hex64(x)).unwrap(), x);
+        }
+        assert!(parse_hex64("123").is_err());
+        assert!(parse_hex64("ZZ23456789abcdef").is_err());
+    }
+}

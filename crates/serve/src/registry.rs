@@ -1,0 +1,331 @@
+//! The model registry: named [`TrainedModels`] bundles loaded **once**
+//! and shared as `Arc` across every request and worker thread.
+//!
+//! Before this layer existed, every entry point re-ran
+//! [`train_models_cached`] (and a [`DelayTable`] extraction) per
+//! invocation. The registry makes those artifacts resident: the first
+//! request for a name pays the load (disk cache hit or full training),
+//! every later request clones an `Arc`. The load counter backs the
+//! service-level guarantee — and the integration test's assertion — that
+//! models are loaded exactly once per name per daemon lifetime.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nanospice::EngineConfig;
+use sigchar::{AnalogOptions, DelayTable};
+use sigsim::{train_models_cached, GateModels, PipelineConfig, PipelineError, TrainedModels};
+use sigtom::TomOptions;
+
+/// One resident model bundle: everything a request needs that is
+/// expensive to build and safe to share.
+#[derive(Debug)]
+pub struct ModelSet {
+    /// Registry key this set was loaded under.
+    pub name: String,
+    /// The trained artifact (weights, datasets); `None` for synthetic
+    /// sets registered by tests/benches.
+    pub trained: Option<Arc<TrainedModels>>,
+    /// The runtime gate models (shared weight allocations).
+    pub models: Arc<GateModels>,
+    /// The per-fan-out delay table the digital baseline of compare-mode
+    /// requests uses (see [`DelaySource`]).
+    pub delays: DelaySource,
+    /// TOM prediction options paired with the models.
+    pub options: TomOptions,
+}
+
+/// Where a model set's [`DelayTable`] comes from. Extraction runs the
+/// analog chain characterization (tens of milliseconds), which only
+/// compare-mode requests need — so registry loads declare it
+/// [`DelaySource::on_demand`] and sigmoid-only traffic never pays for
+/// it; the first compare-mode request measures once and the result is
+/// shared from then on.
+#[derive(Debug, Default)]
+pub struct DelaySource {
+    measure_on_demand: bool,
+    cell: Mutex<Option<Arc<DelayTable>>>,
+}
+
+impl DelaySource {
+    /// No table and no way to measure one: compare mode is unavailable
+    /// (synthetic test/bench sets).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Measure lazily on first use, then stay resident.
+    #[must_use]
+    pub fn on_demand() -> Self {
+        Self {
+            measure_on_demand: true,
+            cell: Mutex::new(None),
+        }
+    }
+
+    /// A pre-built table.
+    #[must_use]
+    pub fn fixed(table: Arc<DelayTable>) -> Self {
+        Self {
+            measure_on_demand: false,
+            cell: Mutex::new(Some(table)),
+        }
+    }
+
+    /// The table, measuring it first if this source is on-demand and it
+    /// has not been measured yet (racing first uses measure once — the
+    /// cell lock is held across the measurement). `Ok(None)` means this
+    /// set cannot serve compare-mode requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the measurement failure; a later call retries.
+    pub fn get(&self) -> Result<Option<Arc<DelayTable>>, sigchar::CharError> {
+        let mut cell = self.cell.lock().expect("delay source poisoned");
+        if let Some(table) = &*cell {
+            return Ok(Some(Arc::clone(table)));
+        }
+        if !self.measure_on_demand {
+            return Ok(None);
+        }
+        let table = Arc::new(DelayTable::measure(
+            1..=6,
+            &AnalogOptions::default(),
+            &EngineConfig::default(),
+        )?);
+        *cell = Some(Arc::clone(&table));
+        Ok(Some(table))
+    }
+}
+
+/// Error resolving a model set.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The name matches no preset and no registered set.
+    UnknownName(String),
+    /// The training/loading pipeline failed.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownName(n) => write!(f, "unknown model set {n:?}"),
+            Self::Pipeline(e) => write!(f, "model pipeline failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The named pipeline presets the registry can load on demand. `ci` is
+/// the smoke-test scale ([`PipelineConfig::ci`]); `paper` the
+/// full-granularity sweep.
+pub const PRESETS: [&str; 4] = ["default", "fast", "ci", "paper"];
+
+/// The pipeline config and on-disk cache file name of a preset, or
+/// `None` for unknown names. Shared with `sigctl golden` so the
+/// service-free reference path trains/loads exactly the same artifact
+/// the daemon would.
+#[must_use]
+pub fn preset_config(name: &str) -> Option<(PipelineConfig, &'static str)> {
+    match name {
+        "default" => Some((PipelineConfig::default(), "default.json")),
+        "fast" => Some((PipelineConfig::fast(), "quickstart.json")),
+        "ci" => Some((PipelineConfig::ci(), "ci.json")),
+        "paper" => Some((
+            PipelineConfig {
+                characterization: sigchar::CharacterizationConfig::paper(),
+                ..PipelineConfig::default()
+            },
+            "paper.json",
+        )),
+        _ => None,
+    }
+}
+
+/// Per-name registry slot: the slot mutex serializes loading of *one*
+/// name, so racing first requests train exactly once, while lookups —
+/// resident or loading — of other names proceed untouched.
+#[derive(Debug, Default)]
+struct Slot {
+    state: Mutex<Option<Arc<ModelSet>>>,
+}
+
+/// The registry. The outer map lock is held only for slot lookup
+/// (microseconds); a first load (training + delay extraction, possibly
+/// minutes for `paper`) holds only its own name's slot lock, so traffic
+/// against already-resident sets never stalls behind it.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    /// Directory holding the on-disk model caches of the presets.
+    base_dir: PathBuf,
+    entries: Mutex<HashMap<String, Arc<Slot>>>,
+    loads: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// A registry whose preset caches live under `base_dir`.
+    #[must_use]
+    pub fn new(base_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            base_dir: base_dir.into(),
+            entries: Mutex::new(HashMap::new()),
+            loads: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(&self, name: &str) -> Arc<Slot> {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        Arc::clone(entries.entry(name.to_string()).or_default())
+    }
+
+    /// Registers a pre-built set (tests and benches use this to serve
+    /// synthetic models without training). Counts as one load.
+    pub fn insert(&self, set: ModelSet) {
+        let slot = self.slot(&set.name);
+        *slot.state.lock().expect("registry slot poisoned") = Some(Arc::new(set));
+        self.loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolves a name: a resident set is cloned; a known preset is
+    /// loaded (disk cache or training), inserted and returned (its delay
+    /// table is measured lazily on first compare-mode use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError`] on unknown names or pipeline failure.
+    pub fn get_or_load(&self, name: &str) -> Result<Arc<ModelSet>, RegistryError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slot(name);
+        let mut state = slot.state.lock().expect("registry slot poisoned");
+        if let Some(set) = &*state {
+            return Ok(Arc::clone(set));
+        }
+        let (config, cache_file) =
+            preset_config(name).ok_or_else(|| RegistryError::UnknownName(name.to_string()))?;
+        // Load while holding this name's slot lock: a racing request for
+        // the same name waits here, then takes the resident branch above —
+        // never a second training run.
+        let trained = train_models_cached(&self.base_dir.join(cache_file), &config)
+            .map_err(RegistryError::Pipeline)?;
+        let models = Arc::new(trained.gate_models());
+        let set = Arc::new(ModelSet {
+            name: name.to_string(),
+            trained: Some(Arc::new(trained)),
+            models,
+            delays: DelaySource::on_demand(),
+            options: TomOptions::default(),
+        });
+        *state = Some(Arc::clone(&set));
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        Ok(set)
+    }
+
+    /// Number of sets actually loaded (trained or read from disk), not
+    /// served resident.
+    #[must_use]
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups, resident or not.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// A synthetic sigmoid-only model set (fixed transfer function, no delay
+/// table) for fast unit tests across the crate.
+#[cfg(test)]
+pub(crate) fn synthetic_set(name: &str) -> ModelSet {
+    use sigtom::{GateModel, TransferFunction, TransferPrediction, TransferQuery};
+
+    struct Fixed;
+    impl TransferFunction for Fixed {
+        fn predict(&self, q: TransferQuery) -> TransferPrediction {
+            TransferPrediction {
+                a_out: -q.a_in.signum() * 14.0,
+                delay: 0.05,
+            }
+        }
+        fn backend_name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    ModelSet {
+        name: name.to_string(),
+        trained: None,
+        models: Arc::new(GateModels::uniform(GateModel::new(Arc::new(Fixed)))),
+        delays: DelaySource::none(),
+        options: TomOptions::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cargo runs package tests with the package directory as cwd; use
+    /// the workspace target dir so model caches are shared with the
+    /// repo-level tests and never litter `crates/serve/target/`.
+    pub(crate) const TEST_MODELS_DIR: &str =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/sigmodels");
+
+    #[test]
+    fn unknown_names_are_errors() {
+        let r = ModelRegistry::new(TEST_MODELS_DIR);
+        assert!(matches!(
+            r.get_or_load("nonsense"),
+            Err(RegistryError::UnknownName(_))
+        ));
+        // A failed resolve still counts as a request, not a load.
+        assert_eq!(r.requests(), 1);
+        assert_eq!(r.loads(), 0);
+    }
+
+    #[test]
+    fn inserted_sets_resolve_without_loading() {
+        let r = ModelRegistry::new(TEST_MODELS_DIR);
+        r.insert(synthetic_set("synth"));
+        let a = r.get_or_load("synth").unwrap();
+        let b = r.get_or_load("synth").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "resident set must be shared");
+        assert!(Arc::ptr_eq(&a.models, &b.models));
+        assert_eq!(r.loads(), 1, "insert counts as the single load");
+        assert_eq!(r.requests(), 2);
+    }
+
+    #[test]
+    fn concurrent_first_requests_load_once() {
+        // Uses the ci preset backed by the shared on-disk cache; eight
+        // threads race the first resolve and the pipeline must run once.
+        let r = Arc::new(ModelRegistry::new(TEST_MODELS_DIR));
+        let sets: Vec<Arc<ModelSet>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let r = Arc::clone(&r);
+                    scope.spawn(move || r.get_or_load("ci").unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(r.loads(), 1, "exactly one load under concurrency");
+        assert_eq!(r.requests(), 8);
+        for s in &sets[1..] {
+            assert!(
+                Arc::ptr_eq(&sets[0].models, &s.models),
+                "all requests share one GateModels allocation"
+            );
+        }
+        let table = sets[0].delays.get().expect("measurement succeeds");
+        assert!(table.is_some(), "preset sets can serve compare mode");
+    }
+}

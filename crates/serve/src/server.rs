@@ -1,0 +1,426 @@
+//! Wire transports for the [`Service`]: TCP (`std::net`) and a stdio
+//! mode for CI pipelines and tests.
+//!
+//! Both speak the newline-delimited JSON protocol of
+//! [`crate::protocol`]. Responses stream back as each request finishes —
+//! possibly out of request order; clients correlate by id. A connection
+//! writer is mutex-guarded so each frame is written atomically.
+//!
+//! Graceful shutdown: a `shutdown` request stops the accept loop (TCP)
+//! or the read loop (stdio), lets every queued and running simulation
+//! drain, then acknowledges. On stdio, end-of-input likewise drains
+//! before exit, so piping a request file through the daemon always
+//! yields every response. (Catching SIGTERM needs platform hooks outside
+//! std; process supervisors should send the `shutdown` frame — see
+//! `DESIGN.md` § Service layer.)
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{decode_request, encode_response, salvage_id, FrameReader, Response};
+use crate::service::{Handled, Service};
+
+/// Writes one response frame; errors are ignored (the peer may have left
+/// without waiting — its work is not worth crashing a worker over).
+fn respond_line<W: Write>(writer: &Mutex<W>, response: &Response) {
+    let mut w = writer.lock().expect("writer poisoned");
+    let _ = writeln!(w, "{}", encode_response(response));
+    let _ = w.flush();
+}
+
+/// Drives one connection (any `BufRead`/`Write` pair) to completion:
+/// reads frames until EOF or an acknowledged shutdown, then drains the
+/// service so every accepted request has answered. Returns what ended
+/// the connection.
+///
+/// `stop` is the daemon-wide shutdown flag: a transport whose reads can
+/// time out (TCP handlers use a read timeout) passes it so idle
+/// connections notice a shutdown initiated elsewhere and exit instead of
+/// pinning the process on a blocking read forever. `None` (stdio, tests)
+/// reads until EOF or a shutdown frame on this very connection.
+pub fn run_connection<R, W>(
+    service: &Arc<Service>,
+    reader: R,
+    writer: W,
+    stop: Option<&AtomicBool>,
+) -> Handled
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let writer = Arc::new(Mutex::new(writer));
+    let mut frames = FrameReader::new(reader, service.config().max_frame);
+    let outcome = loop {
+        // Checked every iteration, not only on read timeouts: a client
+        // that keeps sending frames must not keep the daemon alive after
+        // another connection's shutdown was acknowledged.
+        if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+            break Handled::Continue;
+        }
+        let frame = match frames.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break Handled::Continue, // EOF
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Read timeout: the frame reader kept any partial frame;
+                // leave if the daemon is shutting down, else keep reading.
+                if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                    break Handled::Continue;
+                }
+                continue;
+            }
+            Err(_) => break Handled::Continue, // transport failure
+        };
+        let line = match frame {
+            Ok(line) => line,
+            Err(e) => {
+                respond_line(&writer, &e.to_response(None));
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match decode_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                respond_line(&writer, &e.to_response(salvage_id(&line)));
+                continue;
+            }
+        };
+        let respond_writer = Arc::clone(&writer);
+        let handled = service.handle_request(request, move |response| {
+            respond_line(&respond_writer, &response);
+        });
+        if handled == Handled::Shutdown {
+            break Handled::Shutdown;
+        }
+    };
+    // Every sim accepted from this connection must answer before the
+    // writer is dropped (drain is service-wide: coarse but simple, and
+    // shutdown wants it anyway).
+    service.drain();
+    outcome
+}
+
+/// Serves the protocol on stdin/stdout until EOF or shutdown.
+pub fn serve_stdio(service: &Arc<Service>) {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_connection(service, stdin.lock(), stdout, None);
+}
+
+/// Serves the protocol on a bound TCP listener until a client requests
+/// shutdown. Each connection gets a handler thread; a `shutdown` frame
+/// on any connection stops the accept loop, drains, and returns.
+///
+/// # Errors
+///
+/// Returns the I/O error that broke the accept loop, if any.
+pub fn serve_tcp(service: &Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(service);
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || {
+                    handle_tcp_connection(&service, stream, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    service.drain();
+    Ok(())
+}
+
+fn handle_tcp_connection(service: &Arc<Service>, stream: TcpStream, stop: &AtomicBool) {
+    // The listener is non-blocking; accepted streams must block again —
+    // but with a read timeout, so idle connections poll the shutdown
+    // flag instead of pinning the daemon on a blocking read forever.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    // Writes time out too: a client that stops reading its responses
+    // would otherwise block a pool worker forever inside `respond_line`
+    // (holding this connection's writer mutex) once the kernel send
+    // buffer fills — one dead reader must never wedge the pool. After a
+    // timeout the write errors out; `respond_line` drops the frame and
+    // only that client's stream is affected.
+    if stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .is_err()
+    {
+        return;
+    }
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    if run_connection(service, reader, stream, Some(stop)) == Handled::Shutdown {
+        stop.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{
+        decode_response, encode_request, CircuitSource, ErrorKind, Request, SimRequest,
+    };
+    use crate::registry::synthetic_set;
+    use crate::service::ServiceConfig;
+    use std::io::Cursor;
+
+    fn test_service() -> Arc<Service> {
+        let service = Service::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 4,
+            ..ServiceConfig::default()
+        });
+        service.registry().insert(synthetic_set("synth"));
+        service
+    }
+
+    fn drive(service: &Arc<Service>, input: &str) -> Vec<Response> {
+        let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        run_connection(
+            service,
+            Cursor::new(input.as_bytes().to_vec()),
+            SharedWriter(Arc::clone(&out)),
+            None,
+        );
+        let bytes = out.lock().expect("buffer").clone();
+        String::from_utf8(bytes)
+            .expect("responses are UTF-8")
+            .lines()
+            .map(|l| decode_response(l).expect("valid response frame"))
+            .collect()
+    }
+
+    fn sim_line(id: u64, compare: bool) -> String {
+        encode_request(&Request::Sim {
+            id,
+            sim: SimRequest {
+                circuit: CircuitSource::Name("c17".into()),
+                models: "synth".into(),
+                seed: id,
+                compare,
+                timing: false,
+                ..SimRequest::default()
+            },
+        })
+    }
+
+    #[test]
+    fn ping_stats_and_sim_over_one_connection() {
+        let service = test_service();
+        let input = format!(
+            "{}\n{}\n{}\n",
+            encode_request(&Request::Ping { id: 1 }),
+            sim_line(2, false),
+            encode_request(&Request::Stats { id: 3 }),
+        );
+        let responses = drive(&service, &input);
+        assert_eq!(responses.len(), 3);
+        assert!(responses.contains(&Response::Pong { id: 1 }));
+        let sim = responses
+            .iter()
+            .find_map(|r| match r {
+                Response::Sim { id: 2, result } => Some(result),
+                _ => None,
+            })
+            .expect("sim response");
+        assert_eq!(sim.outputs.len(), 2, "c17 has two outputs");
+        // Stats may race the sim completion (responses interleave), but
+        // the registry/cache counters are already final after drain.
+        assert_eq!(service.registry().loads(), 1);
+        assert_eq!(service.cache().misses(), 1);
+    }
+
+    #[test]
+    fn malformed_frames_get_protocol_errors_and_stream_recovers() {
+        let service = test_service();
+        let big = "x".repeat(service.config().max_frame + 10);
+        let input = format!(
+            "not json\n{}\n{{\"id\":9,\"op\":\"warp\"}}\n{}\n",
+            big,
+            encode_request(&Request::Ping { id: 4 }),
+        );
+        let responses = drive(&service, &input);
+        assert_eq!(responses.len(), 4);
+        let errors: Vec<_> = responses
+            .iter()
+            .filter_map(|r| match r {
+                Response::Error { id, kind, .. } => Some((*id, *kind)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(errors.len(), 3);
+        assert!(errors.contains(&(None, ErrorKind::Protocol)));
+        assert!(
+            errors.contains(&(Some(9), ErrorKind::Protocol)),
+            "id salvaged from bad op frame"
+        );
+        assert!(responses.contains(&Response::Pong { id: 4 }));
+    }
+
+    #[test]
+    fn shutdown_drains_and_rejects_later_sims() {
+        let service = test_service();
+        let input = format!(
+            "{}\n{}\n{}\n",
+            sim_line(1, false),
+            encode_request(&Request::Shutdown { id: 2 }),
+            sim_line(3, false),
+        );
+        let responses = drive(&service, &input);
+        // The post-shutdown sim is never read (connection ends at
+        // shutdown), so exactly two responses arrive.
+        assert_eq!(responses.len(), 2);
+        assert!(responses.contains(&Response::ShuttingDown { id: 2 }));
+        assert!(matches!(
+            responses.iter().find(|r| r.id() == Some(1)),
+            Some(Response::Sim { .. })
+        ));
+        // A fresh connection to the draining service rejects sims.
+        let responses = drive(&service, &format!("{}\n", sim_line(5, false)));
+        assert_eq!(
+            responses,
+            vec![Response::Error {
+                id: Some(5),
+                kind: ErrorKind::ShuttingDown,
+                message: "daemon is draining".to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn tcp_shutdown_exits_despite_idle_connections() {
+        // Regression: an idle open connection must not pin the daemon
+        // after another client requests shutdown.
+        let service = test_service();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve_tcp(&service, listener).expect("serve"))
+        };
+        // Idle client: connects, sends nothing, stays open.
+        let idle = TcpStream::connect(addr).expect("connect idle");
+        let mut active = TcpStream::connect(addr).expect("connect active");
+        writeln!(active, "{}", encode_request(&Request::Shutdown { id: 1 })).expect("send");
+        let mut ack = String::new();
+        BufReader::new(active.try_clone().expect("clone"))
+            .read_line(&mut ack)
+            .expect("ack");
+        assert_eq!(
+            decode_response(ack.trim()).expect("response"),
+            Response::ShuttingDown { id: 1 }
+        );
+        // The daemon must exit even though `idle` never closed.
+        server.join().expect("server exits");
+        drop(idle);
+    }
+
+    #[test]
+    fn tcp_shutdown_exits_despite_chatty_connections() {
+        // Regression: a client that keeps sending frames (so its reads
+        // never time out) must not keep the daemon alive either.
+        let service = test_service();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve_tcp(&service, listener).expect("serve"))
+        };
+        let chatty = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect chatty");
+            let mut id = 100u64;
+            // Pings faster than the read timeout until the daemon hangs up.
+            loop {
+                id += 1;
+                if writeln!(stream, "{}", encode_request(&Request::Ping { id })).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let mut active = TcpStream::connect(addr).expect("connect active");
+        writeln!(active, "{}", encode_request(&Request::Shutdown { id: 1 })).expect("send");
+        let mut ack = String::new();
+        BufReader::new(active.try_clone().expect("clone"))
+            .read_line(&mut ack)
+            .expect("ack");
+        assert_eq!(
+            decode_response(ack.trim()).expect("response"),
+            Response::ShuttingDown { id: 1 }
+        );
+        // Would hang forever before the per-iteration stop check.
+        server.join().expect("server exits");
+        chatty.join().expect("chatty client unblocks");
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let service = test_service();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve_tcp(&service, listener).expect("serve"))
+        };
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{}", sim_line(7, false)).expect("send");
+        writeln!(stream, "{}", encode_request(&Request::Shutdown { id: 8 })).expect("send");
+        let mut responses = Vec::new();
+        for line in BufReader::new(stream.try_clone().expect("clone")).lines() {
+            let line = line.expect("read");
+            responses.push(decode_response(&line).expect("response"));
+            if responses.len() == 2 {
+                break;
+            }
+        }
+        server.join().expect("server thread");
+        assert!(matches!(
+            responses.iter().find(|r| r.id() == Some(7)),
+            Some(Response::Sim { .. })
+        ));
+        assert!(responses.contains(&Response::ShuttingDown { id: 8 }));
+    }
+}

@@ -1,0 +1,392 @@
+//! The service core: request execution and scheduling, independent of
+//! any transport (the TCP and stdio frontends in [`crate::server`] and
+//! the in-process benches drive the same [`Service`]).
+//!
+//! The service is a **scheduling layer, never a numerics layer**: a sim
+//! request resolves its artifacts (registry, cache), derives stimuli from
+//! its seed exactly like a direct harness call, and then calls the very
+//! same [`sigsim`] entry points. Responses are bit-identical to direct
+//! calls with the same seed (property the integration test enforces).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sigcircuit::{Benchmark, Circuit, NetId};
+use sigsim::{
+    compare_circuit, digital_to_sigmoid, random_stimuli, simulate_sigmoid, HarnessConfig,
+    StimulusSpec,
+};
+use sigwave::parallel::WorkerPool;
+use sigwave::{DigitalTrace, SigmoidTrace};
+
+use crate::cache::CircuitCache;
+use crate::protocol::{
+    CacheOutcome, CompareStats, ErrorKind, OutputTrace, Request, Response, SimRequest, SimResult,
+    StatsReply, TimingStats,
+};
+use crate::registry::{ModelRegistry, ModelSet, RegistryError};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Scheduler worker threads (`0` = auto-detect).
+    pub workers: usize,
+    /// Bounded queue depth; sim requests beyond it are rejected with
+    /// `overloaded` (explicit backpressure, never unbounded buffering).
+    pub queue_capacity: usize,
+    /// Maximum circuits resident in the LRU cache.
+    pub cache_capacity: usize,
+    /// Directory for the model registry's on-disk preset caches.
+    pub models_dir: std::path::PathBuf,
+    /// Per-frame size cap in bytes for the wire transports.
+    pub max_frame: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            models_dir: std::path::PathBuf::from("target/sigmodels"),
+            max_frame: crate::protocol::MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// What [`Service::handle_request`] tells the transport to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handled {
+    /// Keep reading frames.
+    Continue,
+    /// A shutdown was acknowledged: stop reading, drain, exit.
+    Shutdown,
+}
+
+/// The resident service: registry + cache + bounded scheduler.
+pub struct Service {
+    config: ServiceConfig,
+    registry: ModelRegistry,
+    cache: CircuitCache,
+    pool: WorkerPool,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Builds the service and spawns its worker pool.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Arc<Self> {
+        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        Arc::new(Self {
+            registry: ModelRegistry::new(config.models_dir.clone()),
+            cache: CircuitCache::new(config.cache_capacity),
+            pool,
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            config,
+        })
+    }
+
+    /// The model registry (exposed so embedders — tests, benches — can
+    /// pre-register synthetic model sets).
+    #[must_use]
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The circuit cache (counters feed stats and tests).
+    #[must_use]
+    pub fn cache(&self) -> &CircuitCache {
+        &self.cache
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsReply {
+        StatsReply {
+            model_loads: self.registry.loads(),
+            model_requests: self.registry.requests(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.entries() as u64,
+            workers: self.pool.worker_count() as u64,
+            queue_capacity: self.config.queue_capacity as u64,
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until all queued and running simulations finish.
+    pub fn drain(&self) {
+        self.pool.drain();
+    }
+
+    /// Direct pool access for deterministic scheduling tests.
+    #[cfg(test)]
+    pub(crate) fn pool_for_tests(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Handles one decoded request. Cheap requests (ping, stats,
+    /// shutdown) are answered inline via `respond`; sim requests are
+    /// scheduled on the pool and answered from a worker thread, so
+    /// `respond` must be callable from any thread, and responses to
+    /// different requests may interleave in any order (clients correlate
+    /// by id). When the queue is full the request is rejected immediately
+    /// with an `overloaded` error — backpressure is explicit.
+    pub fn handle_request(
+        self: &Arc<Self>,
+        request: Request,
+        respond: impl Fn(Response) + Send + Sync + 'static,
+    ) -> Handled {
+        match request {
+            Request::Ping { id } => {
+                respond(Response::Pong { id });
+                Handled::Continue
+            }
+            Request::Stats { id } => {
+                respond(Response::Stats {
+                    id,
+                    stats: self.stats(),
+                });
+                Handled::Continue
+            }
+            Request::Shutdown { id } => {
+                self.draining.store(true, Ordering::SeqCst);
+                self.pool.drain();
+                respond(Response::ShuttingDown { id });
+                Handled::Shutdown
+            }
+            Request::Sim { id, sim } => {
+                if self.draining.load(Ordering::SeqCst) {
+                    respond(Response::Error {
+                        id: Some(id),
+                        kind: ErrorKind::ShuttingDown,
+                        message: "daemon is draining".to_string(),
+                    });
+                    return Handled::Continue;
+                }
+                let service = Arc::clone(self);
+                let respond = Arc::new(respond);
+                let job_respond = Arc::clone(&respond);
+                let submitted = self.pool.try_execute(move || {
+                    let response = match service.execute_sim(&sim) {
+                        Ok(result) => Response::Sim { id, result },
+                        Err((kind, message)) => Response::Error {
+                            id: Some(id),
+                            kind,
+                            message,
+                        },
+                    };
+                    service.completed.fetch_add(1, Ordering::Relaxed);
+                    job_respond(response);
+                });
+                if submitted.is_err() {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    respond(Response::Error {
+                        id: Some(id),
+                        kind: ErrorKind::Overloaded,
+                        message: format!(
+                            "scheduler queue is full ({} pending); retry later",
+                            self.config.queue_capacity
+                        ),
+                    });
+                }
+                Handled::Continue
+            }
+        }
+    }
+
+    /// Resolves a sim request's circuit through the cache.
+    fn resolve_circuit(
+        &self,
+        sim: &SimRequest,
+    ) -> Result<(Arc<Circuit>, bool), (ErrorKind, String)> {
+        self.cache
+            .get_or_insert(&sim.circuit, || build_circuit(&sim.circuit))
+            .map_err(|message| (ErrorKind::Circuit, message))
+    }
+
+    /// Executes one simulation synchronously (the worker-thread body).
+    ///
+    /// # Errors
+    ///
+    /// Returns the protocol error kind and message on any failure.
+    pub fn execute_sim(&self, sim: &SimRequest) -> Result<SimResult, (ErrorKind, String)> {
+        let set = self.registry.get_or_load(&sim.models).map_err(|e| {
+            let kind = match e {
+                RegistryError::UnknownName(_) => ErrorKind::UnknownModels,
+                _ => ErrorKind::Simulation,
+            };
+            (kind, e.to_string())
+        })?;
+        let (circuit, hit) = self.resolve_circuit(sim)?;
+        let cache = if hit {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        run_sim(&circuit, &set, sim, cache)
+    }
+}
+
+/// Builds the circuit of a source, NOR-mapping when needed (the cache
+/// miss path).
+fn build_circuit(source: &crate::protocol::CircuitSource) -> Result<Circuit, String> {
+    match source {
+        crate::protocol::CircuitSource::Name(name) => Benchmark::by_name(name)
+            .map(|b| b.nor_mapped)
+            .map_err(|n| format!("unknown benchmark circuit {n:?}")),
+        crate::protocol::CircuitSource::Inline(text) => {
+            let format = sigcircuit::sniff_format(text);
+            let circuit = sigcircuit::parse_circuit(text, format).map_err(|e| e.to_string())?;
+            Ok(map_for_simulation(circuit))
+        }
+    }
+}
+
+/// Prepares an arbitrary netlist for the NOR-only prototype: non-NOR
+/// circuits are NOR-mapped and fan-out-limited exactly like the built-in
+/// benchmarks ([`Benchmark::by_name`] applies the same recipe), so an
+/// inline netlist and its named twin simulate identically.
+pub fn map_for_simulation(circuit: Circuit) -> Circuit {
+    if circuit.is_nor_only() {
+        circuit
+    } else {
+        sigcircuit::limit_fanout(
+            &sigcircuit::to_nor_only(&circuit, sigcircuit::NorMappingOptions::default()),
+            4,
+        )
+    }
+}
+
+/// Derives the per-request digital stimuli exactly like the direct
+/// harness path: a [`StimulusSpec`] plus a seed-derived RNG.
+fn stimuli_for(circuit: &Circuit, sim: &SimRequest) -> HashMap<NetId, DigitalTrace> {
+    let spec = StimulusSpec::new(sim.mu, sim.sigma, sim.transitions);
+    let mut rng = StdRng::seed_from_u64(sim.seed);
+    random_stimuli(circuit, &spec, &mut rng)
+}
+
+/// Runs the requested simulation on already-resolved artifacts. This is
+/// the only numerics entry point of the service; `sigctl golden` calls it
+/// with directly-built artifacts to produce the independent reference the
+/// CI smoke job diffs against.
+///
+/// # Errors
+///
+/// Returns the protocol error kind and message on simulation failure.
+pub fn run_sim(
+    circuit: &Circuit,
+    set: &ModelSet,
+    sim: &SimRequest,
+    cache: CacheOutcome,
+) -> Result<SimResult, (ErrorKind, String)> {
+    let stimuli = stimuli_for(circuit, sim);
+    let threshold = set.options.vdd / 2.0;
+    let fingerprint = crate::protocol::hex64(circuit.fingerprint());
+    if sim.compare {
+        let delays = set.delays.get().map_err(|e| {
+            (
+                ErrorKind::Simulation,
+                format!("delay extraction failed: {e}"),
+            )
+        })?;
+        let Some(delays) = delays else {
+            return Err((
+                ErrorKind::Simulation,
+                format!(
+                    "model set {:?} has no delay table; compare mode unavailable",
+                    set.name
+                ),
+            ));
+        };
+        let config = HarnessConfig::default();
+        let outcome = compare_circuit(circuit, &stimuli, &set.models, &delays, &config)
+            .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+        let outputs = outcome
+            .bundles
+            .iter()
+            .map(|b| {
+                let d = b.sigmoid.digitize(threshold);
+                OutputTrace {
+                    net: b.net.clone(),
+                    initial_high: d.initial().is_high(),
+                    toggles: d.toggles().to_vec(),
+                }
+            })
+            .collect();
+        Ok(SimResult {
+            fingerprint,
+            cache,
+            outputs,
+            compare: Some(CompareStats {
+                t_err_digital: outcome.t_err_digital,
+                t_err_sigmoid: outcome.t_err_sigmoid,
+                error_ratio: outcome.error_ratio(),
+            }),
+            timing: sim.timing.then_some(TimingStats {
+                wall_analog_s: outcome.wall_analog.as_secs_f64(),
+                wall_digital_s: outcome.wall_digital.as_secs_f64(),
+                wall_sigmoid_s: outcome.wall_sigmoid.as_secs_f64(),
+            }),
+        })
+    } else {
+        // Sigmoid-only: inputs are the digital stimuli converted at the
+        // fixed same-stimulus slope (no analog run involved) — the
+        // deterministic cheap path for throughput workloads.
+        let sigmoid_stimuli: HashMap<NetId, Arc<SigmoidTrace>> = stimuli
+            .iter()
+            .map(|(&net, trace)| (net, Arc::new(digital_to_sigmoid(trace, set.options.vdd))))
+            .collect();
+        let start = Instant::now();
+        let result = simulate_sigmoid(circuit, &sigmoid_stimuli, &set.models, set.options)
+            .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+        let wall_sigmoid = start.elapsed();
+        let outputs = circuit
+            .outputs()
+            .iter()
+            .map(|&o| {
+                let d = result.trace(o).digitize(threshold);
+                OutputTrace {
+                    net: circuit.net_name(o).to_string(),
+                    initial_high: d.initial().is_high(),
+                    toggles: d.toggles().to_vec(),
+                }
+            })
+            .collect();
+        Ok(SimResult {
+            fingerprint,
+            cache,
+            outputs,
+            compare: None,
+            timing: sim.timing.then_some(TimingStats {
+                wall_analog_s: 0.0,
+                wall_digital_s: 0.0,
+                wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
+            }),
+        })
+    }
+}

@@ -81,3 +81,23 @@ pub use simulator::{
     SigmoidSimResult, MODEL_SLOTS,
 };
 pub use stimulus::StimulusSpec;
+
+// Compile-time audit: everything the `sigserve` registry shares across
+// long-lived worker threads (`Arc<TrainedModels>`, `Arc<GateModels>`, the
+// harness inputs and outputs) must be `Send + Sync`. `GateModels` holds
+// `Arc<dyn TransferFunction + Send + Sync>` transfer backends, so the
+// bounds propagate to every implementation; a regression (e.g. an `Rc` or
+// `RefCell` slipping into a model) fails compilation here rather than
+// deep inside the service.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GateModels>();
+    assert_send_sync::<TrainedModels>();
+    assert_send_sync::<SigmoidSimResult>();
+    assert_send_sync::<ComparisonOutcome>();
+    assert_send_sync::<HarnessConfig>();
+    assert_send_sync::<StimulusSpec>();
+    assert_send_sync::<sigcircuit::Circuit>();
+    assert_send_sync::<sigchar::DelayTable>();
+    assert_send_sync::<sigwave::SigmoidTrace>();
+};

@@ -74,6 +74,34 @@ impl PipelineConfig {
         }
     }
 
+    /// A minimal smoke-test pipeline (coarsest sweep, very short
+    /// training): trains in about a second, giving CI jobs and service
+    /// tests real (if rough) models with deterministic weights. Accuracy
+    /// is NOT representative — use [`PipelineConfig::fast`] or the default
+    /// for anything quantitative.
+    #[must_use]
+    pub fn ci() -> Self {
+        Self {
+            characterization: CharacterizationConfig {
+                sweep: sigchar::PulseSweep {
+                    min: 10e-12,
+                    max: 20e-12,
+                    step: 5e-12, // 3 values -> 27 runs per gate variant
+                    t0: 60e-12,
+                },
+                chain_targets: 3,
+                ..CharacterizationConfig::default()
+            },
+            training: AnnTrainConfig {
+                epochs: 250,
+                patience: 0,
+                ..AnnTrainConfig::default()
+            },
+            region_margin: Some(4.0),
+            parallelism: sigwave::parallel::available_parallelism(),
+        }
+    }
+
     /// Sets every parallelism knob in the pipeline — the variant fan-out
     /// plus the nested characterization-sweep and per-network-training
     /// pools (`0` = auto-detect, `1` = fully sequential).
@@ -146,17 +174,21 @@ impl From<serde_json::Error> for PipelineError {
 }
 
 /// One trained gate variant in serializable form.
+///
+/// The ANN and region are held behind `Arc` so [`TrainedModels::gate_models`]
+/// shares the trained weights instead of deep-cloning them — the `sigserve`
+/// model registry hands the same allocations to every request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct StoredModel {
-    ann: AnnTransfer,
-    region: Option<ValidRegion>,
+    ann: Arc<AnnTransfer>,
+    region: Option<Arc<ValidRegion>>,
 }
 
 impl StoredModel {
     fn to_gate_model(&self) -> GateModel {
-        let mut m = GateModel::new(Arc::new(self.ann.clone()));
+        let mut m = GateModel::new(Arc::clone(&self.ann) as _);
         if let Some(r) = &self.region {
-            m = m.with_region(Arc::new(r.clone()));
+            m = m.with_region(Arc::clone(r));
         }
         m
     }
@@ -198,7 +230,7 @@ fn train_one(
     config: &PipelineConfig,
 ) -> Result<(StoredModel, Dataset), PipelineError> {
     let outcome = characterize(tag, &config.characterization)?;
-    let ann = AnnTransfer::train(&outcome.dataset, &config.training)?;
+    let ann = Arc::new(AnnTransfer::train(&outcome.dataset, &config.training)?);
     let region = config.region_margin.map(|margin| {
         let pts: Vec<[f64; 3]> = outcome
             .dataset
@@ -207,7 +239,7 @@ fn train_one(
             .chain(&outcome.dataset.falling)
             .map(|s| s.features())
             .collect();
-        ValidRegion::build(&pts, margin)
+        Arc::new(ValidRegion::build(&pts, margin))
     });
     Ok((StoredModel { ann, region }, outcome.dataset))
 }

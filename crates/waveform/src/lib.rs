@@ -45,11 +45,13 @@ pub mod metrics;
 pub mod parallel;
 mod sigmoid;
 mod trace;
+pub mod vcd;
 
 pub use analog::{BuildWaveformError, CrossingDirection, Waveform};
 pub use digital::{DigitalTrace, Level, MonotonicityError};
 pub use sigmoid::{PairExtremum, Sigmoid};
 pub use trace::{BuildTraceError, SigmoidTrace};
+pub use vcd::{write_vcd, VcdSignal};
 
 /// Supply voltage used throughout the reproduction, matching the paper's
 /// Nangate 15 nm FinFET characterization point (`VDD = 0.8 V`).

@@ -12,9 +12,20 @@
 //! * **Config-gated** — callers expose a `parallelism: usize` knob
 //!   defaulting to [`available_parallelism`]; `0` means "auto" and `1`
 //!   falls back to a plain sequential loop on the calling thread.
+//!
+//! Two execution styles share these constraints:
+//!
+//! * [`par_map`]/[`try_par_map`] — scoped fork-join over a slice, workers
+//!   live for one call. Right for batch jobs that own their full input.
+//! * [`WorkerPool`] — a long-lived handle over resident worker threads
+//!   with a bounded job queue, for callers that receive work over time
+//!   (the `sigserve` request scheduler). Jobs are `'static` closures;
+//!   rejection ([`WorkerPool::try_execute`]) instead of blocking gives
+//!   the caller explicit backpressure.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The default worker count: the hardware's available parallelism (falls
 /// back to 1 when the runtime cannot tell).
@@ -142,6 +153,272 @@ where
     Ok(results)
 }
 
+/// A job submitted to a [`WorkerPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned by [`WorkerPool::try_execute`] when the bounded queue is
+/// at capacity — the caller must shed load (the service layer maps this to
+/// an `overloaded` protocol error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFull;
+
+impl std::fmt::Display for PoolFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker pool queue is full")
+    }
+}
+
+impl std::error::Error for PoolFull {}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    /// Jobs currently executing on a worker (dequeued but not finished).
+    active: usize,
+    /// Set once; workers exit after the queue drains.
+    shutting_down: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is pushed or shutdown begins (wakes workers).
+    work: Condvar,
+    /// Signalled when a job finishes or the queue empties (wakes
+    /// [`WorkerPool::drain`] and capacity waiters).
+    settled: Condvar,
+    capacity: usize,
+    /// Jobs that unwound instead of returning (see
+    /// [`WorkerPool::panicked_jobs`]).
+    panicked: AtomicUsize,
+}
+
+/// A long-lived pool of resident worker threads with a bounded job queue.
+///
+/// Unlike [`par_map`], which spawns scoped workers per call, a
+/// `WorkerPool` is created once and fed jobs over time — the execution
+/// substrate for long-running processes such as the `sigserve` daemon,
+/// where per-request thread spawning (or per-request scoped pools) would
+/// pay setup costs on every request and provide no backpressure.
+///
+/// * **Bounded** — [`WorkerPool::try_execute`] rejects with [`PoolFull`]
+///   when `capacity` jobs are already queued (running jobs do not count);
+///   the caller decides whether to retry, block or shed.
+/// * **Graceful shutdown** — [`WorkerPool::shutdown`] (also run on drop)
+///   lets queued and running jobs finish, then joins every worker; no job
+///   that was accepted is ever dropped.
+/// * **Deterministic effects** — jobs run exactly once, in FIFO dequeue
+///   order per worker; result ordering across workers is the caller's
+///   concern (the service layer tags responses with request ids).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.state.lock().expect("pool state poisoned");
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .field("queued", &state.jobs.len())
+            .field("active", &state.active)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` resident threads (`0` = auto-detect via
+    /// [`available_parallelism`]) whose job queue holds at most `capacity`
+    /// pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a pool that can accept nothing) or if
+    /// the OS refuses to spawn threads.
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        let workers = resolve_parallelism(workers).max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                active: 0,
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+            settled: Condvar::new(),
+            capacity,
+            panicked: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sigwave-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs queued but not yet started (excludes running jobs).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Number of jobs that panicked instead of completing. Workers survive
+    /// job panics (the unwind is caught so one bad request cannot take the
+    /// pool down); callers that need hard failure should check this.
+    #[must_use]
+    pub fn panicked_jobs(&self) -> usize {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job unless the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolFull`] (without consuming the job slot) when
+    /// `capacity` jobs are already pending — the backpressure signal.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), PoolFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        assert!(!state.shutting_down, "execute on a shut-down pool");
+        if state.jobs.len() >= self.shared.capacity {
+            return Err(PoolFull);
+        }
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Submits a job, blocking while the queue is at capacity.
+    pub fn execute<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        while state.jobs.len() >= self.shared.capacity {
+            assert!(!state.shutting_down, "execute on a shut-down pool");
+            state = self
+                .shared
+                .settled
+                .wait(state)
+                .expect("pool state poisoned");
+        }
+        assert!(!state.shutting_down, "execute on a shut-down pool");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until every queued and running job has finished (the pool
+    /// stays usable afterwards — this is a barrier, not a shutdown).
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        while !state.jobs.is_empty() || state.active > 0 {
+            state = self
+                .shared
+                .settled
+                .wait(state)
+                .expect("pool state poisoned");
+        }
+    }
+
+    /// Graceful shutdown: stops accepting work, lets queued and running
+    /// jobs finish, and joins every worker thread. Dropping the pool does
+    /// the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            if state.shutting_down && self.workers.is_empty() {
+                return;
+            }
+            state.shutting_down = true;
+        }
+        self.shared.work.notify_all();
+        // A job may own the last handle to the pool's owner (e.g. an
+        // `Arc<Service>` captured in a response closure), making a worker
+        // thread run this drop path itself. It cannot join itself —
+        // detach that handle instead; the worker exits right after the
+        // current job because `shutting_down` is set.
+        let me = std::thread::current().id();
+        for handle in self.workers.drain(..) {
+            if handle.thread().id() == me {
+                drop(handle);
+            } else {
+                handle.join().expect("pool worker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    state.active += 1;
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.work.wait(state).expect("pool state poisoned");
+            }
+        };
+        // The dequeue freed a queue slot: wake blocked `execute` callers.
+        shared.settled.notify_all();
+        // A panicking job must not take the worker (or a later
+        // `drain`/`shutdown`) down with it: catch the unwind, count it,
+        // and keep serving. The guard keeps `active` accurate on every
+        // exit path.
+        struct ActiveGuard<'a>(&'a PoolShared);
+        impl Drop for ActiveGuard<'_> {
+            fn drop(&mut self) {
+                let mut state = self.0.state.lock().expect("pool state poisoned");
+                state.active -= 1;
+                drop(state);
+                self.0.settled.notify_all();
+            }
+        }
+        let guard = ActiveGuard(shared);
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(guard);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +491,89 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_runs_every_accepted_job_exactly_once() {
+        let pool = WorkerPool::new(3, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.drain();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        // The pool stays usable after a drain.
+        let counter2 = Arc::clone(&counter);
+        pool.execute(move || {
+            counter2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 51);
+    }
+
+    #[test]
+    fn pool_rejects_when_queue_full() {
+        // One worker stuck on a gate job; capacity 2 fills after two more.
+        let pool = WorkerPool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().expect("gate");
+            while !*open {
+                open = cv.wait(open).expect("gate");
+            }
+        });
+        // Wait until the gate job occupies the worker (queue empty again).
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        assert!(pool.try_execute(|| {}).is_ok());
+        assert!(pool.try_execute(|| {}).is_ok());
+        assert_eq!(pool.try_execute(|| {}), Err(PoolFull));
+        // Open the gate; everything drains and capacity frees up.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().expect("gate") = true;
+            cv.notify_all();
+        }
+        pool.drain();
+        assert!(pool.try_execute(|| {}).is_ok());
+        pool.drain();
+    }
+
+    #[test]
+    fn pool_survives_job_panics() {
+        let pool = WorkerPool::new(2, 16);
+        pool.execute(|| panic!("bad request"));
+        pool.drain();
+        assert_eq!(pool.panicked_jobs(), 1);
+        // The pool still runs jobs afterwards.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.execute(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_drop_is_graceful() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2, 64);
+            for _ in 0..20 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Dropped with jobs possibly still queued: all must finish.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
     }
 }

@@ -1,0 +1,231 @@
+//! Value-change-dump (VCD) export, so traces — including `sigserve`
+//! responses — can be inspected in standard waveform viewers (GTKWave,
+//! Surfer, …).
+//!
+//! The dump is digital: a [`SigmoidTrace`] is digitized at a caller-chosen
+//! threshold first ([`VcdSignal::sigmoid`]), which is exactly the `VDD/2`
+//! reading a viewer of the analog waveform would take. Output is
+//! deterministic (no date/version stamps beyond a fixed tool tag), so
+//! dumps are diffable and usable as golden files.
+
+use std::io::{self, Write};
+
+use crate::{DigitalTrace, Level, SigmoidTrace};
+
+/// Timescale of the dump: all toggle times are rounded to femtoseconds,
+/// comfortably below every timing quantity in the workspace (picosecond
+/// gate delays).
+const TIMESCALE: &str = "1fs";
+const SECONDS_PER_TICK: f64 = 1e-15;
+
+/// One named signal scheduled for a VCD dump.
+#[derive(Debug, Clone)]
+pub struct VcdSignal {
+    name: String,
+    trace: DigitalTrace,
+}
+
+impl VcdSignal {
+    /// A signal from a digital trace.
+    #[must_use]
+    pub fn digital(name: impl Into<String>, trace: &DigitalTrace) -> Self {
+        Self {
+            name: sanitize(&name.into()),
+            trace: trace.clone(),
+        }
+    }
+
+    /// A signal from a sigmoid trace, digitized at `threshold` volts.
+    #[must_use]
+    pub fn sigmoid(name: impl Into<String>, trace: &SigmoidTrace, threshold: f64) -> Self {
+        Self {
+            name: sanitize(&name.into()),
+            trace: trace.digitize(threshold),
+        }
+    }
+
+    /// The signal name as it will appear in the dump.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The digitized trace backing the signal.
+    #[must_use]
+    pub fn trace(&self) -> &DigitalTrace {
+        &self.trace
+    }
+}
+
+/// VCD identifier codes are printable ASCII `!`..`~`; one or more chars.
+fn id_code(mut index: usize) -> String {
+    const FIRST: u8 = b'!';
+    const RADIX: usize = 94; // printable ASCII
+    let mut code = Vec::new();
+    loop {
+        code.push(FIRST + (index % RADIX) as u8);
+        index /= RADIX;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    String::from_utf8(code).expect("printable ASCII")
+}
+
+/// VCD identifiers must not contain whitespace; replace anything outside
+/// the conventional identifier set so viewers accept the dump.
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '[' | ']') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn level_char(level: Level) -> char {
+    if level.is_high() {
+        '1'
+    } else {
+        '0'
+    }
+}
+
+/// Writes the signals as one VCD module scope (`top`).
+///
+/// Toggle times are rounded to the femtosecond grid; toggles of one signal
+/// that land on the same tick after rounding collapse viewer-side, so
+/// femtosecond resolution is deliberately far below any real spacing.
+///
+/// # Errors
+///
+/// Returns any I/O error from `out`.
+pub fn write_vcd<W: Write>(out: &mut W, signals: &[VcdSignal]) -> io::Result<()> {
+    writeln!(out, "$comment sigwave dump $end")?;
+    writeln!(out, "$timescale {TIMESCALE} $end")?;
+    writeln!(out, "$scope module top $end")?;
+    for (i, s) in signals.iter().enumerate() {
+        writeln!(out, "$var wire 1 {} {} $end", id_code(i), s.name)?;
+    }
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
+
+    // Initial values.
+    writeln!(out, "$dumpvars")?;
+    for (i, s) in signals.iter().enumerate() {
+        writeln!(out, "{}{}", level_char(s.trace.initial()), id_code(i))?;
+    }
+    writeln!(out, "$end")?;
+
+    // Merge all toggle events in time order (ties broken by signal index
+    // so output is deterministic).
+    let mut events: Vec<(u64, usize, Level)> = Vec::new();
+    for (i, s) in signals.iter().enumerate() {
+        let mut level = s.trace.initial();
+        for &t in s.trace.toggles() {
+            level = level.inverted();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let tick = (t / SECONDS_PER_TICK).round().max(0.0) as u64;
+            events.push((tick, i, level));
+        }
+    }
+    events.sort_unstable_by_key(|&(tick, i, _)| (tick, i));
+    let mut current: Option<u64> = None;
+    for (tick, i, level) in events {
+        if current != Some(tick) {
+            writeln!(out, "#{tick}")?;
+            current = Some(tick);
+        }
+        writeln!(out, "{}{}", level_char(level), id_code(i))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sigmoid, VDD_DEFAULT};
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = id_code(i);
+            assert!(code.bytes().all(|b| (b'!'..=b'~').contains(&b)), "{code}");
+            assert!(seen.insert(code), "duplicate id for {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94).len(), 2);
+    }
+
+    #[test]
+    fn dump_contains_header_and_events() {
+        let a = DigitalTrace::new(Level::Low, vec![1e-10, 3e-10]).unwrap();
+        let b = DigitalTrace::new(Level::High, vec![2e-10]).unwrap();
+        let mut out = Vec::new();
+        write_vcd(
+            &mut out,
+            &[VcdSignal::digital("a", &a), VcdSignal::digital("net b", &b)],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$timescale 1fs $end"));
+        assert!(text.contains("$var wire 1 ! a $end"));
+        // Whitespace in names is sanitized.
+        assert!(text.contains("$var wire 1 \" net_b $end"));
+        // Initial values then time-ordered changes (100 ps = 1e5 fs).
+        assert!(text.contains("$dumpvars\n0!\n1\"\n$end"));
+        let i100 = text.find("#100000\n1!").expect("rise of a at 100 ps");
+        let i200 = text.find("#200000\n0\"").expect("fall of b at 200 ps");
+        let i300 = text.find("#300000\n0!").expect("fall of a at 300 ps");
+        assert!(i100 < i200 && i200 < i300, "events must be time-ordered");
+    }
+
+    #[test]
+    fn sigmoid_signals_are_digitized_at_threshold() {
+        let t = SigmoidTrace::from_transitions(
+            Level::Low,
+            vec![Sigmoid::rising(20.0, 1.0), Sigmoid::falling(20.0, 4.0)],
+            VDD_DEFAULT,
+        )
+        .unwrap();
+        let s = VcdSignal::sigmoid("y", &t, VDD_DEFAULT / 2.0);
+        assert_eq!(s.trace().len(), 2);
+        let mut out = Vec::new();
+        write_vcd(&mut out, &[s]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Crossings at 100 ps and 400 ps on the femtosecond grid.
+        assert!(text.contains("#100000\n1!"), "{text}");
+        assert!(text.contains("#400000\n0!"), "{text}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = DigitalTrace::new(Level::Low, vec![5e-11]).unwrap();
+        let sigs = [VcdSignal::digital("x", &a)];
+        let mut one = Vec::new();
+        let mut two = Vec::new();
+        write_vcd(&mut one, &sigs).unwrap();
+        write_vcd(&mut two, &sigs).unwrap();
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn empty_signal_list_still_valid() {
+        let mut out = Vec::new();
+        write_vcd(&mut out, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("$enddefinitions"));
+    }
+}

@@ -7,7 +7,10 @@
 //!
 //! This example sends pulses of several widths through a 6-stage NOR chain
 //! and reports, per model, after how many stages the pulse disappears,
-//! against the analog reference.
+//! against the analog reference. For the 8 ps pulse — the interesting
+//! regime where models disagree — every per-stage trace is also dumped
+//! as `target/glitch_propagation.vcd` for waveform viewers (GTKWave,
+//! Surfer).
 //!
 //! Run with: `cargo run --release --example glitch_propagation`
 
@@ -20,9 +23,12 @@ use sigchar::{build_analog, AnalogOptions, ChainGate, CharChain, DelayTable};
 use sigfit::{fit_waveform, FitOptions};
 use sigsim::{train_models_cached, PipelineConfig};
 use sigtom::{predict_single_input, TomOptions};
-use sigwave::{DigitalTrace, Level};
+use sigwave::{write_vcd, DigitalTrace, Level, VcdSignal};
 
 const STAGES: usize = 6;
+
+/// The pulse width whose per-stage traces are dumped as VCD.
+const VCD_WIDTH_PS: f64 = 8.0;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = PathBuf::from("target/sigmodels/quickstart.json");
@@ -41,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "width", "analog", "sigmoid", "inertial", "pure"
     );
 
+    let mut vcd_signals: Vec<VcdSignal> = Vec::new();
     for width_ps in [3.0, 5.0, 8.0, 12.0, 20.0, 40.0] {
         let width = width_ps * 1e-12;
+        let dump_vcd = (width_ps - VCD_WIDTH_PS).abs() < f64::EPSILON;
         let stim = DigitalTrace::new(Level::Low, vec![80e-12, 80e-12 + width])?;
 
         // --- analog reference ------------------------------------------------
@@ -72,13 +80,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .count();
 
+        if dump_vcd {
+            for (i, name) in probe_names.iter().enumerate() {
+                let wave = res.waveform(name).expect("probed");
+                vcd_signals.push(VcdSignal::digital(
+                    format!("analog.stage{i}"),
+                    &wave.digitize(0.4),
+                ));
+            }
+        }
+
         // --- sigmoid TOM ------------------------------------------------------
         let input_wave = res.waveform(&probe_names[0]).expect("probed");
         let mut trace = fit_waveform(input_wave, &FitOptions::default())?.trace;
+        if dump_vcd {
+            vcd_signals.push(VcdSignal::sigmoid("sigmoid.stage0", &trace, 0.4));
+        }
         let mut sigmoid_survived = 0;
-        for _ in 0..STAGES {
+        for stage in 1..=STAGES {
             let initial = trace.initial().inverted();
             trace = predict_single_input(&models.nor_fo1, &trace, initial, TomOptions::default());
+            if dump_vcd {
+                vcd_signals.push(VcdSignal::sigmoid(
+                    format!("sigmoid.stage{stage}"),
+                    &trace,
+                    0.4,
+                ));
+            }
             if trace.len() >= 2 {
                 sigmoid_survived += 1;
             } else {
@@ -103,14 +131,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let inertial_survived = count_stages(&inertial);
         let pure_survived = count_stages(&pure);
+        if dump_vcd {
+            let mut t = digital_input.clone();
+            vcd_signals.push(VcdSignal::digital("inertial.stage0", &t));
+            for stage in 1..=STAGES {
+                t = apply_channel(&t.inverted(), &inertial);
+                vcd_signals.push(VcdSignal::digital(format!("inertial.stage{stage}"), &t));
+            }
+        }
 
         println!(
             "{width_ps:>8.1}ps {analog_survived:>8} {sigmoid_survived:>8} {inertial_survived:>9} {pure_survived:>9}"
         );
     }
+    let vcd_path = std::path::Path::new("target").join("glitch_propagation.vcd");
+    std::fs::create_dir_all("target")?;
+    let mut vcd_file = std::fs::File::create(&vcd_path)?;
+    write_vcd(&mut vcd_file, &vcd_signals)?;
     println!(
         "\nThe sigmoid column should track the analog column much more closely\n\
-         than the single-delay digital channels, which only know a hard cutoff."
+         than the single-delay digital channels, which only know a hard cutoff.\n\
+         Per-stage traces of the {VCD_WIDTH_PS} ps pulse: {}",
+        vcd_path.display()
     );
     Ok(())
 }
