@@ -41,6 +41,12 @@ impl TransferFunction for Fixed {
     }
 }
 
+/// A synthetic native cell set: every native cell kind bound to the same
+/// fixed transfer, so native rows isolate the gate-count effect.
+fn native_cells() -> sigsim::CellModels {
+    sigsim::CellModels::uniform("native", GateModel::new(Arc::new(Fixed)))
+}
+
 fn bench_service(workers: usize) -> Arc<Service> {
     let service = Service::new(ServiceConfig {
         workers,
@@ -50,8 +56,21 @@ fn bench_service(workers: usize) -> Arc<Service> {
     });
     service.registry().insert(ModelSet {
         name: "bench".to_string(),
+        library: "nor-only".to_string(),
+        policy: sigcircuit::MappingPolicy::NorOnly,
         trained: None,
-        models: Arc::new(sigsim::GateModels::uniform(GateModel::new(Arc::new(Fixed)))),
+        cells: Arc::new(sigsim::CellModels::nor_only(&sigsim::GateModels::uniform(
+            GateModel::new(Arc::new(Fixed)),
+        ))),
+        delays: sigserve::registry::DelaySource::none(),
+        options: TomOptions::default(),
+    });
+    service.registry().insert(ModelSet {
+        name: "bench".to_string(),
+        library: "native".to_string(),
+        policy: sigcircuit::MappingPolicy::Native,
+        trained: None,
+        cells: Arc::new(native_cells()),
         delays: sigserve::registry::DelaySource::none(),
         options: TomOptions::default(),
     });
@@ -69,9 +88,14 @@ fn bench_text(name: &str) -> String {
 }
 
 fn request(text: String, seed: u64, transitions: usize) -> SimRequest {
+    request_lib(text, "nor-only", seed, transitions)
+}
+
+fn request_lib(text: String, library: &str, seed: u64, transitions: usize) -> SimRequest {
     SimRequest {
         circuit: CircuitSource::Inline(text),
         models: "bench".to_string(),
+        library: library.to_string(),
         seed,
         mu: 60e-12,
         sigma: 25e-12,
@@ -112,6 +136,25 @@ fn bench_cache_temperature(c: &mut Criterion) {
                 let result = service
                     .execute_sim(&request(text.clone(), 7, transitions))
                     .expect("warm request");
+                black_box(result.outputs.len())
+            });
+        });
+    }
+
+    // Native vs NOR-mapped rows: the same inline c1355 netlist, warm
+    // cache, active stimuli — the only difference is the cell library,
+    // so the native library's gate-count reduction (c1355 maps to ~4×
+    // fewer native cells than NOR gates) shows up directly as
+    // per-request wall clock.
+    for library in ["nor-only", "native"] {
+        service
+            .execute_sim(&request_lib(text.clone(), library, 7, 1))
+            .expect("prime");
+        group.bench_function(format!("warm_active_{library}"), |b| {
+            b.iter(|| {
+                let result = service
+                    .execute_sim(&request_lib(text.clone(), library, 7, 1))
+                    .expect("library request");
                 black_box(result.outputs.len())
             });
         });

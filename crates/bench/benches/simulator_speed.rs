@@ -22,7 +22,8 @@ use digilog::{simulate as simulate_digital, GateChannels, InertialDelay};
 use sigcircuit::Benchmark;
 use signn::{Mlp, ScaledModel, Standardizer};
 use sigsim::{
-    digital_to_sigmoid, simulate_sigmoid_with, GateModels, SigmoidSimConfig, StimulusSpec,
+    digital_to_sigmoid, simulate_cells_with, simulate_sigmoid_with, CellModels, GateModels,
+    SigmoidSimConfig, StimulusSpec,
 };
 use sigtom::{
     AnnTransfer, GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery,
@@ -138,5 +139,113 @@ fn bench_simulators(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_simulators);
+/// One uniform cell set over every native kind.
+fn uniform_native_cells(model: GateModel) -> CellModels {
+    CellModels::uniform("native", model)
+}
+
+/// Native-library vs NOR-mapped rows: the same original netlist and
+/// stimuli driven through both mapped forms with the same (analytic or
+/// ANN) transfer cost per query — so the row difference is the mapping
+/// blow-up itself (c1355 carries ~4× fewer native cells than NOR gates),
+/// the tentpole's wall-clock claim.
+fn bench_mapping_policies(c: &mut Criterion) {
+    for name in ["c17", "c1355"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = StimulusSpec::fast();
+        let digital_stimuli: HashMap<_, _> = bench
+            .original
+            .inputs()
+            .iter()
+            .map(|&i| (i, spec.sample(&mut rng)))
+            .collect();
+        let analytic_nor = GateModels::uniform(GateModel::new(Arc::new(Analytic)));
+        let analytic_native = uniform_native_cells(GateModel::new(Arc::new(Analytic)));
+        let ann_native = {
+            let net = |seed: u64| {
+                ScaledModel::new(
+                    Mlp::paper_architecture(3, seed),
+                    Standardizer::identity(3),
+                    Standardizer::identity(1),
+                )
+            };
+            let ann = AnnTransfer::from_parts(net(1), net(2), net(3), net(4));
+            uniform_native_cells(GateModel::new(Arc::new(ann)))
+        };
+        let ann_nor = synthetic_ann_models();
+
+        let mut group = c.benchmark_group(format!("mapping_{name}"));
+        group.sample_size(20);
+        let config = SigmoidSimConfig::default();
+        // The two mapped forms share input names in position order.
+        let stimuli_for = |circuit: &sigcircuit::Circuit| -> NetTraces {
+            circuit
+                .inputs()
+                .iter()
+                .zip(bench.original.inputs())
+                .map(|(&i, orig)| (i, Arc::new(digital_to_sigmoid(&digital_stimuli[orig], 0.8))))
+                .collect()
+        };
+        let nor_stimuli = stimuli_for(&bench.nor_mapped);
+        let native_stimuli = stimuli_for(&bench.native);
+        group.bench_function(
+            format!("nor_only_{}_gates", bench.nor_mapped.gates().len()),
+            |b| {
+                b.iter(|| {
+                    simulate_sigmoid_with(
+                        black_box(&bench.nor_mapped),
+                        &nor_stimuli,
+                        &analytic_nor,
+                        TomOptions::default(),
+                        &config,
+                    )
+                    .expect("sim")
+                })
+            },
+        );
+        group.bench_function(
+            format!("native_{}_gates", bench.native.gates().len()),
+            |b| {
+                b.iter(|| {
+                    simulate_cells_with(
+                        black_box(&bench.native),
+                        &native_stimuli,
+                        &analytic_native,
+                        TomOptions::default(),
+                        &config,
+                    )
+                    .expect("sim")
+                })
+            },
+        );
+        group.bench_function("ann_nor_only", |b| {
+            b.iter(|| {
+                simulate_sigmoid_with(
+                    black_box(&bench.nor_mapped),
+                    &nor_stimuli,
+                    &ann_nor,
+                    TomOptions::default(),
+                    &config,
+                )
+                .expect("sim")
+            })
+        });
+        group.bench_function("ann_native", |b| {
+            b.iter(|| {
+                simulate_cells_with(
+                    black_box(&bench.native),
+                    &native_stimuli,
+                    &ann_native,
+                    TomOptions::default(),
+                    &config,
+                )
+                .expect("sim")
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_simulators, bench_mapping_policies);
 criterion_main!(benches);

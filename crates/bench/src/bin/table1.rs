@@ -8,30 +8,38 @@
 //! ```text
 //! cargo run --release -p sigbench --bin table1 -- \
 //!     [--circuits c17,c499,c1355] [--runs 5] [--seed 1] [--paper-scale] \
-//!     [--parallelism 0] [--mc-parallelism 1] [--out results]
+//!     [--library nor-only|native] [--parallelism 0] [--mc-parallelism 1] \
+//!     [--out results]
 //! ```
 //!
 //! The paper uses 50 runs per cell; `--runs 50` reproduces that scale.
-//! `--parallelism` gates the model-training pipeline (0 = all cores, the
-//! default). `--mc-parallelism 0` additionally fans the Monte-Carlo
-//! comparison runs out across all cores (`t_err` columns are
-//! bit-identical at any setting), but it defaults to sequential because
-//! the reported `t_sim` wall-clock columns are per-run timings —
-//! measuring them under parallel contention would inflate them.
+//! `--library native` simulates the native-cell mapped circuits with the
+//! full cell library instead of NOR-expanding them (the gate-count and
+//! `t_sim` advantage row); every CSV row carries its library and mapping
+//! policy so results files are self-describing. `--parallelism` gates the
+//! model-training pipeline (0 = all cores, the default).
+//! `--mc-parallelism 0` additionally fans the Monte-Carlo comparison runs
+//! out across all cores (`t_err` columns are bit-identical at any
+//! setting), but it defaults to sequential because the reported `t_sim`
+//! wall-clock columns are per-run timings — measuring them under parallel
+//! contention would inflate them.
 
 use std::time::Duration;
 
 use nanospice::EngineConfig;
-use sigbench::{load_models, results_dir_from, write_csv, Args};
+use sigbench::{load_cell_models, results_dir_from, write_csv_text, Args};
 use sigchar::{AnalogOptions, DelayTable};
-use sigcircuit::Benchmark;
+use sigcircuit::{Benchmark, MappingPolicy};
 use sigsim::{
-    compare_circuit_monte_carlo, HarnessConfig, MonteCarloConfig, SigmoidInputMode, StimulusSpec,
+    compare_circuit_monte_carlo_cells, CellModels, HarnessConfig, MonteCarloConfig,
+    SigmoidInputMode, StimulusSpec,
 };
 
 struct Cell {
     circuit: String,
-    nor_gates: usize,
+    library: String,
+    mapping: String,
+    gates: usize,
     mu_ps: f64,
     sigma_ps: f64,
     err_ratio: f64,
@@ -45,6 +53,11 @@ struct Cell {
 fn main() {
     let args = Args::parse();
     let circuits = args.get("circuits", "c17,c499,c1355");
+    let library = args.get("library", "nor-only");
+    let policy = MappingPolicy::from_name(&library).unwrap_or_else(|| {
+        eprintln!("table1: unknown library {library:?} (nor-only/native)");
+        std::process::exit(2);
+    });
     let mc = MonteCarloConfig {
         runs: args.get_num("runs", 5),
         seed: args.get_num("seed", 1),
@@ -65,8 +78,7 @@ fn main() {
         wire_cap_variation: variation,
         ..AnalogOptions::default()
     };
-    let trained = load_models(&args);
-    let models = trained.gate_models();
+    let cells = load_cell_models(&args, policy);
     let delays = DelayTable::measure_grid(
         1..=6,
         &[
@@ -81,23 +93,22 @@ fn main() {
     )
     .expect("delay extraction failed");
 
-    let mut cells: Vec<Cell> = Vec::new();
+    let mut rows: Vec<Cell> = Vec::new();
     for name in circuits.split(',') {
         let bench = Benchmark::by_name(name.trim()).expect("unknown circuit");
-        let circuit = &bench.nor_mapped;
         for spec in StimulusSpec::table1() {
             let cell = run_cell(
                 &bench,
-                circuit,
+                policy,
                 &spec,
                 &mc,
-                &models,
+                &cells,
                 &delays,
                 &analog,
                 SigmoidInputMode::Fitted,
             );
             print_cell(&cell);
-            cells.push(cell);
+            rows.push(cell);
         }
     }
 
@@ -108,39 +119,45 @@ fn main() {
         let spec = StimulusSpec::fast();
         let cell = run_cell(
             &bench,
-            &bench.nor_mapped,
+            policy,
             &spec,
             &mc,
-            &models,
+            &cells,
             &delays,
             &analog,
             SigmoidInputMode::SameAsDigital,
         );
         print_cell(&cell);
-        cells.push(cell);
+        rows.push(cell);
     }
 
-    // CSV artifact.
-    let rows: Vec<Vec<f64>> = cells
+    // CSV artifact: text columns make every row self-describing.
+    let csv_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|c| {
             vec![
-                c.nor_gates as f64,
-                c.mu_ps,
-                c.sigma_ps,
-                c.err_ratio,
-                c.t_err_digital_ps,
-                c.t_err_sigmoid_ps,
-                c.wall_sigmoid.as_secs_f64(),
-                c.wall_analog.as_secs_f64(),
-                f64::from(u8::from(c.same_stimulus)),
+                c.circuit.clone(),
+                c.library.clone(),
+                c.mapping.clone(),
+                c.gates.to_string(),
+                format!("{:.6e}", c.mu_ps),
+                format!("{:.6e}", c.sigma_ps),
+                format!("{:.6e}", c.err_ratio),
+                format!("{:.6e}", c.t_err_digital_ps),
+                format!("{:.6e}", c.t_err_sigmoid_ps),
+                format!("{:.6e}", c.wall_sigmoid.as_secs_f64()),
+                format!("{:.6e}", c.wall_analog.as_secs_f64()),
+                u8::from(c.same_stimulus).to_string(),
             ]
         })
         .collect();
-    write_csv(
+    write_csv_text(
         &results_dir_from(&args).join("table1.csv"),
         &[
-            "nor_gates",
+            "circuit",
+            "library",
+            "mapping",
+            "gates",
             "mu_ps",
             "sigma_ps",
             "error_ratio",
@@ -150,27 +167,28 @@ fn main() {
             "t_sim_analog_s",
             "same_stimulus",
         ],
-        &rows,
+        &csv_rows,
     );
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_cell(
     bench: &Benchmark,
-    circuit: &sigcircuit::Circuit,
+    policy: MappingPolicy,
     spec: &StimulusSpec,
     mc: &MonteCarloConfig,
-    models: &sigsim::GateModels,
+    cells: &CellModels,
     delays: &DelayTable,
     analog: &AnalogOptions,
     mode: SigmoidInputMode,
 ) -> Cell {
+    let circuit = bench.circuit_for(policy);
     let config = HarnessConfig {
         sigmoid_inputs: mode,
         analog: *analog,
         ..HarnessConfig::default()
     };
-    let outcomes = compare_circuit_monte_carlo(circuit, spec, models, delays, &config, mc)
+    let outcomes = compare_circuit_monte_carlo_cells(circuit, spec, cells, delays, &config, mc)
         .expect("comparison failed");
     let mut sum_dig = 0.0;
     let mut sum_sig = 0.0;
@@ -186,7 +204,9 @@ fn run_cell(
     let n = runs as f64;
     Cell {
         circuit: bench.name.to_string(),
-        nor_gates: bench.nor_gate_count(),
+        library: cells.name().to_string(),
+        mapping: policy.as_str().to_string(),
+        gates: bench.gate_count(policy),
         mu_ps: spec.mu * 1e12,
         sigma_ps: spec.sigma * 1e12,
         err_ratio: if sum_dig > 0.0 {
@@ -204,10 +224,12 @@ fn run_cell(
 
 fn print_cell(c: &Cell) {
     println!(
-        "{:>6}{} #NOR={:<5} ({:>5.0},{:>5.0})ps  ratio={:<5.2} t_err_dig={:>9.2}ps t_err_sig={:>9.2}ps  t_sim_sig={:>9.3?} t_sim_spice={:>9.3?}",
+        "{:>6}{} [{}/{}] #gates={:<5} ({:>5.0},{:>5.0})ps  ratio={:<5.2} t_err_dig={:>9.2}ps t_err_sig={:>9.2}ps  t_sim_sig={:>9.3?} t_sim_spice={:>9.3?}",
         c.circuit,
         if c.same_stimulus { "*" } else { " " },
-        c.nor_gates,
+        c.library,
+        c.mapping,
+        c.gates,
         c.mu_ps,
         c.sigma_ps,
         c.err_ratio,

@@ -105,15 +105,11 @@ pub fn results_dir_from(args: &Args) -> PathBuf {
     dir
 }
 
-/// Loads (or trains) the standard gate models: `--paper-scale` switches to
-/// the full-granularity characterization sweep and long training.
-///
-/// # Panics
-///
-/// Panics if the pipeline fails — the experiment binaries have no way to
-/// proceed without models.
+/// The pipeline config and model-cache path selected by the standard
+/// flags (`--paper-scale`, `--fast-models`, `--models PATH`,
+/// `--parallelism N`).
 #[must_use]
-pub fn load_models(args: &Args) -> TrainedModels {
+pub fn pipeline_from_args(args: &Args) -> (PipelineConfig, PathBuf) {
     let (config, cache) = if args.has("paper-scale") {
         (
             PipelineConfig {
@@ -139,8 +135,48 @@ pub fn load_models(args: &Args) -> TrainedModels {
         .map(PathBuf::from)
         .unwrap_or(cache);
     // `--parallelism N` gates every worker pool in the pipeline (0 = auto).
-    let config = config.with_parallelism(args.get_num("parallelism", 0));
+    (
+        config.with_parallelism(args.get_num("parallelism", 0)),
+        cache,
+    )
+}
+
+/// Loads (or trains) the standard gate models: `--paper-scale` switches to
+/// the full-granularity characterization sweep and long training.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails — the experiment binaries have no way to
+/// proceed without models.
+#[must_use]
+pub fn load_models(args: &Args) -> TrainedModels {
+    let (config, cache) = pipeline_from_args(args);
     train_models_cached(&cache, &config).expect("training pipeline failed")
+}
+
+/// Loads (or trains) the runtime cell models of a mapping policy at the
+/// scale the standard flags select: the paper's four-variant bundle for
+/// [`sigcircuit::MappingPolicy::NorOnly`], the full native
+/// [`sigsim::CellLibrary`] (cached beside the legacy artifact with a
+/// `.native.json` suffix) for [`sigcircuit::MappingPolicy::Native`].
+///
+/// # Panics
+///
+/// Panics if the pipeline fails.
+#[must_use]
+pub fn load_cell_models(args: &Args, policy: sigcircuit::MappingPolicy) -> sigsim::CellModels {
+    match policy {
+        sigcircuit::MappingPolicy::NorOnly => {
+            sigsim::CellModels::nor_only(&load_models(args).gate_models())
+        }
+        sigcircuit::MappingPolicy::Native => {
+            let (config, cache) = pipeline_from_args(args);
+            let path = sigsim::native_cache_path(&cache);
+            sigsim::train_cell_library_cached(&path, &sigsim::LibrarySpec::native(), &config)
+                .expect("library training pipeline failed")
+                .cell_models()
+        }
+    }
 }
 
 /// Writes rows of `f64` columns as CSV with a header.
@@ -154,6 +190,22 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) {
     for row in rows {
         let line: Vec<String> = row.iter().map(|v| format!("{v:.6e}")).collect();
         writeln!(f, "{}", line.join(",")).expect("write");
+    }
+    println!("wrote {}", path.display());
+}
+
+/// Writes rows of already-formatted cells as CSV with a header — for
+/// result files mixing text columns (library, mapping policy) with
+/// numbers, so every row is self-describing.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment outputs are not recoverable).
+pub fn write_csv_text(path: &Path, header: &[&str], rows: &[Vec<String>]) {
+    let mut f = std::fs::File::create(path).expect("cannot create CSV");
+    writeln!(f, "{}", header.join(",")).expect("write");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write");
     }
     println!("wrote {}", path.display());
 }

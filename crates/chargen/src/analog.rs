@@ -73,8 +73,8 @@ pub enum BuildAnalogError {
         net: String,
     },
     /// A gate kind is not realizable at transistor level by this
-    /// translator (only INV and NOR up to 3 inputs, the gates the paper's
-    /// prototype supports).
+    /// translator (INV, NOR up to 3 inputs, and the native two-input
+    /// NAND/AND/OR cells; XOR/XNOR must be decomposed first).
     UnsupportedGate {
         /// The offending gate kind.
         kind: GateKind,
@@ -131,8 +131,8 @@ impl AnalogCircuit {
 ///
 /// # Errors
 ///
-/// Returns [`BuildAnalogError`] for missing stimuli/levels or gates outside
-/// the INV/NOR2/NOR3 subset.
+/// Returns [`BuildAnalogError`] for missing stimuli/levels or gates
+/// outside the realizable set (INV, NOR1–3, NAND2, AND2, OR2).
 pub fn build_analog(
     circuit: &Circuit,
     stimuli: HashMap<NetId, Box<dyn Stimulus>>,
@@ -218,6 +218,23 @@ pub fn build_analog(
             }
             (GateKind::Nor, 3) => {
                 let _ = b.add_nor3(ins[0], ins[1], ins[2], out, &options.gate);
+            }
+            (GateKind::Nand, 2) => {
+                let _ = b.add_nand2(ins[0], ins[1], out, &options.gate);
+            }
+            (GateKind::And, 2) | (GateKind::Or, 2) => {
+                // Compound standard cells: NAND/NOR stage plus an output
+                // inverter sharing one internal node (no wire capacitance
+                // there — it is inside the cell, not interconnect).
+                let inner_name = format!("{out_name}__cell_mid");
+                let inner_high = !levels[gate.output.0];
+                let inner = b.add_state(&inner_name, if inner_high { vdd } else { 0.0 });
+                if gate.kind == GateKind::And {
+                    let _ = b.add_nand2(ins[0], ins[1], inner, &options.gate);
+                } else {
+                    let _ = b.add_nor2(ins[0], ins[1], inner, &options.gate);
+                }
+                b.add_inverter(inner, out, &options.gate);
             }
             (kind, arity) => {
                 return Err(BuildAnalogError::UnsupportedGate { kind, arity });

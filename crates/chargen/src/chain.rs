@@ -1,16 +1,79 @@
 //! Characterization chains (Fig. 3): pulse-shaping stages, identical target
 //! gates `G1 … GN`, and termination, with configurable fan-out.
+//!
+//! Each supported cell is characterized in the configuration in which its
+//! relevant-input transfer function is observed: the auxiliary ("tie")
+//! input is held at the cell's non-controlling level, so every stimulus
+//! transition on the relevant input propagates. NOR/OR chains tie low,
+//! NAND/AND chains tie high; under that tie NOR and NAND act as inverter
+//! chains, AND and OR as buffer chains.
 
 use sigcircuit::{Circuit, CircuitBuilder, GateKind, NetId};
+use sigwave::Level;
 
-/// Which elementary gate a chain characterizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which elementary cell a chain characterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChainGate {
     /// Inverters (single-input NOR).
     Inverter,
     /// Two-input NOR with the second input tied to GND (the configuration
     /// in which the relevant-input transfer function is observed).
     Nor,
+    /// Two-input NAND with the second input tied to VDD.
+    Nand,
+    /// Two-input AND (NAND + inverter cell) with the second input tied to
+    /// VDD — a buffering (non-inverting) chain.
+    And,
+    /// Two-input OR (NOR + inverter cell) with the second input tied to
+    /// GND — a buffering (non-inverting) chain.
+    Or,
+}
+
+impl ChainGate {
+    /// The netlist gate kind of the chain's target cells.
+    #[must_use]
+    pub fn kind(self) -> GateKind {
+        match self {
+            ChainGate::Inverter => GateKind::Nor, // 1-input NOR = inverter
+            ChainGate::Nor => GateKind::Nor,
+            ChainGate::Nand => GateKind::Nand,
+            ChainGate::And => GateKind::And,
+            ChainGate::Or => GateKind::Or,
+        }
+    }
+
+    /// The level the auxiliary input is tied to so the relevant input
+    /// controls the output (the cell's non-controlling value).
+    #[must_use]
+    pub fn tie_level(self) -> Level {
+        match self {
+            ChainGate::Inverter | ChainGate::Nor | ChainGate::Or => Level::Low,
+            ChainGate::Nand | ChainGate::And => Level::High,
+        }
+    }
+
+    /// `true` when, with the tie at its non-controlling level, the cell
+    /// inverts the relevant input (INV/NOR/NAND); `false` for the
+    /// buffering AND/OR cells. Drives the polarity convention of sample
+    /// extraction.
+    #[must_use]
+    pub fn inverting(self) -> bool {
+        matches!(self, ChainGate::Inverter | ChainGate::Nor | ChainGate::Nand)
+    }
+
+    /// The chain configuration characterizing a [`crate::GateTag`].
+    #[must_use]
+    pub fn for_tag(tag: crate::GateTag) -> (ChainGate, usize) {
+        use crate::GateTag;
+        let gate = match tag {
+            GateTag::Inverter | GateTag::InverterFo2 => ChainGate::Inverter,
+            GateTag::NorFo1 | GateTag::NorFo2 => ChainGate::Nor,
+            GateTag::NandFo1 | GateTag::NandFo2 => ChainGate::Nand,
+            GateTag::AndFo1 | GateTag::AndFo2 => ChainGate::And,
+            GateTag::OrFo1 | GateTag::OrFo2 => ChainGate::Or,
+        };
+        (gate, tag.fanout())
+    }
 }
 
 /// A characterization chain: the gate-level circuit plus bookkeeping about
@@ -22,8 +85,14 @@ pub struct CharChain {
     pub circuit: Circuit,
     /// The driven primary input.
     pub input: NetId,
-    /// The tie-low auxiliary input (present only for NOR chains).
+    /// The auxiliary input tied at [`CharChain::tie_level`] (present for
+    /// every two-input chain; `None` for inverter chains).
     pub tie: Option<NetId>,
+    /// The level the tie input is held at.
+    pub tie_level: Level,
+    /// `true` when each target stage inverts its relevant input (see
+    /// [`ChainGate::inverting`]).
+    pub inverting: bool,
     /// Stage boundary nets: `stage_nets[0]` is the chain input (after
     /// shaping, when probed through the analog translator) and
     /// `stage_nets[i]` is the output of target gate `Gi`.
@@ -47,34 +116,20 @@ impl CharChain {
         let mut b = CircuitBuilder::new();
         let input = b.add_input("stim");
         let tie = match gate {
-            ChainGate::Nor => Some(b.add_input("tie")),
             ChainGate::Inverter => None,
+            _ => Some(b.add_input("tie")),
+        };
+        let stage = |b: &mut CircuitBuilder, from: NetId, name: &str| match tie {
+            None => b.add_gate(gate.kind(), &[from], name),
+            Some(t) => b.add_gate(gate.kind(), &[from, t], name),
         };
         let mut stage_nets = vec![input];
         let mut prev = input;
         for i in 0..targets {
-            let out = match gate {
-                ChainGate::Inverter => b.add_gate(GateKind::Nor, &[prev], &format!("g{}", i + 1)),
-                ChainGate::Nor => b.add_gate(
-                    GateKind::Nor,
-                    &[prev, tie.expect("nor chains have a tie input")],
-                    &format!("g{}", i + 1),
-                ),
-            };
+            let out = stage(&mut b, prev, &format!("g{}", i + 1));
             // Dummy loads for fan-out > 1.
             for l in 1..fanout {
-                match gate {
-                    ChainGate::Inverter => {
-                        let _ = b.add_gate(GateKind::Nor, &[out], &format!("g{}_load{l}", i + 1));
-                    }
-                    ChainGate::Nor => {
-                        let _ = b.add_gate(
-                            GateKind::Nor,
-                            &[out, tie.expect("nor")],
-                            &format!("g{}_load{l}", i + 1),
-                        );
-                    }
-                }
+                let _ = stage(&mut b, out, &format!("g{}_load{l}", i + 1));
             }
             stage_nets.push(out);
             prev = out;
@@ -87,6 +142,8 @@ impl CharChain {
             circuit,
             input,
             tie,
+            tie_level: gate.tie_level(),
+            inverting: gate.inverting(),
             stage_nets,
             fanout,
         }
@@ -109,6 +166,7 @@ mod tests {
         assert_eq!(c.targets(), 4);
         assert_eq!(c.circuit.gates().len(), 4);
         assert!(c.tie.is_none());
+        assert!(c.inverting);
         // Chain of 4 inverters: identity function.
         assert_eq!(c.circuit.eval(&[false]), vec![false]);
         assert_eq!(c.circuit.eval(&[true]), vec![true]);
@@ -118,11 +176,50 @@ mod tests {
     fn nor_chain_acts_as_inverter_chain_when_tied_low() {
         let c = CharChain::new(ChainGate::Nor, 3, 1);
         assert_eq!(c.circuit.gates().len(), 3);
+        assert_eq!(c.tie_level, Level::Low);
         // inputs: [stim, tie]
         assert_eq!(c.circuit.eval(&[false, false]), vec![true]);
         assert_eq!(c.circuit.eval(&[true, false]), vec![false]);
         // Tie high forces all outputs low regardless.
         assert_eq!(c.circuit.eval(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn nand_chain_acts_as_inverter_chain_when_tied_high() {
+        let c = CharChain::new(ChainGate::Nand, 3, 1);
+        assert_eq!(c.tie_level, Level::High);
+        assert!(c.inverting);
+        // Odd number of inverting stages: inverts when tied high.
+        assert_eq!(c.circuit.eval(&[false, true]), vec![true]);
+        assert_eq!(c.circuit.eval(&[true, true]), vec![false]);
+        // Tie low forces every stage output high.
+        assert_eq!(c.circuit.eval(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn and_or_chains_buffer_under_their_ties() {
+        let and = CharChain::new(ChainGate::And, 3, 1);
+        assert_eq!(and.tie_level, Level::High);
+        assert!(!and.inverting);
+        assert_eq!(and.circuit.eval(&[true, true]), vec![true]);
+        assert_eq!(and.circuit.eval(&[false, true]), vec![false]);
+        let or = CharChain::new(ChainGate::Or, 3, 1);
+        assert_eq!(or.tie_level, Level::Low);
+        assert!(!or.inverting);
+        assert_eq!(or.circuit.eval(&[true, false]), vec![true]);
+        assert_eq!(or.circuit.eval(&[false, false]), vec![false]);
+    }
+
+    #[test]
+    fn for_tag_covers_every_variant() {
+        use crate::GateTag;
+        for tag in GateTag::ALL {
+            let (gate, fanout) = ChainGate::for_tag(tag);
+            assert_eq!(fanout, tag.fanout());
+            assert_eq!(gate.inverting(), tag.inverting(), "{tag}");
+            let chain = CharChain::new(gate, 2, fanout);
+            assert_eq!(chain.targets(), 2);
+        }
     }
 
     #[test]

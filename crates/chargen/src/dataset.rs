@@ -39,8 +39,15 @@ impl TransferSample {
     }
 }
 
-/// Which gate variant a dataset characterizes (the paper trains separate
-/// ANNs for fan-out-1 and fan-out-2 NOR gates, plus inverters).
+/// Which cell variant a dataset characterizes: one `(cell, fan-out
+/// class)` pair per trained transfer function. The paper trains the first
+/// four (inverter and NOR at fan-out 1/2); the NAND/AND/OR variants are
+/// the native multi-cell extension (the paper's "ANNs for elementary
+/// gates" future-work direction), so `.bench` netlists can be simulated
+/// without NOR-only technology mapping.
+///
+/// The legacy four variants keep their serialized names, so model caches
+/// written before the native cells existed still deserialize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum GateTag {
     /// Inverter (or single-input NOR) driving one load.
@@ -52,6 +59,104 @@ pub enum GateTag {
     NorFo1,
     /// Two-input NOR driving two or more loads.
     NorFo2,
+    /// Two-input NAND driving one load.
+    NandFo1,
+    /// Two-input NAND driving two or more loads.
+    NandFo2,
+    /// Two-input AND (NAND + output inverter cell) driving one load.
+    AndFo1,
+    /// Two-input AND driving two or more loads.
+    AndFo2,
+    /// Two-input OR (NOR + output inverter cell) driving one load.
+    OrFo1,
+    /// Two-input OR driving two or more loads.
+    OrFo2,
+}
+
+impl GateTag {
+    /// Every characterizable cell variant, inverter first (the order the
+    /// native library trains in).
+    pub const ALL: [GateTag; 10] = [
+        GateTag::Inverter,
+        GateTag::InverterFo2,
+        GateTag::NorFo1,
+        GateTag::NorFo2,
+        GateTag::NandFo1,
+        GateTag::NandFo2,
+        GateTag::AndFo1,
+        GateTag::AndFo2,
+        GateTag::OrFo1,
+        GateTag::OrFo2,
+    ];
+
+    /// The fan-out the characterization chain drives per target (1 or 2;
+    /// the FO2 model stands in for every fan-out ≥ 2, like the paper's).
+    #[must_use]
+    pub fn fanout(self) -> usize {
+        match self {
+            GateTag::Inverter
+            | GateTag::NorFo1
+            | GateTag::NandFo1
+            | GateTag::AndFo1
+            | GateTag::OrFo1 => 1,
+            _ => 2,
+        }
+    }
+
+    /// `true` for cells whose output transition has the opposite polarity
+    /// of the relevant input transition (INV, NOR, NAND); `false` for the
+    /// buffering compound cells (AND, OR). Characterization samples and
+    /// Algorithm 1's dummy predecessor both depend on this.
+    #[must_use]
+    pub fn inverting(self) -> bool {
+        !matches!(
+            self,
+            GateTag::AndFo1 | GateTag::AndFo2 | GateTag::OrFo1 | GateTag::OrFo2
+        )
+    }
+
+    /// The same cell at the other fan-out class.
+    #[must_use]
+    pub fn with_fanout(self, fanout: usize) -> Self {
+        let fo2 = fanout >= 2;
+        match self {
+            GateTag::Inverter | GateTag::InverterFo2 => {
+                if fo2 {
+                    GateTag::InverterFo2
+                } else {
+                    GateTag::Inverter
+                }
+            }
+            GateTag::NorFo1 | GateTag::NorFo2 => {
+                if fo2 {
+                    GateTag::NorFo2
+                } else {
+                    GateTag::NorFo1
+                }
+            }
+            GateTag::NandFo1 | GateTag::NandFo2 => {
+                if fo2 {
+                    GateTag::NandFo2
+                } else {
+                    GateTag::NandFo1
+                }
+            }
+            GateTag::AndFo1 | GateTag::AndFo2 => {
+                if fo2 {
+                    GateTag::AndFo2
+                } else {
+                    GateTag::AndFo1
+                }
+            }
+            GateTag::OrFo1 | GateTag::OrFo2 => {
+                if fo2 {
+                    GateTag::OrFo2
+                } else {
+                    GateTag::OrFo1
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for GateTag {
@@ -61,6 +166,12 @@ impl std::fmt::Display for GateTag {
             GateTag::InverterFo2 => write!(f, "INV/FO2"),
             GateTag::NorFo1 => write!(f, "NOR/FO1"),
             GateTag::NorFo2 => write!(f, "NOR/FO2"),
+            GateTag::NandFo1 => write!(f, "NAND/FO1"),
+            GateTag::NandFo2 => write!(f, "NAND/FO2"),
+            GateTag::AndFo1 => write!(f, "AND/FO1"),
+            GateTag::AndFo2 => write!(f, "AND/FO2"),
+            GateTag::OrFo1 => write!(f, "OR/FO1"),
+            GateTag::OrFo2 => write!(f, "OR/FO2"),
         }
     }
 }

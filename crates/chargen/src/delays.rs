@@ -71,8 +71,8 @@ pub fn measure_nor_delays_loaded(
     )
 }
 
-/// Measures the delays of either elementary gate kind (inverter or NOR)
-/// at a given fan-out and interconnect load.
+/// Measures the delays of any characterizable cell kind (inverter, NOR,
+/// NAND, AND, OR chains) at a given fan-out and interconnect load.
 ///
 /// # Errors
 ///
@@ -101,8 +101,9 @@ pub fn measure_gate_delays(
     let mut init = HashMap::new();
     init.insert(chain.input, Level::Low);
     if let Some(tie) = chain.tie {
-        stimuli.insert(tie, Box::new(Dc(0.0)));
-        init.insert(tie, Level::Low);
+        let v = if chain.tie_level.is_high() { 0.8 } else { 0.0 };
+        stimuli.insert(tie, Box::new(Dc(v)));
+        init.insert(tie, chain.tie_level);
     }
     let analog = build_analog(&chain.circuit, stimuli, &init, analog_options)?;
     let p_in = analog.probe_name(chain.stage_nets[1]).to_string();

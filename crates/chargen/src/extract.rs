@@ -90,8 +90,12 @@ pub fn run_chain(
     let mut init = HashMap::new();
     init.insert(chain.input, Level::Low);
     if let Some(tie) = chain.tie {
-        stimuli.insert(tie, Box::new(nanospice::Dc(0.0)));
-        init.insert(tie, Level::Low);
+        // The tie input holds the cell's non-controlling level (GND for
+        // NOR/OR chains, VDD for NAND/AND chains) so every stimulus
+        // transition stays relevant.
+        let v = if chain.tie_level.is_high() { 0.8 } else { 0.0 };
+        stimuli.insert(tie, Box::new(nanospice::Dc(v)));
+        init.insert(tie, chain.tie_level);
     }
     let analog = build_analog(&chain.circuit, stimuli, &init, analog_options)?;
     let probe_names: Vec<String> = chain
@@ -125,7 +129,8 @@ pub struct ExtractionStats {
 }
 
 /// Extracts transfer samples from the fitted sigmoid traces of one gate's
-/// input and output waveforms.
+/// input and output waveforms (inverting-cell polarity convention; see
+/// [`extract_from_pair_cell`] for buffering cells).
 ///
 /// An inverting single-input gate maps each input transition to exactly one
 /// output transition of opposite polarity; pairs are matched in order. If
@@ -141,9 +146,26 @@ pub fn extract_from_pair(
     fit_options: &FitOptions,
     out: &mut Vec<TransferSample>,
 ) -> Result<ExtractionStats, CharError> {
+    extract_from_pair_cell(input_wave, output_wave, true, fit_options, out)
+}
+
+/// Like [`extract_from_pair`] with the cell's polarity made explicit:
+/// `inverting = false` matches each input transition to a *same*-polarity
+/// output transition, the convention of buffering cells (AND, OR).
+///
+/// # Errors
+///
+/// Returns [`CharError::Fit`] if either waveform cannot be fitted.
+pub fn extract_from_pair_cell(
+    input_wave: &Waveform,
+    output_wave: &Waveform,
+    inverting: bool,
+    fit_options: &FitOptions,
+    out: &mut Vec<TransferSample>,
+) -> Result<ExtractionStats, CharError> {
     let input = fit_waveform(input_wave, fit_options)?.trace;
     let output = fit_waveform(output_wave, fit_options)?.trace;
-    Ok(extract_from_traces(&input, &output, out))
+    Ok(extract_from_traces_cell(&input, &output, inverting, out))
 }
 
 /// Largest plausible input-to-output delay (scaled units, 20 ps — about
@@ -154,7 +176,8 @@ pub fn extract_from_pair(
 /// poisoning the training set with phantom long delays.
 const MAX_DELAY: f64 = 0.2;
 
-/// Like [`extract_from_pair`], starting from already fitted traces.
+/// Like [`extract_from_pair`], starting from already fitted traces
+/// (inverting-cell convention; see [`extract_from_traces_cell`]).
 ///
 /// Input and output transitions are aligned in order: for an inverting
 /// single-input gate each surviving input transition causes exactly one
@@ -168,16 +191,35 @@ pub fn extract_from_traces(
     output: &SigmoidTrace,
     out: &mut Vec<TransferSample>,
 ) -> ExtractionStats {
+    extract_from_traces_cell(input, output, true, out)
+}
+
+/// Like [`extract_from_traces`] with the cell polarity made explicit.
+///
+/// `inverting = true` matches each input transition to the next
+/// opposite-polarity output transition (INV/NOR/NAND cells);
+/// `inverting = false` matches same-polarity pairs (the buffering AND/OR
+/// cells). The dummy predecessor's polarity flips accordingly: it always
+/// carries the polarity the *previous* output transition would have had,
+/// i.e. the opposite of the first caused output transition.
+#[must_use]
+pub fn extract_from_traces_cell(
+    input: &SigmoidTrace,
+    output: &SigmoidTrace,
+    inverting: bool,
+    out: &mut Vec<TransferSample>,
+) -> ExtractionStats {
     let mut stats = ExtractionStats::default();
     if input.is_empty() {
         stats.skipped_pairs = usize::from(!output.is_empty());
         return stats;
     }
-    // Dummy predecessor: polarity opposite to the first input transition
-    // for an inverting gate (the previous output has the same polarity as
-    // the current input's *caused* output inverted — i.e. it matches the
-    // input polarity of the first transition's opposite).
-    let mut prev_a = if input.transitions()[0].is_rising() {
+    // Dummy predecessor: the first caused output transition has polarity
+    // `first_input ^ inverting`; the fictitious previous output transition
+    // is its opposite.
+    let first_rising = input.transitions()[0].is_rising();
+    let dummy_rising = first_rising == inverting;
+    let mut prev_a = if dummy_rising {
         DUMMY_SLOPE
     } else {
         -DUMMY_SLOPE
@@ -188,7 +230,9 @@ pub fn extract_from_traces(
     for sin in input.transitions() {
         let matched = oi < outs.len() && {
             let sout = &outs[oi];
-            sout.is_rising() != sin.is_rising() && sout.b > sin.b && sout.b - sin.b < MAX_DELAY
+            (sout.is_rising() != sin.is_rising()) == inverting
+                && sout.b > sin.b
+                && sout.b - sin.b < MAX_DELAY
         };
         if !matched {
             stats.cancelled_inputs += 1;

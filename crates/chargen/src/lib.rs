@@ -44,7 +44,8 @@ pub use delays::{
     measure_gate_delays, measure_nor_delays, measure_nor_delays_loaded, DelayTable, GateDelays,
 };
 pub use extract::{
-    extract_from_pair, extract_from_traces, run_chain, ChainRun, CharError, ExtractionStats,
+    extract_from_pair, extract_from_pair_cell, extract_from_traces, extract_from_traces_cell,
+    run_chain, ChainRun, CharError, ExtractionStats,
 };
 pub use pulses::{PulseSpec, PulseSweep};
 pub use sweep::{characterize, CharacterizationConfig, CharacterizationOutcome};

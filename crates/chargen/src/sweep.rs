@@ -7,7 +7,7 @@ use sigfit::FitOptions;
 use crate::analog::AnalogOptions;
 use crate::chain::{ChainGate, CharChain};
 use crate::dataset::{Dataset, GateTag};
-use crate::extract::{extract_from_pair, run_chain, CharError, ExtractionStats};
+use crate::extract::{extract_from_pair_cell, run_chain, CharError, ExtractionStats};
 use crate::pulses::PulseSweep;
 
 /// Configuration of one characterization campaign.
@@ -75,24 +75,26 @@ pub fn characterize(
     tag: GateTag,
     config: &CharacterizationConfig,
 ) -> Result<CharacterizationOutcome, CharError> {
-    let (gate, fanout) = match tag {
-        GateTag::Inverter => (ChainGate::Inverter, 1),
-        GateTag::InverterFo2 => (ChainGate::Inverter, 2),
-        GateTag::NorFo1 => (ChainGate::Nor, 1),
-        GateTag::NorFo2 => (ChainGate::Nor, 2),
-    };
+    let (gate, fanout) = ChainGate::for_tag(tag);
     let chain = CharChain::new(gate, config.chain_targets, fanout);
     let specs = config.sweep.specs();
 
     // Each spec is an independent analog run + extraction; fan the sweep
     // out across the worker pool and merge in spec order so the dataset is
-    // identical at any parallelism setting.
+    // identical at any parallelism setting. Buffering cells (AND/OR) are
+    // matched with same-polarity output transitions.
     let per_spec = sigwave::parallel::try_par_map(config.parallelism, &specs, |_, spec| {
         let run = run_chain(&chain, spec, &config.analog, &config.engine)?;
         let mut stats = ExtractionStats::default();
         let mut collected = Vec::new();
         for pair in run.waveforms.windows(2) {
-            let s = extract_from_pair(&pair[0], &pair[1], &config.fit, &mut collected)?;
+            let s = extract_from_pair_cell(
+                &pair[0],
+                &pair[1],
+                chain.inverting,
+                &config.fit,
+                &mut collected,
+            )?;
             stats.samples += s.samples;
             stats.cancelled_inputs += s.cancelled_inputs;
             stats.skipped_pairs += s.skipped_pairs;
@@ -171,6 +173,32 @@ mod tests {
         assert_eq!(a.stats.samples, b.stats.samples);
         assert_eq!(a.dataset.rising, b.dataset.rising);
         assert_eq!(a.dataset.falling, b.dataset.falling);
+    }
+
+    #[test]
+    fn nand_characterization_is_inverting() {
+        let out = characterize(GateTag::NandFo1, &tiny_config()).unwrap();
+        assert!(out.dataset.len() >= 40, "got {}", out.dataset.len());
+        assert_eq!(out.dataset.gate, GateTag::NandFo1);
+        for s in out.dataset.rising.iter().chain(&out.dataset.falling) {
+            assert!(s.delay > 0.0, "negative delay {s:?}");
+            assert!(s.a_in * s.a_out < 0.0, "NAND must invert: {s:?}");
+        }
+    }
+
+    #[test]
+    fn and_or_characterization_is_buffering() {
+        for tag in [GateTag::AndFo1, GateTag::OrFo2] {
+            let out = characterize(tag, &tiny_config()).unwrap();
+            assert!(out.dataset.len() >= 40, "{tag}: got {}", out.dataset.len());
+            for s in out.dataset.rising.iter().chain(&out.dataset.falling) {
+                assert!(s.delay > 0.0, "{tag}: negative delay {s:?}");
+                assert!(
+                    s.a_in * s.a_out > 0.0,
+                    "{tag} must preserve polarity: {s:?}"
+                );
+            }
+        }
     }
 
     #[test]

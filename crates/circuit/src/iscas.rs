@@ -6,7 +6,7 @@
 //!   feeding a two-level decoder and 32 XOR correctors. The original
 //!   netlist is reverse-engineering-encumbered; this surrogate preserves
 //!   the properties the experiments depend on (scale, XOR-dominance,
-//!   reconvergent fan-out, 41 in / 32 out). See `DESIGN.md`.
+//!   reconvergent fan-out, 41 in / 32 out). See `docs/architecture.md`.
 //! * [`c1355`] — the same function with every XOR expanded into four NAND2
 //!   gates, exactly the structural relation between the real c499/c1355
 //!   pair.
@@ -178,15 +178,20 @@ pub fn c1355() -> Circuit {
     error_corrector(XorStyle::NandExpanded)
 }
 
-/// An ISCAS-85 benchmark instance from Table I, NOR-mapped and annotated.
+/// An ISCAS-85 benchmark instance from Table I, mapped for both simulated
+/// cell sets and annotated.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
     /// Short name, e.g. `"c17"`.
     pub name: &'static str,
     /// The original (multi-kind) circuit.
     pub original: Circuit,
-    /// The NOR-only mapped circuit actually simulated.
+    /// The NOR-only mapped circuit (the paper's prototype form).
     pub nor_mapped: Circuit,
+    /// The native-cell mapped circuit ([`crate::to_native_cells`]): NAND2,
+    /// AND2, OR2, INV and NOR kept as first-class cells — typically a
+    /// fraction of the NOR-mapped gate count on NAND-heavy netlists.
+    pub native: Circuit,
 }
 
 impl Benchmark {
@@ -203,22 +208,40 @@ impl Benchmark {
             "c1355" => ("c1355", c1355()),
             other => return Err(other.to_string()),
         };
-        // NOR mapping followed by standard fan-out limiting: the paper's
-        // prototype only has FO1/FO2 models, and synthesized netlists keep
+        // Mapping followed by standard fan-out limiting: the characterized
+        // models cover FO1/FO2 only, and synthesized netlists keep
         // fan-outs low by buffering anyway.
         let nor_mapped =
             crate::limit_fanout(&to_nor_only(&original, NorMappingOptions::default()), 4);
+        let native = crate::limit_fanout(&crate::to_native_cells(&original), 4);
         Ok(Benchmark {
             name,
             original,
             nor_mapped,
+            native,
         })
+    }
+
+    /// The simulated form under a mapping policy.
+    #[must_use]
+    pub fn circuit_for(&self, policy: crate::MappingPolicy) -> &Circuit {
+        match policy {
+            crate::MappingPolicy::NorOnly => &self.nor_mapped,
+            crate::MappingPolicy::Native => &self.native,
+        }
     }
 
     /// Number of NOR gates in the mapped circuit (Table I's `#NOR-gates`).
     #[must_use]
     pub fn nor_gate_count(&self) -> usize {
         self.nor_mapped.gates().len()
+    }
+
+    /// Gate count of the simulated form under a policy (the quantity the
+    /// native library shrinks).
+    #[must_use]
+    pub fn gate_count(&self, policy: crate::MappingPolicy) -> usize {
+        self.circuit_for(policy).gates().len()
     }
 }
 

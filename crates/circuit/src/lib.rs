@@ -11,10 +11,12 @@
 //! * [`load_circuit`] — format auto-detection (`.bench`/JSON by extension
 //!   plus content sniffing) and [`content_hash`]/[`Circuit::fingerprint`]
 //!   for the `sigserve` circuit cache,
-//! * [`to_nor_only`] — technology mapping to 1-/2-input NOR gates (the only
-//!   gates the paper's prototype simulator supports),
+//! * [`to_nor_only`]/[`to_native_cells`]/[`MappingPolicy`] — technology
+//!   mapping onto the simulated cell sets: 1-/2-input NOR gates (the
+//!   paper's prototype form) or the native multi-cell library (INV,
+//!   NOR1–3, NAND2, AND2, OR2; see `docs/cell-libraries.md`),
 //! * [`c17`], [`c499`], [`c1355`] — the Table I benchmarks (c17 exact;
-//!   c499/c1355 structurally faithful surrogates, see `DESIGN.md`).
+//!   c499/c1355 structurally faithful surrogates, see `docs/architecture.md`).
 //!
 //! # Example
 //!
@@ -45,5 +47,8 @@ pub use iscas::{c1355, c17, c499, Benchmark};
 pub use loader::{
     content_hash, load_circuit, parse_circuit, sniff_format, CircuitFormat, LoadCircuitError,
 };
-pub use mapping::{to_nor_only, NorMappingOptions};
+pub use mapping::{
+    is_native_cell, is_native_only, map_with_policy, to_native_cells, to_nor_only, MappingPolicy,
+    NorMappingOptions,
+};
 pub use netlist::{BuildCircuitError, Circuit, CircuitBuilder, Gate, GateKind, NetId};

@@ -1,6 +1,15 @@
-//! Technology mapping to NOR-only circuits (Sec. V-B of the paper: "each
-//! non-NOR gate is replaced by an equivalent circuit consisting of just NOR
-//! gates", exploiting that NOR is functionally complete).
+//! Technology mapping for the simulated cell sets.
+//!
+//! Two mapping policies exist ([`MappingPolicy`]):
+//!
+//! * [`to_nor_only`] — the paper's Sec. V-B mapping ("each non-NOR gate is
+//!   replaced by an equivalent circuit consisting of just NOR gates",
+//!   exploiting that NOR is functionally complete),
+//! * [`to_native_cells`] — the multi-cell library mapping: INV, NOR (1–3
+//!   inputs), NAND2, AND2 and OR2 are kept as first-class simulated cells;
+//!   only unsupported shapes (XOR/XNOR, arity > 2 for NAND/AND/OR,
+//!   arity > 3 NOR, BUF) are decomposed. On NAND-heavy netlists like
+//!   c17/c1355 this avoids the 2–4× NOR-expansion blow-up entirely.
 //!
 //! The mapping uses the textbook NOR realizations (single-input NORs act as
 //! inverters, the form the prototype simulator supports):
@@ -195,6 +204,211 @@ pub fn to_nor_only(circuit: &Circuit, options: NorMappingOptions) -> Circuit {
     builder.build().expect("mapping preserves validity")
 }
 
+/// Which cell set a circuit is mapped onto before simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingPolicy {
+    /// Map everything onto 1-/2-input NOR gates (the paper's prototype
+    /// form; [`to_nor_only`]). The historical default.
+    #[default]
+    NorOnly,
+    /// Keep the native library cells (INV, NOR1–3, NAND2, AND2, OR2) and
+    /// decompose only unsupported shapes ([`to_native_cells`]).
+    Native,
+}
+
+impl MappingPolicy {
+    /// The policy's canonical wire/CLI name (`nor-only` / `native`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::NorOnly => "nor-only",
+            Self::Native => "native",
+        }
+    }
+
+    /// Parses a canonical policy name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "nor-only" => Some(Self::NorOnly),
+            "native" => Some(Self::Native),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MappingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// `true` if a gate of this kind and arity is a first-class cell of the
+/// native library (simulable without decomposition): INV, NOR with 1–3
+/// inputs, and the two-input NAND/AND/OR cells.
+#[must_use]
+pub fn is_native_cell(kind: GateKind, arity: usize) -> bool {
+    match kind {
+        GateKind::Inv => arity == 1,
+        GateKind::Nor => (1..=3).contains(&arity),
+        GateKind::Nand | GateKind::And | GateKind::Or => arity == 2,
+        GateKind::Buf | GateKind::Xor | GateKind::Xnor => false,
+    }
+}
+
+/// `true` if every gate of `circuit` is a native library cell (see
+/// [`is_native_cell`]) — such a circuit passes [`to_native_cells`]
+/// unchanged.
+#[must_use]
+pub fn is_native_only(circuit: &Circuit) -> bool {
+    circuit
+        .gates()
+        .iter()
+        .all(|g| is_native_cell(g.kind, g.inputs.len()))
+}
+
+/// Maps a circuit with the given policy: [`to_nor_only`] for
+/// [`MappingPolicy::NorOnly`], [`to_native_cells`] for
+/// [`MappingPolicy::Native`] (both with the given NOR-mapping ablation
+/// options, which only the NOR policy consults).
+#[must_use]
+pub fn map_with_policy(
+    circuit: &Circuit,
+    policy: MappingPolicy,
+    options: NorMappingOptions,
+) -> Circuit {
+    match policy {
+        MappingPolicy::NorOnly => to_nor_only(circuit, options),
+        MappingPolicy::Native => to_native_cells(circuit),
+    }
+}
+
+/// State of one native-cell mapping run.
+struct CellMapper<'a> {
+    builder: &'a mut CircuitBuilder,
+    fresh: usize,
+}
+
+impl CellMapper<'_> {
+    fn fresh_name(&mut self, tag: &str) -> String {
+        self.fresh += 1;
+        format!("__cell{}_{}", self.fresh, tag)
+    }
+
+    fn gate(&mut self, kind: GateKind, inputs: &[NetId], tag: &str) -> NetId {
+        let name = self.fresh_name(tag);
+        self.builder.add_gate(kind, inputs, &name)
+    }
+
+    fn inv(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Inv, &[a], "inv")
+    }
+
+    /// Balanced binary tree of 2-input gates of one kind.
+    fn tree2(&mut self, kind: GateKind, inputs: &[NetId], tag: &str) -> NetId {
+        assert!(!inputs.is_empty());
+        let mut layer: Vec<NetId> = inputs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(kind, pair, tag));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// XOR via the native 4-NAND2 realization (the c1355 structure).
+    fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        let n1 = self.gate(GateKind::Nand, &[a, b], "x1");
+        let n2 = self.gate(GateKind::Nand, &[a, n1], "x2");
+        let n3 = self.gate(GateKind::Nand, &[b, n1], "x3");
+        self.gate(GateKind::Nand, &[n2, n3], "x4")
+    }
+
+    fn map_gate(&mut self, kind: GateKind, ins: &[NetId], out_name: &str) -> NetId {
+        if is_native_cell(kind, ins.len()) {
+            // First-class cell: re-emit as-is under its original output
+            // name, so fully native netlists (c17, c1355) keep every net
+            // name through the mapping.
+            return self.builder.add_gate(kind, ins, out_name);
+        }
+        match kind {
+            GateKind::Buf => {
+                // No buffer cell in the library: an inverter pair.
+                let n = self.inv(ins[0]);
+                self.inv(n)
+            }
+            GateKind::And => self.tree2(GateKind::And, ins, "and"),
+            GateKind::Or => self.tree2(GateKind::Or, ins, "or"),
+            GateKind::Nand => {
+                // NAND(xs) = NAND(AND-tree(all but last), last): the final
+                // stage stays a native NAND2.
+                let left = self.tree2(GateKind::And, &ins[..ins.len() - 1], "nand_and");
+                self.gate(GateKind::Nand, &[left, ins[ins.len() - 1]], "nand")
+            }
+            GateKind::Nor => {
+                // Arity > 3: OR-tree of all but last, final native NOR2.
+                let left = self.tree2(GateKind::Or, &ins[..ins.len() - 1], "nor_or");
+                self.gate(GateKind::Nor, &[left, ins[ins.len() - 1]], "nor")
+            }
+            GateKind::Xor => self.xor2(ins[0], ins[1]),
+            GateKind::Xnor => {
+                let x = self.xor2(ins[0], ins[1]);
+                self.inv(x)
+            }
+            GateKind::Inv => unreachable!("INV of arity 1 is native"),
+        }
+    }
+}
+
+/// Maps a circuit onto the native cell library (INV, NOR1–3, NAND2, AND2,
+/// OR2): supported gates pass through one-to-one, unsupported shapes are
+/// decomposed (XOR → 4 NAND2, XNOR → XOR + INV, BUF → 2 INV, wide
+/// NAND/AND/OR/NOR → 2-input trees).
+///
+/// The result computes the same boolean function on the same primary
+/// inputs/outputs and satisfies [`is_native_only`]. A circuit that is
+/// already native-only keeps its gate count (gates are re-emitted
+/// unchanged).
+///
+/// # Panics
+///
+/// Panics only on internal name collisions, which cannot happen for
+/// circuits produced by [`CircuitBuilder`].
+#[must_use]
+pub fn to_native_cells(circuit: &Circuit) -> Circuit {
+    let mut builder = CircuitBuilder::new();
+    let mut map: Vec<Option<NetId>> = vec![None; circuit.net_count()];
+    for &i in circuit.inputs() {
+        let id = builder.add_input(circuit.net_name(i));
+        map[i.0] = Some(id);
+    }
+    let mut mapper = CellMapper {
+        builder: &mut builder,
+        fresh: 0,
+    };
+    for &gi in circuit.topological_gates() {
+        let g = &circuit.gates()[gi];
+        let ins: Vec<NetId> = g
+            .inputs
+            .iter()
+            .map(|i| map[i.0].expect("topological order guarantees mapped inputs"))
+            .collect();
+        let out = mapper.map_gate(g.kind, &ins, circuit.net_name(g.output));
+        map[g.output.0] = Some(out);
+    }
+    for &o in circuit.outputs() {
+        let mapped = map[o.0].expect("outputs are driven");
+        builder.mark_output(mapped);
+    }
+    builder.build().expect("mapping preserves validity")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +518,115 @@ mod tests {
         );
         assert!(shared.gates().len() < plain.gates().len());
         exhaustive_equiv(&circuit, &shared);
+    }
+
+    #[test]
+    fn native_mapping_keeps_supported_cells() {
+        // c17 is pure NAND2: native mapping must keep all 6 gates.
+        let c17 = crate::c17();
+        let native = to_native_cells(&c17);
+        assert!(is_native_only(&native));
+        assert_eq!(native.gates().len(), 6, "NAND2 is a first-class cell");
+        exhaustive_equiv(&c17, &native);
+        // Pass-through cells keep their original net names.
+        for o in c17.outputs() {
+            let name = c17.net_name(*o);
+            assert!(native.find_net(name).is_some(), "net {name} renamed");
+        }
+        // Mapping an already-native circuit keeps the gate count.
+        let again = to_native_cells(&native);
+        assert_eq!(again.gates().len(), native.gates().len());
+    }
+
+    #[test]
+    fn native_mapping_decomposes_unsupported_shapes() {
+        let cases = [
+            (GateKind::Buf, 1, 2),  // inverter pair
+            (GateKind::Xor, 2, 4),  // 4 NAND2
+            (GateKind::Xnor, 2, 5), // XOR + INV
+            (GateKind::And, 5, 4),  // AND2 tree
+            (GateKind::Nand, 4, 3), // AND2 tree (2) + final NAND2
+            (GateKind::Nor, 6, 5),  // OR2 tree (4) + final NOR2
+            (GateKind::Nor, 3, 1),  // NOR3 is native
+            (GateKind::Or, 2, 1),   // native
+        ];
+        for (kind, arity, expect_gates) in cases {
+            let c = single_gate(kind, arity);
+            let m = to_native_cells(&c);
+            assert!(is_native_only(&m), "{kind}/{arity}");
+            assert_eq!(m.gates().len(), expect_gates, "{kind}/{arity}");
+            exhaustive_equiv(&c, &m);
+        }
+    }
+
+    #[test]
+    fn native_mapping_shrinks_nand_heavy_circuits() {
+        // The tentpole's motivation: c1355 (NAND-expanded XORs) must not
+        // inflate under the native policy the way NOR mapping inflates it.
+        let bench = crate::Benchmark::by_name("c1355").unwrap();
+        assert!(
+            bench.native.gates().len() * 2 < bench.nor_mapped.gates().len(),
+            "native {} vs NOR-mapped {}",
+            bench.native.gates().len(),
+            bench.nor_mapped.gates().len()
+        );
+        assert!(is_native_only(&bench.native));
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [MappingPolicy::NorOnly, MappingPolicy::Native] {
+            assert_eq!(MappingPolicy::from_name(policy.as_str()), Some(policy));
+        }
+        assert_eq!(MappingPolicy::from_name("tripwire"), None);
+        assert_eq!(MappingPolicy::default(), MappingPolicy::NorOnly);
+    }
+
+    proptest! {
+        /// The satellite parity property: over random DAGs of the
+        /// supported cell set, [`MappingPolicy::Native`] and
+        /// [`MappingPolicy::NorOnly`] produce circuits with identical
+        /// digital (boolean) behaviour.
+        #[test]
+        fn policies_agree_on_random_native_dags(
+            seed in 0u64..u64::MAX,
+            bits in proptest::collection::vec(any::<bool>(), 5),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let kinds = [GateKind::Inv, GateKind::Nor, GateKind::Nand,
+                         GateKind::And, GateKind::Or];
+            let mut b = CircuitBuilder::new();
+            let mut nets: Vec<NetId> =
+                (0..5).map(|i| b.add_input(&format!("i{i}"))).collect();
+            for g in 0..rng.gen_range(1..12usize) {
+                let kind = kinds[rng.gen_range(0..kinds.len())];
+                let arity = match kind {
+                    GateKind::Inv => 1,
+                    GateKind::Nor => rng.gen_range(1..4usize),
+                    _ => 2,
+                };
+                let mut ins = Vec::new();
+                while ins.len() < arity {
+                    let pick = nets[rng.gen_range(0..nets.len())];
+                    if !ins.contains(&pick) {
+                        ins.push(pick);
+                    }
+                }
+                nets.push(b.add_gate(kind, &ins, &format!("g{g}")));
+            }
+            b.mark_output(*nets.last().expect("nonempty"));
+            let c = b.build().expect("random native DAG is valid");
+
+            let native = map_with_policy(&c, MappingPolicy::Native,
+                                         NorMappingOptions::default());
+            let nor = map_with_policy(&c, MappingPolicy::NorOnly,
+                                      NorMappingOptions::default());
+            prop_assert!(is_native_only(&native));
+            prop_assert!(nor.is_nor_only());
+            prop_assert_eq!(native.eval(&bits), nor.eval(&bits));
+            prop_assert_eq!(native.eval(&bits), c.eval(&bits));
+        }
     }
 
     proptest! {

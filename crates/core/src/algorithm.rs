@@ -221,32 +221,95 @@ impl OutputState {
     }
 }
 
-/// A planned NOR (or single-input gate) prediction: the model-independent
-/// half of Algorithm 1, separated from the transfer-function evaluation so
-/// queries from many gates can be batched together.
+/// The boolean family of a simulated cell — everything [`plan_cell`]
+/// needs to know about a gate: its truth function (for the initial output
+/// level) and its non-controlling input value (for the Sec. III relevance
+/// masking). The *polarity* of output transitions is not encoded here; it
+/// comes from the transfer function's trained `a_out` sign plus the
+/// output state's alternation repair, so one plan type serves inverting
+/// (INV/NOR/NAND) and buffering (AND/OR) cells alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFunction {
+    /// Inverter (single input).
+    Inv,
+    /// Buffer (single input).
+    Buf,
+    /// NOR: output high iff all inputs low; others masked unless low.
+    Nor,
+    /// OR: output high iff any input high; others masked unless low.
+    Or,
+    /// NAND: output low iff all inputs high; others masked unless high.
+    Nand,
+    /// AND: output high iff all inputs high; others masked unless high.
+    And,
+}
+
+impl CellFunction {
+    /// The level the *other* inputs must hold for a transition on one
+    /// input to reach the output (the cell's non-controlling value):
+    /// low for NOR/OR, high for NAND/AND.
+    #[must_use]
+    pub fn pass_level(self) -> Level {
+        match self {
+            CellFunction::Inv | CellFunction::Buf | CellFunction::Nor | CellFunction::Or => {
+                Level::Low
+            }
+            CellFunction::Nand | CellFunction::And => Level::High,
+        }
+    }
+
+    /// The cell's boolean function.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            CellFunction::Inv => !inputs[0],
+            CellFunction::Buf => inputs[0],
+            CellFunction::Nor => !inputs.iter().any(|&b| b),
+            CellFunction::Or => inputs.iter().any(|&b| b),
+            CellFunction::Nand => !inputs.iter().all(|&b| b),
+            CellFunction::And => inputs.iter().all(|&b| b),
+        }
+    }
+
+    /// `true` when, with every other input at the pass level, the output
+    /// transition has the opposite polarity of the input transition.
+    #[must_use]
+    pub fn inverting(self) -> bool {
+        matches!(
+            self,
+            CellFunction::Inv | CellFunction::Nor | CellFunction::Nand
+        )
+    }
+}
+
+/// A planned cell prediction: the model-independent half of Algorithm 1,
+/// separated from the transfer-function evaluation so queries from many
+/// gates can be batched together. (Historically named `NorPlan`; the same
+/// plan now drives every library cell via [`plan_cell`].)
 ///
 /// Planning resolves everything that does **not** depend on predictions:
 /// the initial output level and the *relevant* input transitions (for a
-/// multi-input NOR, the transitions arriving while every other input is
-/// low — the Sec. III decision procedure). What remains is inherently
-/// sequential per gate — each query's history interval and previous-output
-/// slope come from the preceding prediction — so the plan is driven as a
-/// query/apply loop:
+/// multi-input cell, the transitions arriving while every other input
+/// holds the cell's non-controlling level — the Sec. III decision
+/// procedure, generalized from "others low" for NOR to "others high" for
+/// NAND/AND). What remains is inherently sequential per gate — each
+/// query's history interval and previous-output slope come from the
+/// preceding prediction — so the plan is driven as a query/apply loop:
 ///
-/// 1. [`NorPlan::next_query`] yields the query for the next relevant
+/// 1. [`GatePlan::next_query`] yields the query for the next relevant
 ///    transition (or `None` when the plan is exhausted),
 /// 2. the caller evaluates it — alone, or batched with the pending queries
 ///    of *other* gates via [`GateModel::predict_batch`] —
-/// 3. [`NorPlan::apply`] consumes the prediction, advancing Algorithm 1's
+/// 3. [`GatePlan::apply`] consumes the prediction, advancing Algorithm 1's
 ///    output state (alternation repair, out-of-order cancellation,
 ///    sub-threshold pulse removal),
-/// 4. [`NorPlan::into_trace`] finalizes the output trace.
+/// 4. [`GatePlan::into_trace`] finalizes the output trace.
 ///
-/// [`apply_nor`] packages the single-gate loop; the one-shot
+/// [`apply_plan`] packages the single-gate loop; the one-shot
 /// [`predict_nor`]/[`predict_single_input`] wrappers are plan + apply and
 /// remain bit-identical to driving the plan any other way.
 #[derive(Debug)]
-pub struct NorPlan<'a> {
+pub struct GatePlan<'a> {
     /// The relevant input transitions, in arrival order: borrowed straight
     /// from the input trace for single-input gates (no copy), owned only
     /// when a multi-input merge had to build the list.
@@ -256,7 +319,11 @@ pub struct NorPlan<'a> {
     state: OutputState,
 }
 
-impl NorPlan<'_> {
+/// The historical name of [`GatePlan`], kept so pre-library call sites
+/// (and the paper-facing `plan_nor` vocabulary) keep compiling.
+pub type NorPlan<'a> = GatePlan<'a>;
+
+impl GatePlan<'_> {
     /// Number of relevant input transitions still awaiting a prediction.
     #[must_use]
     pub fn pending(&self) -> usize {
@@ -265,7 +332,7 @@ impl NorPlan<'_> {
 
     /// The query for the next relevant input transition, or `None` when
     /// every transition has been applied. Stable until the next
-    /// [`NorPlan::apply`] call.
+    /// [`GatePlan::apply`] call.
     #[must_use]
     pub fn next_query(&self) -> Option<TransferQuery> {
         let sin = self.relevant.get(self.cursor)?;
@@ -283,7 +350,7 @@ impl NorPlan<'_> {
     }
 
     /// Consumes the prediction for the query returned by
-    /// [`NorPlan::next_query`]: schedules the output transition and runs
+    /// [`GatePlan::next_query`]: schedules the output transition and runs
     /// the cancellation bookkeeping (Algorithm 1's loop body).
     ///
     /// # Panics
@@ -315,8 +382,8 @@ impl NorPlan<'_> {
     }
 }
 
-/// Plans Algorithm 1 for a single-input inverting gate (inverter, or NOR
-/// with all other inputs low): every input transition is relevant.
+/// Plans Algorithm 1 for a single-input gate with a known settled output:
+/// every input transition is relevant.
 ///
 /// `initial_output` is the gate's settled output level before the first
 /// input transition; for an inverter it is the inverse of the input's
@@ -326,32 +393,52 @@ pub fn plan_single_input(
     input: &SigmoidTrace,
     initial_output: Level,
     options: TomOptions,
-) -> NorPlan<'_> {
-    NorPlan {
+) -> GatePlan<'_> {
+    GatePlan {
         relevant: Cow::Borrowed(input.transitions()),
         cursor: 0,
         state: OutputState::new(initial_output, options),
     }
 }
 
-/// Plans a multi-input NOR prediction: merges the input transitions in
-/// time order and keeps those arriving while every *other* input is low
-/// (Sec. III: "Algorithm 1 can be performed with input I1 as the relevant
-/// one as long as input I2 = GND") — transitions on a masked input never
-/// reach the output, so they produce no query at all.
+/// Plans a multi-input NOR prediction (Sec. III: "Algorithm 1 can be
+/// performed with input I1 as the relevant one as long as input
+/// I2 = GND"). Thin wrapper over [`plan_cell`] with
+/// [`CellFunction::Nor`].
 ///
 /// # Panics
 ///
 /// Panics if `inputs` is empty.
 #[must_use]
-pub fn plan_nor<'a>(inputs: &[&'a SigmoidTrace], options: TomOptions) -> NorPlan<'a> {
-    assert!(!inputs.is_empty(), "NOR needs at least one input");
+pub fn plan_nor<'a>(inputs: &[&'a SigmoidTrace], options: TomOptions) -> GatePlan<'a> {
+    plan_cell(CellFunction::Nor, inputs, options)
+}
+
+/// Plans any library cell: merges the input transitions in time order and
+/// keeps those arriving while every *other* input holds the cell's
+/// non-controlling ("pass") level — low for NOR/OR, high for NAND/AND.
+/// Transitions on a masked input never reach the output, so they produce
+/// no query at all. The initial output level is the cell's boolean
+/// function of the inputs' initial levels; output transition polarity is
+/// left to the transfer model plus the plan's alternation repair, which
+/// is what lets buffering cells share the machinery.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, or if a single-input function (INV/BUF)
+/// is given more than one input.
+#[must_use]
+pub fn plan_cell<'a>(
+    function: CellFunction,
+    inputs: &[&'a SigmoidTrace],
+    options: TomOptions,
+) -> GatePlan<'a> {
+    assert!(!inputs.is_empty(), "cell needs at least one input");
+    if matches!(function, CellFunction::Inv | CellFunction::Buf) {
+        assert_eq!(inputs.len(), 1, "{function:?} takes exactly one input");
+    }
     if inputs.len() == 1 {
-        let initial = if inputs[0].initial().is_high() {
-            Level::Low
-        } else {
-            Level::High
-        };
+        let initial = Level::from_bool(function.eval(&[inputs[0].initial().is_high()]));
         return plan_single_input(inputs[0], initial, options);
     }
     // Merge transitions from all inputs, tagged with their source.
@@ -365,17 +452,21 @@ pub fn plan_nor<'a>(inputs: &[&'a SigmoidTrace], options: TomOptions) -> NorPlan
 
     // Track digital levels of all inputs (by crossing time); relevance
     // depends only on the input traces, never on predictions.
+    let pass_high = function.pass_level().is_high();
     let mut levels: Vec<bool> = inputs.iter().map(|t| t.initial().is_high()).collect();
-    let initial_out = Level::from_bool(!levels.iter().any(|&l| l));
+    let initial_out = Level::from_bool(function.eval(&levels));
     let mut relevant = Vec::new();
     for (src, sin) in events {
-        let others_low = levels.iter().enumerate().all(|(i, &l)| i == src || !l);
-        if others_low {
+        let others_pass = levels
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| i == src || l == pass_high);
+        if others_pass {
             relevant.push(sin);
         }
         levels[src] = sin.is_rising();
     }
-    NorPlan {
+    GatePlan {
         relevant: Cow::Owned(relevant),
         cursor: 0,
         state: OutputState::new(initial_out, options),
@@ -387,11 +478,17 @@ pub fn plan_nor<'a>(inputs: &[&'a SigmoidTrace], options: TomOptions) -> NorPlan
 /// interleaves the loops of many plans through
 /// [`GateModel::predict_batch`]; both produce identical traces.)
 #[must_use]
-pub fn apply_nor(mut plan: NorPlan<'_>, model: &GateModel) -> SigmoidTrace {
+pub fn apply_plan(mut plan: GatePlan<'_>, model: &GateModel) -> SigmoidTrace {
     while let Some(query) = plan.next_query() {
         plan.apply(model.predict(query));
     }
     plan.into_trace()
+}
+
+/// The historical name of [`apply_plan`].
+#[must_use]
+pub fn apply_nor(plan: GatePlan<'_>, model: &GateModel) -> SigmoidTrace {
+    apply_plan(plan, model)
 }
 
 /// Algorithm 1: predicts the output sigmoid trace of a single-input
@@ -642,6 +739,138 @@ mod tests {
         assert_eq!(out.initial(), Level::Low);
         let out = predict_nor(&model(0.05), &[&lo, &lo], TomOptions::default());
         assert_eq!(out.initial(), Level::High);
+    }
+
+    /// A buffering mock: output slope mirrors the input polarity (what an
+    /// AND/OR cell's trained transfer produces).
+    struct BufferMock {
+        delay: f64,
+    }
+    impl TransferFunction for BufferMock {
+        fn predict(&self, q: TransferQuery) -> TransferPrediction {
+            TransferPrediction {
+                a_out: q.a_in.signum() * 14.0,
+                delay: self.delay,
+            }
+        }
+        fn backend_name(&self) -> &'static str {
+            "buffer-mock"
+        }
+    }
+
+    #[test]
+    fn nand_masks_while_other_input_low() {
+        // NAND: transitions pass while the *other* input is high; a low
+        // other input pins the output high and masks everything.
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 2.0)],
+            Level::Low,
+        );
+        let hi = SigmoidTrace::constant(Level::High, VDD_DEFAULT);
+        let lo = SigmoidTrace::constant(Level::Low, VDD_DEFAULT);
+        let passed = apply_plan(
+            plan_cell(CellFunction::Nand, &[&i1, &hi], TomOptions::default()),
+            &model(0.05),
+        );
+        assert_eq!(passed.initial(), Level::High);
+        assert_eq!(passed.len(), 2, "{:?}", passed.transitions());
+        assert!(!passed.transitions()[0].is_rising());
+        let masked = apply_plan(
+            plan_cell(CellFunction::Nand, &[&i1, &lo], TomOptions::default()),
+            &model(0.05),
+        );
+        assert_eq!(masked.initial(), Level::High);
+        assert!(masked.is_empty(), "{:?}", masked.transitions());
+    }
+
+    #[test]
+    fn and_passes_polarity_through() {
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 2.0)],
+            Level::Low,
+        );
+        let hi = SigmoidTrace::constant(Level::High, VDD_DEFAULT);
+        let m = GateModel::new(Arc::new(BufferMock { delay: 0.07 }));
+        let out = apply_plan(
+            plan_cell(CellFunction::And, &[&i1, &hi], TomOptions::default()),
+            &m,
+        );
+        assert_eq!(out.initial(), Level::Low);
+        assert_eq!(out.len(), 2, "{:?}", out.transitions());
+        assert!(out.transitions()[0].is_rising(), "AND buffers polarity");
+        assert!((out.transitions()[0].b - 1.07).abs() < 1e-9);
+        assert!((out.transitions()[1].b - 2.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn or_handover_mirrors_nor() {
+        // Same handover scenario as `nor_handover_between_inputs`, but the
+        // OR output follows the relevant input instead of inverting it.
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 3.0)],
+            Level::Low,
+        );
+        let i2 = trace(
+            vec![Sigmoid::rising(15.0, 2.0), Sigmoid::falling(15.0, 4.0)],
+            Level::Low,
+        );
+        let m = GateModel::new(Arc::new(BufferMock { delay: 0.05 }));
+        let out = apply_plan(
+            plan_cell(CellFunction::Or, &[&i1, &i2], TomOptions::default()),
+            &m,
+        );
+        assert_eq!(out.initial(), Level::Low);
+        assert_eq!(out.len(), 2, "{:?}", out.transitions());
+        assert!(out.transitions()[0].is_rising());
+        assert!((out.transitions()[0].b - 1.05).abs() < 1e-9);
+        assert!(!out.transitions()[1].is_rising());
+        assert!((out.transitions()[1].b - 4.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_cell_single_input_functions() {
+        let input = trace(vec![Sigmoid::rising(12.0, 1.0)], Level::Low);
+        let inv = plan_cell(CellFunction::Inv, &[&input], TomOptions::default());
+        assert_eq!(inv.pending(), 1);
+        let inv = apply_plan(inv, &model(0.05));
+        assert_eq!(inv.initial(), Level::High);
+        let m = GateModel::new(Arc::new(BufferMock { delay: 0.05 }));
+        let buf = apply_plan(
+            plan_cell(CellFunction::Buf, &[&input], TomOptions::default()),
+            &m,
+        );
+        assert_eq!(buf.initial(), Level::Low);
+        assert!(buf.transitions()[0].is_rising());
+        // NOR with a single input degenerates to the inverter plan.
+        let nor1 = apply_plan(
+            plan_cell(CellFunction::Nor, &[&input], TomOptions::default()),
+            &model(0.05),
+        );
+        assert_eq!(nor1, inv);
+    }
+
+    #[test]
+    fn plan_nor_is_plan_cell_nor() {
+        let i1 = trace(
+            vec![Sigmoid::rising(15.0, 1.0), Sigmoid::falling(15.0, 2.2)],
+            Level::Low,
+        );
+        let i2 = trace(vec![Sigmoid::rising(15.0, 1.8)], Level::Low);
+        let opts = TomOptions::default();
+        let a = apply_plan(plan_nor(&[&i1, &i2], opts), &model(0.05));
+        let b = apply_plan(
+            plan_cell(CellFunction::Nor, &[&i1, &i2], opts),
+            &model(0.05),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one input")]
+    fn multi_input_inverter_rejected() {
+        let i1 = trace(vec![Sigmoid::rising(15.0, 1.0)], Level::Low);
+        let i2 = SigmoidTrace::constant(Level::Low, VDD_DEFAULT);
+        let _ = plan_cell(CellFunction::Inv, &[&i1, &i2], TomOptions::default());
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //!   removal and transition cancellation (Sec. III).
 //! * [`predict_nor`] — the multi-input decision procedure reducing a NOR
 //!   gate to per-input single-input predictions.
-//! * [`plan_nor`]/[`NorPlan`]/[`apply_nor`] — the plan → apply split of
-//!   Algorithm 1: planning resolves the relevant input transitions, the
-//!   query/apply loop lets a level-scheduled simulator batch the pending
-//!   queries of many gates through one
-//!   [`TransferFunction::predict_batch`] call per model (bit-identical to
-//!   the scalar loop; see `DESIGN.md` § Levelized batched engine).
+//! * [`plan_cell`]/[`GatePlan`]/[`apply_plan`] — the plan → apply split of
+//!   Algorithm 1, generalized to every library cell ([`CellFunction`]:
+//!   INV/BUF/NOR/OR/NAND/AND): planning resolves the relevant input
+//!   transitions under the cell's masking rule (others low for NOR/OR,
+//!   others high for NAND/AND), the query/apply loop lets a
+//!   level-scheduled simulator batch the pending queries of many gates
+//!   through one [`TransferFunction::predict_batch`] call per model
+//!   (bit-identical to the scalar loop; see `docs/architecture.md`).
+//!   [`plan_nor`]/[`NorPlan`]/[`apply_nor`] remain as the NOR-only
+//!   vocabulary of the original prototype.
 //!
 //! # Example
 //!
@@ -66,8 +70,8 @@ mod region;
 mod transfer;
 
 pub use algorithm::{
-    apply_nor, plan_nor, plan_single_input, predict_nor, predict_single_input, GateModel, NorPlan,
-    TomOptions,
+    apply_nor, apply_plan, plan_cell, plan_nor, plan_single_input, predict_nor,
+    predict_single_input, CellFunction, GateModel, GatePlan, NorPlan, TomOptions,
 };
 pub use ann::{AnnTrainConfig, AnnTransfer, TrainTransferError};
 pub use baselines::{LutTransfer, PolyTransfer};

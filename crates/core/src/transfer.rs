@@ -67,7 +67,7 @@ pub trait TransferFunction {
     /// scratch reuse for [`crate::LutTransfer`]) override it; every
     /// override must stay bit-identical to the scalar loop per query — the
     /// levelized simulator's determinism guarantee rests on that (see
-    /// `DESIGN.md` § Levelized batched engine).
+    /// `docs/architecture.md` § Levelized batched engine).
     fn predict_batch(&self, queries: &[TransferQuery], out: &mut Vec<TransferPrediction>) {
         out.clear();
         out.reserve(queries.len());

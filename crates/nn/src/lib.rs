@@ -11,7 +11,7 @@
 //!   [`Mlp::forward_batch`]: row-major batched inference, one pass per
 //!   layer, bit-identical per row to the scalar pass — the inference form
 //!   the levelized simulator feeds whole circuit levels through (see
-//!   `DESIGN.md` § Levelized batched engine).
+//!   `docs/architecture.md` § Levelized batched engine).
 //! * [`AdamOptimizer`] — Adam with the usual bias correction.
 //! * [`Standardizer`] — per-feature mean/std normalization of inputs and
 //!   targets (essential for the picosecond-scale features involved), with

@@ -204,7 +204,7 @@ impl Mlp {
     /// buffers for the entire call — no per-sample allocation. Each row's
     /// result is bit-identical to [`Mlp::forward`] on that row, so batched
     /// and scalar inference are interchangeable (the levelized simulator
-    /// relies on this; see `DESIGN.md` § Levelized batched engine).
+    /// relies on this; see `docs/architecture.md` § Levelized batched engine).
     ///
     /// # Example
     ///

@@ -8,9 +8,10 @@
 //! ```
 //!
 //! Sim flags: `--circuit <name|path>` (an existing file is sent inline —
-//! `.bench` or JSON, auto-detected), `--models NAME`, `--seed N`,
-//! `--mu SECONDS`, `--sigma SECONDS`, `--transitions N`, `--compare`,
-//! `--no-timing`, `--id N`.
+//! `.bench` or JSON, auto-detected), `--models NAME`,
+//! `--library nor-only|native` (cell library + mapping policy), `--seed
+//! N`, `--mu SECONDS`, `--sigma SECONDS`, `--transitions N`,
+//! `--compare`, `--no-timing`, `--id N`.
 //!
 //! `golden` computes the response **without any service**: it builds the
 //! circuit and models directly and calls the same harness entry points a
@@ -36,9 +37,10 @@ use sigwave::{DigitalTrace, Level, VcdSignal};
 fn usage() -> ! {
     eprintln!(
         "usage: sigctl <request|send|golden|ping|stats|shutdown> \
-         [--addr HOST:PORT] [--circuit NAME|PATH] [--models NAME] [--seed N] \
-         [--mu S] [--sigma S] [--transitions N] [--compare] [--no-timing] \
-         [--id N] [--models-dir PATH] [--vcd PATH]"
+         [--addr HOST:PORT] [--circuit NAME|PATH] [--models NAME] \
+         [--library nor-only|native] [--seed N] [--mu S] [--sigma S] \
+         [--transitions N] [--compare] [--no-timing] [--id N] \
+         [--models-dir PATH] [--vcd PATH]"
     );
     std::process::exit(2);
 }
@@ -77,6 +79,7 @@ fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
                 };
             }
             "--models" => o.sim.models = require(args.value()),
+            "--library" => o.sim.library = require(args.value()),
             "--seed" => o.sim.seed = parse(args.parse()),
             "--mu" => o.sim.mu = parse(args.parse()),
             "--sigma" => o.sim.sigma = parse(args.parse()),
@@ -177,9 +180,17 @@ fn exchange(addr: &str, request: &Request) -> Response {
 /// The no-service reference path: build everything directly, run the
 /// same numerics, print the response frame.
 fn golden(o: &Options) {
+    let Some(policy) = sigcircuit::MappingPolicy::from_name(&o.sim.library) else {
+        eprintln!(
+            "sigctl: golden supports libraries {} only, not {:?}",
+            sigserve::registry::LIBRARIES.join("/"),
+            o.sim.library
+        );
+        std::process::exit(1);
+    };
     let circuit = match &o.sim.circuit {
         CircuitSource::Name(name) => sigcircuit::Benchmark::by_name(name)
-            .map(|b| b.nor_mapped)
+            .map(|b| b.circuit_for(policy).clone())
             .unwrap_or_else(|n| {
                 eprintln!("sigctl: unknown benchmark {n:?}");
                 std::process::exit(1);
@@ -190,7 +201,7 @@ fn golden(o: &Options) {
                     eprintln!("sigctl: {e}");
                     std::process::exit(1);
                 });
-            sigserve::service::map_for_simulation(parsed)
+            sigserve::service::map_for_simulation(parsed, policy)
         }
     };
     // The exact preset table the daemon's registry uses, so golden loads
@@ -203,15 +214,33 @@ fn golden(o: &Options) {
         );
         std::process::exit(1);
     };
-    let trained = sigsim::train_models_cached(&o.models_dir.join(cache_file), &config)
-        .unwrap_or_else(|e| {
-            eprintln!("sigctl: model pipeline failed: {e}");
-            std::process::exit(1);
-        });
+    let fail = |e: sigsim::PipelineError| -> ! {
+        eprintln!("sigctl: model pipeline failed: {e}");
+        std::process::exit(1);
+    };
+    let (trained, cells) = match policy {
+        sigcircuit::MappingPolicy::NorOnly => {
+            let trained = sigsim::train_models_cached(&o.models_dir.join(cache_file), &config)
+                .unwrap_or_else(|e| fail(e));
+            let cells = Arc::new(sigsim::CellModels::nor_only(&trained.gate_models()));
+            (Some(Arc::new(trained)), cells)
+        }
+        sigcircuit::MappingPolicy::Native => {
+            let library = sigsim::train_cell_library_cached(
+                &sigsim::native_cache_path(&o.models_dir.join(cache_file)),
+                &sigsim::LibrarySpec::native(),
+                &config,
+            )
+            .unwrap_or_else(|e| fail(e));
+            (None, Arc::new(library.cell_models()))
+        }
+    };
     let set = ModelSet {
         name: o.sim.models.clone(),
-        models: Arc::new(trained.gate_models()),
-        trained: Some(Arc::new(trained)),
+        library: o.sim.library.clone(),
+        policy,
+        trained,
+        cells,
         // Lazy like the daemon's registry sets: measured only when the
         // request actually compares.
         delays: sigserve::registry::DelaySource::on_demand(),

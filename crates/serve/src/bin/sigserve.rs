@@ -5,7 +5,7 @@
 //! sigserve [--addr 127.0.0.1:4715 | --stdio]
 //!          [--workers N] [--queue N] [--cache N]
 //!          [--models-dir PATH] [--max-frame BYTES]
-//!          [--preload NAME[,NAME...]]
+//!          [--preload NAME[/LIBRARY][,NAME...]]
 //! ```
 //!
 //! `--stdio` reads requests from stdin and writes responses to stdout
@@ -13,7 +13,9 @@
 //! listens on `--addr` (default `127.0.0.1:4715`) and serves until a
 //! client sends a `shutdown` request; in-flight work drains first.
 //! `--preload` warms the model registry before accepting traffic so the
-//! first request doesn't pay the training/loading cost.
+//! first request doesn't pay the training/loading cost; each entry is a
+//! preset name, optionally suffixed with `/native` (or `/nor-only`, the
+//! default) to select the cell library — e.g. `--preload ci,ci/native`.
 
 use std::net::TcpListener;
 
@@ -56,9 +58,13 @@ fn main() {
     }
 
     let service = Service::new(config);
-    for name in &preload {
-        if let Err(e) = service.registry().get_or_load(name) {
-            eprintln!("sigserve: preload {name:?} failed: {e}");
+    for entry in &preload {
+        let (name, library) = match entry.split_once('/') {
+            Some((n, l)) => (n, l),
+            None => (entry.as_str(), "nor-only"),
+        };
+        if let Err(e) = service.registry().get_or_load(name, library) {
+            eprintln!("sigserve: preload {entry:?} failed: {e}");
             std::process::exit(1);
         }
     }

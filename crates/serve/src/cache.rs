@@ -3,21 +3,23 @@
 //!
 //! Keys are content-derived — [`sigcircuit::content_hash`] over the
 //! request's circuit source (`name:<benchmark>` or `inline:<text>`)
-//! paired with the source length, so two requests hit the same entry iff
-//! they sent the same bytes. Values are `Arc<Circuit>`: the parsed,
-//! validated, NOR-mapped netlist with its build-time `topo`/`levels`
+//! prefixed with the mapping policy and paired with the source length,
+//! so two requests hit the same entry iff they sent the same bytes *and*
+//! map onto the same cell set (the NOR-only and native forms of one
+//! netlist are different circuits). Values are `Arc<Circuit>`: the
+//! parsed, validated, mapped netlist with its build-time `topo`/`levels`
 //! schedules, shared by every concurrent simulation.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sigcircuit::Circuit;
+use sigcircuit::{Circuit, MappingPolicy};
 
 use crate::protocol::CircuitSource;
 
-/// A cache key: FNV-1a hash of the tagged source plus its length (the
-/// length guards against accidental 64-bit collisions).
+/// A cache key: FNV-1a hash of the policy-tagged source plus its length
+/// (the length guards against accidental 64-bit collisions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     hash: u64,
@@ -25,10 +27,16 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// The key of a request's circuit source.
+    /// The key of a request's circuit source under a mapping policy.
+    /// One buffer is built per call (policy prefix + source, via
+    /// [`CircuitSource::write_key_bytes`]) — no intermediate copy, since
+    /// this runs on every request including warm hits.
     #[must_use]
-    pub fn of(source: &CircuitSource) -> Self {
-        let bytes = source.key_bytes();
+    pub fn of(source: &CircuitSource, policy: MappingPolicy) -> Self {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(policy.as_str().as_bytes());
+        bytes.push(b';');
+        source.write_key_bytes(&mut bytes);
         Self {
             hash: sigcircuit::content_hash(&bytes),
             len: bytes.len(),
@@ -106,9 +114,10 @@ impl CircuitCache {
     pub fn get_or_insert<E>(
         &self,
         source: &CircuitSource,
+        policy: MappingPolicy,
         build: impl FnOnce() -> Result<Circuit, E>,
     ) -> Result<(Arc<Circuit>, bool), E> {
-        let key = CacheKey::of(source);
+        let key = CacheKey::of(source, policy);
         let slot = {
             let mut inner = self.inner.lock().expect("cache poisoned");
             inner.tick += 1;
@@ -194,6 +203,8 @@ mod tests {
         b.build().unwrap()
     }
 
+    const POLICY: MappingPolicy = MappingPolicy::NorOnly;
+
     fn name(n: &str) -> CircuitSource {
         CircuitSource::Name(n.to_string())
     }
@@ -202,10 +213,10 @@ mod tests {
     fn hit_returns_shared_arc_and_counts() {
         let cache = CircuitCache::new(4);
         let (a, hit_a) = cache
-            .get_or_insert::<()>(&name("x"), || Ok(circuit(0)))
+            .get_or_insert::<()>(&name("x"), POLICY, || Ok(circuit(0)))
             .unwrap();
         let (b, hit_b) = cache
-            .get_or_insert::<()>(&name("x"), || panic!("must not rebuild"))
+            .get_or_insert::<()>(&name("x"), POLICY, || panic!("must not rebuild"))
             .unwrap();
         assert!(!hit_a && hit_b);
         assert!(Arc::ptr_eq(&a, &b));
@@ -216,14 +227,31 @@ mod tests {
     fn distinct_sources_do_not_collide() {
         let cache = CircuitCache::new(4);
         cache
-            .get_or_insert::<()>(&name("x"), || Ok(circuit(0)))
+            .get_or_insert::<()>(&name("x"), POLICY, || Ok(circuit(0)))
             .unwrap();
         // An inline source spelling the same bytes as a name must still
         // be a different key (tag prefix).
         let (_, hit) = cache
-            .get_or_insert::<()>(&CircuitSource::Inline("x".into()), || Ok(circuit(1)))
+            .get_or_insert::<()>(&CircuitSource::Inline("x".into()), POLICY, || {
+                Ok(circuit(1))
+            })
             .unwrap();
         assert!(!hit);
+        assert_eq!(cache.entries(), 2);
+    }
+
+    #[test]
+    fn policies_do_not_share_entries() {
+        // The same source under the two policies maps to two different
+        // circuits, so the keys must differ.
+        let cache = CircuitCache::new(4);
+        cache
+            .get_or_insert::<()>(&name("x"), MappingPolicy::NorOnly, || Ok(circuit(0)))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_insert::<()>(&name("x"), MappingPolicy::Native, || Ok(circuit(1)))
+            .unwrap();
+        assert!(!hit, "native form must be built separately");
         assert_eq!(cache.entries(), 2);
     }
 
@@ -231,25 +259,25 @@ mod tests {
     fn lru_eviction_keeps_recently_used() {
         let cache = CircuitCache::new(2);
         cache
-            .get_or_insert::<()>(&name("a"), || Ok(circuit(0)))
+            .get_or_insert::<()>(&name("a"), POLICY, || Ok(circuit(0)))
             .unwrap();
         cache
-            .get_or_insert::<()>(&name("b"), || Ok(circuit(1)))
+            .get_or_insert::<()>(&name("b"), POLICY, || Ok(circuit(1)))
             .unwrap();
         // Touch `a` so `b` is the LRU, then insert `c`.
         cache
-            .get_or_insert::<()>(&name("a"), || panic!("hit expected"))
+            .get_or_insert::<()>(&name("a"), POLICY, || panic!("hit expected"))
             .unwrap();
         cache
-            .get_or_insert::<()>(&name("c"), || Ok(circuit(2)))
+            .get_or_insert::<()>(&name("c"), POLICY, || Ok(circuit(2)))
             .unwrap();
         assert_eq!(cache.entries(), 2);
         let (_, hit_a) = cache
-            .get_or_insert::<()>(&name("a"), || Ok(circuit(0)))
+            .get_or_insert::<()>(&name("a"), POLICY, || Ok(circuit(0)))
             .unwrap();
         assert!(hit_a, "recently used entry survived eviction");
         let (_, hit_b) = cache
-            .get_or_insert::<()>(&name("b"), || Ok(circuit(1)))
+            .get_or_insert::<()>(&name("b"), POLICY, || Ok(circuit(1)))
             .unwrap();
         assert!(!hit_b, "LRU entry was evicted");
     }
@@ -257,12 +285,12 @@ mod tests {
     #[test]
     fn build_errors_are_not_cached() {
         let cache = CircuitCache::new(2);
-        let r = cache.get_or_insert::<&str>(&name("bad"), || Err("nope"));
+        let r = cache.get_or_insert::<&str>(&name("bad"), POLICY, || Err("nope"));
         assert_eq!(r.unwrap_err(), "nope");
         assert_eq!(cache.entries(), 0);
         // A later good build for the same key works.
         let (_, hit) = cache
-            .get_or_insert::<()>(&name("bad"), || Ok(circuit(0)))
+            .get_or_insert::<()>(&name("bad"), POLICY, || Ok(circuit(0)))
             .unwrap();
         assert!(!hit);
     }

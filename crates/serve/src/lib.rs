@@ -5,12 +5,14 @@
 //! invocation. This crate gives the expensive artifacts a resident home
 //! and puts a wire protocol in front of the PR-2 batched engine:
 //!
-//! * [`ModelRegistry`] — named [`sigsim::TrainedModels`] bundles loaded
-//!   once (`train_models_cached` + delay extraction) and shared as `Arc`
-//!   across all requests,
-//! * [`CircuitCache`] — an LRU keyed by content hash, so repeated
-//!   requests skip `.bench`/JSON parsing, validation, NOR mapping and
-//!   levelization,
+//! * [`ModelRegistry`] — model sets keyed by `(preset, library)`: the
+//!   `nor-only` library loads the paper's four-variant
+//!   [`sigsim::TrainedModels`], the `native` library a full
+//!   [`sigsim::CellLibrary`] (NAND2/AND2/OR2/INV/NOR as first-class
+//!   cells); each loads once and is shared as `Arc` across all requests,
+//! * [`CircuitCache`] — an LRU keyed by content hash *and* mapping
+//!   policy, so repeated requests skip `.bench`/JSON parsing,
+//!   validation, technology mapping and levelization,
 //! * [`Service`] — a bounded scheduler over the long-lived
 //!   [`sigwave::parallel::WorkerPool`]: requests stream in over
 //!   newline-delimited JSON ([`protocol`]), run concurrently, and stream
@@ -22,8 +24,9 @@
 //! The service is a **scheduling layer, never a numerics layer**:
 //! responses are bit-identical to direct [`sigsim::compare_circuit`] /
 //! [`sigsim::simulate_sigmoid`] calls with the same seed (enforced by
-//! `tests/service_parity.rs`). Protocol grammar, cache keys and
-//! backpressure semantics are documented in `DESIGN.md` § Service layer.
+//! `tests/service_parity.rs`). The protocol grammar is normatively
+//! specified in `docs/protocol.md`; cache keys and backpressure
+//! semantics are documented in `docs/architecture.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -176,6 +179,102 @@ mod service_tests {
         );
         // Failed builds never pollute the cache.
         assert_eq!(service.cache().entries(), 0);
+    }
+
+    /// A synthetic native-library model set for service-level tests.
+    fn synthetic_native_set(name: &str) -> ModelSet {
+        use sigcircuit::GateKind;
+        use sigtom::{GateModel, TransferFunction, TransferPrediction, TransferQuery};
+
+        struct Inverting;
+        impl TransferFunction for Inverting {
+            fn predict(&self, q: TransferQuery) -> TransferPrediction {
+                TransferPrediction {
+                    a_out: -q.a_in.signum() * 14.0,
+                    delay: 0.05,
+                }
+            }
+            fn backend_name(&self) -> &'static str {
+                "inverting"
+            }
+        }
+        struct Buffering;
+        impl TransferFunction for Buffering {
+            fn predict(&self, q: TransferQuery) -> TransferPrediction {
+                TransferPrediction {
+                    a_out: q.a_in.signum() * 14.0,
+                    delay: 0.07,
+                }
+            }
+            fn backend_name(&self) -> &'static str {
+                "buffering"
+            }
+        }
+
+        let mut cells = sigsim::CellModels::empty("native");
+        for kind in [GateKind::Inv, GateKind::Nor, GateKind::Nand] {
+            let slot = cells.push(GateModel::new(Arc::new(Inverting)));
+            let single = kind == GateKind::Inv;
+            cells.bind(slot, kind, single, false);
+            cells.bind(slot, kind, single, true);
+            if single {
+                // The inverter cell also answers 1-input NORs.
+                cells.bind(slot, GateKind::Nor, true, false);
+                cells.bind(slot, GateKind::Nor, true, true);
+            }
+        }
+        for kind in [GateKind::And, GateKind::Or] {
+            let slot = cells.push(GateModel::new(Arc::new(Buffering)));
+            cells.bind(slot, kind, false, false);
+            cells.bind(slot, kind, false, true);
+        }
+        ModelSet {
+            name: name.to_string(),
+            library: "native".to_string(),
+            policy: sigcircuit::MappingPolicy::Native,
+            trained: None,
+            cells: Arc::new(cells),
+            delays: crate::registry::DelaySource::none(),
+            options: sigtom::TomOptions::default(),
+        }
+    }
+
+    #[test]
+    fn native_library_requests_keep_native_cells() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        service.registry().insert(synthetic_native_set("synth"));
+        // One netlist, both libraries: the native request reports its
+        // library, caches separately, and answers with the same settled
+        // levels as the NOR-mapped run.
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n".to_string();
+        let request = |library: &str| SimRequest {
+            circuit: CircuitSource::Inline(text.clone()),
+            models: "synth".into(),
+            library: library.into(),
+            timing: false,
+            ..SimRequest::default()
+        };
+        let nor = service.execute_sim(&request("nor-only")).unwrap();
+        let native = service.execute_sim(&request("native")).unwrap();
+        assert_eq!(nor.library, "nor-only");
+        assert_eq!(native.library, "native");
+        assert_ne!(
+            nor.fingerprint, native.fingerprint,
+            "policies simulate different mapped circuits"
+        );
+        assert_eq!(service.cache().misses(), 2, "policies cache separately");
+        // Same boolean behaviour: settled output levels agree.
+        assert_eq!(nor.outputs.len(), native.outputs.len());
+        for (a, b) in nor.outputs.iter().zip(&native.outputs) {
+            assert_eq!(a.final_high(), b.final_high(), "settled levels differ");
+        }
+        // Stats name both resident sets.
+        let stats = service.stats();
+        assert_eq!(
+            stats.model_sets,
+            vec!["synth/native".to_string(), "synth/nor-only".to_string()]
+        );
     }
 
     #[test]

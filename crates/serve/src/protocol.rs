@@ -2,7 +2,7 @@
 //!
 //! One request or response per line, LF-terminated, UTF-8, at most
 //! [`MAX_FRAME_BYTES`] per frame (the daemon may lower the limit). The
-//! full grammar lives in `DESIGN.md` § Service layer; the shape is:
+//! full grammar is normatively specified in `docs/protocol.md`; the shape is:
 //!
 //! ```text
 //! → {"id":1,"op":"ping"}
@@ -47,22 +47,45 @@ pub const MAX_TRANSITIONS: usize = 4096;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CircuitSource {
     /// A built-in benchmark by name (`c17`, `c499`, `c1355`); the service
-    /// simulates its NOR-mapped form, exactly like the experiment bins.
+    /// simulates the form mapped for the request's library (NOR-only or
+    /// native cells), exactly like the experiment bins.
     Name(String),
     /// An inline netlist: ISCAS `.bench` text or the JSON `Circuit`
-    /// serialization (auto-detected). Non-NOR netlists are NOR-mapped
-    /// with default options before simulation.
+    /// serialization (auto-detected). Netlists not conforming to the
+    /// request's cell set are mapped with default options before
+    /// simulation.
     Inline(String),
 }
 
 impl CircuitSource {
-    /// The cache key material: a tag plus the source text, hashed by the
-    /// circuit cache ([`crate::cache::CircuitCache`]).
+    /// The cache key material: a tag plus the source text, hashed —
+    /// together with the mapping policy — by the circuit cache
+    /// ([`crate::cache::CircuitCache`]).
+    ///
+    /// Invariant: a name and an inline body spelling the same bytes
+    /// never collide (the tag prefix differs).
     #[must_use]
     pub fn key_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_key_bytes(&mut out);
+        out
+    }
+
+    /// Appends the key material to an existing buffer — the allocation-
+    /// free form the cache's hot per-request path uses (one buffer holds
+    /// policy prefix plus source; inline netlists can be megabytes).
+    pub fn write_key_bytes(&self, out: &mut Vec<u8>) {
         match self {
-            Self::Name(n) => [b"name:" as &[u8], n.as_bytes()].concat(),
-            Self::Inline(t) => [b"inline:" as &[u8], t.as_bytes()].concat(),
+            Self::Name(n) => {
+                out.reserve(5 + n.len());
+                out.extend_from_slice(b"name:");
+                out.extend_from_slice(n.as_bytes());
+            }
+            Self::Inline(t) => {
+                out.reserve(7 + t.len());
+                out.extend_from_slice(b"inline:");
+                out.extend_from_slice(t.as_bytes());
+            }
         }
     }
 }
@@ -75,6 +98,11 @@ pub struct SimRequest {
     /// Model-registry key (`default`, `fast`, `ci`, `paper`, or a name
     /// pre-registered by the embedding process).
     pub models: String,
+    /// Cell-library key (`nor-only` or `native`); selects both the
+    /// trained models and the mapping policy applied to the circuit.
+    /// Optional on the wire with back-compat default `nor-only`, so
+    /// pre-library clients keep getting prototype behaviour.
+    pub library: String,
     /// Seed of the per-request stimulus RNG (`< 2^53`).
     pub seed: u64,
     /// Mean inter-transition time µt in seconds ([`sigsim::StimulusSpec`]).
@@ -99,6 +127,7 @@ impl Default for SimRequest {
         Self {
             circuit: CircuitSource::Name("c17".to_string()),
             models: "default".to_string(),
+            library: "nor-only".to_string(),
             seed: 1,
             mu: 60e-12,
             sigma: 25e-12,
@@ -168,6 +197,18 @@ pub struct OutputTrace {
 
 impl OutputTrace {
     /// The settled level after all toggles.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sigserve::protocol::OutputTrace;
+    /// let t = OutputTrace {
+    ///     net: "y".into(),
+    ///     initial_high: false,
+    ///     toggles: vec![1.0e-10, 2.5e-10, 4.0e-10],
+    /// };
+    /// assert!(t.final_high(), "odd toggle count flips the level");
+    /// ```
     #[must_use]
     pub fn final_high(&self) -> bool {
         self.initial_high ^ (self.toggles.len() % 2 == 1)
@@ -209,9 +250,12 @@ pub enum CacheOutcome {
 /// The payload of a successful simulation response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
-    /// Structural fingerprint of the simulated (NOR-mapped) circuit —
+    /// Structural fingerprint of the simulated (mapped) circuit —
     /// [`sigcircuit::Circuit::fingerprint`] as fixed-width hex.
     pub fingerprint: String,
+    /// The cell library that produced this result (`nor-only`/`native`),
+    /// echoed so results are self-describing.
+    pub library: String,
     /// Circuit-cache outcome for this request.
     pub cache: CacheOutcome,
     /// Per-output predicted traces, in circuit output order.
@@ -272,8 +316,12 @@ impl std::fmt::Display for ErrorKind {
 }
 
 /// Service counters reported by a stats request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReply {
+    /// The resident model sets as `preset/library` keys (sorted), so
+    /// `sigctl stats` reports which libraries produced the daemon's
+    /// results.
+    pub model_sets: Vec<String>,
     /// Model sets actually loaded/trained (not served from the registry).
     pub model_loads: u64,
     /// Model-set lookups, cached or not.
@@ -448,6 +496,12 @@ fn get_bool_or(v: &Value, field: &str, default: bool) -> Result<bool, serde::Err
 
 /// Formats a full-range `u64` as the fixed-width hex string the wire
 /// format uses for fingerprints.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sigserve::protocol::hex64(0xbeef), "000000000000beef");
+/// ```
 #[must_use]
 pub fn hex64(x: u64) -> String {
     format!("{x:016x}")
@@ -487,6 +541,7 @@ impl Serialize for Request {
                     ("op", "sim".to_value()),
                     ("circuit", circuit),
                     ("models", sim.models.to_value()),
+                    ("library", sim.library.to_value()),
                     ("seed", sim.seed.to_value()),
                     ("mu", sim.mu.to_value()),
                     ("sigma", sim.sigma.to_value()),
@@ -534,11 +589,18 @@ impl Deserialize for Request {
                         "fields `mu` and `sigma` must be positive and finite",
                     ));
                 }
+                // Optional with back-compat default: pre-library clients
+                // never send it and must keep prototype behaviour.
+                let library = match v.get_field("library") {
+                    Ok(f) => String::from_value(f)?,
+                    Err(_) => "nor-only".to_string(),
+                };
                 Ok(Self::Sim {
                     id,
                     sim: SimRequest {
                         circuit,
                         models: get_str(v, "models")?,
+                        library,
                         seed: get_u64(v, "seed")?,
                         mu,
                         sigma,
@@ -577,6 +639,7 @@ impl Serialize for SimResult {
     fn to_value(&self) -> Value {
         let mut fields = vec![
             ("fingerprint", self.fingerprint.to_value()),
+            ("library", self.library.to_value()),
             (
                 "cache",
                 match self.cache {
@@ -615,6 +678,11 @@ impl Deserialize for SimResult {
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
         let fingerprint = get_str(v, "fingerprint")?;
         parse_hex64(&fingerprint)?;
+        // Absent only in pre-library responses: default like requests do.
+        let library = match v.get_field("library") {
+            Ok(f) => String::from_value(f)?,
+            Err(_) => "nor-only".to_string(),
+        };
         let cache = match get_str(v, "cache")?.as_str() {
             "hit" => CacheOutcome::Hit,
             "miss" => CacheOutcome::Miss,
@@ -642,6 +710,7 @@ impl Deserialize for SimResult {
         };
         Ok(Self {
             fingerprint,
+            library,
             cache,
             outputs: Vec::<OutputTrace>::from_value(v.get_field("outputs")?)?,
             compare,
@@ -653,6 +722,7 @@ impl Deserialize for SimResult {
 impl Serialize for StatsReply {
     fn to_value(&self) -> Value {
         obj(vec![
+            ("model_sets", self.model_sets.to_value()),
             ("model_loads", self.model_loads.to_value()),
             ("model_requests", self.model_requests.to_value()),
             ("cache_hits", self.cache_hits.to_value()),
@@ -669,6 +739,10 @@ impl Serialize for StatsReply {
 impl Deserialize for StatsReply {
     fn from_value(v: &Value) -> Result<Self, serde::Error> {
         Ok(Self {
+            model_sets: match v.get_field("model_sets") {
+                Ok(f) => Vec::<String>::from_value(f)?,
+                Err(_) => Vec::new(),
+            },
             model_loads: get_u64(v, "model_loads")?,
             model_requests: get_u64(v, "model_requests")?,
             cache_hits: get_u64(v, "cache_hits")?,
@@ -768,6 +842,16 @@ impl Deserialize for Response {
 // ---------------------------------------------------------------------------
 
 /// Encodes a request as one frame line (no terminator).
+///
+/// # Example
+///
+/// ```
+/// use sigserve::protocol::{decode_request, encode_request, Request};
+/// let r = Request::Ping { id: 7 };
+/// let line = encode_request(&r);
+/// assert!(!line.contains('\n'), "frames are single lines");
+/// assert_eq!(decode_request(&line).unwrap(), r);
+/// ```
 #[must_use]
 pub fn encode_request(r: &Request) -> String {
     serde_json::to_string(r).expect("request serialization is infallible")
@@ -968,6 +1052,7 @@ mod tests {
                 sim: SimRequest {
                     circuit: CircuitSource::Name("c17".into()),
                     models: "ci".into(),
+                    library: "native".into(),
                     seed: 42,
                     mu: 60e-12,
                     sigma: 25e-12,
@@ -999,6 +1084,7 @@ mod tests {
             Response::Stats {
                 id: 2,
                 stats: StatsReply {
+                    model_sets: vec!["ci/nor-only".into(), "ci/native".into()],
                     model_loads: 1,
                     model_requests: 10,
                     cache_hits: 90,
@@ -1014,6 +1100,7 @@ mod tests {
                 id: 3,
                 result: SimResult {
                     fingerprint: hex64(0xdead_beef_0123_4567),
+                    library: "native".into(),
                     cache: CacheOutcome::Hit,
                     outputs: vec![OutputTrace {
                         net: "y".into(),
@@ -1087,6 +1174,7 @@ mod tests {
         };
         assert!(!sim.compare, "compare defaults off");
         assert!(sim.timing, "timing defaults on");
+        assert_eq!(sim.library, "nor-only", "library defaults to the prototype");
     }
 
     #[test]

@@ -16,25 +16,50 @@ use std::sync::{Arc, Mutex};
 
 use nanospice::EngineConfig;
 use sigchar::{AnalogOptions, DelayTable};
-use sigsim::{train_models_cached, GateModels, PipelineConfig, PipelineError, TrainedModels};
+use sigcircuit::MappingPolicy;
+use sigsim::{
+    train_cell_library_cached, train_models_cached, CellModels, LibrarySpec, PipelineConfig,
+    PipelineError, TrainedModels,
+};
 use sigtom::TomOptions;
 
 /// One resident model bundle: everything a request needs that is
 /// expensive to build and safe to share.
 #[derive(Debug)]
 pub struct ModelSet {
-    /// Registry key this set was loaded under.
+    /// Preset name this set was loaded under (`ci`, `default`, …).
     pub name: String,
-    /// The trained artifact (weights, datasets); `None` for synthetic
-    /// sets registered by tests/benches.
+    /// Cell-library name (`nor-only`, `native`, or a custom key for
+    /// inserted sets). Together with `name` this forms the registry key.
+    pub library: String,
+    /// The mapping policy requests against this set apply to circuits
+    /// before simulation (NOR expansion vs native cells).
+    pub policy: MappingPolicy,
+    /// The legacy trained artifact (weights, datasets); present only for
+    /// `nor-only` preset loads, `None` for native-library and synthetic
+    /// sets.
     pub trained: Option<Arc<TrainedModels>>,
-    /// The runtime gate models (shared weight allocations).
-    pub models: Arc<GateModels>,
+    /// The runtime cell models (shared weight allocations) that drive
+    /// the simulator.
+    pub cells: Arc<CellModels>,
     /// The per-fan-out delay table the digital baseline of compare-mode
     /// requests uses (see [`DelaySource`]).
     pub delays: DelaySource,
     /// TOM prediction options paired with the models.
     pub options: TomOptions,
+}
+
+impl ModelSet {
+    /// The registry key of this set (`name/library`).
+    #[must_use]
+    pub fn key(&self) -> String {
+        registry_key(&self.name, &self.library)
+    }
+}
+
+/// The composite registry key of a `(preset, library)` pair.
+fn registry_key(name: &str, library: &str) -> String {
+    format!("{name}/{library}")
 }
 
 /// Where a model set's [`DelayTable`] comes from. Extraction runs the
@@ -126,6 +151,11 @@ impl std::error::Error for RegistryError {}
 /// full-granularity sweep.
 pub const PRESETS: [&str; 4] = ["default", "fast", "ci", "paper"];
 
+/// The cell libraries each preset can be loaded for: `nor-only` is the
+/// paper's four-variant prototype set, `native` the full multi-cell
+/// library (see `docs/cell-libraries.md`).
+pub const LIBRARIES: [&str; 2] = ["nor-only", "native"];
+
 /// The pipeline config and on-disk cache file name of a preset, or
 /// `None` for unknown names. Shared with `sigctl golden` so the
 /// service-free reference path trains/loads exactly the same artifact
@@ -180,48 +210,76 @@ impl ModelRegistry {
         }
     }
 
-    fn slot(&self, name: &str) -> Arc<Slot> {
+    fn slot(&self, key: &str) -> Arc<Slot> {
         let mut entries = self.entries.lock().expect("registry poisoned");
-        Arc::clone(entries.entry(name.to_string()).or_default())
+        Arc::clone(entries.entry(key.to_string()).or_default())
     }
 
-    /// Registers a pre-built set (tests and benches use this to serve
-    /// synthetic models without training). Counts as one load.
+    /// Registers a pre-built set under its `(name, library)` key (tests
+    /// and benches use this to serve synthetic models without training).
+    /// Counts as one load.
     pub fn insert(&self, set: ModelSet) {
-        let slot = self.slot(&set.name);
+        let slot = self.slot(&set.key());
         *slot.state.lock().expect("registry slot poisoned") = Some(Arc::new(set));
         self.loads.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Resolves a name: a resident set is cloned; a known preset is
-    /// loaded (disk cache or training), inserted and returned (its delay
-    /// table is measured lazily on first compare-mode use).
+    /// Resolves a `(preset, library)` pair: a resident set is cloned; a
+    /// known preset × known library is loaded (disk cache or training),
+    /// inserted and returned (its delay table is measured lazily on first
+    /// compare-mode use). The `nor-only` library loads the legacy
+    /// [`TrainedModels`] artifact; `native` loads/trains the full
+    /// [`sigsim::CellLibrary`] under a `.native.json`-suffixed cache.
     ///
     /// # Errors
     ///
-    /// Returns [`RegistryError`] on unknown names or pipeline failure.
-    pub fn get_or_load(&self, name: &str) -> Result<Arc<ModelSet>, RegistryError> {
+    /// Returns [`RegistryError`] on unknown names/libraries or pipeline
+    /// failure.
+    pub fn get_or_load(&self, name: &str, library: &str) -> Result<Arc<ModelSet>, RegistryError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let slot = self.slot(name);
+        let key = registry_key(name, library);
+        let slot = self.slot(&key);
         let mut state = slot.state.lock().expect("registry slot poisoned");
         if let Some(set) = &*state {
             return Ok(Arc::clone(set));
         }
         let (config, cache_file) =
             preset_config(name).ok_or_else(|| RegistryError::UnknownName(name.to_string()))?;
-        // Load while holding this name's slot lock: a racing request for
-        // the same name waits here, then takes the resident branch above —
+        // Load while holding this key's slot lock: a racing request for
+        // the same pair waits here, then takes the resident branch above —
         // never a second training run.
-        let trained = train_models_cached(&self.base_dir.join(cache_file), &config)
-            .map_err(RegistryError::Pipeline)?;
-        let models = Arc::new(trained.gate_models());
-        let set = Arc::new(ModelSet {
-            name: name.to_string(),
-            trained: Some(Arc::new(trained)),
-            models,
-            delays: DelaySource::on_demand(),
-            options: TomOptions::default(),
-        });
+        let set = match library {
+            "nor-only" => {
+                let trained = train_models_cached(&self.base_dir.join(cache_file), &config)
+                    .map_err(RegistryError::Pipeline)?;
+                let cells = Arc::new(CellModels::nor_only(&trained.gate_models()));
+                ModelSet {
+                    name: name.to_string(),
+                    library: library.to_string(),
+                    policy: MappingPolicy::NorOnly,
+                    trained: Some(Arc::new(trained)),
+                    cells,
+                    delays: DelaySource::on_demand(),
+                    options: TomOptions::default(),
+                }
+            }
+            "native" => {
+                let path = sigsim::native_cache_path(&self.base_dir.join(cache_file));
+                let lib = train_cell_library_cached(&path, &LibrarySpec::native(), &config)
+                    .map_err(RegistryError::Pipeline)?;
+                ModelSet {
+                    name: name.to_string(),
+                    library: library.to_string(),
+                    policy: MappingPolicy::Native,
+                    trained: None,
+                    cells: Arc::new(lib.cell_models()),
+                    delays: DelaySource::on_demand(),
+                    options: TomOptions::default(),
+                }
+            }
+            other => return Err(RegistryError::UnknownName(registry_key(name, other))),
+        };
+        let set = Arc::new(set);
         *state = Some(Arc::clone(&set));
         self.loads.fetch_add(1, Ordering::Relaxed);
         Ok(set)
@@ -239,12 +297,28 @@ impl ModelRegistry {
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
     }
+
+    /// The `preset/library` keys of currently resident sets, sorted —
+    /// the `model_sets` field of a stats reply.
+    #[must_use]
+    pub fn resident_keys(&self) -> Vec<String> {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut keys: Vec<String> = entries
+            .iter()
+            .filter(|(_, slot)| slot.state.lock().expect("registry slot poisoned").is_some())
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
 }
 
 /// A synthetic sigmoid-only model set (fixed transfer function, no delay
-/// table) for fast unit tests across the crate.
+/// table) for fast unit tests across the crate. Registered under the
+/// `nor-only` library so requests without a `library` field resolve it.
 #[cfg(test)]
 pub(crate) fn synthetic_set(name: &str) -> ModelSet {
+    use sigsim::GateModels;
     use sigtom::{GateModel, TransferFunction, TransferPrediction, TransferQuery};
 
     struct Fixed;
@@ -262,8 +336,12 @@ pub(crate) fn synthetic_set(name: &str) -> ModelSet {
 
     ModelSet {
         name: name.to_string(),
+        library: "nor-only".to_string(),
+        policy: MappingPolicy::NorOnly,
         trained: None,
-        models: Arc::new(GateModels::uniform(GateModel::new(Arc::new(Fixed)))),
+        cells: Arc::new(CellModels::nor_only(&GateModels::uniform(GateModel::new(
+            Arc::new(Fixed),
+        )))),
         delays: DelaySource::none(),
         options: TomOptions::default(),
     }
@@ -280,27 +358,33 @@ mod tests {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/sigmodels");
 
     #[test]
-    fn unknown_names_are_errors() {
+    fn unknown_names_and_libraries_are_errors() {
         let r = ModelRegistry::new(TEST_MODELS_DIR);
         assert!(matches!(
-            r.get_or_load("nonsense"),
+            r.get_or_load("nonsense", "nor-only"),
             Err(RegistryError::UnknownName(_))
         ));
-        // A failed resolve still counts as a request, not a load.
-        assert_eq!(r.requests(), 1);
+        assert!(matches!(
+            r.get_or_load("ci", "imaginary-library"),
+            Err(RegistryError::UnknownName(_))
+        ));
+        // Failed resolves still count as requests, not loads.
+        assert_eq!(r.requests(), 2);
         assert_eq!(r.loads(), 0);
+        assert!(r.resident_keys().is_empty());
     }
 
     #[test]
     fn inserted_sets_resolve_without_loading() {
         let r = ModelRegistry::new(TEST_MODELS_DIR);
         r.insert(synthetic_set("synth"));
-        let a = r.get_or_load("synth").unwrap();
-        let b = r.get_or_load("synth").unwrap();
+        let a = r.get_or_load("synth", "nor-only").unwrap();
+        let b = r.get_or_load("synth", "nor-only").unwrap();
         assert!(Arc::ptr_eq(&a, &b), "resident set must be shared");
-        assert!(Arc::ptr_eq(&a.models, &b.models));
+        assert!(Arc::ptr_eq(&a.cells, &b.cells));
         assert_eq!(r.loads(), 1, "insert counts as the single load");
         assert_eq!(r.requests(), 2);
+        assert_eq!(r.resident_keys(), vec!["synth/nor-only".to_string()]);
     }
 
     #[test]
@@ -312,7 +396,7 @@ mod tests {
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     let r = Arc::clone(&r);
-                    scope.spawn(move || r.get_or_load("ci").unwrap())
+                    scope.spawn(move || r.get_or_load("ci", "nor-only").unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -321,11 +405,30 @@ mod tests {
         assert_eq!(r.requests(), 8);
         for s in &sets[1..] {
             assert!(
-                Arc::ptr_eq(&sets[0].models, &s.models),
-                "all requests share one GateModels allocation"
+                Arc::ptr_eq(&sets[0].cells, &s.cells),
+                "all requests share one CellModels allocation"
             );
         }
         let table = sets[0].delays.get().expect("measurement succeeds");
         assert!(table.is_some(), "preset sets can serve compare mode");
+    }
+
+    #[test]
+    fn libraries_of_one_preset_are_distinct_sets() {
+        let r = ModelRegistry::new(TEST_MODELS_DIR);
+        let nor = r.get_or_load("ci", "nor-only").unwrap();
+        let native = r.get_or_load("ci", "native").unwrap();
+        assert_eq!(r.loads(), 2, "each library is its own load");
+        assert_eq!(nor.policy, MappingPolicy::NorOnly);
+        assert_eq!(native.policy, MappingPolicy::Native);
+        assert_eq!(native.cells.name(), "native");
+        // The native set covers NAND2; the prototype set does not.
+        use sigcircuit::GateKind;
+        assert!(native.cells.slot_for(GateKind::Nand, 2, 1).is_some());
+        assert!(nor.cells.slot_for(GateKind::Nand, 2, 1).is_none());
+        assert_eq!(
+            r.resident_keys(),
+            vec!["ci/native".to_string(), "ci/nor-only".to_string()]
+        );
     }
 }

@@ -12,7 +12,7 @@
 //! before exit, so piping a request file through the daemon always
 //! yields every response. (Catching SIGTERM needs platform hooks outside
 //! std; process supervisors should send the `shutdown` frame — see
-//! `DESIGN.md` § Service layer.)
+//! `docs/architecture.md` § Service layer.)
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};

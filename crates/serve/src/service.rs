@@ -15,10 +15,10 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sigcircuit::{Benchmark, Circuit, NetId};
+use sigcircuit::{Benchmark, Circuit, MappingPolicy, NetId};
 use sigsim::{
-    compare_circuit, digital_to_sigmoid, random_stimuli, simulate_sigmoid, HarnessConfig,
-    StimulusSpec,
+    compare_circuit_cells, digital_to_sigmoid, random_stimuli, simulate_cells_with, HarnessConfig,
+    SigmoidSimConfig, StimulusSpec,
 };
 use sigwave::parallel::WorkerPool;
 use sigwave::{DigitalTrace, SigmoidTrace};
@@ -126,6 +126,7 @@ impl Service {
     #[must_use]
     pub fn stats(&self) -> StatsReply {
         StatsReply {
+            model_sets: self.registry.resident_keys(),
             model_loads: self.registry.loads(),
             model_requests: self.registry.requests(),
             cache_hits: self.cache.hits(),
@@ -219,13 +220,16 @@ impl Service {
         }
     }
 
-    /// Resolves a sim request's circuit through the cache.
+    /// Resolves a sim request's circuit through the cache (keys include
+    /// the set's mapping policy: the NOR-only and native forms of one
+    /// netlist are distinct cached circuits).
     fn resolve_circuit(
         &self,
         sim: &SimRequest,
+        policy: MappingPolicy,
     ) -> Result<(Arc<Circuit>, bool), (ErrorKind, String)> {
         self.cache
-            .get_or_insert(&sim.circuit, || build_circuit(&sim.circuit))
+            .get_or_insert(&sim.circuit, policy, || build_circuit(&sim.circuit, policy))
             .map_err(|message| (ErrorKind::Circuit, message))
     }
 
@@ -235,14 +239,17 @@ impl Service {
     ///
     /// Returns the protocol error kind and message on any failure.
     pub fn execute_sim(&self, sim: &SimRequest) -> Result<SimResult, (ErrorKind, String)> {
-        let set = self.registry.get_or_load(&sim.models).map_err(|e| {
-            let kind = match e {
-                RegistryError::UnknownName(_) => ErrorKind::UnknownModels,
-                _ => ErrorKind::Simulation,
-            };
-            (kind, e.to_string())
-        })?;
-        let (circuit, hit) = self.resolve_circuit(sim)?;
+        let set = self
+            .registry
+            .get_or_load(&sim.models, &sim.library)
+            .map_err(|e| {
+                let kind = match e {
+                    RegistryError::UnknownName(_) => ErrorKind::UnknownModels,
+                    _ => ErrorKind::Simulation,
+                };
+                (kind, e.to_string())
+            })?;
+        let (circuit, hit) = self.resolve_circuit(sim, set.policy)?;
         let cache = if hit {
             CacheOutcome::Hit
         } else {
@@ -252,31 +259,43 @@ impl Service {
     }
 }
 
-/// Builds the circuit of a source, NOR-mapping when needed (the cache
-/// miss path).
-fn build_circuit(source: &crate::protocol::CircuitSource) -> Result<Circuit, String> {
+/// Builds the circuit of a source under a mapping policy (the cache miss
+/// path).
+fn build_circuit(
+    source: &crate::protocol::CircuitSource,
+    policy: MappingPolicy,
+) -> Result<Circuit, String> {
     match source {
         crate::protocol::CircuitSource::Name(name) => Benchmark::by_name(name)
-            .map(|b| b.nor_mapped)
+            .map(|b| b.circuit_for(policy).clone())
             .map_err(|n| format!("unknown benchmark circuit {n:?}")),
         crate::protocol::CircuitSource::Inline(text) => {
             let format = sigcircuit::sniff_format(text);
             let circuit = sigcircuit::parse_circuit(text, format).map_err(|e| e.to_string())?;
-            Ok(map_for_simulation(circuit))
+            Ok(map_for_simulation(circuit, policy))
         }
     }
 }
 
-/// Prepares an arbitrary netlist for the NOR-only prototype: non-NOR
-/// circuits are NOR-mapped and fan-out-limited exactly like the built-in
-/// benchmarks ([`Benchmark::by_name`] applies the same recipe), so an
-/// inline netlist and its named twin simulate identically.
-pub fn map_for_simulation(circuit: Circuit) -> Circuit {
-    if circuit.is_nor_only() {
+/// Prepares an arbitrary netlist for simulation under a policy:
+/// non-conforming circuits are mapped and fan-out-limited exactly like
+/// the built-in benchmarks ([`Benchmark::by_name`] applies the same
+/// recipe), so an inline netlist and its named twin simulate identically.
+#[must_use]
+pub fn map_for_simulation(circuit: Circuit, policy: MappingPolicy) -> Circuit {
+    let conforming = match policy {
+        MappingPolicy::NorOnly => circuit.is_nor_only(),
+        MappingPolicy::Native => sigcircuit::is_native_only(&circuit),
+    };
+    if conforming {
         circuit
     } else {
         sigcircuit::limit_fanout(
-            &sigcircuit::to_nor_only(&circuit, sigcircuit::NorMappingOptions::default()),
+            &sigcircuit::map_with_policy(
+                &circuit,
+                policy,
+                sigcircuit::NorMappingOptions::default(),
+            ),
             4,
         )
     }
@@ -307,6 +326,7 @@ pub fn run_sim(
     let stimuli = stimuli_for(circuit, sim);
     let threshold = set.options.vdd / 2.0;
     let fingerprint = crate::protocol::hex64(circuit.fingerprint());
+    let library = set.library.clone();
     if sim.compare {
         let delays = set.delays.get().map_err(|e| {
             (
@@ -324,7 +344,7 @@ pub fn run_sim(
             ));
         };
         let config = HarnessConfig::default();
-        let outcome = compare_circuit(circuit, &stimuli, &set.models, &delays, &config)
+        let outcome = compare_circuit_cells(circuit, &stimuli, &set.cells, &delays, &config)
             .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
         let outputs = outcome
             .bundles
@@ -340,6 +360,7 @@ pub fn run_sim(
             .collect();
         Ok(SimResult {
             fingerprint,
+            library,
             cache,
             outputs,
             compare: Some(CompareStats {
@@ -362,8 +383,14 @@ pub fn run_sim(
             .map(|(&net, trace)| (net, Arc::new(digital_to_sigmoid(trace, set.options.vdd))))
             .collect();
         let start = Instant::now();
-        let result = simulate_sigmoid(circuit, &sigmoid_stimuli, &set.models, set.options)
-            .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+        let result = simulate_cells_with(
+            circuit,
+            &sigmoid_stimuli,
+            &set.cells,
+            set.options,
+            &SigmoidSimConfig::default(),
+        )
+        .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
         let wall_sigmoid = start.elapsed();
         let outputs = circuit
             .outputs()
@@ -379,6 +406,7 @@ pub fn run_sim(
             .collect();
         Ok(SimResult {
             fingerprint,
+            library,
             cache,
             outputs,
             compare: None,

@@ -156,6 +156,11 @@ fn random_request(rng: &mut rand::rngs::StdRng) -> Request {
                     CircuitSource::Inline(random_string(rng))
                 },
                 models: random_string(rng),
+                library: if rng.gen() {
+                    "nor-only".to_string()
+                } else {
+                    random_string(rng)
+                },
                 seed: rng.gen_range(0..MAX_WIRE_INT),
                 mu: random_f64(rng).abs().max(1e-15),
                 sigma: random_f64(rng).abs().max(1e-15),
@@ -191,6 +196,9 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
         2 => Response::Stats {
             id,
             stats: StatsReply {
+                model_sets: (0..rng.gen_range(0..3usize))
+                    .map(|_| random_string(rng))
+                    .collect(),
                 model_loads: rng.gen_range(0..MAX_WIRE_INT),
                 model_requests: rng.gen_range(0..MAX_WIRE_INT),
                 cache_hits: rng.gen_range(0..MAX_WIRE_INT),
@@ -224,6 +232,11 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
             id,
             result: SimResult {
                 fingerprint: hex64(rng.gen::<u64>()),
+                library: if rng.gen() {
+                    "native".to_string()
+                } else {
+                    random_string(rng)
+                },
                 cache: if rng.gen() {
                     CacheOutcome::Hit
                 } else {

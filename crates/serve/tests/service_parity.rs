@@ -35,6 +35,7 @@ fn sim(circuit: CircuitSource, seed: u64, compare: bool) -> SimRequest {
     SimRequest {
         circuit,
         models: "ci".to_string(),
+        library: "nor-only".to_string(),
         seed,
         mu: MU,
         sigma: SIGMA,
@@ -203,6 +204,7 @@ fn direct_reference(sim: &SimRequest, artifacts: &DirectArtifacts) -> SimResult 
     }
     SimResult {
         fingerprint: sigserve::protocol::hex64(circuit.fingerprint()),
+        library: "nor-only".to_string(),
         // The cache field is scheduling metadata; parity below compares
         // it separately (first request per source = miss, rest = hits).
         cache: CacheOutcome::Miss,

@@ -17,7 +17,9 @@ use sigtom::TomOptions;
 use sigwave::metrics::{t_err_digital, Window};
 use sigwave::{DigitalTrace, Level, SigmoidTrace, Waveform};
 
-use crate::simulator::{simulate_sigmoid_with, GateModels, SigmoidSimConfig, SigmoidSimError};
+use crate::simulator::{
+    simulate_cells_with, CellModels, GateModels, SigmoidSimConfig, SigmoidSimError,
+};
 
 /// How the sigmoid simulator's input traces are derived from the analog
 /// reference inputs.
@@ -213,13 +215,9 @@ impl ComparisonOutcome {
     }
 }
 
-/// Runs the full three-way comparison of a NOR-only circuit under the given
-/// digital input stimuli.
-///
-/// The analog run is the reference: its shaped input waveforms are fitted
-/// (for the sigmoid simulator) and digitized (for the digital simulator),
-/// so all three simulators observe the *same* inputs, exactly as in the
-/// paper's setup.
+/// Runs the full three-way comparison of a NOR-only circuit with the
+/// paper's four-variant models — a thin wrapper binding `models` as a
+/// [`CellModels`] set and calling [`compare_circuit_cells`].
 ///
 /// # Errors
 ///
@@ -228,6 +226,35 @@ pub fn compare_circuit(
     circuit: &Circuit,
     stimuli: &HashMap<NetId, DigitalTrace>,
     models: &GateModels,
+    delays: &DelayTable,
+    config: &HarnessConfig,
+) -> Result<ComparisonOutcome, HarnessError> {
+    compare_circuit_cells(
+        circuit,
+        stimuli,
+        &CellModels::nor_only(models),
+        delays,
+        config,
+    )
+}
+
+/// Runs the full three-way comparison of a library-cell circuit under the
+/// given digital input stimuli.
+///
+/// The analog run is the reference: its shaped input waveforms are fitted
+/// (for the sigmoid simulator) and digitized (for the digital simulator),
+/// so all three simulators observe the *same* inputs, exactly as in the
+/// paper's setup. The circuit may be in either mapped form — NOR-only or
+/// native cells — as long as `cells` covers its gates and the analog
+/// translator can realize them (INV, NOR1–3, NAND2, AND2, OR2).
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] if any stage fails structurally.
+pub fn compare_circuit_cells(
+    circuit: &Circuit,
+    stimuli: &HashMap<NetId, DigitalTrace>,
+    cells: &CellModels,
     delays: &DelayTable,
     config: &HarnessConfig,
 ) -> Result<ComparisonOutcome, HarnessError> {
@@ -297,10 +324,10 @@ pub fn compare_circuit(
 
     // ---- Sigmoid prototype -------------------------------------------------
     let start = Instant::now();
-    let sigmoid_result = simulate_sigmoid_with(
+    let sigmoid_result = simulate_cells_with(
         circuit,
         &sigmoid_inputs,
-        models,
+        cells,
         config.tom,
         &config.sigmoid_sim,
     )?;
@@ -393,11 +420,36 @@ pub fn compare_circuit_monte_carlo(
     config: &HarnessConfig,
     mc: &MonteCarloConfig,
 ) -> Result<Vec<ComparisonOutcome>, HarnessError> {
+    compare_circuit_monte_carlo_cells(
+        circuit,
+        spec,
+        &CellModels::nor_only(models),
+        delays,
+        config,
+        mc,
+    )
+}
+
+/// The library-cell form of [`compare_circuit_monte_carlo`]: identical
+/// scheduling, seeding and timing caveats, with the circuit's gates
+/// resolved through `cells` (so native-mapped circuits run directly).
+///
+/// # Errors
+///
+/// Returns the lowest-index run's [`HarnessError`] if any run fails.
+pub fn compare_circuit_monte_carlo_cells(
+    circuit: &Circuit,
+    spec: &crate::stimulus::StimulusSpec,
+    cells: &CellModels,
+    delays: &DelayTable,
+    config: &HarnessConfig,
+    mc: &MonteCarloConfig,
+) -> Result<Vec<ComparisonOutcome>, HarnessError> {
     let runs: Vec<usize> = (0..mc.runs).collect();
     sigwave::parallel::try_par_map(mc.parallelism, &runs, |_, &r| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(mc.run_seed(r, spec.transitions));
         let stimuli = random_stimuli(circuit, spec, &mut rng);
-        compare_circuit(circuit, &stimuli, models, delays, config)
+        compare_circuit_cells(circuit, &stimuli, cells, delays, config)
     })
 }
 
@@ -511,5 +563,46 @@ mod tests {
         );
         // The analog engine dominates the wall-clock comparison.
         assert!(outcome.wall_analog > outcome.wall_sigmoid);
+    }
+
+    #[test]
+    fn c17_policies_compare_cleanly_with_one_native_library() {
+        // The acceptance parity test: one trained native library drives
+        // compare_circuit_cells on BOTH mapped forms of c17 — the
+        // NOR-only prototype form and the native 6-NAND2 form — and all
+        // three simulators agree on settled levels in each.
+        use crate::models::{train_cell_library, LibrarySpec};
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        let library = train_cell_library(&LibrarySpec::native(), &tiny_pipeline()).unwrap();
+        let cells = library.cell_models();
+        let delays =
+            DelayTable::measure(1..=3, &AnalogOptions::default(), &EngineConfig::default())
+                .unwrap();
+        let spec = StimulusSpec::new(60e-12, 20e-12, 4);
+        for (policy, circuit) in [
+            (sigcircuit::MappingPolicy::NorOnly, &bench.nor_mapped),
+            (sigcircuit::MappingPolicy::Native, &bench.native),
+        ] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let stimuli = random_stimuli(circuit, &spec, &mut rng);
+            let outcome = compare_circuit_cells(
+                circuit,
+                &stimuli,
+                &cells,
+                &delays,
+                &HarnessConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                final_levels_agree(&outcome, 0.8),
+                "{policy}: simulators disagree on settled levels"
+            );
+            let budget = outcome.window.duration() * outcome.outputs as f64;
+            assert!(
+                outcome.t_err_sigmoid < 0.25 * budget,
+                "{policy}: sigmoid t_err {:.3e} too large",
+                outcome.t_err_sigmoid
+            );
+        }
     }
 }

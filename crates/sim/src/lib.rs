@@ -11,7 +11,7 @@
 //!   is levelized: gates are scheduled per ASAP level, their queries
 //!   batched per model and fanned over the worker pool
 //!   ([`simulate_sigmoid_with`] + [`SigmoidSimConfig`]; results are
-//!   bit-identical at every setting — see `DESIGN.md` § Levelized batched
+//!   bit-identical at every setting — see `docs/architecture.md` § Levelized batched
 //!   engine).
 //! * [`train_models`]/[`train_models_cached`] — the end-to-end pipeline:
 //!   analog characterization sweeps → waveform fitting → four ANNs per
@@ -71,14 +71,19 @@ mod simulator;
 mod stimulus;
 
 pub use harness::{
-    compare_circuit, compare_circuit_monte_carlo, constant_stimuli, digital_to_sigmoid,
-    final_levels_agree, random_stimuli, ComparisonOutcome, HarnessConfig, HarnessError,
-    MonteCarloConfig, SigmoidInputMode, TraceBundle, SAME_STIMULUS_SLOPE,
+    compare_circuit, compare_circuit_cells, compare_circuit_monte_carlo,
+    compare_circuit_monte_carlo_cells, constant_stimuli, digital_to_sigmoid, final_levels_agree,
+    random_stimuli, ComparisonOutcome, HarnessConfig, HarnessError, MonteCarloConfig,
+    SigmoidInputMode, TraceBundle, SAME_STIMULUS_SLOPE,
 };
-pub use models::{train_models, train_models_cached, PipelineConfig, PipelineError, TrainedModels};
+pub use models::{
+    native_cache_path, train_cell_library, train_cell_library_cached, train_models,
+    train_models_cached, CellLibrary, LibrarySpec, PipelineConfig, PipelineError, StoredModel,
+    TrainedModels,
+};
 pub use simulator::{
-    simulate_sigmoid, simulate_sigmoid_with, GateModels, SigmoidSimConfig, SigmoidSimError,
-    SigmoidSimResult, MODEL_SLOTS,
+    simulate_cells_with, simulate_sigmoid, simulate_sigmoid_with, CellModels, GateModels,
+    SigmoidSimConfig, SigmoidSimError, SigmoidSimResult, MODEL_SLOTS,
 };
 pub use stimulus::StimulusSpec;
 
@@ -92,6 +97,8 @@ pub use stimulus::StimulusSpec;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<GateModels>();
+    assert_send_sync::<CellModels>();
+    assert_send_sync::<CellLibrary>();
     assert_send_sync::<TrainedModels>();
     assert_send_sync::<SigmoidSimResult>();
     assert_send_sync::<ComparisonOutcome>();

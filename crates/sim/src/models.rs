@@ -1,7 +1,18 @@
 //! The end-to-end training pipeline: characterize → train ANNs → build
-//! valid regions → assemble [`GateModels`], with JSON caching of the
+//! valid regions → assemble runtime models, with JSON caching of the
 //! trained artifacts (the paper's "trained ANNs stored with the prototype"
 //! flow).
+//!
+//! Two artifact shapes exist:
+//!
+//! * [`TrainedModels`] — the paper's fixed four-variant bundle (inverter
+//!   and NOR at fan-out 1/2), assembled by [`train_models`].
+//! * [`CellLibrary`] — a named, extensible collection of per-[`GateTag`]
+//!   [`StoredModel`]s, trained from a [`LibrarySpec`] by
+//!   [`train_cell_library`]; its [`CellLibrary::cell_models`] runtime form
+//!   drives the simulator directly on native (un-NOR-mapped) netlists.
+//!   See `docs/cell-libraries.md` for the characterize → train →
+//!   serialize → select workflow.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -10,11 +21,23 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use sigchar::{characterize, CharError, CharacterizationConfig, Dataset, GateTag};
+use sigcircuit::GateKind;
 use sigtom::{AnnTrainConfig, AnnTransfer, GateModel, TrainTransferError, ValidRegion};
 
-use crate::simulator::GateModels;
+use crate::simulator::{CellModels, GateModels};
 
 /// Configuration of the full pipeline.
+///
+/// # Example
+///
+/// ```no_run
+/// use sigsim::{train_cell_library, LibrarySpec, PipelineConfig};
+/// // CI scale (~seconds); `PipelineConfig::default()` is the real sweep.
+/// let config = PipelineConfig::ci().with_parallelism(0);
+/// let library = train_cell_library(&LibrarySpec::native(), &config)?;
+/// assert_eq!(library.tags().len(), 10);
+/// # Ok::<(), sigsim::PipelineError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Characterization campaign settings (sweep, chains, engine).
@@ -173,19 +196,26 @@ impl From<serde_json::Error> for PipelineError {
     }
 }
 
-/// One trained gate variant in serializable form.
+/// One trained cell variant in serializable form: the four transfer ANNs
+/// plus (optionally) the valid region built from its characterization
+/// dataset.
 ///
-/// The ANN and region are held behind `Arc` so [`TrainedModels::gate_models`]
-/// shares the trained weights instead of deep-cloning them — the `sigserve`
-/// model registry hands the same allocations to every request.
+/// The ANN and region are held behind `Arc` so the runtime model
+/// assemblies ([`TrainedModels::gate_models`],
+/// [`CellLibrary::cell_models`]) share the trained weights instead of
+/// deep-cloning them — the `sigserve` model registry hands the same
+/// allocations to every request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct StoredModel {
+pub struct StoredModel {
     ann: Arc<AnnTransfer>,
     region: Option<Arc<ValidRegion>>,
 }
 
 impl StoredModel {
-    fn to_gate_model(&self) -> GateModel {
+    /// The runtime [`GateModel`]: shared ANN weights, region attached when
+    /// one was built.
+    #[must_use]
+    pub fn to_gate_model(&self) -> GateModel {
         let mut m = GateModel::new(Arc::clone(&self.ann) as _);
         if let Some(r) = &self.region {
             m = m.with_region(Arc::clone(r));
@@ -196,6 +226,11 @@ impl StoredModel {
 
 /// The trained artifact bundle: gate models plus the datasets they were
 /// trained on (kept for valid-region ablations and benchmarks).
+///
+/// Invariant: the JSON form round-trips exactly (serialize →
+/// deserialize → serialize is byte-identical), and
+/// [`TrainedModels::gate_models`] shares the stored weight allocations
+/// (`Arc`) rather than cloning them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainedModels {
     inverter: StoredModel,
@@ -319,6 +354,287 @@ pub fn train_models_cached(
     Ok(models)
 }
 
+/// Which cells a [`CellLibrary`] contains: a name (the registry/wire key)
+/// plus the [`GateTag`]s to characterize and train.
+///
+/// # Example
+///
+/// ```
+/// use sigsim::LibrarySpec;
+/// let native = LibrarySpec::native();
+/// assert_eq!(native.name, "native");
+/// assert_eq!(native.tags.len(), 10);
+/// assert!(LibrarySpec::nor_only().tags.len() == 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibrarySpec {
+    /// Library name (`nor-only`, `native`, or a custom key).
+    pub name: String,
+    /// The cell variants to train, in training order.
+    pub tags: Vec<GateTag>,
+}
+
+impl LibrarySpec {
+    /// The paper's prototype set: inverter and NOR2 at fan-out 1/2 — the
+    /// same four variants [`train_models`] produces.
+    #[must_use]
+    pub fn nor_only() -> Self {
+        Self {
+            name: "nor-only".to_string(),
+            tags: vec![
+                GateTag::Inverter,
+                GateTag::InverterFo2,
+                GateTag::NorFo1,
+                GateTag::NorFo2,
+            ],
+        }
+    }
+
+    /// The full native library: every characterizable cell (INV, NOR2,
+    /// NAND2, AND2, OR2 at fan-out 1/2) — enough to simulate
+    /// [`sigcircuit::MappingPolicy::Native`] circuits directly.
+    #[must_use]
+    pub fn native() -> Self {
+        Self {
+            name: "native".to_string(),
+            tags: GateTag::ALL.to_vec(),
+        }
+    }
+
+    /// The spec whose library implements a mapping policy.
+    #[must_use]
+    pub fn for_policy(policy: sigcircuit::MappingPolicy) -> Self {
+        match policy {
+            sigcircuit::MappingPolicy::NorOnly => Self::nor_only(),
+            sigcircuit::MappingPolicy::Native => Self::native(),
+        }
+    }
+}
+
+/// One named library entry: a cell variant and its trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LibraryEntry {
+    tag: GateTag,
+    model: StoredModel,
+}
+
+/// A named, serializable collection of trained cell models — the
+/// extensible successor of the fixed four-slot [`TrainedModels`].
+///
+/// Invariants: entry tags are unique (training dedups them), and
+/// [`CellLibrary::cell_models`] binds every entry so a circuit gate
+/// resolves to at most one slot. The JSON form round-trips exactly
+/// (`serde_json::to_string` → `from_str` → `to_string` is a fixed point),
+/// which is what makes the on-disk caches and the serde round-trip test
+/// meaningful.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellLibrary {
+    name: String,
+    entries: Vec<LibraryEntry>,
+    /// The characterization datasets by cell variant (kept for
+    /// valid-region ablations and benchmarks, like
+    /// [`TrainedModels::datasets`]).
+    pub datasets: HashMap<String, Dataset>,
+}
+
+impl CellLibrary {
+    /// The library name (registry/wire key).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The trained cell variants, in training order.
+    #[must_use]
+    pub fn tags(&self) -> Vec<GateTag> {
+        self.entries.iter().map(|e| e.tag).collect()
+    }
+
+    /// The runtime model of one cell variant, if trained.
+    #[must_use]
+    pub fn model(&self, tag: GateTag) -> Option<GateModel> {
+        self.entries
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| e.model.to_gate_model())
+    }
+
+    /// The dataset of one cell variant.
+    #[must_use]
+    pub fn dataset(&self, tag: GateTag) -> Option<&Dataset> {
+        self.datasets.get(&tag.to_string())
+    }
+
+    /// Assembles the runtime [`CellModels`]: one slot per entry, bound to
+    /// every gate signature the cell serves. Inverter entries answer both
+    /// `GateKind::Inv` and single-input `GateKind::Nor` (a 1-input NOR
+    /// *is* an inverter); NOR entries answer multi-input NORs (arities
+    /// 2–3, like the prototype); NAND/AND/OR entries answer their
+    /// two-input kinds. Model weights are shared (`Arc`), not cloned.
+    #[must_use]
+    pub fn cell_models(&self) -> CellModels {
+        let mut cells = CellModels::empty(self.name.clone());
+        for entry in &self.entries {
+            let slot = cells.push(entry.model.to_gate_model());
+            let fo2 = entry.tag.fanout() >= 2;
+            match entry.tag {
+                GateTag::Inverter | GateTag::InverterFo2 => {
+                    cells.bind(slot, GateKind::Inv, true, fo2);
+                    cells.bind(slot, GateKind::Nor, true, fo2);
+                }
+                GateTag::NorFo1 | GateTag::NorFo2 => {
+                    cells.bind(slot, GateKind::Nor, false, fo2);
+                }
+                GateTag::NandFo1 | GateTag::NandFo2 => {
+                    cells.bind(slot, GateKind::Nand, false, fo2);
+                }
+                GateTag::AndFo1 | GateTag::AndFo2 => {
+                    cells.bind(slot, GateKind::And, false, fo2);
+                }
+                GateTag::OrFo1 | GateTag::OrFo2 => {
+                    cells.bind(slot, GateKind::Or, false, fo2);
+                }
+            }
+        }
+        cells
+    }
+}
+
+impl TrainedModels {
+    /// Repackages the four-variant bundle as a [`CellLibrary`] named
+    /// `nor-only` (shared weights, no retraining) — the bridge from the
+    /// legacy artifact shape to library-driven call sites.
+    #[must_use]
+    pub fn to_library(&self) -> CellLibrary {
+        CellLibrary {
+            name: "nor-only".to_string(),
+            entries: vec![
+                LibraryEntry {
+                    tag: GateTag::Inverter,
+                    model: self.inverter.clone(),
+                },
+                LibraryEntry {
+                    tag: GateTag::InverterFo2,
+                    model: self.inverter_fo2.clone(),
+                },
+                LibraryEntry {
+                    tag: GateTag::NorFo1,
+                    model: self.nor_fo1.clone(),
+                },
+                LibraryEntry {
+                    tag: GateTag::NorFo2,
+                    model: self.nor_fo2.clone(),
+                },
+            ],
+            datasets: self.datasets.clone(),
+        }
+    }
+}
+
+/// Trains a [`CellLibrary`]: one characterization campaign + ANN training
+/// per cell variant in `spec`, fanned out across the worker pool exactly
+/// like [`train_models`] (results are bit-identical at any parallelism
+/// setting). Duplicate tags in the spec are trained once.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on characterization or training failure.
+pub fn train_cell_library(
+    spec: &LibrarySpec,
+    config: &PipelineConfig,
+) -> Result<CellLibrary, PipelineError> {
+    let mut tags: Vec<GateTag> = Vec::new();
+    for &t in &spec.tags {
+        if !tags.contains(&t) {
+            tags.push(t);
+        }
+    }
+    // Same budget-splitting scheme as `train_models`: divide the nested
+    // stage parallelism instead of multiplying it.
+    use sigwave::parallel::resolve_parallelism;
+    let outer = resolve_parallelism(config.parallelism).clamp(1, tags.len().max(1));
+    let mut inner = config.clone();
+    inner.characterization.parallelism =
+        (resolve_parallelism(config.characterization.parallelism) / outer).max(1);
+    inner.training.parallelism = (resolve_parallelism(config.training.parallelism) / outer).max(1);
+    let trained = sigwave::parallel::try_par_map(config.parallelism, &tags, |_, &tag| {
+        train_one(tag, &inner)
+    })?;
+    let mut entries = Vec::with_capacity(tags.len());
+    let mut datasets = HashMap::new();
+    for (tag, (model, dataset)) in tags.iter().zip(trained) {
+        entries.push(LibraryEntry { tag: *tag, model });
+        datasets.insert(tag.to_string(), dataset);
+    }
+    Ok(CellLibrary {
+        name: spec.name.clone(),
+        entries,
+        datasets,
+    })
+}
+
+/// The on-disk cache path of the native library belonging to a legacy
+/// model-cache path: `<stem>.native.json` beside it. Every loader of
+/// native artifacts (the service registry, `sigctl golden`, the
+/// experiment bins) derives the path through this one helper, so the
+/// daemon and the direct golden path can never load different files —
+/// the CI byte-parity smoke contract depends on that.
+///
+/// # Example
+///
+/// ```
+/// use sigsim::native_cache_path;
+/// use std::path::Path;
+/// assert_eq!(
+///     native_cache_path(Path::new("target/sigmodels/ci.json")),
+///     Path::new("target/sigmodels/ci.native.json")
+/// );
+/// assert_eq!(
+///     native_cache_path(Path::new("models/custom.bin")),
+///     Path::new("models/custom.native.json")
+/// );
+/// ```
+#[must_use]
+pub fn native_cache_path(legacy: &Path) -> std::path::PathBuf {
+    let stem = legacy.file_stem().map_or_else(
+        || "models".to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    legacy.with_file_name(format!("{stem}.native.json"))
+}
+
+/// Like [`train_cell_library`] but cached: loads the JSON artifact at
+/// `path` if it parses *and* carries every cell the spec asks for,
+/// otherwise trains and rewrites it (so extending a spec invalidates a
+/// stale cache instead of silently serving a smaller library).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] on pipeline or I/O failure. A corrupt cache
+/// is retrained, not an error.
+pub fn train_cell_library_cached(
+    path: &Path,
+    spec: &LibrarySpec,
+    config: &PipelineConfig,
+) -> Result<CellLibrary, PipelineError> {
+    if path.exists() {
+        let text = std::fs::read_to_string(path)?;
+        if let Ok(library) = serde_json::from_str::<CellLibrary>(&text) {
+            let tags = library.tags();
+            if library.name == spec.name && spec.tags.iter().all(|t| tags.contains(t)) {
+                return Ok(library);
+            }
+        }
+        // fall through: retrain over a corrupt/outdated cache
+    }
+    let library = train_cell_library(spec, config)?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde_json::to_string(&library)?)?;
+    Ok(library)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +727,108 @@ mod tests {
         assert!(path.exists());
         assert_eq!(trained.datasets.len(), 4);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_spec() -> LibrarySpec {
+        LibrarySpec {
+            name: "tiny-native".to_string(),
+            tags: vec![GateTag::NandFo1, GateTag::AndFo1],
+        }
+    }
+
+    #[test]
+    fn cell_library_trains_and_respects_polarity() {
+        let lib = train_cell_library(&tiny_spec(), &tiny()).unwrap();
+        assert_eq!(lib.name(), "tiny-native");
+        assert_eq!(lib.tags(), vec![GateTag::NandFo1, GateTag::AndFo1]);
+        let q = sigtom::TransferQuery {
+            t: 2.0,
+            a_in: 15.0,
+            a_prev_out: 15.0,
+        };
+        let nand = lib.model(GateTag::NandFo1).unwrap().transfer.predict(q);
+        assert!(nand.a_out < 0.0, "NAND inverts: {nand:?}");
+        let and = lib
+            .model(GateTag::AndFo1)
+            .unwrap()
+            .transfer
+            .predict(sigtom::TransferQuery {
+                a_prev_out: -15.0,
+                ..q
+            });
+        assert!(and.a_out > 0.0, "AND buffers: {and:?}");
+        assert!(lib.model(GateTag::OrFo2).is_none(), "untrained tag");
+        assert!(lib.dataset(GateTag::NandFo1).is_some());
+    }
+
+    #[test]
+    fn cell_library_serde_round_trip() {
+        let lib = train_cell_library(&tiny_spec(), &tiny()).unwrap();
+        let json = serde_json::to_string(&lib).unwrap();
+        let back: CellLibrary = serde_json::from_str(&json).unwrap();
+        // Byte-identical re-serialization and identical predictions.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+        assert_eq!(back.name(), lib.name());
+        assert_eq!(back.tags(), lib.tags());
+        let q = sigtom::TransferQuery {
+            t: 0.9,
+            a_in: -12.0,
+            a_prev_out: 10.0,
+        };
+        assert_eq!(
+            lib.model(GateTag::NandFo1).unwrap().transfer.predict(q),
+            back.model(GateTag::NandFo1).unwrap().transfer.predict(q)
+        );
+    }
+
+    #[test]
+    fn cell_library_cache_invalidates_on_spec_growth() {
+        let dir = std::env::temp_dir().join("sigsim_test_library_cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("lib.json");
+        let small = LibrarySpec {
+            name: "grow".to_string(),
+            tags: vec![GateTag::NandFo1],
+        };
+        let a = train_cell_library_cached(&path, &small, &tiny()).unwrap();
+        assert_eq!(a.tags(), vec![GateTag::NandFo1]);
+        // Same spec: served from cache (identical artifact bytes).
+        let b = train_cell_library_cached(&path, &small, &tiny()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // Grown spec: the stale cache must be retrained, not served.
+        let grown = LibrarySpec {
+            name: "grow".to_string(),
+            tags: vec![GateTag::NandFo1, GateTag::OrFo1],
+        };
+        let c = train_cell_library_cached(&path, &grown, &tiny()).unwrap();
+        assert!(c.tags().contains(&GateTag::OrFo1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trained_models_bridge_to_library() {
+        let trained = train_models(&tiny()).unwrap();
+        let lib = trained.to_library();
+        assert_eq!(lib.name(), "nor-only");
+        assert_eq!(lib.tags().len(), 4);
+        let cells = lib.cell_models();
+        // The bridge binds INV too (the library shape is strictly more
+        // capable than the legacy GateModels conversion).
+        assert!(cells.slot_for(sigcircuit::GateKind::Inv, 1, 1).is_some());
+        assert!(cells.slot_for(sigcircuit::GateKind::Nor, 2, 1).is_some());
+        assert!(cells.slot_for(sigcircuit::GateKind::Nand, 2, 1).is_none());
+        // Identical predictions through both assemblies.
+        let q = sigtom::TransferQuery {
+            t: 1.1,
+            a_in: 9.0,
+            a_prev_out: -8.0,
+        };
+        let via_models = trained.gate_models().nor_fo1.transfer.predict(q);
+        let slot = cells.slot_for(sigcircuit::GateKind::Nor, 2, 1).unwrap();
+        assert_eq!(via_models, cells.by_slot(slot).transfer.predict(q));
     }
 
     #[test]

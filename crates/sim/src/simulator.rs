@@ -1,14 +1,19 @@
-//! The prototype sigmoidal circuit simulator (Sec. V-A): levelized
-//! evaluation of NOR-only circuits with per-variant TOM gate models.
+//! The sigmoidal circuit simulator (Sec. V-A, extended): levelized
+//! evaluation of library-cell circuits with per-cell TOM gate models.
 //!
 //! The engine schedules the circuit level by level
 //! ([`Circuit::levels`]): all gates within one ASAP level are independent,
 //! so their pending transfer-function queries are grouped by
-//! [`GateModels`] slot and evaluated as one [`predict_batch`] call per
+//! [`CellModels`] slot and evaluated as one [`predict_batch`] call per
 //! (model, round), and the per-gate plan/apply work fans out over the
 //! `sigwave::parallel` worker pool. Both knobs live in
 //! [`SigmoidSimConfig`]; every setting produces bit-identical traces (see
-//! `DESIGN.md` § Levelized batched engine).
+//! `docs/architecture.md`).
+//!
+//! Two cell sets are built in: the paper's NOR-only four-slot
+//! [`GateModels`] (inverter/NOR at fan-out 1/2) and the extensible
+//! [`CellModels`] the native library produces (adds NAND2/AND2/OR2/INV;
+//! see `docs/cell-libraries.md`).
 //!
 //! [`predict_batch`]: sigtom::GateModel::predict_batch
 
@@ -16,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sigcircuit::{Circuit, GateKind, NetId};
-use sigtom::{plan_nor, predict_nor, GateModel, NorPlan, TomOptions, TransferQuery};
+use sigtom::{apply_plan, plan_cell, CellFunction, GateModel, GatePlan, TomOptions, TransferQuery};
 use sigwave::{Level, SigmoidTrace};
 
 /// The trained gate models the prototype uses: "all elementary gates of the
@@ -87,6 +92,191 @@ impl GateModels {
     }
 }
 
+/// An extensible runtime cell-model set: the dynamic-slot generalization
+/// of the fixed four-slot [`GateModels`].
+///
+/// Each slot holds one [`GateModel`]; the index maps a gate's
+/// `(kind, single-input?, fan-out ≥ 2?)` signature to its slot. One slot
+/// may serve several signatures (the inverter cell answers both
+/// `GateKind::Inv` and single-input `GateKind::Nor`). The levelized
+/// engine batches queries per slot, so the slot count — not the
+/// signature count — bounds the number of `predict_batch` calls per
+/// round.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use sigsim::CellModels;
+/// use sigcircuit::GateKind;
+/// use sigtom::{GateModel, TransferFunction, TransferPrediction, TransferQuery};
+///
+/// struct Fixed;
+/// impl TransferFunction for Fixed {
+///     fn predict(&self, q: TransferQuery) -> TransferPrediction {
+///         TransferPrediction { a_out: -q.a_in.signum() * 14.0, delay: 0.05 }
+///     }
+///     fn backend_name(&self) -> &'static str { "fixed" }
+/// }
+///
+/// let mut cells = CellModels::empty("demo");
+/// let slot = cells.push(GateModel::new(Arc::new(Fixed)));
+/// cells.bind(slot, GateKind::Nand, false, false); // NAND2 at fan-out 1
+/// assert_eq!(cells.slot_for(GateKind::Nand, 2, 1), Some(slot));
+/// assert_eq!(cells.slot_for(GateKind::Nand, 2, 3), None); // FO2 unbound
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellModels {
+    name: String,
+    models: Vec<GateModel>,
+    index: HashMap<(GateKind, bool, bool), usize>,
+}
+
+impl CellModels {
+    /// An empty set with no slots. Invariant: every slot referenced by
+    /// [`CellModels::bind`] must come from [`CellModels::push`] on the
+    /// same set.
+    #[must_use]
+    pub fn empty(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            models: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// The library name these models came from (`nor-only`, `native`, or
+    /// a custom name) — reported by services so results are
+    /// self-describing.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a model slot and returns its index.
+    pub fn push(&mut self, model: GateModel) -> usize {
+        self.models.push(model);
+        self.models.len() - 1
+    }
+
+    /// Routes gates with the `(kind, single_input, fo2)` signature to a
+    /// slot. Binding the same signature twice keeps the latest slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not returned by [`CellModels::push`].
+    pub fn bind(&mut self, slot: usize, kind: GateKind, single_input: bool, fo2: bool) {
+        assert!(slot < self.models.len(), "slot {slot} was never pushed");
+        self.index.insert((kind, single_input, fo2), slot);
+    }
+
+    /// Number of model slots (the engine's batching width).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The model in a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.slots()`.
+    #[must_use]
+    pub fn by_slot(&self, slot: usize) -> &GateModel {
+        &self.models[slot]
+    }
+
+    /// The slot a gate of this kind/arity/fan-out resolves to, or `None`
+    /// when the set has no model for it (the gate is unsimulable with
+    /// these models). Arity legality is checked here too: NOR accepts
+    /// 1–3 inputs, NAND/AND/OR exactly 2, INV/BUF exactly 1; XOR/XNOR
+    /// always resolve to `None` — they must be decomposed by a
+    /// [`sigcircuit::MappingPolicy`] first.
+    #[must_use]
+    pub fn slot_for(&self, kind: GateKind, arity: usize, fanout: usize) -> Option<usize> {
+        let arity_ok = match kind {
+            GateKind::Nor => (1..=3).contains(&arity),
+            GateKind::Inv | GateKind::Buf => arity == 1,
+            GateKind::Nand | GateKind::And | GateKind::Or => arity == 2,
+            GateKind::Xor | GateKind::Xnor => false,
+        };
+        if !arity_ok {
+            return None;
+        }
+        self.index.get(&(kind, arity == 1, fanout >= 2)).copied()
+    }
+
+    /// The Algorithm-1 cell function of a gate kind, or `None` for kinds
+    /// the plan layer cannot drive (XOR/XNOR).
+    #[must_use]
+    pub fn cell_function(kind: GateKind) -> Option<CellFunction> {
+        match kind {
+            GateKind::Inv => Some(CellFunction::Inv),
+            GateKind::Buf => Some(CellFunction::Buf),
+            GateKind::Nor => Some(CellFunction::Nor),
+            GateKind::Or => Some(CellFunction::Or),
+            GateKind::Nand => Some(CellFunction::Nand),
+            GateKind::And => Some(CellFunction::And),
+            GateKind::Xor | GateKind::Xnor => None,
+        }
+    }
+
+    /// One model cloned into a slot per native cell kind (INV, NOR,
+    /// NAND, AND, OR), each bound at both fan-out classes, with the
+    /// inverter slot also answering single-input NORs — the
+    /// [`GateModels::uniform`] analogue for the native cell set, used by
+    /// tests and analytic-backend benchmarks. The binding table matches
+    /// [`crate::CellLibrary::cell_models`], so a drift between the two
+    /// is caught by the shared test suite instead of surfacing as a
+    /// bench-only `UnsupportedGate`.
+    #[must_use]
+    pub fn uniform(name: impl Into<String>, model: GateModel) -> Self {
+        let mut cells = Self::empty(name);
+        for kind in [
+            GateKind::Inv,
+            GateKind::Nor,
+            GateKind::Nand,
+            GateKind::And,
+            GateKind::Or,
+        ] {
+            let slot = cells.push(model.clone());
+            let single = kind == GateKind::Inv;
+            cells.bind(slot, kind, single, false);
+            cells.bind(slot, kind, single, true);
+            if single {
+                cells.bind(slot, GateKind::Nor, true, false);
+                cells.bind(slot, GateKind::Nor, true, true);
+            }
+        }
+        cells
+    }
+
+    /// The NOR-only prototype set: the four [`GateModels`] slots bound to
+    /// `GateKind::Nor` signatures exactly as the original simulator
+    /// resolved them (single-input NORs use the inverter models; nothing
+    /// else — not even `GateKind::Inv` — is bound, preserving the
+    /// prototype's strictness).
+    #[must_use]
+    pub fn nor_only(models: &GateModels) -> Self {
+        let mut cells = Self::empty("nor-only");
+        let inv = cells.push(models.inverter.clone());
+        let inv2 = cells.push(models.inverter_fo2.clone());
+        let fo1 = cells.push(models.nor_fo1.clone());
+        let fo2 = cells.push(models.nor_fo2.clone());
+        cells.bind(inv, GateKind::Nor, true, false);
+        cells.bind(inv2, GateKind::Nor, true, true);
+        cells.bind(fo1, GateKind::Nor, false, false);
+        cells.bind(fo2, GateKind::Nor, false, true);
+        cells
+    }
+}
+
+impl From<&GateModels> for CellModels {
+    fn from(models: &GateModels) -> Self {
+        Self::nor_only(models)
+    }
+}
+
 /// Scheduling knobs of the levelized simulator. Every setting produces
 /// bit-identical traces; the knobs trade scheduling overhead against
 /// batching and multi-core throughput.
@@ -135,7 +325,12 @@ const PAR_MIN_GATES: usize = 8;
 /// across the pool.
 const PAR_MIN_BATCH_ROWS: usize = 32;
 
-/// Error from the sigmoid circuit simulator.
+/// Error from the sigmoid circuit simulator. Unsupported gates are
+/// rejected by an upfront validation pass over the whole circuit —
+/// *before* any level is simulated — so a bad netlist fails with this
+/// named error instead of part-way through (XOR/XNOR, which parse but
+/// have no library cell, land here unless a [`sigcircuit::MappingPolicy`]
+/// decomposed them first).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SigmoidSimError {
     /// A primary input has no stimulus trace.
@@ -143,8 +338,10 @@ pub enum SigmoidSimError {
         /// Input net name.
         net: String,
     },
-    /// The circuit contains a gate the prototype does not support (it
-    /// simulates NOR-only circuits, Sec. V-A).
+    /// The circuit contains a gate the selected cell models cannot
+    /// simulate (NOR-only models accept NOR with 1–3 inputs; the native
+    /// library adds INV/NAND2/AND2/OR2; XOR/XNOR are never simulable
+    /// directly).
     UnsupportedGate {
         /// Offending gate kind.
         kind: GateKind,
@@ -158,7 +355,11 @@ impl std::fmt::Display for SigmoidSimError {
         match self {
             Self::MissingStimulus { net } => write!(f, "no stimulus for input {net:?}"),
             Self::UnsupportedGate { kind, arity } => {
-                write!(f, "prototype cannot simulate {kind} with {arity} inputs")
+                write!(
+                    f,
+                    "no cell model can simulate {kind} with {arity} inputs \
+                     (map the circuit to a supported cell set first)"
+                )
             }
         }
     }
@@ -232,17 +433,10 @@ pub fn simulate_sigmoid(
     )
 }
 
-/// Simulates a NOR-only circuit: input sigmoid traces propagate level by
-/// level ([`Circuit::levels`]) through the TOM transfer functions.
-///
-/// Within a level every gate is independent, so the engine plans all of
-/// them ([`sigtom::plan_nor`]), then repeatedly gathers each plan's next
-/// pending query, groups the queries by [`GateModels`] slot, and issues
-/// one [`GateModel::predict_batch`] per (model, round) — with the
-/// plan/apply work and large inference batches fanned over the
-/// `sigwave::parallel` pool per `config`. Traces are bit-identical at
-/// every `config` setting, including the sequential scalar reference
-/// ([`SigmoidSimConfig::scalar`]).
+/// Simulates a NOR-only circuit with the four-slot prototype models —
+/// a thin wrapper binding `models` as a [`CellModels`] set and calling
+/// [`simulate_cells_with`]; behaviour (including the rejection of
+/// anything but 1–3-input NOR gates) is unchanged from the prototype.
 ///
 /// # Errors
 ///
@@ -252,6 +446,40 @@ pub fn simulate_sigmoid_with(
     circuit: &Circuit,
     stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
     models: &GateModels,
+    options: TomOptions,
+    config: &SigmoidSimConfig,
+) -> Result<SigmoidSimResult, SigmoidSimError> {
+    simulate_cells_with(
+        circuit,
+        stimuli,
+        &CellModels::nor_only(models),
+        options,
+        config,
+    )
+}
+
+/// Simulates a library-cell circuit: input sigmoid traces propagate level
+/// by level ([`Circuit::levels`]) through the TOM transfer functions.
+///
+/// Within a level every gate is independent, so the engine plans all of
+/// them ([`sigtom::plan_cell`] with the gate's [`CellFunction`]), then
+/// repeatedly gathers each plan's next pending query, groups the queries
+/// by [`CellModels`] slot, and issues one [`GateModel::predict_batch`]
+/// per (model, round) — with the plan/apply work and large inference
+/// batches fanned over the `sigwave::parallel` pool per `config`. Traces
+/// are bit-identical at every `config` setting, including the sequential
+/// scalar reference ([`SigmoidSimConfig::scalar`]).
+///
+/// # Errors
+///
+/// Returns [`SigmoidSimError`] on missing stimuli, or — from the upfront
+/// validation pass, before any gate is evaluated — when a gate has no
+/// slot in `cells` (wrong kind, arity, or an XOR/XNOR that was never
+/// decomposed).
+pub fn simulate_cells_with(
+    circuit: &Circuit,
+    stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
+    cells: &CellModels,
     options: TomOptions,
     config: &SigmoidSimConfig,
 ) -> Result<SigmoidSimResult, SigmoidSimError> {
@@ -268,20 +496,31 @@ pub fn simulate_sigmoid_with(
             })?;
         slots[input.0] = Some(Arc::clone(t));
     }
+    // Upfront validation: resolve every gate's model slot and cell
+    // function before simulating anything, so unsupported kinds
+    // (including parseable-but-unsimulatable XOR/XNOR) fail with a named
+    // error instead of part-way into the run.
+    let unsupported = |gate: &sigcircuit::Gate| SigmoidSimError::UnsupportedGate {
+        kind: gate.kind,
+        arity: gate.inputs.len(),
+    };
+    let mut gate_slots: Vec<usize> = vec![usize::MAX; circuit.gates().len()];
+    let mut gate_funcs: Vec<CellFunction> = vec![CellFunction::Inv; circuit.gates().len()];
     for &gi in circuit.topological_gates() {
         let gate = &circuit.gates()[gi];
-        if gate.kind != GateKind::Nor || !(1..=3).contains(&gate.inputs.len()) {
-            return Err(SigmoidSimError::UnsupportedGate {
-                kind: gate.kind,
-                arity: gate.inputs.len(),
-            });
-        }
+        let slot = cells
+            .slot_for(gate.kind, gate.inputs.len(), fanouts[gate.output.0])
+            .ok_or_else(|| unsupported(gate))?;
+        let func = CellModels::cell_function(gate.kind).ok_or_else(|| unsupported(gate))?;
+        gate_slots[gi] = slot;
+        gate_funcs[gi] = func;
     }
 
-    // Reusable per-level scratch.
+    // Reusable per-level scratch (pending lists are drained every level).
     let mut queries: Vec<TransferQuery> = Vec::new();
     let mut predictions = Vec::new();
     let mut round: Vec<usize> = Vec::new();
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); cells.slots()];
 
     for level in circuit.levels() {
         // Small levels run on the calling thread: the scoped-pool setup
@@ -293,7 +532,7 @@ pub fn simulate_sigmoid_with(
         };
         if config.batch {
             // Plan every gate of the level (model-independent, fans out).
-            let mut plans: Vec<(usize, NetId, NorPlan)> =
+            let mut plans: Vec<(usize, NetId, GatePlan)> =
                 sigwave::parallel::par_map(level_parallelism, level, |_, &gi| {
                     let gate = &circuit.gates()[gi];
                     let ins: Vec<&SigmoidTrace> = gate
@@ -301,8 +540,11 @@ pub fn simulate_sigmoid_with(
                         .iter()
                         .map(|i| slots[i.0].as_deref().expect("level order"))
                         .collect();
-                    let slot = GateModels::slot_index(gate.inputs.len(), fanouts[gate.output.0]);
-                    (slot, gate.output, plan_nor(&ins, options))
+                    (
+                        gate_slots[gi],
+                        gate.output,
+                        plan_cell(gate_funcs[gi], &ins, options),
+                    )
                 });
             // Group the still-pending plans by model slot, then evaluate
             // in rounds: one batched inference per (model, round),
@@ -310,7 +552,6 @@ pub fn simulate_sigmoid_with(
             // their slot's list so each is polled exactly once per query.
             // Each plan's own query sequence is untouched by the
             // interleaving, so traces match the scalar path bit for bit.
-            let mut pending: [Vec<usize>; MODEL_SLOTS] = Default::default();
             for (pi, (slot, _, plan)) in plans.iter().enumerate() {
                 if plan.pending() > 0 {
                     pending[*slot].push(pi);
@@ -328,7 +569,7 @@ pub fn simulate_sigmoid_with(
                         queries.push(plans[pi].2.next_query().expect("pending plan"));
                     }
                     predict_chunked(
-                        models.by_slot(slot),
+                        cells.by_slot(slot),
                         &mut queries,
                         &mut predictions,
                         parallelism,
@@ -366,8 +607,11 @@ pub fn simulate_sigmoid_with(
                         .iter()
                         .map(|i| slots[i.0].as_deref().expect("level order"))
                         .collect();
-                    let model = models.select(gate.inputs.len(), fanouts[gate.output.0]);
-                    (gate.output, predict_nor(model, &ins, options))
+                    let model = cells.by_slot(gate_slots[gi]);
+                    (
+                        gate.output,
+                        apply_plan(plan_cell(gate_funcs[gi], &ins, options), model),
+                    )
                 });
             for (output, trace) in outs {
                 slots[output.0] = Some(Arc::new(trace));
@@ -746,6 +990,244 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Buffering synthetic transfer (what trained AND/OR cells produce).
+    struct Buffering(f64);
+    impl TransferFunction for Buffering {
+        fn predict(&self, q: TransferQuery) -> TransferPrediction {
+            TransferPrediction {
+                a_out: q.a_in.signum() * 14.0,
+                delay: self.0,
+            }
+        }
+        fn backend_name(&self) -> &'static str {
+            "buffering"
+        }
+    }
+
+    /// A synthetic native cell set: inverting models for INV/NOR/NAND,
+    /// buffering models for AND/OR, distinct per-cell delays so slot
+    /// mix-ups change results.
+    fn native_cells() -> CellModels {
+        let mut cells = CellModels::empty("native");
+        let invert = |cells: &mut CellModels, kind, delay| {
+            let slot = cells.push(GateModel::new(Arc::new(Fixed(delay))));
+            cells.bind(slot, kind, kind == GateKind::Inv, false);
+            cells.bind(slot, kind, kind == GateKind::Inv, true);
+        };
+        invert(&mut cells, GateKind::Inv, 0.05);
+        invert(&mut cells, GateKind::Nor, 0.08);
+        invert(&mut cells, GateKind::Nand, 0.09);
+        // The inverter cell also serves single-input NORs.
+        let inv_slot = cells.slot_for(GateKind::Inv, 1, 1).unwrap();
+        cells.bind(inv_slot, GateKind::Nor, true, false);
+        cells.bind(inv_slot, GateKind::Nor, true, true);
+        let buffer = |cells: &mut CellModels, kind, delay| {
+            let slot = cells.push(GateModel::new(Arc::new(Buffering(delay))));
+            cells.bind(slot, kind, false, false);
+            cells.bind(slot, kind, false, true);
+        };
+        buffer(&mut cells, GateKind::And, 0.11);
+        buffer(&mut cells, GateKind::Or, 0.12);
+        cells
+    }
+
+    fn random_native_stimuli(circuit: &Circuit, seed: u64) -> HashMap<NetId, Arc<SigmoidTrace>> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        circuit
+            .inputs()
+            .iter()
+            .map(|&input| {
+                let initial = if rng.gen::<bool>() {
+                    Level::High
+                } else {
+                    Level::Low
+                };
+                let mut rising = !initial.is_high();
+                let mut t = 0.0;
+                let mut transitions = Vec::new();
+                for _ in 0..rng.gen_range(0..5usize) {
+                    t += rng.gen_range(0.05..1.2f64);
+                    let a = rng.gen_range(6.0..22.0f64);
+                    transitions.push(if rising {
+                        Sigmoid::rising(a, t)
+                    } else {
+                        Sigmoid::falling(a, t)
+                    });
+                    rising = !rising;
+                }
+                let trace =
+                    SigmoidTrace::from_transitions(initial, transitions, VDD_DEFAULT).unwrap();
+                (input, Arc::new(trace))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn xor_xnor_rejected_by_named_error_before_simulation() {
+        // XOR/XNOR parse fine but no cell set simulates them: both the
+        // NOR-only and the native models must reject them with the named
+        // UnsupportedGate error from the upfront validation pass — never
+        // a panic, and never after part of the circuit already simulated.
+        for kind in [GateKind::Xor, GateKind::Xnor] {
+            let mut b = CircuitBuilder::new();
+            let a = b.add_input("a");
+            let z = b.add_input("z");
+            let y = b.add_gate(kind, &[a, z], "y");
+            b.mark_output(y);
+            let c = b.build().unwrap();
+            let mut stim = HashMap::new();
+            stim.insert(a, rising_input());
+            stim.insert(z, constant(Level::Low));
+            let legacy = simulate_sigmoid(&c, &stim, &models(0.1, 0.1, 0.1), TomOptions::default())
+                .unwrap_err();
+            assert_eq!(legacy, SigmoidSimError::UnsupportedGate { kind, arity: 2 });
+            let native = simulate_cells_with(
+                &c,
+                &stim,
+                &native_cells(),
+                TomOptions::default(),
+                &SigmoidSimConfig::default(),
+            )
+            .unwrap_err();
+            assert_eq!(native, SigmoidSimError::UnsupportedGate { kind, arity: 2 });
+        }
+    }
+
+    #[test]
+    fn native_c17_matches_boolean_eval_and_nor_parity() {
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        assert_eq!(bench.native.gates().len(), 6, "c17 stays 6 native NAND2s");
+        let cells = native_cells();
+        let mut bits = vec![false; 5];
+        bits[2] = true;
+        let mut stim = HashMap::new();
+        for (i, &input) in bench.native.inputs().iter().enumerate() {
+            let t = if i == 2 {
+                rising_input()
+            } else {
+                constant(Level::Low)
+            };
+            stim.insert(input, t);
+        }
+        let res = simulate_cells_with(
+            &bench.native,
+            &stim,
+            &cells,
+            TomOptions::default(),
+            &SigmoidSimConfig::default(),
+        )
+        .unwrap();
+        let expect = bench.native.eval(&bits);
+        for (o, e) in bench.native.outputs().iter().zip(&expect) {
+            assert_eq!(
+                res.trace(*o).final_level().is_high(),
+                *e,
+                "native output {} disagrees with boolean evaluation",
+                bench.native.net_name(*o)
+            );
+        }
+        // Policy parity: the NOR-mapped form under the same stimuli (by
+        // input position) settles to the same output levels.
+        let mut nor_stim = HashMap::new();
+        for (i, &input) in bench.nor_mapped.inputs().iter().enumerate() {
+            let t = if i == 2 {
+                rising_input()
+            } else {
+                constant(Level::Low)
+            };
+            nor_stim.insert(input, t);
+        }
+        let nor_res = simulate_sigmoid(
+            &bench.nor_mapped,
+            &nor_stim,
+            &models(0.05, 0.08, 0.12),
+            TomOptions::default(),
+        )
+        .unwrap();
+        for (no, o) in bench
+            .nor_mapped
+            .outputs()
+            .iter()
+            .zip(bench.native.outputs())
+        {
+            assert_eq!(
+                nor_res.trace(*no).final_level(),
+                res.trace(*o).final_level(),
+                "policies disagree on a settled output level"
+            );
+        }
+    }
+
+    #[test]
+    fn native_c1355_bit_reproducible_across_runs_and_configs() {
+        // The acceptance headline: native-library c1355 end-to-end, twice,
+        // at several scheduling settings — every trace bit-identical.
+        let bench = sigcircuit::Benchmark::by_name("c1355").unwrap();
+        let c = &bench.native;
+        let cells = native_cells();
+        let stim = random_native_stimuli(c, 20250728);
+        let opts = TomOptions::default();
+        let reference =
+            simulate_cells_with(c, &stim, &cells, opts, &SigmoidSimConfig::scalar()).unwrap();
+        for config in [
+            SigmoidSimConfig::default(),
+            SigmoidSimConfig::default(), // a second identical run
+            SigmoidSimConfig {
+                parallelism: 3,
+                batch: true,
+            },
+            SigmoidSimConfig {
+                parallelism: 1,
+                batch: true,
+            },
+        ] {
+            let got = simulate_cells_with(c, &stim, &cells, opts, &config).unwrap();
+            for net in 0..c.net_count() {
+                assert_eq!(
+                    got.trace(NetId(net)),
+                    reference.trace(NetId(net)),
+                    "net {net} differs under {config:?}"
+                );
+            }
+        }
+        // Digital parity with the boolean evaluation on settled levels.
+        let bits: Vec<bool> = c
+            .inputs()
+            .iter()
+            .map(|&i| {
+                let t = &stim[&i];
+                t.final_level().is_high()
+            })
+            .collect();
+        let expect = c.eval(&bits);
+        for (o, e) in c.outputs().iter().zip(&expect) {
+            assert_eq!(reference.trace(*o).final_level().is_high(), *e);
+        }
+    }
+
+    #[test]
+    fn cell_models_slot_resolution() {
+        let cells = native_cells();
+        // Single-input NOR resolves to the inverter cell's slot.
+        assert_eq!(
+            cells.slot_for(GateKind::Nor, 1, 1),
+            cells.slot_for(GateKind::Inv, 1, 1)
+        );
+        // Arity rules.
+        assert_eq!(cells.slot_for(GateKind::Nand, 3, 1), None);
+        assert_eq!(cells.slot_for(GateKind::Nor, 4, 1), None);
+        assert_eq!(cells.slot_for(GateKind::Xor, 2, 1), None);
+        assert!(cells.slot_for(GateKind::Nor, 3, 1).is_some());
+        // The legacy conversion binds NOR signatures only.
+        let legacy = CellModels::nor_only(&models(0.05, 0.1, 0.2));
+        assert_eq!(legacy.name(), "nor-only");
+        assert_eq!(legacy.slots(), 4);
+        assert_eq!(legacy.slot_for(GateKind::Inv, 1, 1), None);
+        assert_eq!(legacy.slot_for(GateKind::Nor, 2, 1), Some(2));
+        assert_eq!(legacy.slot_for(GateKind::Nor, 2, 3), Some(3));
     }
 
     #[test]

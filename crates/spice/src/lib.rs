@@ -14,7 +14,7 @@
 //!   waveform probes.
 //!
 //! The substitution rationale and calibration targets are documented in the
-//! repository's `DESIGN.md`.
+//! repository's `docs/architecture.md`.
 //!
 //! # Example
 //!

@@ -375,6 +375,54 @@ impl NetworkBuilder {
         mid
     }
 
+    /// Adds a 2-input NAND — the CMOS dual of [`NetworkBuilder::add_nor2`]:
+    /// two parallel PMOS pull-ups and a series NMOS pull-down stack whose
+    /// internal node is a real state variable.
+    ///
+    /// Returns the internal stack node.
+    pub fn add_nand2(
+        &mut self,
+        in_a: NodeRef,
+        in_b: NodeRef,
+        output: NodeRef,
+        p: &GateParams,
+    ) -> NodeRef {
+        let mid_name = format!("__nand2_mid_{}", self.transistors.len());
+        // The stack node sits at ground while the gate output is high (the
+        // bottom NMOS conducts only during a full pull-down event).
+        let mid = self.add_state(&mid_name, 0.0);
+        self.add_cap(mid, p.internal_cap);
+        // Pull-down: GND -NMOS(a)- mid -NMOS(b)- out, widened like the
+        // NOR's stacked PMOS to approximate equalized drive.
+        let nm = p.nmos.scaled(1.5);
+        self.transistors.push(Transistor {
+            kind: MosfetKind::Nmos,
+            gate: in_a,
+            drain: mid,
+            source: NodeRef::Ground,
+            params: nm,
+        });
+        self.transistors.push(Transistor {
+            kind: MosfetKind::Nmos,
+            gate: in_b,
+            drain: output,
+            source: mid,
+            params: nm,
+        });
+        // Pull-up: two parallel PMOS.
+        for &g in &[in_a, in_b] {
+            self.transistors.push(Transistor {
+                kind: MosfetKind::Pmos,
+                gate: g,
+                drain: output,
+                source: NodeRef::Vdd,
+                params: p.pmos,
+            });
+        }
+        self.attach_caps(&[in_a, in_b], output, p);
+        mid
+    }
+
     /// Adds a 3-input NOR (series stack of three PMOS, three parallel NMOS);
     /// returns the two internal stack nodes.
     pub fn add_nor3(

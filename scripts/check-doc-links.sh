@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Checks that every intra-repo markdown link and bare-path doc reference
+# in README.md, DESIGN.md, ROADMAP.md and docs/*.md points at a file
+# that exists. No network access; external (http/https) links are
+# ignored. Exit 1 with a list of broken references otherwise.
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+fail() {
+    echo "BROKEN: $1 -> $2" >&2
+    status=1
+}
+
+files=(README.md DESIGN.md ROADMAP.md docs/*.md)
+
+for f in "${files[@]}"; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Markdown links: [text](target), skipping external URLs and anchors.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | "#"*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            fail "$f" "$target"
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*(\(.*\))/\1/')
+
+    # Backtick-quoted repo paths that look like doc/source references,
+    # e.g. `docs/protocol.md` or `crates/serve/src/protocol.rs`.
+    while IFS= read -r path; do
+        if [ ! -e "$path" ]; then
+            fail "$f" "\`$path\`"
+        fi
+    done < <(grep -o '`[A-Za-z0-9_./-]*\.\(md\|rs\|toml\)`' "$f" |
+        tr -d '\`' | sort -u)
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "doc links OK (${#files[@]} files checked)"
+fi
+exit "$status"
