@@ -159,6 +159,44 @@ fn bench_cache_temperature(c: &mut Criterion) {
             });
         });
     }
+
+    // Warm-circuit vs warm-program: both rows skip parsing/mapping (the
+    // circuit is resolved once), but the `fused` row re-runs validation,
+    // slot resolution, planning and buffer allocation per request (what
+    // every warm request paid before the program cache), while the
+    // `program` row binds stimuli to the cached compiled program with a
+    // pooled scratch — the compile-once/execute-many headline.
+    let set = service
+        .registry()
+        .get_or_load("bench", "nor-only")
+        .expect("registered set");
+    let parsed =
+        sigcircuit::parse_circuit(&text, sigcircuit::sniff_format(&text)).expect("bench text");
+    let circuit = sigserve::service::map_for_simulation(parsed, set.policy);
+    for (label, transitions) in [("settle", 0usize), ("active", 1)] {
+        let warm_request = request(text.clone(), 7, transitions);
+        group.bench_function(format!("warm_circuit_fused_{label}"), |b| {
+            b.iter(|| {
+                let result = sigserve::run_sim(
+                    black_box(&circuit),
+                    &set,
+                    &warm_request,
+                    sigserve::CacheOutcome::Hit,
+                )
+                .expect("fused request");
+                black_box(result.outputs.len())
+            });
+        });
+        service.execute_sim(&warm_request).expect("prime program");
+        group.bench_function(format!("warm_program_{label}"), |b| {
+            b.iter(|| {
+                let result = service
+                    .execute_sim(black_box(&warm_request))
+                    .expect("program request");
+                black_box(result.outputs.len())
+            });
+        });
+    }
     group.finish();
 }
 

@@ -22,8 +22,8 @@ use digilog::{simulate as simulate_digital, GateChannels, InertialDelay};
 use sigcircuit::Benchmark;
 use signn::{Mlp, ScaledModel, Standardizer};
 use sigsim::{
-    digital_to_sigmoid, simulate_cells_with, simulate_sigmoid_with, CellModels, GateModels,
-    SigmoidSimConfig, StimulusSpec,
+    digital_to_sigmoid, simulate_cells_with, simulate_sigmoid_with, CellModels, CircuitProgram,
+    GateModels, SigmoidSimConfig, SimScratch, StimulusSpec,
 };
 use sigtom::{
     AnnTransfer, GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery,
@@ -247,5 +247,96 @@ fn bench_mapping_policies(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_simulators, bench_mapping_policies);
+/// Compile-once / execute-many rows: per circuit and library,
+/// `compile` prices the one-off circuit-dependent work
+/// ([`CircuitProgram::compile`]: validation, slot resolution, plan
+/// templates), `execute` the steady-state per-request work against the
+/// resident program with a reused [`SimScratch`], and `legacy` the fused
+/// entry point paying both per call — the service's warm-path win is
+/// `legacy − execute`.
+fn bench_program(c: &mut Criterion) {
+    for name in ["c17", "c499", "c1355"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = StimulusSpec::fast();
+        let digital_stimuli: HashMap<_, _> = bench
+            .original
+            .inputs()
+            .iter()
+            .map(|&i| (i, spec.sample(&mut rng)))
+            .collect();
+        let stimuli_for = |circuit: &sigcircuit::Circuit| -> NetTraces {
+            circuit
+                .inputs()
+                .iter()
+                .zip(bench.original.inputs())
+                .map(|(&i, orig)| (i, Arc::new(digital_to_sigmoid(&digital_stimuli[orig], 0.8))))
+                .collect()
+        };
+        let libraries: [(&str, Arc<sigcircuit::Circuit>, Arc<CellModels>); 2] = [
+            (
+                "nor_only",
+                Arc::new(bench.nor_mapped.clone()),
+                Arc::new(CellModels::nor_only(&GateModels::uniform(GateModel::new(
+                    Arc::new(Analytic),
+                )))),
+            ),
+            (
+                "native",
+                Arc::new(bench.native.clone()),
+                Arc::new(uniform_native_cells(GateModel::new(Arc::new(Analytic)))),
+            ),
+        ];
+        let mut group = c.benchmark_group(format!("program_{name}"));
+        group.sample_size(20);
+        let config = SigmoidSimConfig::default();
+        for (library, circuit, cells) in libraries {
+            let stimuli = stimuli_for(&circuit);
+            group.bench_function(format!("{library}_compile"), |b| {
+                b.iter(|| {
+                    CircuitProgram::compile(
+                        Arc::clone(black_box(&circuit)),
+                        Arc::clone(&cells),
+                        TomOptions::default(),
+                    )
+                    .expect("compiles")
+                })
+            });
+            let program = CircuitProgram::compile(
+                Arc::clone(&circuit),
+                Arc::clone(&cells),
+                TomOptions::default(),
+            )
+            .expect("compiles");
+            let mut scratch = SimScratch::new();
+            group.bench_function(format!("{library}_execute"), |b| {
+                b.iter(|| {
+                    program
+                        .execute_with(black_box(&stimuli), &config, &mut scratch)
+                        .expect("sim")
+                })
+            });
+            group.bench_function(format!("{library}_legacy"), |b| {
+                b.iter(|| {
+                    simulate_cells_with(
+                        black_box(&circuit),
+                        &stimuli,
+                        &cells,
+                        TomOptions::default(),
+                        &config,
+                    )
+                    .expect("sim")
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_simulators,
+    bench_mapping_policies,
+    bench_program
+);
 criterion_main!(benches);

@@ -79,7 +79,16 @@ fn main() {
         ..AnalogOptions::default()
     };
     let cells = load_cell_models(&args, policy);
-    let delays = DelayTable::measure_grid(
+    // Extraction covers the classes the mapped circuits actually
+    // instantiate: NOR/INV for the prototype mapping, every native cell
+    // for --library native (NAND2/AND2/OR2 get their own chain delays
+    // instead of the historical NOR-class reuse).
+    let delay_cells: &[sigchar::ChainGate] = match policy {
+        MappingPolicy::NorOnly => &sigchar::LEGACY_DELAY_CELLS,
+        MappingPolicy::Native => &sigchar::NATIVE_DELAY_CELLS,
+    };
+    let delays = DelayTable::measure_cells(
+        delay_cells,
         1..=6,
         &[
             1.0 - variation,

@@ -132,18 +132,42 @@ pub fn measure_gate_delays(
     Ok(GateDelays { rise, fall })
 }
 
-/// A delay table indexed by fan-out and interconnect load multiplier —
-/// the reproduction's equivalent of a signoff extraction database: one
-/// delay entry per gate configuration *including its actual interconnect*.
+/// The two cell classes every table measures ([`DelayTable::measure`] /
+/// [`DelayTable::measure_grid`]): the paper's NOR-only prototype world.
+pub const LEGACY_DELAY_CELLS: [ChainGate; 2] = [ChainGate::Nor, ChainGate::Inverter];
+
+/// All characterizable cell classes — what a native-library table
+/// measures so NAND2/AND2/OR2 stop borrowing NOR-class delays.
+pub const NATIVE_DELAY_CELLS: [ChainGate; 5] = [
+    ChainGate::Nor,
+    ChainGate::Inverter,
+    ChainGate::Nand,
+    ChainGate::And,
+    ChainGate::Or,
+];
+
+/// A delay table indexed by **cell class** ([`ChainGate`]), fan-out and
+/// interconnect load multiplier — the reproduction's equivalent of a
+/// signoff extraction database: one delay entry per gate configuration
+/// *including its actual interconnect*.
+///
+/// Historical note: the table used to key only `(inverter?, fan-out)`,
+/// so NAND/AND/OR gates in compare mode reused NOR-class delays. It is
+/// now keyed by cell class; [`DelayTable::lookup_cell`] falls back to
+/// the NOR class for unmeasured classes, which reproduces the old
+/// behaviour exactly when only the legacy classes were measured. Tables
+/// are measured in-memory per process (never serialized), so the format
+/// change cannot leave stale artifacts behind.
 #[derive(Debug, Clone, Default)]
 pub struct DelayTable {
-    /// Per (is-inverter, fan-out): `(load multiplier, delays)` sorted by
+    /// Per (cell class, fan-out): `(load multiplier, delays)` sorted by
     /// multiplier.
-    by_fanout: HashMap<(bool, usize), Vec<(f64, GateDelays)>>,
+    by_cell: HashMap<(ChainGate, usize), Vec<(f64, GateDelays)>>,
 }
 
 impl DelayTable {
-    /// Builds the table for every fan-out in `fanouts` at nominal load.
+    /// Builds the legacy-class table ([`LEGACY_DELAY_CELLS`]) for every
+    /// fan-out in `fanouts` at nominal load.
     ///
     /// # Errors
     ///
@@ -156,7 +180,8 @@ impl DelayTable {
         Self::measure_grid(fanouts, &[1.0], analog_options, engine_config)
     }
 
-    /// Builds the full (fan-out × load multiplier) grid.
+    /// Builds the full (legacy cell class × fan-out × load multiplier)
+    /// grid.
     ///
     /// # Errors
     ///
@@ -171,13 +196,40 @@ impl DelayTable {
         analog_options: &AnalogOptions,
         engine_config: &EngineConfig,
     ) -> Result<Self, CharError> {
+        Self::measure_cells(
+            &LEGACY_DELAY_CELLS,
+            fanouts,
+            multipliers,
+            analog_options,
+            engine_config,
+        )
+    }
+
+    /// Builds the full (cell class × fan-out × load multiplier) grid for
+    /// an arbitrary class set — [`NATIVE_DELAY_CELLS`] gives every native
+    /// cell its own measured chain delays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multipliers` is empty.
+    pub fn measure_cells(
+        cells: &[ChainGate],
+        fanouts: impl IntoIterator<Item = usize>,
+        multipliers: &[f64],
+        analog_options: &AnalogOptions,
+        engine_config: &EngineConfig,
+    ) -> Result<Self, CharError> {
         assert!(!multipliers.is_empty(), "need at least one load multiplier");
-        let mut by_fanout: HashMap<(bool, usize), Vec<(f64, GateDelays)>> = HashMap::new();
+        let mut by_cell: HashMap<(ChainGate, usize), Vec<(f64, GateDelays)>> = HashMap::new();
         for f in fanouts {
             let f = f.max(1);
-            for gate in [ChainGate::Nor, ChainGate::Inverter] {
-                let key = (gate == ChainGate::Inverter, f);
-                if by_fanout.contains_key(&key) {
+            for &gate in cells {
+                let key = (gate, f);
+                if by_cell.contains_key(&key) {
                     continue;
                 }
                 let mut entries = Vec::with_capacity(multipliers.len());
@@ -188,13 +240,14 @@ impl DelayTable {
                     ));
                 }
                 entries.sort_by(|a, b| a.0.total_cmp(&b.0));
-                by_fanout.insert(key, entries);
+                by_cell.insert(key, entries);
             }
         }
-        Ok(Self { by_fanout })
+        Ok(Self { by_cell })
     }
 
-    /// Delays for a gate driving `fanout` loads at nominal interconnect.
+    /// Delays for a NOR gate driving `fanout` loads at nominal
+    /// interconnect.
     ///
     /// # Panics
     ///
@@ -211,42 +264,63 @@ impl DelayTable {
     /// Panics if the table is empty.
     #[must_use]
     pub fn lookup_inverter(&self, fanout: usize) -> GateDelays {
-        self.lookup_gate(true, fanout, 1.0)
+        self.lookup_cell(ChainGate::Inverter, fanout, 1.0)
     }
 
-    /// Delays for a gate driving `fanout` loads with its wire capacitance
-    /// scaled by `multiplier`; linearly interpolated (clamped) between the
-    /// measured multipliers. Unmeasured fan-outs fall back to the largest
-    /// measured one.
+    /// Delays for a NOR gate driving `fanout` loads with its wire
+    /// capacitance scaled by `multiplier`; linearly interpolated (clamped)
+    /// between the measured multipliers. Unmeasured fan-outs fall back to
+    /// the largest measured one.
     ///
     /// # Panics
     ///
     /// Panics if the table is empty.
     #[must_use]
     pub fn lookup_loaded(&self, fanout: usize, multiplier: f64) -> GateDelays {
-        self.lookup_gate(false, fanout, multiplier)
+        self.lookup_cell(ChainGate::Nor, fanout, multiplier)
     }
 
-    /// Full lookup: gate kind (`inverter` = 1-input NOR), fan-out and load
-    /// multiplier, with interpolation and graceful fallback.
+    /// The historical two-class lookup (`inverter` = 1-input NOR) — a
+    /// compatibility wrapper over [`DelayTable::lookup_cell`].
     ///
     /// # Panics
     ///
     /// Panics if the table is empty.
     #[must_use]
     pub fn lookup_gate(&self, inverter: bool, fanout: usize, multiplier: f64) -> GateDelays {
-        let key = (inverter, fanout.max(1));
-        let entries = self.by_fanout.get(&key).unwrap_or_else(|| {
-            // Fall back to the largest measured fan-out of the same kind,
-            // then to any entry at all.
-            let fallback = self
-                .by_fanout
-                .keys()
-                .filter(|(inv, _)| *inv == inverter)
-                .max_by_key(|(_, f)| *f)
-                .or_else(|| self.by_fanout.keys().max_by_key(|(_, f)| *f))
+        let cell = if inverter {
+            ChainGate::Inverter
+        } else {
+            ChainGate::Nor
+        };
+        self.lookup_cell(cell, fanout, multiplier)
+    }
+
+    /// Full lookup: cell class, fan-out and load multiplier, with
+    /// interpolation and graceful fallback. Fallback order for a missing
+    /// `(cell, fanout)` entry: the same class at its largest measured
+    /// fan-out, then the NOR class (the legacy approximation for cells a
+    /// table never measured), then the inverter class, then any entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    #[must_use]
+    pub fn lookup_cell(&self, cell: ChainGate, fanout: usize, multiplier: f64) -> GateDelays {
+        let key = (cell, fanout.max(1));
+        let entries = self.by_cell.get(&key).unwrap_or_else(|| {
+            let largest_of = |class: ChainGate| {
+                self.by_cell
+                    .keys()
+                    .filter(|(c, _)| *c == class)
+                    .max_by_key(|(_, f)| *f)
+            };
+            let fallback = largest_of(cell)
+                .or_else(|| largest_of(ChainGate::Nor))
+                .or_else(|| largest_of(ChainGate::Inverter))
+                .or_else(|| self.by_cell.keys().max_by_key(|(_, f)| *f))
                 .expect("delay table must not be empty");
-            &self.by_fanout[fallback]
+            &self.by_cell[fallback]
         });
         if entries.len() == 1 {
             return entries[0].1;
@@ -268,16 +342,23 @@ impl DelayTable {
         }
     }
 
-    /// Number of measured fan-outs.
+    /// Whether a `(cell, fan-out)` configuration was actually measured
+    /// (no fallback involved).
+    #[must_use]
+    pub fn has_cell(&self, cell: ChainGate, fanout: usize) -> bool {
+        self.by_cell.contains_key(&(cell, fanout.max(1)))
+    }
+
+    /// Number of measured (cell class, fan-out) configurations.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.by_fanout.len()
+        self.by_cell.len()
     }
 
     /// `true` if nothing was measured.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.by_fanout.is_empty()
+        self.by_cell.is_empty()
     }
 }
 
@@ -324,6 +405,36 @@ mod tests {
         let d2 = table.lookup(2);
         assert_eq!(d9, d2);
         assert!(d2.rise > d1.rise);
+    }
+
+    #[test]
+    fn cell_classes_have_distinct_measured_delays() {
+        // A native-class table must serve NAND from its own measurement,
+        // not the NOR approximation — and a legacy table must fall back
+        // to the NOR class for NAND exactly as the old keying did.
+        let cfg = EngineConfig::default();
+        let opts = AnalogOptions::default();
+        let native =
+            DelayTable::measure_cells(&[ChainGate::Nor, ChainGate::Nand], [1], &[1.0], &opts, &cfg)
+                .unwrap();
+        assert!(native.has_cell(ChainGate::Nand, 1));
+        let nand = native.lookup_cell(ChainGate::Nand, 1, 1.0);
+        let nor = native.lookup_cell(ChainGate::Nor, 1, 1.0);
+        assert!(nand.rise > 0.5e-12 && nand.rise < 40e-12, "{:?}", nand);
+        assert_ne!(nand, nor, "NAND must not reuse the NOR measurement");
+
+        let legacy = DelayTable::measure([1], &opts, &cfg).unwrap();
+        assert!(!legacy.has_cell(ChainGate::Nand, 1));
+        assert_eq!(
+            legacy.lookup_cell(ChainGate::Nand, 1, 1.0),
+            legacy.lookup_cell(ChainGate::Nor, 1, 1.0),
+            "unmeasured classes fall back to the NOR class"
+        );
+        assert_eq!(
+            legacy.lookup_gate(false, 1, 1.0),
+            legacy.lookup_cell(ChainGate::Nor, 1, 1.0),
+            "the historical two-class lookup is a wrapper"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use chain::{ChainGate, CharChain};
 pub use dataset::{Dataset, GateTag, TransferSample, DUMMY_SLOPE, T_FAR};
 pub use delays::{
     measure_gate_delays, measure_nor_delays, measure_nor_delays_loaded, DelayTable, GateDelays,
+    LEGACY_DELAY_CELLS, NATIVE_DELAY_CELLS,
 };
 pub use extract::{
     extract_from_pair, extract_from_pair_cell, extract_from_traces, extract_from_traces_cell,

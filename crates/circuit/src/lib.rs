@@ -45,7 +45,8 @@ pub use bench_format::{parse_bench, to_bench, ParseBenchError};
 pub use fanout::limit_fanout;
 pub use iscas::{c1355, c17, c499, Benchmark};
 pub use loader::{
-    content_hash, load_circuit, parse_circuit, sniff_format, CircuitFormat, LoadCircuitError,
+    content_hash, load_circuit, parse_circuit, sniff_format, CircuitFormat, ContentHasher,
+    LoadCircuitError,
 };
 pub use mapping::{
     is_native_cell, is_native_only, map_with_policy, to_native_cells, to_nor_only, MappingPolicy,

@@ -117,20 +117,79 @@ pub fn load_circuit(path: impl AsRef<Path>) -> Result<Circuit, LoadCircuitError>
     parse_circuit(&text, format)
 }
 
+/// A streaming FNV-1a 64-bit hasher — the incremental form of
+/// [`content_hash`], used to derive composite cache keys (the `sigserve`
+/// circuit and program caches) without concatenating the key material
+/// into one buffer first. Feeding the same bytes in any chunking yields
+/// the same hash; [`ContentHasher::written`] reports the total byte
+/// count so key consumers can pair hash and length.
+///
+/// # Example
+///
+/// ```
+/// use sigcircuit::{content_hash, ContentHasher};
+/// let mut h = ContentHasher::new();
+/// h.update(b"nor-only;");
+/// h.update(b"name:c17");
+/// assert_eq!(h.written(), 17);
+/// assert_eq!(h.finish(), content_hash(b"nor-only;name:c17"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    hash: u64,
+    written: usize,
+}
+
+impl ContentHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            hash: Self::OFFSET,
+            written: 0,
+        }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(Self::PRIME);
+        }
+        self.written += bytes.len();
+    }
+
+    /// Total bytes fed so far.
+    #[must_use]
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The hash of everything fed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// FNV-1a 64-bit hash of arbitrary bytes — the stable, dependency-free
 /// content hash the `sigserve` circuit cache keys on. Not cryptographic;
 /// cache consumers pair it with the input length to make accidental
 /// collisions implausible.
 #[must_use]
 pub fn content_hash(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+    let mut h = ContentHasher::new();
+    h.update(bytes);
+    h.finish()
 }
 
 impl Circuit {

@@ -414,6 +414,139 @@ pub fn plan_nor<'a>(inputs: &[&'a SigmoidTrace], options: TomOptions) -> GatePla
     plan_cell(CellFunction::Nor, inputs, options)
 }
 
+/// The circuit-dependent half of planning one cell: everything
+/// [`plan_cell`] resolves that does **not** depend on the stimulus — the
+/// cell function (driving the boolean initial-output evaluation), its
+/// arity, and the precomputed masking/pass level the Sec. III relevance
+/// decision compares against. A compile-once simulator builds one
+/// template per gate when the circuit is compiled and then calls
+/// [`PlanTemplate::bind`] per run, so the per-stimulus work is only the
+/// transition merge itself — the masks and function checks are never
+/// recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanTemplate {
+    function: CellFunction,
+    arity: usize,
+    /// `function.pass_level().is_high()`, resolved once at template
+    /// construction.
+    pass_high: bool,
+}
+
+impl PlanTemplate {
+    /// Builds the template of a cell with the given function and arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero, or if a single-input function (INV/BUF)
+    /// is given more than one input — the same contract [`plan_cell`]
+    /// enforces per call.
+    #[must_use]
+    pub fn new(function: CellFunction, arity: usize) -> Self {
+        assert!(arity > 0, "cell needs at least one input");
+        if matches!(function, CellFunction::Inv | CellFunction::Buf) {
+            assert_eq!(arity, 1, "{function:?} takes exactly one input");
+        }
+        Self {
+            function,
+            arity,
+            pass_high: function.pass_level().is_high(),
+        }
+    }
+
+    /// The cell function this template plans.
+    #[must_use]
+    pub fn function(&self) -> CellFunction {
+        self.function
+    }
+
+    /// The input count the template was compiled for.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The stimulus-binding step: instantiates the per-run plan from this
+    /// template. Bit-identical to [`plan_cell`] with the same function
+    /// and inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the template's arity.
+    #[must_use]
+    pub fn bind<'a>(&self, inputs: &[&'a SigmoidTrace], options: TomOptions) -> GatePlan<'a> {
+        self.bind_with(inputs, options, &mut PlanScratch::default())
+    }
+
+    /// Like [`PlanTemplate::bind`], reusing the caller's merge buffers so
+    /// a hot loop binding many gates allocates nothing for the event
+    /// merge (the relevant-transition list of a multi-input plan is still
+    /// owned by the returned plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the template's arity.
+    #[must_use]
+    pub fn bind_with<'a>(
+        &self,
+        inputs: &[&'a SigmoidTrace],
+        options: TomOptions,
+        scratch: &mut PlanScratch,
+    ) -> GatePlan<'a> {
+        assert_eq!(
+            inputs.len(),
+            self.arity,
+            "template compiled for arity {}, bound with {} inputs",
+            self.arity,
+            inputs.len()
+        );
+        if inputs.len() == 1 {
+            let initial = Level::from_bool(self.function.eval(&[inputs[0].initial().is_high()]));
+            return plan_single_input(inputs[0], initial, options);
+        }
+        // Merge transitions from all inputs, tagged with their source.
+        let events = &mut scratch.events;
+        events.clear();
+        for (i, tr) in inputs.iter().enumerate() {
+            for s in tr.transitions() {
+                events.push((i, *s));
+            }
+        }
+        events.sort_by(|a, b| a.1.b.total_cmp(&b.1.b));
+
+        // Track digital levels of all inputs (by crossing time); relevance
+        // depends only on the input traces, never on predictions.
+        let levels = &mut scratch.levels;
+        levels.clear();
+        levels.extend(inputs.iter().map(|t| t.initial().is_high()));
+        let initial_out = Level::from_bool(self.function.eval(levels));
+        let mut relevant = Vec::new();
+        for &(src, sin) in events.iter() {
+            let others_pass = levels
+                .iter()
+                .enumerate()
+                .all(|(i, &l)| i == src || l == self.pass_high);
+            if others_pass {
+                relevant.push(sin);
+            }
+            levels[src] = sin.is_rising();
+        }
+        GatePlan {
+            relevant: Cow::Owned(relevant),
+            cursor: 0,
+            state: OutputState::new(initial_out, options),
+        }
+    }
+}
+
+/// Reusable buffers for [`PlanTemplate::bind_with`]'s multi-input event
+/// merge. One instance serves any number of sequential binds; the buffers
+/// grow to the largest merge seen and stay allocated.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    events: Vec<(usize, Sigmoid)>,
+    levels: Vec<bool>,
+}
+
 /// Plans any library cell: merges the input transitions in time order and
 /// keeps those arriving while every *other* input holds the cell's
 /// non-controlling ("pass") level — low for NOR/OR, high for NAND/AND.
@@ -422,6 +555,10 @@ pub fn plan_nor<'a>(inputs: &[&'a SigmoidTrace], options: TomOptions) -> GatePla
 /// function of the inputs' initial levels; output transition polarity is
 /// left to the transfer model plus the plan's alternation repair, which
 /// is what lets buffering cells share the machinery.
+///
+/// This is the fused form of [`PlanTemplate::new`] + [`PlanTemplate::bind`]
+/// — per-call template construction for call sites that plan a gate once.
+/// Compile-once simulators keep the template instead.
 ///
 /// # Panics
 ///
@@ -434,43 +571,7 @@ pub fn plan_cell<'a>(
     options: TomOptions,
 ) -> GatePlan<'a> {
     assert!(!inputs.is_empty(), "cell needs at least one input");
-    if matches!(function, CellFunction::Inv | CellFunction::Buf) {
-        assert_eq!(inputs.len(), 1, "{function:?} takes exactly one input");
-    }
-    if inputs.len() == 1 {
-        let initial = Level::from_bool(function.eval(&[inputs[0].initial().is_high()]));
-        return plan_single_input(inputs[0], initial, options);
-    }
-    // Merge transitions from all inputs, tagged with their source.
-    let mut events: Vec<(usize, Sigmoid)> = Vec::new();
-    for (i, tr) in inputs.iter().enumerate() {
-        for s in tr.transitions() {
-            events.push((i, *s));
-        }
-    }
-    events.sort_by(|a, b| a.1.b.total_cmp(&b.1.b));
-
-    // Track digital levels of all inputs (by crossing time); relevance
-    // depends only on the input traces, never on predictions.
-    let pass_high = function.pass_level().is_high();
-    let mut levels: Vec<bool> = inputs.iter().map(|t| t.initial().is_high()).collect();
-    let initial_out = Level::from_bool(function.eval(&levels));
-    let mut relevant = Vec::new();
-    for (src, sin) in events {
-        let others_pass = levels
-            .iter()
-            .enumerate()
-            .all(|(i, &l)| i == src || l == pass_high);
-        if others_pass {
-            relevant.push(sin);
-        }
-        levels[src] = sin.is_rising();
-    }
-    GatePlan {
-        relevant: Cow::Owned(relevant),
-        cursor: 0,
-        state: OutputState::new(initial_out, options),
-    }
+    PlanTemplate::new(function, inputs.len()).bind(inputs, options)
 }
 
 /// Drives a plan to completion against one model: the scalar
@@ -976,6 +1077,62 @@ mod tests {
         for (q, p) in queries.iter().zip(&out) {
             assert_eq!(*p, m.predict(*q));
         }
+    }
+
+    #[test]
+    fn template_bind_matches_plan_cell() {
+        // The compile/execute split of planning must be bit-identical to
+        // the fused form for every cell function, including reused-scratch
+        // binds across gates of different shapes.
+        let i1 = trace(
+            vec![
+                Sigmoid::rising(15.0, 1.0),
+                Sigmoid::falling(15.0, 1.04),
+                Sigmoid::rising(15.0, 3.0),
+            ],
+            Level::Low,
+        );
+        let i2 = trace(
+            vec![Sigmoid::rising(15.0, 2.0), Sigmoid::falling(15.0, 4.0)],
+            Level::Low,
+        );
+        let hi = SigmoidTrace::constant(Level::High, VDD_DEFAULT);
+        let opts = TomOptions::default();
+        let m = model(0.06);
+        let buf = GateModel::new(Arc::new(BufferMock { delay: 0.06 }));
+        let mut scratch = PlanScratch::default();
+        let cases: Vec<(CellFunction, Vec<&SigmoidTrace>)> = vec![
+            (CellFunction::Inv, vec![&i1]),
+            (CellFunction::Buf, vec![&i1]),
+            (CellFunction::Nor, vec![&i1, &i2]),
+            (CellFunction::Nand, vec![&i1, &hi]),
+            (CellFunction::And, vec![&i1, &hi]),
+            (CellFunction::Or, vec![&i1, &i2]),
+            (CellFunction::Nor, vec![&i1, &i2, &hi]),
+        ];
+        for (function, inputs) in cases {
+            let template = PlanTemplate::new(function, inputs.len());
+            assert_eq!(template.function(), function);
+            assert_eq!(template.arity(), inputs.len());
+            let use_buffer = matches!(
+                function,
+                CellFunction::Buf | CellFunction::And | CellFunction::Or
+            );
+            let chosen = if use_buffer { &buf } else { &m };
+            let fused = apply_plan(plan_cell(function, &inputs, opts), chosen);
+            let bound = apply_plan(template.bind(&inputs, opts), chosen);
+            let reused = apply_plan(template.bind_with(&inputs, opts, &mut scratch), chosen);
+            assert_eq!(fused, bound, "{function:?}: bind differs from plan_cell");
+            assert_eq!(fused, reused, "{function:?}: bind_with differs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn template_rejects_arity_mismatch() {
+        let input = trace(vec![Sigmoid::rising(15.0, 1.0)], Level::Low);
+        let template = PlanTemplate::new(CellFunction::Nor, 2);
+        let _ = template.bind(&[&input], TomOptions::default());
     }
 
     #[test]

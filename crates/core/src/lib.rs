@@ -31,6 +31,11 @@
 //!   (bit-identical to the scalar loop; see `docs/architecture.md`).
 //!   [`plan_nor`]/[`NorPlan`]/[`apply_nor`] remain as the NOR-only
 //!   vocabulary of the original prototype.
+//! * [`PlanTemplate`] — the compile/execute split of planning: the
+//!   circuit-only half (cell function, arity, masking/pass level) is
+//!   resolved once per gate, and [`PlanTemplate::bind`] instantiates the
+//!   per-run plan from the stimulus without recomputing masks —
+//!   bit-identical to [`plan_cell`].
 //!
 //! # Example
 //!
@@ -71,7 +76,8 @@ mod transfer;
 
 pub use algorithm::{
     apply_nor, apply_plan, plan_cell, plan_nor, plan_single_input, predict_nor,
-    predict_single_input, CellFunction, GateModel, GatePlan, NorPlan, TomOptions,
+    predict_single_input, CellFunction, GateModel, GatePlan, NorPlan, PlanScratch, PlanTemplate,
+    TomOptions,
 };
 pub use ann::{AnnTrainConfig, AnnTransfer, TrainTransferError};
 pub use baselines::{LutTransfer, PolyTransfer};

@@ -242,8 +242,8 @@ fn golden(o: &Options) {
         trained,
         cells,
         // Lazy like the daemon's registry sets: measured only when the
-        // request actually compares.
-        delays: sigserve::registry::DelaySource::on_demand(),
+        // request actually compares, with the policy's cell classes.
+        delays: sigserve::registry::DelaySource::for_policy(policy),
         options: sigtom::TomOptions::default(),
     };
     // A fresh daemon's first request is always a cache miss; golden

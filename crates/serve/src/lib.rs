@@ -38,7 +38,7 @@ pub mod registry;
 pub mod server;
 pub mod service;
 
-pub use cache::{CacheKey, CircuitCache};
+pub use cache::{CacheKey, CircuitCache, ProgramCache};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, CacheOutcome, CircuitSource,
     ErrorKind, FrameReader, ProtocolError, Request, Response, SimRequest, SimResult, StatsReply,
@@ -275,6 +275,124 @@ mod service_tests {
             stats.model_sets,
             vec!["synth/native".to_string(), "synth/nor-only".to_string()]
         );
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_program_cache_with_identical_results() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let sim = SimRequest {
+            circuit: CircuitSource::Name("c17".into()),
+            models: "synth".into(),
+            seed: 9,
+            timing: false,
+            ..SimRequest::default()
+        };
+        let first = service.execute_sim(&sim).unwrap();
+        assert_eq!(
+            (service.programs().misses(), service.programs().hits()),
+            (1, 0),
+            "first request compiles the program"
+        );
+        let second = service.execute_sim(&sim).unwrap();
+        assert_eq!(
+            (service.programs().misses(), service.programs().hits()),
+            (1, 1),
+            "warm request reuses the compiled program"
+        );
+        assert_eq!(service.programs().entries(), 1);
+        // Identical payloads modulo the circuit-cache field.
+        assert_eq!(first.outputs, second.outputs);
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(first.cache, CacheOutcome::Miss);
+        assert_eq!(second.cache, CacheOutcome::Hit);
+        // And identical to the fused no-program reference path (what
+        // `sigctl golden` runs): the program is a pure accelerator.
+        let set = service.registry().get_or_load("synth", "nor-only").unwrap();
+        let circuit = sigcircuit::Benchmark::by_name("c17")
+            .unwrap()
+            .nor_mapped
+            .clone();
+        let golden = run_sim(&circuit, &set, &sim, CacheOutcome::Miss).unwrap();
+        assert_eq!(golden, first, "program path must match the fused path");
+        // A different seed reuses the program (stimulus is bind-time
+        // input, not part of the key) but changes the outputs.
+        let reseeded = service
+            .execute_sim(&SimRequest { seed: 10, ..sim })
+            .unwrap();
+        assert_eq!(
+            (service.programs().misses(), service.programs().hits()),
+            (1, 2)
+        );
+        assert_ne!(reseeded.outputs, first.outputs, "seed must matter");
+    }
+
+    #[test]
+    fn reinserted_model_set_never_serves_a_stale_program() {
+        use sigtom::{GateModel, TransferFunction, TransferPrediction, TransferQuery};
+        struct Slow;
+        impl TransferFunction for Slow {
+            fn predict(&self, q: TransferQuery) -> TransferPrediction {
+                TransferPrediction {
+                    a_out: -q.a_in.signum() * 14.0,
+                    delay: 0.45,
+                }
+            }
+            fn backend_name(&self) -> &'static str {
+                "slow"
+            }
+        }
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let sim = SimRequest {
+            circuit: CircuitSource::Name("c17".into()),
+            models: "synth".into(),
+            seed: 4,
+            timing: false,
+            ..SimRequest::default()
+        };
+        let first = service.execute_sim(&sim).unwrap();
+        // An embedder swaps the set under the same (name, library) key
+        // with different models: the cached program compiled against the
+        // old cells must not answer for the new set.
+        let mut swapped = synthetic_set("synth");
+        swapped.cells = Arc::new(sigsim::CellModels::nor_only(&sigsim::GateModels::uniform(
+            GateModel::new(Arc::new(Slow)),
+        )));
+        service.registry().insert(swapped);
+        let second = service.execute_sim(&sim).unwrap();
+        assert_eq!(
+            service.programs().misses(),
+            2,
+            "new cells allocation must compile a new program"
+        );
+        assert_ne!(
+            first.outputs, second.outputs,
+            "responses must reflect the re-registered models"
+        );
+    }
+
+    #[test]
+    fn compare_requests_do_not_touch_the_program_cache() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        // The synthetic set has no delay table, so compare errors — but
+        // the point here is the program-cache counters stay untouched
+        // either way (compare mode keeps the fused harness path).
+        let err = service
+            .execute_sim(&SimRequest {
+                circuit: CircuitSource::Name("c17".into()),
+                models: "synth".into(),
+                compare: true,
+                ..SimRequest::default()
+            })
+            .unwrap_err();
+        assert_eq!(err.0, ErrorKind::Simulation);
+        assert_eq!(service.programs().misses(), 0);
+        assert_eq!(service.programs().hits(), 0);
+        let stats = service.stats();
+        assert_eq!(stats.program_entries, 0);
+        assert_eq!(stats.cache_misses, 1, "the circuit itself was cached");
     }
 
     #[test]

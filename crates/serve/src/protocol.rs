@@ -57,39 +57,6 @@ pub enum CircuitSource {
     Inline(String),
 }
 
-impl CircuitSource {
-    /// The cache key material: a tag plus the source text, hashed —
-    /// together with the mapping policy — by the circuit cache
-    /// ([`crate::cache::CircuitCache`]).
-    ///
-    /// Invariant: a name and an inline body spelling the same bytes
-    /// never collide (the tag prefix differs).
-    #[must_use]
-    pub fn key_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.write_key_bytes(&mut out);
-        out
-    }
-
-    /// Appends the key material to an existing buffer — the allocation-
-    /// free form the cache's hot per-request path uses (one buffer holds
-    /// policy prefix plus source; inline netlists can be megabytes).
-    pub fn write_key_bytes(&self, out: &mut Vec<u8>) {
-        match self {
-            Self::Name(n) => {
-                out.reserve(5 + n.len());
-                out.extend_from_slice(b"name:");
-                out.extend_from_slice(n.as_bytes());
-            }
-            Self::Inline(t) => {
-                out.reserve(7 + t.len());
-                out.extend_from_slice(b"inline:");
-                out.extend_from_slice(t.as_bytes());
-            }
-        }
-    }
-}
-
 /// One simulation request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimRequest {
@@ -332,6 +299,12 @@ pub struct StatsReply {
     pub cache_misses: u64,
     /// Circuits currently resident in the cache.
     pub cache_entries: u64,
+    /// Program-cache hits (requests that skipped validation + planning).
+    pub program_hits: u64,
+    /// Program-cache misses (compiles).
+    pub program_misses: u64,
+    /// Compiled programs currently resident.
+    pub program_entries: u64,
     /// Worker threads in the scheduler pool.
     pub workers: u64,
     /// Scheduler queue capacity (requests beyond this are rejected).
@@ -490,6 +463,13 @@ fn get_str(v: &Value, field: &str) -> Result<String, serde::Error> {
 fn get_bool_or(v: &Value, field: &str, default: bool) -> Result<bool, serde::Error> {
     match v.get_field(field) {
         Ok(f) => bool::from_value(f),
+        Err(_) => Ok(default),
+    }
+}
+
+fn get_u64_or(v: &Value, field: &str, default: u64) -> Result<u64, serde::Error> {
+    match v.get_field(field) {
+        Ok(f) => u64_from(f, &format!("field `{field}`")),
         Err(_) => Ok(default),
     }
 }
@@ -728,6 +708,9 @@ impl Serialize for StatsReply {
             ("cache_hits", self.cache_hits.to_value()),
             ("cache_misses", self.cache_misses.to_value()),
             ("cache_entries", self.cache_entries.to_value()),
+            ("program_hits", self.program_hits.to_value()),
+            ("program_misses", self.program_misses.to_value()),
+            ("program_entries", self.program_entries.to_value()),
             ("workers", self.workers.to_value()),
             ("queue_capacity", self.queue_capacity.to_value()),
             ("completed", self.completed.to_value()),
@@ -748,6 +731,11 @@ impl Deserialize for StatsReply {
             cache_hits: get_u64(v, "cache_hits")?,
             cache_misses: get_u64(v, "cache_misses")?,
             cache_entries: get_u64(v, "cache_entries")?,
+            // Absent in pre-program-cache daemons: default to zero so a
+            // newer `sigctl` can still read an older daemon's stats.
+            program_hits: get_u64_or(v, "program_hits", 0)?,
+            program_misses: get_u64_or(v, "program_misses", 0)?,
+            program_entries: get_u64_or(v, "program_entries", 0)?,
             workers: get_u64(v, "workers")?,
             queue_capacity: get_u64(v, "queue_capacity")?,
             completed: get_u64(v, "completed")?,
@@ -1090,6 +1078,9 @@ mod tests {
                     cache_hits: 90,
                     cache_misses: 3,
                     cache_entries: 3,
+                    program_hits: 88,
+                    program_misses: 5,
+                    program_entries: 5,
                     workers: 4,
                     queue_capacity: 64,
                     completed: 93,
@@ -1175,6 +1166,28 @@ mod tests {
         assert!(!sim.compare, "compare defaults off");
         assert!(sim.timing, "timing defaults on");
         assert_eq!(sim.library, "nor-only", "library defaults to the prototype");
+    }
+
+    #[test]
+    fn stats_without_program_fields_decodes_with_zeros() {
+        // Pre-program-cache daemons never send the program_* counters; a
+        // newer client must read their stats as zeros, not error.
+        let line = "{\"id\":1,\"ok\":true,\"reply\":\"stats\",\"stats\":{\
+                    \"model_loads\":1,\"model_requests\":2,\"cache_hits\":3,\
+                    \"cache_misses\":4,\"cache_entries\":1,\"workers\":2,\
+                    \"queue_capacity\":64,\"completed\":5,\"rejected\":0}}";
+        let Response::Stats { stats, .. } = decode_response(line).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(
+            (
+                stats.program_hits,
+                stats.program_misses,
+                stats.program_entries
+            ),
+            (0, 0, 0)
+        );
+        assert_eq!(stats.cache_hits, 3);
     }
 
     #[test]

@@ -63,14 +63,18 @@ fn registry_key(name: &str, library: &str) -> String {
 }
 
 /// Where a model set's [`DelayTable`] comes from. Extraction runs the
-/// analog chain characterization (tens of milliseconds), which only
-/// compare-mode requests need — so registry loads declare it
-/// [`DelaySource::on_demand`] and sigmoid-only traffic never pays for
-/// it; the first compare-mode request measures once and the result is
-/// shared from then on.
+/// analog chain characterization (tens of milliseconds per cell class),
+/// which only compare-mode requests need — so registry loads declare it
+/// on-demand ([`DelaySource::for_policy`]) and sigmoid-only traffic
+/// never pays for it; the first compare-mode request measures once and
+/// the result is shared from then on. Native-library sets measure every
+/// native cell class, so compare-mode NAND2/AND2/OR2 instances use their
+/// own chain delays instead of the historical NOR approximation.
 #[derive(Debug, Default)]
 pub struct DelaySource {
-    measure_on_demand: bool,
+    /// The cell classes an on-demand measurement covers; empty means the
+    /// set cannot measure (compare mode unavailable unless fixed).
+    classes: Vec<sigchar::ChainGate>,
     cell: Mutex<Option<Arc<DelayTable>>>,
 }
 
@@ -82,12 +86,34 @@ impl DelaySource {
         Self::default()
     }
 
-    /// Measure lazily on first use, then stay resident.
+    /// Measure the legacy NOR/inverter classes lazily on first use, then
+    /// stay resident — the `nor-only` library's source.
     #[must_use]
     pub fn on_demand() -> Self {
         Self {
-            measure_on_demand: true,
+            classes: sigchar::LEGACY_DELAY_CELLS.to_vec(),
             cell: Mutex::new(None),
+        }
+    }
+
+    /// Measure every native cell class lazily on first use — the
+    /// `native` library's source.
+    #[must_use]
+    pub fn on_demand_native() -> Self {
+        Self {
+            classes: sigchar::NATIVE_DELAY_CELLS.to_vec(),
+            cell: Mutex::new(None),
+        }
+    }
+
+    /// The on-demand source matching a mapping policy — shared by the
+    /// daemon's registry and `sigctl golden`, so both measure identical
+    /// tables and the CI byte-parity smoke keeps holding.
+    #[must_use]
+    pub fn for_policy(policy: MappingPolicy) -> Self {
+        match policy {
+            MappingPolicy::NorOnly => Self::on_demand(),
+            MappingPolicy::Native => Self::on_demand_native(),
         }
     }
 
@@ -95,7 +121,7 @@ impl DelaySource {
     #[must_use]
     pub fn fixed(table: Arc<DelayTable>) -> Self {
         Self {
-            measure_on_demand: false,
+            classes: Vec::new(),
             cell: Mutex::new(Some(table)),
         }
     }
@@ -113,11 +139,13 @@ impl DelaySource {
         if let Some(table) = &*cell {
             return Ok(Some(Arc::clone(table)));
         }
-        if !self.measure_on_demand {
+        if self.classes.is_empty() {
             return Ok(None);
         }
-        let table = Arc::new(DelayTable::measure(
+        let table = Arc::new(DelayTable::measure_cells(
+            &self.classes,
             1..=6,
+            &[1.0],
             &AnalogOptions::default(),
             &EngineConfig::default(),
         )?);
@@ -273,7 +301,7 @@ impl ModelRegistry {
                     policy: MappingPolicy::Native,
                     trained: None,
                     cells: Arc::new(lib.cell_models()),
-                    delays: DelaySource::on_demand(),
+                    delays: DelaySource::on_demand_native(),
                     options: TomOptions::default(),
                 }
             }
@@ -426,6 +454,16 @@ mod tests {
         use sigcircuit::GateKind;
         assert!(native.cells.slot_for(GateKind::Nand, 2, 1).is_some());
         assert!(nor.cells.slot_for(GateKind::Nand, 2, 1).is_none());
+        // Native delay tables measure every native cell class, so
+        // compare-mode NAND2/AND2/OR2 stop borrowing NOR-class delays.
+        let table = native
+            .delays
+            .get()
+            .expect("measurement succeeds")
+            .expect("native sets serve compare mode");
+        for class in sigchar::NATIVE_DELAY_CELLS {
+            assert!(table.has_cell(class, 1), "missing class {class:?}");
+        }
         assert_eq!(
             r.resident_keys(),
             vec!["ci/native".to_string(), "ci/nor-only".to_string()]

@@ -10,20 +10,20 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sigcircuit::{Benchmark, Circuit, MappingPolicy, NetId};
 use sigsim::{
-    compare_circuit_cells, digital_to_sigmoid, random_stimuli, simulate_cells_with, HarnessConfig,
-    SigmoidSimConfig, StimulusSpec,
+    compare_circuit_cells, digital_to_sigmoid, random_stimuli, simulate_cells_with, CircuitProgram,
+    HarnessConfig, SigmoidSimConfig, SigmoidSimResult, SimScratch, StimulusSpec,
 };
 use sigwave::parallel::WorkerPool;
 use sigwave::{DigitalTrace, SigmoidTrace};
 
-use crate::cache::CircuitCache;
+use crate::cache::{CacheKey, CircuitCache, ProgramCache};
 use crate::protocol::{
     CacheOutcome, CompareStats, ErrorKind, OutputTrace, Request, Response, SimRequest, SimResult,
     StatsReply, TimingStats,
@@ -67,11 +67,55 @@ pub enum Handled {
     Shutdown,
 }
 
-/// The resident service: registry + cache + bounded scheduler.
+/// A bounded free-list of [`SimScratch`] arenas shared by the resident
+/// workers: each executing request pops one (or starts fresh), runs, and
+/// returns it, so steady-state traffic reuses grown buffers instead of
+/// re-allocating per request. Bounded so a one-off burst cannot pin
+/// memory forever.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    pool: Mutex<Vec<SimScratch>>,
+}
+
+/// Upper bound on pooled arenas (comfortably above any sane worker
+/// count; beyond it, returned scratch is simply dropped).
+const MAX_POOLED_SCRATCH: usize = 32;
+
+/// Largest per-net slot capacity a returned arena may retain. An arena
+/// grown by a one-off huge inline netlist is dropped instead of pooled,
+/// so resident memory is bounded by count × this cap — not by the
+/// largest circuit the daemon ever saw. 2^18 slots comfortably covers
+/// every built-in benchmark (c1355 ≈ 2.6 k nets) while capping a pooled
+/// arena's dominant allocation at a few megabytes.
+const MAX_POOLED_NET_SLOTS: usize = 1 << 18;
+
+impl ScratchPool {
+    fn acquire(&self) -> SimScratch {
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release(&self, scratch: SimScratch) {
+        if scratch.net_capacity() > MAX_POOLED_NET_SLOTS {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("scratch pool poisoned");
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(scratch);
+        }
+    }
+}
+
+/// The resident service: registry + caches + bounded scheduler.
 pub struct Service {
     config: ServiceConfig,
     registry: ModelRegistry,
     cache: CircuitCache,
+    programs: ProgramCache,
+    scratch: ScratchPool,
     pool: WorkerPool,
     completed: AtomicU64,
     rejected: AtomicU64,
@@ -95,6 +139,8 @@ impl Service {
         Arc::new(Self {
             registry: ModelRegistry::new(config.models_dir.clone()),
             cache: CircuitCache::new(config.cache_capacity),
+            programs: ProgramCache::new(config.cache_capacity),
+            scratch: ScratchPool::default(),
             pool,
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -116,6 +162,12 @@ impl Service {
         &self.cache
     }
 
+    /// The compiled-program cache (counters feed stats and tests).
+    #[must_use]
+    pub fn programs(&self) -> &ProgramCache {
+        &self.programs
+    }
+
     /// The service configuration.
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
@@ -132,6 +184,9 @@ impl Service {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.entries() as u64,
+            program_hits: self.programs.hits(),
+            program_misses: self.programs.misses(),
+            program_entries: self.programs.entries() as u64,
             workers: self.pool.worker_count() as u64,
             queue_capacity: self.config.queue_capacity as u64,
             completed: self.completed.load(Ordering::Relaxed),
@@ -220,20 +275,56 @@ impl Service {
         }
     }
 
-    /// Resolves a sim request's circuit through the cache (keys include
-    /// the set's mapping policy: the NOR-only and native forms of one
-    /// netlist are distinct cached circuits).
+    /// Resolves a sim request's circuit through the cache under an
+    /// already-computed key (keys include the set's mapping policy: the
+    /// NOR-only and native forms of one netlist are distinct cached
+    /// circuits).
     fn resolve_circuit(
         &self,
+        key: CacheKey,
         sim: &SimRequest,
         policy: MappingPolicy,
     ) -> Result<(Arc<Circuit>, bool), (ErrorKind, String)> {
         self.cache
-            .get_or_insert(&sim.circuit, policy, || build_circuit(&sim.circuit, policy))
+            .get_or_insert_keyed(key, || build_circuit(&sim.circuit, policy))
             .map_err(|message| (ErrorKind::Circuit, message))
     }
 
+    /// Resolves the compiled program of a sim request: a warm key skips
+    /// validation, slot resolution and planning entirely; a miss compiles
+    /// once under the key's build lock (the circuit and cells are already
+    /// resolved `Arc`s — compilation shares them, it never re-parses).
+    /// The program key derives from the circuit key, so the request's
+    /// source text is hashed exactly once regardless of path.
+    fn resolve_program(
+        &self,
+        circuit_key: CacheKey,
+        set: &ModelSet,
+        circuit: &Arc<Circuit>,
+    ) -> Result<Arc<CircuitProgram>, (ErrorKind, String)> {
+        let key = CacheKey::for_program(
+            circuit_key,
+            &set.cells,
+            &set.name,
+            &set.library,
+            set.options,
+        );
+        self.programs
+            .get_or_insert(key, || {
+                CircuitProgram::compile(Arc::clone(circuit), Arc::clone(&set.cells), set.options)
+            })
+            .map(|(program, _)| program)
+            .map_err(|e| (ErrorKind::Simulation, e.to_string()))
+    }
+
     /// Executes one simulation synchronously (the worker-thread body).
+    ///
+    /// Sigmoid-only requests run through the compiled-program path: warm
+    /// traffic binds stimuli to a cached [`CircuitProgram`] with a pooled
+    /// [`SimScratch`] — no parsing, mapping, validation, planning or
+    /// buffer allocation. Compare-mode requests keep the fused harness
+    /// path (they are analog-dominated); both paths are bit-identical to
+    /// the direct library calls.
     ///
     /// # Errors
     ///
@@ -249,13 +340,22 @@ impl Service {
                 };
                 (kind, e.to_string())
             })?;
-        let (circuit, hit) = self.resolve_circuit(sim, set.policy)?;
+        // One full-source hash per request, shared by both caches.
+        let circuit_key = CacheKey::of(&sim.circuit, set.policy);
+        let (circuit, hit) = self.resolve_circuit(circuit_key, sim, set.policy)?;
         let cache = if hit {
             CacheOutcome::Hit
         } else {
             CacheOutcome::Miss
         };
-        run_sim(&circuit, &set, sim, cache)
+        if sim.compare {
+            return run_sim(&circuit, &set, sim, cache);
+        }
+        let program = self.resolve_program(circuit_key, &set, &circuit)?;
+        let mut scratch = self.scratch.acquire();
+        let result = run_program(&program, &set, sim, cache, &mut scratch);
+        self.scratch.release(scratch);
+        result
     }
 }
 
@@ -378,10 +478,7 @@ pub fn run_sim(
         // Sigmoid-only: inputs are the digital stimuli converted at the
         // fixed same-stimulus slope (no analog run involved) — the
         // deterministic cheap path for throughput workloads.
-        let sigmoid_stimuli: HashMap<NetId, Arc<SigmoidTrace>> = stimuli
-            .iter()
-            .map(|(&net, trace)| (net, Arc::new(digital_to_sigmoid(trace, set.options.vdd))))
-            .collect();
+        let sigmoid_stimuli = sigmoid_stimuli_from(&stimuli, set.options.vdd);
         let start = Instant::now();
         let result = simulate_cells_with(
             circuit,
@@ -392,23 +489,11 @@ pub fn run_sim(
         )
         .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
         let wall_sigmoid = start.elapsed();
-        let outputs = circuit
-            .outputs()
-            .iter()
-            .map(|&o| {
-                let d = result.trace(o).digitize(threshold);
-                OutputTrace {
-                    net: circuit.net_name(o).to_string(),
-                    initial_high: d.initial().is_high(),
-                    toggles: d.toggles().to_vec(),
-                }
-            })
-            .collect();
         Ok(SimResult {
             fingerprint,
             library,
             cache,
-            outputs,
+            outputs: sigmoid_outputs(circuit, &result, threshold),
             compare: None,
             timing: sim.timing.then_some(TimingStats {
                 wall_analog_s: 0.0,
@@ -417,4 +502,73 @@ pub fn run_sim(
             }),
         })
     }
+}
+
+/// The compiled-program twin of [`run_sim`]'s sigmoid-only branch: binds
+/// the request's stimuli to a resident program with a reusable scratch
+/// arena. Response fields are constructed identically, so a program-path
+/// response is byte-for-byte the response the fused path would produce —
+/// the CI smoke job diffs a daemon (program path) against `sigctl golden`
+/// (fused path) to enforce exactly that.
+fn run_program(
+    program: &CircuitProgram,
+    set: &ModelSet,
+    sim: &SimRequest,
+    cache: CacheOutcome,
+    scratch: &mut SimScratch,
+) -> Result<SimResult, (ErrorKind, String)> {
+    let circuit = program.circuit();
+    let stimuli = stimuli_for(circuit, sim);
+    let sigmoid_stimuli = sigmoid_stimuli_from(&stimuli, set.options.vdd);
+    let start = Instant::now();
+    let result = program
+        .execute(&sigmoid_stimuli, scratch)
+        .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+    let wall_sigmoid = start.elapsed();
+    Ok(SimResult {
+        fingerprint: crate::protocol::hex64(circuit.fingerprint()),
+        library: set.library.clone(),
+        cache,
+        outputs: sigmoid_outputs(circuit, &result, set.options.vdd / 2.0),
+        compare: None,
+        timing: sim.timing.then_some(TimingStats {
+            wall_analog_s: 0.0,
+            wall_digital_s: 0.0,
+            wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
+        }),
+    })
+}
+
+/// Converts per-request digital stimuli to sigmoid inputs at the fixed
+/// same-stimulus slope (shared by the fused and program paths — one
+/// definition, so the two can never drift).
+fn sigmoid_stimuli_from(
+    stimuli: &HashMap<NetId, DigitalTrace>,
+    vdd: f64,
+) -> HashMap<NetId, Arc<SigmoidTrace>> {
+    stimuli
+        .iter()
+        .map(|(&net, trace)| (net, Arc::new(digital_to_sigmoid(trace, vdd))))
+        .collect()
+}
+
+/// Digitizes a sigmoid simulation's primary outputs into wire traces
+/// (shared by the fused and program paths).
+fn sigmoid_outputs(
+    circuit: &Circuit,
+    result: &SigmoidSimResult,
+    threshold: f64,
+) -> Vec<OutputTrace> {
+    circuit
+        .outputs()
+        .iter()
+        .map(|&o| {
+            let d = result.trace(o).digitize(threshold);
+            OutputTrace {
+                net: circuit.net_name(o).to_string(),
+                initial_high: d.initial().is_high(),
+                toggles: d.toggles().to_vec(),
+            }
+        })
+        .collect()
 }

@@ -204,6 +204,9 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
                 cache_hits: rng.gen_range(0..MAX_WIRE_INT),
                 cache_misses: rng.gen_range(0..MAX_WIRE_INT),
                 cache_entries: rng.gen_range(0..MAX_WIRE_INT),
+                program_hits: rng.gen_range(0..MAX_WIRE_INT),
+                program_misses: rng.gen_range(0..MAX_WIRE_INT),
+                program_entries: rng.gen_range(0..MAX_WIRE_INT),
                 workers: rng.gen_range(0..MAX_WIRE_INT),
                 queue_capacity: rng.gen_range(0..MAX_WIRE_INT),
                 completed: rng.gen_range(0..MAX_WIRE_INT),

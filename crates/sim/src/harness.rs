@@ -305,6 +305,10 @@ pub fn compare_circuit_cells(
     // Per-instance delays: the digital baseline knows each gate's actual
     // fan-out *and* interconnect (like ModelSim fed by Genus/Innovus
     // extraction), while the sigmoid prototype only has its FO1/FO2 models.
+    // Lookups are keyed by cell class, so native NAND2/AND2/OR2 instances
+    // use their own measured chain delays when the table carries them
+    // (tables without those classes fall back to the NOR class — the
+    // historical approximation, and still exact for NOR-only circuits).
     let fanouts = circuit.fanout_counts();
     let channels = GateChannels::from_fn(circuit, |gi| {
         let gate = &circuit.gates()[gi];
@@ -314,7 +318,7 @@ pub fn compare_circuit_cells(
         );
         Box::new(
             delays
-                .lookup_gate(gate.inputs.len() == 1, fanouts[gate.output.0], mult)
+                .lookup_cell(delay_class(gate), fanouts[gate.output.0], mult)
                 .to_inertial(),
         )
     });
@@ -451,6 +455,26 @@ pub fn compare_circuit_monte_carlo_cells(
         let stimuli = random_stimuli(circuit, spec, &mut rng);
         compare_circuit_cells(circuit, &stimuli, cells, delays, config)
     })
+}
+
+/// The delay-table cell class of a circuit gate. Single-input gates time
+/// like inverter chains (the historical rule, which keeps NOR-only
+/// circuits bit-identical); multi-input gates resolve to their own class.
+/// Kinds with no characterization chain (XOR/XNOR never reach the
+/// baseline — the sigmoid validation already rejected them; BUF maps to
+/// two inverters in native netlists) use the NOR class like the legacy
+/// keying did.
+fn delay_class(gate: &sigcircuit::Gate) -> sigchar::ChainGate {
+    use sigcircuit::GateKind;
+    if gate.inputs.len() == 1 {
+        return sigchar::ChainGate::Inverter;
+    }
+    match gate.kind {
+        GateKind::Nand => sigchar::ChainGate::Nand,
+        GateKind::And => sigchar::ChainGate::And,
+        GateKind::Or => sigchar::ChainGate::Or,
+        _ => sigchar::ChainGate::Nor,
+    }
 }
 
 /// Sanity check used by tests and examples: all three simulators must agree

@@ -13,6 +13,13 @@
 //!   ([`simulate_sigmoid_with`] + [`SigmoidSimConfig`]; results are
 //!   bit-identical at every setting — see `docs/architecture.md` § Levelized batched
 //!   engine).
+//! * [`CircuitProgram`] — the compile-once / execute-many engine core:
+//!   [`CircuitProgram::compile`] resolves slots, validates gates and
+//!   builds plan templates exactly once per `(circuit, cells, options)`;
+//!   [`CircuitProgram::execute`] binds stimuli against the resident
+//!   tables with a reusable [`SimScratch`] arena. The fused entry points
+//!   above are thin wrappers and stay bit-identical (see
+//!   `docs/architecture.md` § Compile/execute split).
 //! * [`train_models`]/[`train_models_cached`] — the end-to-end pipeline:
 //!   analog characterization sweeps → waveform fitting → four ANNs per
 //!   gate variant → valid regions.
@@ -82,8 +89,8 @@ pub use models::{
     TrainedModels,
 };
 pub use simulator::{
-    simulate_cells_with, simulate_sigmoid, simulate_sigmoid_with, CellModels, GateModels,
-    SigmoidSimConfig, SigmoidSimError, SigmoidSimResult, MODEL_SLOTS,
+    simulate_cells_with, simulate_sigmoid, simulate_sigmoid_with, CellModels, CircuitProgram,
+    GateModels, SigmoidSimConfig, SigmoidSimError, SigmoidSimResult, SimScratch, MODEL_SLOTS,
 };
 pub use stimulus::StimulusSpec;
 
@@ -98,6 +105,8 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<GateModels>();
     assert_send_sync::<CellModels>();
+    assert_send_sync::<CircuitProgram>();
+    assert_send_sync::<SimScratch>();
     assert_send_sync::<CellLibrary>();
     assert_send_sync::<TrainedModels>();
     assert_send_sync::<SigmoidSimResult>();

@@ -15,13 +15,22 @@
 //! [`CellModels`] the native library produces (adds NAND2/AND2/OR2/INV;
 //! see `docs/cell-libraries.md`).
 //!
+//! The engine is split compile/execute: [`CircuitProgram::compile`] does
+//! every circuit-dependent step once (validation, slot resolution, plan
+//! templates) and [`CircuitProgram::execute`] binds stimuli against the
+//! resident tables with a reusable [`SimScratch`]; the fused entry points
+//! below compile-and-execute per call and stay bit-identical.
+//!
 //! [`predict_batch`]: sigtom::GateModel::predict_batch
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use sigcircuit::{Circuit, GateKind, NetId};
-use sigtom::{apply_plan, plan_cell, CellFunction, GateModel, GatePlan, TomOptions, TransferQuery};
+use sigtom::{
+    apply_plan, CellFunction, GateModel, GatePlan, PlanScratch, PlanTemplate, TomOptions,
+    TransferPrediction, TransferQuery,
+};
 use sigwave::{Level, SigmoidTrace};
 
 /// The trained gate models the prototype uses: "all elementary gates of the
@@ -461,14 +470,12 @@ pub fn simulate_sigmoid_with(
 /// Simulates a library-cell circuit: input sigmoid traces propagate level
 /// by level ([`Circuit::levels`]) through the TOM transfer functions.
 ///
-/// Within a level every gate is independent, so the engine plans all of
-/// them ([`sigtom::plan_cell`] with the gate's [`CellFunction`]), then
-/// repeatedly gathers each plan's next pending query, groups the queries
-/// by [`CellModels`] slot, and issues one [`GateModel::predict_batch`]
-/// per (model, round) — with the plan/apply work and large inference
-/// batches fanned over the `sigwave::parallel` pool per `config`. Traces
-/// are bit-identical at every `config` setting, including the sequential
-/// scalar reference ([`SigmoidSimConfig::scalar`]).
+/// This is the **fused** compatibility form of the compile/execute split:
+/// it compiles the circuit's program tables ([`CircuitProgram`] holds the
+/// same tables resident) and executes them once with a fresh
+/// [`SimScratch`]. Traces are bit-identical to driving a compiled
+/// [`CircuitProgram::execute`] — and to every `config` setting, including
+/// the sequential scalar reference ([`SigmoidSimConfig::scalar`]).
 ///
 /// # Errors
 ///
@@ -483,44 +490,269 @@ pub fn simulate_cells_with(
     options: TomOptions,
     config: &SigmoidSimConfig,
 ) -> Result<SigmoidSimResult, SigmoidSimError> {
+    let tables = ProgramTables::compile(circuit, cells)?;
+    let mut scratch = SimScratch::new();
+    execute_program(
+        circuit,
+        cells,
+        &tables,
+        options,
+        stimuli,
+        config,
+        &mut scratch,
+    )
+}
+
+/// The largest input count any [`CellModels`] slot accepts (3-input NOR);
+/// lets the sequential executor gather a gate's input traces on the stack
+/// instead of allocating a `Vec` per gate per run.
+const MAX_CELL_ARITY: usize = 3;
+
+/// The circuit-dependent tables of a compiled program: everything the
+/// executor needs that is derivable from `(circuit, cells)` alone —
+/// resolved model slots and plan templates per gate. Compiling also *is*
+/// the upfront validation pass: a circuit with an unsupported gate never
+/// produces tables.
+#[derive(Debug)]
+struct ProgramTables {
+    /// Per gate index: the [`CellModels`] slot its queries batch into.
+    slots: Vec<usize>,
+    /// Per gate index: the circuit-only plan template
+    /// ([`sigtom::PlanTemplate`]: cell function, arity, masking level).
+    templates: Vec<PlanTemplate>,
+}
+
+impl ProgramTables {
+    fn compile(circuit: &Circuit, cells: &CellModels) -> Result<Self, SigmoidSimError> {
+        let fanouts = circuit.fanout_counts();
+        let unsupported = |gate: &sigcircuit::Gate| SigmoidSimError::UnsupportedGate {
+            kind: gate.kind,
+            arity: gate.inputs.len(),
+        };
+        let mut slots = Vec::with_capacity(circuit.gates().len());
+        let mut templates = Vec::with_capacity(circuit.gates().len());
+        for gate in circuit.gates() {
+            let slot = cells
+                .slot_for(gate.kind, gate.inputs.len(), fanouts[gate.output.0])
+                .ok_or_else(|| unsupported(gate))?;
+            let func = CellModels::cell_function(gate.kind).ok_or_else(|| unsupported(gate))?;
+            slots.push(slot);
+            templates.push(PlanTemplate::new(func, gate.inputs.len()));
+        }
+        Ok(Self { slots, templates })
+    }
+}
+
+/// A reusable execution arena: every scheduling buffer the level loop
+/// needs — the per-net trace slots, the per-slot pending lists, the
+/// query/prediction batch matrices the round loop ping-pongs between, and
+/// the plan-merge scratch. One instance serves any number of sequential
+/// [`CircuitProgram::execute`] calls (of any program); buffers grow to
+/// the largest run seen and stay allocated, so steady-state execution
+/// allocates only the output traces themselves (plus one small per-level
+/// plan list, whose elements borrow the arena and cannot outlive a
+/// level).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Per-net resolved traces (the executor's working set).
+    nets: Vec<Option<Arc<SigmoidTrace>>>,
+    /// Gathered queries of one (slot, round) batch.
+    queries: Vec<TransferQuery>,
+    /// The matching predictions, scattered back to the plans.
+    predictions: Vec<TransferPrediction>,
+    /// Plan indices of the round being applied (swapped with the pending
+    /// list so exhausted plans drop out without reallocation).
+    round: Vec<usize>,
+    /// Per-slot pending plan indices.
+    pending: Vec<Vec<usize>>,
+    /// Multi-input transition-merge buffers for sequential planning.
+    plan: PlanScratch,
+}
+
+impl SimScratch {
+    /// An empty arena; buffers are sized lazily by the first execution.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-net slot capacity currently retained — the arena's
+    /// dominant allocation, which grows to the largest circuit executed.
+    /// Pools use this to drop arenas grown by a one-off huge netlist
+    /// instead of pinning their memory forever.
+    #[must_use]
+    pub fn net_capacity(&self) -> usize {
+        self.nets.capacity()
+    }
+}
+
+/// A compiled circuit program: the compile-once / execute-many form of
+/// the levelized engine.
+///
+/// [`CircuitProgram::compile`] performs all circuit-dependent work
+/// exactly once — slot and cell-function resolution (including the
+/// [`SigmoidSimError::UnsupportedGate`] rejection of bad netlists),
+/// fan-out classification, and per-gate [`sigtom::PlanTemplate`]
+/// construction. [`CircuitProgram::execute`] then binds a stimulus to the
+/// resident tables; with a reused [`SimScratch`] the steady state does no
+/// per-level buffer allocation. Results are bit-identical to the fused
+/// [`simulate_cells_with`] entry point at every scheduling setting
+/// (property-tested on random DAGs).
+///
+/// The program shares its circuit and cell models (`Arc`), so a resident
+/// service can cache programs and hand one instance to many concurrent
+/// requests (each with its own scratch).
+pub struct CircuitProgram {
+    circuit: Arc<Circuit>,
+    cells: Arc<CellModels>,
+    options: TomOptions,
+    tables: ProgramTables,
+}
+
+impl std::fmt::Debug for CircuitProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitProgram")
+            .field("gates", &self.tables.slots.len())
+            .field("cells", &self.cells.name())
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CircuitProgram {
+    /// Compiles a circuit against a cell-model set: validates every gate
+    /// (slot + cell function, with the named [`SigmoidSimError`] on
+    /// unsupported kinds/arities) and precomputes the per-gate tables the
+    /// executor reads. The compiled program is immutable and shareable
+    /// across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmoidSimError::UnsupportedGate`] when a gate resolves
+    /// to no slot in `cells` — the same upfront rejection the fused entry
+    /// points perform per call.
+    pub fn compile(
+        circuit: Arc<Circuit>,
+        cells: Arc<CellModels>,
+        options: TomOptions,
+    ) -> Result<Self, SigmoidSimError> {
+        let tables = ProgramTables::compile(&circuit, &cells)?;
+        Ok(Self {
+            circuit,
+            cells,
+            options,
+            tables,
+        })
+    }
+
+    /// The compiled circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// The cell models the program was compiled against.
+    #[must_use]
+    pub fn cells(&self) -> &Arc<CellModels> {
+        &self.cells
+    }
+
+    /// The TOM options baked into the program (part of any cache key).
+    #[must_use]
+    pub fn options(&self) -> TomOptions {
+        self.options
+    }
+
+    /// Executes the program with the default scheduling
+    /// ([`SigmoidSimConfig::default`]). See [`CircuitProgram::execute_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmoidSimError::MissingStimulus`] when an input net has
+    /// no stimulus trace (the only stimulus-dependent failure — gate
+    /// validation already happened at compile time).
+    pub fn execute(
+        &self,
+        stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
+        scratch: &mut SimScratch,
+    ) -> Result<SigmoidSimResult, SigmoidSimError> {
+        self.execute_with(stimuli, &SigmoidSimConfig::default(), scratch)
+    }
+
+    /// Executes the program against one stimulus set: the
+    /// stimulus-dependent half of the engine only — template binding,
+    /// transition queries and model inference — scheduled per `config`
+    /// exactly like [`simulate_cells_with`], with every buffer drawn from
+    /// `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmoidSimError::MissingStimulus`] when an input net has
+    /// no stimulus trace.
+    pub fn execute_with(
+        &self,
+        stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
+        config: &SigmoidSimConfig,
+        scratch: &mut SimScratch,
+    ) -> Result<SigmoidSimResult, SigmoidSimError> {
+        execute_program(
+            &self.circuit,
+            &self.cells,
+            &self.tables,
+            self.options,
+            stimuli,
+            config,
+            scratch,
+        )
+    }
+}
+
+/// The executor shared by [`CircuitProgram::execute_with`] and the fused
+/// [`simulate_cells_with`]: binds one stimulus set to compiled tables.
+///
+/// Within a level every gate is independent, so the engine binds all of
+/// their plan templates, then repeatedly gathers each plan's next pending
+/// query, groups the queries by [`CellModels`] slot, and issues one
+/// [`GateModel::predict_batch`] per (model, round) — with the bind/apply
+/// work and large inference batches fanned over the `sigwave::parallel`
+/// pool per `config`. Traces are bit-identical at every `config` setting.
+fn execute_program(
+    circuit: &Circuit,
+    cells: &CellModels,
+    tables: &ProgramTables,
+    options: TomOptions,
+    stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
+    config: &SigmoidSimConfig,
+    scratch: &mut SimScratch,
+) -> Result<SigmoidSimResult, SigmoidSimError> {
     // Resolve the auto setting once: `available_parallelism` is a syscall
     // and the engine consults the worker count per level and per round.
     let parallelism = sigwave::parallel::resolve_parallelism(config.parallelism);
-    let fanouts = circuit.fanout_counts();
-    let mut slots: Vec<Option<Arc<SigmoidTrace>>> = vec![None; circuit.net_count()];
+    // Reset the arena to this program's exact sizes (idempotent for
+    // repeated executions of the same program; defensive against a
+    // previous run that died mid-level).
+    let SimScratch {
+        nets,
+        queries,
+        predictions,
+        round,
+        pending,
+        plan,
+    } = scratch;
+    nets.clear();
+    nets.resize(circuit.net_count(), None);
+    for member in pending.iter_mut() {
+        member.clear();
+    }
+    pending.resize_with(cells.slots(), Vec::new);
     for &input in circuit.inputs() {
         let t = stimuli
             .get(&input)
             .ok_or_else(|| SigmoidSimError::MissingStimulus {
                 net: circuit.net_name(input).to_string(),
             })?;
-        slots[input.0] = Some(Arc::clone(t));
+        nets[input.0] = Some(Arc::clone(t));
     }
-    // Upfront validation: resolve every gate's model slot and cell
-    // function before simulating anything, so unsupported kinds
-    // (including parseable-but-unsimulatable XOR/XNOR) fail with a named
-    // error instead of part-way into the run.
-    let unsupported = |gate: &sigcircuit::Gate| SigmoidSimError::UnsupportedGate {
-        kind: gate.kind,
-        arity: gate.inputs.len(),
-    };
-    let mut gate_slots: Vec<usize> = vec![usize::MAX; circuit.gates().len()];
-    let mut gate_funcs: Vec<CellFunction> = vec![CellFunction::Inv; circuit.gates().len()];
-    for &gi in circuit.topological_gates() {
-        let gate = &circuit.gates()[gi];
-        let slot = cells
-            .slot_for(gate.kind, gate.inputs.len(), fanouts[gate.output.0])
-            .ok_or_else(|| unsupported(gate))?;
-        let func = CellModels::cell_function(gate.kind).ok_or_else(|| unsupported(gate))?;
-        gate_slots[gi] = slot;
-        gate_funcs[gi] = func;
-    }
-
-    // Reusable per-level scratch (pending lists are drained every level).
-    let mut queries: Vec<TransferQuery> = Vec::new();
-    let mut predictions = Vec::new();
-    let mut round: Vec<usize> = Vec::new();
-    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); cells.slots()];
 
     for level in circuit.levels() {
         // Small levels run on the calling thread: the scoped-pool setup
@@ -531,21 +763,43 @@ pub fn simulate_cells_with(
             1
         };
         if config.batch {
-            // Plan every gate of the level (model-independent, fans out).
-            let mut plans: Vec<(usize, NetId, GatePlan)> =
+            // Bind every template of the level (model-independent). The
+            // parallel form fans gates over the pool with per-gate merge
+            // buffers; the sequential form reuses the arena's.
+            let mut plans: Vec<(usize, NetId, GatePlan)> = if level_parallelism > 1 {
                 sigwave::parallel::par_map(level_parallelism, level, |_, &gi| {
                     let gate = &circuit.gates()[gi];
                     let ins: Vec<&SigmoidTrace> = gate
                         .inputs
                         .iter()
-                        .map(|i| slots[i.0].as_deref().expect("level order"))
+                        .map(|i| nets[i.0].as_deref().expect("level order"))
                         .collect();
                     (
-                        gate_slots[gi],
+                        tables.slots[gi],
                         gate.output,
-                        plan_cell(gate_funcs[gi], &ins, options),
+                        tables.templates[gi].bind(&ins, options),
                     )
-                });
+                })
+            } else {
+                let mut out = Vec::with_capacity(level.len());
+                for &gi in level {
+                    let gate = &circuit.gates()[gi];
+                    // Compiled arities are <= MAX_CELL_ARITY (slot
+                    // resolution enforces it), so the gather fits a
+                    // fixed stack buffer.
+                    let first = nets[gate.inputs[0].0].as_deref().expect("level order");
+                    let mut ins: [&SigmoidTrace; MAX_CELL_ARITY] = [first; MAX_CELL_ARITY];
+                    for (k, i) in gate.inputs.iter().enumerate().skip(1) {
+                        ins[k] = nets[i.0].as_deref().expect("level order");
+                    }
+                    out.push((
+                        tables.slots[gi],
+                        gate.output,
+                        tables.templates[gi].bind_with(&ins[..gate.inputs.len()], options, plan),
+                    ));
+                }
+                out
+            };
             // Group the still-pending plans by model slot, then evaluate
             // in rounds: one batched inference per (model, round),
             // scattered back to the plans; exhausted plans drop out of
@@ -568,15 +822,10 @@ pub fn simulate_cells_with(
                     for &pi in member.iter() {
                         queries.push(plans[pi].2.next_query().expect("pending plan"));
                     }
-                    predict_chunked(
-                        cells.by_slot(slot),
-                        &mut queries,
-                        &mut predictions,
-                        parallelism,
-                    );
+                    predict_chunked(cells.by_slot(slot), queries, predictions, parallelism);
                     round.clear();
-                    std::mem::swap(member, &mut round);
-                    for (&pi, &p) in round.iter().zip(&predictions) {
+                    std::mem::swap(member, round);
+                    for (&pi, &p) in round.iter().zip(predictions.iter()) {
                         plans[pi].2.apply(p);
                         if plans[pi].2.pending() > 0 {
                             member.push(pi);
@@ -594,7 +843,7 @@ pub fn simulate_cells_with(
                 .map(|(_, output, plan)| (output, plan.into_trace()))
                 .collect();
             for (output, trace) in finished {
-                slots[output.0] = Some(Arc::new(trace));
+                nets[output.0] = Some(Arc::new(trace));
             }
         } else {
             // Scalar mode: per-gate one-shot predictions, optionally
@@ -605,24 +854,24 @@ pub fn simulate_cells_with(
                     let ins: Vec<&SigmoidTrace> = gate
                         .inputs
                         .iter()
-                        .map(|i| slots[i.0].as_deref().expect("level order"))
+                        .map(|i| nets[i.0].as_deref().expect("level order"))
                         .collect();
-                    let model = cells.by_slot(gate_slots[gi]);
+                    let model = cells.by_slot(tables.slots[gi]);
                     (
                         gate.output,
-                        apply_plan(plan_cell(gate_funcs[gi], &ins, options), model),
+                        apply_plan(tables.templates[gi].bind(&ins, options), model),
                     )
                 });
             for (output, trace) in outs {
-                slots[output.0] = Some(Arc::new(trace));
+                nets[output.0] = Some(Arc::new(trace));
             }
         }
     }
 
     let mut undriven = Vec::new();
     let mut filler: Option<Arc<SigmoidTrace>> = None;
-    let traces = slots
-        .into_iter()
+    let traces = nets
+        .drain(..)
         .enumerate()
         .map(|(i, slot)| match slot {
             Some(t) => t,
@@ -1206,6 +1455,173 @@ mod tests {
         for (o, e) in c.outputs().iter().zip(&expect) {
             assert_eq!(reference.trace(*o).final_level().is_high(), *e);
         }
+    }
+
+    /// Builds a random multi-kind DAG out of native-simulable cells
+    /// (INV, NOR1–3, NAND2, AND2, OR2) reading any earlier net.
+    fn random_native_dag(seed: u64) -> Circuit {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = CircuitBuilder::new();
+        let n_inputs = rng.gen_range(1..5usize);
+        let mut nets: Vec<NetId> = (0..n_inputs)
+            .map(|i| b.add_input(&format!("i{i}")))
+            .collect();
+        let n_gates = rng.gen_range(1..15usize);
+        for g in 0..n_gates {
+            let kind = match rng.gen_range(0..5u32) {
+                0 => GateKind::Inv,
+                1 => GateKind::Nor,
+                2 => GateKind::Nand,
+                3 => GateKind::And,
+                _ => GateKind::Or,
+            };
+            let arity = match kind {
+                GateKind::Inv => 1,
+                GateKind::Nor => rng.gen_range(1..4usize),
+                _ => 2,
+            };
+            let mut ins: Vec<NetId> = Vec::new();
+            while ins.len() < arity {
+                let pick = nets[rng.gen_range(0..nets.len())];
+                if !ins.contains(&pick) {
+                    ins.push(pick);
+                } else if nets.len() <= ins.len() {
+                    break; // not enough distinct nets for this arity
+                }
+            }
+            if ins.len() < arity.min(2) || ins.is_empty() {
+                continue;
+            }
+            let out = b.add_gate(kind, &ins, &format!("g{g}"));
+            nets.push(out);
+        }
+        if nets.len() == n_inputs {
+            // Every roll skipped (tiny net pool vs 2-input kinds): make
+            // the DAG non-trivial so the output is gate-driven.
+            nets.push(b.add_gate(GateKind::Inv, &[nets[0]], "g_fallback"));
+        }
+        b.mark_output(*nets.last().expect("at least one net"));
+        b.build().expect("random DAG is valid")
+    }
+
+    proptest::proptest! {
+        /// The acceptance-criterion parity property: on random DAGs under
+        /// BOTH mapping policies, a compiled program executed at every
+        /// scheduling setting — through one reused scratch arena — is
+        /// bit-identical to the legacy fused entry point.
+        #[test]
+        fn program_execute_matches_fused_path_on_random_dags(seed in 0u64..u64::MAX) {
+            let native = random_native_dag(seed);
+            let nor = sigcircuit::map_with_policy(
+                &native,
+                sigcircuit::MappingPolicy::NorOnly,
+                sigcircuit::NorMappingOptions::default(),
+            );
+            let nor_cells = CellModels::nor_only(&GateModels {
+                inverter: GateModel::new(Arc::new(HistoryTransfer)),
+                inverter_fo2: GateModel::new(Arc::new(Fixed(0.09))),
+                nor_fo1: GateModel::new(Arc::new(HistoryTransfer)),
+                nor_fo2: GateModel::new(Arc::new(Fixed(0.13))),
+            });
+            let opts = TomOptions::default();
+            let mut scratch = SimScratch::new();
+            for (circuit, cells) in [(&native, native_cells()), (&nor, nor_cells)] {
+                let stim = random_native_stimuli(circuit, seed ^ 0x5eed);
+                let program = CircuitProgram::compile(
+                    Arc::new(circuit.clone()),
+                    Arc::new(cells.clone()),
+                    opts,
+                )
+                .expect("simulable DAG compiles");
+                for config in [
+                    SigmoidSimConfig::scalar(),
+                    SigmoidSimConfig { parallelism: 1, batch: true },
+                    SigmoidSimConfig { parallelism: 3, batch: true },
+                    SigmoidSimConfig { parallelism: 3, batch: false },
+                ] {
+                    let fused =
+                        simulate_cells_with(circuit, &stim, &cells, opts, &config).unwrap();
+                    let executed = program.execute_with(&stim, &config, &mut scratch).unwrap();
+                    for net in 0..circuit.net_count() {
+                        proptest::prop_assert_eq!(
+                            executed.trace(NetId(net)),
+                            fused.trace(NetId(net)),
+                            "net {} differs under {:?} (seed {}, cells {})",
+                            net,
+                            config,
+                            seed,
+                            cells.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_program_reused_across_stimuli_matches_fresh_runs() {
+        // Compile once, execute twice with different stimuli through the
+        // same scratch: each execution must equal a fresh fused run — the
+        // program holds no per-run state.
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        let cells = native_cells();
+        let opts = TomOptions::default();
+        let program = CircuitProgram::compile(
+            Arc::new(bench.native.clone()),
+            Arc::new(cells.clone()),
+            opts,
+        )
+        .unwrap();
+        assert_eq!(program.options(), opts);
+        assert_eq!(program.cells().name(), "native");
+        let mut scratch = SimScratch::new();
+        for seed in [1u64, 20250728] {
+            let stim = random_native_stimuli(&bench.native, seed);
+            let executed = program.execute(&stim, &mut scratch).unwrap();
+            let fresh = simulate_cells_with(
+                &bench.native,
+                &stim,
+                &cells,
+                opts,
+                &SigmoidSimConfig::default(),
+            )
+            .unwrap();
+            for net in 0..bench.native.net_count() {
+                assert_eq!(
+                    executed.trace(NetId(net)),
+                    fresh.trace(NetId(net)),
+                    "seed {seed}: net {net} differs after program reuse"
+                );
+            }
+            // Input traces are shared, not copied, through the program
+            // path too.
+            let first_input = bench.native.inputs()[0];
+            assert!(Arc::ptr_eq(
+                &executed.traces()[first_input.0],
+                &stim[&first_input]
+            ));
+        }
+    }
+
+    #[test]
+    fn program_compile_rejects_unsupported_gates() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let z = b.add_input("z");
+        let y = b.add_gate(GateKind::Xor, &[a, z], "y");
+        b.mark_output(y);
+        let c = b.build().unwrap();
+        let err =
+            CircuitProgram::compile(Arc::new(c), Arc::new(native_cells()), TomOptions::default())
+                .unwrap_err();
+        assert_eq!(
+            err,
+            SigmoidSimError::UnsupportedGate {
+                kind: GateKind::Xor,
+                arity: 2
+            }
+        );
     }
 
     #[test]
