@@ -24,8 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sigserve::protocol::{CircuitSource, Request, SimRequest};
-use sigserve::{ModelSet, Service, ServiceConfig};
+use sigserve::protocol::{CircuitSource, Request, Response, SessionEdit, SimRequest};
+use sigserve::{ModelSet, Service, ServiceConfig, SessionTable};
 use sigtom::{GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery};
 
 struct Fixed;
@@ -197,7 +197,66 @@ fn bench_cache_temperature(c: &mut Criterion) {
             });
         });
     }
+
+    // Session row next to `warm_program_settle`: one resident session
+    // opened over the same inline netlist, then a single-input delta per
+    // iteration through the connection-scoped scheduling path. The edit
+    // alternates the input's constant level so its cone genuinely
+    // re-evaluates; even paying queue + wakeup per request, the delta
+    // undercuts the synchronous warm full execute because only the
+    // edited cone runs.
+    let table = SessionTable::new(Arc::clone(&service));
+    let input_name = circuit.net_name(circuit.inputs()[0]).to_string();
+    session_exchange(
+        &service,
+        &table,
+        Request::SessionOpen {
+            id: 900,
+            session: 1,
+            sim: request(text.clone(), 7, 0),
+        },
+    );
+    let flip = Cell::new(false);
+    group.bench_function("warm_session_delta", |b| {
+        b.iter(|| {
+            flip.set(!flip.get());
+            session_exchange(
+                &service,
+                &table,
+                Request::SessionDelta {
+                    id: 901,
+                    session: 1,
+                    edits: vec![SessionEdit {
+                        net: input_name.clone(),
+                        initial_high: flip.get(),
+                        toggles: vec![],
+                    }],
+                },
+            );
+        });
+    });
     group.finish();
+}
+
+/// Sends one session request through the connection-scoped path and
+/// blocks until its response arrives (the pool answers asynchronously).
+fn session_exchange(service: &Arc<Service>, table: &Arc<SessionTable>, request: Request) {
+    let done = Arc::new((Mutex::new(false), Condvar::new()));
+    let signal = Arc::clone(&done);
+    service.handle_connection_request(request, Some(table), move |response| {
+        assert!(
+            !matches!(response, Response::Error { .. }),
+            "session request failed: {response:?}"
+        );
+        let (flag, cv) = &*signal;
+        *flag.lock().expect("flag") = true;
+        cv.notify_all();
+    });
+    let (flag, cv) = &*done;
+    let mut flag = flag.lock().expect("flag");
+    while !*flag {
+        flag = cv.wait(flag).expect("flag");
+    }
 }
 
 /// Full scheduling path: N clients push M requests each through

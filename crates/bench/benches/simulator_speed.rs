@@ -23,7 +23,7 @@ use sigcircuit::Benchmark;
 use signn::{Mlp, ScaledModel, Standardizer};
 use sigsim::{
     digital_to_sigmoid, simulate_cells_with, simulate_sigmoid_with, CellModels, CircuitProgram,
-    GateModels, SigmoidSimConfig, SimScratch, StimulusSpec,
+    GateModels, SigmoidSimConfig, SimScratch, StimulusEdit, StimulusSpec,
 };
 use sigtom::{
     AnnTransfer, GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery,
@@ -333,10 +333,86 @@ fn bench_program(c: &mut Criterion) {
     }
 }
 
+/// Incremental-engine rows (the event-driven tentpole): a resident
+/// session absorbs stimulus edits against its committed state. `1edit`
+/// re-evaluates a single input cone, `10pct_edits` a tenth of the
+/// inputs, and `full` is the warm full execute of the same compiled
+/// program with a reused scratch — the reference a delta must beat
+/// (≥ 5× on c1355's single-edit row). Every iteration alternates the
+/// edited inputs between two distinct traces: re-submitting the
+/// committed trace converges after zero gate evaluations under the
+/// cutoff and would measure nothing.
+fn bench_delta(c: &mut Criterion) {
+    for name in ["c17", "c1355"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let circuit = Arc::new(bench.nor_mapped.clone());
+        let cells = Arc::new(CellModels::nor_only(&GateModels::uniform(GateModel::new(
+            Arc::new(Analytic),
+        ))));
+        let program = CircuitProgram::compile(Arc::clone(&circuit), cells, TomOptions::default())
+            .expect("compiles");
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = StimulusSpec::fast();
+        let baseline: NetTraces = circuit
+            .inputs()
+            .iter()
+            .map(|&i| (i, Arc::new(digital_to_sigmoid(&spec.sample(&mut rng), 0.8))))
+            .collect();
+        let alternate: NetTraces = circuit
+            .inputs()
+            .iter()
+            .map(|&i| (i, Arc::new(digital_to_sigmoid(&spec.sample(&mut rng), 0.8))))
+            .collect();
+        let inputs = circuit.inputs().to_vec();
+        let edits_from = |count: usize, source: &NetTraces| -> Vec<StimulusEdit> {
+            inputs[..count]
+                .iter()
+                .map(|&net| StimulusEdit {
+                    net,
+                    trace: Arc::clone(&source[&net]),
+                })
+                .collect()
+        };
+        let mut scratch = SimScratch::new();
+        let mut group = c.benchmark_group(format!("delta_{name}"));
+        group.sample_size(20);
+        for (label, count) in [("1edit", 1), ("10pct_edits", inputs.len().div_ceil(10))] {
+            let to_alternate = edits_from(count, &alternate);
+            let to_baseline = edits_from(count, &baseline);
+            let mut state = program
+                .open_session(&baseline, &mut scratch)
+                .expect("opens");
+            let mut flip = false;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    flip = !flip;
+                    let edits = if flip { &to_alternate } else { &to_baseline };
+                    program
+                        .execute_delta(black_box(&mut state), edits)
+                        .expect("delta")
+                })
+            });
+        }
+        group.bench_function("full", |b| {
+            b.iter(|| {
+                program
+                    .execute_with(
+                        black_box(&baseline),
+                        &SigmoidSimConfig::default(),
+                        &mut scratch,
+                    )
+                    .expect("sim")
+            })
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_simulators,
     bench_mapping_policies,
-    bench_program
+    bench_program,
+    bench_delta
 );
 criterion_main!(benches);

@@ -109,8 +109,9 @@ pub struct Gate {
 /// order.
 ///
 /// Serialization carries only the source data (nets, inputs, outputs,
-/// gates); the derived schedules (`topo`, `levels`) are recomputed on
-/// deserialization so they can never disagree with the gate list.
+/// gates); the derived schedules (`topo`, `levels`, `fanouts`) are
+/// recomputed on deserialization so they can never disagree with the gate
+/// list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
     net_names: Vec<String>,
@@ -123,13 +124,22 @@ pub struct Circuit {
     /// gates whose inputs are all primary inputs or outputs of gates in
     /// levels `< l` (computed at build time, like `topo`).
     levels: Vec<Vec<usize>>,
+    /// Per-net fanout dependency lists: `fanouts[n]` holds the (ascending)
+    /// indices of the gates reading net `n` (computed at build time, like
+    /// `topo`/`levels`).
+    fanouts: Vec<Vec<usize>>,
 }
 
+/// The derived schedules of a gate list: the topological order (Kahn), the
+/// ASAP levelization, and the per-net fanout dependency lists.
+type Schedules = (Vec<usize>, Vec<Vec<usize>>, Vec<Vec<usize>>);
+
 /// Computes the derived schedules of a gate list: the topological order
-/// (Kahn) and the ASAP levelization. Returns `None` if the gate graph
-/// contains a combinational cycle. Shared by [`CircuitBuilder::build`] and
+/// (Kahn), the ASAP levelization and the per-net fanout lists (net index →
+/// gate indices reading it). Returns `None` if the gate graph contains a
+/// combinational cycle. Shared by [`CircuitBuilder::build`] and
 /// deserialization (which must not trust schedules from the wire).
-fn derive_schedules(gates: &[Gate], net_count: usize) -> Option<(Vec<usize>, Vec<Vec<usize>>)> {
+fn derive_schedules(gates: &[Gate], net_count: usize) -> Option<Schedules> {
     let mut driver: Vec<Option<usize>> = vec![None; net_count];
     for (gi, g) in gates.iter().enumerate() {
         // Both callers run `validate_structure` first, so each net has at
@@ -142,10 +152,16 @@ fn derive_schedules(gates: &[Gate], net_count: usize) -> Option<(Vec<usize>, Vec
         .map(|g| g.inputs.iter().filter(|i| driver[i.0].is_some()).count())
         .collect();
     let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    // Gate indices ascend in the iteration, so each per-net list comes out
+    // sorted without an explicit sort.
+    let mut fanouts: Vec<Vec<usize>> = vec![Vec::new(); net_count];
     for (gi, g) in gates.iter().enumerate() {
         for i in &g.inputs {
             if let Some(d) = driver[i.0] {
                 consumers[d].push(gi);
+            }
+            if fanouts[i.0].last() != Some(&gi) {
+                fanouts[i.0].push(gi);
             }
         }
     }
@@ -186,7 +202,7 @@ fn derive_schedules(gates: &[Gate], net_count: usize) -> Option<(Vec<usize>, Vec
     for level in &mut levels {
         level.sort_unstable();
     }
-    Some((topo, levels))
+    Some((topo, levels, fanouts))
 }
 
 impl Serialize for Circuit {
@@ -218,7 +234,7 @@ impl Deserialize for Circuit {
         }
         validate_structure(&net_names, &inputs, &outputs, &gates)
             .map_err(|e| serde::Error::new(format!("invalid circuit: {e}")))?;
-        let (topo, levels) = derive_schedules(&gates, n)
+        let (topo, levels, fanouts) = derive_schedules(&gates, n)
             .ok_or_else(|| serde::Error::new("circuit contains a combinational cycle"))?;
         Ok(Self {
             net_names,
@@ -227,6 +243,7 @@ impl Deserialize for Circuit {
             gates,
             topo,
             levels,
+            fanouts,
         })
     }
 }
@@ -345,6 +362,18 @@ impl Circuit {
     #[must_use]
     pub fn levels(&self) -> &[Vec<usize>] {
         &self.levels
+    }
+
+    /// Per-net fanout dependency lists, cached at build time alongside
+    /// [`Circuit::levels`]: `fanouts()[n]` holds the ascending,
+    /// deduplicated indices of the gates reading net `n`. This is the
+    /// dependency structure an event-driven scheduler seeds from — when a
+    /// net's trace changes, exactly the gates in its list need
+    /// re-evaluation. (Load *counts*, which also weigh primary outputs,
+    /// are [`Circuit::fanout_counts`].)
+    #[must_use]
+    pub fn fanouts(&self) -> &[Vec<usize>] {
+        &self.fanouts
     }
 
     /// Number of gate inputs reading each net (the net's fan-out); primary
@@ -542,7 +571,7 @@ impl CircuitBuilder {
     /// (multiple drivers, cycles, floating nets, undriven outputs).
     pub fn build(self) -> Result<Circuit, BuildCircuitError> {
         validate_structure(&self.net_names, &self.inputs, &self.outputs, &self.gates)?;
-        let (topo, levels) =
+        let (topo, levels, fanouts) =
             derive_schedules(&self.gates, self.net_names.len()).ok_or(BuildCircuitError::Cyclic)?;
         Ok(Circuit {
             net_names: self.net_names,
@@ -551,6 +580,7 @@ impl CircuitBuilder {
             gates: self.gates,
             topo,
             levels,
+            fanouts,
         })
     }
 }
@@ -811,6 +841,55 @@ mod tests {
         assert_eq!(c, back);
         assert_eq!(c.topological_gates(), back.topological_gates());
         assert_eq!(c.levels(), back.levels());
+        assert_eq!(c.fanouts(), back.fanouts());
+    }
+
+    #[test]
+    fn fanout_lists_track_consumer_gates() {
+        let c = half_adder();
+        let a = c.find_net("a").unwrap();
+        let b = c.find_net("b").unwrap();
+        let sum = c.find_net("sum").unwrap();
+        // Both inputs feed the XOR (gate 0) and the AND (gate 1); the
+        // outputs feed nothing.
+        assert_eq!(c.fanouts()[a.0], vec![0, 1]);
+        assert_eq!(c.fanouts()[b.0], vec![0, 1]);
+        assert!(c.fanouts()[sum.0].is_empty());
+        // A gate listing one net twice appears once in its fanout list.
+        let mut bld = CircuitBuilder::new();
+        let x = bld.add_input("x");
+        let y = bld.add_gate(GateKind::Nor, &[x, x], "y");
+        bld.mark_output(y);
+        let c = bld.build().unwrap();
+        assert_eq!(c.fanouts()[x.0], vec![0]);
+    }
+
+    #[test]
+    fn deserialize_recomputes_fanout_lists_from_wire_circuits() {
+        // A wire circuit never touched by CircuitBuilder: the fanout lists
+        // must be derived from the gate list exactly like topo/levels, and
+        // must never travel on the wire.
+        let wire = r#"{
+            "net_names": ["a", "b", "n1", "y"],
+            "inputs": [[0], [1]],
+            "outputs": [[3]],
+            "gates": [
+                {"kind": "Nor", "inputs": [[0], [1]], "output": [2]},
+                {"kind": "Nor", "inputs": [[2], [1]], "output": [3]}
+            ]
+        }"#;
+        let c: Circuit = serde_json::from_str(wire).unwrap();
+        assert_eq!(c.fanouts()[0], vec![0]); // a → first NOR
+        assert_eq!(c.fanouts()[1], vec![0, 1]); // b → both NORs
+        assert_eq!(c.fanouts()[2], vec![1]); // n1 → second NOR
+        assert!(c.fanouts()[3].is_empty()); // y → primary output only
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            !json.contains("fanouts"),
+            "derived fanout lists must not serialize"
+        );
+        let back: Circuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(c.fanouts(), back.fanouts());
     }
 
     #[test]

@@ -592,6 +592,24 @@ pub fn apply_nor(plan: GatePlan<'_>, model: &GateModel) -> SigmoidTrace {
     apply_plan(plan, model)
 }
 
+/// Exact bit-level equality of two sigmoid traces: same initial level,
+/// same `vdd` bit pattern, and the same transition list compared by the
+/// `a`/`b` bit patterns. Stricter than `PartialEq`, which follows IEEE
+/// float semantics (`-0.0 == 0.0`, `NaN != NaN`): this predicate is the
+/// convergence cutoff of the incremental engine, where "unchanged" must
+/// mean "a full re-execution would have produced these exact bytes" —
+/// true bit-identity, not numeric closeness.
+#[must_use]
+pub fn traces_bit_identical(a: &SigmoidTrace, b: &SigmoidTrace) -> bool {
+    a.initial() == b.initial()
+        && a.vdd().to_bits() == b.vdd().to_bits()
+        && a.transitions().len() == b.transitions().len()
+        && a.transitions()
+            .iter()
+            .zip(b.transitions())
+            .all(|(x, y)| x.a.to_bits() == y.a.to_bits() && x.b.to_bits() == y.b.to_bits())
+}
+
 /// Algorithm 1: predicts the output sigmoid trace of a single-input
 /// inverting gate (inverter, or NOR with all other inputs low). Thin
 /// wrapper over [`plan_single_input`] + [`apply_nor`].
@@ -1133,6 +1151,38 @@ mod tests {
         let input = trace(vec![Sigmoid::rising(15.0, 1.0)], Level::Low);
         let template = PlanTemplate::new(CellFunction::Nor, 2);
         let _ = template.bind(&[&input], TomOptions::default());
+    }
+
+    #[test]
+    fn trace_bit_identity_is_stricter_than_partial_eq() {
+        let base = trace(
+            vec![Sigmoid::rising(12.0, 1.0), Sigmoid::falling(10.0, 2.0)],
+            Level::Low,
+        );
+        assert!(traces_bit_identical(&base, &base.clone()));
+        // Different slope, different time, different length, different
+        // initial level, different vdd: all distinguishable.
+        let other = trace(
+            vec![Sigmoid::rising(12.5, 1.0), Sigmoid::falling(10.0, 2.0)],
+            Level::Low,
+        );
+        assert!(!traces_bit_identical(&base, &other));
+        let shorter = trace(vec![Sigmoid::rising(12.0, 1.0)], Level::Low);
+        assert!(!traces_bit_identical(&base, &shorter));
+        assert!(!traces_bit_identical(
+            &SigmoidTrace::constant(Level::Low, VDD_DEFAULT),
+            &SigmoidTrace::constant(Level::High, VDD_DEFAULT)
+        ));
+        assert!(!traces_bit_identical(
+            &SigmoidTrace::constant(Level::Low, VDD_DEFAULT),
+            &SigmoidTrace::constant(Level::Low, 1.0)
+        ));
+        // −0.0 == 0.0 under IEEE comparison, but the bit patterns differ:
+        // bit-identity must see through PartialEq here.
+        let at_zero = trace(vec![Sigmoid::rising(12.0, 0.0)], Level::Low);
+        let at_neg_zero = trace(vec![Sigmoid::rising(12.0, -0.0)], Level::Low);
+        assert_eq!(at_zero, at_neg_zero, "IEEE equality treats ±0.0 as equal");
+        assert!(!traces_bit_identical(&at_zero, &at_neg_zero));
     }
 
     #[test]

@@ -76,8 +76,8 @@ mod transfer;
 
 pub use algorithm::{
     apply_nor, apply_plan, plan_cell, plan_nor, plan_single_input, predict_nor,
-    predict_single_input, CellFunction, GateModel, GatePlan, NorPlan, PlanScratch, PlanTemplate,
-    TomOptions,
+    predict_single_input, traces_bit_identical, CellFunction, GateModel, GatePlan, NorPlan,
+    PlanScratch, PlanTemplate, TomOptions,
 };
 pub use ann::{AnnTrainConfig, AnnTransfer, TrainTransferError};
 pub use baselines::{LutTransfer, PolyTransfer};

@@ -3,7 +3,10 @@
 //! ```text
 //! sigctl request [sim flags]                  # print a request frame
 //! sigctl send    --addr HOST:PORT [sim flags] [--vcd PATH]
-//! sigctl golden  [sim flags] [--models-dir PATH]
+//! sigctl golden  [sim flags] [--models-dir PATH] [--edit SPEC]...
+//! sigctl session open  --session N [sim flags] [--print]
+//! sigctl session delta --session N [--edit SPEC]... [--print]
+//! sigctl session close --session N [--print]
 //! sigctl ping|stats|shutdown --addr HOST:PORT
 //! ```
 //!
@@ -20,6 +23,17 @@
 //! frame must produce the byte-identical response (the CI smoke job
 //! diffs exactly that; use `--no-timing` so no wall-clock field varies).
 //!
+//! `session` drives the incremental engine: `open` settles a baseline
+//! and leaves it resident, `delta` replaces the stimuli of named inputs
+//! (`--edit NET=LEVEL[,t1,t2,...]` where `LEVEL` is `0`/`low` or
+//! `1`/`high` and the times are toggle seconds), `close` releases it.
+//! Sessions live on one connection, so a one-shot `session delta` over
+//! TCP answers `unknown-session` — pipe a whole open/delta/close script
+//! into `sigserve --stdio` instead, printing each frame with `--print`.
+//! A delta response must equal `golden` run with the same `--edit` flags
+//! on the session's sim parameters (modulo the cache hit/miss echo);
+//! `stats` reports `sessions_open`/`delta_hits`/`gates_reeval`.
+//!
 //! `send --vcd PATH` additionally writes the response's output traces as
 //! a VCD file for waveform viewers.
 
@@ -29,17 +43,18 @@ use std::sync::Arc;
 
 use sigserve::protocol::{
     decode_response, encode_request, encode_response, CacheOutcome, CircuitSource, Request,
-    Response, SimRequest,
+    Response, SessionEdit, SimRequest,
 };
-use sigserve::{run_sim, ModelSet};
+use sigserve::{run_sim_edited, ModelSet};
 use sigwave::{DigitalTrace, Level, VcdSignal};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sigctl <request|send|golden|ping|stats|shutdown> \
-         [--addr HOST:PORT] [--circuit NAME|PATH] [--models NAME] \
-         [--library nor-only|native] [--seed N] [--mu S] [--sigma S] \
-         [--transitions N] [--compare] [--no-timing] [--id N] \
+        "usage: sigctl <request|send|golden|session|ping|stats|shutdown> \
+         [open|delta|close] [--addr HOST:PORT] [--circuit NAME|PATH] \
+         [--models NAME] [--library nor-only|native] [--seed N] [--mu S] \
+         [--sigma S] [--transitions N] [--compare] [--no-timing] [--id N] \
+         [--session N] [--edit NET=LEVEL[,T1,T2,...]] [--print] \
          [--models-dir PATH] [--vcd PATH]"
     );
     std::process::exit(2);
@@ -49,6 +64,9 @@ struct Options {
     addr: String,
     id: u64,
     sim: SimRequest,
+    session: u64,
+    edits: Vec<SessionEdit>,
+    print: bool,
     models_dir: std::path::PathBuf,
     vcd: Option<std::path::PathBuf>,
 }
@@ -58,6 +76,9 @@ fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
         addr: "127.0.0.1:4715".to_string(),
         id: 1,
         sim: SimRequest::default(),
+        session: 1,
+        edits: Vec::new(),
+        print: false,
         models_dir: std::path::PathBuf::from("target/sigmodels"),
         vcd: None,
     };
@@ -86,6 +107,9 @@ fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
             "--transitions" => o.sim.transitions = parse(args.parse()),
             "--compare" => o.sim.compare = true,
             "--no-timing" => o.sim.timing = false,
+            "--session" => o.session = parse(args.parse()),
+            "--edit" => o.edits.push(parse_edit(&require(args.value()))),
+            "--print" => o.print = true,
             "--models-dir" => o.models_dir = require(args.value()).into(),
             "--vcd" => o.vcd = Some(require(args.value()).into()),
             _ => usage(),
@@ -98,14 +122,73 @@ fn parse<T>(value: Option<T>) -> T {
     value.unwrap_or_else(|| usage())
 }
 
+/// Parses one `--edit` value: `NET=LEVEL[,T1,T2,...]` with `LEVEL` in
+/// `0`/`low`/`1`/`high` and strictly increasing toggle times in seconds
+/// (an omitted tail means the input is held constant at `LEVEL`).
+fn parse_edit(spec: &str) -> SessionEdit {
+    let malformed = || -> ! {
+        eprintln!("sigctl: --edit expects NET=LEVEL[,T1,T2,...], got {spec:?}");
+        std::process::exit(2);
+    };
+    let Some((net, rest)) = spec.split_once('=') else {
+        malformed()
+    };
+    if net.is_empty() {
+        malformed();
+    }
+    let mut tokens = rest.split(',');
+    let initial_high = match tokens.next() {
+        Some("1" | "high") => true,
+        Some("0" | "low") => false,
+        _ => malformed(),
+    };
+    let toggles = tokens
+        .map(|t| match t.parse::<f64>() {
+            Ok(v) => v,
+            Err(_) => malformed(),
+        })
+        .collect();
+    SessionEdit {
+        net: net.to_string(),
+        initial_high,
+        toggles,
+    }
+}
+
 fn main() {
     let mut args = sigserve::cli::CliArgs::from_env();
     let Some(command) = args.next_arg() else {
         usage()
     };
     let command = command.as_str();
+    // `session` has a subcommand word before the flags.
+    let sub = (command == "session").then(|| parse(args.next_arg()));
     let o = parse_options(args);
     match command {
+        "session" => {
+            let request = match sub.as_deref() {
+                Some("open") => Request::SessionOpen {
+                    id: o.id,
+                    session: o.session,
+                    sim: o.sim.clone(),
+                },
+                Some("delta") => Request::SessionDelta {
+                    id: o.id,
+                    session: o.session,
+                    edits: o.edits.clone(),
+                },
+                Some("close") => Request::SessionClose {
+                    id: o.id,
+                    session: o.session,
+                },
+                _ => usage(),
+            };
+            if o.print {
+                println!("{}", encode_request(&request));
+            } else {
+                finish(&exchange(&o.addr, &request));
+            }
+        }
         "request" => {
             println!(
                 "{}",
@@ -247,8 +330,10 @@ fn golden(o: &Options) {
         options: sigtom::TomOptions::default(),
     };
     // A fresh daemon's first request is always a cache miss; golden
-    // mirrors that so the frames compare byte-for-byte.
-    match run_sim(&circuit, &set, &o.sim, CacheOutcome::Miss) {
+    // mirrors that so the frames compare byte-for-byte. `--edit` flags
+    // replace the seeded stimuli of named inputs first, producing the
+    // full-run reference a `session.delta` response must match.
+    match run_sim_edited(&circuit, &set, &o.sim, &o.edits, CacheOutcome::Miss) {
         Ok(result) => finish(&Response::Sim { id: o.id, result }),
         Err((kind, message)) => finish(&Response::Error {
             id: Some(o.id),

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sigserve [--addr 127.0.0.1:4715 | --stdio]
-//!          [--workers N] [--queue N] [--cache N]
+//!          [--workers N] [--queue N] [--cache N] [--sessions N]
 //!          [--models-dir PATH] [--max-frame BYTES]
 //!          [--preload NAME[/LIBRARY][,NAME...]]
 //! ```
@@ -24,7 +24,8 @@ use sigserve::{serve_stdio, serve_tcp, Service, ServiceConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: sigserve [--addr HOST:PORT | --stdio] [--workers N] [--queue N] \
-         [--cache N] [--models-dir PATH] [--max-frame BYTES] [--preload NAME,...]"
+         [--cache N] [--sessions N] [--models-dir PATH] [--max-frame BYTES] \
+         [--preload NAME,...]"
     );
     std::process::exit(2);
 }
@@ -44,6 +45,7 @@ fn main() {
             "--workers" => config.workers = parse(args.parse()),
             "--queue" => config.queue_capacity = parse(args.parse()),
             "--cache" => config.cache_capacity = parse(args.parse()),
+            "--sessions" => config.session_capacity = parse(args.parse()),
             "--max-frame" => config.max_frame = parse(args.parse()),
             "--models-dir" => config.models_dir = require(args.value()).into(),
             "--preload" => {

@@ -37,16 +37,18 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod service;
+pub mod session;
 
 pub use cache::{CacheKey, CircuitCache, ProgramCache};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, CacheOutcome, CircuitSource,
-    ErrorKind, FrameReader, ProtocolError, Request, Response, SimRequest, SimResult, StatsReply,
-    MAX_FRAME_BYTES,
+    ErrorKind, FrameReader, ProtocolError, Request, Response, SessionEdit, SimRequest, SimResult,
+    StatsReply, MAX_FRAME_BYTES,
 };
 pub use registry::{preset_config, DelaySource, ModelRegistry, ModelSet, RegistryError};
 pub use server::{run_connection, serve_stdio, serve_tcp};
-pub use service::{run_sim, Handled, Service, ServiceConfig};
+pub use service::{run_sim, run_sim_edited, Handled, Service, ServiceConfig};
+pub use session::SessionTable;
 
 #[cfg(test)]
 mod service_tests {
@@ -409,6 +411,341 @@ mod service_tests {
             .unwrap_err();
         assert_eq!(err.0, ErrorKind::Simulation);
         assert!(err.1.contains("delay table"), "{}", err.1);
+    }
+
+    /// Collects responses from session-aware dispatch and drains, so a
+    /// test reads one request's complete outcome.
+    fn roundtrip(
+        service: &Arc<Service>,
+        table: &Arc<SessionTable>,
+        request: Request,
+    ) -> Vec<Response> {
+        let (sink, respond) = collecting();
+        service.handle_connection_request(request, Some(table), respond);
+        service.drain();
+        let responses = std::mem::take(&mut *sink.lock().expect("sink"));
+        responses
+    }
+
+    #[test]
+    fn session_delta_matches_cold_execute_of_final_stimuli() {
+        use sigwave::{DigitalTrace, Level};
+        use std::collections::HashMap;
+
+        let service = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        service.registry().insert(synthetic_set("synth"));
+        let table = SessionTable::new(Arc::clone(&service));
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n".to_string();
+        let open_sim = SimRequest {
+            circuit: CircuitSource::Inline(text.clone()),
+            models: "synth".into(),
+            seed: 7,
+            timing: false,
+            ..SimRequest::default()
+        };
+        let opened = roundtrip(
+            &service,
+            &table,
+            Request::SessionOpen {
+                id: 1,
+                session: 9,
+                sim: open_sim.clone(),
+            },
+        );
+        let baseline = match opened.as_slice() {
+            [Response::Session {
+                id: 1,
+                session: 9,
+                result,
+            }] => result.clone(),
+            other => panic!("expected session response, got {other:?}"),
+        };
+        // The baseline is exactly what a plain sim of the same request
+        // answers (modulo the circuit-cache outcome of the second run).
+        let plain = service.execute_sim(&open_sim).expect("plain sim");
+        assert_eq!(baseline.outputs, plain.outputs);
+        assert_eq!(baseline.fingerprint, plain.fingerprint);
+        assert_eq!(service.stats().sessions_open, 1);
+
+        // Apply a delta, then independently rebuild the *final* stimulus
+        // set (baseline seed-derived stimuli with net `a` replaced) and
+        // run it cold through the fused engine: bit parity is the
+        // incremental engine's contract.
+        let edit = SessionEdit {
+            net: "a".into(),
+            initial_high: true,
+            toggles: vec![2.0e-10, 3.5e-10],
+        };
+        let deltad = roundtrip(
+            &service,
+            &table,
+            Request::SessionDelta {
+                id: 2,
+                session: 9,
+                edits: vec![edit.clone()],
+            },
+        );
+        let delta = match deltad.as_slice() {
+            [Response::Sim { id: 2, result }] => result.clone(),
+            other => panic!("expected sim response, got {other:?}"),
+        };
+        assert_eq!(delta.cache, CacheOutcome::Hit, "deltas reuse the session");
+        assert_eq!(delta.fingerprint, baseline.fingerprint);
+
+        let set = service.registry().get_or_load("synth", "nor-only").unwrap();
+        let circuit = crate::service::map_for_simulation(
+            sigcircuit::parse_circuit(&text, sigcircuit::sniff_format(&text)).unwrap(),
+            set.policy,
+        );
+        let spec = sigsim::StimulusSpec::new(open_sim.mu, open_sim.sigma, open_sim.transitions);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(open_sim.seed);
+        let mut digital = sigsim::random_stimuli(&circuit, &spec, &mut rng);
+        let a = circuit.find_net("a").expect("input a");
+        digital.insert(
+            a,
+            DigitalTrace::new(Level::High, edit.toggles.clone()).unwrap(),
+        );
+        let vdd = set.options.vdd;
+        let sigmoid: HashMap<_, _> = digital
+            .iter()
+            .map(|(&net, t)| (net, Arc::new(sigsim::digital_to_sigmoid(t, vdd))))
+            .collect();
+        let cold = sigsim::simulate_cells_with(
+            &circuit,
+            &sigmoid,
+            &set.cells,
+            set.options,
+            &sigsim::SigmoidSimConfig::default(),
+        )
+        .expect("cold execute");
+        let expected: Vec<_> = circuit
+            .outputs()
+            .iter()
+            .map(|&o| {
+                let d = cold.trace(o).digitize(vdd / 2.0);
+                crate::protocol::OutputTrace {
+                    net: circuit.net_name(o).to_string(),
+                    initial_high: d.initial().is_high(),
+                    toggles: d.toggles().to_vec(),
+                }
+            })
+            .collect();
+        assert_eq!(delta.outputs, expected, "delta must match cold execute");
+
+        // Re-sending the identical edit is a no-op: byte-identical
+        // response, zero gates re-evaluated.
+        let before = service.stats().gates_reeval;
+        let again = roundtrip(
+            &service,
+            &table,
+            Request::SessionDelta {
+                id: 3,
+                session: 9,
+                edits: vec![edit],
+            },
+        );
+        let repeat = match again.as_slice() {
+            [Response::Sim { id: 3, result }] => result.clone(),
+            other => panic!("expected sim response, got {other:?}"),
+        };
+        assert_eq!(repeat, delta, "identical edit must answer identically");
+        assert_eq!(
+            service.stats().gates_reeval,
+            before,
+            "identical edit re-evaluates nothing"
+        );
+        assert_eq!(service.stats().delta_hits, 2);
+
+        // Close releases the session; a second close is unknown.
+        let closed = roundtrip(
+            &service,
+            &table,
+            Request::SessionClose { id: 4, session: 9 },
+        );
+        assert_eq!(closed, vec![Response::SessionClosed { id: 4, session: 9 }]);
+        assert_eq!(service.stats().sessions_open, 0);
+        let reclosed = roundtrip(
+            &service,
+            &table,
+            Request::SessionClose { id: 5, session: 9 },
+        );
+        assert!(
+            matches!(
+                reclosed.as_slice(),
+                [Response::Error {
+                    kind: ErrorKind::UnknownSession,
+                    ..
+                }]
+            ),
+            "{reclosed:?}"
+        );
+    }
+
+    #[test]
+    fn session_capacity_evicts_this_connections_lru() {
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            session_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        service.registry().insert(synthetic_set("synth"));
+        let table = SessionTable::new(Arc::clone(&service));
+        let open = |session: u64, id: u64| Request::SessionOpen {
+            id,
+            session,
+            sim: SimRequest {
+                circuit: CircuitSource::Name("c17".into()),
+                models: "synth".into(),
+                seed: session,
+                timing: false,
+                ..SimRequest::default()
+            },
+        };
+        for (session, id) in [(1, 1), (2, 2)] {
+            let got = roundtrip(&service, &table, open(session, id));
+            assert!(
+                matches!(got.as_slice(), [Response::Session { .. }]),
+                "{got:?}"
+            );
+        }
+        assert_eq!(service.stats().sessions_open, 2);
+        // Touch session 1 so session 2 becomes the LRU victim.
+        let touched = roundtrip(
+            &service,
+            &table,
+            Request::SessionDelta {
+                id: 3,
+                session: 1,
+                edits: vec![],
+            },
+        );
+        assert!(
+            matches!(touched.as_slice(), [Response::Sim { .. }]),
+            "{touched:?}"
+        );
+        let third = roundtrip(&service, &table, open(3, 4));
+        assert!(
+            matches!(third.as_slice(), [Response::Session { .. }]),
+            "{third:?}"
+        );
+        assert_eq!(service.stats().sessions_open, 2, "cap holds after evict");
+        // Session 2 was evicted; 1 and 3 still answer.
+        for (session, id, open_expected) in [(2u64, 5u64, false), (1, 6, true), (3, 7, true)] {
+            let got = roundtrip(
+                &service,
+                &table,
+                Request::SessionDelta {
+                    id,
+                    session,
+                    edits: vec![],
+                },
+            );
+            if open_expected {
+                assert!(matches!(got.as_slice(), [Response::Sim { .. }]), "{got:?}");
+            } else {
+                assert!(
+                    matches!(
+                        got.as_slice(),
+                        [Response::Error {
+                            kind: ErrorKind::UnknownSession,
+                            ..
+                        }]
+                    ),
+                    "{got:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_open_releases_its_slot() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let table = SessionTable::new(Arc::clone(&service));
+        let got = roundtrip(
+            &service,
+            &table,
+            Request::SessionOpen {
+                id: 1,
+                session: 4,
+                sim: SimRequest {
+                    circuit: CircuitSource::Name("c17".into()),
+                    models: "ghost".into(),
+                    ..SimRequest::default()
+                },
+            },
+        );
+        assert!(
+            matches!(
+                got.as_slice(),
+                [Response::Error {
+                    id: Some(1),
+                    kind: ErrorKind::UnknownModels,
+                    ..
+                }]
+            ),
+            "{got:?}"
+        );
+        assert_eq!(service.stats().sessions_open, 0, "failed open frees budget");
+        let delta = roundtrip(
+            &service,
+            &table,
+            Request::SessionDelta {
+                id: 2,
+                session: 4,
+                edits: vec![],
+            },
+        );
+        assert!(
+            matches!(
+                delta.as_slice(),
+                [Response::Error {
+                    kind: ErrorKind::UnknownSession,
+                    ..
+                }]
+            ),
+            "{delta:?}"
+        );
+    }
+
+    #[test]
+    fn session_requests_need_a_connection_table() {
+        let service = Service::new(ServiceConfig::default());
+        let (sink, respond) = collecting();
+        let respond = Arc::new(respond);
+        for request in [
+            Request::SessionOpen {
+                id: 1,
+                session: 1,
+                sim: SimRequest::default(),
+            },
+            Request::SessionDelta {
+                id: 2,
+                session: 1,
+                edits: vec![],
+            },
+            Request::SessionClose { id: 3, session: 1 },
+        ] {
+            let respond = Arc::clone(&respond);
+            // The table-less back-compat entry point rejects session ops.
+            service.handle_request(request, move |r| respond(r));
+        }
+        service.drain();
+        let got = sink.lock().expect("sink").clone();
+        assert_eq!(got.len(), 3);
+        assert!(
+            got.iter().all(|r| matches!(
+                r,
+                Response::Error {
+                    kind: ErrorKind::Protocol,
+                    ..
+                }
+            )),
+            "{got:?}"
+        );
     }
 
     #[test]

@@ -105,6 +105,22 @@ impl Default for SimRequest {
     }
 }
 
+/// One stimulus edit of a `session.delta` request: replaces the digital
+/// stimulus on a named primary input (converted to a sigmoid trace with
+/// the same fixed-slope rule full requests use, so a delta is equivalent
+/// to re-sending the whole stimulus set with this input changed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionEdit {
+    /// Primary-input net name.
+    pub net: String,
+    /// Initial logic level (`true` = high); optional on the wire with
+    /// default `false` (matching [`OutputTrace`]'s convention).
+    pub initial_high: bool,
+    /// Toggle times in seconds: finite, positive, strictly increasing,
+    /// at most [`MAX_TRANSITIONS`]. Empty means a constant level.
+    pub toggles: Vec<f64>,
+}
+
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -131,6 +147,34 @@ pub enum Request {
         /// The simulation parameters.
         sim: SimRequest,
     },
+    /// Open an incremental session: run the baseline simulation and keep
+    /// its state resident under the client-chosen session id. Sessions
+    /// are sigmoid-only (`compare` is rejected at decode).
+    SessionOpen {
+        /// Request id.
+        id: u64,
+        /// Client-chosen session id, scoped to this connection.
+        session: u64,
+        /// The baseline simulation parameters.
+        sim: SimRequest,
+    },
+    /// Apply stimulus edits to an open session and return the updated
+    /// result (re-simulating only the affected cone).
+    SessionDelta {
+        /// Request id.
+        id: u64,
+        /// Session id from a prior `session.open`.
+        session: u64,
+        /// The stimulus edits.
+        edits: Vec<SessionEdit>,
+    },
+    /// Close a session, releasing its resident state.
+    SessionClose {
+        /// Request id.
+        id: u64,
+        /// Session id to close.
+        session: u64,
+    },
 }
 
 impl Request {
@@ -141,7 +185,10 @@ impl Request {
             Self::Ping { id }
             | Self::Stats { id }
             | Self::Shutdown { id }
-            | Self::Sim { id, .. } => *id,
+            | Self::Sim { id, .. }
+            | Self::SessionOpen { id, .. }
+            | Self::SessionDelta { id, .. }
+            | Self::SessionClose { id, .. } => *id,
         }
     }
 }
@@ -247,6 +294,9 @@ pub enum ErrorKind {
     Circuit,
     /// The simulation itself failed (e.g. missing stimulus).
     Simulation,
+    /// A `session.delta`/`session.close` named a session this connection
+    /// does not have open (never opened, closed, or evicted by LRU).
+    UnknownSession,
     /// The daemon is draining and no longer accepts simulations.
     ShuttingDown,
 }
@@ -259,6 +309,7 @@ impl ErrorKind {
             Self::UnknownModels => "unknown-models",
             Self::Circuit => "circuit",
             Self::Simulation => "simulation",
+            Self::UnknownSession => "unknown-session",
             Self::ShuttingDown => "shutting-down",
         }
     }
@@ -270,6 +321,7 @@ impl ErrorKind {
             "unknown-models" => Self::UnknownModels,
             "circuit" => Self::Circuit,
             "simulation" => Self::Simulation,
+            "unknown-session" => Self::UnknownSession,
             "shutting-down" => Self::ShuttingDown,
             _ => return None,
         })
@@ -313,6 +365,14 @@ pub struct StatsReply {
     pub completed: u64,
     /// Simulation requests rejected with `overloaded`.
     pub rejected: u64,
+    /// Incremental sessions currently open across all connections.
+    pub sessions_open: u64,
+    /// `session.delta` requests served from resident session state.
+    pub delta_hits: u64,
+    /// Cumulative gates re-evaluated by delta requests (a full execution
+    /// costs the whole gate count per run — the ratio is the measured
+    /// incremental saving).
+    pub gates_reeval: u64,
 }
 
 /// A server response.
@@ -342,6 +402,22 @@ pub enum Response {
         /// Echoed request id.
         id: u64,
     },
+    /// Session opened; carries the baseline simulation result.
+    Session {
+        /// Echoed request id.
+        id: u64,
+        /// Echoed session id.
+        session: u64,
+        /// The baseline simulation payload.
+        result: SimResult,
+    },
+    /// Session closed; its resident state is released.
+    SessionClosed {
+        /// Echoed request id.
+        id: u64,
+        /// Echoed session id.
+        session: u64,
+    },
     /// Any failure. `id` is `None` when the frame was too malformed to
     /// carry one.
     Error {
@@ -362,7 +438,9 @@ impl Response {
             Self::Pong { id }
             | Self::Sim { id, .. }
             | Self::Stats { id, .. }
-            | Self::ShuttingDown { id } => Some(*id),
+            | Self::ShuttingDown { id }
+            | Self::Session { id, .. }
+            | Self::SessionClosed { id, .. } => Some(*id),
             Self::Error { id, .. } => *id,
         }
     }
@@ -503,6 +581,31 @@ pub fn parse_hex64(s: &str) -> Result<u64, serde::Error> {
     }
 }
 
+/// Encodes a sim-shaped request (`sim` or `session.open`, which carries
+/// the same stimulus fields plus a session id).
+fn sim_to_value(id: u64, op: &str, session: Option<u64>, sim: &SimRequest) -> Value {
+    let circuit = match &sim.circuit {
+        CircuitSource::Name(n) => obj(vec![("name", n.to_value())]),
+        CircuitSource::Inline(t) => obj(vec![("inline", t.to_value())]),
+    };
+    let mut fields = vec![("id", id.to_value()), ("op", op.to_value())];
+    if let Some(s) = session {
+        fields.push(("session", s.to_value()));
+    }
+    fields.extend([
+        ("circuit", circuit),
+        ("models", sim.models.to_value()),
+        ("library", sim.library.to_value()),
+        ("seed", sim.seed.to_value()),
+        ("mu", sim.mu.to_value()),
+        ("sigma", sim.sigma.to_value()),
+        ("transitions", (sim.transitions as u64).to_value()),
+        ("compare", sim.compare.to_value()),
+        ("timing", sim.timing.to_value()),
+    ]);
+    obj(fields)
+}
+
 impl Serialize for Request {
     fn to_value(&self) -> Value {
         match self {
@@ -511,27 +614,110 @@ impl Serialize for Request {
             Self::Shutdown { id } => {
                 obj(vec![("id", id.to_value()), ("op", "shutdown".to_value())])
             }
-            Self::Sim { id, sim } => {
-                let circuit = match &sim.circuit {
-                    CircuitSource::Name(n) => obj(vec![("name", n.to_value())]),
-                    CircuitSource::Inline(t) => obj(vec![("inline", t.to_value())]),
-                };
-                obj(vec![
-                    ("id", id.to_value()),
-                    ("op", "sim".to_value()),
-                    ("circuit", circuit),
-                    ("models", sim.models.to_value()),
-                    ("library", sim.library.to_value()),
-                    ("seed", sim.seed.to_value()),
-                    ("mu", sim.mu.to_value()),
-                    ("sigma", sim.sigma.to_value()),
-                    ("transitions", (sim.transitions as u64).to_value()),
-                    ("compare", sim.compare.to_value()),
-                    ("timing", sim.timing.to_value()),
-                ])
+            Self::Sim { id, sim } => sim_to_value(*id, "sim", None, sim),
+            Self::SessionOpen { id, session, sim } => {
+                sim_to_value(*id, "session.open", Some(*session), sim)
             }
+            Self::SessionDelta { id, session, edits } => obj(vec![
+                ("id", id.to_value()),
+                ("op", "session.delta".to_value()),
+                ("session", session.to_value()),
+                ("edits", edits.to_value()),
+            ]),
+            Self::SessionClose { id, session } => obj(vec![
+                ("id", id.to_value()),
+                ("op", "session.close".to_value()),
+                ("session", session.to_value()),
+            ]),
         }
     }
+}
+
+impl Serialize for SessionEdit {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("net", self.net.to_value()),
+            ("initial_high", self.initial_high.to_value()),
+            ("toggles", self.toggles.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SessionEdit {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let toggles = Vec::<f64>::from_value(v.get_field("toggles")?)?;
+        if toggles.len() > MAX_TRANSITIONS {
+            return Err(serde::Error::new(format!(
+                "field `toggles` must have at most {MAX_TRANSITIONS} entries"
+            )));
+        }
+        // The same physical-trace invariants DigitalTrace enforces,
+        // checked at decode so a bad edit fails in the protocol layer
+        // instead of panicking in a worker.
+        if !toggles.iter().all(|t| t.is_finite() && *t > 0.0) {
+            return Err(serde::Error::new(
+                "field `toggles` entries must be finite and positive",
+            ));
+        }
+        if !toggles.windows(2).all(|w| w[0] < w[1]) {
+            return Err(serde::Error::new(
+                "field `toggles` must be strictly increasing",
+            ));
+        }
+        Ok(Self {
+            net: get_str(v, "net")?,
+            initial_high: get_bool_or(v, "initial_high", false)?,
+            toggles,
+        })
+    }
+}
+
+/// Decodes the sim-shaped stimulus fields shared by `sim` and
+/// `session.open` requests.
+fn sim_from_value(v: &Value) -> Result<SimRequest, serde::Error> {
+    let cv = v.get_field("circuit")?;
+    let circuit = if let Ok(name) = get_str(cv, "name") {
+        CircuitSource::Name(name)
+    } else if let Ok(text) = get_str(cv, "inline") {
+        CircuitSource::Inline(text)
+    } else {
+        return Err(serde::Error::new(
+            "field `circuit` needs `name` or `inline`",
+        ));
+    };
+    let transitions = get_u64(v, "transitions")?;
+    let transitions = usize::try_from(transitions)
+        .ok()
+        .filter(|&t| t <= MAX_TRANSITIONS)
+        .ok_or_else(|| {
+            serde::Error::new(format!(
+                "field `transitions` must be at most {MAX_TRANSITIONS}"
+            ))
+        })?;
+    let mu = get_f64(v, "mu")?;
+    let sigma = get_f64(v, "sigma")?;
+    if !(mu > 0.0 && sigma > 0.0 && mu.is_finite() && sigma.is_finite()) {
+        return Err(serde::Error::new(
+            "fields `mu` and `sigma` must be positive and finite",
+        ));
+    }
+    // Optional with back-compat default: pre-library clients never send
+    // it and must keep prototype behaviour.
+    let library = match v.get_field("library") {
+        Ok(f) => String::from_value(f)?,
+        Err(_) => "nor-only".to_string(),
+    };
+    Ok(SimRequest {
+        circuit,
+        models: get_str(v, "models")?,
+        library,
+        seed: get_u64(v, "seed")?,
+        mu,
+        sigma,
+        transitions,
+        compare: get_bool_or(v, "compare", false)?,
+        timing: get_bool_or(v, "timing", true)?,
+    })
 }
 
 impl Deserialize for Request {
@@ -542,54 +728,29 @@ impl Deserialize for Request {
             "ping" => Ok(Self::Ping { id }),
             "stats" => Ok(Self::Stats { id }),
             "shutdown" => Ok(Self::Shutdown { id }),
-            "sim" => {
-                let cv = v.get_field("circuit")?;
-                let circuit = if let Ok(name) = get_str(cv, "name") {
-                    CircuitSource::Name(name)
-                } else if let Ok(text) = get_str(cv, "inline") {
-                    CircuitSource::Inline(text)
-                } else {
+            "sim" => Ok(Self::Sim {
+                id,
+                sim: sim_from_value(v)?,
+            }),
+            "session.open" => {
+                let session = get_u64(v, "session")?;
+                let sim = sim_from_value(v)?;
+                if sim.compare {
                     return Err(serde::Error::new(
-                        "field `circuit` needs `name` or `inline`",
-                    ));
-                };
-                let transitions = get_u64(v, "transitions")?;
-                let transitions = usize::try_from(transitions)
-                    .ok()
-                    .filter(|&t| t <= MAX_TRANSITIONS)
-                    .ok_or_else(|| {
-                        serde::Error::new(format!(
-                            "field `transitions` must be at most {MAX_TRANSITIONS}"
-                        ))
-                    })?;
-                let mu = get_f64(v, "mu")?;
-                let sigma = get_f64(v, "sigma")?;
-                if !(mu > 0.0 && sigma > 0.0 && mu.is_finite() && sigma.is_finite()) {
-                    return Err(serde::Error::new(
-                        "fields `mu` and `sigma` must be positive and finite",
+                        "sessions are sigmoid-only: `compare` is not supported",
                     ));
                 }
-                // Optional with back-compat default: pre-library clients
-                // never send it and must keep prototype behaviour.
-                let library = match v.get_field("library") {
-                    Ok(f) => String::from_value(f)?,
-                    Err(_) => "nor-only".to_string(),
-                };
-                Ok(Self::Sim {
-                    id,
-                    sim: SimRequest {
-                        circuit,
-                        models: get_str(v, "models")?,
-                        library,
-                        seed: get_u64(v, "seed")?,
-                        mu,
-                        sigma,
-                        transitions,
-                        compare: get_bool_or(v, "compare", false)?,
-                        timing: get_bool_or(v, "timing", true)?,
-                    },
-                })
+                Ok(Self::SessionOpen { id, session, sim })
             }
+            "session.delta" => Ok(Self::SessionDelta {
+                id,
+                session: get_u64(v, "session")?,
+                edits: Vec::<SessionEdit>::from_value(v.get_field("edits")?)?,
+            }),
+            "session.close" => Ok(Self::SessionClose {
+                id,
+                session: get_u64(v, "session")?,
+            }),
             other => Err(serde::Error::new(format!("unknown op {other:?}"))),
         }
     }
@@ -715,6 +876,9 @@ impl Serialize for StatsReply {
             ("queue_capacity", self.queue_capacity.to_value()),
             ("completed", self.completed.to_value()),
             ("rejected", self.rejected.to_value()),
+            ("sessions_open", self.sessions_open.to_value()),
+            ("delta_hits", self.delta_hits.to_value()),
+            ("gates_reeval", self.gates_reeval.to_value()),
         ])
     }
 }
@@ -740,6 +904,11 @@ impl Deserialize for StatsReply {
             queue_capacity: get_u64(v, "queue_capacity")?,
             completed: get_u64(v, "completed")?,
             rejected: get_u64(v, "rejected")?,
+            // Absent in pre-session daemons: default to zero, like the
+            // program_* counters above.
+            sessions_open: get_u64_or(v, "sessions_open", 0)?,
+            delta_hits: get_u64_or(v, "delta_hits", 0)?,
+            gates_reeval: get_u64_or(v, "gates_reeval", 0)?,
         })
     }
 }
@@ -768,6 +937,23 @@ impl Serialize for Response {
                 ("id", id.to_value()),
                 ("ok", true.to_value()),
                 ("reply", "shutting-down".to_value()),
+            ]),
+            Self::Session {
+                id,
+                session,
+                result,
+            } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "session".to_value()),
+                ("session", session.to_value()),
+                ("result", result.to_value()),
+            ]),
+            Self::SessionClosed { id, session } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "session-closed".to_value()),
+                ("session", session.to_value()),
             ]),
             Self::Error { id, kind, message } => obj(vec![
                 (
@@ -819,6 +1005,15 @@ impl Deserialize for Response {
             "stats" => Ok(Self::Stats {
                 id,
                 stats: StatsReply::from_value(v.get_field("stats")?)?,
+            }),
+            "session" => Ok(Self::Session {
+                id,
+                session: get_u64(v, "session")?,
+                result: SimResult::from_value(v.get_field("result")?)?,
+            }),
+            "session-closed" => Ok(Self::SessionClosed {
+                id,
+                session: get_u64(v, "session")?,
             }),
             other => Err(serde::Error::new(format!("unknown reply {other:?}"))),
         }
@@ -1056,6 +1251,33 @@ mod tests {
                     ..SimRequest::default()
                 },
             },
+            Request::SessionOpen {
+                id: 6,
+                session: 11,
+                sim: SimRequest {
+                    circuit: CircuitSource::Name("c17".into()),
+                    library: "native".into(),
+                    timing: false,
+                    ..SimRequest::default()
+                },
+            },
+            Request::SessionDelta {
+                id: 7,
+                session: 11,
+                edits: vec![
+                    SessionEdit {
+                        net: "1".into(),
+                        initial_high: true,
+                        toggles: vec![1.0e-10, 2.5e-10],
+                    },
+                    SessionEdit {
+                        net: "2".into(),
+                        initial_high: false,
+                        toggles: vec![],
+                    },
+                ],
+            },
+            Request::SessionClose { id: 8, session: 11 },
         ];
         for r in requests {
             let line = encode_request(&r);
@@ -1085,6 +1307,9 @@ mod tests {
                     queue_capacity: 64,
                     completed: 93,
                     rejected: 2,
+                    sessions_open: 3,
+                    delta_hits: 41,
+                    gates_reeval: 977,
                 },
             },
             Response::Sim {
@@ -1120,6 +1345,28 @@ mod tests {
                 kind: ErrorKind::Overloaded,
                 message: "queue full".into(),
             },
+            Response::Session {
+                id: 8,
+                session: 11,
+                result: SimResult {
+                    fingerprint: hex64(0x1234_5678_9abc_def0),
+                    library: "native".into(),
+                    cache: CacheOutcome::Miss,
+                    outputs: vec![OutputTrace {
+                        net: "22".into(),
+                        initial_high: true,
+                        toggles: vec![2.0e-10],
+                    }],
+                    compare: None,
+                    timing: None,
+                },
+            },
+            Response::SessionClosed { id: 9, session: 11 },
+            Response::Error {
+                id: Some(10),
+                kind: ErrorKind::UnknownSession,
+                message: "session 12 is not open on this connection".into(),
+            },
         ];
         for r in responses {
             let line = encode_response(&r);
@@ -1153,6 +1400,77 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn malformed_session_requests_are_structured_errors() {
+        for bad in [
+            // session.open without a session id.
+            "{\"id\":1,\"op\":\"session.open\",\"circuit\":{\"name\":\"c17\"},\
+             \"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2}",
+            // Sessions are sigmoid-only: compare mode is rejected.
+            "{\"id\":1,\"op\":\"session.open\",\"session\":3,\"circuit\":{\"name\":\"c17\"},\
+             \"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2,\
+             \"compare\":true}",
+            // Delta without edits.
+            "{\"id\":1,\"op\":\"session.delta\",\"session\":3}",
+            // Non-increasing toggles.
+            "{\"id\":1,\"op\":\"session.delta\",\"session\":3,\
+             \"edits\":[{\"net\":\"a\",\"toggles\":[2e-10,1e-10]}]}",
+            // Non-positive toggle.
+            "{\"id\":1,\"op\":\"session.delta\",\"session\":3,\
+             \"edits\":[{\"net\":\"a\",\"toggles\":[0.0]}]}",
+            // Non-finite toggle.
+            "{\"id\":1,\"op\":\"session.delta\",\"session\":3,\
+             \"edits\":[{\"net\":\"a\",\"toggles\":[Infinity]}]}",
+            // Close without a session id.
+            "{\"id\":1,\"op\":\"session.close\"}",
+        ] {
+            assert!(
+                matches!(decode_request(bad), Err(ProtocolError::Malformed { .. })),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_edit_defaults_and_caps() {
+        let line = "{\"id\":1,\"op\":\"session.delta\",\"session\":3,\
+                    \"edits\":[{\"net\":\"a\",\"toggles\":[1e-10]}]}";
+        let Request::SessionDelta { edits, .. } = decode_request(line).unwrap() else {
+            panic!("expected session.delta");
+        };
+        assert!(!edits[0].initial_high, "initial_high defaults low");
+        // A toggle list beyond MAX_TRANSITIONS is rejected at decode.
+        let toggles: Vec<String> = (1..=MAX_TRANSITIONS + 1)
+            .map(|i| format!("{i}e-12"))
+            .collect();
+        let oversized = format!(
+            "{{\"id\":1,\"op\":\"session.delta\",\"session\":3,\
+             \"edits\":[{{\"net\":\"a\",\"toggles\":[{}]}}]}}",
+            toggles.join(",")
+        );
+        assert!(matches!(
+            decode_request(&oversized),
+            Err(ProtocolError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_without_session_fields_decodes_with_zeros() {
+        // Pre-session daemons never send the session counters; a newer
+        // client must read their stats as zeros, not error.
+        let line = "{\"id\":1,\"ok\":true,\"reply\":\"stats\",\"stats\":{\
+                    \"model_loads\":1,\"model_requests\":2,\"cache_hits\":3,\
+                    \"cache_misses\":4,\"cache_entries\":1,\"workers\":2,\
+                    \"queue_capacity\":64,\"completed\":5,\"rejected\":0}}";
+        let Response::Stats { stats, .. } = decode_response(line).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(
+            (stats.sessions_open, stats.delta_hits, stats.gates_reeval),
+            (0, 0, 0)
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::time::Duration;
 
 use crate::protocol::{decode_request, encode_response, salvage_id, FrameReader, Response};
 use crate::service::{Handled, Service};
+use crate::session::SessionTable;
 
 /// Writes one response frame; errors are ignored (the peer may have left
 /// without waiting — its work is not worth crashing a worker over).
@@ -52,6 +53,10 @@ where
     W: Write + Send + 'static,
 {
     let writer = Arc::new(Mutex::new(writer));
+    // The connection's session table: sessions are scoped to (and die
+    // with) this transport — dropping the table at the end of this
+    // function releases every session the client left open.
+    let sessions = SessionTable::new(Arc::clone(service));
     let mut frames = FrameReader::new(reader, service.config().max_frame);
     let outcome = loop {
         // Checked every iteration, not only on read timeouts: a client
@@ -96,9 +101,10 @@ where
             }
         };
         let respond_writer = Arc::clone(&writer);
-        let handled = service.handle_request(request, move |response| {
-            respond_line(&respond_writer, &response);
-        });
+        let handled =
+            service.handle_connection_request(request, Some(&sessions), move |response| {
+                respond_line(&respond_writer, &response);
+            });
         if handled == Handled::Shutdown {
             break Handled::Shutdown;
         }
@@ -326,6 +332,63 @@ mod tests {
                 kind: ErrorKind::ShuttingDown,
                 message: "daemon is draining".to_string(),
             }]
+        );
+    }
+
+    #[test]
+    fn sessions_are_scoped_to_their_connection() {
+        use crate::protocol::SimRequest;
+        let service = test_service();
+        let open = encode_request(&Request::SessionOpen {
+            id: 1,
+            session: 5,
+            sim: SimRequest {
+                circuit: CircuitSource::Name("c17".into()),
+                models: "synth".into(),
+                timing: false,
+                ..SimRequest::default()
+            },
+        });
+        let delta = encode_request(&Request::SessionDelta {
+            id: 2,
+            session: 5,
+            edits: vec![],
+        });
+        // Same connection: the open and a follow-up delta both succeed,
+        // even though the delta is read while the baseline may still be
+        // computing (it waits on the slot).
+        let responses = drive(&service, &format!("{open}\n{delta}\n"));
+        assert!(
+            responses.iter().any(|r| matches!(
+                r,
+                Response::Session {
+                    id: 1,
+                    session: 5,
+                    ..
+                }
+            )),
+            "{responses:?}"
+        );
+        assert!(
+            responses
+                .iter()
+                .any(|r| matches!(r, Response::Sim { id: 2, .. })),
+            "{responses:?}"
+        );
+        // The table died with the connection: its session was released.
+        assert_eq!(service.stats().sessions_open, 0);
+        // A different connection never sees another connection's ids.
+        let responses = drive(&service, &format!("{delta}\n"));
+        assert!(
+            matches!(
+                responses.as_slice(),
+                [Response::Error {
+                    id: Some(2),
+                    kind: ErrorKind::UnknownSession,
+                    ..
+                }]
+            ),
+            "{responses:?}"
         );
     }
 

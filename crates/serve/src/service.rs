@@ -18,17 +18,18 @@ use rand::SeedableRng;
 use sigcircuit::{Benchmark, Circuit, MappingPolicy, NetId};
 use sigsim::{
     compare_circuit_cells, digital_to_sigmoid, random_stimuli, simulate_cells_with, CircuitProgram,
-    HarnessConfig, SigmoidSimConfig, SigmoidSimResult, SimScratch, StimulusSpec,
+    HarnessConfig, SigmoidSimConfig, SigmoidSimResult, SimScratch, StimulusEdit, StimulusSpec,
 };
 use sigwave::parallel::WorkerPool;
-use sigwave::{DigitalTrace, SigmoidTrace};
+use sigwave::{DigitalTrace, Level, SigmoidTrace};
 
 use crate::cache::{CacheKey, CircuitCache, ProgramCache};
 use crate::protocol::{
-    CacheOutcome, CompareStats, ErrorKind, OutputTrace, Request, Response, SimRequest, SimResult,
-    StatsReply, TimingStats,
+    CacheOutcome, CompareStats, ErrorKind, OutputTrace, Request, Response, SessionEdit, SimRequest,
+    SimResult, StatsReply, TimingStats,
 };
 use crate::registry::{ModelRegistry, ModelSet, RegistryError};
+use crate::session::{SessionCore, SessionSlot, SessionTable, SlotState};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +45,11 @@ pub struct ServiceConfig {
     pub models_dir: std::path::PathBuf,
     /// Per-frame size cap in bytes for the wire transports.
     pub max_frame: usize,
+    /// Daemon-wide cap on open incremental sessions. Sessions pin a
+    /// compiled program and a full set of per-net traces, so the budget
+    /// is explicit; a connection opening past it evicts its own
+    /// least-recently-used session (see [`crate::session::SessionTable`]).
+    pub session_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +60,7 @@ impl Default for ServiceConfig {
             cache_capacity: 32,
             models_dir: std::path::PathBuf::from("target/sigmodels"),
             max_frame: crate::protocol::MAX_FRAME_BYTES,
+            session_capacity: 32,
         }
     }
 }
@@ -120,6 +127,15 @@ pub struct Service {
     completed: AtomicU64,
     rejected: AtomicU64,
     draining: AtomicBool,
+    /// Incremental sessions currently open across all connections (the
+    /// tables increment on reserve and decrement exactly once when a
+    /// session leaves its table — close, eviction, failed open, or the
+    /// connection dropping).
+    sessions_open: AtomicU64,
+    /// `session.delta` requests served from resident session state.
+    delta_hits: AtomicU64,
+    /// Cumulative gates re-evaluated by delta requests.
+    gates_reeval: AtomicU64,
 }
 
 impl std::fmt::Debug for Service {
@@ -145,8 +161,17 @@ impl Service {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            sessions_open: AtomicU64::new(0),
+            delta_hits: AtomicU64::new(0),
+            gates_reeval: AtomicU64::new(0),
             config,
         })
+    }
+
+    /// The open-session counter, shared with the per-connection
+    /// [`SessionTable`]s that own the increments/decrements.
+    pub(crate) fn session_count(&self) -> &AtomicU64 {
+        &self.sessions_open
     }
 
     /// The model registry (exposed so embedders — tests, benches — can
@@ -191,6 +216,9 @@ impl Service {
             queue_capacity: self.config.queue_capacity as u64,
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            sessions_open: self.sessions_open.load(Ordering::SeqCst),
+            delta_hits: self.delta_hits.load(Ordering::Relaxed),
+            gates_reeval: self.gates_reeval.load(Ordering::Relaxed),
         }
     }
 
@@ -205,16 +233,36 @@ impl Service {
         &self.pool
     }
 
-    /// Handles one decoded request. Cheap requests (ping, stats,
-    /// shutdown) are answered inline via `respond`; sim requests are
-    /// scheduled on the pool and answered from a worker thread, so
-    /// `respond` must be callable from any thread, and responses to
-    /// different requests may interleave in any order (clients correlate
-    /// by id). When the queue is full the request is rejected immediately
-    /// with an `overloaded` error — backpressure is explicit.
+    /// Handles one decoded request without a session table — the
+    /// back-compat entry point for embedders (benches, tests) that only
+    /// issue stateless requests. Session requests answer with a
+    /// `protocol` error; everything else behaves exactly like
+    /// [`Service::handle_connection_request`].
     pub fn handle_request(
         self: &Arc<Self>,
         request: Request,
+        respond: impl Fn(Response) + Send + Sync + 'static,
+    ) -> Handled {
+        self.handle_connection_request(request, None, respond)
+    }
+
+    /// Handles one decoded request. Cheap requests (ping, stats,
+    /// shutdown, session close) are answered inline via `respond`; sim,
+    /// session-open and session-delta requests are scheduled on the pool
+    /// and answered from a worker thread, so `respond` must be callable
+    /// from any thread, and responses to different requests may
+    /// interleave in any order (clients correlate by id). When the queue
+    /// is full the request is rejected immediately with an `overloaded`
+    /// error — backpressure is explicit, for session work exactly as for
+    /// full simulations.
+    ///
+    /// `sessions` is the connection-scoped [`SessionTable`] (transports
+    /// create one per connection); `None` means the caller cannot host
+    /// sessions and session requests are rejected.
+    pub fn handle_connection_request(
+        self: &Arc<Self>,
+        request: Request,
+        sessions: Option<&Arc<SessionTable>>,
         respond: impl Fn(Response) + Send + Sync + 'static,
     ) -> Handled {
         match request {
@@ -237,11 +285,7 @@ impl Service {
             }
             Request::Sim { id, sim } => {
                 if self.draining.load(Ordering::SeqCst) {
-                    respond(Response::Error {
-                        id: Some(id),
-                        kind: ErrorKind::ShuttingDown,
-                        message: "daemon is draining".to_string(),
-                    });
+                    respond(draining_error(id));
                     return Handled::Continue;
                 }
                 let service = Arc::clone(self);
@@ -260,19 +304,283 @@ impl Service {
                     job_respond(response);
                 });
                 if submitted.is_err() {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
-                    respond(Response::Error {
-                        id: Some(id),
-                        kind: ErrorKind::Overloaded,
-                        message: format!(
-                            "scheduler queue is full ({} pending); retry later",
-                            self.config.queue_capacity
-                        ),
-                    });
+                    self.reject_overloaded(id, &*respond);
+                }
+                Handled::Continue
+            }
+            Request::SessionOpen { id, session, sim } => {
+                self.handle_session_open(id, session, sim, sessions, respond)
+            }
+            Request::SessionDelta { id, session, edits } => {
+                self.handle_session_delta(id, session, edits, sessions, respond)
+            }
+            Request::SessionClose { id, session } => {
+                // Close is pure table bookkeeping: answered inline, and
+                // allowed even while draining (it releases state).
+                let Some(table) = sessions else {
+                    respond(no_session_transport(id));
+                    return Handled::Continue;
+                };
+                if table.remove(session) {
+                    respond(Response::SessionClosed { id, session });
+                } else {
+                    respond(unknown_session(id, session));
                 }
                 Handled::Continue
             }
         }
+    }
+
+    /// Schedules a `session.open`: reserves the table slot inline (so the
+    /// very next frame already sees the session), then runs the baseline
+    /// on the pool. Deltas arriving while the baseline computes wait on
+    /// the slot instead of failing — connection frames are dispatched in
+    /// order, and the pool is FIFO, so the open job always runs first.
+    fn handle_session_open(
+        self: &Arc<Self>,
+        id: u64,
+        session: u64,
+        sim: SimRequest,
+        sessions: Option<&Arc<SessionTable>>,
+        respond: impl Fn(Response) + Send + Sync + 'static,
+    ) -> Handled {
+        if self.draining.load(Ordering::SeqCst) {
+            respond(draining_error(id));
+            return Handled::Continue;
+        }
+        let Some(table) = sessions else {
+            respond(no_session_transport(id));
+            return Handled::Continue;
+        };
+        let slot = match table.open_reserve(session) {
+            Ok(slot) => slot,
+            Err((kind, message)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                respond(Response::Error {
+                    id: Some(id),
+                    kind,
+                    message,
+                });
+                return Handled::Continue;
+            }
+        };
+        let service = Arc::clone(self);
+        let job_table = Arc::clone(table);
+        let job_slot = Arc::clone(&slot);
+        let respond = Arc::new(respond);
+        let job_respond = Arc::clone(&respond);
+        let submitted = self.pool.try_execute(move || {
+            let response = match service.open_session_core(&sim) {
+                Ok((core, result)) => {
+                    job_slot.fulfill(core);
+                    Response::Session {
+                        id,
+                        session,
+                        result,
+                    }
+                }
+                Err((kind, message)) => {
+                    job_slot.abandon();
+                    job_table.fail(session, &job_slot);
+                    Response::Error {
+                        id: Some(id),
+                        kind,
+                        message,
+                    }
+                }
+            };
+            service.completed.fetch_add(1, Ordering::Relaxed);
+            job_respond(response);
+        });
+        if submitted.is_err() {
+            slot.abandon();
+            table.fail(session, &slot);
+            self.reject_overloaded(id, &*respond);
+        }
+        Handled::Continue
+    }
+
+    /// Schedules a `session.delta`: the session is resolved (and its LRU
+    /// position refreshed) inline, the edits execute on the pool.
+    fn handle_session_delta(
+        self: &Arc<Self>,
+        id: u64,
+        session: u64,
+        edits: Vec<SessionEdit>,
+        sessions: Option<&Arc<SessionTable>>,
+        respond: impl Fn(Response) + Send + Sync + 'static,
+    ) -> Handled {
+        if self.draining.load(Ordering::SeqCst) {
+            respond(draining_error(id));
+            return Handled::Continue;
+        }
+        let Some(table) = sessions else {
+            respond(no_session_transport(id));
+            return Handled::Continue;
+        };
+        let Some(slot) = table.lookup(session) else {
+            respond(unknown_session(id, session));
+            return Handled::Continue;
+        };
+        let service = Arc::clone(self);
+        let respond = Arc::new(respond);
+        let job_respond = Arc::clone(&respond);
+        let submitted = self.pool.try_execute(move || {
+            let response = match service.execute_delta_on(&slot, session, &edits) {
+                Ok(result) => Response::Sim { id, result },
+                Err((kind, message)) => Response::Error {
+                    id: Some(id),
+                    kind,
+                    message,
+                },
+            };
+            service.completed.fetch_add(1, Ordering::Relaxed);
+            job_respond(response);
+        });
+        if submitted.is_err() {
+            self.reject_overloaded(id, &*respond);
+        }
+        Handled::Continue
+    }
+
+    /// Counts a queue-full rejection and answers with `overloaded`.
+    fn reject_overloaded(&self, id: u64, respond: &(impl Fn(Response) + ?Sized)) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        respond(Response::Error {
+            id: Some(id),
+            kind: ErrorKind::Overloaded,
+            message: format!(
+                "scheduler queue is full ({} pending); retry later",
+                self.config.queue_capacity
+            ),
+        });
+    }
+
+    /// Opens a session (the worker-thread body): resolves artifacts
+    /// exactly like [`Service::execute_sim`]'s sigmoid path, runs the
+    /// baseline through [`CircuitProgram::open_session`], and packages
+    /// the resident [`SessionCore`] plus the baseline response payload
+    /// (field-for-field what a full `sim` request would answer).
+    fn open_session_core(
+        &self,
+        sim: &SimRequest,
+    ) -> Result<(SessionCore, SimResult), (ErrorKind, String)> {
+        let set = self
+            .registry
+            .get_or_load(&sim.models, &sim.library)
+            .map_err(|e| {
+                let kind = match e {
+                    RegistryError::UnknownName(_) => ErrorKind::UnknownModels,
+                    _ => ErrorKind::Simulation,
+                };
+                (kind, e.to_string())
+            })?;
+        let circuit_key = CacheKey::of(&sim.circuit, set.policy);
+        let (circuit, hit) = self.resolve_circuit(circuit_key, sim, set.policy)?;
+        let cache = if hit {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        let program = self.resolve_program(circuit_key, &set, &circuit)?;
+        let stimuli = stimuli_for(&circuit, sim);
+        let sigmoid_stimuli = sigmoid_stimuli_from(&stimuli, set.options.vdd);
+        let mut scratch = self.scratch.acquire();
+        let start = Instant::now();
+        let opened = program.open_session(&sigmoid_stimuli, &mut scratch);
+        let wall_sigmoid = start.elapsed();
+        self.scratch.release(scratch);
+        let state = opened.map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+        let fingerprint = crate::protocol::hex64(circuit.fingerprint());
+        let result = SimResult {
+            fingerprint: fingerprint.clone(),
+            library: set.library.clone(),
+            cache,
+            outputs: sigmoid_outputs(&circuit, &state.result(), set.options.vdd / 2.0),
+            compare: None,
+            timing: sim.timing.then_some(TimingStats {
+                wall_analog_s: 0.0,
+                wall_digital_s: 0.0,
+                wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
+            }),
+        };
+        let core = SessionCore {
+            program,
+            state,
+            fingerprint,
+            library: set.library.clone(),
+            vdd: set.options.vdd,
+            timing: sim.timing,
+        };
+        Ok((core, result))
+    }
+
+    /// Executes one delta batch on a session slot (the worker-thread
+    /// body). Waits on the slot while its baseline is still opening; the
+    /// slot's state lock also serializes deltas per session. Responds in
+    /// the plain `sim` shape with `cache: hit` — a delta by definition
+    /// reuses resident artifacts, and the payload stays byte-comparable
+    /// to a full run of the equivalent final stimuli.
+    fn execute_delta_on(
+        &self,
+        slot: &SessionSlot,
+        session: u64,
+        edits: &[SessionEdit],
+    ) -> Result<SimResult, (ErrorKind, String)> {
+        let mut guard = slot.state.lock().expect("session slot poisoned");
+        while matches!(*guard, SlotState::Opening) {
+            guard = slot.ready.wait(guard).expect("session slot poisoned");
+        }
+        let SlotState::Ready(core) = &mut *guard else {
+            return Err((
+                ErrorKind::UnknownSession,
+                format!("session {session} failed to open"),
+            ));
+        };
+        let program = Arc::clone(&core.program);
+        let circuit = Arc::clone(program.circuit());
+        let mut changes = Vec::with_capacity(edits.len());
+        for edit in edits {
+            let net = circuit.find_net(&edit.net).ok_or_else(|| {
+                (
+                    ErrorKind::Simulation,
+                    format!("edit targets unknown net {:?}", edit.net),
+                )
+            })?;
+            let level = if edit.initial_high {
+                Level::High
+            } else {
+                Level::Low
+            };
+            // The toggle invariants were validated at decode;
+            // `DigitalTrace` re-checks them as the library contract.
+            let digital = DigitalTrace::new(level, edit.toggles.clone())
+                .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+            changes.push(StimulusEdit {
+                net,
+                trace: Arc::new(digital_to_sigmoid(&digital, core.vdd)),
+            });
+        }
+        let start = Instant::now();
+        let result = program
+            .execute_delta(&mut core.state, &changes)
+            .map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+        let wall_sigmoid = start.elapsed();
+        self.delta_hits.fetch_add(1, Ordering::Relaxed);
+        self.gates_reeval
+            .fetch_add(core.state.last_reeval(), Ordering::Relaxed);
+        Ok(SimResult {
+            fingerprint: core.fingerprint.clone(),
+            library: core.library.clone(),
+            cache: CacheOutcome::Hit,
+            outputs: sigmoid_outputs(&circuit, &result, core.vdd / 2.0),
+            compare: None,
+            timing: core.timing.then_some(TimingStats {
+                wall_analog_s: 0.0,
+                wall_digital_s: 0.0,
+                wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
+            }),
+        })
     }
 
     /// Resolves a sim request's circuit through the cache under an
@@ -359,6 +667,35 @@ impl Service {
     }
 }
 
+/// The error answered to any simulation-carrying request while draining.
+fn draining_error(id: u64) -> Response {
+    Response::Error {
+        id: Some(id),
+        kind: ErrorKind::ShuttingDown,
+        message: "daemon is draining".to_string(),
+    }
+}
+
+/// The error answered to session requests from a caller without a
+/// connection-scoped [`SessionTable`] (the back-compat
+/// [`Service::handle_request`] entry point).
+fn no_session_transport(id: u64) -> Response {
+    Response::Error {
+        id: Some(id),
+        kind: ErrorKind::Protocol,
+        message: "session requests need a connection-scoped transport".to_string(),
+    }
+}
+
+/// The error answered when a session id is not open on this connection.
+fn unknown_session(id: u64, session: u64) -> Response {
+    Response::Error {
+        id: Some(id),
+        kind: ErrorKind::UnknownSession,
+        message: format!("session {session} is not open on this connection"),
+    }
+}
+
 /// Builds the circuit of a source under a mapping policy (the cache miss
 /// path).
 fn build_circuit(
@@ -409,6 +746,43 @@ fn stimuli_for(circuit: &Circuit, sim: &SimRequest) -> HashMap<NetId, DigitalTra
     random_stimuli(circuit, &spec, &mut rng)
 }
 
+/// Replaces the seeded stimulus of every edited net, rejecting edits
+/// that do not target a primary input (mirroring the validation the
+/// incremental engine applies to `session.delta`).
+fn apply_edits(
+    circuit: &Circuit,
+    stimuli: &mut HashMap<NetId, DigitalTrace>,
+    edits: &[SessionEdit],
+) -> Result<(), (ErrorKind, String)> {
+    for edit in edits {
+        let Some(net) = circuit.find_net(&edit.net) else {
+            return Err((
+                ErrorKind::Simulation,
+                format!("edit targets unknown net {:?}", edit.net),
+            ));
+        };
+        if !circuit.inputs().contains(&net) {
+            return Err((
+                ErrorKind::Simulation,
+                format!("edit target {:?} is not a primary input", edit.net),
+            ));
+        }
+        let level = if edit.initial_high {
+            Level::High
+        } else {
+            Level::Low
+        };
+        let trace = DigitalTrace::new(level, edit.toggles.clone()).map_err(|e| {
+            (
+                ErrorKind::Simulation,
+                format!("edit for net {:?}: {e}", edit.net),
+            )
+        })?;
+        stimuli.insert(net, trace);
+    }
+    Ok(())
+}
+
 /// Runs the requested simulation on already-resolved artifacts. This is
 /// the only numerics entry point of the service; `sigctl golden` calls it
 /// with directly-built artifacts to produce the independent reference the
@@ -423,7 +797,28 @@ pub fn run_sim(
     sim: &SimRequest,
     cache: CacheOutcome,
 ) -> Result<SimResult, (ErrorKind, String)> {
-    let stimuli = stimuli_for(circuit, sim);
+    run_sim_edited(circuit, set, sim, &[], cache)
+}
+
+/// [`run_sim`] with the seeded stimuli of the edited primary inputs
+/// replaced first — the exact replacement semantics of `session.delta`,
+/// so `sigctl golden --edit` produces the full-run reference frame a
+/// delta response must match byte-for-byte (modulo the documented cache
+/// hit/miss echo).
+///
+/// # Errors
+///
+/// Returns the protocol error kind and message when an edit is invalid
+/// or the simulation fails.
+pub fn run_sim_edited(
+    circuit: &Circuit,
+    set: &ModelSet,
+    sim: &SimRequest,
+    edits: &[SessionEdit],
+    cache: CacheOutcome,
+) -> Result<SimResult, (ErrorKind, String)> {
+    let mut stimuli = stimuli_for(circuit, sim);
+    apply_edits(circuit, &mut stimuli, edits)?;
     let threshold = set.options.vdd / 2.0;
     let fingerprint = crate::protocol::hex64(circuit.fingerprint());
     let library = set.library.clone();

@@ -10,7 +10,7 @@ use rand::Rng;
 use sigserve::protocol::{
     decode_request, decode_response, encode_request, encode_response, hex64, CacheOutcome,
     CircuitSource, CompareStats, ErrorKind, FrameReader, OutputTrace, ProtocolError, Request,
-    Response, SimRequest, SimResult, StatsReply, TimingStats, MAX_WIRE_INT,
+    Response, SessionEdit, SimRequest, SimResult, StatsReply, TimingStats, MAX_WIRE_INT,
 };
 
 fn drain_frames(bytes: &[u8], cap: usize) -> Vec<Result<String, ProtocolError>> {
@@ -141,33 +141,74 @@ fn random_f64(rng: &mut rand::rngs::StdRng) -> f64 {
     (rng.gen_range(-1.0..1.0f64)) * mag
 }
 
+fn random_sim(rng: &mut rand::rngs::StdRng) -> SimRequest {
+    SimRequest {
+        circuit: if rng.gen() {
+            CircuitSource::Name(random_string(rng))
+        } else {
+            CircuitSource::Inline(random_string(rng))
+        },
+        models: random_string(rng),
+        library: if rng.gen() {
+            "nor-only".to_string()
+        } else {
+            random_string(rng)
+        },
+        seed: rng.gen_range(0..MAX_WIRE_INT),
+        mu: random_f64(rng).abs().max(1e-15),
+        sigma: random_f64(rng).abs().max(1e-15),
+        transitions: rng.gen_range(0..1000usize),
+        compare: rng.gen(),
+        timing: rng.gen(),
+    }
+}
+
+fn random_edit(rng: &mut rand::rngs::StdRng) -> SessionEdit {
+    let n = rng.gen_range(0..5usize);
+    let mut t = 0.0;
+    let toggles = (0..n)
+        .map(|_| {
+            t += rng.gen_range(1e-12..1e-10f64);
+            t
+        })
+        .collect();
+    SessionEdit {
+        net: random_string(rng),
+        initial_high: rng.gen(),
+        toggles,
+    }
+}
+
 fn random_request(rng: &mut rand::rngs::StdRng) -> Request {
     let id = rng.gen_range(0..MAX_WIRE_INT);
-    match rng.gen_range(0..4u32) {
+    match rng.gen_range(0..7u32) {
         0 => Request::Ping { id },
         1 => Request::Stats { id },
         2 => Request::Shutdown { id },
+        3 => Request::SessionOpen {
+            id,
+            session: rng.gen_range(0..MAX_WIRE_INT),
+            sim: SimRequest {
+                // Sessions are sigmoid-only: compare must be off for the
+                // encoded frame to decode back.
+                compare: false,
+                ..random_sim(rng)
+            },
+        },
+        4 => Request::SessionDelta {
+            id,
+            session: rng.gen_range(0..MAX_WIRE_INT),
+            edits: (0..rng.gen_range(0..4usize))
+                .map(|_| random_edit(rng))
+                .collect(),
+        },
+        5 => Request::SessionClose {
+            id,
+            session: rng.gen_range(0..MAX_WIRE_INT),
+        },
         _ => Request::Sim {
             id,
-            sim: SimRequest {
-                circuit: if rng.gen() {
-                    CircuitSource::Name(random_string(rng))
-                } else {
-                    CircuitSource::Inline(random_string(rng))
-                },
-                models: random_string(rng),
-                library: if rng.gen() {
-                    "nor-only".to_string()
-                } else {
-                    random_string(rng)
-                },
-                seed: rng.gen_range(0..MAX_WIRE_INT),
-                mu: random_f64(rng).abs().max(1e-15),
-                sigma: random_f64(rng).abs().max(1e-15),
-                transitions: rng.gen_range(0..1000usize),
-                compare: rng.gen(),
-                timing: rng.gen(),
-            },
+            sim: random_sim(rng),
         },
     }
 }
@@ -188,11 +229,49 @@ fn random_output(rng: &mut rand::rngs::StdRng) -> OutputTrace {
     }
 }
 
+fn random_result(rng: &mut rand::rngs::StdRng) -> SimResult {
+    SimResult {
+        fingerprint: hex64(rng.gen::<u64>()),
+        library: if rng.gen() {
+            "native".to_string()
+        } else {
+            random_string(rng)
+        },
+        cache: if rng.gen() {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        },
+        outputs: (0..rng.gen_range(0..4usize))
+            .map(|_| random_output(rng))
+            .collect(),
+        compare: rng.gen::<bool>().then(|| CompareStats {
+            t_err_digital: random_f64(rng).abs(),
+            t_err_sigmoid: random_f64(rng).abs(),
+            error_ratio: random_f64(rng).abs(),
+        }),
+        timing: rng.gen::<bool>().then(|| TimingStats {
+            wall_analog_s: random_f64(rng).abs(),
+            wall_digital_s: random_f64(rng).abs(),
+            wall_sigmoid_s: random_f64(rng).abs(),
+        }),
+    }
+}
+
 fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
     let id = rng.gen_range(0..MAX_WIRE_INT);
-    match rng.gen_range(0..5u32) {
+    match rng.gen_range(0..7u32) {
         0 => Response::Pong { id },
         1 => Response::ShuttingDown { id },
+        5 => Response::Session {
+            id,
+            session: rng.gen_range(0..MAX_WIRE_INT),
+            result: random_result(rng),
+        },
+        6 => Response::SessionClosed {
+            id,
+            session: rng.gen_range(0..MAX_WIRE_INT),
+        },
         2 => Response::Stats {
             id,
             stats: StatsReply {
@@ -211,6 +290,9 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
                 queue_capacity: rng.gen_range(0..MAX_WIRE_INT),
                 completed: rng.gen_range(0..MAX_WIRE_INT),
                 rejected: rng.gen_range(0..MAX_WIRE_INT),
+                sessions_open: rng.gen_range(0..MAX_WIRE_INT),
+                delta_hits: rng.gen_range(0..MAX_WIRE_INT),
+                gates_reeval: rng.gen_range(0..MAX_WIRE_INT),
             },
         },
         3 => Response::Error {
@@ -225,40 +307,16 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
                 ErrorKind::UnknownModels,
                 ErrorKind::Circuit,
                 ErrorKind::Simulation,
+                ErrorKind::UnknownSession,
                 ErrorKind::ShuttingDown,
             ]
-            .get(rng.gen_range(0..6usize))
+            .get(rng.gen_range(0..7usize))
             .expect("in range"),
             message: random_string(rng),
         },
         _ => Response::Sim {
             id,
-            result: SimResult {
-                fingerprint: hex64(rng.gen::<u64>()),
-                library: if rng.gen() {
-                    "native".to_string()
-                } else {
-                    random_string(rng)
-                },
-                cache: if rng.gen() {
-                    CacheOutcome::Hit
-                } else {
-                    CacheOutcome::Miss
-                },
-                outputs: (0..rng.gen_range(0..4usize))
-                    .map(|_| random_output(rng))
-                    .collect(),
-                compare: rng.gen::<bool>().then(|| CompareStats {
-                    t_err_digital: random_f64(rng).abs(),
-                    t_err_sigmoid: random_f64(rng).abs(),
-                    error_ratio: random_f64(rng).abs(),
-                }),
-                timing: rng.gen::<bool>().then(|| TimingStats {
-                    wall_analog_s: random_f64(rng).abs(),
-                    wall_digital_s: random_f64(rng).abs(),
-                    wall_sigmoid_s: random_f64(rng).abs(),
-                }),
-            },
+            result: random_result(rng),
         },
     }
 }

@@ -20,6 +20,12 @@
 //!   tables with a reusable [`SimScratch`] arena. The fused entry points
 //!   above are thin wrappers and stay bit-identical (see
 //!   `docs/architecture.md` § Compile/execute split).
+//! * [`IncrementalState`] — the event-driven incremental engine:
+//!   [`CircuitProgram::open_session`] captures a full execution,
+//!   [`CircuitProgram::execute_delta`] applies [`StimulusEdit`] batches
+//!   by re-simulating only the affected cone, bit-identical to a cold
+//!   full execution of the final stimuli (see `docs/architecture.md`
+//!   § Incremental engine).
 //! * [`train_models`]/[`train_models_cached`] — the end-to-end pipeline:
 //!   analog characterization sweeps → waveform fitting → four ANNs per
 //!   gate variant → valid regions.
@@ -90,7 +96,8 @@ pub use models::{
 };
 pub use simulator::{
     simulate_cells_with, simulate_sigmoid, simulate_sigmoid_with, CellModels, CircuitProgram,
-    GateModels, SigmoidSimConfig, SigmoidSimError, SigmoidSimResult, SimScratch, MODEL_SLOTS,
+    GateModels, IncrementalState, SigmoidSimConfig, SigmoidSimError, SigmoidSimResult, SimScratch,
+    StimulusEdit, MODEL_SLOTS,
 };
 pub use stimulus::StimulusSpec;
 
@@ -107,6 +114,8 @@ const _: () = {
     assert_send_sync::<CellModels>();
     assert_send_sync::<CircuitProgram>();
     assert_send_sync::<SimScratch>();
+    assert_send_sync::<IncrementalState>();
+    assert_send_sync::<StimulusEdit>();
     assert_send_sync::<CellLibrary>();
     assert_send_sync::<TrainedModels>();
     assert_send_sync::<SigmoidSimResult>();

@@ -21,6 +21,14 @@
 //! resident tables with a reusable [`SimScratch`]; the fused entry points
 //! below compile-and-execute per call and stay bit-identical.
 //!
+//! On top of the split sits the **event-driven incremental engine**:
+//! [`CircuitProgram::open_session`] captures a full execution in a
+//! resident [`IncrementalState`], and [`CircuitProgram::execute_delta`]
+//! re-simulates only the cone affected by a batch of [`StimulusEdit`]s —
+//! a level-ordered dirty-set walk that stops wherever a recomputed trace
+//! is bit-identical to the committed one (see `docs/architecture.md`
+//! § Incremental engine).
+//!
 //! [`predict_batch`]: sigtom::GateModel::predict_batch
 
 use std::collections::HashMap;
@@ -28,8 +36,8 @@ use std::sync::Arc;
 
 use sigcircuit::{Circuit, GateKind, NetId};
 use sigtom::{
-    apply_plan, CellFunction, GateModel, GatePlan, PlanScratch, PlanTemplate, TomOptions,
-    TransferPrediction, TransferQuery,
+    apply_plan, traces_bit_identical, CellFunction, GateModel, GatePlan, PlanScratch, PlanTemplate,
+    TomOptions, TransferPrediction, TransferQuery,
 };
 use sigwave::{Level, SigmoidTrace};
 
@@ -357,6 +365,12 @@ pub enum SigmoidSimError {
         /// Its arity.
         arity: usize,
     },
+    /// A [`StimulusEdit`] targets a net that is not a primary input —
+    /// only stimuli can be edited; internal nets are derived state.
+    EditNotAnInput {
+        /// Offending net name.
+        net: String,
+    },
 }
 
 impl std::fmt::Display for SigmoidSimError {
@@ -369,6 +383,9 @@ impl std::fmt::Display for SigmoidSimError {
                     "no cell model can simulate {kind} with {arity} inputs \
                      (map the circuit to a supported cell set first)"
                 )
+            }
+            Self::EditNotAnInput { net } => {
+                write!(f, "delta edit targets non-input net {net:?}")
             }
         }
     }
@@ -704,6 +721,238 @@ impl CircuitProgram {
             config,
             scratch,
         )
+    }
+
+    /// Opens an incremental session: runs one full execution of `stimuli`
+    /// (bit-identical to [`CircuitProgram::execute`]) and captures the
+    /// committed per-net traces in a resident [`IncrementalState`] that
+    /// subsequent [`CircuitProgram::execute_delta`] calls mutate in
+    /// place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmoidSimError::MissingStimulus`] when an input net has
+    /// no stimulus trace (same contract as a full execution).
+    pub fn open_session(
+        &self,
+        stimuli: &HashMap<NetId, Arc<SigmoidTrace>>,
+        scratch: &mut SimScratch,
+    ) -> Result<IncrementalState, SigmoidSimError> {
+        let baseline = self.execute(stimuli, scratch)?;
+        let circuit = &self.circuit;
+        let mut level_of = vec![0usize; circuit.gates().len()];
+        for (li, level) in circuit.levels().iter().enumerate() {
+            for &gi in level {
+                level_of[gi] = li;
+            }
+        }
+        let mut is_input = vec![false; circuit.net_count()];
+        for &input in circuit.inputs() {
+            is_input[input.0] = true;
+        }
+        Ok(IncrementalState {
+            circuit: Arc::clone(circuit),
+            committed: baseline.traces,
+            undriven: baseline.undriven,
+            level_of,
+            is_input,
+            dirty_levels: vec![Vec::new(); circuit.levels().len()],
+            gate_marked: vec![false; circuit.gates().len()],
+            plan: PlanScratch::default(),
+            deltas: 0,
+            gates_reeval: 0,
+            last_reeval: 0,
+        })
+    }
+
+    /// Applies a batch of stimulus edits to a session and re-simulates
+    /// **only the affected cone**: the event-driven half of the engine.
+    ///
+    /// Dirtiness seeds from each edited input's consumer gates
+    /// ([`Circuit::fanouts`]) and the scheduler walks the dirty set in
+    /// ASAP-level order, re-planning and re-predicting each dirty gate
+    /// with the compiled [`sigtom::PlanTemplate`] (the exact per-gate
+    /// computation of the scalar executor). Propagation **stops** at any
+    /// gate whose recomputed output trace is bit-identical
+    /// ([`sigtom::traces_bit_identical`] — exact `f64` bits, not a
+    /// tolerance) to the committed one, so the result is provably equal
+    /// to a cold full [`CircuitProgram::execute`] of the final stimuli:
+    /// every skipped gate's inputs are unchanged bit-for-bit, and gate
+    /// evaluation is deterministic in its inputs.
+    ///
+    /// Edits whose trace is bit-identical to the committed stimulus are
+    /// no-ops (they seed no dirtiness); an empty `changed` slice returns
+    /// the committed result unchanged. The returned
+    /// [`SigmoidSimResult`] shares the state's traces (`Arc` clones).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmoidSimError::EditNotAnInput`] when an edit targets a
+    /// net that is not a primary input; the state is untouched in that
+    /// case (validation happens before any commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was opened from a program compiled for a
+    /// different circuit (the session pins the circuit identity).
+    pub fn execute_delta(
+        &self,
+        state: &mut IncrementalState,
+        changed: &[StimulusEdit],
+    ) -> Result<SigmoidSimResult, SigmoidSimError> {
+        assert!(
+            Arc::ptr_eq(&self.circuit, &state.circuit),
+            "IncrementalState belongs to a program compiled for a different circuit"
+        );
+        let circuit = &*self.circuit;
+        for edit in changed {
+            if !state.is_input[edit.net.0] {
+                return Err(SigmoidSimError::EditNotAnInput {
+                    net: circuit.net_name(edit.net).to_string(),
+                });
+            }
+        }
+        state.deltas += 1;
+        state.last_reeval = 0;
+        let fanouts = circuit.fanouts();
+        for edit in changed {
+            if traces_bit_identical(&edit.trace, &state.committed[edit.net.0]) {
+                continue;
+            }
+            state.committed[edit.net.0] = Arc::clone(&edit.trace);
+            for &gi in &fanouts[edit.net.0] {
+                state.mark_dirty(gi);
+            }
+        }
+        for li in 0..state.dirty_levels.len() {
+            let mut gates = std::mem::take(&mut state.dirty_levels[li]);
+            // Dirt from several sources lands in marking order; sort so
+            // the walk (and the reeval counters) are deterministic.
+            gates.sort_unstable();
+            for gi in gates.drain(..) {
+                state.gate_marked[gi] = false;
+                let gate = &circuit.gates()[gi];
+                let first = &*state.committed[gate.inputs[0].0];
+                let mut ins: [&SigmoidTrace; MAX_CELL_ARITY] = [first; MAX_CELL_ARITY];
+                for (k, i) in gate.inputs.iter().enumerate().skip(1) {
+                    ins[k] = &state.committed[i.0];
+                }
+                let plan = self.tables.templates[gi].bind_with(
+                    &ins[..gate.inputs.len()],
+                    self.options,
+                    &mut state.plan,
+                );
+                let trace = apply_plan(plan, self.cells.by_slot(self.tables.slots[gi]));
+                state.gates_reeval += 1;
+                state.last_reeval += 1;
+                if traces_bit_identical(&trace, &state.committed[gate.output.0]) {
+                    // Converged: the output did not change a single bit,
+                    // so every downstream gate would recompute exactly
+                    // its committed trace — propagation stops here.
+                    continue;
+                }
+                state.committed[gate.output.0] = Arc::new(trace);
+                for &consumer in &fanouts[gate.output.0] {
+                    state.mark_dirty(consumer);
+                }
+            }
+            // Hand the (drained) buffer back so its capacity is reused.
+            state.dirty_levels[li] = gates;
+        }
+        Ok(state.result())
+    }
+}
+
+/// One stimulus edit of an incremental session: replaces the committed
+/// trace on a primary-input net (see [`CircuitProgram::execute_delta`]).
+#[derive(Debug, Clone)]
+pub struct StimulusEdit {
+    /// The primary-input net whose stimulus changes.
+    pub net: NetId,
+    /// The replacement trace (shared, never cloned).
+    pub trace: Arc<SigmoidTrace>,
+}
+
+/// The resident state of one incremental simulation session: the last
+/// committed per-net traces (stimuli *and* gate outputs) of one
+/// [`CircuitProgram`], plus the dirty-set bookkeeping and counters of the
+/// event-driven scheduler.
+///
+/// Created by [`CircuitProgram::open_session`]; mutated in place by
+/// [`CircuitProgram::execute_delta`]. The invariant maintained across any
+/// edit sequence: the committed traces equal a cold full
+/// [`CircuitProgram::execute`] of the committed stimuli, bit for bit.
+#[derive(Debug)]
+pub struct IncrementalState {
+    /// The circuit this state was opened for (identity-checked by
+    /// `execute_delta`).
+    circuit: Arc<Circuit>,
+    /// Committed per-net traces, indexed by [`NetId`]. Always fully
+    /// populated (undriven nets hold the constant-Low filler).
+    committed: Vec<Arc<SigmoidTrace>>,
+    /// Undriven nets of the baseline execution (stimulus-independent).
+    undriven: Vec<NetId>,
+    /// Gate index → ASAP level index (the scheduler's priority key).
+    level_of: Vec<usize>,
+    /// Per-net: is it a primary input (the only editable nets)?
+    is_input: Vec<bool>,
+    /// Per-level dirty gate lists (the level-ordered work queue).
+    dirty_levels: Vec<Vec<usize>>,
+    /// Per-gate dedup flag for the dirty set.
+    gate_marked: Vec<bool>,
+    /// Reusable transition-merge buffers for per-gate re-planning.
+    plan: PlanScratch,
+    /// Completed `execute_delta` calls.
+    deltas: u64,
+    /// Cumulative gates re-evaluated across all deltas.
+    gates_reeval: u64,
+    /// Gates re-evaluated by the most recent delta.
+    last_reeval: u64,
+}
+
+impl IncrementalState {
+    /// The circuit this session simulates.
+    #[must_use]
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// The committed simulation result (`Arc`-shared with the state; the
+    /// same value the last [`CircuitProgram::execute_delta`] returned).
+    #[must_use]
+    pub fn result(&self) -> SigmoidSimResult {
+        SigmoidSimResult {
+            traces: self.committed.clone(),
+            undriven: self.undriven.clone(),
+        }
+    }
+
+    /// Completed [`CircuitProgram::execute_delta`] calls on this session.
+    #[must_use]
+    pub fn deltas(&self) -> u64 {
+        self.deltas
+    }
+
+    /// Cumulative gates re-evaluated across all deltas — the honest cost
+    /// of the session (a full execution costs `gates().len()` per run).
+    #[must_use]
+    pub fn gates_reeval(&self) -> u64 {
+        self.gates_reeval
+    }
+
+    /// Gates re-evaluated by the most recent delta (`0` when every edit
+    /// was bit-identical to the committed stimulus).
+    #[must_use]
+    pub fn last_reeval(&self) -> u64 {
+        self.last_reeval
+    }
+
+    /// Marks a gate dirty, deduplicating via the per-gate flag.
+    fn mark_dirty(&mut self, gi: usize) {
+        if !self.gate_marked[gi] {
+            self.gate_marked[gi] = true;
+            self.dirty_levels[self.level_of[gi]].push(gi);
+        }
     }
 }
 
@@ -1282,35 +1531,36 @@ mod tests {
         cells
     }
 
+    fn random_trace(rng: &mut rand::rngs::StdRng) -> Arc<SigmoidTrace> {
+        use rand::Rng;
+        let initial = if rng.gen::<bool>() {
+            Level::High
+        } else {
+            Level::Low
+        };
+        let mut rising = !initial.is_high();
+        let mut t = 0.0;
+        let mut transitions = Vec::new();
+        for _ in 0..rng.gen_range(0..5usize) {
+            t += rng.gen_range(0.05..1.2f64);
+            let a = rng.gen_range(6.0..22.0f64);
+            transitions.push(if rising {
+                Sigmoid::rising(a, t)
+            } else {
+                Sigmoid::falling(a, t)
+            });
+            rising = !rising;
+        }
+        Arc::new(SigmoidTrace::from_transitions(initial, transitions, VDD_DEFAULT).unwrap())
+    }
+
     fn random_native_stimuli(circuit: &Circuit, seed: u64) -> HashMap<NetId, Arc<SigmoidTrace>> {
-        use rand::{Rng, SeedableRng};
+        use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         circuit
             .inputs()
             .iter()
-            .map(|&input| {
-                let initial = if rng.gen::<bool>() {
-                    Level::High
-                } else {
-                    Level::Low
-                };
-                let mut rising = !initial.is_high();
-                let mut t = 0.0;
-                let mut transitions = Vec::new();
-                for _ in 0..rng.gen_range(0..5usize) {
-                    t += rng.gen_range(0.05..1.2f64);
-                    let a = rng.gen_range(6.0..22.0f64);
-                    transitions.push(if rising {
-                        Sigmoid::rising(a, t)
-                    } else {
-                        Sigmoid::falling(a, t)
-                    });
-                    rising = !rising;
-                }
-                let trace =
-                    SigmoidTrace::from_transitions(initial, transitions, VDD_DEFAULT).unwrap();
-                (input, Arc::new(trace))
-            })
+            .map(|&input| (input, random_trace(&mut rng)))
             .collect()
     }
 
@@ -1552,6 +1802,215 @@ mod tests {
                             config,
                             seed,
                             cells.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_matches_cold_execute_and_stops_at_converged_gates() {
+        // NOR(a, z) with z held High masks a: an edit on a re-evaluates
+        // the NOR once, finds a bit-identical constant-Low output, and
+        // stops — the downstream inverter is never touched.
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let z = b.add_input("z");
+        let n1 = b.add_gate(GateKind::Nor, &[a, z], "n1");
+        let n2 = b.add_gate(GateKind::Nor, &[n1], "n2");
+        b.mark_output(n2);
+        let c = b.build().unwrap();
+        let cells = CellModels::nor_only(&models(0.05, 0.1, 0.2));
+        let program =
+            CircuitProgram::compile(Arc::new(c), Arc::new(cells), TomOptions::default()).unwrap();
+        let mut stim = HashMap::new();
+        stim.insert(a, constant(Level::Low));
+        stim.insert(z, constant(Level::High));
+        let mut scratch = SimScratch::new();
+        let mut state = program.open_session(&stim, &mut scratch).unwrap();
+        assert_eq!(state.deltas(), 0);
+        assert_eq!(state.gates_reeval(), 0);
+
+        let edit = StimulusEdit {
+            net: a,
+            trace: rising_input(),
+        };
+        stim.insert(a, Arc::clone(&edit.trace));
+        let res = program.execute_delta(&mut state, &[edit]).unwrap();
+        assert_eq!(state.deltas(), 1);
+        assert_eq!(state.last_reeval(), 1, "only the masked NOR re-evaluates");
+        let cold = program
+            .execute_with(&stim, &SigmoidSimConfig::scalar(), &mut scratch)
+            .unwrap();
+        for net in 0..program.circuit().net_count() {
+            assert!(
+                traces_bit_identical(res.trace(NetId(net)), cold.trace(NetId(net))),
+                "net {net} differs from cold execution"
+            );
+        }
+        // The edited input trace is shared into the state, not cloned.
+        assert!(Arc::ptr_eq(&res.traces()[a.0], &stim[&a]));
+
+        // A bit-identical edit (same content, fresh allocation) is a
+        // no-op: no gate re-evaluates, the result is unchanged.
+        let res2 = program
+            .execute_delta(
+                &mut state,
+                &[StimulusEdit {
+                    net: a,
+                    trace: rising_input(),
+                }],
+            )
+            .unwrap();
+        assert_eq!(state.deltas(), 2);
+        assert_eq!(state.last_reeval(), 0);
+        assert_eq!(state.gates_reeval(), 1);
+        for net in 0..program.circuit().net_count() {
+            assert!(traces_bit_identical(
+                res2.trace(NetId(net)),
+                res.trace(NetId(net))
+            ));
+        }
+        // An empty edit batch is likewise a committed-state read.
+        let res3 = program.execute_delta(&mut state, &[]).unwrap();
+        assert_eq!(state.last_reeval(), 0);
+        assert!(traces_bit_identical(res3.trace(n2), res.trace(n2)));
+    }
+
+    #[test]
+    fn delta_rejects_edits_on_internal_nets() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let n1 = b.add_gate(GateKind::Nor, &[a], "n1");
+        b.mark_output(n1);
+        let c = b.build().unwrap();
+        let cells = CellModels::nor_only(&models(0.05, 0.1, 0.2));
+        let program =
+            CircuitProgram::compile(Arc::new(c), Arc::new(cells), TomOptions::default()).unwrap();
+        let mut stim = HashMap::new();
+        stim.insert(a, constant(Level::Low));
+        let mut scratch = SimScratch::new();
+        let mut state = program.open_session(&stim, &mut scratch).unwrap();
+        let err = program
+            .execute_delta(
+                &mut state,
+                &[StimulusEdit {
+                    net: n1,
+                    trace: rising_input(),
+                }],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SigmoidSimError::EditNotAnInput {
+                net: "n1".to_string()
+            }
+        );
+        // Validation precedes any commit: the state is untouched.
+        assert_eq!(state.deltas(), 0);
+        assert_eq!(state.gates_reeval(), 0);
+    }
+
+    #[test]
+    fn single_edit_delta_reevaluates_only_affected_cone_on_c1355() {
+        // The acceptance claim behind the `delta_c1355/1edit` bench row:
+        // one edited input re-evaluates only its fan-out cone — a small
+        // fraction of the 546-gate netlist — and stays bit-identical to
+        // a cold full execution of the edited stimuli.
+        let bench = sigcircuit::Benchmark::by_name("c1355").unwrap();
+        let c = &bench.native;
+        let program = CircuitProgram::compile(
+            Arc::new(c.clone()),
+            Arc::new(native_cells()),
+            TomOptions::default(),
+        )
+        .unwrap();
+        let mut stim = random_native_stimuli(c, 20250807);
+        let mut scratch = SimScratch::new();
+        let mut state = program.open_session(&stim, &mut scratch).unwrap();
+        let input = c.inputs()[0];
+        let edit = StimulusEdit {
+            net: input,
+            trace: rising_input(),
+        };
+        stim.insert(input, Arc::clone(&edit.trace));
+        let res = program.execute_delta(&mut state, &[edit]).unwrap();
+        let gate_count = c.gates().len() as u64;
+        assert!(state.last_reeval() > 0, "the edit must change something");
+        assert!(
+            state.last_reeval() * 4 < gate_count,
+            "cone of one input ({} gates) should be \u{226a} the {} total",
+            state.last_reeval(),
+            gate_count
+        );
+        let cold = program
+            .execute_with(&stim, &SigmoidSimConfig::scalar(), &mut scratch)
+            .unwrap();
+        for net in 0..c.net_count() {
+            assert!(
+                traces_bit_identical(res.trace(NetId(net)), cold.trace(NetId(net))),
+                "net {net} differs from cold execution after cone-only delta"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// The incremental-engine parity property: on random DAGs under
+        /// BOTH mapping policies, a chain of random edit batches applied
+        /// through `execute_delta` equals a cold full `execute` of the
+        /// final stimuli after every step, bit for bit on every net.
+        #[test]
+        fn delta_chain_matches_cold_execute_on_random_dags(seed in 0u64..u64::MAX) {
+            use rand::{Rng, SeedableRng};
+            let native = random_native_dag(seed);
+            let nor = sigcircuit::map_with_policy(
+                &native,
+                sigcircuit::MappingPolicy::NorOnly,
+                sigcircuit::NorMappingOptions::default(),
+            );
+            let nor_cells = CellModels::nor_only(&GateModels {
+                inverter: GateModel::new(Arc::new(HistoryTransfer)),
+                inverter_fo2: GateModel::new(Arc::new(Fixed(0.09))),
+                nor_fo1: GateModel::new(Arc::new(HistoryTransfer)),
+                nor_fo2: GateModel::new(Arc::new(Fixed(0.13))),
+            });
+            let opts = TomOptions::default();
+            let mut scratch = SimScratch::new();
+            for (circuit, cells) in [(&native, native_cells()), (&nor, nor_cells)] {
+                let mut stim = random_native_stimuli(circuit, seed ^ 0x5eed);
+                let program = CircuitProgram::compile(
+                    Arc::new(circuit.clone()),
+                    Arc::new(cells),
+                    opts,
+                )
+                .expect("simulable DAG compiles");
+                let mut state = program.open_session(&stim, &mut scratch).unwrap();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xde17a);
+                for step in 0..3 {
+                    let mut edits = Vec::new();
+                    for &input in circuit.inputs() {
+                        if rng.gen::<bool>() {
+                            let trace = random_trace(&mut rng);
+                            stim.insert(input, Arc::clone(&trace));
+                            edits.push(StimulusEdit { net: input, trace });
+                        }
+                    }
+                    let incremental = program.execute_delta(&mut state, &edits).unwrap();
+                    let cold = program
+                        .execute_with(&stim, &SigmoidSimConfig::scalar(), &mut scratch)
+                        .unwrap();
+                    for net in 0..circuit.net_count() {
+                        proptest::prop_assert!(
+                            traces_bit_identical(
+                                incremental.trace(NetId(net)),
+                                cold.trace(NetId(net)),
+                            ),
+                            "net {} differs after delta step {} (seed {}, cells {})",
+                            net,
+                            step,
+                            seed,
+                            program.cells().name()
                         );
                     }
                 }
