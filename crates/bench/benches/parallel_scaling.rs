@@ -104,6 +104,7 @@ fn bench_monte_carlo(c: &mut Criterion) {
             runs: 8,
             seed: 1,
             parallelism,
+            fleet: false,
         };
         group.bench_function(label, |b| {
             b.iter(|| {

@@ -20,10 +20,11 @@ use rand::SeedableRng;
 
 use digilog::{simulate as simulate_digital, GateChannels, InertialDelay};
 use sigcircuit::Benchmark;
+use signn::simd::{set_policy, SimdPolicy};
 use signn::{Mlp, ScaledModel, Standardizer};
 use sigsim::{
     digital_to_sigmoid, simulate_cells_with, simulate_sigmoid_with, CellModels, CircuitProgram,
-    GateModels, SigmoidSimConfig, SimScratch, StimulusEdit, StimulusSpec,
+    FleetScratch, GateModels, SigmoidSimConfig, SimScratch, StimulusEdit, StimulusSpec,
 };
 use sigtom::{
     AnnTransfer, GateModel, TomOptions, TransferFunction, TransferPrediction, TransferQuery,
@@ -408,11 +409,79 @@ fn bench_delta(c: &mut Criterion) {
     }
 }
 
+/// Fleet rows (this tentpole's wall-clock claim): a 16-run c1355
+/// Monte-Carlo-style campaign with real ANN inference, executed three
+/// ways. `per_run_scalar` is the reference per-run path — 16 sequential
+/// solo executions of [`SigmoidSimConfig::scalar`] (per-gate one-shot
+/// predictions, the configuration documented as the baseline every other
+/// setting must match bit for bit) with the SIMD kernels forced off.
+/// `per_run_batched` adds level batching and duplicate-gate elimination,
+/// still per run and still SIMD-off. `fleet` is one
+/// [`CircuitProgram::execute_fleet`] lockstep execution under the
+/// runtime-detected kernels — the full optimization stack. Traces are
+/// bit-identical at every setting (the fleet and SIMD proptests enforce
+/// it); only wall-clock differs, and every row covers the same 16 runs
+/// per iteration, so the medians compare directly. Acceptance for the
+/// perf work is `per_run_scalar / fleet >= 4`.
+fn bench_fleet(c: &mut Criterion) {
+    let runs = 16u64;
+    let bench = Benchmark::by_name("c1355").expect("benchmark");
+    let circuit = Arc::new(bench.nor_mapped.clone());
+    let cells = Arc::new(CellModels::nor_only(&synthetic_ann_models()));
+    let program = CircuitProgram::compile(Arc::clone(&circuit), cells, TomOptions::default())
+        .expect("compiles");
+    let spec = StimulusSpec::fast();
+    let sets: Vec<NetTraces> = (0..runs)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(4 ^ (r << 16));
+            circuit
+                .inputs()
+                .iter()
+                .map(|&i| (i, Arc::new(digital_to_sigmoid(&spec.sample(&mut rng), 0.8))))
+                .collect()
+        })
+        .collect();
+    let batched = SigmoidSimConfig {
+        parallelism: 1,
+        batch: true,
+    };
+    let mut group = c.benchmark_group("fleet_c1355");
+    group.sample_size(10);
+    let mut scratch = SimScratch::new();
+    for (label, config) in [
+        ("per_run_scalar", SigmoidSimConfig::scalar()),
+        ("per_run_batched", batched),
+    ] {
+        group.bench_function(format!("{label}_{runs}_runs"), |b| {
+            set_policy(SimdPolicy::Off);
+            b.iter(|| {
+                for stimuli in &sets {
+                    program
+                        .execute_with(black_box(stimuli), &config, &mut scratch)
+                        .expect("sim");
+                }
+            });
+            set_policy(SimdPolicy::Auto);
+        });
+    }
+    let mut fleet_scratch = FleetScratch::new();
+    group.bench_function(format!("fleet_{runs}_runs"), |b| {
+        set_policy(SimdPolicy::Auto);
+        b.iter(|| {
+            program
+                .execute_fleet_with(black_box(&sets), &batched, &mut fleet_scratch)
+                .expect("fleet")
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simulators,
     bench_mapping_policies,
     bench_program,
-    bench_delta
+    bench_delta,
+    bench_fleet
 );
 criterion_main!(benches);

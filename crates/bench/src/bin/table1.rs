@@ -31,7 +31,7 @@ use sigbench::{load_cell_models, results_dir_from, write_csv_text, Args};
 use sigchar::{AnalogOptions, DelayTable};
 use sigcircuit::{Benchmark, MappingPolicy};
 use sigsim::{
-    compare_circuit_monte_carlo_cells, CellModels, HarnessConfig, MonteCarloConfig,
+    compare_circuit_monte_carlo_cells, CellModels, HarnessConfig, McSummary, MonteCarloConfig,
     SigmoidInputMode, StimulusSpec,
 };
 
@@ -67,6 +67,10 @@ fn main() {
         // the t_err columns matter. Distinct from `--parallelism`, which
         // gates model training (where timing fidelity is irrelevant).
         parallelism: args.get_num("mc-parallelism", 1),
+        // `--fleet 1` runs every seed's sigmoid simulation in lockstep
+        // through one CircuitProgram::execute_fleet (t_err columns are
+        // bit-identical; t_sim_sig becomes the amortized share).
+        fleet: args.get_num::<u32>("fleet", 0) != 0,
     };
 
     // Benchmark circuits carry per-instance interconnect variation; the
@@ -199,18 +203,7 @@ fn run_cell(
     };
     let outcomes = compare_circuit_monte_carlo_cells(circuit, spec, cells, delays, &config, mc)
         .expect("comparison failed");
-    let mut sum_dig = 0.0;
-    let mut sum_sig = 0.0;
-    let mut wall_sig = Duration::ZERO;
-    let mut wall_ana = Duration::ZERO;
-    for outcome in &outcomes {
-        sum_dig += outcome.t_err_digital;
-        sum_sig += outcome.t_err_sigmoid;
-        wall_sig += outcome.wall_sigmoid;
-        wall_ana += outcome.wall_analog;
-    }
-    let runs = mc.runs;
-    let n = runs as f64;
+    let summary = McSummary::from_outcomes(&outcomes, circuit.gates().len());
     Cell {
         circuit: bench.name.to_string(),
         library: cells.name().to_string(),
@@ -218,15 +211,15 @@ fn run_cell(
         gates: bench.gate_count(policy),
         mu_ps: spec.mu * 1e12,
         sigma_ps: spec.sigma * 1e12,
-        err_ratio: if sum_dig > 0.0 {
-            sum_sig / sum_dig
+        err_ratio: if summary.digital.mean > 0.0 {
+            summary.error_ratio()
         } else {
             f64::NAN
         },
-        t_err_digital_ps: sum_dig / n * 1e12,
-        t_err_sigmoid_ps: sum_sig / n * 1e12,
-        wall_sigmoid: wall_sig / runs as u32,
-        wall_analog: wall_ana / runs as u32,
+        t_err_digital_ps: summary.digital.mean * 1e12,
+        t_err_sigmoid_ps: summary.sigmoid.mean * 1e12,
+        wall_sigmoid: summary.wall_sigmoid / summary.runs as u32,
+        wall_analog: summary.wall_analog / summary.runs as u32,
         same_stimulus: mode == SigmoidInputMode::SameAsDigital,
     }
 }

@@ -199,15 +199,11 @@ impl OutputState {
         while self.transitions.len() >= 2 {
             let s2 = self.transitions[self.transitions.len() - 1];
             let s1 = self.transitions[self.transitions.len() - 2];
-            let ext = s1.pair_extremum(&s2);
-            let crosses = if ext.is_maximum {
-                // Positive pulse visible iff the pair sum exceeds 1.5
-                // (trace = vdd (sum - offset) crosses vdd/2).
-                ext.sum > 1.5
-            } else {
-                ext.sum < 0.5
-            };
-            if crosses {
+            // Positive pulse (rising/falling pair) visible iff the pair
+            // sum exceeds 1.5 (trace = vdd (sum - offset) crosses
+            // vdd/2); negative pulse visible iff it drops below 0.5.
+            let threshold = if s1.is_rising() { 1.5 } else { 0.5 };
+            if s1.pair_crosses(&s2, threshold) {
                 break;
             }
             self.transitions.pop();

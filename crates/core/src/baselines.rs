@@ -2,12 +2,44 @@
 //! comparison purposes": a look-up-table style nearest-neighbour regressor
 //! and an interpolation polynomial.
 
+use std::cell::RefCell;
+
 use serde::{Deserialize, Serialize};
 
 use sigchar::{Dataset, TransferSample};
+use signn::simd::{self, SimdLevel};
 
 use crate::ann::TrainTransferError;
 use crate::transfer::{TransferFunction, TransferPrediction, TransferQuery};
+
+thread_local! {
+    /// Per-call SoA staging for the SIMD batch path: feature-major
+    /// transposes of the two polarity tables plus the per-query
+    /// distance buffer, reused across calls (the serialized table
+    /// layout stays untouched).
+    static LUT_SCRATCH: RefCell<LutScratch> = RefCell::new(LutScratch::default());
+}
+
+#[derive(Default)]
+struct LutScratch {
+    rising: Vec<f64>,
+    falling: Vec<f64>,
+    d2: Vec<f64>,
+}
+
+/// Transposes a sample table into feature-major SoA form (3 rows of
+/// `samples.len()` values) for [`simd::scaled_distances_soa`].
+fn transpose_features(samples: &[TransferSample], soa: &mut Vec<f64>) {
+    let n = samples.len();
+    soa.clear();
+    soa.resize(3 * n, 0.0);
+    for (r, s) in samples.iter().enumerate() {
+        let f = s.features();
+        soa[r] = f[0];
+        soa[n + r] = f[1];
+        soa[2 * n + r] = f[2];
+    }
+}
 
 /// A look-up-table backend: inverse-distance-weighted k-nearest-neighbour
 /// regression over the characterization samples (the scattered-data
@@ -86,19 +118,47 @@ impl LutTransfer {
                 best.truncate(self.k);
             }
         }
-        let mut wsum = 0.0;
-        let mut a_out = 0.0;
-        let mut delay = 0.0;
-        for (d2, s) in best.iter() {
-            let w = 1.0 / (d2 + 1e-9);
-            wsum += w;
-            a_out += w * s.a_out;
-            delay += w * s.delay;
+        weight_neighbours(best)
+    }
+
+    /// The k-best selection and weighting over precomputed distances —
+    /// the tail of [`LutTransfer::weighted_into`] with `d2s[i]` standing
+    /// in for the inline computation. The insertion order (and therefore
+    /// tie-breaking) is identical, and the SIMD distance kernel is
+    /// bit-identical to the inline loop, so both paths select the same
+    /// neighbours with the same weights.
+    fn select_and_weight<'a>(
+        &self,
+        samples: &'a [TransferSample],
+        d2s: &[f64],
+        best: &mut Vec<(f64, &'a TransferSample)>,
+    ) -> TransferPrediction {
+        best.clear();
+        for (s, &d2) in samples.iter().zip(d2s) {
+            let pos = best.partition_point(|(bd, _)| *bd < d2);
+            if pos < self.k {
+                best.insert(pos, (d2, s));
+                best.truncate(self.k);
+            }
         }
-        TransferPrediction {
-            a_out: a_out / wsum,
-            delay: delay / wsum,
-        }
+        weight_neighbours(best)
+    }
+}
+
+/// Inverse-distance weighting over the selected neighbours.
+fn weight_neighbours(best: &[(f64, &TransferSample)]) -> TransferPrediction {
+    let mut wsum = 0.0;
+    let mut a_out = 0.0;
+    let mut delay = 0.0;
+    for (d2, s) in best {
+        let w = 1.0 / (d2 + 1e-9);
+        wsum += w;
+        a_out += w * s.a_out;
+        delay += w * s.delay;
+    }
+    TransferPrediction {
+        a_out: a_out / wsum,
+        delay: delay / wsum,
     }
 }
 
@@ -114,21 +174,52 @@ impl TransferFunction for LutTransfer {
     }
 
     /// Batch form: one shared neighbour scratch buffer across the whole
-    /// batch instead of one allocation per query; the per-query scan and
-    /// weighting are unchanged, so results are bit-identical.
+    /// batch instead of one allocation per query. Under an active SIMD
+    /// level the sample tables are transposed into feature-major SoA
+    /// scratch once per call and each query's distance sweep runs
+    /// through [`simd::scaled_distances_soa`]; selection and weighting
+    /// are unchanged, so results are bit-identical to the scalar path
+    /// at every level.
     fn predict_batch(&self, queries: &[TransferQuery], out: &mut Vec<TransferPrediction>) {
         out.clear();
         out.reserve(queries.len());
         let mut best = Vec::with_capacity(self.k + 1);
-        for query in queries {
-            let q = query.clamped();
-            let samples = if q.a_in > 0.0 {
-                &self.rising
-            } else {
-                &self.falling
-            };
-            out.push(self.weighted_into(samples, &q, &mut best));
+        let level = simd::active_level();
+        if level == SimdLevel::Scalar || queries.is_empty() {
+            for query in queries {
+                let q = query.clamped();
+                let samples = if q.a_in > 0.0 {
+                    &self.rising
+                } else {
+                    &self.falling
+                };
+                out.push(self.weighted_into(samples, &q, &mut best));
+            }
+            return;
         }
+        LUT_SCRATCH.with(|cell| {
+            let LutScratch {
+                rising,
+                falling,
+                d2,
+            } = &mut *cell.borrow_mut();
+            transpose_features(&self.rising, rising);
+            transpose_features(&self.falling, falling);
+            for query in queries {
+                let q = query.clamped();
+                let (samples, soa) = if q.a_in > 0.0 {
+                    (&self.rising[..], &rising[..])
+                } else {
+                    (&self.falling[..], &falling[..])
+                };
+                let n = samples.len();
+                d2.clear();
+                d2.resize(n, 0.0);
+                let qf = q.features();
+                simd::scaled_distances_soa(level, soa, n, &qf, &self.scales, d2);
+                out.push(self.select_and_weight(samples, d2, &mut best));
+            }
+        });
     }
 
     fn backend_name(&self) -> &'static str {
@@ -314,6 +405,44 @@ mod tests {
         for (q, p) in queries.iter().zip(&out) {
             assert_eq!(*p, poly.predict(*q));
         }
+    }
+
+    #[test]
+    fn lut_batch_simd_levels_bit_identical() {
+        use signn::simd::{set_policy, SimdPolicy};
+        let d = synthetic(33);
+        let lut = LutTransfer::build(&d, 3).unwrap();
+        // Odd count so the SIMD paths exercise their remainder lanes.
+        let queries: Vec<TransferQuery> = (0..17)
+            .map(|i| TransferQuery {
+                t: 0.15 + 0.21 * i as f64,
+                a_in: if i % 3 == 0 { 8.5 } else { -12.5 },
+                a_prev_out: if i % 3 == 0 { -6.5 } else { 10.5 },
+            })
+            .collect();
+        set_policy(SimdPolicy::Off);
+        let mut reference = Vec::new();
+        lut.predict_batch(&queries, &mut reference);
+        for level in SimdLevel::available() {
+            set_policy(SimdPolicy::Force(level));
+            let mut out = Vec::new();
+            lut.predict_batch(&queries, &mut out);
+            for (i, (a, b)) in out.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    a.a_out.to_bits(),
+                    b.a_out.to_bits(),
+                    "{} query {i}",
+                    level.as_str()
+                );
+                assert_eq!(
+                    a.delay.to_bits(),
+                    b.delay.to_bits(),
+                    "{} query {i}",
+                    level.as_str()
+                );
+            }
+        }
+        set_policy(SimdPolicy::Auto);
     }
 
     #[test]

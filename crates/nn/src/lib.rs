@@ -19,6 +19,11 @@
 //!   [`Standardizer::inverse_batch`]) and [`ScaledModel::predict_batch`].
 //! * [`train`] — a mini-batch training loop with shuffling and optional
 //!   early stopping on a validation split.
+//! * [`simd`] — runtime-dispatched SSE2/AVX2 kernels (std-only, scalar
+//!   fallback elsewhere) behind a process-global [`simd::SimdPolicy`];
+//!   the batch entry points above route through them while staying
+//!   bit-identical to the scalar loops (see `docs/architecture.md`
+//!   § SIMD kernels & fleet execution).
 //!
 //! Models serialize with serde so trained transfer functions can be stored
 //! on disk, mirroring the artifacts of the paper's prototype.
@@ -38,12 +43,16 @@
 //! assert!((out[0] - 0.5).abs() < 0.1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the `simd` module, whose
+// `std::arch` intrinsics need it (each call site carries its safety
+// argument; the rest of the crate stays unsafe-free).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adam;
 mod mlp;
 mod scaler;
+pub mod simd;
 mod train;
 
 pub use adam::AdamOptimizer;

@@ -1,8 +1,12 @@
 //! Dense feed-forward network with ReLU hidden layers and a linear output.
 
+use std::cell::RefCell;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use crate::simd::{self, SimdLevel};
 
 /// One dense layer: `y = W x + b` with `W` stored row-major (`out × in`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,6 +63,13 @@ impl Dense {
             }
         }
     }
+}
+
+thread_local! {
+    /// Ping-pong activation buffers for the batched passes: reused
+    /// across calls so steady-state inference allocates nothing
+    /// (workers each keep their own pair).
+    static SOA_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// A multilayer perceptron: ReLU on all hidden layers, linear output layer —
@@ -223,6 +234,17 @@ impl Mlp {
     ///
     /// Panics if `x.len()` is not `n_rows * input_size`.
     pub fn forward_batch(&self, x: &[f64], n_rows: usize, out: &mut Vec<f64>) {
+        self.forward_batch_at(simd::active_level(), x, n_rows, out);
+    }
+
+    /// [`Mlp::forward_batch`] with an explicit kernel level — the parity
+    /// tests pin levels through this; production code uses the resolved
+    /// global policy via [`Mlp::forward_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not `n_rows * input_size`.
+    pub fn forward_batch_at(&self, level: SimdLevel, x: &[f64], n_rows: usize, out: &mut Vec<f64>) {
         assert_eq!(
             x.len(),
             n_rows * self.input_size(),
@@ -235,19 +257,84 @@ impl Mlp {
         if n_rows == 0 {
             return;
         }
-        let n = self.layers.len();
-        let mut cur: Vec<f64> = x.to_vec();
-        let mut next: Vec<f64> = Vec::new();
-        for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward_batch(&cur, n_rows, &mut next);
-            if i + 1 < n {
-                for v in &mut next {
-                    *v = v.max(0.0); // ReLU on hidden layers
+        if level == SimdLevel::Scalar {
+            self.forward_batch_rows(x, n_rows, out);
+        } else {
+            self.forward_batch_soa(level, x, n_rows, out);
+        }
+    }
+
+    /// The row-major (AoS) reference pass: one [`Dense::forward_batch`]
+    /// per layer, scratch ping-pong, no transposes.
+    fn forward_batch_rows(&self, x: &[f64], n_rows: usize, out: &mut Vec<f64>) {
+        SOA_SCRATCH.with(|cell| {
+            let (cur, next) = &mut *cell.borrow_mut();
+            cur.clear();
+            cur.extend_from_slice(x);
+            let n = self.layers.len();
+            for (i, layer) in self.layers.iter().enumerate() {
+                layer.forward_batch(cur, n_rows, next);
+                if i + 1 < n {
+                    for v in next.iter_mut() {
+                        *v = v.max(0.0); // ReLU on hidden layers
+                    }
+                }
+                std::mem::swap(cur, next);
+            }
+            out.extend_from_slice(cur);
+        });
+    }
+
+    /// The SIMD pass: the batch is transposed once into
+    /// structure-of-arrays form (one buffer row per feature, one SIMD
+    /// lane per sample), every layer runs through
+    /// [`simd::dense_forward_soa`], and the result transposes back.
+    /// Per-sample arithmetic order is exactly the scalar pass (the
+    /// kernel's contract), and transposition only moves values, so the
+    /// output is bit-identical to [`Mlp::forward_batch_rows`].
+    fn forward_batch_soa(&self, level: SimdLevel, x: &[f64], n: usize, out: &mut Vec<f64>) {
+        SOA_SCRATCH.with(|cell| {
+            let (cur, next) = &mut *cell.borrow_mut();
+            let d_in = self.input_size();
+            // `resize` without `clear`: every element is overwritten below
+            // (and by the kernel), so steady-state reuse of the scratch
+            // pays no zero-fill — only growth beyond the high-water mark
+            // initializes memory.
+            cur.resize(d_in * n, 0.0);
+            for r in 0..n {
+                for i in 0..d_in {
+                    cur[i * n + r] = x[r * d_in + i];
                 }
             }
-            std::mem::swap(&mut cur, &mut next);
-        }
-        out.extend_from_slice(&cur);
+            let layer_count = self.layers.len();
+            for (li, layer) in self.layers.iter().enumerate() {
+                next.resize(layer.outputs * n, 0.0);
+                simd::dense_forward_soa(
+                    level,
+                    layer.inputs,
+                    layer.outputs,
+                    &layer.weights,
+                    &layer.biases,
+                    cur,
+                    n,
+                    next,
+                );
+                if li + 1 < layer_count {
+                    for v in next.iter_mut() {
+                        *v = v.max(0.0); // ReLU on hidden layers (scalar:
+                                         // `f64::max` semantics, not `maxpd`)
+                    }
+                }
+                std::mem::swap(cur, next);
+            }
+            let d_out = self.output_size();
+            out.resize(n * d_out, 0.0);
+            for o in 0..d_out {
+                for r in 0..n {
+                    out[r * d_out + o] = cur[o * n + r];
+                }
+            }
+        });
     }
 
     /// Forward + backward pass for one sample under MSE loss
@@ -487,6 +574,38 @@ mod tests {
             // Bit-identical, not merely close: the batched pass must be a
             // drop-in replacement on the simulator hot path.
             assert_eq!(&out[r * 2..r * 2 + 2], &scalar[..], "row {r}");
+        }
+    }
+
+    proptest::proptest! {
+        /// The whole-network SIMD pass (SoA transpose + kernels) is
+        /// bit-identical to the row-major scalar pass at every level
+        /// the host supports.
+        #[test]
+        fn forward_batch_simd_levels_bit_identical(
+            seed in 0u64..u64::MAX,
+            rows in 0usize..30,
+            hidden in 1usize..12,
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let mlp = Mlp::new(&[3, hidden, hidden, 1], seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let flat: Vec<f64> = (0..rows * 3)
+                .map(|_| rng.gen_range(-1.0..1.0) * 10f64.powi(rng.gen_range(-9..9)))
+                .collect();
+            let mut reference = Vec::new();
+            mlp.forward_batch_at(SimdLevel::Scalar, &flat, rows, &mut reference);
+            for level in crate::simd::SimdLevel::available() {
+                let mut out = Vec::new();
+                mlp.forward_batch_at(level, &flat, rows, &mut out);
+                prop_assert_eq!(out.len(), reference.len());
+                for (i, (a, b)) in out.iter().zip(&reference).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "level {} row-value {}: {} vs {}", level.as_str(), i, a, b
+                    );
+                }
+            }
         }
     }
 

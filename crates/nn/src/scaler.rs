@@ -4,9 +4,12 @@
 //! units of 100 ps, slopes in the tens); standardizing both inputs and
 //! targets keeps the small ReLU networks in a well-conditioned regime.
 
+use std::cell::RefCell;
+
 use serde::{Deserialize, Serialize};
 
 use crate::mlp::Mlp;
+use crate::simd;
 
 /// Per-feature mean/std normalization fitted on a dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,13 +113,9 @@ impl Standardizer {
     pub fn transform_batch(&self, rows: &[f64], n_rows: usize, out: &mut Vec<f64>) {
         assert_eq!(rows.len(), n_rows * self.dim(), "batch size mismatch");
         out.clear();
-        out.reserve(rows.len());
-        for row in rows.chunks_exact(self.dim().max(1)) {
-            out.extend(
-                row.iter()
-                    .zip(self.means.iter().zip(&self.stds))
-                    .map(|(v, (m, s))| (v - m) / s),
-            );
+        out.extend_from_slice(rows);
+        if self.dim() > 0 {
+            simd::standardize_rows(simd::active_level(), &self.means, &self.stds, out);
         }
     }
 
@@ -129,15 +128,18 @@ impl Standardizer {
     pub fn inverse_batch(&self, rows: &[f64], n_rows: usize, out: &mut Vec<f64>) {
         assert_eq!(rows.len(), n_rows * self.dim(), "batch size mismatch");
         out.clear();
-        out.reserve(rows.len());
-        for row in rows.chunks_exact(self.dim().max(1)) {
-            out.extend(
-                row.iter()
-                    .zip(self.means.iter().zip(&self.stds))
-                    .map(|(v, (m, s))| v * s + m),
-            );
+        out.extend_from_slice(rows);
+        if self.dim() > 0 {
+            simd::unstandardize_rows(simd::active_level(), &self.means, &self.stds, out);
         }
     }
+}
+
+thread_local! {
+    /// Standardized-input / raw-output staging buffers for
+    /// [`ScaledModel::predict_batch`], reused across calls so the
+    /// simulator hot path allocates nothing per batch.
+    static PREDICT_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// An [`Mlp`] bundled with input/output standardizers: callers work in
@@ -189,11 +191,12 @@ impl ScaledModel {
     ///
     /// Panics if `raw_rows.len()` is not `n_rows * input_size`.
     pub fn predict_batch(&self, raw_rows: &[f64], n_rows: usize, out: &mut Vec<f64>) {
-        let mut x = Vec::new();
-        self.input_scaler.transform_batch(raw_rows, n_rows, &mut x);
-        let mut y = Vec::new();
-        self.mlp.forward_batch(&x, n_rows, &mut y);
-        self.output_scaler.inverse_batch(&y, n_rows, out);
+        PREDICT_SCRATCH.with(|cell| {
+            let (x, y) = &mut *cell.borrow_mut();
+            self.input_scaler.transform_batch(raw_rows, n_rows, x);
+            self.mlp.forward_batch(x, n_rows, y);
+            self.output_scaler.inverse_batch(y, n_rows, out);
+        });
     }
 }
 

@@ -14,7 +14,14 @@
 //! `.bench` or JSON, auto-detected), `--models NAME`,
 //! `--library nor-only|native` (cell library + mapping policy), `--seed
 //! N`, `--mu SECONDS`, `--sigma SECONDS`, `--transitions N`,
-//! `--compare`, `--no-timing`, `--id N`.
+//! `--compare`, `--no-timing`, `--id N`, `--runs K`.
+//!
+//! `--runs K` (K > 1) switches `request`/`send` to the batched
+//! `sim.batch` op: the daemon executes K runs as one fleet, run `r`
+//! seeded `seed + r`, and `send` explodes the reply into K individual
+//! `sim` frames — byte-comparable (with `--no-timing`) to the K frames
+//! `golden --runs K` prints by looping the reference path over the same
+//! derived seeds.
 //!
 //! `golden` computes the response **without any service**: it builds the
 //! circuit and models directly and calls the same harness entry points a
@@ -54,7 +61,7 @@ fn usage() -> ! {
          [open|delta|close] [--addr HOST:PORT] [--circuit NAME|PATH] \
          [--models NAME] [--library nor-only|native] [--seed N] [--mu S] \
          [--sigma S] [--transitions N] [--compare] [--no-timing] [--id N] \
-         [--session N] [--edit NET=LEVEL[,T1,T2,...]] [--print] \
+         [--runs K] [--session N] [--edit NET=LEVEL[,T1,T2,...]] [--print] \
          [--models-dir PATH] [--vcd PATH]"
     );
     std::process::exit(2);
@@ -64,6 +71,7 @@ struct Options {
     addr: String,
     id: u64,
     sim: SimRequest,
+    runs: usize,
     session: u64,
     edits: Vec<SessionEdit>,
     print: bool,
@@ -76,6 +84,7 @@ fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
         addr: "127.0.0.1:4715".to_string(),
         id: 1,
         sim: SimRequest::default(),
+        runs: 1,
         session: 1,
         edits: Vec::new(),
         print: false,
@@ -107,6 +116,7 @@ fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
             "--transitions" => o.sim.transitions = parse(args.parse()),
             "--compare" => o.sim.compare = true,
             "--no-timing" => o.sim.timing = false,
+            "--runs" => o.runs = parse(args.parse()),
             "--session" => o.session = parse(args.parse()),
             "--edit" => o.edits.push(parse_edit(&require(args.value()))),
             "--print" => o.print = true,
@@ -190,23 +200,19 @@ fn main() {
             }
         }
         "request" => {
-            println!(
-                "{}",
-                encode_request(&Request::Sim {
-                    id: o.id,
-                    sim: o.sim
-                })
-            );
+            println!("{}", encode_request(&sim_request(&o)));
         }
         "golden" => golden(&o),
         "send" => {
-            let response = exchange(
-                &o.addr,
-                &Request::Sim {
-                    id: o.id,
-                    sim: o.sim.clone(),
-                },
-            );
+            let response = exchange(&o.addr, &sim_request(&o));
+            if let Response::SimBatch { id, results } = response {
+                // Explode the fleet reply into one `sim` frame per run,
+                // byte-comparable to the frames `golden --runs K` prints.
+                for result in results {
+                    println!("{}", encode_response(&Response::Sim { id, result }));
+                }
+                return;
+            }
             if let (Some(path), Response::Sim { result, .. }) = (&o.vcd, &response) {
                 write_vcd_file(path, result);
             }
@@ -216,6 +222,23 @@ fn main() {
         "stats" => finish(&exchange(&o.addr, &Request::Stats { id: o.id })),
         "shutdown" => finish(&exchange(&o.addr, &Request::Shutdown { id: o.id })),
         _ => usage(),
+    }
+}
+
+/// The stateless sim request `request`/`send` issue: plain `sim` for a
+/// single run, `sim.batch` when `--runs` asks for a fleet.
+fn sim_request(o: &Options) -> Request {
+    if o.runs > 1 {
+        Request::SimBatch {
+            id: o.id,
+            sim: o.sim.clone(),
+            runs: o.runs,
+        }
+    } else {
+        Request::Sim {
+            id: o.id,
+            sim: o.sim.clone(),
+        }
     }
 }
 
@@ -332,14 +355,23 @@ fn golden(o: &Options) {
     // A fresh daemon's first request is always a cache miss; golden
     // mirrors that so the frames compare byte-for-byte. `--edit` flags
     // replace the seeded stimuli of named inputs first, producing the
-    // full-run reference a `session.delta` response must match.
-    match run_sim_edited(&circuit, &set, &o.sim, &o.edits, CacheOutcome::Miss) {
-        Ok(result) => finish(&Response::Sim { id: o.id, result }),
-        Err((kind, message)) => finish(&Response::Error {
-            id: Some(o.id),
-            kind,
-            message,
-        }),
+    // full-run reference a `session.delta` response must match. With
+    // `--runs K` the reference loops over the fleet's derived seeds
+    // (`seed + r`), printing the K frames a `send --runs K` explosion
+    // must equal.
+    for r in 0..o.runs.max(1) as u64 {
+        let run = SimRequest {
+            seed: o.sim.seed + r,
+            ..o.sim.clone()
+        };
+        match run_sim_edited(&circuit, &set, &run, &o.edits, CacheOutcome::Miss) {
+            Ok(result) => finish(&Response::Sim { id: o.id, result }),
+            Err((kind, message)) => finish(&Response::Error {
+                id: Some(o.id),
+                kind,
+                message,
+            }),
+        }
     }
 }
 

@@ -39,6 +39,11 @@ pub const MAX_WIRE_INT: u64 = 1 << 53;
 /// (the daemon promises bounded memory under any input).
 pub const MAX_TRANSITIONS: usize = 4096;
 
+/// Hard cap on a `sim.batch` request's `runs` field. The paper's heaviest
+/// Monte-Carlo campaign uses 50 runs per cell; the cap keeps one frame
+/// from demanding an unbounded fleet while leaving generous headroom.
+pub const MAX_BATCH_RUNS: usize = 256;
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
@@ -147,6 +152,20 @@ pub enum Request {
         /// The simulation parameters.
         sim: SimRequest,
     },
+    /// Run `runs` sigmoid simulations of one circuit as a fleet: run `r`
+    /// uses stimulus seed `sim.seed + r`, all runs execute in lockstep
+    /// through one compiled program, and each result is byte-identical to
+    /// the corresponding individual `sim` request. Sigmoid-only
+    /// (`compare` is rejected at decode, like sessions).
+    SimBatch {
+        /// Request id.
+        id: u64,
+        /// The shared simulation parameters (`seed` is the base seed).
+        sim: SimRequest,
+        /// Fleet width: `1..=MAX_BATCH_RUNS`, with `seed + runs` still
+        /// below `2^53` so every derived seed stays wire-exact.
+        runs: usize,
+    },
     /// Open an incremental session: run the baseline simulation and keep
     /// its state resident under the client-chosen session id. Sessions
     /// are sigmoid-only (`compare` is rejected at decode).
@@ -186,6 +205,7 @@ impl Request {
             | Self::Stats { id }
             | Self::Shutdown { id }
             | Self::Sim { id, .. }
+            | Self::SimBatch { id, .. }
             | Self::SessionOpen { id, .. }
             | Self::SessionDelta { id, .. }
             | Self::SessionClose { id, .. } => *id,
@@ -373,6 +393,15 @@ pub struct StatsReply {
     /// costs the whole gate count per run — the ratio is the measured
     /// incremental saving).
     pub gates_reeval: u64,
+    /// The SIMD kernel level the daemon's inference runs at
+    /// (`"scalar"`/`"sse2"`/`"avx2"`); empty when talking to a pre-SIMD
+    /// daemon that doesn't report one.
+    pub simd_level: String,
+    /// Cumulative runs executed through the fleet path (`sim.batch`).
+    pub fleet_runs: u64,
+    /// Cumulative inference rows merged across fleet runs (how much
+    /// batching the fleet path actually bought).
+    pub fleet_rows: u64,
 }
 
 /// A server response.
@@ -389,6 +418,15 @@ pub enum Response {
         id: u64,
         /// The simulation payload.
         result: SimResult,
+    },
+    /// Successful fleet simulation: one payload per run, in run order
+    /// (entry `r` is byte-identical to the `sim` response for seed
+    /// `seed + r`).
+    SimBatch {
+        /// Echoed request id.
+        id: u64,
+        /// Per-run simulation payloads.
+        results: Vec<SimResult>,
     },
     /// Service counters.
     Stats {
@@ -437,6 +475,7 @@ impl Response {
         match self {
             Self::Pong { id }
             | Self::Sim { id, .. }
+            | Self::SimBatch { id, .. }
             | Self::Stats { id, .. }
             | Self::ShuttingDown { id }
             | Self::Session { id, .. }
@@ -581,9 +620,15 @@ pub fn parse_hex64(s: &str) -> Result<u64, serde::Error> {
     }
 }
 
-/// Encodes a sim-shaped request (`sim` or `session.open`, which carries
-/// the same stimulus fields plus a session id).
-fn sim_to_value(id: u64, op: &str, session: Option<u64>, sim: &SimRequest) -> Value {
+/// Encodes a sim-shaped request (`sim`, `sim.batch` or `session.open`,
+/// which all carry the same stimulus fields plus an op-specific extra).
+fn sim_to_value(
+    id: u64,
+    op: &str,
+    session: Option<u64>,
+    runs: Option<u64>,
+    sim: &SimRequest,
+) -> Value {
     let circuit = match &sim.circuit {
         CircuitSource::Name(n) => obj(vec![("name", n.to_value())]),
         CircuitSource::Inline(t) => obj(vec![("inline", t.to_value())]),
@@ -591,6 +636,9 @@ fn sim_to_value(id: u64, op: &str, session: Option<u64>, sim: &SimRequest) -> Va
     let mut fields = vec![("id", id.to_value()), ("op", op.to_value())];
     if let Some(s) = session {
         fields.push(("session", s.to_value()));
+    }
+    if let Some(r) = runs {
+        fields.push(("runs", r.to_value()));
     }
     fields.extend([
         ("circuit", circuit),
@@ -614,9 +662,12 @@ impl Serialize for Request {
             Self::Shutdown { id } => {
                 obj(vec![("id", id.to_value()), ("op", "shutdown".to_value())])
             }
-            Self::Sim { id, sim } => sim_to_value(*id, "sim", None, sim),
+            Self::Sim { id, sim } => sim_to_value(*id, "sim", None, None, sim),
+            Self::SimBatch { id, sim, runs } => {
+                sim_to_value(*id, "sim.batch", None, Some(*runs as u64), sim)
+            }
             Self::SessionOpen { id, session, sim } => {
-                sim_to_value(*id, "session.open", Some(*session), sim)
+                sim_to_value(*id, "session.open", Some(*session), None, sim)
             }
             Self::SessionDelta { id, session, edits } => obj(vec![
                 ("id", id.to_value()),
@@ -732,6 +783,34 @@ impl Deserialize for Request {
                 id,
                 sim: sim_from_value(v)?,
             }),
+            "sim.batch" => {
+                let sim = sim_from_value(v)?;
+                if sim.compare {
+                    return Err(serde::Error::new(
+                        "batches are sigmoid-only: `compare` is not supported",
+                    ));
+                }
+                let runs = get_u64(v, "runs")?;
+                let runs = usize::try_from(runs)
+                    .ok()
+                    .filter(|&r| (1..=MAX_BATCH_RUNS).contains(&r))
+                    .ok_or_else(|| {
+                        serde::Error::new(format!("field `runs` must be in [1, {MAX_BATCH_RUNS}]"))
+                    })?;
+                // Run r uses stimulus seed `seed + r`; every derived seed
+                // must itself be a valid wire integer, or replaying run r
+                // as an individual `sim` request would be impossible.
+                if sim.seed.checked_add(runs as u64).is_none()
+                    || sim.seed + runs as u64 > MAX_WIRE_INT
+                {
+                    return Err(serde::Error::new(format!(
+                        "`seed + runs` must be at most 2^53 so per-run seeds \
+                         stay wire-exact, got {} + {runs}",
+                        sim.seed
+                    )));
+                }
+                Ok(Self::SimBatch { id, sim, runs })
+            }
             "session.open" => {
                 let session = get_u64(v, "session")?;
                 let sim = sim_from_value(v)?;
@@ -879,6 +958,9 @@ impl Serialize for StatsReply {
             ("sessions_open", self.sessions_open.to_value()),
             ("delta_hits", self.delta_hits.to_value()),
             ("gates_reeval", self.gates_reeval.to_value()),
+            ("simd_level", self.simd_level.to_value()),
+            ("fleet_runs", self.fleet_runs.to_value()),
+            ("fleet_rows", self.fleet_rows.to_value()),
         ])
     }
 }
@@ -909,6 +991,14 @@ impl Deserialize for StatsReply {
             sessions_open: get_u64_or(v, "sessions_open", 0)?,
             delta_hits: get_u64_or(v, "delta_hits", 0)?,
             gates_reeval: get_u64_or(v, "gates_reeval", 0)?,
+            // Absent in pre-SIMD/pre-fleet daemons: empty level, zero
+            // counters.
+            simd_level: match v.get_field("simd_level") {
+                Ok(f) => String::from_value(f)?,
+                Err(_) => String::new(),
+            },
+            fleet_runs: get_u64_or(v, "fleet_runs", 0)?,
+            fleet_rows: get_u64_or(v, "fleet_rows", 0)?,
         })
     }
 }
@@ -926,6 +1016,12 @@ impl Serialize for Response {
                 ("ok", true.to_value()),
                 ("reply", "sim".to_value()),
                 ("result", result.to_value()),
+            ]),
+            Self::SimBatch { id, results } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "sim.batch".to_value()),
+                ("results", results.to_value()),
             ]),
             Self::Stats { id, stats } => obj(vec![
                 ("id", id.to_value()),
@@ -1001,6 +1097,10 @@ impl Deserialize for Response {
             "sim" => Ok(Self::Sim {
                 id,
                 result: SimResult::from_value(v.get_field("result")?)?,
+            }),
+            "sim.batch" => Ok(Self::SimBatch {
+                id,
+                results: Vec::<SimResult>::from_value(v.get_field("results")?)?,
             }),
             "stats" => Ok(Self::Stats {
                 id,
@@ -1278,6 +1378,17 @@ mod tests {
                 ],
             },
             Request::SessionClose { id: 8, session: 11 },
+            Request::SimBatch {
+                id: 9,
+                sim: SimRequest {
+                    circuit: CircuitSource::Name("c1355".into()),
+                    library: "native".into(),
+                    seed: 100,
+                    timing: false,
+                    ..SimRequest::default()
+                },
+                runs: 16,
+            },
         ];
         for r in requests {
             let line = encode_request(&r);
@@ -1310,6 +1421,9 @@ mod tests {
                     sessions_open: 3,
                     delta_hits: 41,
                     gates_reeval: 977,
+                    simd_level: "avx2".into(),
+                    fleet_runs: 32,
+                    fleet_rows: 4096,
                 },
             },
             Response::Sim {
@@ -1366,6 +1480,31 @@ mod tests {
                 id: Some(10),
                 kind: ErrorKind::UnknownSession,
                 message: "session 12 is not open on this connection".into(),
+            },
+            Response::SimBatch {
+                id: 11,
+                results: vec![
+                    SimResult {
+                        fingerprint: hex64(0xfeed_f00d_0000_0001),
+                        library: "nor-only".into(),
+                        cache: CacheOutcome::Miss,
+                        outputs: vec![OutputTrace {
+                            net: "y".into(),
+                            initial_high: false,
+                            toggles: vec![1.0e-10],
+                        }],
+                        compare: None,
+                        timing: None,
+                    },
+                    SimResult {
+                        fingerprint: hex64(0xfeed_f00d_0000_0001),
+                        library: "nor-only".into(),
+                        cache: CacheOutcome::Hit,
+                        outputs: vec![],
+                        compare: None,
+                        timing: None,
+                    },
+                ],
             },
         ];
         for r in responses {
@@ -1425,6 +1564,34 @@ mod tests {
              \"edits\":[{\"net\":\"a\",\"toggles\":[Infinity]}]}",
             // Close without a session id.
             "{\"id\":1,\"op\":\"session.close\"}",
+        ] {
+            assert!(
+                matches!(decode_request(bad), Err(ProtocolError::Malformed { .. })),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_batch_requests_are_structured_errors() {
+        for bad in [
+            // sim.batch without a runs field.
+            "{\"id\":1,\"op\":\"sim.batch\",\"circuit\":{\"name\":\"c17\"},\
+             \"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2}",
+            // Zero runs.
+            "{\"id\":1,\"op\":\"sim.batch\",\"runs\":0,\"circuit\":{\"name\":\"c17\"},\
+             \"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2}",
+            // Over the fleet cap.
+            "{\"id\":1,\"op\":\"sim.batch\",\"runs\":257,\"circuit\":{\"name\":\"c17\"},\
+             \"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2}",
+            // Batches are sigmoid-only: compare mode is rejected.
+            "{\"id\":1,\"op\":\"sim.batch\",\"runs\":4,\"circuit\":{\"name\":\"c17\"},\
+             \"models\":\"x\",\"seed\":1,\"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2,\
+             \"compare\":true}",
+            // seed + runs would push per-run seeds past 2^53.
+            "{\"id\":1,\"op\":\"sim.batch\",\"runs\":16,\"circuit\":{\"name\":\"c17\"},\
+             \"models\":\"x\",\"seed\":9007199254740984,\"mu\":1e-11,\"sigma\":1e-11,\
+             \"transitions\":2}",
         ] {
             assert!(
                 matches!(decode_request(bad), Err(ProtocolError::Malformed { .. })),
@@ -1506,6 +1673,39 @@ mod tests {
             (0, 0, 0)
         );
         assert_eq!(stats.cache_hits, 3);
+    }
+
+    #[test]
+    fn stats_without_fleet_fields_decodes_with_defaults() {
+        // Pre-SIMD/pre-fleet daemons never send simd_level or the fleet
+        // counters; a newer client must read them as empty/zero, not
+        // error.
+        let line = "{\"id\":1,\"ok\":true,\"reply\":\"stats\",\"stats\":{\
+                    \"model_loads\":1,\"model_requests\":2,\"cache_hits\":3,\
+                    \"cache_misses\":4,\"cache_entries\":1,\"workers\":2,\
+                    \"queue_capacity\":64,\"completed\":5,\"rejected\":0}}";
+        let Response::Stats { stats, .. } = decode_response(line).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.simd_level, "");
+        assert_eq!((stats.fleet_runs, stats.fleet_rows), (0, 0));
+    }
+
+    #[test]
+    fn batch_boundary_runs_and_seeds_decode() {
+        // The largest legal fleet at the largest legal base seed: runs at
+        // the cap, with seed + runs landing exactly on 2^53.
+        let seed = MAX_WIRE_INT - MAX_BATCH_RUNS as u64;
+        let line = format!(
+            "{{\"id\":1,\"op\":\"sim.batch\",\"runs\":{MAX_BATCH_RUNS},\
+             \"circuit\":{{\"name\":\"c17\"}},\"models\":\"x\",\"seed\":{seed},\
+             \"mu\":1e-11,\"sigma\":1e-11,\"transitions\":2}}"
+        );
+        let Request::SimBatch { sim, runs, .. } = decode_request(&line).unwrap() else {
+            panic!("expected sim.batch");
+        };
+        assert_eq!(runs, MAX_BATCH_RUNS);
+        assert_eq!(sim.seed, seed);
     }
 
     #[test]

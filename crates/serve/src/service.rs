@@ -18,7 +18,8 @@ use rand::SeedableRng;
 use sigcircuit::{Benchmark, Circuit, MappingPolicy, NetId};
 use sigsim::{
     compare_circuit_cells, digital_to_sigmoid, random_stimuli, simulate_cells_with, CircuitProgram,
-    HarnessConfig, SigmoidSimConfig, SigmoidSimResult, SimScratch, StimulusEdit, StimulusSpec,
+    FleetScratch, HarnessConfig, SigmoidSimConfig, SigmoidSimResult, SimScratch, StimulusEdit,
+    StimulusSpec,
 };
 use sigwave::parallel::WorkerPool;
 use sigwave::{DigitalTrace, Level, SigmoidTrace};
@@ -116,6 +117,40 @@ impl ScratchPool {
     }
 }
 
+/// The [`FleetScratch`] twin of [`ScratchPool`], pooling the fleet
+/// arenas `sim.batch` requests execute with.
+#[derive(Debug, Default)]
+struct FleetPool {
+    pool: Mutex<Vec<FleetScratch>>,
+}
+
+/// Largest retained fleet arena, in `runs × nets` slots. A fleet arena's
+/// dominant allocation is one trace slot per run per net, so the cap
+/// bounds pooled memory the way [`MAX_POOLED_NET_SLOTS`] does for solo
+/// arenas — sized for a max-width fleet (256 runs) of every built-in
+/// benchmark while dropping arenas grown by huge inline netlists.
+const MAX_POOLED_FLEET_SLOTS: usize = 1 << 20;
+
+impl FleetPool {
+    fn acquire(&self) -> FleetScratch {
+        self.pool
+            .lock()
+            .expect("fleet pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn release(&self, scratch: FleetScratch) {
+        if scratch.net_capacity() > MAX_POOLED_FLEET_SLOTS {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("fleet pool poisoned");
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(scratch);
+        }
+    }
+}
+
 /// The resident service: registry + caches + bounded scheduler.
 pub struct Service {
     config: ServiceConfig,
@@ -123,6 +158,7 @@ pub struct Service {
     cache: CircuitCache,
     programs: ProgramCache,
     scratch: ScratchPool,
+    fleet: FleetPool,
     pool: WorkerPool,
     completed: AtomicU64,
     rejected: AtomicU64,
@@ -136,6 +172,10 @@ pub struct Service {
     delta_hits: AtomicU64,
     /// Cumulative gates re-evaluated by delta requests.
     gates_reeval: AtomicU64,
+    /// Cumulative runs executed through the fleet path (`sim.batch`).
+    fleet_runs: AtomicU64,
+    /// Cumulative inference rows merged across fleet runs.
+    fleet_rows: AtomicU64,
 }
 
 impl std::fmt::Debug for Service {
@@ -157,6 +197,7 @@ impl Service {
             cache: CircuitCache::new(config.cache_capacity),
             programs: ProgramCache::new(config.cache_capacity),
             scratch: ScratchPool::default(),
+            fleet: FleetPool::default(),
             pool,
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -164,6 +205,8 @@ impl Service {
             sessions_open: AtomicU64::new(0),
             delta_hits: AtomicU64::new(0),
             gates_reeval: AtomicU64::new(0),
+            fleet_runs: AtomicU64::new(0),
+            fleet_rows: AtomicU64::new(0),
             config,
         })
     }
@@ -219,6 +262,9 @@ impl Service {
             sessions_open: self.sessions_open.load(Ordering::SeqCst),
             delta_hits: self.delta_hits.load(Ordering::Relaxed),
             gates_reeval: self.gates_reeval.load(Ordering::Relaxed),
+            simd_level: signn::simd::active_level().as_str().to_string(),
+            fleet_runs: self.fleet_runs.load(Ordering::Relaxed),
+            fleet_rows: self.fleet_rows.load(Ordering::Relaxed),
         }
     }
 
@@ -294,6 +340,31 @@ impl Service {
                 let submitted = self.pool.try_execute(move || {
                     let response = match service.execute_sim(&sim) {
                         Ok(result) => Response::Sim { id, result },
+                        Err((kind, message)) => Response::Error {
+                            id: Some(id),
+                            kind,
+                            message,
+                        },
+                    };
+                    service.completed.fetch_add(1, Ordering::Relaxed);
+                    job_respond(response);
+                });
+                if submitted.is_err() {
+                    self.reject_overloaded(id, &*respond);
+                }
+                Handled::Continue
+            }
+            Request::SimBatch { id, sim, runs } => {
+                if self.draining.load(Ordering::SeqCst) {
+                    respond(draining_error(id));
+                    return Handled::Continue;
+                }
+                let service = Arc::clone(self);
+                let respond = Arc::new(respond);
+                let job_respond = Arc::clone(&respond);
+                let submitted = self.pool.try_execute(move || {
+                    let response = match service.execute_sim_batch(&sim, runs) {
+                        Ok(results) => Response::SimBatch { id, results },
                         Err((kind, message)) => Response::Error {
                             id: Some(id),
                             kind,
@@ -664,6 +735,83 @@ impl Service {
         let result = run_program(&program, &set, sim, cache, &mut scratch);
         self.scratch.release(scratch);
         result
+    }
+
+    /// Executes one fleet simulation synchronously (the worker-thread
+    /// body of `sim.batch`): resolves artifacts once, derives run `r`'s
+    /// stimuli from seed `sim.seed + r` exactly like an individual `sim`
+    /// request with that seed, and executes all runs in lockstep through
+    /// [`CircuitProgram::execute_fleet`]. Entry `r` of the reply is
+    /// byte-identical to the individual response (modulo the cache echo,
+    /// which reflects this request's single resolution, and the timing
+    /// block, which reports each run's amortized share of the one fleet
+    /// execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns the protocol error kind and message on any failure; a
+    /// failure in any run fails the whole fleet.
+    pub fn execute_sim_batch(
+        &self,
+        sim: &SimRequest,
+        runs: usize,
+    ) -> Result<Vec<SimResult>, (ErrorKind, String)> {
+        let set = self
+            .registry
+            .get_or_load(&sim.models, &sim.library)
+            .map_err(|e| {
+                let kind = match e {
+                    RegistryError::UnknownName(_) => ErrorKind::UnknownModels,
+                    _ => ErrorKind::Simulation,
+                };
+                (kind, e.to_string())
+            })?;
+        let circuit_key = CacheKey::of(&sim.circuit, set.policy);
+        let (circuit, hit) = self.resolve_circuit(circuit_key, sim, set.policy)?;
+        let cache = if hit {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        let program = self.resolve_program(circuit_key, &set, &circuit)?;
+        let sets: Vec<HashMap<NetId, Arc<SigmoidTrace>>> = (0..runs)
+            .map(|r| {
+                let run = SimRequest {
+                    seed: sim.seed + r as u64,
+                    ..sim.clone()
+                };
+                sigmoid_stimuli_from(&stimuli_for(&circuit, &run), set.options.vdd)
+            })
+            .collect();
+        let mut scratch = self.fleet.acquire();
+        let rows_before = scratch.rows_merged();
+        let start = Instant::now();
+        let executed = program.execute_fleet(&sets, &mut scratch);
+        let wall = start.elapsed();
+        let rows = scratch.rows_merged() - rows_before;
+        self.fleet.release(scratch);
+        let results = executed.map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
+        self.fleet_runs.fetch_add(runs as u64, Ordering::Relaxed);
+        self.fleet_rows.fetch_add(rows, Ordering::Relaxed);
+        let fingerprint = crate::protocol::hex64(circuit.fingerprint());
+        let threshold = set.options.vdd / 2.0;
+        #[allow(clippy::cast_possible_truncation)]
+        let wall_share = wall.checked_div(runs.max(1) as u32).unwrap_or_default();
+        Ok(results
+            .into_iter()
+            .map(|result| SimResult {
+                fingerprint: fingerprint.clone(),
+                library: set.library.clone(),
+                cache,
+                outputs: sigmoid_outputs(&circuit, &result, threshold),
+                compare: None,
+                timing: sim.timing.then_some(TimingStats {
+                    wall_analog_s: 0.0,
+                    wall_digital_s: 0.0,
+                    wall_sigmoid_s: wall_share.as_secs_f64(),
+                }),
+            })
+            .collect())
     }
 }
 

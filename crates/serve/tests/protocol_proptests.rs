@@ -10,7 +10,8 @@ use rand::Rng;
 use sigserve::protocol::{
     decode_request, decode_response, encode_request, encode_response, hex64, CacheOutcome,
     CircuitSource, CompareStats, ErrorKind, FrameReader, OutputTrace, ProtocolError, Request,
-    Response, SessionEdit, SimRequest, SimResult, StatsReply, TimingStats, MAX_WIRE_INT,
+    Response, SessionEdit, SimRequest, SimResult, StatsReply, TimingStats, MAX_BATCH_RUNS,
+    MAX_WIRE_INT,
 };
 
 fn drain_frames(bytes: &[u8], cap: usize) -> Vec<Result<String, ProtocolError>> {
@@ -181,7 +182,7 @@ fn random_edit(rng: &mut rand::rngs::StdRng) -> SessionEdit {
 
 fn random_request(rng: &mut rand::rngs::StdRng) -> Request {
     let id = rng.gen_range(0..MAX_WIRE_INT);
-    match rng.gen_range(0..7u32) {
+    match rng.gen_range(0..8u32) {
         0 => Request::Ping { id },
         1 => Request::Stats { id },
         2 => Request::Shutdown { id },
@@ -206,6 +207,21 @@ fn random_request(rng: &mut rand::rngs::StdRng) -> Request {
             id,
             session: rng.gen_range(0..MAX_WIRE_INT),
         },
+        6 => {
+            let runs = rng.gen_range(1..MAX_BATCH_RUNS + 1);
+            Request::SimBatch {
+                id,
+                sim: SimRequest {
+                    // Batches are sigmoid-only, and every derived seed
+                    // (`seed + r`) must stay a valid wire integer for the
+                    // encoded frame to decode back.
+                    compare: false,
+                    seed: rng.gen_range(0..MAX_WIRE_INT - MAX_BATCH_RUNS as u64),
+                    ..random_sim(rng)
+                },
+                runs,
+            }
+        }
         _ => Request::Sim {
             id,
             sim: random_sim(rng),
@@ -260,8 +276,14 @@ fn random_result(rng: &mut rand::rngs::StdRng) -> SimResult {
 
 fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
     let id = rng.gen_range(0..MAX_WIRE_INT);
-    match rng.gen_range(0..7u32) {
+    match rng.gen_range(0..8u32) {
         0 => Response::Pong { id },
+        7 => Response::SimBatch {
+            id,
+            results: (0..rng.gen_range(0..4usize))
+                .map(|_| random_result(rng))
+                .collect(),
+        },
         1 => Response::ShuttingDown { id },
         5 => Response::Session {
             id,
@@ -293,6 +315,9 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
                 sessions_open: rng.gen_range(0..MAX_WIRE_INT),
                 delta_hits: rng.gen_range(0..MAX_WIRE_INT),
                 gates_reeval: rng.gen_range(0..MAX_WIRE_INT),
+                simd_level: ["scalar", "sse2", "avx2"][rng.gen_range(0..3usize)].to_string(),
+                fleet_runs: rng.gen_range(0..MAX_WIRE_INT),
+                fleet_rows: rng.gen_range(0..MAX_WIRE_INT),
             },
         },
         3 => Response::Error {

@@ -219,6 +219,45 @@ struct DirectArtifacts {
     delays: sigchar::DelayTable,
 }
 
+/// `sim.batch` parity: entry `r` of a fleet execution is bit-identical
+/// to the individual `sim` request with seed `seed + r`, and the fleet
+/// counters account for it.
+#[test]
+fn sim_batch_matches_individual_requests() {
+    train_models_cached(
+        &PathBuf::from(MODELS_DIR).join("ci.json"),
+        &PipelineConfig::ci(),
+    )
+    .expect("ci models");
+    let service = Service::new(ServiceConfig {
+        models_dir: PathBuf::from(MODELS_DIR),
+        ..ServiceConfig::default()
+    });
+    let base = sim(CircuitSource::Name("c17".into()), 700, false);
+    let runs = 5;
+    let batch = service.execute_sim_batch(&base, runs).expect("batch");
+    assert_eq!(batch.len(), runs);
+    for (r, got) in batch.iter().enumerate() {
+        let single = service
+            .execute_sim(&SimRequest {
+                seed: base.seed + r as u64,
+                ..base.clone()
+            })
+            .expect("individual run");
+        assert_eq!(got.fingerprint, single.fingerprint, "run {r}");
+        // Bit-identical traces: exact f64 equality, fleet vs solo.
+        assert_eq!(got.outputs, single.outputs, "run {r} diverged");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.fleet_runs, runs as u64);
+    assert!(stats.fleet_rows > 0, "fleet batches merged rows");
+    assert!(
+        ["scalar", "sse2", "avx2"].contains(&stats.simd_level.as_str()),
+        "stats report the active SIMD level, got {:?}",
+        stats.simd_level
+    );
+}
+
 #[test]
 fn daemon_matches_direct_harness_bit_for_bit() {
     // Train (or load) the shared ci models *before* the daemon starts so

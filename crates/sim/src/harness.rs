@@ -18,7 +18,8 @@ use sigwave::metrics::{t_err_digital, Window};
 use sigwave::{DigitalTrace, Level, SigmoidTrace, Waveform};
 
 use crate::simulator::{
-    simulate_cells_with, CellModels, GateModels, SigmoidSimConfig, SigmoidSimError,
+    simulate_cells_with, CellModels, CircuitProgram, FleetScratch, GateModels, SigmoidSimConfig,
+    SigmoidSimError,
 };
 
 /// How the sigmoid simulator's input traces are derived from the analog
@@ -55,6 +56,12 @@ pub struct HarnessConfig {
     /// Scheduling of the sigmoid simulator (batching/parallelism); traces
     /// are identical at every setting, only `wall_sigmoid` changes.
     pub sigmoid_sim: SigmoidSimConfig,
+    /// SIMD kernel policy override. `None` leaves the process-global
+    /// policy untouched (resolved from the `SIG_SIMD` environment
+    /// variable on first use); `Some` pins it via
+    /// [`signn::simd::set_policy`] before the comparison runs. Traces are
+    /// bit-identical at every level, only `wall_sigmoid` changes.
+    pub simd: Option<signn::simd::SimdPolicy>,
 }
 
 impl Default for HarnessConfig {
@@ -67,6 +74,7 @@ impl Default for HarnessConfig {
             tail: 120e-12,
             sigmoid_inputs: SigmoidInputMode::Fitted,
             sigmoid_sim: SigmoidSimConfig::default(),
+            simd: None,
         }
     }
 }
@@ -215,6 +223,102 @@ impl ComparisonOutcome {
     }
 }
 
+/// Aggregate statistics of one `t_err` series across a Monte-Carlo
+/// campaign (all values in seconds, like the per-run fields).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McStats {
+    /// Arithmetic mean over all runs.
+    pub mean: f64,
+    /// Smallest per-run value.
+    pub min: f64,
+    /// Largest per-run value.
+    pub max: f64,
+    /// 95th percentile (nearest-rank on the sorted runs — the value at
+    /// index `ceil(0.95·n) - 1`, so it is always an observed run).
+    pub p95: f64,
+}
+
+impl McStats {
+    fn of(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "stats need at least one run");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        values.sort_by(f64::total_cmp);
+        // Nearest-rank: ceil(0.95 n) clamped into 1..=n.
+        let rank = (0.95 * n as f64).ceil() as usize;
+        Self {
+            mean,
+            min: values[0],
+            max: values[n - 1],
+            p95: values[rank.clamp(1, n) - 1],
+        }
+    }
+}
+
+/// Per-circuit aggregation of a Monte-Carlo comparison campaign: the
+/// digital and sigmoid `t_err` distributions, total wall-clock per
+/// simulator, and the total gate-evaluation count — the row form the
+/// `table1` binary prints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McSummary {
+    /// Number of outcomes aggregated.
+    pub runs: usize,
+    /// `t_err` statistics of the digital baseline.
+    pub digital: McStats,
+    /// `t_err` statistics of the sigmoid prototype.
+    pub sigmoid: McStats,
+    /// Total analog-engine wall time across all runs.
+    pub wall_analog: Duration,
+    /// Total digital-baseline wall time across all runs.
+    pub wall_digital: Duration,
+    /// Total sigmoid-simulation wall time across all runs (in fleet mode
+    /// this is the fleet execution's wall time, re-assembled from the
+    /// per-run amortized shares).
+    pub wall_sigmoid: Duration,
+    /// Total gates evaluated: `runs ×` the circuit's gate count (each
+    /// comparison run evaluates every gate exactly once).
+    pub gates_evaluated: u64,
+}
+
+impl McSummary {
+    /// Aggregates a campaign's outcomes; `gates_per_run` is the circuit's
+    /// gate count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty outcome slice (no runs — nothing to
+    /// summarize).
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[ComparisonOutcome], gates_per_run: usize) -> Self {
+        assert!(!outcomes.is_empty(), "cannot summarize zero outcomes");
+        Self {
+            runs: outcomes.len(),
+            digital: McStats::of(outcomes.iter().map(|o| o.t_err_digital).collect()),
+            sigmoid: McStats::of(outcomes.iter().map(|o| o.t_err_sigmoid).collect()),
+            wall_analog: outcomes.iter().map(|o| o.wall_analog).sum(),
+            wall_digital: outcomes.iter().map(|o| o.wall_digital).sum(),
+            wall_sigmoid: outcomes.iter().map(|o| o.wall_sigmoid).sum(),
+            gates_evaluated: (outcomes.len() * gates_per_run) as u64,
+        }
+    }
+
+    /// The campaign-level error ratio `mean t_err_sigmoid / mean
+    /// t_err_digital`, with the same perfect-baseline conventions as
+    /// [`ComparisonOutcome::error_ratio`].
+    #[must_use]
+    pub fn error_ratio(&self) -> f64 {
+        if self.digital.mean == 0.0 {
+            if self.sigmoid.mean == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.sigmoid.mean / self.digital.mean
+        }
+    }
+}
+
 /// Runs the full three-way comparison of a NOR-only circuit with the
 /// paper's four-variant models — a thin wrapper binding `models` as a
 /// [`CellModels`] set and calling [`compare_circuit_cells`].
@@ -258,6 +362,53 @@ pub fn compare_circuit_cells(
     delays: &DelayTable,
     config: &HarnessConfig,
 ) -> Result<ComparisonOutcome, HarnessError> {
+    if let Some(policy) = config.simd {
+        signn::simd::set_policy(policy);
+    }
+    let prepared = prepare_run(circuit, stimuli, delays, config)?;
+    let start = Instant::now();
+    let sigmoid_result = simulate_cells_with(
+        circuit,
+        &prepared.sigmoid_inputs,
+        cells,
+        config.tom,
+        &config.sigmoid_sim,
+    )?;
+    let wall_sigmoid = start.elapsed();
+    Ok(finish_run(
+        circuit,
+        prepared,
+        &sigmoid_result,
+        wall_sigmoid,
+        config,
+    ))
+}
+
+/// Everything one comparison run produces *before* the sigmoid simulator
+/// executes: the analog reference (probed output waveforms), the common
+/// derived inputs, and the digital baseline with its timing. Splitting
+/// here lets the fleet Monte-Carlo path run the sigmoid stage of many
+/// runs as one [`CircuitProgram::execute_fleet`] while keeping every
+/// other stage — and therefore every `t_err` — identical to the
+/// independent path.
+struct PreparedRun {
+    sigmoid_inputs: HashMap<NetId, Arc<SigmoidTrace>>,
+    /// Analog output waveforms, in `circuit.outputs()` order.
+    output_waves: Vec<Waveform>,
+    digital: digilog::DigitalSimResult,
+    wall_analog: Duration,
+    wall_digital: Duration,
+    t_end: f64,
+}
+
+/// The analog + input-derivation + digital-baseline stages of
+/// [`compare_circuit_cells`] (everything up to the sigmoid simulation).
+fn prepare_run(
+    circuit: &Circuit,
+    stimuli: &HashMap<NetId, DigitalTrace>,
+    delays: &DelayTable,
+    config: &HarnessConfig,
+) -> Result<PreparedRun, HarnessError> {
     // ---- Analog reference -------------------------------------------------
     let mut analog_stimuli: HashMap<NetId, Box<dyn Stimulus>> = HashMap::new();
     let mut init = HashMap::new();
@@ -326,49 +477,64 @@ pub fn compare_circuit_cells(
     let digital_result = simulate_digital(circuit, &digital_inputs, &channels)?;
     let wall_digital = start.elapsed();
 
-    // ---- Sigmoid prototype -------------------------------------------------
-    let start = Instant::now();
-    let sigmoid_result = simulate_cells_with(
-        circuit,
-        &sigmoid_inputs,
-        cells,
-        config.tom,
-        &config.sigmoid_sim,
-    )?;
-    let wall_sigmoid = start.elapsed();
+    let output_waves = circuit
+        .outputs()
+        .iter()
+        .map(|&o| {
+            analog_result
+                .waveform(analog.probe_name(o))
+                .expect("probed")
+                .clone()
+        })
+        .collect();
+    Ok(PreparedRun {
+        sigmoid_inputs,
+        output_waves,
+        digital: digital_result,
+        wall_analog,
+        wall_digital,
+        t_end,
+    })
+}
 
-    // ---- t_err accounting ---------------------------------------------------
-    let window = Window::new(0.0, t_end);
+/// The `t_err` accounting stage of [`compare_circuit_cells`]: folds a
+/// prepared run and its sigmoid result into a [`ComparisonOutcome`].
+fn finish_run(
+    circuit: &Circuit,
+    prepared: PreparedRun,
+    sigmoid_result: &crate::simulator::SigmoidSimResult,
+    wall_sigmoid: Duration,
+    config: &HarnessConfig,
+) -> ComparisonOutcome {
+    let threshold = config.tom.vdd / 2.0;
+    let window = Window::new(0.0, prepared.t_end);
     let mut t_err_dig = 0.0;
     let mut t_err_sig = 0.0;
     let mut bundles = Vec::with_capacity(circuit.outputs().len());
-    for &o in circuit.outputs() {
-        let wave = analog_result
-            .waveform(analog.probe_name(o))
-            .expect("probed");
+    for (&o, wave) in circuit.outputs().iter().zip(prepared.output_waves) {
         let reference = wave.digitize(threshold);
-        let dig = digital_result.trace(o).clone();
+        let dig = prepared.digital.trace(o).clone();
         let sig = sigmoid_result.trace(o).clone();
         t_err_dig += t_err_digital(&reference, &dig, window);
         t_err_sig += t_err_digital(&reference, &sig.digitize(threshold), window);
         bundles.push(TraceBundle {
             net: circuit.net_name(o).to_string(),
-            analog: wave.clone(),
+            analog: wave,
             digital: dig,
             sigmoid: sig,
         });
     }
 
-    Ok(ComparisonOutcome {
+    ComparisonOutcome {
         t_err_digital: t_err_dig,
         t_err_sigmoid: t_err_sig,
         outputs: circuit.outputs().len(),
-        wall_analog,
-        wall_digital,
+        wall_analog: prepared.wall_analog,
+        wall_digital: prepared.wall_digital,
         wall_sigmoid,
         window,
         bundles,
-    })
+    }
 }
 
 /// Configuration of a multi-seed Monte-Carlo comparison campaign.
@@ -380,6 +546,14 @@ pub struct MonteCarloConfig {
     pub seed: u64,
     /// Worker threads for the runs (`0` = auto-detect, `1` = sequential).
     pub parallelism: usize,
+    /// Fleet execution: run every seed's sigmoid simulation in lockstep
+    /// through one [`CircuitProgram::execute_fleet`] call instead of one
+    /// independent simulation per run. Seeding, stimuli and every `t_err`
+    /// are bit-identical to the independent path (property-tested); only
+    /// the `wall_sigmoid` fields change — each outcome reports its
+    /// amortized share (fleet wall time ÷ runs). Implies sequential
+    /// preparation (`parallelism` is ignored).
+    pub fleet: bool,
 }
 
 impl Default for MonteCarloConfig {
@@ -388,6 +562,7 @@ impl Default for MonteCarloConfig {
             runs: 5,
             seed: 1,
             parallelism: sigwave::parallel::available_parallelism(),
+            fleet: false,
         }
     }
 }
@@ -449,12 +624,60 @@ pub fn compare_circuit_monte_carlo_cells(
     config: &HarnessConfig,
     mc: &MonteCarloConfig,
 ) -> Result<Vec<ComparisonOutcome>, HarnessError> {
+    if mc.fleet {
+        return compare_monte_carlo_fleet(circuit, spec, cells, delays, config, mc);
+    }
     let runs: Vec<usize> = (0..mc.runs).collect();
     sigwave::parallel::try_par_map(mc.parallelism, &runs, |_, &r| {
         let mut rng = rand::rngs::StdRng::seed_from_u64(mc.run_seed(r, spec.transitions));
         let stimuli = random_stimuli(circuit, spec, &mut rng);
         compare_circuit_cells(circuit, &stimuli, cells, delays, config)
     })
+}
+
+/// The fleet form of the Monte-Carlo campaign: prepare every run
+/// (analog + digital baselines, per-run RNG seeding unchanged), then run
+/// all sigmoid simulations in lockstep through one
+/// [`CircuitProgram::execute_fleet`], and finally account each run. Every
+/// non-timing field of every outcome is bit-identical to the independent
+/// path; `wall_sigmoid` reports each run's amortized share of the one
+/// fleet execution.
+fn compare_monte_carlo_fleet(
+    circuit: &Circuit,
+    spec: &crate::stimulus::StimulusSpec,
+    cells: &CellModels,
+    delays: &DelayTable,
+    config: &HarnessConfig,
+    mc: &MonteCarloConfig,
+) -> Result<Vec<ComparisonOutcome>, HarnessError> {
+    if let Some(policy) = config.simd {
+        signn::simd::set_policy(policy);
+    }
+    let mut prepared = Vec::with_capacity(mc.runs);
+    for r in 0..mc.runs {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(mc.run_seed(r, spec.transitions));
+        let stimuli = random_stimuli(circuit, spec, &mut rng);
+        prepared.push(prepare_run(circuit, &stimuli, delays, config)?);
+    }
+    let program = CircuitProgram::compile(
+        Arc::new(circuit.clone()),
+        Arc::new(cells.clone()),
+        config.tom,
+    )?;
+    let sets: Vec<HashMap<NetId, Arc<SigmoidTrace>>> =
+        prepared.iter().map(|p| p.sigmoid_inputs.clone()).collect();
+    let mut scratch = FleetScratch::new();
+    let start = Instant::now();
+    let results = program.execute_fleet_with(&sets, &config.sigmoid_sim, &mut scratch)?;
+    let wall_share = start
+        .elapsed()
+        .checked_div(mc.runs.max(1) as u32)
+        .unwrap_or_default();
+    Ok(prepared
+        .into_iter()
+        .zip(results)
+        .map(|(p, sigmoid)| finish_run(circuit, p, &sigmoid, wall_share, config))
+        .collect())
 }
 
 /// The delay-table cell class of a circuit gate. Single-input gates time
@@ -544,6 +767,116 @@ mod tests {
             },
             region_margin: Some(4.0),
             ..PipelineConfig::default()
+        }
+    }
+
+    /// A hand-built outcome with the given `t_err` pair and wall times —
+    /// everything `McSummary` reads, nothing more.
+    fn outcome(t_dig: f64, t_sig: f64, wall_ms: u64) -> ComparisonOutcome {
+        ComparisonOutcome {
+            t_err_digital: t_dig,
+            t_err_sigmoid: t_sig,
+            outputs: 2,
+            wall_analog: Duration::from_millis(10 * wall_ms),
+            wall_digital: Duration::from_millis(wall_ms),
+            wall_sigmoid: Duration::from_millis(2 * wall_ms),
+            window: Window::new(0.0, 1e-9),
+            bundles: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn mc_summary_aggregates_hand_built_outcomes() {
+        // 20 runs with sigmoid t_err 1..=20 ps: mean 10.5, min 1, max 20,
+        // p95 = ceil(0.95·20) = 19th sorted value = 19 (nearest rank).
+        let outcomes: Vec<ComparisonOutcome> = (1..=20)
+            .map(|i| outcome(2e-12 * i as f64, 1e-12 * i as f64, i as u64))
+            .collect();
+        let s = McSummary::from_outcomes(&outcomes, 546);
+        assert_eq!(s.runs, 20);
+        assert!((s.sigmoid.mean - 10.5e-12).abs() < 1e-24);
+        assert_eq!(s.sigmoid.min, 1e-12);
+        assert_eq!(s.sigmoid.max, 20e-12);
+        assert_eq!(s.sigmoid.p95, 19e-12);
+        assert!((s.digital.mean - 21e-12).abs() < 1e-24);
+        assert_eq!(s.digital.p95, 38e-12);
+        assert_eq!(s.gates_evaluated, 20 * 546);
+        // Wall totals: Σ 1..=20 = 210 ms per unit.
+        assert_eq!(s.wall_digital, Duration::from_millis(210));
+        assert_eq!(s.wall_sigmoid, Duration::from_millis(420));
+        assert_eq!(s.wall_analog, Duration::from_millis(2100));
+        // Ratio of means = 0.5 here.
+        assert!((s.error_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_summary_single_run_and_perfect_baseline() {
+        let s = McSummary::from_outcomes(&[outcome(0.0, 0.0, 1)], 6);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.sigmoid.p95, 0.0);
+        assert_eq!(s.error_ratio(), 1.0);
+        let s = McSummary::from_outcomes(&[outcome(0.0, 3e-12, 1)], 6);
+        assert_eq!(s.error_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn fleet_monte_carlo_matches_independent_runs() {
+        // The fleet MC parity claim on a real end-to-end campaign: same
+        // seeds, same stimuli, bit-identical t_err and traces — only the
+        // wall_* fields may differ.
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        let circuit = &bench.nor_mapped;
+        let trained = train_models(&tiny_pipeline()).unwrap();
+        let cells = CellModels::nor_only(&trained.gate_models());
+        let delays =
+            DelayTable::measure(1..=3, &AnalogOptions::default(), &EngineConfig::default())
+                .unwrap();
+        let spec = StimulusSpec::new(60e-12, 20e-12, 4);
+        let config = HarnessConfig::default();
+        let base = MonteCarloConfig {
+            runs: 3,
+            seed: 99,
+            parallelism: 1,
+            fleet: false,
+        };
+        let independent =
+            compare_circuit_monte_carlo_cells(circuit, &spec, &cells, &delays, &config, &base)
+                .unwrap();
+        let fleet = compare_circuit_monte_carlo_cells(
+            circuit,
+            &spec,
+            &cells,
+            &delays,
+            &config,
+            &MonteCarloConfig {
+                fleet: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(independent.len(), fleet.len());
+        for (r, (a, b)) in independent.iter().zip(&fleet).enumerate() {
+            assert_eq!(
+                a.t_err_digital.to_bits(),
+                b.t_err_digital.to_bits(),
+                "run {r}"
+            );
+            assert_eq!(
+                a.t_err_sigmoid.to_bits(),
+                b.t_err_sigmoid.to_bits(),
+                "run {r}"
+            );
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.window, b.window);
+            for (ba, bb) in a.bundles.iter().zip(&b.bundles) {
+                assert_eq!(ba.net, bb.net);
+                assert_eq!(ba.digital, bb.digital);
+                assert!(
+                    sigtom::traces_bit_identical(&ba.sigmoid, &bb.sigmoid),
+                    "run {r} output {} sigmoid trace differs in fleet mode",
+                    ba.net
+                );
+            }
         }
     }
 

@@ -86,8 +86,8 @@ mod stimulus;
 pub use harness::{
     compare_circuit, compare_circuit_cells, compare_circuit_monte_carlo,
     compare_circuit_monte_carlo_cells, constant_stimuli, digital_to_sigmoid, final_levels_agree,
-    random_stimuli, ComparisonOutcome, HarnessConfig, HarnessError, MonteCarloConfig,
-    SigmoidInputMode, TraceBundle, SAME_STIMULUS_SLOPE,
+    random_stimuli, ComparisonOutcome, HarnessConfig, HarnessError, McStats, McSummary,
+    MonteCarloConfig, SigmoidInputMode, TraceBundle, SAME_STIMULUS_SLOPE,
 };
 pub use models::{
     native_cache_path, train_cell_library, train_cell_library_cached, train_models,
@@ -96,8 +96,8 @@ pub use models::{
 };
 pub use simulator::{
     simulate_cells_with, simulate_sigmoid, simulate_sigmoid_with, CellModels, CircuitProgram,
-    GateModels, IncrementalState, SigmoidSimConfig, SigmoidSimError, SigmoidSimResult, SimScratch,
-    StimulusEdit, MODEL_SLOTS,
+    FleetScratch, GateModels, IncrementalState, SigmoidSimConfig, SigmoidSimError,
+    SigmoidSimResult, SimScratch, StimulusEdit, MODEL_SLOTS,
 };
 pub use stimulus::StimulusSpec;
 
@@ -114,12 +114,14 @@ const _: () = {
     assert_send_sync::<CellModels>();
     assert_send_sync::<CircuitProgram>();
     assert_send_sync::<SimScratch>();
+    assert_send_sync::<FleetScratch>();
     assert_send_sync::<IncrementalState>();
     assert_send_sync::<StimulusEdit>();
     assert_send_sync::<CellLibrary>();
     assert_send_sync::<TrainedModels>();
     assert_send_sync::<SigmoidSimResult>();
     assert_send_sync::<ComparisonOutcome>();
+    assert_send_sync::<McSummary>();
     assert_send_sync::<HarnessConfig>();
     assert_send_sync::<StimulusSpec>();
     assert_send_sync::<sigcircuit::Circuit>();

@@ -584,6 +584,43 @@ pub struct SimScratch {
     pending: Vec<Vec<usize>>,
     /// Multi-input transition-merge buffers for sequential planning.
     plan: PlanScratch,
+    /// Duplicate-gate elimination table of the current level (see
+    /// [`GateMemo`]).
+    memo: GateMemo,
+}
+
+/// The duplicate-gate elimination table: maps a gate's *evaluation
+/// identity* — model slot, cell function, and the exact input traces (by
+/// `Arc` pointer, valid while the level holds them alive) — to the output
+/// net of the first gate in the level with that identity. Gate evaluation
+/// is deterministic in (model, input traces, options), so later gates with
+/// the same identity must produce a bit-identical trace and simply share
+/// the first gate's `Arc` instead of re-planning and re-predicting.
+/// NOR-mapped netlists duplicate gates across fan-out branches heavily
+/// (ISCAS c1355 carries 535 duplicates among 2172 gates), so this removes
+/// a quarter of all inference work there. Input order is part of the key
+/// (no commutativity assumed), and the table never outlives a (run, level)
+/// — pointers cannot be recycled while the memoized traces are alive.
+type GateMemo = HashMap<(usize, CellFunction, [usize; MAX_CELL_ARITY]), NetId>;
+
+/// The `GateMemo` key of one bound gate: unused input lanes pad with
+/// `usize::MAX`, which no live `Arc` pointer equals, so arity is encoded
+/// implicitly.
+fn memo_key(
+    slot: usize,
+    function: CellFunction,
+    inputs: &[NetId],
+    nets: &[Option<Arc<SigmoidTrace>>],
+    base: usize,
+) -> (usize, CellFunction, [usize; MAX_CELL_ARITY]) {
+    let mut ptrs = [usize::MAX; MAX_CELL_ARITY];
+    for (lane, i) in inputs.iter().enumerate() {
+        ptrs[lane] = nets[base + i.0]
+            .as_ref()
+            .map(|t| Arc::as_ptr(t) as usize)
+            .expect("level order");
+    }
+    (slot, function, ptrs)
 }
 
 impl SimScratch {
@@ -597,6 +634,73 @@ impl SimScratch {
     /// dominant allocation, which grows to the largest circuit executed.
     /// Pools use this to drop arenas grown by a one-off huge netlist
     /// instead of pinning their memory forever.
+    #[must_use]
+    pub fn net_capacity(&self) -> usize {
+        self.nets.capacity()
+    }
+}
+
+/// The execution arena of [`CircuitProgram::execute_fleet`]: the fleet
+/// counterpart of [`SimScratch`], holding the run-major per-run/per-net
+/// trace matrix plus the shared batch buffers all runs' queries merge
+/// into. Like `SimScratch`, one instance serves any number of sequential
+/// fleet executions (of any program and any fleet width) and buffers grow
+/// to the largest fleet seen.
+///
+/// The arena also keeps two monotone counters the service layer reports:
+/// total stimulus sets executed ([`FleetScratch::runs`]) and total query
+/// rows issued through merged batches ([`FleetScratch::rows_merged`]).
+#[derive(Debug, Default)]
+pub struct FleetScratch {
+    /// Run-major per-run/per-net resolved traces
+    /// (`runs × net_count`, run `r` occupies `r*net_count ..`).
+    nets: Vec<Option<Arc<SigmoidTrace>>>,
+    /// Gathered queries of one (slot, round) batch — rows from *all*
+    /// runs of the fleet.
+    queries: Vec<TransferQuery>,
+    /// The matching predictions, scattered back to the plans.
+    predictions: Vec<TransferPrediction>,
+    /// Plan indices of the round being applied.
+    round: Vec<usize>,
+    /// Per-slot pending plan indices (indices into the fleet-wide,
+    /// run-major plan list of the current level).
+    pending: Vec<Vec<usize>>,
+    /// Multi-input transition-merge buffers for sequential planning.
+    plan: PlanScratch,
+    /// Duplicate-gate elimination table of the current (run, level) (see
+    /// [`GateMemo`]).
+    memo: GateMemo,
+    /// Cumulative stimulus sets executed through this arena.
+    runs: u64,
+    /// Cumulative query rows issued through merged batches.
+    rows_merged: u64,
+}
+
+impl FleetScratch {
+    /// An empty arena; buffers are sized lazily by the first execution.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total stimulus sets executed through this arena (across all
+    /// [`CircuitProgram::execute_fleet`] calls).
+    #[must_use]
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total query rows issued through merged per-slot batches — the
+    /// quantity that amortizes per-batch overhead; with a fleet of `K`
+    /// runs each inference call sees up to `K×` the rows of a solo run.
+    #[must_use]
+    pub fn rows_merged(&self) -> u64 {
+        self.rows_merged
+    }
+
+    /// The per-net slot capacity currently retained (the fleet analogue
+    /// of [`SimScratch::net_capacity`]: `runs × net_count` of the largest
+    /// fleet executed).
     #[must_use]
     pub fn net_capacity(&self) -> usize {
         self.nets.capacity()
@@ -721,6 +825,205 @@ impl CircuitProgram {
             config,
             scratch,
         )
+    }
+
+    /// Executes the program against `K` stimulus sets in lockstep with the
+    /// default scheduling. See [`CircuitProgram::execute_fleet_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmoidSimError::MissingStimulus`] when any run's input
+    /// net has no stimulus trace.
+    pub fn execute_fleet(
+        &self,
+        stimuli: &[HashMap<NetId, Arc<SigmoidTrace>>],
+        scratch: &mut FleetScratch,
+    ) -> Result<Vec<SigmoidSimResult>, SigmoidSimError> {
+        self.execute_fleet_with(stimuli, &SigmoidSimConfig::default(), scratch)
+    }
+
+    /// Executes the program against `K` stimulus sets **in lockstep**: per
+    /// level, the plan templates of *all* runs are bound and their pending
+    /// queries merged per model slot, so each inference round issues one
+    /// wide batch of up to `K×` the rows of a solo execution — the
+    /// fleet form that amortizes per-batch overhead across a Monte-Carlo
+    /// campaign or a batched service request.
+    ///
+    /// Every run's result is **bit-identical** to an independent
+    /// [`CircuitProgram::execute_with`] of the same stimulus set
+    /// (property-tested on random DAGs): each plan's own query/prediction
+    /// sequence is unchanged by the merge, and batched inference is
+    /// row-independent — regrouping rows never changes a row's arithmetic
+    /// (the same contract the levelized engine already relies on for
+    /// round interleaving and chunked parallel inference).
+    ///
+    /// Results are returned in run order. An empty `stimuli` slice returns
+    /// an empty vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmoidSimError::MissingStimulus`] when any run's input
+    /// net has no stimulus trace — unlike the independent path, the whole
+    /// fleet fails upfront (no partial results).
+    pub fn execute_fleet_with(
+        &self,
+        stimuli: &[HashMap<NetId, Arc<SigmoidTrace>>],
+        config: &SigmoidSimConfig,
+        scratch: &mut FleetScratch,
+    ) -> Result<Vec<SigmoidSimResult>, SigmoidSimError> {
+        let k = stimuli.len();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let circuit = &*self.circuit;
+        let cells = &*self.cells;
+        let tables = &self.tables;
+        let options = self.options;
+        let parallelism = sigwave::parallel::resolve_parallelism(config.parallelism);
+        let nc = circuit.net_count();
+        let FleetScratch {
+            nets,
+            queries,
+            predictions,
+            round,
+            pending,
+            plan,
+            memo,
+            runs,
+            rows_merged,
+        } = scratch;
+        nets.clear();
+        nets.resize(k * nc, None);
+        for member in pending.iter_mut() {
+            member.clear();
+        }
+        pending.resize_with(cells.slots(), Vec::new);
+        for (r, stim) in stimuli.iter().enumerate() {
+            for &input in circuit.inputs() {
+                let t = stim
+                    .get(&input)
+                    .ok_or_else(|| SigmoidSimError::MissingStimulus {
+                        net: circuit.net_name(input).to_string(),
+                    })?;
+                nets[r * nc + input.0] = Some(Arc::clone(t));
+            }
+        }
+
+        for level in circuit.levels() {
+            // Bind the level's templates for every run (run-major, so a
+            // plan index identifies both the run and the gate). Plans
+            // borrow the input traces out of the fleet net matrix;
+            // outputs are published only after the level's plans are
+            // consumed, exactly like the solo executor.
+            let mut plans: Vec<(usize, usize, NetId, GatePlan)> =
+                Vec::with_capacity(k * level.len());
+            // Duplicate gates (same slot, function, and input traces —
+            // fan-out replicas in NOR-mapped netlists) evaluate once per
+            // run; the rest alias the first copy's output `Arc` after the
+            // level finalizes. See [`GateMemo`] for the soundness
+            // argument.
+            let mut aliases: Vec<(usize, NetId, NetId)> = Vec::new();
+            for r in 0..k {
+                let base = r * nc;
+                memo.clear();
+                for &gi in level {
+                    let gate = &circuit.gates()[gi];
+                    let slot = tables.slots[gi];
+                    let template = &tables.templates[gi];
+                    let key = memo_key(slot, template.function(), &gate.inputs, nets, base);
+                    match memo.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(first) => {
+                            aliases.push((r, gate.output, *first.get()));
+                            continue;
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(gate.output);
+                        }
+                    }
+                    let first = nets[base + gate.inputs[0].0]
+                        .as_deref()
+                        .expect("level order");
+                    let mut ins: [&SigmoidTrace; MAX_CELL_ARITY] = [first; MAX_CELL_ARITY];
+                    for (j, i) in gate.inputs.iter().enumerate().skip(1) {
+                        ins[j] = nets[base + i.0].as_deref().expect("level order");
+                    }
+                    plans.push((
+                        slot,
+                        r,
+                        gate.output,
+                        template.bind_with(&ins[..gate.inputs.len()], options, plan),
+                    ));
+                }
+            }
+            // The solo round loop, over the fleet-wide plan list: pending
+            // plans group by slot *across runs*, so one predict call per
+            // (model, round) serves the whole fleet. Each plan still
+            // contributes exactly one query per round, in its own order.
+            for (pi, (slot, _, _, plan)) in plans.iter().enumerate() {
+                if plan.pending() > 0 {
+                    pending[*slot].push(pi);
+                }
+            }
+            loop {
+                let mut progressed = false;
+                for (slot, member) in pending.iter_mut().enumerate() {
+                    if member.is_empty() {
+                        continue;
+                    }
+                    progressed = true;
+                    queries.clear();
+                    for &pi in member.iter() {
+                        queries.push(plans[pi].3.next_query().expect("pending plan"));
+                    }
+                    *rows_merged += queries.len() as u64;
+                    predict_chunked(cells.by_slot(slot), queries, predictions, parallelism);
+                    round.clear();
+                    std::mem::swap(member, round);
+                    for (&pi, &p) in round.iter().zip(predictions.iter()) {
+                        plans[pi].3.apply(p);
+                        if plans[pi].3.pending() > 0 {
+                            member.push(pi);
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            let finished: Vec<(usize, NetId, SigmoidTrace)> = plans
+                .into_iter()
+                .map(|(_, r, output, plan)| (r, output, plan.into_trace()))
+                .collect();
+            for (r, output, trace) in finished {
+                nets[r * nc + output.0] = Some(Arc::new(trace));
+            }
+            for (r, output, source) in aliases {
+                let shared = nets[r * nc + source.0].clone().expect("memoized gate ran");
+                nets[r * nc + output.0] = Some(shared);
+            }
+        }
+
+        *runs += k as u64;
+        let mut results = Vec::with_capacity(k);
+        let mut filler: Option<Arc<SigmoidTrace>> = None;
+        for r in 0..k {
+            let mut undriven = Vec::new();
+            let traces = nets[r * nc..(r + 1) * nc]
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| match slot.take() {
+                    Some(t) => t,
+                    None => {
+                        undriven.push(NetId(i));
+                        Arc::clone(filler.get_or_insert_with(|| {
+                            Arc::new(SigmoidTrace::constant(Level::Low, options.vdd))
+                        }))
+                    }
+                })
+                .collect();
+            results.push(SigmoidSimResult { traces, undriven });
+        }
+        Ok(results)
     }
 
     /// Opens an incremental session: runs one full execution of `stimuli`
@@ -987,6 +1290,7 @@ fn execute_program(
         round,
         pending,
         plan,
+        memo,
     } = scratch;
     nets.clear();
     nets.resize(circuit.net_count(), None);
@@ -1015,6 +1319,13 @@ fn execute_program(
             // Bind every template of the level (model-independent). The
             // parallel form fans gates over the pool with per-gate merge
             // buffers; the sequential form reuses the arena's.
+            // Duplicate gates (same slot, function, and input traces)
+            // evaluate once; the rest alias the first copy's output `Arc`
+            // after the level finalizes. See [`GateMemo`]. The parallel
+            // bind skips the table — fanning the binds out already hides
+            // the duplicate work, and results are bit-identical either
+            // way (gate evaluation is deterministic in its inputs).
+            let mut aliases: Vec<(NetId, NetId)> = Vec::new();
             let mut plans: Vec<(usize, NetId, GatePlan)> = if level_parallelism > 1 {
                 sigwave::parallel::par_map(level_parallelism, level, |_, &gi| {
                     let gate = &circuit.gates()[gi];
@@ -1030,9 +1341,22 @@ fn execute_program(
                     )
                 })
             } else {
+                memo.clear();
                 let mut out = Vec::with_capacity(level.len());
                 for &gi in level {
                     let gate = &circuit.gates()[gi];
+                    let slot = tables.slots[gi];
+                    let template = &tables.templates[gi];
+                    let key = memo_key(slot, template.function(), &gate.inputs, nets, 0);
+                    match memo.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(first) => {
+                            aliases.push((gate.output, *first.get()));
+                            continue;
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(gate.output);
+                        }
+                    }
                     // Compiled arities are <= MAX_CELL_ARITY (slot
                     // resolution enforces it), so the gather fits a
                     // fixed stack buffer.
@@ -1042,9 +1366,9 @@ fn execute_program(
                         ins[k] = nets[i.0].as_deref().expect("level order");
                     }
                     out.push((
-                        tables.slots[gi],
+                        slot,
                         gate.output,
-                        tables.templates[gi].bind_with(&ins[..gate.inputs.len()], options, plan),
+                        template.bind_with(&ins[..gate.inputs.len()], options, plan),
                     ));
                 }
                 out
@@ -1093,6 +1417,10 @@ fn execute_program(
                 .collect();
             for (output, trace) in finished {
                 nets[output.0] = Some(Arc::new(trace));
+            }
+            for (output, source) in aliases {
+                let shared = nets[source.0].clone().expect("memoized gate ran");
+                nets[output.0] = Some(shared);
             }
         } else {
             // Scalar mode: per-gate one-shot predictions, optionally
@@ -1807,6 +2135,133 @@ mod tests {
                 }
             }
         }
+    }
+
+    proptest::proptest! {
+        /// The fleet parity property: on random DAGs under BOTH mapping
+        /// policies, one `execute_fleet` of K independently-seeded
+        /// stimulus sets is bit-identical, run for run and net for net,
+        /// to K independent `execute_with` calls — the merged per-slot
+        /// batches never change a row's arithmetic.
+        #[test]
+        fn fleet_matches_independent_runs_on_random_dags(seed in 0u64..u64::MAX) {
+            let native = random_native_dag(seed);
+            let nor = sigcircuit::map_with_policy(
+                &native,
+                sigcircuit::MappingPolicy::NorOnly,
+                sigcircuit::NorMappingOptions::default(),
+            );
+            let nor_cells = CellModels::nor_only(&GateModels {
+                inverter: GateModel::new(Arc::new(HistoryTransfer)),
+                inverter_fo2: GateModel::new(Arc::new(Fixed(0.09))),
+                nor_fo1: GateModel::new(Arc::new(HistoryTransfer)),
+                nor_fo2: GateModel::new(Arc::new(Fixed(0.13))),
+            });
+            let opts = TomOptions::default();
+            let mut solo = SimScratch::new();
+            let mut fleet = FleetScratch::new();
+            for (circuit, cells) in [(&native, native_cells()), (&nor, nor_cells)] {
+                let program = CircuitProgram::compile(
+                    Arc::new(circuit.clone()),
+                    Arc::new(cells),
+                    opts,
+                )
+                .expect("simulable DAG compiles");
+                let sets: Vec<HashMap<NetId, Arc<SigmoidTrace>>> = (0..4)
+                    .map(|r| random_native_stimuli(circuit, seed ^ (r as u64) << 17))
+                    .collect();
+                let config = SigmoidSimConfig::default();
+                let results = program
+                    .execute_fleet_with(&sets, &config, &mut fleet)
+                    .unwrap();
+                proptest::prop_assert_eq!(results.len(), sets.len());
+                for (r, (stim, got)) in sets.iter().zip(&results).enumerate() {
+                    let independent =
+                        program.execute_with(stim, &config, &mut solo).unwrap();
+                    proptest::prop_assert_eq!(
+                        &got.undriven, &independent.undriven,
+                        "run {} undriven set differs (seed {})", r, seed
+                    );
+                    for net in 0..circuit.net_count() {
+                        proptest::prop_assert!(
+                            traces_bit_identical(
+                                got.trace(NetId(net)),
+                                independent.trace(NetId(net)),
+                            ),
+                            "run {} net {} differs from independent execution \
+                             (seed {}, cells {})",
+                            r,
+                            net,
+                            seed,
+                            program.cells().name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_scratch_reuse_is_bit_identical_and_counts() {
+        // Run the same fleet twice through one arena: the second pass
+        // reuses every grown buffer and must reproduce each trace bit for
+        // bit; the arena counters advance by the fleet width each time.
+        let bench = sigcircuit::Benchmark::by_name("c17").unwrap();
+        let program = CircuitProgram::compile(
+            Arc::new(bench.native.clone()),
+            Arc::new(native_cells()),
+            TomOptions::default(),
+        )
+        .unwrap();
+        let sets: Vec<HashMap<NetId, Arc<SigmoidTrace>>> = (0..3)
+            .map(|r| random_native_stimuli(&bench.native, 7000 + r))
+            .collect();
+        let mut scratch = FleetScratch::new();
+        assert_eq!(scratch.runs(), 0);
+        assert_eq!(scratch.rows_merged(), 0);
+        let first = program.execute_fleet(&sets, &mut scratch).unwrap();
+        assert_eq!(scratch.runs(), 3);
+        let rows_first = scratch.rows_merged();
+        assert!(rows_first > 0, "merged batches must issue rows");
+        let second = program.execute_fleet(&sets, &mut scratch).unwrap();
+        assert_eq!(scratch.runs(), 6);
+        assert_eq!(
+            scratch.rows_merged(),
+            2 * rows_first,
+            "identical fleets issue identical row counts"
+        );
+        assert!(scratch.net_capacity() >= 3 * bench.native.net_count());
+        for (a, b) in first.iter().zip(&second) {
+            for net in 0..bench.native.net_count() {
+                assert!(
+                    traces_bit_identical(a.trace(NetId(net)), b.trace(NetId(net))),
+                    "net {net} differs between arena reuses"
+                );
+            }
+        }
+        // An empty fleet is a no-op that returns no results.
+        let empty = program.execute_fleet(&[], &mut scratch).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(scratch.runs(), 6);
+    }
+
+    #[test]
+    fn fleet_missing_stimulus_fails_whole_fleet() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let n1 = b.add_gate(GateKind::Nor, &[a], "n1");
+        b.mark_output(n1);
+        let c = b.build().unwrap();
+        let cells = CellModels::nor_only(&models(0.05, 0.1, 0.2));
+        let program =
+            CircuitProgram::compile(Arc::new(c), Arc::new(cells), TomOptions::default()).unwrap();
+        let mut good = HashMap::new();
+        good.insert(a, rising_input());
+        let sets = vec![good, HashMap::new()];
+        let err = program
+            .execute_fleet(&sets, &mut FleetScratch::new())
+            .unwrap_err();
+        assert!(matches!(err, SigmoidSimError::MissingStimulus { .. }));
     }
 
     #[test]

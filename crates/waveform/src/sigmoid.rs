@@ -203,6 +203,126 @@ impl Sigmoid {
             is_maximum: maximize,
         }
     }
+
+    /// Answers the only question the sub-threshold pulse check asks of
+    /// [`Sigmoid::pair_extremum`]: does the pulse sum cross `threshold`
+    /// (exceed it for a rising/falling pair's maximum, fall below it for
+    /// a falling/rising pair's minimum)?
+    ///
+    /// For the canonical half-swing thresholds (`1.5` for a maximum,
+    /// `0.5` for a minimum — anything at least one half-swing away from
+    /// the settled rails) the decision is made by branch-and-bound
+    /// instead of the golden-section search. A falling/rising pair first
+    /// reflects to the rising/falling form via `σ(-z) = 1 - σ(z)`
+    /// (`min S < thr  ⟺  max (2 - S) > 2 - thr`). Then, writing `r` for
+    /// the rising and `f` for the falling transition:
+    ///
+    /// * outside `(r.b, f.b)` one of the two logistics is below its
+    ///   crossing point, so `S < 1.5` and the threshold is unreachable —
+    ///   only that interval needs searching (and `f.b ≤ r.b` decides
+    ///   `false` outright);
+    /// * on any segment `[l, u]`, monotonicity gives the sound bound
+    ///   `S ≤ σ_r(u) + σ_f(l)`: a segment whose bound stays at or below
+    ///   the threshold is discarded whole;
+    /// * any sample with `S > thr` is a witness: the maximum is at least
+    ///   every sample.
+    ///
+    /// Narrow sub-threshold pulses discard the whole interval after a
+    /// handful of evaluations and wide visible pulses find a witness just
+    /// as fast, so the common cases cost a few logistic evaluations
+    /// instead of the search's hundreds. Only near-threshold pulses
+    /// recurse, and a work cap falls back to [`Sigmoid::pair_extremum`]
+    /// (as does a non-canonical threshold), so the decision always
+    /// terminates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sigmoids have the same polarity, as in
+    /// [`Sigmoid::pair_extremum`].
+    #[must_use]
+    pub fn pair_crosses(&self, other: &Sigmoid, threshold: f64) -> bool {
+        assert!(
+            self.is_rising() != other.is_rising(),
+            "pulse pair must have opposite polarities"
+        );
+        // Reduce to the maximum form: rising `r` followed by falling `f`.
+        let (r, f, thr) = if self.is_rising() {
+            (*self, *other, threshold)
+        } else {
+            (
+                Sigmoid {
+                    a: -self.a,
+                    b: self.b,
+                },
+                Sigmoid {
+                    a: -other.a,
+                    b: other.b,
+                },
+                2.0 - threshold,
+            )
+        };
+        if thr < 1.5 {
+            // Below the canonical threshold the tail argument no longer
+            // holds; answer with the search.
+            return self.decide_by_extremum(other, threshold);
+        }
+        let (lo, hi) = (r.b, f.b);
+        if hi <= lo {
+            // The logistics never overlap above their crossing points:
+            // S < 1.5 ≤ thr everywhere.
+            return false;
+        }
+        let (sr_lo, sr_hi) = (r.eval_scaled(lo), r.eval_scaled(hi));
+        let (sf_lo, sf_hi) = (f.eval_scaled(lo), f.eval_scaled(hi));
+        if sr_lo + sf_lo > thr || sr_hi + sf_hi > thr {
+            return true;
+        }
+        if sr_hi + sf_lo <= thr {
+            // Whole-interval bound: the pulse cannot reach the threshold.
+            return false;
+        }
+        // Branch-and-bound over segments (l, u, σr(l), σr(u), σf(l), σf(u)).
+        let mut stack: Vec<(f64, f64, f64, f64, f64, f64)> = Vec::with_capacity(16);
+        stack.push((lo, hi, sr_lo, sr_hi, sf_lo, sf_hi));
+        let mut evals = 0usize;
+        while let Some((l, u, srl, sru, sfl, sfu)) = stack.pop() {
+            if u - l < 1e-12 {
+                // Narrower than the search's own convergence window and
+                // still no witness: treat as not crossing.
+                continue;
+            }
+            evals += 1;
+            if evals > 256 {
+                // Near-threshold plateau: hand the call to the search
+                // rather than refining indefinitely.
+                return self.decide_by_extremum(other, threshold);
+            }
+            let m = 0.5 * (l + u);
+            let (srm, sfm) = (r.eval_scaled(m), f.eval_scaled(m));
+            if srm + sfm > thr {
+                return true;
+            }
+            if srm + sfl > thr {
+                stack.push((l, m, srl, srm, sfl, sfm));
+            }
+            if sru + sfm > thr {
+                stack.push((m, u, srm, sru, sfm, sfu));
+            }
+        }
+        false
+    }
+
+    /// The golden-section fallback of [`Sigmoid::pair_crosses`]: compares
+    /// the searched extremum against the threshold on the original
+    /// (unreflected) pair.
+    fn decide_by_extremum(&self, other: &Sigmoid, threshold: f64) -> bool {
+        let ext = self.pair_extremum(other);
+        if ext.is_maximum {
+            ext.sum > threshold
+        } else {
+            ext.sum < threshold
+        }
+    }
 }
 
 impl std::fmt::Display for Sigmoid {
@@ -341,5 +461,84 @@ mod tests {
     fn display_formats() {
         let s = Sigmoid::new(1.0, 2.0);
         assert_eq!(format!("{s}"), "Fs(a=1.0000, b=2.0000)");
+    }
+
+    #[test]
+    fn pair_crosses_wide_positive_pulse() {
+        let r = Sigmoid::rising(20.0, 0.0);
+        let f = Sigmoid::falling(20.0, 5.0);
+        assert!(r.pair_crosses(&f, 1.5));
+    }
+
+    #[test]
+    fn pair_crosses_narrow_positive_pulse_cancelled() {
+        let r = Sigmoid::rising(5.0, 0.0);
+        let f = Sigmoid::falling(5.0, 0.1);
+        assert!(!r.pair_crosses(&f, 1.5));
+    }
+
+    #[test]
+    fn pair_crosses_negative_pulse() {
+        // Falling-then-rising pair: "crosses" means the sum dips below
+        // the threshold. A deep low pulse does, a shallow one does not.
+        let deep_f = Sigmoid::falling(20.0, 0.0);
+        let deep_r = Sigmoid::rising(20.0, 4.0);
+        assert!(deep_f.pair_crosses(&deep_r, 0.5));
+        let shallow_f = Sigmoid::falling(5.0, 0.0);
+        let shallow_r = Sigmoid::rising(5.0, 0.1);
+        assert!(!shallow_f.pair_crosses(&shallow_r, 0.5));
+    }
+
+    #[test]
+    fn pair_crosses_non_canonical_threshold_falls_back() {
+        // Thresholds below 1.5 in max form bypass the tail argument and
+        // defer to the extremum search; both must agree.
+        let r = Sigmoid::rising(6.0, 0.0);
+        let f = Sigmoid::falling(6.0, 0.4);
+        let ext = r.pair_extremum(&f);
+        assert_eq!(r.pair_crosses(&f, 1.2), ext.sum > 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "opposite polarities")]
+    fn pair_crosses_rejects_same_polarity() {
+        let a = Sigmoid::rising(1.0, 0.0);
+        let b = Sigmoid::rising(1.0, 1.0);
+        let _ = a.pair_crosses(&b, 1.5);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pair_crosses_agrees_with_extremum_search(
+            a1 in 2.0..50.0f64,
+            a2 in 2.0..50.0f64,
+            b1 in -5.0..5.0f64,
+            gap in -1.0..8.0f64,
+            falling_first in any::<bool>(),
+        ) {
+            // The branch-and-bound decision must match the golden-section
+            // extremum search at the engine's canonical thresholds (1.5
+            // for positive pulses, 0.5 for negative), for both pair
+            // polarities. Skip the measure-zero band where the extremum
+            // sits within the iterative search's own tolerance of the
+            // threshold — there the two methods may legitimately differ.
+            let (first, second, threshold) = if falling_first {
+                (Sigmoid::falling(a1, b1), Sigmoid::rising(a2, b1 + gap), 0.5)
+            } else {
+                (Sigmoid::rising(a1, b1), Sigmoid::falling(a2, b1 + gap), 1.5)
+            };
+            let ext = first.pair_extremum(&second);
+            if (ext.sum - threshold).abs() >= 1e-9 {
+                let expect = if ext.is_maximum {
+                    ext.sum > threshold
+                } else {
+                    ext.sum < threshold
+                };
+                prop_assert_eq!(first.pair_crosses(&second, threshold), expect,
+                    "pair ({}, {}) threshold {}", first, second, threshold);
+            }
+        }
     }
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the simulator benchmark suite and exports every measured median to
+# a machine-readable artifact: BENCH_simulator.json, a JSON object mapping
+# benchmark name -> median nanoseconds per iteration (the vendored
+# criterion harness's --json format; the file is rewritten after each
+# benchmark, so an interrupted run still leaves a valid partial artifact).
+#
+# Usage: scripts/bench-export.sh [filter] [output.json]
+#   filter  — optional benchmark-name substring (default: run everything;
+#             pass e.g. `fleet_c1355` for just the fleet acceptance rows)
+#   output  — artifact path (default: BENCH_simulator.json in the repo root)
+#
+# The fleet acceptance check of the perf work reads the exported rows
+# `fleet_c1355/per_run_scalar_16_runs` and `fleet_c1355/fleet_16_runs`:
+# their ratio is the fleet+SIMD speedup over the scalar per-run reference
+# path and must be >= 4 on c1355.
+set -eu
+cd "$(dirname "$0")/.."
+
+filter="${1:-}"
+out="${2:-BENCH_simulator.json}"
+# cargo runs the bench binary with its cwd at the package root, so a
+# relative artifact path must be anchored to the repo root explicitly.
+case "$out" in
+/*) ;;
+*) out="$(pwd)/$out" ;;
+esac
+
+cargo bench -p sigbench --bench simulator_speed -- ${filter:+"$filter"} --json "$out"
+
+echo "wrote $out:"
+cat "$out"

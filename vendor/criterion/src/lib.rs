@@ -12,15 +12,24 @@
 //!
 //! Supported CLI flags (unknown flags are ignored so cargo's pass-through
 //! arguments never crash a bench): `--test` (type-check mode upstream
-//! uses under `cargo test`: run every body exactly once), and a positional
-//! `<filter>` substring applied to benchmark names.
+//! uses under `cargo test`: run every body exactly once), `--json <path>`
+//! (append every measured benchmark's median to a JSON object mapping
+//! benchmark name → median nanoseconds per iteration, rewritten after
+//! each benchmark so partial runs still leave a valid artifact), and a
+//! positional `<filter>` substring applied to benchmark names.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Measured medians accumulated across every group of the process, so a
+/// `--json` export contains the whole bench binary's results no matter
+/// how many `criterion_group!` functions ran.
+static JSON_RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Entry point handed to each benchmark function.
 pub struct Criterion {
@@ -28,6 +37,7 @@ pub struct Criterion {
     test_mode: bool,
     sample_size: usize,
     warm_up: Duration,
+    json: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
@@ -37,6 +47,7 @@ impl Default for Criterion {
             test_mode: false,
             sample_size: 60,
             warm_up: Duration::from_millis(300),
+            json: None,
         }
     }
 }
@@ -55,6 +66,7 @@ impl Criterion {
                         self.sample_size = n;
                     }
                 }
+                "--json" => self.json = args.next().map(std::path::PathBuf::from),
                 // Flags cargo/criterion users commonly pass; all take no
                 // value in our model.
                 "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
@@ -205,6 +217,28 @@ where
         samples.len(),
         iters_per_sample,
     );
+    if let Some(path) = &c.json {
+        export_json(path, name, median * 1e9);
+    }
+}
+
+/// Records one measured median and rewrites the `--json` artifact: a JSON
+/// object mapping benchmark name → median nanoseconds per iteration.
+/// Rewritten whole after every benchmark, so an interrupted run still
+/// leaves valid JSON covering everything measured so far.
+fn export_json(path: &std::path::Path, name: &str, median_ns: f64) {
+    let mut results = JSON_RESULTS.lock().expect("json results poisoned");
+    results.push((name.to_string(), median_ns));
+    let mut out = String::from("{\n");
+    for (i, (n, ns)) in results.iter().enumerate() {
+        let escaped = n.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!("  \"{escaped}\": {ns:.1}"));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("criterion: cannot write {}: {e}", path.display());
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -265,6 +299,18 @@ mod tests {
         };
         c.bench_function("other", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn json_export_accumulates_and_escapes() {
+        let path = std::env::temp_dir().join("criterion_json_export_test.json");
+        export_json(&path, "grp/plain", 123.45);
+        export_json(&path, "grp/\"quoted\"", 6789.0);
+        let text = std::fs::read_to_string(&path).expect("artifact written");
+        assert!(text.contains("\"grp/plain\": 123.5"), "{text}");
+        assert!(text.contains("\"grp/\\\"quoted\\\"\": 6789.0"), "{text}");
+        assert!(text.starts_with("{\n") && text.ends_with("}\n"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
