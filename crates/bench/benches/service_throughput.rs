@@ -102,6 +102,7 @@ fn request_lib(text: String, library: &str, seed: u64, transitions: usize) -> Si
         transitions,
         compare: false,
         timing: false,
+        timings: false,
     }
 }
 

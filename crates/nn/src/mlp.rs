@@ -8,6 +8,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::simd::{self, SimdLevel};
 
+/// Rows per [`Mlp::forward_batch`] call — count doubles as the number of
+/// inference batches served, sum as the total rows inferred.
+static BATCH_ROWS: sigobs::Hist = sigobs::Hist::new("nn.batch_rows");
+
 /// One dense layer: `y = W x + b` with `W` stored row-major (`out × in`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Dense {
@@ -234,6 +238,7 @@ impl Mlp {
     ///
     /// Panics if `x.len()` is not `n_rows * input_size`.
     pub fn forward_batch(&self, x: &[f64], n_rows: usize, out: &mut Vec<f64>) {
+        BATCH_ROWS.record(n_rows as u64);
         self.forward_batch_at(simd::active_level(), x, n_rows, out);
     }
 

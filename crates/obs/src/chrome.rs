@@ -1,0 +1,157 @@
+//! Chrome trace-event JSON export of the span journal.
+//!
+//! The output is the `traceEvents` array format understood by Perfetto
+//! and `chrome://tracing`: one complete (`"ph":"X"`) event per span,
+//! timestamps and durations in fractional microseconds, plus a single
+//! instant event flagging journal overflow when spans were dropped.
+//! Serialization is hand-written (std-only crate) and deterministic.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One exportable span: the journal's drain format, also constructible
+/// from wire data (`sigctl trace` re-exports spans fetched from a
+/// daemon, whose names arrive as owned strings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Span name (e.g. `program.execute`).
+    pub name: String,
+    /// Journal thread id (sequential small integer, trace-viewer row).
+    pub tid: u64,
+    /// Start, in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Optional numeric argument shown in the viewer (e.g. `rows`).
+    pub arg: Option<(String, u64)>,
+}
+
+/// Drains the process-wide span journal: all completed spans (sorted by
+/// start time) and the number dropped to ring overflow since the last
+/// drain. Empty unless the process ran with tracing enabled.
+#[must_use]
+pub fn drain_chrome_trace() -> (Vec<ChromeEvent>, u64) {
+    crate::journal::drain()
+}
+
+/// Serializes spans as a Chrome trace-event JSON document. `dropped`
+/// (when non-zero) becomes an instant event named `sigobs.dropped` so
+/// overflow is visible in the viewer rather than silent.
+#[must_use]
+pub fn chrome_trace_json(events: &[ChromeEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(32 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, &event.name);
+        out.push_str("\",\"cat\":\"sigobs\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", event.tid);
+        out.push_str(",\"ts\":");
+        push_micros(&mut out, event.start_ns);
+        out.push_str(",\"dur\":");
+        push_micros(&mut out, event.dur_ns);
+        if let Some((key, value)) = &event.arg {
+            out.push_str(",\"args\":{\"");
+            escape_into(&mut out, key);
+            let _ = write!(out, "\":{value}}}");
+        }
+        out.push('}');
+    }
+    if dropped > 0 {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"sigobs.dropped\",\"cat\":\"sigobs\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\
+             \"ts\":0,\"s\":\"g\",\"args\":{{\"count\":{dropped}}}}}"
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Drains the journal and writes the Chrome trace JSON to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    let (events, dropped) = drain_chrome_trace();
+    std::fs::write(path, chrome_trace_json(&events, dropped))
+}
+
+/// Nanoseconds rendered as fractional microseconds (`1234567` →
+/// `1234.567`): the trace-event clock unit with no precision loss.
+fn push_micros(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, tid: u64, start_ns: u64, dur_ns: u64) -> ChromeEvent {
+        ChromeEvent {
+            name: name.to_string(),
+            tid,
+            start_ns,
+            dur_ns,
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn serializes_complete_events() {
+        let mut with_arg = event("program.execute", 2, 1_234_567, 89_000);
+        with_arg.arg = Some(("rows".to_string(), 17));
+        let json = chrome_trace_json(&[event("engine.compile", 1, 0, 1000), with_arg], 0);
+        assert_eq!(
+            json,
+            "{\"traceEvents\":[\
+             {\"name\":\"engine.compile\",\"cat\":\"sigobs\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+             \"ts\":0.000,\"dur\":1.000},\
+             {\"name\":\"program.execute\",\"cat\":\"sigobs\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\
+             \"ts\":1234.567,\"dur\":89.000,\"args\":{\"rows\":17}}\
+             ]}"
+        );
+    }
+
+    #[test]
+    fn dropped_spans_surface_as_instant_event() {
+        let json = chrome_trace_json(&[], 3);
+        assert!(json.contains("\"name\":\"sigobs.dropped\""));
+        assert!(json.contains("\"count\":3"));
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let json = chrome_trace_json(&[event("a\"b\\c\nd", 1, 0, 0)], 0);
+        assert!(json.contains("a\\\"b\\\\c\\u000ad"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        assert_eq!(chrome_trace_json(&[], 0), "{\"traceEvents\":[]}");
+    }
+}

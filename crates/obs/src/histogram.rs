@@ -1,0 +1,401 @@
+//! Lock-free counters and fixed-bucket log2 histograms.
+//!
+//! A [`Hist`] is a `static`-friendly handle: `Hist::new` is `const`, and
+//! the backing atomics ([`HistCore`]) are allocated lazily on first
+//! record and leaked, so a recording thread never takes a lock — every
+//! record is three relaxed `fetch_add`s. A process-global registry keeps
+//! one reference per instantiated histogram for [`snapshot_all`].
+//!
+//! Buckets are powers of two: bucket `0` holds the value `0`, bucket
+//! `i` (for `1 <= i < 64`) holds values in `[2^(i-1), 2^i - 1]`, and
+//! bucket `64` holds `[2^63, u64::MAX]`. Quantiles are extracted by
+//! exact rank: [`HistSnapshot::quantile`] returns the upper bound of the
+//! bucket containing the rank-`ceil(q*count)` element, which is the same
+//! bucket a fully sorted list would land that element in — the
+//! approximation error is bounded by the bucket width, never by the
+//! sample count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of log2 buckets: one for zero, one per power of two up to
+/// `2^63`, and one terminal bucket for everything at or above `2^63`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The log2 bucket index of a value (see the module docs for the
+/// bucket-to-range mapping).
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The largest value a bucket holds: `0` for bucket `0`, `2^i - 1` for
+/// `1 <= i < 64`, and `u64::MAX` for the terminal bucket.
+///
+/// # Panics
+///
+/// Panics when `index >= HIST_BUCKETS`.
+#[inline]
+#[must_use]
+pub fn bucket_upper(index: usize) -> u64 {
+    assert!(index < HIST_BUCKETS, "bucket index out of range");
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// The leaked, registry-tracked backing store of one histogram.
+struct HistCore {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// All instantiated histogram cores, in first-use order.
+static HIST_REGISTRY: Mutex<Vec<&'static HistCore>> = Mutex::new(Vec::new());
+
+/// A named log2 latency/size histogram. Construct as a `static`:
+///
+/// ```
+/// static EXECUTE: sigobs::Hist = sigobs::Hist::new("engine.execute");
+/// EXECUTE.record(1_500);
+/// ```
+///
+/// Values are plain `u64`s — by convention nanoseconds for latency
+/// histograms and raw counts (rows, depth) otherwise; the name should
+/// make the unit obvious.
+pub struct Hist {
+    name: &'static str,
+    core: OnceLock<&'static HistCore>,
+}
+
+impl Hist {
+    /// A histogram handle (no allocation until the first record).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Hist {
+            name,
+            core: OnceLock::new(),
+        }
+    }
+
+    /// The name this histogram registered under.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn core(&self) -> &'static HistCore {
+        self.core.get_or_init(|| {
+            let core: &'static HistCore = Box::leak(Box::new(HistCore {
+                name: self.name,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            }));
+            HIST_REGISTRY
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(core);
+            core
+        })
+    }
+
+    /// Records one observation (no-op unless [`crate::counting`]).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::counting() {
+            return;
+        }
+        let core = self.core();
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a wall-time observation in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        if crate::counting() {
+            self.record(crate::duration_ns(d));
+        }
+    }
+
+    /// A point-in-time copy of the histogram's counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot::read(self.core())
+    }
+}
+
+/// A named monotonic counter with the same `static`-friendly, lock-free
+/// shape as [`Hist`].
+pub struct Counter {
+    name: &'static str,
+    cell: OnceLock<&'static AtomicU64>,
+}
+
+/// All instantiated counters, in first-use order.
+static COUNTER_REGISTRY: Mutex<Vec<(&'static str, &'static AtomicU64)>> = Mutex::new(Vec::new());
+
+impl Counter {
+    /// A counter handle (no allocation until the first add).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The name this counter registered under.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn cell(&self) -> &'static AtomicU64 {
+        self.cell.get_or_init(|| {
+            let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+            COUNTER_REGISTRY
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((self.name, cell));
+            cell
+        })
+    }
+
+    /// Adds to the counter (no-op unless [`crate::counting`]).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::counting() {
+            self.cell().fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of one histogram, safe to query repeatedly.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// The histogram's registered name.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow, like the core).
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistSnapshot {
+    fn read(core: &HistCore) -> Self {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(core.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            name: core.name,
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// The exact-rank quantile: the upper bound of the bucket holding
+    /// the rank-`ceil(q * count)` smallest observation (clamped to
+    /// `[1, count]`). Returns `0` for an empty histogram.
+    ///
+    /// This is the same bucket a fully sorted copy of the observations
+    /// would place that rank in, so the error is at most one bucket
+    /// width — the property the quantile oracle proptest pins down.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// [`Self::quantile`] scaled from nanoseconds to seconds (only
+    /// meaningful for latency histograms).
+    #[must_use]
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let ns = self.quantile(q) as f64;
+        ns / 1e9
+    }
+
+    /// Mean observed value (`0.0` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let mean = self.sum as f64 / self.count as f64;
+            mean
+        }
+    }
+}
+
+/// Snapshots of every histogram instantiated so far, sorted by name.
+#[must_use]
+pub fn snapshot_all() -> Vec<HistSnapshot> {
+    let mut all: Vec<HistSnapshot> = HIST_REGISTRY
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|core| HistSnapshot::read(core))
+        .collect();
+    all.sort_by_key(|s| s.name);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::lock_mode;
+    use crate::{set_mode, ObsMode};
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for i in 1..64 {
+            let lower = 1u64 << (i - 1);
+            let upper = bucket_upper(i);
+            assert_eq!(bucket_index(lower), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(upper), i, "upper edge of bucket {i}");
+            assert_eq!(upper, (1u64 << i) - 1);
+            if i > 1 {
+                assert_eq!(bucket_index(lower - 1), i - 1, "below bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = HistSnapshot {
+            name: "empty",
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        };
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn record_is_inert_when_off() {
+        let _guard = lock_mode();
+        static OFF_HIST: Hist = Hist::new("test.off");
+        set_mode(ObsMode::Off);
+        OFF_HIST.record(7);
+        set_mode(ObsMode::Counters);
+        OFF_HIST.record(7);
+        assert_eq!(OFF_HIST.snapshot().count, 1);
+    }
+
+    #[test]
+    fn counters_are_exact_under_8_threads() {
+        let _guard = lock_mode();
+        set_mode(ObsMode::Counters);
+        static THREADED: Hist = Hist::new("test.threads");
+        static THREADED_COUNTER: Counter = Counter::new("test.threads.counter");
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let before = THREADED.snapshot();
+        let counter_before = THREADED_COUNTER.get();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Mix buckets: value depends on thread and step.
+                        THREADED.record((t as u64 + 1) << (i % 8));
+                        THREADED_COUNTER.add(1);
+                    }
+                });
+            }
+        });
+        let after = THREADED.snapshot();
+        let total = THREADS as u64 * PER_THREAD;
+        assert_eq!(after.count - before.count, total);
+        assert_eq!(THREADED_COUNTER.get() - counter_before, total);
+        let bucket_total: u64 = after
+            .buckets
+            .iter()
+            .zip(before.buckets.iter())
+            .map(|(a, b)| a - b)
+            .sum();
+        assert_eq!(bucket_total, total, "no record lost a bucket increment");
+        let expected_sum: u64 = (0..THREADS as u64)
+            .flat_map(|t| (0..PER_THREAD).map(move |i| (t + 1) << (i % 8)))
+            .sum();
+        assert_eq!(after.sum - before.sum, expected_sum);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_matches_sorted_oracle(
+            values in proptest::collection::vec(0u64..1_u64 << 40, 1..200),
+            qs in proptest::collection::vec(0.0..1.0f64, 4),
+        ) {
+            let _guard = lock_mode();
+            set_mode(ObsMode::Counters);
+            // A fresh (leaked) histogram per case: the registry grows by
+            // one core per case, which is fine for a bounded test run.
+            let hist = Hist::new("test.oracle");
+            for &v in &values {
+                hist.record(v);
+            }
+            let snap = hist.snapshot();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for q in qs.iter().copied().chain([0.5, 0.9, 0.99, 1.0]) {
+                let rank = ((q * sorted.len() as f64).ceil() as usize)
+                    .clamp(1, sorted.len());
+                let oracle = bucket_upper(bucket_index(sorted[rank - 1]));
+                prop_assert_eq!(
+                    snap.quantile(q),
+                    oracle,
+                    "q={} rank={} value={}",
+                    q,
+                    rank,
+                    sorted[rank - 1]
+                );
+            }
+        }
+    }
+}

@@ -8,13 +8,26 @@
 //! sigctl session delta --session N [--edit SPEC]... [--print]
 //! sigctl session close --session N [--print]
 //! sigctl ping|stats|shutdown --addr HOST:PORT
+//! sigctl stats --json [--addr HOST:PORT]
+//! sigctl trace [--out PATH] [--addr HOST:PORT]
 //! ```
 //!
 //! Sim flags: `--circuit <name|path>` (an existing file is sent inline —
 //! `.bench` or JSON, auto-detected), `--models NAME`,
 //! `--library nor-only|native` (cell library + mapping policy), `--seed
 //! N`, `--mu SECONDS`, `--sigma SECONDS`, `--transitions N`,
-//! `--compare`, `--no-timing`, `--id N`, `--runs K`.
+//! `--compare`, `--no-timing`, `--timings` (per-phase breakdown echoed
+//! on the response), `--id N`, `--runs K`.
+//!
+//! `stats --json` prints the bare stats object (stable key order,
+//! shortest-round-trip floats) instead of the full response frame —
+//! the scripting-friendly form, including the latency quantiles
+//! (`sim_p50_s`, `sim_p99_s`, ...) and the daemon's `obs_mode`.
+//!
+//! `trace` drains the daemon's span journal (populated when it runs
+//! with `SIG_OBS=trace` or `--trace`) and writes a Chrome trace-event
+//! JSON document to `--out` (stdout by default) — load it in
+//! `chrome://tracing` or Perfetto.
 //!
 //! `--runs K` (K > 1) switches `request`/`send` to the batched
 //! `sim.batch` op: the daemon executes K runs as one fleet, run `r`
@@ -57,12 +70,12 @@ use sigwave::{DigitalTrace, Level, VcdSignal};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sigctl <request|send|golden|session|ping|stats|shutdown> \
+        "usage: sigctl <request|send|golden|session|ping|stats|trace|shutdown> \
          [open|delta|close] [--addr HOST:PORT] [--circuit NAME|PATH] \
          [--models NAME] [--library nor-only|native] [--seed N] [--mu S] \
-         [--sigma S] [--transitions N] [--compare] [--no-timing] [--id N] \
-         [--runs K] [--session N] [--edit NET=LEVEL[,T1,T2,...]] [--print] \
-         [--models-dir PATH] [--vcd PATH]"
+         [--sigma S] [--transitions N] [--compare] [--no-timing] [--timings] \
+         [--id N] [--runs K] [--session N] [--edit NET=LEVEL[,T1,T2,...]] \
+         [--print] [--json] [--out PATH] [--models-dir PATH] [--vcd PATH]"
     );
     std::process::exit(2);
 }
@@ -75,6 +88,8 @@ struct Options {
     session: u64,
     edits: Vec<SessionEdit>,
     print: bool,
+    json: bool,
+    out: Option<std::path::PathBuf>,
     models_dir: std::path::PathBuf,
     vcd: Option<std::path::PathBuf>,
 }
@@ -88,6 +103,8 @@ fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
         session: 1,
         edits: Vec::new(),
         print: false,
+        json: false,
+        out: None,
         models_dir: std::path::PathBuf::from("target/sigmodels"),
         vcd: None,
     };
@@ -116,10 +133,13 @@ fn parse_options(mut args: sigserve::cli::CliArgs) -> Options {
             "--transitions" => o.sim.transitions = parse(args.parse()),
             "--compare" => o.sim.compare = true,
             "--no-timing" => o.sim.timing = false,
+            "--timings" => o.sim.timings = true,
             "--runs" => o.runs = parse(args.parse()),
             "--session" => o.session = parse(args.parse()),
             "--edit" => o.edits.push(parse_edit(&require(args.value()))),
             "--print" => o.print = true,
+            "--json" => o.json = true,
+            "--out" => o.out = Some(require(args.value()).into()),
             "--models-dir" => o.models_dir = require(args.value()).into(),
             "--vcd" => o.vcd = Some(require(args.value()).into()),
             _ => usage(),
@@ -219,9 +239,78 @@ fn main() {
             finish(&response);
         }
         "ping" => finish(&exchange(&o.addr, &Request::Ping { id: o.id })),
-        "stats" => finish(&exchange(&o.addr, &Request::Stats { id: o.id })),
+        "stats" => {
+            let response = exchange(&o.addr, &Request::Stats { id: o.id });
+            if o.json {
+                print_stats_json(&response);
+            } else {
+                finish(&response);
+            }
+        }
+        "trace" => trace(&o),
         "shutdown" => finish(&exchange(&o.addr, &Request::Shutdown { id: o.id })),
         _ => usage(),
+    }
+}
+
+/// Prints the bare `stats` object of a stats response: the encoder's
+/// stable key order and shortest-round-trip floats, without the frame
+/// envelope — one parseable JSON object for scripts and dashboards.
+fn print_stats_json(response: &Response) {
+    if !matches!(response, Response::Stats { .. }) {
+        finish(response);
+        return;
+    }
+    let frame = encode_response(response);
+    let value: serde::Value = serde_json::from_str(&frame).unwrap_or_else(|e| {
+        eprintln!("sigctl: stats frame unparseable: {e}");
+        std::process::exit(1);
+    });
+    let stats = value.get_field("stats").unwrap_or_else(|e| {
+        eprintln!("sigctl: stats frame malformed: {e}");
+        std::process::exit(1);
+    });
+    match serde_json::to_string(stats) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("sigctl: stats re-encode failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Fetches the daemon's span journal and writes it as a Chrome
+/// trace-event JSON document (`--out PATH`, stdout by default).
+fn trace(o: &Options) {
+    let response = exchange(&o.addr, &Request::Trace { id: o.id });
+    let Response::Trace { spans, dropped, .. } = response else {
+        finish(&response);
+        return;
+    };
+    let events: Vec<sigobs::ChromeEvent> = spans
+        .into_iter()
+        .map(|s| sigobs::ChromeEvent {
+            name: s.name,
+            tid: s.tid,
+            start_ns: (s.start_us * 1000.0).round() as u64,
+            dur_ns: (s.dur_us * 1000.0).round() as u64,
+            arg: s.arg,
+        })
+        .collect();
+    let json = sigobs::chrome_trace_json(&events, dropped);
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("sigctl: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!(
+                "sigctl: wrote {} spans ({dropped} dropped) to {}",
+                events.len(),
+                path.display()
+            );
+        }
+        None => println!("{json}"),
     }
 }
 

@@ -1,0 +1,252 @@
+//! `sigload` — closed-loop load generator for a running `sigserve`
+//! daemon.
+//!
+//! ```text
+//! sigload [--addr HOST:PORT] [--connections N] [--requests M]
+//!         [--circuit NAME|PATH] [--models NAME] [--library L]
+//!         [--seed N] [--runs K] [--batch-every B] [--json]
+//! ```
+//!
+//! Opens `--connections` TCP connections and drives `--requests` frames
+//! down each, back to back (closed loop: the next request is sent when
+//! the previous response arrives). The mix is plain `sim` requests with
+//! every `--batch-every`-th request (default 8, `0` disables) switched
+//! to a `sim.batch` fleet of `--runs` runs. Run `r` of connection `c`
+//! perturbs the base seed so the daemon sees distinct stimuli while the
+//! program cache stays warm — the steady-state serving regime.
+//!
+//! Round-trip latencies are recorded in [`sigobs`] histograms (the same
+//! fixed-bucket log2 scheme the daemon serves from), so the printed
+//! p50/p90/p99 quantiles are exact bucket upper bounds, not samples of
+//! samples. `--json` prints one machine-readable summary object instead
+//! of the human table.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use sigserve::protocol::{
+    decode_response, encode_request, CircuitSource, Request, Response, SimRequest,
+};
+
+/// Client-side round-trip latency per request kind (send to matching
+/// response, queue and transport included).
+static RTT_SIM: sigobs::Hist = sigobs::Hist::new("load.sim");
+static RTT_BATCH: sigobs::Hist = sigobs::Hist::new("load.sim_batch");
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sigload [--addr HOST:PORT] [--connections N] [--requests M] \
+         [--circuit NAME|PATH] [--models NAME] [--library nor-only|native] \
+         [--seed N] [--runs K] [--batch-every B] [--json]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    sim: SimRequest,
+    runs: usize,
+    batch_every: usize,
+    json: bool,
+}
+
+fn parse<T>(value: Option<T>) -> T {
+    value.unwrap_or_else(|| usage())
+}
+
+fn parse_options() -> Options {
+    let mut o = Options {
+        addr: "127.0.0.1:4715".to_string(),
+        connections: 4,
+        requests: 32,
+        sim: SimRequest {
+            timing: false,
+            ..SimRequest::default()
+        },
+        runs: 4,
+        batch_every: 8,
+        json: false,
+    };
+    let mut args = sigserve::cli::CliArgs::from_env();
+    let require = |v: Option<String>| v.unwrap_or_else(|| usage());
+    while let Some(flag) = args.next_arg() {
+        match flag.as_str() {
+            "--addr" => o.addr = require(args.value()),
+            "--connections" => o.connections = parse(args.parse()),
+            "--requests" => o.requests = parse(args.parse()),
+            "--circuit" => {
+                let v = require(args.value());
+                o.sim.circuit = if std::path::Path::new(&v).is_file() {
+                    let text = std::fs::read_to_string(&v).unwrap_or_else(|e| {
+                        eprintln!("sigload: cannot read {v}: {e}");
+                        std::process::exit(1);
+                    });
+                    CircuitSource::Inline(text)
+                } else {
+                    CircuitSource::Name(v)
+                };
+            }
+            "--models" => o.sim.models = require(args.value()),
+            "--library" => o.sim.library = require(args.value()),
+            "--seed" => o.sim.seed = parse(args.parse()),
+            "--runs" => o.runs = parse(args.parse()),
+            "--batch-every" => o.batch_every = parse(args.parse()),
+            "--json" => o.json = true,
+            _ => usage(),
+        }
+    }
+    if o.connections == 0 || o.requests == 0 {
+        usage();
+    }
+    o
+}
+
+/// One connection's closed loop: `requests` frames back to back.
+/// Returns the number of error responses.
+fn drive_connection(o: &Options, conn: usize) -> u64 {
+    let mut stream = TcpStream::connect(&o.addr).unwrap_or_else(|e| {
+        eprintln!("sigload: cannot connect to {}: {e}", o.addr);
+        std::process::exit(1);
+    });
+    let mut reader = BufReader::new(stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("sigload: stream clone failed: {e}");
+        std::process::exit(1);
+    }));
+    let mut errors = 0;
+    for i in 0..o.requests {
+        let id = (conn * o.requests + i + 1) as u64;
+        // Distinct seeds per frame keep stimuli fresh while the circuit
+        // and compiled program stay cache-hot.
+        let sim = SimRequest {
+            seed: o.sim.seed + id,
+            ..o.sim.clone()
+        };
+        let batch = o.batch_every > 0 && (i + 1) % o.batch_every == 0;
+        let request = if batch {
+            Request::SimBatch {
+                id,
+                sim,
+                runs: o.runs,
+            }
+        } else {
+            Request::Sim { id, sim }
+        };
+        let start = Instant::now();
+        let response = exchange_on(&mut stream, &mut reader, &request);
+        let hist = if batch { &RTT_BATCH } else { &RTT_SIM };
+        hist.record_duration(start.elapsed());
+        if matches!(response, Response::Error { .. }) {
+            errors += 1;
+        }
+    }
+    errors
+}
+
+/// Sends one request on an open connection and reads frames until the
+/// response with the matching id arrives.
+fn exchange_on(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &Request,
+) -> Response {
+    writeln!(stream, "{}", encode_request(request)).unwrap_or_else(|e| {
+        eprintln!("sigload: send failed: {e}");
+        std::process::exit(1);
+    });
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap_or_else(|e| {
+            eprintln!("sigload: read failed: {e}");
+            std::process::exit(1);
+        });
+        if n == 0 {
+            eprintln!("sigload: connection closed before a response arrived");
+            std::process::exit(1);
+        }
+        match decode_response(line.trim_end()) {
+            Ok(r) if r.id() == Some(request.id()) || r.id().is_none() => return r,
+            Ok(_) => continue,
+            Err(e) => {
+                eprintln!("sigload: undecodable response {line:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// One kind's summary line / JSON object from its histogram snapshot.
+fn quantiles(snapshot: &sigobs::HistSnapshot) -> (u64, f64, f64, f64) {
+    (
+        snapshot.count,
+        snapshot.quantile_secs(0.50),
+        snapshot.quantile_secs(0.90),
+        snapshot.quantile_secs(0.99),
+    )
+}
+
+fn main() {
+    let o = parse_options();
+    // The histograms must record regardless of the SIG_OBS environment —
+    // they are this tool's whole output.
+    sigobs::set_mode(sigobs::ObsMode::Counters);
+    let start = Instant::now();
+    let errors: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..o.connections)
+            .map(|conn| {
+                scope.spawn({
+                    let o = &o;
+                    move || drive_connection(o, conn)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .sum()
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let total = (o.connections * o.requests) as u64;
+    let throughput = total as f64 / wall_s.max(f64::MIN_POSITIVE);
+    let (sim_n, sim_p50, sim_p90, sim_p99) = quantiles(&RTT_SIM.snapshot());
+    let (batch_n, batch_p50, batch_p90, batch_p99) = quantiles(&RTT_BATCH.snapshot());
+    if o.json {
+        println!(
+            "{{\"connections\":{},\"requests\":{},\"errors\":{},\"wall_s\":{},\
+             \"throughput_rps\":{},\"sim\":{{\"count\":{},\"p50_s\":{},\
+             \"p90_s\":{},\"p99_s\":{}}},\"sim_batch\":{{\"count\":{},\
+             \"p50_s\":{},\"p90_s\":{},\"p99_s\":{}}}}}",
+            o.connections,
+            total,
+            errors,
+            wall_s,
+            throughput,
+            sim_n,
+            sim_p50,
+            sim_p90,
+            sim_p99,
+            batch_n,
+            batch_p50,
+            batch_p90,
+            batch_p99,
+        );
+    } else {
+        println!(
+            "sigload: {} conns x {} reqs in {:.3}s ({:.1} req/s, {} errors)",
+            o.connections, o.requests, wall_s, throughput, errors
+        );
+        println!(
+            "  sim        {sim_n:>6}  p50 {:.6}s  p90 {:.6}s  p99 {:.6}s",
+            sim_p50, sim_p90, sim_p99
+        );
+        println!(
+            "  sim.batch  {batch_n:>6}  p50 {:.6}s  p90 {:.6}s  p99 {:.6}s",
+            batch_p50, batch_p90, batch_p99
+        );
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -5,8 +5,14 @@
 //! sigserve [--addr 127.0.0.1:4715 | --stdio]
 //!          [--workers N] [--queue N] [--cache N] [--sessions N]
 //!          [--models-dir PATH] [--max-frame BYTES]
-//!          [--preload NAME[/LIBRARY][,NAME...]]
+//!          [--preload NAME[/LIBRARY][,NAME...]] [--trace PATH]
 //! ```
+//!
+//! `--trace PATH` forces `SIG_OBS=trace` (span journaling on) and writes
+//! whatever the journal still holds at exit as a Chrome trace-event JSON
+//! file — open it in `chrome://tracing` or Perfetto. Live traffic can
+//! also be captured without restarting via `sigctl trace`, which drains
+//! the same journal over the wire.
 //!
 //! `--stdio` reads requests from stdin and writes responses to stdout
 //! (one JSON object per line) — the CI smoke mode. Otherwise the daemon
@@ -25,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sigserve [--addr HOST:PORT | --stdio] [--workers N] [--queue N] \
          [--cache N] [--sessions N] [--models-dir PATH] [--max-frame BYTES] \
-         [--preload NAME,...]"
+         [--preload NAME,...] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -35,6 +41,7 @@ fn main() {
     let mut addr = "127.0.0.1:4715".to_string();
     let mut stdio = false;
     let mut preload: Vec<String> = Vec::new();
+    let mut trace: Option<std::path::PathBuf> = None;
 
     let mut args = sigserve::cli::CliArgs::from_env();
     let require = |v: Option<String>| v.unwrap_or_else(|| usage());
@@ -48,6 +55,7 @@ fn main() {
             "--sessions" => config.session_capacity = parse(args.parse()),
             "--max-frame" => config.max_frame = parse(args.parse()),
             "--models-dir" => config.models_dir = require(args.value()).into(),
+            "--trace" => trace = Some(require(args.value()).into()),
             "--preload" => {
                 preload.extend(
                     require(args.value())
@@ -57,6 +65,11 @@ fn main() {
             }
             _ => usage(),
         }
+    }
+
+    if trace.is_some() {
+        // The flag implies full tracing regardless of SIG_OBS.
+        sigobs::set_mode(sigobs::ObsMode::Trace);
     }
 
     let service = Service::new(config);
@@ -86,6 +99,14 @@ fn main() {
             eprintln!("sigserve: accept loop failed: {e}");
             std::process::exit(1);
         }
+    }
+
+    if let Some(path) = &trace {
+        if let Err(e) = sigobs::write_chrome_trace(path) {
+            eprintln!("sigserve: cannot write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("sigserve: wrote trace {}", path.display());
     }
 }
 

@@ -28,6 +28,11 @@ use sigtom::TomOptions;
 
 use crate::protocol::CircuitSource;
 
+/// Time a request spends blocked on another request building the same
+/// cache key (the per-key build lock in [`KeyedLru::get_or_insert`]).
+/// Near-zero on warm traffic; spikes reveal thundering-herd compiles.
+static BUILD_LOCK_WAIT: sigobs::Hist = sigobs::Hist::new("cache.lock_wait");
+
 /// A content-derived cache key: FNV-1a hash of the key material plus its
 /// length (the length guards against accidental 64-bit collisions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -206,7 +211,9 @@ impl<V> KeyedLru<V> {
                 slot
             }
         };
+        let sw = sigobs::stopwatch();
         let mut built = slot.built.lock().expect("cache slot poisoned");
+        sw.observe_span(&BUILD_LOCK_WAIT, "cache.lock_wait");
         if let Some(value) = &*built {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(value), true));

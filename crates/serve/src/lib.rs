@@ -330,6 +330,82 @@ mod service_tests {
     }
 
     #[test]
+    fn pooled_fleet_arena_counters_reset_between_requests() {
+        // Regression: `FleetScratch` accumulates `runs`/`rows_merged`
+        // across executions, and `FleetPool` reuses arenas. Without the
+        // reset on acquire, a warm request's counters included the
+        // arena's whole history, so the daemon's `fleet_rows` stat grew
+        // quadratically instead of linearly.
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let sim = SimRequest {
+            circuit: CircuitSource::Name("c17".into()),
+            models: "synth".into(),
+            seed: 3,
+            timing: false,
+            ..SimRequest::default()
+        };
+        service.execute_sim_batch(&sim, 3).unwrap();
+        let first = service.stats();
+        assert!(first.fleet_rows > 0, "fleet must merge rows");
+        assert_eq!(first.fleet_runs, 3);
+        // Identical warm request through the pooled arena: stats must
+        // grow by exactly one request's worth, not the arena's history.
+        service.execute_sim_batch(&sim, 3).unwrap();
+        let second = service.stats();
+        assert_eq!(second.fleet_runs, 6);
+        assert_eq!(
+            second.fleet_rows,
+            2 * first.fleet_rows,
+            "pooled arena must not double-count its history"
+        );
+    }
+
+    #[test]
+    fn timings_opt_in_reports_phases_and_golden_path_stays_silent() {
+        let service = Service::new(ServiceConfig::default());
+        service.registry().insert(synthetic_set("synth"));
+        let plain = SimRequest {
+            circuit: CircuitSource::Name("c17".into()),
+            models: "synth".into(),
+            seed: 11,
+            timing: false,
+            ..SimRequest::default()
+        };
+        // Without the opt-in, no breakdown is attached (byte parity with
+        // the golden transcripts depends on this).
+        let silent = service.execute_sim(&plain).unwrap();
+        assert!(silent.timings.is_none());
+        // With it, resolve and execute phases are filled by the service;
+        // queue wait and the total belong to the dispatch boundary and
+        // stay zero on this direct call.
+        let timed = service
+            .execute_sim(&SimRequest {
+                timings: true,
+                ..plain.clone()
+            })
+            .unwrap();
+        let t = timed.timings.expect("opt-in must attach timings");
+        assert!(t.resolve_s >= 0.0);
+        assert!(t.execute_s > 0.0, "execution takes nonzero time");
+        assert_eq!(t.queue_s, 0.0);
+        assert_eq!(t.total_s, 0.0);
+        // Fleet entries each echo the one shared breakdown.
+        let fleet = service
+            .execute_sim_batch(
+                &SimRequest {
+                    timings: true,
+                    ..plain
+                },
+                2,
+            )
+            .unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet[0].timings, fleet[1].timings);
+        assert!(fleet[0].timings.as_ref().expect("fleet timings").execute_s > 0.0);
+    }
+
+    #[test]
     fn reinserted_model_set_never_serves_a_stale_program() {
         use sigtom::{GateModel, TransferFunction, TransferPrediction, TransferQuery};
         struct Slow;

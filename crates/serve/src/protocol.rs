@@ -92,6 +92,11 @@ pub struct SimRequest {
     /// deterministic (byte-for-byte reproducible), which the CI smoke job
     /// relies on.
     pub timing: bool,
+    /// Echo a service-side phase breakdown ([`PhaseTimings`]) on the
+    /// response. Optional on the wire with back-compat default `false`
+    /// (old clients see byte-identical responses); like `timing`, turning
+    /// it on makes the response wall-clock-dependent.
+    pub timings: bool,
 }
 
 impl Default for SimRequest {
@@ -106,6 +111,7 @@ impl Default for SimRequest {
             transitions: 4,
             compare: false,
             timing: true,
+            timings: false,
         }
     }
 }
@@ -136,6 +142,13 @@ pub enum Request {
     },
     /// Service counters (registry loads, cache hits, queue state).
     Stats {
+        /// Request id.
+        id: u64,
+    },
+    /// Drain and return the daemon's span journal ([`TraceSpan`]s).
+    /// Empty unless the daemon runs with `SIG_OBS=trace` (or
+    /// `sigserve --trace`); draining resets the journal.
+    Trace {
         /// Request id.
         id: u64,
     },
@@ -203,6 +216,7 @@ impl Request {
         match self {
             Self::Ping { id }
             | Self::Stats { id }
+            | Self::Trace { id }
             | Self::Shutdown { id }
             | Self::Sim { id, .. }
             | Self::SimBatch { id, .. }
@@ -261,6 +275,25 @@ pub struct CompareStats {
     pub error_ratio: f64,
 }
 
+/// Service-side per-request phase breakdown (present only when the
+/// request set `"timings": true`). Phases partition the request's time
+/// inside the daemon: `queue_s` is scheduler queue wait, `resolve_s`
+/// covers model/circuit/program resolution (cache hits make it small),
+/// `execute_s` is engine execution, and `total_s` is the whole handled
+/// interval (decode to encode, so `total_s >= queue_s + resolve_s +
+/// execute_s`; the remainder is encode and bookkeeping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTimings {
+    /// Seconds spent waiting in the scheduler queue.
+    pub queue_s: f64,
+    /// Seconds resolving models, circuit, and compiled program.
+    pub resolve_s: f64,
+    /// Seconds executing the engine (bind + inference + finalize).
+    pub execute_s: f64,
+    /// Seconds from request acceptance to response construction.
+    pub total_s: f64,
+}
+
 /// Wall-clock timings (present only when the request asked for them).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimingStats {
@@ -270,6 +303,25 @@ pub struct TimingStats {
     pub wall_digital_s: f64,
     /// Sigmoid prototype wall time in seconds.
     pub wall_sigmoid_s: f64,
+}
+
+/// One completed span fetched from a daemon's journal by a `trace`
+/// request. Times travel as fractional microseconds (`f64`, the JSON
+/// number model) — nanosecond process-uptime stamps can exceed the
+/// `2^53` wire-integer bound, microsecond floats cannot lose meaningful
+/// precision at trace scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Span name (e.g. `program.execute`).
+    pub name: String,
+    /// Journal thread id (small sequential integer).
+    pub tid: u64,
+    /// Start in microseconds since the daemon's trace epoch.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Optional numeric argument (e.g. `("rows", 128)`).
+    pub arg: Option<(String, u64)>,
 }
 
 /// Whether a request's circuit came from the cache.
@@ -298,6 +350,9 @@ pub struct SimResult {
     pub compare: Option<CompareStats>,
     /// Wall-clock timings (only when requested).
     pub timing: Option<TimingStats>,
+    /// Service-side phase breakdown (only when the request set
+    /// `"timings": true`).
+    pub timings: Option<PhaseTimings>,
 }
 
 /// Machine-readable error category.
@@ -355,7 +410,7 @@ impl std::fmt::Display for ErrorKind {
 }
 
 /// Service counters reported by a stats request.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReply {
     /// The resident model sets as `preset/library` keys (sorted), so
     /// `sigctl stats` reports which libraries produced the daemon's
@@ -402,6 +457,26 @@ pub struct StatsReply {
     /// Cumulative inference rows merged across fleet runs (how much
     /// batching the fleet path actually bought).
     pub fleet_rows: u64,
+    /// The daemon's observability mode (`off`/`counters`/`trace`); empty
+    /// when talking to a pre-observability daemon.
+    pub obs_mode: String,
+    /// p50 handled latency of `sim` requests in seconds (histogram
+    /// bucket upper bound; `0` when none served or counters are off).
+    pub sim_p50_s: f64,
+    /// p99 handled latency of `sim` requests in seconds.
+    pub sim_p99_s: f64,
+    /// p50 handled latency of `sim.batch` requests in seconds.
+    pub batch_p50_s: f64,
+    /// p99 handled latency of `sim.batch` requests in seconds.
+    pub batch_p99_s: f64,
+    /// p50 handled latency of `session.delta` requests in seconds.
+    pub delta_p50_s: f64,
+    /// p99 handled latency of `session.delta` requests in seconds.
+    pub delta_p99_s: f64,
+    /// p50 scheduler queue wait of accepted simulation jobs in seconds.
+    pub queue_p50_s: f64,
+    /// p99 scheduler queue wait of accepted simulation jobs in seconds.
+    pub queue_p99_s: f64,
 }
 
 /// A server response.
@@ -434,6 +509,15 @@ pub enum Response {
         id: u64,
         /// The counters.
         stats: StatsReply,
+    },
+    /// The drained span journal (empty unless the daemon traces).
+    Trace {
+        /// Echoed request id.
+        id: u64,
+        /// Completed spans, sorted by start time.
+        spans: Vec<TraceSpan>,
+        /// Spans lost to journal ring overflow since the last drain.
+        dropped: u64,
     },
     /// Shutdown acknowledged; in-flight work has drained.
     ShuttingDown {
@@ -477,6 +561,7 @@ impl Response {
             | Self::Sim { id, .. }
             | Self::SimBatch { id, .. }
             | Self::Stats { id, .. }
+            | Self::Trace { id, .. }
             | Self::ShuttingDown { id }
             | Self::Session { id, .. }
             | Self::SessionClosed { id, .. } => Some(*id),
@@ -591,6 +676,13 @@ fn get_u64_or(v: &Value, field: &str, default: u64) -> Result<u64, serde::Error>
     }
 }
 
+fn get_f64_or(v: &Value, field: &str, default: f64) -> Result<f64, serde::Error> {
+    match v.get_field(field) {
+        Ok(f) => f64::from_value(f),
+        Err(_) => Ok(default),
+    }
+}
+
 /// Formats a full-range `u64` as the fixed-width hex string the wire
 /// format uses for fingerprints.
 ///
@@ -651,6 +743,11 @@ fn sim_to_value(
         ("compare", sim.compare.to_value()),
         ("timing", sim.timing.to_value()),
     ]);
+    // Emitted only when set: requests from pre-observability clients (and
+    // the default) stay byte-identical to what older daemons golden-test.
+    if sim.timings {
+        fields.push(("timings", true.to_value()));
+    }
     obj(fields)
 }
 
@@ -659,6 +756,7 @@ impl Serialize for Request {
         match self {
             Self::Ping { id } => obj(vec![("id", id.to_value()), ("op", "ping".to_value())]),
             Self::Stats { id } => obj(vec![("id", id.to_value()), ("op", "stats".to_value())]),
+            Self::Trace { id } => obj(vec![("id", id.to_value()), ("op", "trace".to_value())]),
             Self::Shutdown { id } => {
                 obj(vec![("id", id.to_value()), ("op", "shutdown".to_value())])
             }
@@ -768,6 +866,7 @@ fn sim_from_value(v: &Value) -> Result<SimRequest, serde::Error> {
         transitions,
         compare: get_bool_or(v, "compare", false)?,
         timing: get_bool_or(v, "timing", true)?,
+        timings: get_bool_or(v, "timings", false)?,
     })
 }
 
@@ -778,6 +877,7 @@ impl Deserialize for Request {
         match op.as_str() {
             "ping" => Ok(Self::Ping { id }),
             "stats" => Ok(Self::Stats { id }),
+            "trace" => Ok(Self::Trace { id }),
             "shutdown" => Ok(Self::Shutdown { id }),
             "sim" => Ok(Self::Sim {
                 id,
@@ -890,6 +990,17 @@ impl Serialize for SimResult {
                 ]),
             ));
         }
+        if let Some(p) = &self.timings {
+            fields.push((
+                "timings",
+                obj(vec![
+                    ("queue_s", p.queue_s.to_value()),
+                    ("resolve_s", p.resolve_s.to_value()),
+                    ("execute_s", p.execute_s.to_value()),
+                    ("total_s", p.total_s.to_value()),
+                ]),
+            ));
+        }
         obj(fields)
     }
 }
@@ -928,6 +1039,15 @@ impl Deserialize for SimResult {
             }),
             Err(_) => None,
         };
+        let timings = match v.get_field("timings") {
+            Ok(p) => Some(PhaseTimings {
+                queue_s: get_f64(p, "queue_s")?,
+                resolve_s: get_f64(p, "resolve_s")?,
+                execute_s: get_f64(p, "execute_s")?,
+                total_s: get_f64(p, "total_s")?,
+            }),
+            Err(_) => None,
+        };
         Ok(Self {
             fingerprint,
             library,
@@ -935,6 +1055,7 @@ impl Deserialize for SimResult {
             outputs: Vec::<OutputTrace>::from_value(v.get_field("outputs")?)?,
             compare,
             timing,
+            timings,
         })
     }
 }
@@ -961,6 +1082,15 @@ impl Serialize for StatsReply {
             ("simd_level", self.simd_level.to_value()),
             ("fleet_runs", self.fleet_runs.to_value()),
             ("fleet_rows", self.fleet_rows.to_value()),
+            ("obs_mode", self.obs_mode.to_value()),
+            ("sim_p50_s", self.sim_p50_s.to_value()),
+            ("sim_p99_s", self.sim_p99_s.to_value()),
+            ("batch_p50_s", self.batch_p50_s.to_value()),
+            ("batch_p99_s", self.batch_p99_s.to_value()),
+            ("delta_p50_s", self.delta_p50_s.to_value()),
+            ("delta_p99_s", self.delta_p99_s.to_value()),
+            ("queue_p50_s", self.queue_p50_s.to_value()),
+            ("queue_p99_s", self.queue_p99_s.to_value()),
         ])
     }
 }
@@ -999,6 +1129,52 @@ impl Deserialize for StatsReply {
             },
             fleet_runs: get_u64_or(v, "fleet_runs", 0)?,
             fleet_rows: get_u64_or(v, "fleet_rows", 0)?,
+            // Absent in pre-observability daemons: empty mode, zero
+            // quantiles — the same decode-defaults discipline as above.
+            obs_mode: match v.get_field("obs_mode") {
+                Ok(f) => String::from_value(f)?,
+                Err(_) => String::new(),
+            },
+            sim_p50_s: get_f64_or(v, "sim_p50_s", 0.0)?,
+            sim_p99_s: get_f64_or(v, "sim_p99_s", 0.0)?,
+            batch_p50_s: get_f64_or(v, "batch_p50_s", 0.0)?,
+            batch_p99_s: get_f64_or(v, "batch_p99_s", 0.0)?,
+            delta_p50_s: get_f64_or(v, "delta_p50_s", 0.0)?,
+            delta_p99_s: get_f64_or(v, "delta_p99_s", 0.0)?,
+            queue_p50_s: get_f64_or(v, "queue_p50_s", 0.0)?,
+            queue_p99_s: get_f64_or(v, "queue_p99_s", 0.0)?,
+        })
+    }
+}
+
+impl Serialize for TraceSpan {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name", self.name.to_value()),
+            ("tid", self.tid.to_value()),
+            ("start_us", self.start_us.to_value()),
+            ("dur_us", self.dur_us.to_value()),
+        ];
+        if let Some((key, value)) = &self.arg {
+            fields.push(("arg", key.to_value()));
+            fields.push(("arg_value", value.to_value()));
+        }
+        obj(fields)
+    }
+}
+
+impl Deserialize for TraceSpan {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let arg = match v.get_field("arg") {
+            Ok(key) => Some((String::from_value(key)?, get_u64(v, "arg_value")?)),
+            Err(_) => None,
+        };
+        Ok(Self {
+            name: get_str(v, "name")?,
+            tid: get_u64(v, "tid")?,
+            start_us: get_f64(v, "start_us")?,
+            dur_us: get_f64(v, "dur_us")?,
+            arg,
         })
     }
 }
@@ -1028,6 +1204,13 @@ impl Serialize for Response {
                 ("ok", true.to_value()),
                 ("reply", "stats".to_value()),
                 ("stats", stats.to_value()),
+            ]),
+            Self::Trace { id, spans, dropped } => obj(vec![
+                ("id", id.to_value()),
+                ("ok", true.to_value()),
+                ("reply", "trace".to_value()),
+                ("spans", spans.to_value()),
+                ("dropped", dropped.to_value()),
             ]),
             Self::ShuttingDown { id } => obj(vec![
                 ("id", id.to_value()),
@@ -1105,6 +1288,11 @@ impl Deserialize for Response {
             "stats" => Ok(Self::Stats {
                 id,
                 stats: StatsReply::from_value(v.get_field("stats")?)?,
+            }),
+            "trace" => Ok(Self::Trace {
+                id,
+                spans: Vec::<TraceSpan>::from_value(v.get_field("spans")?)?,
+                dropped: get_u64(v, "dropped")?,
             }),
             "session" => Ok(Self::Session {
                 id,
@@ -1329,6 +1517,7 @@ mod tests {
         let requests = vec![
             Request::Ping { id: 1 },
             Request::Stats { id: 2 },
+            Request::Trace { id: 12 },
             Request::Shutdown { id: 3 },
             Request::Sim {
                 id: 4,
@@ -1342,6 +1531,14 @@ mod tests {
                     transitions: 4,
                     compare: true,
                     timing: false,
+                    timings: false,
+                },
+            },
+            Request::Sim {
+                id: 13,
+                sim: SimRequest {
+                    timings: true,
+                    ..SimRequest::default()
                 },
             },
             Request::Sim {
@@ -1424,6 +1621,15 @@ mod tests {
                     simd_level: "avx2".into(),
                     fleet_runs: 32,
                     fleet_rows: 4096,
+                    obs_mode: "counters".into(),
+                    sim_p50_s: 0.000131071,
+                    sim_p99_s: 0.001048575,
+                    batch_p50_s: 0.002097151,
+                    batch_p99_s: 0.004194303,
+                    delta_p50_s: 0.000016383,
+                    delta_p99_s: 0.000065535,
+                    queue_p50_s: 0.000001023,
+                    queue_p99_s: 0.000032767,
                 },
             },
             Response::Sim {
@@ -1447,7 +1653,33 @@ mod tests {
                         wall_digital_s: 0.0001,
                         wall_sigmoid_s: 0.0002,
                     }),
+                    timings: Some(PhaseTimings {
+                        queue_s: 0.00001,
+                        resolve_s: 0.0002,
+                        execute_s: 0.0015,
+                        total_s: 0.0018,
+                    }),
                 },
+            },
+            Response::Trace {
+                id: 14,
+                spans: vec![
+                    TraceSpan {
+                        name: "program.execute".into(),
+                        tid: 2,
+                        start_us: 1234.567,
+                        dur_us: 89.001,
+                        arg: None,
+                    },
+                    TraceSpan {
+                        name: "execute.infer".into(),
+                        tid: 2,
+                        start_us: 1250.0,
+                        dur_us: 12.5,
+                        arg: Some(("rows".into(), 128)),
+                    },
+                ],
+                dropped: 3,
             },
             Response::Error {
                 id: None,
@@ -1473,6 +1705,7 @@ mod tests {
                     }],
                     compare: None,
                     timing: None,
+                    timings: None,
                 },
             },
             Response::SessionClosed { id: 9, session: 11 },
@@ -1495,6 +1728,7 @@ mod tests {
                         }],
                         compare: None,
                         timing: None,
+                        timings: None,
                     },
                     SimResult {
                         fingerprint: hex64(0xfeed_f00d_0000_0001),
@@ -1503,6 +1737,7 @@ mod tests {
                         outputs: vec![],
                         compare: None,
                         timing: None,
+                        timings: None,
                     },
                 ],
             },
@@ -1689,6 +1924,39 @@ mod tests {
         };
         assert_eq!(stats.simd_level, "");
         assert_eq!((stats.fleet_runs, stats.fleet_rows), (0, 0));
+    }
+
+    #[test]
+    fn stats_without_obs_fields_decodes_with_defaults() {
+        // Pre-observability daemons never send obs_mode or the latency
+        // quantiles; a newer client must read them as empty/zero, not
+        // error.
+        let line = "{\"id\":1,\"ok\":true,\"reply\":\"stats\",\"stats\":{\
+                    \"model_loads\":1,\"model_requests\":2,\"cache_hits\":3,\
+                    \"cache_misses\":4,\"cache_entries\":1,\"workers\":2,\
+                    \"queue_capacity\":64,\"completed\":5,\"rejected\":0}}";
+        let Response::Stats { stats, .. } = decode_response(line).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.obs_mode, "");
+        assert_eq!(stats.sim_p50_s, 0.0);
+        assert_eq!(stats.sim_p99_s, 0.0);
+        assert_eq!(stats.batch_p99_s, 0.0);
+        assert_eq!(stats.delta_p99_s, 0.0);
+        assert_eq!(stats.queue_p99_s, 0.0);
+    }
+
+    #[test]
+    fn sim_result_without_timings_decodes_as_none() {
+        // The timings breakdown is opt-in; replies that omit it must
+        // decode with `timings: None` rather than erroring.
+        let line = "{\"id\":1,\"ok\":true,\"reply\":\"sim\",\"result\":{\
+                    \"fingerprint\":\"00000000deadbeef\",\"library\":\"native\",\
+                    \"cache\":\"miss\",\"outputs\":[]}}";
+        let Response::Sim { result, .. } = decode_response(line).unwrap() else {
+            panic!("expected sim");
+        };
+        assert!(result.timings.is_none());
     }
 
     #[test]

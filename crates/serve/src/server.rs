@@ -24,12 +24,21 @@ use crate::protocol::{decode_request, encode_response, salvage_id, FrameReader, 
 use crate::service::{Handled, Service};
 use crate::session::SessionTable;
 
+/// Wire-edge phases: time spent decoding request frames and encoding
+/// (plus writing) response frames. With the engine's `program.*` spans
+/// these complete the per-request breakdown end to end.
+static DECODE: sigobs::Hist = sigobs::Hist::new("serve.decode");
+static ENCODE: sigobs::Hist = sigobs::Hist::new("serve.encode");
+
 /// Writes one response frame; errors are ignored (the peer may have left
 /// without waiting — its work is not worth crashing a worker over).
 fn respond_line<W: Write>(writer: &Mutex<W>, response: &Response) {
+    let sw = sigobs::stopwatch();
+    let line = encode_response(response);
     let mut w = writer.lock().expect("writer poisoned");
-    let _ = writeln!(w, "{}", encode_response(response));
+    let _ = writeln!(w, "{line}");
     let _ = w.flush();
+    sw.observe_span(&ENCODE, "serve.encode");
 }
 
 /// Drives one connection (any `BufRead`/`Write` pair) to completion:
@@ -93,6 +102,7 @@ where
         if line.trim().is_empty() {
             continue;
         }
+        let sw = sigobs::stopwatch();
         let request = match decode_request(&line) {
             Ok(r) => r,
             Err(e) => {
@@ -100,6 +110,7 @@ where
                 continue;
             }
         };
+        sw.observe_span(&DECODE, "serve.decode");
         let respond_writer = Arc::clone(&writer);
         let handled =
             service.handle_connection_request(request, Some(&sessions), move |response| {

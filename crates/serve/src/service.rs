@@ -26,11 +26,22 @@ use sigwave::{DigitalTrace, Level, SigmoidTrace};
 
 use crate::cache::{CacheKey, CircuitCache, ProgramCache};
 use crate::protocol::{
-    CacheOutcome, CompareStats, ErrorKind, OutputTrace, Request, Response, SessionEdit, SimRequest,
-    SimResult, StatsReply, TimingStats,
+    CacheOutcome, CompareStats, ErrorKind, OutputTrace, PhaseTimings, Request, Response,
+    SessionEdit, SimRequest, SimResult, StatsReply, TimingStats, TraceSpan,
 };
 use crate::registry::{ModelRegistry, ModelSet, RegistryError};
 use crate::session::{SessionCore, SessionSlot, SessionTable, SlotState};
+
+/// Per-operation service latencies (handle-to-response, measured on the
+/// worker thread around the whole execution body). The `op.*` names
+/// complement the engine-level `engine.*` histograms: an `op.sim` sample
+/// covers artifact resolution and encoding-adjacent work that
+/// `engine.execute` does not. The `stats` reply's `sim_p50_s`-family
+/// quantiles read from these.
+static OP_SIM: sigobs::Hist = sigobs::Hist::new("op.sim");
+static OP_BATCH: sigobs::Hist = sigobs::Hist::new("op.sim_batch");
+static OP_OPEN: sigobs::Hist = sigobs::Hist::new("op.session_open");
+static OP_DELTA: sigobs::Hist = sigobs::Hist::new("op.session_delta");
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -133,11 +144,18 @@ const MAX_POOLED_FLEET_SLOTS: usize = 1 << 20;
 
 impl FleetPool {
     fn acquire(&self) -> FleetScratch {
-        self.pool
+        let mut scratch = self
+            .pool
             .lock()
             .expect("fleet pool poisoned")
             .pop()
-            .unwrap_or_default()
+            .unwrap_or_default();
+        // The engine accumulates `runs`/`rows_merged` across executions;
+        // a pooled arena must start every request at zero or the per-
+        // request deltas (and the daemon's fleet counters) double-count
+        // the arena's whole history.
+        scratch.reset_counters();
+        scratch
     }
 
     fn release(&self, scratch: FleetScratch) {
@@ -242,9 +260,25 @@ impl Service {
         &self.config
     }
 
-    /// Current counters.
+    /// Current counters, plus latency quantiles from the process-wide
+    /// observability histograms (zero until the matching operation has
+    /// been served at least once with `SIG_OBS` at `counters` or above).
     #[must_use]
     pub fn stats(&self) -> StatsReply {
+        let mut sim = (0.0, 0.0);
+        let mut batch = (0.0, 0.0);
+        let mut delta = (0.0, 0.0);
+        let mut queue = (0.0, 0.0);
+        for h in sigobs::snapshot_all() {
+            let q = (h.quantile_secs(0.50), h.quantile_secs(0.99));
+            match h.name {
+                "op.sim" => sim = q,
+                "op.sim_batch" => batch = q,
+                "op.session_delta" => delta = q,
+                "pool.queue_wait" => queue = q,
+                _ => {}
+            }
+        }
         StatsReply {
             model_sets: self.registry.resident_keys(),
             model_loads: self.registry.loads(),
@@ -265,6 +299,15 @@ impl Service {
             simd_level: signn::simd::active_level().as_str().to_string(),
             fleet_runs: self.fleet_runs.load(Ordering::Relaxed),
             fleet_rows: self.fleet_rows.load(Ordering::Relaxed),
+            obs_mode: sigobs::mode().as_str().to_string(),
+            sim_p50_s: sim.0,
+            sim_p99_s: sim.1,
+            batch_p50_s: batch.0,
+            batch_p99_s: batch.1,
+            delta_p50_s: delta.0,
+            delta_p99_s: delta.1,
+            queue_p50_s: queue.0,
+            queue_p99_s: queue.1,
         }
     }
 
@@ -323,6 +366,24 @@ impl Service {
                 });
                 Handled::Continue
             }
+            Request::Trace { id } => {
+                // Draining the journal is cheap bookkeeping (it is empty
+                // unless the daemon runs with `SIG_OBS=trace`), so the
+                // reply is answered inline like `stats`.
+                let (events, dropped) = sigobs::drain_chrome_trace();
+                let spans = events
+                    .into_iter()
+                    .map(|e| TraceSpan {
+                        name: e.name,
+                        tid: e.tid,
+                        start_us: e.start_ns as f64 / 1000.0,
+                        dur_us: e.dur_ns as f64 / 1000.0,
+                        arg: e.arg,
+                    })
+                    .collect();
+                respond(Response::Trace { id, spans, dropped });
+                Handled::Continue
+            }
             Request::Shutdown { id } => {
                 self.draining.store(true, Ordering::SeqCst);
                 self.pool.drain();
@@ -337,9 +398,16 @@ impl Service {
                 let service = Arc::clone(self);
                 let respond = Arc::new(respond);
                 let job_respond = Arc::clone(&respond);
+                let accepted = sim.timings.then(Instant::now);
                 let submitted = self.pool.try_execute(move || {
+                    let queue_s = accepted.map(|t| t.elapsed().as_secs_f64());
+                    let sw = sigobs::stopwatch();
                     let response = match service.execute_sim(&sim) {
-                        Ok(result) => Response::Sim { id, result },
+                        Ok(mut result) => {
+                            sw.observe_span(&OP_SIM, "op.sim");
+                            patch_timings(result.timings.as_mut(), queue_s, accepted);
+                            Response::Sim { id, result }
+                        }
                         Err((kind, message)) => Response::Error {
                             id: Some(id),
                             kind,
@@ -362,9 +430,27 @@ impl Service {
                 let service = Arc::clone(self);
                 let respond = Arc::new(respond);
                 let job_respond = Arc::clone(&respond);
+                let accepted = sim.timings.then(Instant::now);
                 let submitted = self.pool.try_execute(move || {
+                    let queue_s = accepted.map(|t| t.elapsed().as_secs_f64());
+                    let sw = sigobs::stopwatch();
                     let response = match service.execute_sim_batch(&sim, runs) {
-                        Ok(results) => Response::SimBatch { id, results },
+                        Ok(mut results) => {
+                            sw.observe_span(&OP_BATCH, "op.sim_batch");
+                            // One elapsed reading for the whole fleet:
+                            // every entry echoes the identical shared
+                            // breakdown (the reply is one request).
+                            let total_s = accepted.map(|t| t.elapsed().as_secs_f64());
+                            for result in &mut results {
+                                if let (Some(t), Some(queue_s), Some(total_s)) =
+                                    (result.timings.as_mut(), queue_s, total_s)
+                                {
+                                    t.queue_s = queue_s;
+                                    t.total_s = total_s;
+                                }
+                            }
+                            Response::SimBatch { id, results }
+                        }
                         Err((kind, message)) => Response::Error {
                             id: Some(id),
                             kind,
@@ -440,9 +526,14 @@ impl Service {
         let job_slot = Arc::clone(&slot);
         let respond = Arc::new(respond);
         let job_respond = Arc::clone(&respond);
+        let accepted = sim.timings.then(Instant::now);
         let submitted = self.pool.try_execute(move || {
+            let queue_s = accepted.map(|t| t.elapsed().as_secs_f64());
+            let sw = sigobs::stopwatch();
             let response = match service.open_session_core(&sim) {
-                Ok((core, result)) => {
+                Ok((core, mut result)) => {
+                    sw.observe_span(&OP_OPEN, "op.session_open");
+                    patch_timings(result.timings.as_mut(), queue_s, accepted);
                     job_slot.fulfill(core);
                     Response::Session {
                         id,
@@ -496,9 +587,20 @@ impl Service {
         let service = Arc::clone(self);
         let respond = Arc::new(respond);
         let job_respond = Arc::clone(&respond);
+        // Deltas inherit the timings opt-in from the session's opening
+        // request, so the dispatch layer cannot know it yet; the worker
+        // measures queue wait from here and the body patches it in when
+        // the session asked for timings.
+        let accepted = Instant::now();
         let submitted = self.pool.try_execute(move || {
+            let queue_s = accepted.elapsed().as_secs_f64();
+            let sw = sigobs::stopwatch();
             let response = match service.execute_delta_on(&slot, session, &edits) {
-                Ok(result) => Response::Sim { id, result },
+                Ok(mut result) => {
+                    sw.observe_span(&OP_DELTA, "op.session_delta");
+                    patch_timings(result.timings.as_mut(), Some(queue_s), Some(accepted));
+                    Response::Sim { id, result }
+                }
                 Err((kind, message)) => Response::Error {
                     id: Some(id),
                     kind,
@@ -536,6 +638,7 @@ impl Service {
         &self,
         sim: &SimRequest,
     ) -> Result<(SessionCore, SimResult), (ErrorKind, String)> {
+        let t0 = sim.timings.then(Instant::now);
         let set = self
             .registry
             .get_or_load(&sim.models, &sim.library)
@@ -554,6 +657,8 @@ impl Service {
             CacheOutcome::Miss
         };
         let program = self.resolve_program(circuit_key, &set, &circuit)?;
+        let resolve_s = t0.map(|t| t.elapsed().as_secs_f64());
+        let exec_start = sim.timings.then(Instant::now);
         let stimuli = stimuli_for(&circuit, sim);
         let sigmoid_stimuli = sigmoid_stimuli_from(&stimuli, set.options.vdd);
         let mut scratch = self.scratch.acquire();
@@ -574,6 +679,7 @@ impl Service {
                 wall_digital_s: 0.0,
                 wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
             }),
+            timings: phase_timings(resolve_s, exec_start),
         };
         let core = SessionCore {
             program,
@@ -582,6 +688,7 @@ impl Service {
             library: set.library.clone(),
             vdd: set.options.vdd,
             timing: sim.timing,
+            timings: sim.timings,
         };
         Ok((core, result))
     }
@@ -598,6 +705,7 @@ impl Service {
         session: u64,
         edits: &[SessionEdit],
     ) -> Result<SimResult, (ErrorKind, String)> {
+        let t0 = Instant::now();
         let mut guard = slot.state.lock().expect("session slot poisoned");
         while matches!(*guard, SlotState::Opening) {
             guard = slot.ready.wait(guard).expect("session slot poisoned");
@@ -632,6 +740,10 @@ impl Service {
                 trace: Arc::new(digital_to_sigmoid(&digital, core.vdd)),
             });
         }
+        // For a delta, "resolve" is slot readiness plus edit-to-trace
+        // conversion; the engine call is the execute phase.
+        let resolve_s = core.timings.then(|| t0.elapsed().as_secs_f64());
+        let exec_start = core.timings.then(Instant::now);
         let start = Instant::now();
         let result = program
             .execute_delta(&mut core.state, &changes)
@@ -651,6 +763,7 @@ impl Service {
                 wall_digital_s: 0.0,
                 wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
             }),
+            timings: phase_timings(resolve_s, exec_start),
         })
     }
 
@@ -709,6 +822,7 @@ impl Service {
     ///
     /// Returns the protocol error kind and message on any failure.
     pub fn execute_sim(&self, sim: &SimRequest) -> Result<SimResult, (ErrorKind, String)> {
+        let t0 = sim.timings.then(Instant::now);
         let set = self
             .registry
             .get_or_load(&sim.models, &sim.library)
@@ -728,13 +842,22 @@ impl Service {
             CacheOutcome::Miss
         };
         if sim.compare {
-            return run_sim(&circuit, &set, sim, cache);
+            let resolve_s = t0.map(|t| t.elapsed().as_secs_f64());
+            let exec_start = sim.timings.then(Instant::now);
+            let mut result = run_sim(&circuit, &set, sim, cache)?;
+            result.timings = phase_timings(resolve_s, exec_start);
+            return Ok(result);
         }
         let program = self.resolve_program(circuit_key, &set, &circuit)?;
+        let resolve_s = t0.map(|t| t.elapsed().as_secs_f64());
+        let exec_start = sim.timings.then(Instant::now);
         let mut scratch = self.scratch.acquire();
         let result = run_program(&program, &set, sim, cache, &mut scratch);
         self.scratch.release(scratch);
-        result
+        result.map(|mut r| {
+            r.timings = phase_timings(resolve_s, exec_start);
+            r
+        })
     }
 
     /// Executes one fleet simulation synchronously (the worker-thread
@@ -756,6 +879,7 @@ impl Service {
         sim: &SimRequest,
         runs: usize,
     ) -> Result<Vec<SimResult>, (ErrorKind, String)> {
+        let t0 = sim.timings.then(Instant::now);
         let set = self
             .registry
             .get_or_load(&sim.models, &sim.library)
@@ -774,6 +898,8 @@ impl Service {
             CacheOutcome::Miss
         };
         let program = self.resolve_program(circuit_key, &set, &circuit)?;
+        let resolve_s = t0.map(|t| t.elapsed().as_secs_f64());
+        let exec_start = sim.timings.then(Instant::now);
         let sets: Vec<HashMap<NetId, Arc<SigmoidTrace>>> = (0..runs)
             .map(|r| {
                 let run = SimRequest {
@@ -783,12 +909,13 @@ impl Service {
                 sigmoid_stimuli_from(&stimuli_for(&circuit, &run), set.options.vdd)
             })
             .collect();
+        // Pooled arenas are counter-reset on acquire, so the arena's
+        // counters after the run are exactly this request's totals.
         let mut scratch = self.fleet.acquire();
-        let rows_before = scratch.rows_merged();
         let start = Instant::now();
         let executed = program.execute_fleet(&sets, &mut scratch);
         let wall = start.elapsed();
-        let rows = scratch.rows_merged() - rows_before;
+        let rows = scratch.rows_merged();
         self.fleet.release(scratch);
         let results = executed.map_err(|e| (ErrorKind::Simulation, e.to_string()))?;
         self.fleet_runs.fetch_add(runs as u64, Ordering::Relaxed);
@@ -797,6 +924,9 @@ impl Service {
         let threshold = set.options.vdd / 2.0;
         #[allow(clippy::cast_possible_truncation)]
         let wall_share = wall.checked_div(runs.max(1) as u32).unwrap_or_default();
+        // Every fleet entry echoes the breakdown of the one shared
+        // request (stimulus derivation counts as execute time).
+        let timings = phase_timings(resolve_s, exec_start);
         Ok(results
             .into_iter()
             .map(|result| SimResult {
@@ -810,8 +940,37 @@ impl Service {
                     wall_digital_s: 0.0,
                     wall_sigmoid_s: wall_share.as_secs_f64(),
                 }),
+                timings: timings.clone(),
             })
             .collect())
+    }
+}
+
+/// Builds the execution half of an opt-in [`PhaseTimings`] breakdown:
+/// `None` unless the request asked for timings. Queue wait and the total
+/// stay zero until [`patch_timings`] fills them at the worker boundary.
+fn phase_timings(resolve_s: Option<f64>, exec_start: Option<Instant>) -> Option<PhaseTimings> {
+    let (resolve_s, exec_start) = resolve_s.zip(exec_start)?;
+    Some(PhaseTimings {
+        queue_s: 0.0,
+        resolve_s,
+        execute_s: exec_start.elapsed().as_secs_f64(),
+        total_s: 0.0,
+    })
+}
+
+/// Fills the scheduling half of an opt-in [`PhaseTimings`] breakdown.
+/// The execution body measured `resolve_s`/`execute_s`; queue wait and
+/// the request total are only known at the dispatch/worker boundary, so
+/// the worker closure patches them in just before responding.
+fn patch_timings(
+    timings: Option<&mut PhaseTimings>,
+    queue_s: Option<f64>,
+    accepted: Option<Instant>,
+) {
+    if let (Some(t), Some(queue_s), Some(accepted)) = (timings, queue_s, accepted) {
+        t.queue_s = queue_s;
+        t.total_s = accepted.elapsed().as_secs_f64();
     }
 }
 
@@ -1016,6 +1175,7 @@ pub fn run_sim_edited(
                 wall_digital_s: outcome.wall_digital.as_secs_f64(),
                 wall_sigmoid_s: outcome.wall_sigmoid.as_secs_f64(),
             }),
+            timings: None,
         })
     } else {
         // Sigmoid-only: inputs are the digital stimuli converted at the
@@ -1043,6 +1203,7 @@ pub fn run_sim_edited(
                 wall_digital_s: 0.0,
                 wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
             }),
+            timings: None,
         })
     }
 }
@@ -1079,6 +1240,7 @@ fn run_program(
             wall_digital_s: 0.0,
             wall_sigmoid_s: wall_sigmoid.as_secs_f64(),
         }),
+        timings: None,
     })
 }
 

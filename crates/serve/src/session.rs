@@ -45,6 +45,9 @@ pub(crate) struct SessionCore {
     pub(crate) vdd: f64,
     /// Whether delta responses carry wall-clock timing.
     pub(crate) timing: bool,
+    /// Whether delta responses carry the per-phase `timings` breakdown
+    /// (inherited from the opening request, like `timing`).
+    pub(crate) timings: bool,
 }
 
 /// Lifecycle of one session slot. Deltas that arrive while the baseline

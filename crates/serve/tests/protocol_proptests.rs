@@ -9,9 +9,9 @@ use proptest::prelude::*;
 use rand::Rng;
 use sigserve::protocol::{
     decode_request, decode_response, encode_request, encode_response, hex64, CacheOutcome,
-    CircuitSource, CompareStats, ErrorKind, FrameReader, OutputTrace, ProtocolError, Request,
-    Response, SessionEdit, SimRequest, SimResult, StatsReply, TimingStats, MAX_BATCH_RUNS,
-    MAX_WIRE_INT,
+    CircuitSource, CompareStats, ErrorKind, FrameReader, OutputTrace, PhaseTimings, ProtocolError,
+    Request, Response, SessionEdit, SimRequest, SimResult, StatsReply, TimingStats, TraceSpan,
+    MAX_BATCH_RUNS, MAX_WIRE_INT,
 };
 
 fn drain_frames(bytes: &[u8], cap: usize) -> Vec<Result<String, ProtocolError>> {
@@ -161,6 +161,7 @@ fn random_sim(rng: &mut rand::rngs::StdRng) -> SimRequest {
         transitions: rng.gen_range(0..1000usize),
         compare: rng.gen(),
         timing: rng.gen(),
+        timings: rng.gen(),
     }
 }
 
@@ -182,10 +183,11 @@ fn random_edit(rng: &mut rand::rngs::StdRng) -> SessionEdit {
 
 fn random_request(rng: &mut rand::rngs::StdRng) -> Request {
     let id = rng.gen_range(0..MAX_WIRE_INT);
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..9u32) {
         0 => Request::Ping { id },
         1 => Request::Stats { id },
         2 => Request::Shutdown { id },
+        8 => Request::Trace { id },
         3 => Request::SessionOpen {
             id,
             session: rng.gen_range(0..MAX_WIRE_INT),
@@ -271,12 +273,40 @@ fn random_result(rng: &mut rand::rngs::StdRng) -> SimResult {
             wall_digital_s: random_f64(rng).abs(),
             wall_sigmoid_s: random_f64(rng).abs(),
         }),
+        timings: rng.gen::<bool>().then(|| PhaseTimings {
+            queue_s: random_f64(rng).abs(),
+            resolve_s: random_f64(rng).abs(),
+            execute_s: random_f64(rng).abs(),
+            total_s: random_f64(rng).abs(),
+        }),
+    }
+}
+
+fn random_span(rng: &mut rand::rngs::StdRng) -> TraceSpan {
+    TraceSpan {
+        name: random_string(rng),
+        tid: rng.gen_range(0..1000),
+        // Wire times are microsecond floats; keep them exactly
+        // round-trippable (shortest-round-trip encoding preserves any
+        // f64, so magnitude is unconstrained).
+        start_us: random_f64(rng).abs(),
+        dur_us: random_f64(rng).abs(),
+        arg: rng
+            .gen::<bool>()
+            .then(|| (random_string(rng), rng.gen_range(0..MAX_WIRE_INT))),
     }
 }
 
 fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
     let id = rng.gen_range(0..MAX_WIRE_INT);
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..9u32) {
+        8 => Response::Trace {
+            id,
+            spans: (0..rng.gen_range(0..4usize))
+                .map(|_| random_span(rng))
+                .collect(),
+            dropped: rng.gen_range(0..MAX_WIRE_INT),
+        },
         0 => Response::Pong { id },
         7 => Response::SimBatch {
             id,
@@ -318,6 +348,15 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
                 simd_level: ["scalar", "sse2", "avx2"][rng.gen_range(0..3usize)].to_string(),
                 fleet_runs: rng.gen_range(0..MAX_WIRE_INT),
                 fleet_rows: rng.gen_range(0..MAX_WIRE_INT),
+                obs_mode: ["off", "counters", "trace"][rng.gen_range(0..3usize)].to_string(),
+                sim_p50_s: random_f64(rng).abs(),
+                sim_p99_s: random_f64(rng).abs(),
+                batch_p50_s: random_f64(rng).abs(),
+                batch_p99_s: random_f64(rng).abs(),
+                delta_p50_s: random_f64(rng).abs(),
+                delta_p99_s: random_f64(rng).abs(),
+                queue_p50_s: random_f64(rng).abs(),
+                queue_p99_s: random_f64(rng).abs(),
             },
         },
         3 => Response::Error {

@@ -42,6 +42,7 @@ fn sim(circuit: CircuitSource, seed: u64, compare: bool) -> SimRequest {
         transitions: TRANSITIONS,
         compare,
         timing: false,
+        timings: false,
     }
 }
 
@@ -211,6 +212,7 @@ fn direct_reference(sim: &SimRequest, artifacts: &DirectArtifacts) -> SimResult 
         outputs,
         compare,
         timing: None,
+        timings: None,
     }
 }
 

@@ -705,7 +705,28 @@ impl FleetScratch {
     pub fn net_capacity(&self) -> usize {
         self.nets.capacity()
     }
+
+    /// Resets the cumulative [`FleetScratch::runs`] /
+    /// [`FleetScratch::rows_merged`] counters to zero. The counters are
+    /// monotone over the arena's lifetime, so a pool that hands one arena
+    /// to unrelated requests must reset on acquire or per-request
+    /// accounting over-reports (the buffers themselves are untouched —
+    /// capacity reuse is the point of pooling).
+    pub fn reset_counters(&mut self) {
+        self.runs = 0;
+        self.rows_merged = 0;
+    }
 }
+
+/// Engine latency histograms (nanoseconds) plus the merged inference
+/// batch width per round. Span names mirror the operations: `program.*`
+/// for whole calls, `execute.*` for intra-execution phases (see
+/// `docs/observability.md` for the taxonomy).
+static COMPILE_HIST: sigobs::Hist = sigobs::Hist::new("engine.compile");
+static EXECUTE_HIST: sigobs::Hist = sigobs::Hist::new("engine.execute");
+static FLEET_HIST: sigobs::Hist = sigobs::Hist::new("engine.execute_fleet");
+static DELTA_HIST: sigobs::Hist = sigobs::Hist::new("engine.execute_delta");
+static ROUND_ROWS: sigobs::Hist = sigobs::Hist::new("engine.round_rows");
 
 /// A compiled circuit program: the compile-once / execute-many form of
 /// the levelized engine.
@@ -757,7 +778,9 @@ impl CircuitProgram {
         cells: Arc<CellModels>,
         options: TomOptions,
     ) -> Result<Self, SigmoidSimError> {
+        let sw = sigobs::stopwatch();
         let tables = ProgramTables::compile(&circuit, &cells)?;
+        sw.observe_span(&COMPILE_HIST, "program.compile");
         Ok(Self {
             circuit,
             cells,
@@ -816,7 +839,8 @@ impl CircuitProgram {
         config: &SigmoidSimConfig,
         scratch: &mut SimScratch,
     ) -> Result<SigmoidSimResult, SigmoidSimError> {
-        execute_program(
+        let sw = sigobs::stopwatch();
+        let result = execute_program(
             &self.circuit,
             &self.cells,
             &self.tables,
@@ -824,7 +848,11 @@ impl CircuitProgram {
             stimuli,
             config,
             scratch,
-        )
+        );
+        if result.is_ok() {
+            sw.observe_span(&EXECUTE_HIST, "program.execute");
+        }
+        result
     }
 
     /// Executes the program against `K` stimulus sets in lockstep with the
@@ -875,6 +903,7 @@ impl CircuitProgram {
         if k == 0 {
             return Ok(Vec::new());
         }
+        let sw = sigobs::stopwatch();
         let circuit = &*self.circuit;
         let cells = &*self.cells;
         let tables = &self.tables;
@@ -915,6 +944,7 @@ impl CircuitProgram {
             // borrow the input traces out of the fleet net matrix;
             // outputs are published only after the level's plans are
             // consumed, exactly like the solo executor.
+            let mut bind_span = sigobs::span("execute.bind");
             let mut plans: Vec<(usize, usize, NetId, GatePlan)> =
                 Vec::with_capacity(k * level.len());
             // Duplicate gates (same slot, function, and input traces —
@@ -955,6 +985,8 @@ impl CircuitProgram {
                     ));
                 }
             }
+            bind_span.set_arg("plans", plans.len() as u64);
+            drop(bind_span);
             // The solo round loop, over the fleet-wide plan list: pending
             // plans group by slot *across runs*, so one predict call per
             // (model, round) serves the whole fleet. Each plan still
@@ -976,7 +1008,11 @@ impl CircuitProgram {
                         queries.push(plans[pi].3.next_query().expect("pending plan"));
                     }
                     *rows_merged += queries.len() as u64;
+                    ROUND_ROWS.record(queries.len() as u64);
+                    let mut infer_span = sigobs::span("execute.infer");
+                    infer_span.set_arg("rows", queries.len() as u64);
                     predict_chunked(cells.by_slot(slot), queries, predictions, parallelism);
+                    drop(infer_span);
                     round.clear();
                     std::mem::swap(member, round);
                     for (&pi, &p) in round.iter().zip(predictions.iter()) {
@@ -990,6 +1026,7 @@ impl CircuitProgram {
                     break;
                 }
             }
+            let finalize_span = sigobs::span("execute.finalize");
             let finished: Vec<(usize, NetId, SigmoidTrace)> = plans
                 .into_iter()
                 .map(|(_, r, output, plan)| (r, output, plan.into_trace()))
@@ -1001,6 +1038,7 @@ impl CircuitProgram {
                 let shared = nets[r * nc + source.0].clone().expect("memoized gate ran");
                 nets[r * nc + output.0] = Some(shared);
             }
+            drop(finalize_span);
         }
 
         *runs += k as u64;
@@ -1023,6 +1061,7 @@ impl CircuitProgram {
                 .collect();
             results.push(SigmoidSimResult { traces, undriven });
         }
+        sw.observe_span(&FLEET_HIST, "program.execute_fleet");
         Ok(results)
     }
 
@@ -1115,6 +1154,7 @@ impl CircuitProgram {
                 });
             }
         }
+        let sw = sigobs::stopwatch();
         state.deltas += 1;
         state.last_reeval = 0;
         let fanouts = circuit.fanouts();
@@ -1162,6 +1202,7 @@ impl CircuitProgram {
             // Hand the (drained) buffer back so its capacity is reused.
             state.dirty_levels[li] = gates;
         }
+        sw.observe_span(&DELTA_HIST, "program.execute_delta");
         Ok(state.result())
     }
 }
@@ -1325,6 +1366,7 @@ fn execute_program(
             // bind skips the table — fanning the binds out already hides
             // the duplicate work, and results are bit-identical either
             // way (gate evaluation is deterministic in its inputs).
+            let mut bind_span = sigobs::span("execute.bind");
             let mut aliases: Vec<(NetId, NetId)> = Vec::new();
             let mut plans: Vec<(usize, NetId, GatePlan)> = if level_parallelism > 1 {
                 sigwave::parallel::par_map(level_parallelism, level, |_, &gi| {
@@ -1373,6 +1415,8 @@ fn execute_program(
                 }
                 out
             };
+            bind_span.set_arg("plans", plans.len() as u64);
+            drop(bind_span);
             // Group the still-pending plans by model slot, then evaluate
             // in rounds: one batched inference per (model, round),
             // scattered back to the plans; exhausted plans drop out of
@@ -1395,7 +1439,11 @@ fn execute_program(
                     for &pi in member.iter() {
                         queries.push(plans[pi].2.next_query().expect("pending plan"));
                     }
+                    ROUND_ROWS.record(queries.len() as u64);
+                    let mut infer_span = sigobs::span("execute.infer");
+                    infer_span.set_arg("rows", queries.len() as u64);
                     predict_chunked(cells.by_slot(slot), queries, predictions, parallelism);
+                    drop(infer_span);
                     round.clear();
                     std::mem::swap(member, round);
                     for (&pi, &p) in round.iter().zip(predictions.iter()) {
@@ -1411,6 +1459,7 @@ fn execute_program(
             }
             // Finalize after the plans (which borrow the input slots) are
             // consumed, then publish the level's outputs.
+            let finalize_span = sigobs::span("execute.finalize");
             let finished: Vec<(NetId, SigmoidTrace)> = plans
                 .into_iter()
                 .map(|(_, output, plan)| (output, plan.into_trace()))
@@ -1422,6 +1471,7 @@ fn execute_program(
                 let shared = nets[source.0].clone().expect("memoized gate ran");
                 nets[output.0] = Some(shared);
             }
+            drop(finalize_span);
         } else {
             // Scalar mode: per-gate one-shot predictions, optionally
             // fanned over the pool (gates within a level are independent).

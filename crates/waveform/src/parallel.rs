@@ -156,6 +156,18 @@ where
 /// A job submitted to a [`WorkerPool`].
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Queue depth observed at each enqueue (jobs pending after the push).
+static QUEUE_DEPTH: sigobs::Hist = sigobs::Hist::new("pool.queue_depth");
+/// Nanoseconds a job sat queued before a worker dequeued it.
+static QUEUE_WAIT: sigobs::Hist = sigobs::Hist::new("pool.queue_wait");
+
+/// A queued job plus the stopwatch measuring its time in the queue
+/// (inert — no clock read — unless `sigobs` is counting).
+struct QueuedJob {
+    job: Job,
+    queued: sigobs::Stopwatch,
+}
+
 /// Error returned by [`WorkerPool::try_execute`] when the bounded queue is
 /// at capacity — the caller must shed load (the service layer maps this to
 /// an `overloaded` protocol error).
@@ -171,7 +183,7 @@ impl std::fmt::Display for PoolFull {
 impl std::error::Error for PoolFull {}
 
 struct PoolState {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     /// Jobs currently executing on a worker (dequeued but not finished).
     active: usize,
     /// Set once; workers exit after the queue drains.
@@ -304,7 +316,11 @@ impl WorkerPool {
         if state.jobs.len() >= self.shared.capacity {
             return Err(PoolFull);
         }
-        state.jobs.push_back(Box::new(job));
+        state.jobs.push_back(QueuedJob {
+            job: Box::new(job),
+            queued: sigobs::stopwatch(),
+        });
+        QUEUE_DEPTH.record(state.jobs.len() as u64);
         drop(state);
         self.shared.work.notify_one();
         Ok(())
@@ -325,7 +341,11 @@ impl WorkerPool {
                 .expect("pool state poisoned");
         }
         assert!(!state.shutting_down, "execute on a shut-down pool");
-        state.jobs.push_back(Box::new(job));
+        state.jobs.push_back(QueuedJob {
+            job: Box::new(job),
+            queued: sigobs::stopwatch(),
+        });
+        QUEUE_DEPTH.record(state.jobs.len() as u64);
         drop(state);
         self.shared.work.notify_one();
     }
@@ -386,9 +406,10 @@ fn worker_loop(shared: &PoolShared) {
         let job = {
             let mut state = shared.state.lock().expect("pool state poisoned");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
+                if let Some(queued) = state.jobs.pop_front() {
                     state.active += 1;
-                    break job;
+                    queued.queued.observe_span(&QUEUE_WAIT, "pool.queue_wait");
+                    break queued.job;
                 }
                 if state.shutting_down {
                     return;

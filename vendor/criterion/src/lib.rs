@@ -15,8 +15,10 @@
 //! uses under `cargo test`: run every body exactly once), `--json <path>`
 //! (append every measured benchmark's median to a JSON object mapping
 //! benchmark name → median nanoseconds per iteration, rewritten after
-//! each benchmark so partial runs still leave a valid artifact), and a
-//! positional `<filter>` substring applied to benchmark names.
+//! each benchmark so partial runs still leave a valid artifact),
+//! `--json-stat min` (export per-sample minima instead of medians —
+//! the statistic of choice for CI threshold guards on noisy runners),
+//! and a positional `<filter>` substring applied to benchmark names.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub struct Criterion {
     sample_size: usize,
     warm_up: Duration,
     json: Option<std::path::PathBuf>,
+    json_min: bool,
 }
 
 impl Default for Criterion {
@@ -48,6 +51,7 @@ impl Default for Criterion {
             sample_size: 60,
             warm_up: Duration::from_millis(300),
             json: None,
+            json_min: false,
         }
     }
 }
@@ -67,6 +71,13 @@ impl Criterion {
                     }
                 }
                 "--json" => self.json = args.next().map(std::path::PathBuf::from),
+                // `--json-stat min` exports per-sample minima instead of
+                // medians: the right statistic for threshold guards on
+                // shared/noisy runners (the minimum is the least
+                // contaminated by scheduling interference).
+                "--json-stat" => {
+                    self.json_min = args.next().as_deref() == Some("min");
+                }
                 // Flags cargo/criterion users commonly pass; all take no
                 // value in our model.
                 "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
@@ -218,12 +229,14 @@ where
         iters_per_sample,
     );
     if let Some(path) = &c.json {
-        export_json(path, name, median * 1e9);
+        let stat = if c.json_min { min } else { median };
+        export_json(path, name, stat * 1e9);
     }
 }
 
-/// Records one measured median and rewrites the `--json` artifact: a JSON
-/// object mapping benchmark name → median nanoseconds per iteration.
+/// Records one measured statistic (median, or min under `--json-stat
+/// min`) and rewrites the `--json` artifact: a JSON object mapping
+/// benchmark name → nanoseconds per iteration.
 /// Rewritten whole after every benchmark, so an interrupted run still
 /// leaves valid JSON covering everything measured so far.
 fn export_json(path: &std::path::Path, name: &str, median_ns: f64) {
