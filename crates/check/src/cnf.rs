@@ -1,0 +1,384 @@
+//! CNF formulas and the Tseitin encoding of gate-level circuits.
+//!
+//! Every net of a [`Circuit`] becomes one propositional variable; every
+//! gate contributes the clauses of the biconditional `out ↔ f(inputs)`
+//! for its boolean function. The encoding is *definitional* (Tseitin): a
+//! total assignment satisfies the clause set exactly when every gate
+//! output carries the value its function demands, so the CNF's models
+//! are precisely the circuit's consistent signal valuations.
+
+use sigcircuit::{Circuit, GateKind};
+
+/// A propositional variable (0-based index into a solver's assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a [`Var`] or its negation, packed as `var << 1 | sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[must_use]
+    pub fn pos(v: Var) -> Self {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[must_use]
+    pub fn neg(v: Var) -> Self {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// A literal with an explicit sign (`negated = true` ⇒ `¬v`).
+    #[must_use]
+    pub fn new(v: Var, negated: bool) -> Self {
+        Lit(v.0 << 1 | u32::from(negated))
+    }
+
+    /// The literal's variable.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a negated literal.
+    #[must_use]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index (`2·var + sign`) for watch lists.
+    #[must_use]
+    pub(crate) fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The value this literal takes under `value` for its variable.
+    #[must_use]
+    pub fn apply(self, var_value: bool) -> bool {
+        var_value ^ self.is_neg()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+/// A CNF formula: a conjunction of disjunctive clauses over `num_vars`
+/// variables. Clauses are deduplicated per-clause (repeated literals
+/// dropped, tautologies skipped) at insertion.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula with no variables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of allocated variables.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The clause set.
+    #[must_use]
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Adds a clause (a disjunction of literals). Duplicate literals are
+    /// dropped; a tautological clause (`x ∨ ¬x ∨ …`) is skipped entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references an unallocated variable or the
+    /// clause is empty (an empty clause would make the formula trivially
+    /// unsatisfiable — encode that state explicitly at a higher level).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        assert!(!lits.is_empty(), "empty clause");
+        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(l.var().0 < self.num_vars, "literal {l} out of range");
+            if clause.contains(&!l) {
+                return; // tautology
+            }
+            if !clause.contains(&l) {
+                clause.push(l);
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the formula under a total assignment (used by tests to
+    /// cross-check encodings against gate truth tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len() < num_vars`.
+    #[must_use]
+    pub fn eval(&self, assign: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.apply(assign[l.var().0 as usize])))
+    }
+}
+
+/// Emits the Tseitin clauses of `out ↔ kind(inputs)` into `cnf`.
+///
+/// Arities follow [`GateKind::arity_ok`]: INV/BUF take one input,
+/// XOR/XNOR exactly two, and the AND/NAND/OR/NOR families any legal
+/// arity directly (no tree decomposition — the wide-gate clauses are the
+/// textbook n-ary biconditionals).
+///
+/// # Panics
+///
+/// Panics on an arity the gate kind rejects.
+pub fn encode_gate(cnf: &mut Cnf, kind: GateKind, inputs: &[Lit], out: Lit) {
+    assert!(
+        kind.arity_ok(inputs.len()),
+        "{kind} cannot take {} inputs",
+        inputs.len()
+    );
+    match kind {
+        GateKind::Inv => {
+            cnf.add_clause(&[out, inputs[0]]);
+            cnf.add_clause(&[!out, !inputs[0]]);
+        }
+        GateKind::Buf => {
+            cnf.add_clause(&[out, !inputs[0]]);
+            cnf.add_clause(&[!out, inputs[0]]);
+        }
+        GateKind::And => {
+            // out → i_k;  (∧ i_k) → out.
+            let mut long: Vec<Lit> = vec![out];
+            for &i in inputs {
+                cnf.add_clause(&[!out, i]);
+                long.push(!i);
+            }
+            cnf.add_clause(&long);
+        }
+        GateKind::Nand => {
+            // ¬out → i_k;  (∧ i_k) → ¬out.
+            let mut long: Vec<Lit> = vec![!out];
+            for &i in inputs {
+                cnf.add_clause(&[out, i]);
+                long.push(!i);
+            }
+            cnf.add_clause(&long);
+        }
+        GateKind::Or => {
+            // i_k → out;  out → (∨ i_k).
+            let mut long: Vec<Lit> = vec![!out];
+            for &i in inputs {
+                cnf.add_clause(&[out, !i]);
+                long.push(i);
+            }
+            cnf.add_clause(&long);
+        }
+        GateKind::Nor => {
+            // i_k → ¬out;  ¬out → (∨ i_k).
+            let mut long: Vec<Lit> = vec![out];
+            for &i in inputs {
+                cnf.add_clause(&[!out, !i]);
+                long.push(i);
+            }
+            cnf.add_clause(&long);
+        }
+        GateKind::Xor => {
+            let (a, b) = (inputs[0], inputs[1]);
+            cnf.add_clause(&[!out, a, b]);
+            cnf.add_clause(&[!out, !a, !b]);
+            cnf.add_clause(&[out, !a, b]);
+            cnf.add_clause(&[out, a, !b]);
+        }
+        GateKind::Xnor => {
+            let (a, b) = (inputs[0], inputs[1]);
+            cnf.add_clause(&[out, a, b]);
+            cnf.add_clause(&[out, !a, !b]);
+            cnf.add_clause(&[!out, !a, b]);
+            cnf.add_clause(&[!out, a, !b]);
+        }
+    }
+}
+
+/// Encodes a whole circuit into `cnf`, reusing the caller-provided
+/// variables for the primary inputs (in [`Circuit::inputs`] order) and
+/// allocating a fresh variable for every gate-driven net. Returns the
+/// per-net variable map (indexed by `NetId`).
+///
+/// Sharing input variables between two `encode_circuit` calls on the
+/// same `Cnf` is exactly how a miter ties the circuits' primary inputs
+/// together (see [`crate::Miter`]).
+///
+/// # Panics
+///
+/// Panics if `input_vars.len()` differs from the circuit's input count.
+#[must_use]
+pub fn encode_circuit(cnf: &mut Cnf, circuit: &Circuit, input_vars: &[Var]) -> Vec<Var> {
+    assert_eq!(
+        input_vars.len(),
+        circuit.inputs().len(),
+        "input variable count mismatch"
+    );
+    // Placeholder until assigned; every read net is an input or driven
+    // (guaranteed by Circuit validation), so all placeholders resolve.
+    let mut vars: Vec<Var> = vec![Var(u32::MAX); circuit.net_count()];
+    for (net, &v) in circuit.inputs().iter().zip(input_vars) {
+        vars[net.0] = v;
+    }
+    for g in circuit.gates() {
+        if vars[g.output.0] == Var(u32::MAX) {
+            vars[g.output.0] = cnf.fresh_var();
+        }
+    }
+    for g in circuit.gates() {
+        let ins: Vec<Lit> = g.inputs.iter().map(|i| Lit::pos(vars[i.0])).collect();
+        encode_gate(cnf, g.kind, &ins, Lit::pos(vars[g.output.0]));
+    }
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcircuit::CircuitBuilder;
+
+    #[test]
+    fn literal_packing_round_trips() {
+        let v = Var(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_neg());
+        assert!(n.is_neg());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::new(v, true), n);
+        assert!(p.apply(true) && !p.apply(false));
+        assert!(n.apply(false) && !n.apply(true));
+    }
+
+    #[test]
+    fn clause_dedup_and_tautology() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(&[Lit::pos(a), Lit::pos(a), Lit::neg(b)]);
+        assert_eq!(cnf.clauses().len(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+        cnf.add_clause(&[Lit::pos(a), Lit::neg(a)]);
+        assert_eq!(cnf.clauses().len(), 1, "tautologies are skipped");
+    }
+
+    /// Cross-checks every gate encoding against the gate's truth table:
+    /// for every assignment of (inputs, out), the clause set is satisfied
+    /// exactly when `out == kind.eval(inputs)`.
+    #[test]
+    fn gate_encodings_match_truth_tables() {
+        let cases = [
+            (GateKind::Inv, 1),
+            (GateKind::Buf, 1),
+            (GateKind::And, 2),
+            (GateKind::And, 4),
+            (GateKind::Nand, 2),
+            (GateKind::Nand, 3),
+            (GateKind::Or, 2),
+            (GateKind::Or, 5),
+            (GateKind::Nor, 1),
+            (GateKind::Nor, 2),
+            (GateKind::Nor, 3),
+            (GateKind::Xor, 2),
+            (GateKind::Xnor, 2),
+        ];
+        for (kind, arity) in cases {
+            let mut cnf = Cnf::new();
+            let ins: Vec<Var> = (0..arity).map(|_| cnf.fresh_var()).collect();
+            let out = cnf.fresh_var();
+            let in_lits: Vec<Lit> = ins.iter().map(|&v| Lit::pos(v)).collect();
+            encode_gate(&mut cnf, kind, &in_lits, Lit::pos(out));
+            for pattern in 0u32..1 << (arity + 1) {
+                let bits: Vec<bool> = (0..arity + 1).map(|i| pattern >> i & 1 == 1).collect();
+                let (input_bits, out_bit) = (&bits[..arity], bits[arity]);
+                let expect = kind.eval(input_bits) == out_bit;
+                assert_eq!(
+                    cnf.eval(&bits),
+                    expect,
+                    "{kind}/{arity} at pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    /// Encoding with negated input literals computes the function of the
+    /// complemented inputs (the form sweeping lemmas rely on).
+    #[test]
+    fn encode_gate_honours_literal_phases() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let out = cnf.fresh_var();
+        // out ↔ ¬(¬a) = a.
+        encode_gate(&mut cnf, GateKind::Inv, &[Lit::neg(a)], Lit::pos(out));
+        assert!(cnf.eval(&[true, true]));
+        assert!(cnf.eval(&[false, false]));
+        assert!(!cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[false, true]));
+    }
+
+    #[test]
+    fn encode_circuit_models_are_consistent_valuations() {
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let s = b.add_gate(GateKind::Xor, &[x, y], "s");
+        let c = b.add_gate(GateKind::And, &[x, y], "c");
+        b.mark_output(s);
+        b.mark_output(c);
+        let circuit = b.build().unwrap();
+
+        let mut cnf = Cnf::new();
+        let input_vars: Vec<Var> = circuit.inputs().iter().map(|_| cnf.fresh_var()).collect();
+        let vars = encode_circuit(&mut cnf, &circuit, &input_vars);
+        // For each input pattern, the unique model extension matches eval.
+        for pattern in 0u32..4 {
+            let bits = vec![pattern & 1 == 1, pattern >> 1 & 1 == 1];
+            let expect = circuit.eval(&bits);
+            let mut assign = vec![false; cnf.num_vars() as usize];
+            assign[input_vars[0].0 as usize] = bits[0];
+            assign[input_vars[1].0 as usize] = bits[1];
+            assign[vars[s.0].0 as usize] = expect[0];
+            assign[vars[c.0].0 as usize] = expect[1];
+            assert!(cnf.eval(&assign), "consistent valuation must satisfy");
+            // Flipping an output against its function must falsify.
+            assign[vars[s.0].0 as usize] = !expect[0];
+            assert!(!cnf.eval(&assign), "inconsistent valuation must fail");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Miter construction: the product circuit whose satisfiability decides
+//! boolean equivalence.
+//!
+//! A miter over `(original, mapped)` encodes both circuits into one CNF
+//! with *shared* primary-input variables (inputs are matched by net
+//! name, so mapped circuits may reorder them), XORs every corresponding
+//! output pair into a fresh difference variable, and asserts that at
+//! least one difference holds. The formula is unsatisfiable exactly
+//! when the circuits agree on every output for every input assignment;
+//! a model is a concrete counterexample input vector.
+
+use crate::cnf::{encode_circuit, encode_gate, Cnf, Lit, Var};
+use crate::dpll::{Solver, SolverStats, Verdict};
+use sigcircuit::{Circuit, GateKind};
+
+/// The two circuits' interfaces cannot be tied together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterfaceError {
+    /// Different primary-input counts.
+    InputCount {
+        /// Inputs of the original circuit.
+        original: usize,
+        /// Inputs of the mapped circuit.
+        mapped: usize,
+    },
+    /// An original input name has no counterpart in the mapped circuit.
+    InputName(String),
+    /// Different output counts (outputs correspond positionally).
+    OutputCount {
+        /// Outputs of the original circuit.
+        original: usize,
+        /// Outputs of the mapped circuit.
+        mapped: usize,
+    },
+}
+
+impl std::fmt::Display for InterfaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterfaceError::InputCount { original, mapped } => {
+                write!(f, "input count mismatch: {original} vs {mapped}")
+            }
+            InterfaceError::InputName(name) => {
+                write!(f, "input `{name}` missing from the mapped circuit")
+            }
+            InterfaceError::OutputCount { original, mapped } => {
+                write!(f, "output count mismatch: {original} vs {mapped}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterfaceError {}
+
+/// Matches the circuits' interfaces: returns, for each original input
+/// index, the index of the same-named input in the mapped circuit, and
+/// checks the output counts agree (outputs correspond positionally —
+/// mapping rebuilds them in order).
+///
+/// # Errors
+///
+/// An [`InterfaceError`] naming the first mismatch.
+pub fn match_interfaces(
+    original: &Circuit,
+    mapped: &Circuit,
+) -> Result<Vec<usize>, InterfaceError> {
+    if original.inputs().len() != mapped.inputs().len() {
+        return Err(InterfaceError::InputCount {
+            original: original.inputs().len(),
+            mapped: mapped.inputs().len(),
+        });
+    }
+    if original.outputs().len() != mapped.outputs().len() {
+        return Err(InterfaceError::OutputCount {
+            original: original.outputs().len(),
+            mapped: mapped.outputs().len(),
+        });
+    }
+    let mut perm = Vec::with_capacity(original.inputs().len());
+    for &net in original.inputs() {
+        let name = original.net_name(net);
+        let Some(found) = mapped
+            .inputs()
+            .iter()
+            .position(|&m| mapped.net_name(m) == name)
+        else {
+            return Err(InterfaceError::InputName(name.to_string()));
+        };
+        perm.push(found);
+    }
+    Ok(perm)
+}
+
+/// Verdict of a direct miter solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MiterVerdict {
+    /// The miter is unsatisfiable: the circuits are boolean-equivalent.
+    Equivalent,
+    /// A distinguishing input vector, in the original circuit's
+    /// [`Circuit::inputs`] order.
+    Counterexample(Vec<bool>),
+    /// The conflict budget ran out.
+    Unknown,
+}
+
+/// A constructed miter, ready to solve (or to feed the sweeping verify
+/// pipeline, which reuses the same joint encoding).
+#[derive(Debug, Clone)]
+pub struct Miter {
+    /// The joint CNF: both circuits plus output-difference constraints.
+    pub cnf: Cnf,
+    /// Shared primary-input variables, in the original circuit's order.
+    pub inputs: Vec<Var>,
+    /// Per-net variables of the original circuit.
+    pub original_vars: Vec<Var>,
+    /// Per-net variables of the mapped circuit.
+    pub mapped_vars: Vec<Var>,
+    /// One XOR-difference variable per output pair.
+    pub diffs: Vec<Var>,
+    /// For each original input index, the mapped circuit's input index
+    /// carrying the same name.
+    pub input_perm: Vec<usize>,
+}
+
+impl Miter {
+    /// Builds the miter of `(original, mapped)`.
+    ///
+    /// # Errors
+    ///
+    /// An [`InterfaceError`] if the interfaces cannot be tied.
+    pub fn build(original: &Circuit, mapped: &Circuit) -> Result<Miter, InterfaceError> {
+        let input_perm = match_interfaces(original, mapped)?;
+        let mut cnf = Cnf::new();
+        let inputs: Vec<Var> = original.inputs().iter().map(|_| cnf.fresh_var()).collect();
+        let original_vars = encode_circuit(&mut cnf, original, &inputs);
+        let mut mapped_inputs = vec![Var(0); mapped.inputs().len()];
+        for (i, &p) in input_perm.iter().enumerate() {
+            mapped_inputs[p] = inputs[i];
+        }
+        let mapped_vars = encode_circuit(&mut cnf, mapped, &mapped_inputs);
+        let mut diffs = Vec::with_capacity(original.outputs().len());
+        for (&oa, &ob) in original.outputs().iter().zip(mapped.outputs()) {
+            let d = cnf.fresh_var();
+            encode_gate(
+                &mut cnf,
+                GateKind::Xor,
+                &[Lit::pos(original_vars[oa.0]), Lit::pos(mapped_vars[ob.0])],
+                Lit::pos(d),
+            );
+            diffs.push(d);
+        }
+        if !diffs.is_empty() {
+            let any_diff: Vec<Lit> = diffs.iter().map(|&d| Lit::pos(d)).collect();
+            cnf.add_clause(&any_diff);
+        }
+        Ok(Miter {
+            cnf,
+            inputs,
+            original_vars,
+            mapped_vars,
+            diffs,
+            input_perm,
+        })
+    }
+
+    /// Decides the miter by branching on the shared primary inputs only
+    /// (every other variable is functionally propagated, so the model —
+    /// when one exists — is total). Returns at most `max_conflicts`
+    /// conflicts' worth of search before giving up.
+    #[must_use]
+    pub fn solve(&self, max_conflicts: u64) -> (MiterVerdict, SolverStats) {
+        if self.diffs.is_empty() {
+            return (MiterVerdict::Equivalent, SolverStats::default());
+        }
+        let mut solver = Solver::from_cnf(&self.cnf);
+        let verdict = match solver.solve(&[], &self.inputs, max_conflicts) {
+            Verdict::Unsat => MiterVerdict::Equivalent,
+            Verdict::Unknown => MiterVerdict::Unknown,
+            Verdict::Sat(model) => MiterVerdict::Counterexample(
+                self.inputs.iter().map(|v| model[v.0 as usize]).collect(),
+            ),
+        };
+        (verdict, solver.stats())
+    }
+
+    /// Reorders an original-input-order assignment into the mapped
+    /// circuit's input order (for replaying counterexamples).
+    #[must_use]
+    pub fn permute_inputs(&self, bits: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; bits.len()];
+        for (i, &p) in self.input_perm.iter().enumerate() {
+            out[p] = bits[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcircuit::CircuitBuilder;
+
+    /// XOR built two ways: native, and as (a ∨ b) ∧ ¬(a ∧ b).
+    fn xor_pair() -> (Circuit, Circuit) {
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let o = b.add_gate(GateKind::Xor, &[x, y], "o");
+        b.mark_output(o);
+        let native = b.build().unwrap();
+
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let or = b.add_gate(GateKind::Or, &[x, y], "or");
+        let nand = b.add_gate(GateKind::Nand, &[x, y], "nand");
+        let o = b.add_gate(GateKind::And, &[or, nand], "o");
+        b.mark_output(o);
+        let rebuilt = b.build().unwrap();
+        (native, rebuilt)
+    }
+
+    #[test]
+    fn equivalent_pair_is_unsat() {
+        let (a, b) = xor_pair();
+        let miter = Miter::build(&a, &b).unwrap();
+        let (verdict, _) = miter.solve(u64::MAX);
+        assert_eq!(verdict, MiterVerdict::Equivalent);
+    }
+
+    #[test]
+    fn inequivalent_pair_yields_validated_counterexample() {
+        let (a, _) = xor_pair();
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let o = b.add_gate(GateKind::Xnor, &[x, y], "o");
+        b.mark_output(o);
+        let wrong = b.build().unwrap();
+
+        let miter = Miter::build(&a, &wrong).unwrap();
+        let (verdict, _) = miter.solve(u64::MAX);
+        let MiterVerdict::Counterexample(bits) = verdict else {
+            panic!("expected counterexample, got {verdict:?}");
+        };
+        let va = a.eval(&bits);
+        let vb = wrong.eval(&miter.permute_inputs(&bits));
+        assert_ne!(va, vb, "counterexample must actually distinguish");
+    }
+
+    #[test]
+    fn reordered_inputs_are_tied_by_name() {
+        let (a, _) = xor_pair();
+        // Same function, inputs declared in the opposite order.
+        let mut b = CircuitBuilder::new();
+        let y = b.add_input("y");
+        let x = b.add_input("x");
+        let o = b.add_gate(GateKind::Xor, &[x, y], "o");
+        b.mark_output(o);
+        let swapped = b.build().unwrap();
+
+        let miter = Miter::build(&a, &swapped).unwrap();
+        assert_eq!(miter.input_perm, vec![1, 0]);
+        let (verdict, _) = miter.solve(u64::MAX);
+        assert_eq!(verdict, MiterVerdict::Equivalent);
+    }
+
+    #[test]
+    fn interface_mismatches_are_reported() {
+        let (a, _) = xor_pair();
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let z = b.add_input("z");
+        let o = b.add_gate(GateKind::Xor, &[x, z], "o");
+        b.mark_output(o);
+        let renamed = b.build().unwrap();
+        assert_eq!(
+            Miter::build(&a, &renamed).unwrap_err(),
+            InterfaceError::InputName("y".to_string())
+        );
+
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        b.mark_output(x);
+        let tiny = b.build().unwrap();
+        assert!(matches!(
+            Miter::build(&a, &tiny).unwrap_err(),
+            InterfaceError::InputCount { .. }
+        ));
+    }
+}

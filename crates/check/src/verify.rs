@@ -1,0 +1,640 @@
+//! Simulation-guided equivalence verification of circuit mappings.
+//!
+//! The direct miter solve (see [`crate::miter`]) is exponential on
+//! XOR-heavy cones — exactly the shape of the ISCAS parity benchmarks.
+//! This module makes the proof tractable the way production equivalence
+//! checkers do, by *SAT sweeping*:
+//!
+//! 1. **Sample**: both circuits are bit-parallel simulated on a few
+//!    hundred shared random input vectors ([`Circuit::eval_words`]);
+//!    every net gets a signature word-vector.
+//! 2. **Propose**: a mapped net whose signature equals an original
+//!    net's signature (possibly complemented) is a *candidate*
+//!    equivalence. Sampling can over-propose but never causes wrong
+//!    results — every candidate is proven before use.
+//! 3. **Prove**: candidates are discharged in topological (level)
+//!    order by two UNSAT queries under assumptions (`a ∧ ¬b` and
+//!    `¬a ∧ b`). A proven pair is added to the solver as a pair of
+//!    permanent binary clauses, so later queries — including the final
+//!    per-output checks — propagate across the equivalence frontier
+//!    instead of re-deriving it by search.
+//!
+//! Each query branches only on the cone of influence of its two nets,
+//! deepest level first, so conflicts surface immediately after the
+//! decisions that caused them. Counterexamples are *replayed* through
+//! [`Circuit::eval`] before being reported: the solver is never trusted
+//! on its own for an inequivalence verdict.
+
+use std::collections::HashMap;
+
+use crate::cnf::{Lit, Var};
+use crate::dpll::{Solver, SolverStats, Verdict};
+use crate::miter::{InterfaceError, Miter};
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+use sigcircuit::{map_with_policy, Circuit, MappingPolicy, NetId, NorMappingOptions};
+
+/// Tuning knobs of the verification pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// 64-bit words of random stimulus per input (`4` ⇒ 256 vectors).
+    pub sim_words: usize,
+    /// RNG seed for the stimulus (results are deterministic given this).
+    pub seed: u64,
+    /// Whether to sweep internal equivalences before the output checks.
+    /// Disabling this leaves the output queries to raw DPLL — fine for
+    /// small circuits, hopeless for XOR-heavy ISCAS miters.
+    pub sweep: bool,
+    /// Conflict budget per internal-candidate query (exceeding it skips
+    /// the candidate; never affects soundness).
+    pub candidate_budget: u64,
+    /// Conflict budget per final output query (exceeding it yields an
+    /// `Unknown` verdict for that output).
+    pub output_budget: u64,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            sim_words: 4,
+            seed: 0x516C_1355,
+            sweep: true,
+            candidate_budget: 4_000,
+            output_budget: 5_000_000,
+        }
+    }
+}
+
+/// Per-output verdict of a verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputVerdict {
+    /// Both UNSAT queries closed: the outputs agree everywhere.
+    Proven,
+    /// A replay-validated distinguishing input exists.
+    Refuted,
+    /// The conflict budget ran out (or a model failed replay).
+    Unknown,
+}
+
+impl OutputVerdict {
+    /// Canonical lowercase name (`proven`/`refuted`/`unknown`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutputVerdict::Proven => "proven",
+            OutputVerdict::Refuted => "refuted",
+            OutputVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// Attribution for one primary output.
+#[derive(Debug, Clone)]
+pub struct OutputCheck {
+    /// Net name of the output in the original circuit.
+    pub name: String,
+    /// What the pipeline established for this output.
+    pub verdict: OutputVerdict,
+    /// Conflicts spent on this output's queries.
+    pub conflicts: u64,
+}
+
+/// A replay-validated distinguishing input assignment.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Input values in the *original* circuit's [`Circuit::inputs`] order.
+    pub inputs: Vec<bool>,
+    /// Index of a differing output (into [`Circuit::outputs`]).
+    pub output: usize,
+    /// Name of that output net in the original circuit.
+    pub output_name: String,
+    /// The original circuit's value on that output.
+    pub original_value: bool,
+    /// The mapped circuit's value on that output.
+    pub mapped_value: bool,
+}
+
+/// Overall verdict of a verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquivVerdict {
+    /// Every output proven: the mapping is boolean-equivalent.
+    Equivalent,
+    /// At least one output refuted with a validated counterexample.
+    Inequivalent,
+    /// No refutation, but at least one output exhausted its budget.
+    Unknown,
+}
+
+impl EquivVerdict {
+    /// Canonical lowercase name (`equivalent`/`inequivalent`/`unknown`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EquivVerdict::Equivalent => "equivalent",
+            EquivVerdict::Inequivalent => "inequivalent",
+            EquivVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// Result of [`verify_mapping`]: the overall verdict, per-output
+/// attribution, the first counterexample found (if any), and search
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct EquivResult {
+    /// The aggregated verdict.
+    pub verdict: EquivVerdict,
+    /// Per-output attribution, in [`Circuit::outputs`] order.
+    pub outputs: Vec<OutputCheck>,
+    /// First replay-validated counterexample (present iff inequivalent).
+    pub counterexample: Option<Counterexample>,
+    /// Internal equivalence candidates proposed by sampling.
+    pub candidates: usize,
+    /// Candidates proven and installed as lemmas.
+    pub proven_pairs: usize,
+    /// Cumulative solver statistics over all queries.
+    pub stats: SolverStats,
+}
+
+impl EquivResult {
+    /// `true` when every output was proven.
+    #[must_use]
+    pub fn is_equivalent(&self) -> bool {
+        self.verdict == EquivVerdict::Equivalent
+    }
+}
+
+/// Per-net transitive-fanin helper for one circuit.
+struct Cone<'c> {
+    circuit: &'c Circuit,
+    /// Gate index driving each net, if any.
+    driver: Vec<Option<usize>>,
+    levels: Vec<usize>,
+}
+
+impl<'c> Cone<'c> {
+    fn new(circuit: &'c Circuit) -> Self {
+        let mut driver = vec![None; circuit.net_count()];
+        for (gi, g) in circuit.gates().iter().enumerate() {
+            driver[g.output.0] = Some(gi);
+        }
+        Cone {
+            circuit,
+            driver,
+            levels: circuit.net_levels(),
+        }
+    }
+
+    /// All nets in the transitive fanin of `root` (inclusive), paired
+    /// with their levels.
+    fn collect(&self, root: NetId, vars: &[Var], out: &mut Vec<(usize, Var)>) {
+        let mut seen = vec![false; self.circuit.net_count()];
+        let mut stack = vec![root];
+        seen[root.0] = true;
+        while let Some(net) = stack.pop() {
+            out.push((self.levels[net.0], vars[net.0]));
+            if let Some(gi) = self.driver[net.0] {
+                for &i in &self.circuit.gates()[gi].inputs {
+                    if !seen[i.0] {
+                        seen[i.0] = true;
+                        stack.push(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decision order for a query over two cones: union the cone variables
+/// and branch deepest-level-first, so every decision is immediately
+/// adjacent to already-constrained structure and conflicts fire after
+/// O(arity) decisions instead of after a full input assignment.
+fn decision_order(groups: &[(&Cone<'_>, &[Var], NetId)]) -> Vec<Var> {
+    let mut pairs: Vec<(usize, Var)> = Vec::new();
+    for &(cone, vars, root) in groups {
+        cone.collect(root, vars, &mut pairs);
+    }
+    // Sort descending by level; ties (and the shared input variables
+    // appearing in both cones at level 0) are made adjacent by the
+    // variable index for dedup.
+    pairs.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    pairs.dedup();
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Per-net simulation signatures of one circuit on shared stimulus.
+struct Signatures {
+    /// `sig[net][word]` — 64 sample lanes per word.
+    sig: Vec<Vec<u64>>,
+    words: usize,
+}
+
+impl Signatures {
+    fn sample(circuit: &Circuit, stimulus: &[Vec<u64>]) -> Self {
+        let words = stimulus.len();
+        let mut sig = vec![vec![0u64; words]; circuit.net_count()];
+        for (w, inputs) in stimulus.iter().enumerate() {
+            let nets = circuit.eval_words(inputs);
+            for (n, &word) in nets.iter().enumerate() {
+                sig[n][w] = word;
+            }
+        }
+        Signatures { sig, words }
+    }
+
+    /// Signature normalized to start with a 0 bit; `true` if complemented.
+    fn normalized(&self, net: NetId) -> (Vec<u64>, bool) {
+        let s = &self.sig[net.0];
+        if s[0] & 1 == 1 {
+            (s.iter().map(|w| !w).collect(), true)
+        } else {
+            (s.clone(), false)
+        }
+    }
+
+    /// The sampled bit of `net` in lane `(word, bit)`.
+    fn lane(&self, net: NetId, word: usize, bit: u32) -> bool {
+        self.sig[net.0][word] >> bit & 1 == 1
+    }
+}
+
+/// One side of the joint encoding, bundled for the query helpers.
+struct Side<'c> {
+    circuit: &'c Circuit,
+    vars: Vec<Var>,
+    cone: Cone<'c>,
+    sigs: Signatures,
+}
+
+/// Phase hints reproducing one sampled lane: a full consistent circuit
+/// valuation the solver can dive straight into when hunting a model.
+fn lane_hints(num_vars: usize, sides: [&Side<'_>; 2], word: usize, bit: u32) -> Vec<bool> {
+    let mut hints = vec![false; num_vars];
+    for side in sides {
+        for n in 0..side.circuit.net_count() {
+            hints[side.vars[n].0 as usize] = side.sigs.lane(NetId(n), word, bit);
+        }
+    }
+    hints
+}
+
+/// Finds a sample lane where `net_a` (side a) is 1 and `net_b` (side b,
+/// after phase adjustment) is 0 — evidence for the `a ∧ ¬b` query.
+fn witness_lane(
+    a: &Side<'_>,
+    net_a: NetId,
+    b: &Side<'_>,
+    net_b: NetId,
+    phase: bool,
+) -> Option<(usize, u32)> {
+    for w in 0..a.sigs.words {
+        let sa = a.sigs.sig[net_a.0][w];
+        let mut sb = b.sigs.sig[net_b.0][w];
+        if phase {
+            sb = !sb;
+        }
+        let diff = sa & !sb;
+        if diff != 0 {
+            return Some((w, diff.trailing_zeros()));
+        }
+    }
+    None
+}
+
+/// Proves or refutes `lit_a ≡ lit_b` with two assumption queries.
+/// Returns `Some(true)` for proven, `Some(false)` for refuted (a model
+/// exists, returned via `model_out`), `None` for budget exhaustion.
+#[allow(clippy::too_many_arguments)]
+fn prove_equal(
+    solver: &mut Solver,
+    lit_a: Lit,
+    lit_b: Lit,
+    order: &[Var],
+    budget: u64,
+    hints: [Option<Vec<bool>>; 2],
+    default_hints: &[bool],
+    model_out: &mut Option<Vec<bool>>,
+) -> Option<bool> {
+    let queries = [[lit_a, !lit_b], [!lit_a, lit_b]];
+    for (assumptions, hint) in queries.iter().zip(hints) {
+        solver.set_phase_hints(hint.as_deref().unwrap_or(default_hints));
+        match solver.solve(assumptions, order, budget) {
+            Verdict::Unsat => {}
+            Verdict::Sat(model) => {
+                *model_out = Some(model);
+                return Some(false);
+            }
+            Verdict::Unknown => return None,
+        }
+    }
+    Some(true)
+}
+
+/// Verifies that `mapped` is boolean-equivalent to `original`, with
+/// per-output attribution. Inputs are tied by net name (mapping
+/// preserves names), outputs positionally. Equivalence verdicts are
+/// SAT-proven; inequivalence verdicts carry a counterexample that has
+/// been replayed through [`Circuit::eval`] on both circuits.
+///
+/// # Errors
+///
+/// An [`InterfaceError`] if the circuits' interfaces cannot be tied.
+pub fn verify_mapping_with(
+    original: &Circuit,
+    mapped: &Circuit,
+    options: &VerifyOptions,
+) -> Result<EquivResult, InterfaceError> {
+    let miter = Miter::build(original, mapped)?;
+    let mut solver = Solver::from_cnf(&miter.cnf);
+    let num_vars = solver.num_vars();
+
+    // Shared random stimulus: original-input order, permuted for the
+    // mapped side so both simulations see identical assignments.
+    let words = options.sim_words.max(1);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let stimulus_a: Vec<Vec<u64>> = (0..words)
+        .map(|_| original.inputs().iter().map(|_| rng.next_u64()).collect())
+        .collect();
+    let stimulus_b: Vec<Vec<u64>> = stimulus_a
+        .iter()
+        .map(|ws| {
+            let mut out = vec![0u64; ws.len()];
+            for (i, &p) in miter.input_perm.iter().enumerate() {
+                out[p] = ws[i];
+            }
+            out
+        })
+        .collect();
+    let side_a = Side {
+        circuit: original,
+        vars: miter.original_vars.clone(),
+        cone: Cone::new(original),
+        sigs: Signatures::sample(original, &stimulus_a),
+    };
+    let side_b = Side {
+        circuit: mapped,
+        vars: miter.mapped_vars.clone(),
+        cone: Cone::new(mapped),
+        sigs: Signatures::sample(mapped, &stimulus_b),
+    };
+    let default_hints = lane_hints(num_vars, [&side_a, &side_b], 0, 0);
+
+    // Candidate table: normalized signature → shallowest original net.
+    let mut table: HashMap<Vec<u64>, (NetId, bool)> = HashMap::new();
+    let mut order_a: Vec<(usize, usize)> = (0..original.net_count())
+        .map(|n| (side_a.cone.levels[n], n))
+        .collect();
+    order_a.sort_unstable();
+    for &(_, n) in &order_a {
+        let (key, flipped) = side_a.sigs.normalized(NetId(n));
+        table.entry(key).or_insert((NetId(n), flipped));
+    }
+
+    let mut candidates = 0usize;
+    let mut proven_pairs = 0usize;
+    if options.sweep {
+        // Mapped nets in level order, primary inputs excluded (tied).
+        let mut order_b: Vec<(usize, usize)> = (0..mapped.net_count())
+            .map(|n| (side_b.cone.levels[n], n))
+            .filter(|&(l, _)| l > 0)
+            .collect();
+        order_b.sort_unstable();
+        for &(_, nb) in &order_b {
+            let m = NetId(nb);
+            let (key, flip_b) = side_b.sigs.normalized(m);
+            let Some(&(o, flip_a)) = table.get(&key) else {
+                continue;
+            };
+            candidates += 1;
+            let phase = flip_a ^ flip_b;
+            let lit_a = Lit::pos(side_a.vars[o.0]);
+            let lit_b = Lit::new(side_b.vars[m.0], phase);
+            let order = decision_order(&[
+                (&side_a.cone, &side_a.vars, o),
+                (&side_b.cone, &side_b.vars, m),
+            ]);
+            let mut model = None;
+            if prove_equal(
+                &mut solver,
+                lit_a,
+                lit_b,
+                &order,
+                options.candidate_budget,
+                [None, None],
+                &default_hints,
+                &mut model,
+            ) == Some(true)
+            {
+                solver.add_clause(&[!lit_a, lit_b]);
+                solver.add_clause(&[lit_a, !lit_b]);
+                proven_pairs += 1;
+            }
+        }
+    }
+
+    // Final per-output queries.
+    let mut outputs = Vec::with_capacity(original.outputs().len());
+    let mut counterexample: Option<Counterexample> = None;
+    for (j, (&oa, &ob)) in original.outputs().iter().zip(mapped.outputs()).enumerate() {
+        let name = original.net_name(oa).to_string();
+        let lit_a = Lit::pos(side_a.vars[oa.0]);
+        let lit_b = Lit::pos(side_b.vars[ob.0]);
+        let order = decision_order(&[
+            (&side_a.cone, &side_a.vars, oa),
+            (&side_b.cone, &side_b.vars, ob),
+        ]);
+        // Hints: if sampling already separates this output pair, dive
+        // straight into the separating lane for the matching query.
+        let hint_1 = witness_lane(&side_a, oa, &side_b, ob, false)
+            .map(|(w, b)| lane_hints(num_vars, [&side_a, &side_b], w, b));
+        let hint_2 = witness_lane(&side_b, ob, &side_a, oa, false)
+            .map(|(w, b)| lane_hints(num_vars, [&side_a, &side_b], w, b));
+        let before = solver.stats().conflicts;
+        let mut model = None;
+        let verdict = match prove_equal(
+            &mut solver,
+            lit_a,
+            lit_b,
+            &order,
+            options.output_budget,
+            [hint_1, hint_2],
+            &default_hints,
+            &mut model,
+        ) {
+            Some(true) => OutputVerdict::Proven,
+            None => OutputVerdict::Unknown,
+            Some(false) => {
+                let model = model.expect("refutation carries a model");
+                let bits: Vec<bool> = miter.inputs.iter().map(|v| model[v.0 as usize]).collect();
+                // Replay through boolean evaluation: the solver is not
+                // trusted on its own for an inequivalence verdict.
+                let va = original.eval(&bits);
+                let vb = mapped.eval(&miter.permute_inputs(&bits));
+                if va[j] != vb[j] {
+                    if counterexample.is_none() {
+                        counterexample = Some(Counterexample {
+                            inputs: bits,
+                            output: j,
+                            output_name: name.clone(),
+                            original_value: va[j],
+                            mapped_value: vb[j],
+                        });
+                    }
+                    OutputVerdict::Refuted
+                } else {
+                    // A model that fails replay would indicate a
+                    // decision-set miscalibration; degrade, never lie.
+                    OutputVerdict::Unknown
+                }
+            }
+        };
+        outputs.push(OutputCheck {
+            name,
+            verdict,
+            conflicts: solver.stats().conflicts - before,
+        });
+    }
+
+    let verdict = if outputs.iter().any(|o| o.verdict == OutputVerdict::Refuted) {
+        EquivVerdict::Inequivalent
+    } else if outputs.iter().any(|o| o.verdict == OutputVerdict::Unknown) {
+        EquivVerdict::Unknown
+    } else {
+        EquivVerdict::Equivalent
+    };
+    Ok(EquivResult {
+        verdict,
+        outputs,
+        counterexample,
+        candidates,
+        proven_pairs,
+        stats: solver.stats(),
+    })
+}
+
+/// [`verify_mapping_with`] under default [`VerifyOptions`].
+///
+/// # Errors
+///
+/// An [`InterfaceError`] if the circuits' interfaces cannot be tied.
+pub fn verify_mapping(original: &Circuit, mapped: &Circuit) -> Result<EquivResult, InterfaceError> {
+    verify_mapping_with(original, mapped, &VerifyOptions::default())
+}
+
+/// Maps `circuit` with `policy` (default NOR-mapping options) and
+/// proves the result equivalent to the original — the
+/// [`MappingPolicy`]-aware verification hook.
+///
+/// # Errors
+///
+/// An [`InterfaceError`] if mapping mangled the interface (which would
+/// itself be a mapping bug).
+pub fn verify_policy(
+    circuit: &Circuit,
+    policy: MappingPolicy,
+) -> Result<EquivResult, InterfaceError> {
+    let mapped = map_with_policy(circuit, policy, NorMappingOptions::default());
+    verify_mapping(circuit, &mapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigcircuit::{CircuitBuilder, GateKind};
+
+    fn full_adder() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let cin = b.add_input("cin");
+        let s1 = b.add_gate(GateKind::Xor, &[x, y], "s1");
+        let sum = b.add_gate(GateKind::Xor, &[s1, cin], "sum");
+        let c1 = b.add_gate(GateKind::And, &[x, y], "c1");
+        let c2 = b.add_gate(GateKind::And, &[s1, cin], "c2");
+        let cout = b.add_gate(GateKind::Or, &[c1, c2], "cout");
+        b.mark_output(sum);
+        b.mark_output(cout);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn both_policies_prove_equivalent_on_a_full_adder() {
+        let fa = full_adder();
+        for policy in [MappingPolicy::NorOnly, MappingPolicy::Native] {
+            let result = verify_policy(&fa, policy).unwrap();
+            assert!(
+                result.is_equivalent(),
+                "{policy}: expected proof, got {:?}",
+                result.verdict
+            );
+            assert!(result
+                .outputs
+                .iter()
+                .all(|o| o.verdict == OutputVerdict::Proven));
+            assert_eq!(result.outputs[0].name, "sum");
+            assert_eq!(result.outputs[1].name, "cout");
+        }
+    }
+
+    #[test]
+    fn a_broken_mapping_is_refuted_with_a_validated_witness() {
+        let fa = full_adder();
+        // "Mapping" that wires cout = AND(x, y) only — drops the c2 term.
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let cin = b.add_input("cin");
+        let s1 = b.add_gate(GateKind::Xor, &[x, y], "s1");
+        let sum = b.add_gate(GateKind::Xor, &[s1, cin], "sum");
+        let cout = b.add_gate(GateKind::And, &[x, y], "cout");
+        b.mark_output(sum);
+        b.mark_output(cout);
+        let broken = b.build().unwrap();
+
+        let result = verify_mapping(&fa, &broken).unwrap();
+        assert_eq!(result.verdict, EquivVerdict::Inequivalent);
+        assert_eq!(result.outputs[0].verdict, OutputVerdict::Proven);
+        assert_eq!(result.outputs[1].verdict, OutputVerdict::Refuted);
+        let cex = result.counterexample.expect("counterexample attached");
+        assert_eq!(cex.output_name, "cout");
+        let va = fa.eval(&cex.inputs);
+        let vb = broken.eval(&cex.inputs);
+        assert_eq!(va[cex.output], cex.original_value);
+        assert_eq!(vb[cex.output], cex.mapped_value);
+        assert_ne!(cex.original_value, cex.mapped_value);
+    }
+
+    #[test]
+    fn sweeping_installs_lemmas_on_structural_rewrites() {
+        let fa = full_adder();
+        let result = verify_policy(&fa, MappingPolicy::NorOnly).unwrap();
+        assert!(result.candidates > 0, "sampling must propose candidates");
+        assert!(result.proven_pairs > 0, "sweep must prove internal pairs");
+    }
+
+    #[test]
+    fn unknown_verdict_when_budget_is_starved() {
+        // A 16-input XOR chain mapped to NOR: with sweeping off and a
+        // single-conflict budget, nothing can be proven.
+        let mut b = CircuitBuilder::new();
+        let mut acc = b.add_input("i0");
+        for i in 1..16 {
+            let x = b.add_input(&format!("i{i}"));
+            acc = b.add_gate(GateKind::Xor, &[acc, x], &format!("x{i}"));
+        }
+        b.mark_output(acc);
+        let parity = b.build().unwrap();
+        let mapped = map_with_policy(
+            &parity,
+            MappingPolicy::NorOnly,
+            NorMappingOptions::default(),
+        );
+        let starved = VerifyOptions {
+            sweep: false,
+            output_budget: 1,
+            ..VerifyOptions::default()
+        };
+        let result = verify_mapping_with(&parity, &mapped, &starved).unwrap();
+        assert_eq!(result.verdict, EquivVerdict::Unknown);
+        assert!(result.counterexample.is_none());
+    }
+}

@@ -436,6 +436,60 @@ impl Circuit {
         self.outputs.iter().map(|o| nets[o.0]).collect()
     }
 
+    /// Bit-parallel boolean evaluation: bit `k` of `words[i]` is the value
+    /// of input `i` in the `k`-th of 64 simultaneous input vectors; the
+    /// returned vector holds one word **per net** (indexed by [`NetId`]),
+    /// each bit lane evaluated independently. Lane 0 of the result equals
+    /// [`Circuit::eval`] on the lane-0 bits, and so on — this is the
+    /// sampling primitive equivalence checkers use to propose internal
+    /// net correspondences before proving them (see the `sigcheck` crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` differs from the input count.
+    #[must_use]
+    pub fn eval_words(&self, words: &[u64]) -> Vec<u64> {
+        assert_eq!(words.len(), self.inputs.len(), "input count mismatch");
+        let mut nets = vec![0u64; self.net_names.len()];
+        for (net, &w) in self.inputs.iter().zip(words) {
+            nets[net.0] = w;
+        }
+        for &gi in &self.topo {
+            let g = &self.gates[gi];
+            let mut acc = nets[g.inputs[0].0];
+            match g.kind {
+                GateKind::Inv => acc = !acc,
+                GateKind::Buf => {}
+                GateKind::And => {
+                    for i in &g.inputs[1..] {
+                        acc &= nets[i.0];
+                    }
+                }
+                GateKind::Nand => {
+                    for i in &g.inputs[1..] {
+                        acc &= nets[i.0];
+                    }
+                    acc = !acc;
+                }
+                GateKind::Or => {
+                    for i in &g.inputs[1..] {
+                        acc |= nets[i.0];
+                    }
+                }
+                GateKind::Nor => {
+                    for i in &g.inputs[1..] {
+                        acc |= nets[i.0];
+                    }
+                    acc = !acc;
+                }
+                GateKind::Xor => acc ^= nets[g.inputs[1].0],
+                GateKind::Xnor => acc = !(acc ^ nets[g.inputs[1].0]),
+            }
+            nets[g.output.0] = acc;
+        }
+        nets
+    }
+
     /// Per-kind gate counts (for reporting, cf. Table I's `#NOR-gates`).
     #[must_use]
     pub fn gate_histogram(&self) -> HashMap<GateKind, usize> {
@@ -949,6 +1003,50 @@ mod tests {
         }"#;
         let err = serde_json::from_str::<Circuit>(zero_arity).unwrap_err();
         assert!(err.to_string().contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn eval_words_lanes_match_scalar_eval() {
+        let c = half_adder();
+        // All four input combinations in the low 4 lanes of one word pair.
+        let words = [0b0101u64, 0b0011u64]; // a = 1,0,1,0; b = 1,1,0,0
+        let nets = c.eval_words(&words);
+        for lane in 0..4 {
+            let bits = vec![words[0] >> lane & 1 == 1, words[1] >> lane & 1 == 1];
+            let expect = c.eval(&bits);
+            for (o, e) in c.outputs().iter().zip(&expect) {
+                assert_eq!(nets[o.0] >> lane & 1 == 1, *e, "lane {lane}");
+            }
+        }
+        // Every gate kind, including the 1-input ones, in one circuit.
+        let mut b = CircuitBuilder::new();
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let mut outs = Vec::new();
+        for (kind, ins) in [
+            (GateKind::Inv, vec![x]),
+            (GateKind::Buf, vec![y]),
+            (GateKind::And, vec![x, y]),
+            (GateKind::Nand, vec![x, y]),
+            (GateKind::Or, vec![x, y]),
+            (GateKind::Nor, vec![x, y]),
+            (GateKind::Xor, vec![x, y]),
+            (GateKind::Xnor, vec![x, y]),
+        ] {
+            let o = b.add_gate(kind, &ins, &format!("{kind}_out"));
+            b.mark_output(o);
+            outs.push(o);
+        }
+        let c = b.build().unwrap();
+        let words = [0b0101u64, 0b0011u64];
+        let nets = c.eval_words(&words);
+        for lane in 0..4 {
+            let bits = vec![words[0] >> lane & 1 == 1, words[1] >> lane & 1 == 1];
+            let expect = c.eval(&bits);
+            for (o, e) in c.outputs().iter().zip(&expect) {
+                assert_eq!(nets[o.0] >> lane & 1 == 1, *e, "lane {lane}");
+            }
+        }
     }
 
     proptest! {

@@ -10,6 +10,7 @@
 //! sigctl ping|stats|shutdown --addr HOST:PORT
 //! sigctl stats --json [--addr HOST:PORT]
 //! sigctl trace [--out PATH] [--addr HOST:PORT]
+//! sigctl verify --circuit <name|path> --library <lib> [--json]
 //! ```
 //!
 //! Sim flags: `--circuit <name|path>` (an existing file is sent inline —
@@ -54,6 +55,17 @@
 //! on the session's sim parameters (modulo the cache hit/miss echo);
 //! `stats` reports `sessions_open`/`delta_hits`/`gates_reeval`.
 //!
+//! `verify` runs **no service at all**: it maps the circuit exactly the
+//! way the daemon would for the given `--library` (benchmark names use
+//! the precomputed mapped artifact, inline files go through
+//! `map_for_simulation`) and then *proves* the mapped circuit
+//! boolean-equivalent to the original with the `sigcheck` SAT pipeline
+//! (Tseitin miter + simulation-guided sweeping). Human output is a
+//! per-output attribution summary; `--json` prints one machine-readable
+//! object. Exit status: `0` proven equivalent, `1` inequivalent (the
+//! counterexample input assignment is printed), `3` undecided within
+//! the conflict budget.
+//!
 //! `send --vcd PATH` additionally writes the response's output traces as
 //! a VCD file for waveform viewers.
 
@@ -70,7 +82,7 @@ use sigwave::{DigitalTrace, Level, VcdSignal};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sigctl <request|send|golden|session|ping|stats|trace|shutdown> \
+        "usage: sigctl <request|send|golden|verify|session|ping|stats|trace|shutdown> \
          [open|delta|close] [--addr HOST:PORT] [--circuit NAME|PATH] \
          [--models NAME] [--library nor-only|native] [--seed N] [--mu S] \
          [--sigma S] [--transitions N] [--compare] [--no-timing] [--timings] \
@@ -248,6 +260,7 @@ fn main() {
             }
         }
         "trace" => trace(&o),
+        "verify" => verify(&o),
         "shutdown" => finish(&exchange(&o.addr, &Request::Shutdown { id: o.id })),
         _ => usage(),
     }
@@ -462,6 +475,206 @@ fn golden(o: &Options) {
             }),
         }
     }
+}
+
+/// `sigctl verify`: prove the `--library` mapping of `--circuit`
+/// boolean-equivalent to the original circuit, no daemon involved.
+fn verify(o: &Options) {
+    let Some(policy) = sigcircuit::MappingPolicy::from_name(&o.sim.library) else {
+        eprintln!(
+            "sigctl: verify supports libraries {} only, not {:?}",
+            sigserve::registry::LIBRARIES.join("/"),
+            o.sim.library
+        );
+        std::process::exit(2);
+    };
+    // Verify the artifact the daemon would actually simulate: the
+    // precomputed mapped benchmark for names, `map_for_simulation` for
+    // inline files.
+    let (label, original, mapped) = match &o.sim.circuit {
+        CircuitSource::Name(name) => {
+            let bench = sigcircuit::Benchmark::by_name(name).unwrap_or_else(|n| {
+                eprintln!("sigctl: unknown benchmark {n:?}");
+                std::process::exit(1);
+            });
+            (
+                name.clone(),
+                bench.original.clone(),
+                bench.circuit_for(policy).clone(),
+            )
+        }
+        CircuitSource::Inline(text) => {
+            let parsed = sigcircuit::parse_circuit(text, sigcircuit::sniff_format(text))
+                .unwrap_or_else(|e| {
+                    eprintln!("sigctl: {e}");
+                    std::process::exit(1);
+                });
+            let mapped = sigserve::service::map_for_simulation(parsed.clone(), policy);
+            ("<inline>".to_string(), parsed, mapped)
+        }
+    };
+    let result = sigcheck::verify_mapping(&original, &mapped).unwrap_or_else(|e| {
+        eprintln!("sigctl: verify cannot tie interfaces: {e}");
+        std::process::exit(1);
+    });
+    if o.json {
+        println!(
+            "{}",
+            verify_json(&label, &o.sim.library, &original, &result)
+        );
+    } else {
+        print_verify_human(&label, &o.sim.library, &original, &mapped, &result);
+    }
+    match result.verdict {
+        sigcheck::EquivVerdict::Equivalent => {}
+        sigcheck::EquivVerdict::Inequivalent => std::process::exit(1),
+        sigcheck::EquivVerdict::Unknown => std::process::exit(3),
+    }
+}
+
+fn print_verify_human(
+    label: &str,
+    library: &str,
+    original: &sigcircuit::Circuit,
+    mapped: &sigcircuit::Circuit,
+    result: &sigcheck::EquivResult,
+) {
+    let proven = count_verdict(result, sigcheck::OutputVerdict::Proven);
+    let refuted = count_verdict(result, sigcheck::OutputVerdict::Refuted);
+    let unknown = count_verdict(result, sigcheck::OutputVerdict::Unknown);
+    println!(
+        "verify {label} vs {library}: {} ({} -> {} gates)",
+        result.verdict.as_str().to_uppercase(),
+        original.gates().len(),
+        mapped.gates().len(),
+    );
+    println!("  outputs: {proven} proven, {refuted} refuted, {unknown} unknown");
+    println!(
+        "  sweep: {}/{} internal equivalences proven",
+        result.proven_pairs, result.candidates
+    );
+    println!(
+        "  search: {} decisions, {} propagations, {} conflicts over {} solver calls",
+        result.stats.decisions,
+        result.stats.propagations,
+        result.stats.conflicts,
+        result.stats.solves,
+    );
+    for check in &result.outputs {
+        if check.verdict != sigcheck::OutputVerdict::Proven {
+            println!(
+                "  output {}: {} ({} conflicts)",
+                check.name,
+                check.verdict.as_str(),
+                check.conflicts
+            );
+        }
+    }
+    if let Some(cex) = &result.counterexample {
+        println!(
+            "  counterexample: output {} is {} in the original but {} when mapped, under:",
+            cex.output_name,
+            u8::from(cex.original_value),
+            u8::from(cex.mapped_value),
+        );
+        let assignment: Vec<String> = original
+            .inputs()
+            .iter()
+            .zip(&cex.inputs)
+            .map(|(&net, &bit)| format!("{}={}", original.net_name(net), u8::from(bit)))
+            .collect();
+        println!("    {}", assignment.join(" "));
+    }
+}
+
+fn count_verdict(result: &sigcheck::EquivResult, v: sigcheck::OutputVerdict) -> usize {
+    result.outputs.iter().filter(|c| c.verdict == v).count()
+}
+
+/// One machine-readable JSON object for `verify --json` (the encoder's
+/// stable key order; counterexample `null` when equivalent).
+fn verify_json(
+    label: &str,
+    library: &str,
+    original: &sigcircuit::Circuit,
+    result: &sigcheck::EquivResult,
+) -> String {
+    use serde::Value;
+    let outputs = Value::Arr(
+        result
+            .outputs
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(c.name.clone())),
+                    (
+                        "verdict".to_string(),
+                        Value::Str(c.verdict.as_str().to_string()),
+                    ),
+                    ("conflicts".to_string(), Value::Num(c.conflicts as f64)),
+                ])
+            })
+            .collect(),
+    );
+    let counterexample = match &result.counterexample {
+        None => Value::Null,
+        Some(cex) => Value::Obj(vec![
+            (
+                "inputs".to_string(),
+                Value::Obj(
+                    original
+                        .inputs()
+                        .iter()
+                        .zip(&cex.inputs)
+                        .map(|(&net, &bit)| (original.net_name(net).to_string(), Value::Bool(bit)))
+                        .collect(),
+                ),
+            ),
+            ("output".to_string(), Value::Str(cex.output_name.clone())),
+            ("original".to_string(), Value::Bool(cex.original_value)),
+            ("mapped".to_string(), Value::Bool(cex.mapped_value)),
+        ]),
+    };
+    let value = Value::Obj(vec![
+        ("circuit".to_string(), Value::Str(label.to_string())),
+        ("library".to_string(), Value::Str(library.to_string())),
+        (
+            "verdict".to_string(),
+            Value::Str(result.verdict.as_str().to_string()),
+        ),
+        ("outputs".to_string(), outputs),
+        ("counterexample".to_string(), counterexample),
+        (
+            "candidates".to_string(),
+            Value::Num(result.candidates as f64),
+        ),
+        (
+            "proven_pairs".to_string(),
+            Value::Num(result.proven_pairs as f64),
+        ),
+        (
+            "stats".to_string(),
+            Value::Obj(vec![
+                (
+                    "decisions".to_string(),
+                    Value::Num(result.stats.decisions as f64),
+                ),
+                (
+                    "propagations".to_string(),
+                    Value::Num(result.stats.propagations as f64),
+                ),
+                (
+                    "conflicts".to_string(),
+                    Value::Num(result.stats.conflicts as f64),
+                ),
+                ("solves".to_string(), Value::Num(result.stats.solves as f64)),
+            ]),
+        ),
+    ]);
+    serde_json::to_string(&value).unwrap_or_else(|e| {
+        eprintln!("sigctl: verify JSON encode failed: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn write_vcd_file(path: &std::path::Path, result: &sigserve::SimResult) {

@@ -1,5 +1,243 @@
 //! Workspace-root crate.
 //!
-//! This package exists solely so the repo-root `tests/` (integration
-//! tests) and `examples/` directories are first-class Cargo targets; all
-//! functionality lives in the crates under `crates/`.
+//! This package exists so the repo-root `tests/` (integration tests) and
+//! `examples/` directories are first-class Cargo targets; production
+//! functionality lives in the crates under `crates/`. The one thing it
+//! does export is [`digital`], the shared digital-evaluation test
+//! utilities that the equivalence/mutation/headline integration tests
+//! build on (they were previously duplicated ad hoc per test file).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digital {
+    //! Shared digital-evaluation helpers for integration tests.
+    //!
+    //! Two replay paths are provided on purpose: [`eval_outputs`] goes
+    //! through [`Circuit::eval`] (pure boolean recursion), while
+    //! [`settle_outputs`] drives `digilog`'s event-driven simulator with
+    //! constant stimuli and reads the settled levels. Witness validation
+    //! in the SAT-equivalence tests replays counterexamples through
+    //! *both*, so a solver bug cannot hide behind a matching bug in a
+    //! single evaluator.
+
+    use std::collections::HashMap;
+
+    use digilog::{simulate, DigitalSimError, GateChannels, PureDelay};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use sigcircuit::{Circuit, CircuitBuilder, GateKind, NetId};
+    use sigwave::{DigitalTrace, Level};
+
+    /// A fresh deterministic RNG for a test (thin wrapper so test files
+    /// don't each re-import the seeding traits).
+    #[must_use]
+    pub fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// A random input assignment for `circuit`.
+    #[must_use]
+    pub fn random_bits(circuit: &Circuit, rng: &mut StdRng) -> Vec<bool> {
+        (0..circuit.inputs().len()).map(|_| rng.gen()).collect()
+    }
+
+    /// Boolean outputs of `circuit` on `bits` (in [`Circuit::inputs`]
+    /// order) via pure boolean evaluation.
+    #[must_use]
+    pub fn eval_outputs(circuit: &Circuit, bits: &[bool]) -> Vec<bool> {
+        circuit.eval(bits)
+    }
+
+    /// Reorders an input assignment given in `from`'s input order into
+    /// `to`'s input order, matching inputs by net name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input name of `from` is missing in `to`.
+    #[must_use]
+    pub fn permute_inputs(from: &Circuit, to: &Circuit, bits: &[bool]) -> Vec<bool> {
+        let mut out = vec![false; to.inputs().len()];
+        for (&net, &bit) in from.inputs().iter().zip(bits) {
+            let name = from.net_name(net);
+            let pos = to
+                .inputs()
+                .iter()
+                .position(|&t| to.net_name(t) == name)
+                .unwrap_or_else(|| panic!("input `{name}` missing in target circuit"));
+            out[pos] = bit;
+        }
+        out
+    }
+
+    /// Settled output levels of `circuit` on constant input stimuli,
+    /// obtained through the event-driven digital simulator (zero-delay
+    /// channels; combinational circuits settle immediately).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DigitalSimError`] from the simulator.
+    pub fn settle_outputs(circuit: &Circuit, bits: &[bool]) -> Result<Vec<bool>, DigitalSimError> {
+        let stimuli: HashMap<NetId, DigitalTrace> = circuit
+            .inputs()
+            .iter()
+            .zip(bits)
+            .map(|(&net, &bit)| (net, DigitalTrace::constant(Level::from_bool(bit))))
+            .collect();
+        let channels = GateChannels::uniform(circuit, PureDelay::symmetric(0.0));
+        let result = simulate(circuit, &stimuli, &channels)?;
+        Ok(circuit
+            .outputs()
+            .iter()
+            .map(|&o| result.trace(o).final_level().is_high())
+            .collect())
+    }
+
+    /// Asserts that two circuits (inputs matched by name, outputs
+    /// positionally) agree on `samples` random input vectors — the
+    /// sampled-parity check that predates SAT proofs, kept as a fast
+    /// smoke layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first disagreeing assignment.
+    pub fn assert_agree_on_random(a: &Circuit, b: &Circuit, samples: usize, seed: u64) {
+        let mut r = rng(seed);
+        for _ in 0..samples {
+            let bits = random_bits(a, &mut r);
+            let va = eval_outputs(a, &bits);
+            let vb = eval_outputs(b, &permute_inputs(a, b, &bits));
+            assert_eq!(va, vb, "circuits disagree on sampled inputs {bits:?}");
+        }
+    }
+
+    /// Builds a random multi-kind DAG (the `sigsim` parity-proptest
+    /// generator, generalized): up to `max_inputs` primary inputs and
+    /// `max_gates` gates drawn from every [`GateKind`], each reading
+    /// random earlier nets. The single output is always gate-driven.
+    #[must_use]
+    pub fn random_dag(seed: u64, max_inputs: usize, max_gates: usize) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = CircuitBuilder::new();
+        let n_inputs = rng.gen_range(1..max_inputs.max(2));
+        let mut nets: Vec<NetId> = (0..n_inputs)
+            .map(|i| b.add_input(&format!("i{i}")))
+            .collect();
+        let n_gates = rng.gen_range(1..max_gates.max(2));
+        for g in 0..n_gates {
+            let kind = match rng.gen_range(0..8u32) {
+                0 => GateKind::Inv,
+                1 => GateKind::Buf,
+                2 => GateKind::And,
+                3 => GateKind::Nand,
+                4 => GateKind::Or,
+                5 => GateKind::Nor,
+                6 => GateKind::Xor,
+                _ => GateKind::Xnor,
+            };
+            let arity = match kind {
+                GateKind::Inv | GateKind::Buf => 1,
+                GateKind::Xor | GateKind::Xnor => 2,
+                GateKind::Nor => rng.gen_range(1..4usize),
+                _ => rng.gen_range(2..4usize),
+            };
+            let mut ins: Vec<NetId> = Vec::new();
+            while ins.len() < arity {
+                let pick = nets[rng.gen_range(0..nets.len())];
+                if !ins.contains(&pick) {
+                    ins.push(pick);
+                } else if nets.len() <= ins.len() {
+                    break; // not enough distinct nets for this arity
+                }
+            }
+            if ins.len() < arity {
+                continue;
+            }
+            let out = b.add_gate(kind, &ins, &format!("g{g}"));
+            nets.push(out);
+        }
+        if nets.len() == n_inputs {
+            // Every roll skipped: force a gate-driven output.
+            nets.push(b.add_gate(GateKind::Inv, &[nets[0]], "g_fallback"));
+        }
+        b.mark_output(*nets.last().expect("at least one net"));
+        b.build().expect("random DAG is valid")
+    }
+
+    /// A structural copy of `circuit` with output `j` routed through an
+    /// extra inverter — the canonical *inequivalent* partner for oracle
+    /// tests (every input assignment flips that output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn with_inverted_output(circuit: &Circuit, j: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let mut map: Vec<Option<NetId>> = vec![None; circuit.net_count()];
+        for &i in circuit.inputs() {
+            map[i.0] = Some(b.add_input(circuit.net_name(i)));
+        }
+        for &gi in circuit.topological_gates() {
+            let g = &circuit.gates()[gi];
+            let ins: Vec<NetId> = g
+                .inputs
+                .iter()
+                .map(|i| map[i.0].expect("topological order"))
+                .collect();
+            map[g.output.0] = Some(b.add_gate(g.kind, &ins, circuit.net_name(g.output)));
+        }
+        for (k, &o) in circuit.outputs().iter().enumerate() {
+            let mapped = map[o.0].expect("outputs are driven");
+            if k == j {
+                let inv = b.add_gate(GateKind::Inv, &[mapped], "__oracle_inv");
+                b.mark_output(inv);
+            } else {
+                b.mark_output(mapped);
+            }
+        }
+        b.build().expect("inverted copy is valid")
+    }
+
+    /// Outcome of replaying a distinguishing witness on two circuits.
+    #[derive(Debug, Clone)]
+    pub struct WitnessReplay {
+        /// Outputs of the first circuit (boolean evaluation).
+        pub original_outputs: Vec<bool>,
+        /// Outputs of the second circuit (boolean evaluation).
+        pub mapped_outputs: Vec<bool>,
+        /// Output indices where the circuits differ.
+        pub differing: Vec<usize>,
+    }
+
+    /// Replays a counterexample input assignment (in `original`'s input
+    /// order) through **both** evaluation paths of both circuits: pure
+    /// boolean evaluation and the event-driven digital simulator. The
+    /// two paths must agree with each other on each circuit — a witness
+    /// is only as trustworthy as the evaluators that confirm it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digital simulator fails or disagrees with boolean
+    /// evaluation on either circuit.
+    #[must_use]
+    pub fn replay_witness(original: &Circuit, mapped: &Circuit, bits: &[bool]) -> WitnessReplay {
+        let mapped_bits = permute_inputs(original, mapped, bits);
+        let va = eval_outputs(original, bits);
+        let vb = eval_outputs(mapped, &mapped_bits);
+        let sa = settle_outputs(original, bits).expect("digital sim of original");
+        let sb = settle_outputs(mapped, &mapped_bits).expect("digital sim of mapped");
+        assert_eq!(va, sa, "boolean eval vs digital sim split on original");
+        assert_eq!(vb, sb, "boolean eval vs digital sim split on mapped");
+        let differing = va
+            .iter()
+            .zip(&vb)
+            .enumerate()
+            .filter_map(|(i, (x, y))| (x != y).then_some(i))
+            .collect();
+        WitnessReplay {
+            original_outputs: va,
+            mapped_outputs: vb,
+            differing,
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Mutation-negative tests of the SAT equivalence checker: the solver
+//! is itself under test here. Each case plants a single fault in a
+//! mapped circuit — flip one gate's kind, swap one gate input to a
+//! different net, or drop one inverter — and demands that `sigcheck`
+//! (a) returns an inequivalence verdict, and (b) hands back a
+//! counterexample that, replayed through *both* boolean evaluation and
+//! the event-driven digital simulator, actually produces differing
+//! outputs. A checker that proved mutants equivalent, or fabricated
+//! witnesses, fails here.
+
+use sigcheck::{verify_mapping, EquivVerdict};
+use sigcircuit::{Benchmark, Circuit, CircuitBuilder, GateKind, NetId};
+use sigrepro::digital::replay_witness;
+
+/// How `rebuild` should copy one gate.
+enum Edit {
+    /// Emit a gate with this kind and these (already remapped) inputs.
+    Replace(GateKind, Vec<NetId>),
+    /// Skip the gate; alias its output to this (already remapped) net.
+    Alias(NetId),
+}
+
+/// Rebuilds `circuit` gate by gate in topological order, letting `edit`
+/// rewrite each gate as it is copied. `edit` receives the gate index,
+/// its kind, and its inputs remapped into the new circuit's id space.
+fn rebuild(circuit: &Circuit, mut edit: impl FnMut(usize, GateKind, &[NetId]) -> Edit) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let mut map: Vec<Option<NetId>> = vec![None; circuit.net_count()];
+    for &i in circuit.inputs() {
+        map[i.0] = Some(b.add_input(circuit.net_name(i)));
+    }
+    for &gi in circuit.topological_gates() {
+        let g = &circuit.gates()[gi];
+        let ins: Vec<NetId> = g
+            .inputs
+            .iter()
+            .map(|i| map[i.0].expect("topological order"))
+            .collect();
+        let out = match edit(gi, g.kind, &ins) {
+            Edit::Replace(kind, new_ins) => b.add_gate(kind, &new_ins, circuit.net_name(g.output)),
+            Edit::Alias(net) => net,
+        };
+        map[g.output.0] = Some(out);
+    }
+    for &o in circuit.outputs() {
+        b.mark_output(map[o.0].expect("outputs are driven"));
+    }
+    b.build().expect("mutant is a valid circuit")
+}
+
+/// `true` if the two circuits differ on at least one of 256 sampled
+/// input vectors — the guard that keeps every planted mutant *semantic*
+/// (an equivalent mutant would make the SAT assertion vacuous).
+fn sampled_difference(a: &Circuit, b: &Circuit) -> bool {
+    use rand::{rngs::StdRng, RngCore, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x0DD5_EED5);
+    for _ in 0..4 {
+        let words: Vec<u64> = a.inputs().iter().map(|_| rng.next_u64()).collect();
+        let na = a.eval_words(&words);
+        let nb = b.eval_words(&words);
+        let differs = a
+            .outputs()
+            .iter()
+            .zip(b.outputs())
+            .any(|(&oa, &ob)| na[oa.0] != nb[ob.0]);
+        if differs {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the full mutation protocol: verify, demand SAT (inequivalent),
+/// then validate the witness through both simulation paths.
+fn assert_refuted_with_valid_witness(original: &Circuit, mutant: &Circuit, what: &str) {
+    let result = verify_mapping(original, mutant).expect("interfaces still tie");
+    assert_eq!(
+        result.verdict,
+        EquivVerdict::Inequivalent,
+        "{what}: the checker must refute a semantic mutant"
+    );
+    let cex = result
+        .counterexample
+        .expect("inequivalence always carries a counterexample");
+    let replay = replay_witness(original, mutant, &cex.inputs);
+    assert!(
+        !replay.differing.is_empty(),
+        "{what}: witness must distinguish the circuits under replay"
+    );
+    assert!(
+        replay.differing.contains(&cex.output),
+        "{what}: witness must distinguish at the attributed output {}",
+        cex.output_name
+    );
+    assert_eq!(
+        replay.original_outputs[cex.output], cex.original_value,
+        "{what}: reported original value must match replay"
+    );
+    assert_eq!(
+        replay.mapped_outputs[cex.output], cex.mapped_value,
+        "{what}: reported mapped value must match replay"
+    );
+    assert_ne!(cex.original_value, cex.mapped_value);
+}
+
+/// Flips the kind of one gate (the first site producing a semantic
+/// change): NOR↔NAND on two-input gates, AND↔OR, XOR↔XNOR, INV↔BUF.
+fn flip_one_gate_kind(mapped: &Circuit) -> Option<Circuit> {
+    for (target, g) in mapped.gates().iter().enumerate() {
+        let flipped = match (g.kind, g.inputs.len()) {
+            (GateKind::Nor, 2) => GateKind::Nand,
+            (GateKind::Nand, 2) => GateKind::Nor,
+            (GateKind::And, 2) => GateKind::Or,
+            (GateKind::Or, 2) => GateKind::And,
+            (GateKind::Xor, 2) => GateKind::Xnor,
+            (GateKind::Xnor, 2) => GateKind::Xor,
+            (GateKind::Inv, 1) => GateKind::Buf,
+            _ => continue,
+        };
+        let mutant = rebuild(mapped, |gi, kind, ins| {
+            Edit::Replace(if gi == target { flipped } else { kind }, ins.to_vec())
+        });
+        if sampled_difference(mapped, &mutant) {
+            return Some(mutant);
+        }
+    }
+    None
+}
+
+/// Swaps one input of one gate to a primary input it doesn't read.
+fn swap_one_input(mapped: &Circuit) -> Option<Circuit> {
+    for target in 0..mapped.gates().len() {
+        let g = &mapped.gates()[target];
+        let Some(sub_pos) = mapped.inputs().iter().position(|i| !g.inputs.contains(i)) else {
+            continue;
+        };
+        let mutant = rebuild(mapped, |gi, kind, ins| {
+            if gi == target {
+                let mut swapped = ins.to_vec();
+                // `rebuild` interns the primary inputs first, in order,
+                // so the substitute's remapped id is positional.
+                swapped[0] = NetId(sub_pos);
+                Edit::Replace(kind, swapped)
+            } else {
+                Edit::Replace(kind, ins.to_vec())
+            }
+        });
+        if sampled_difference(mapped, &mutant) {
+            return Some(mutant);
+        }
+    }
+    None
+}
+
+/// Drops one inverter: its fanout reads the inverter's input directly.
+fn drop_one_inverter(mapped: &Circuit) -> Option<Circuit> {
+    for target in 0..mapped.gates().len() {
+        let g = &mapped.gates()[target];
+        let is_inverter =
+            g.kind == GateKind::Inv || (g.kind == GateKind::Nor && g.inputs.len() == 1);
+        if !is_inverter {
+            continue;
+        }
+        let mutant = rebuild(mapped, |gi, kind, ins| {
+            if gi == target {
+                Edit::Alias(ins[0])
+            } else {
+                Edit::Replace(kind, ins.to_vec())
+            }
+        });
+        if sampled_difference(mapped, &mutant) {
+            return Some(mutant);
+        }
+    }
+    None
+}
+
+#[test]
+fn flipped_gate_kinds_are_refuted() {
+    for name in ["c17", "c499"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        for (tag, mapped) in [("nor", &bench.nor_mapped), ("native", &bench.native)] {
+            let mutant = flip_one_gate_kind(mapped)
+                .unwrap_or_else(|| panic!("{name}/{tag}: no semantic kind-flip site"));
+            assert_refuted_with_valid_witness(
+                &bench.original,
+                &mutant,
+                &format!("{name}/{tag}/kind-flip"),
+            );
+        }
+    }
+}
+
+#[test]
+fn swapped_inputs_are_refuted() {
+    for name in ["c17", "c499"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let mutant = swap_one_input(&bench.nor_mapped)
+            .unwrap_or_else(|| panic!("{name}: no semantic input-swap site"));
+        assert_refuted_with_valid_witness(&bench.original, &mutant, &format!("{name}/input-swap"));
+    }
+}
+
+#[test]
+fn dropped_inverters_are_refuted() {
+    for name in ["c17", "c499", "c1355"] {
+        let bench = Benchmark::by_name(name).expect("benchmark");
+        let mutant = drop_one_inverter(&bench.nor_mapped)
+            .unwrap_or_else(|| panic!("{name}: no semantic inverter-drop site"));
+        assert_refuted_with_valid_witness(
+            &bench.original,
+            &mutant,
+            &format!("{name}/inverter-drop"),
+        );
+    }
+}
+
+/// The harness itself is honest: the *unmutated* mapped circuit still
+/// verifies, so refutations above cannot stem from a broken baseline.
+#[test]
+fn unmutated_baselines_still_verify() {
+    let bench = Benchmark::by_name("c17").expect("benchmark");
+    let result = verify_mapping(&bench.original, &bench.nor_mapped).expect("ties");
+    assert_eq!(result.verdict, EquivVerdict::Equivalent);
+}

@@ -11,9 +11,6 @@
 
 use std::path::PathBuf;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use nanospice::EngineConfig;
 use sigchar::{AnalogOptions, DelayTable};
 use sigcircuit::Benchmark;
@@ -55,7 +52,7 @@ fn mean_errors(
     let mut dig = 0.0;
     let mut speedup = 0.0;
     for r in 0..runs {
-        let mut rng = StdRng::seed_from_u64(1000 + r as u64);
+        let mut rng = sigrepro::digital::rng(1000 + r as u64);
         let stimuli = random_stimuli(&bench.nor_mapped, spec, &mut rng);
         let outcome = compare_circuit(
             &bench.nor_mapped,
