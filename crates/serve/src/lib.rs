@@ -28,13 +28,19 @@
 //! specified in `docs/protocol.md`; cache keys and backpressure
 //! semantics are documented in `docs/architecture.md`.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one FFI module ([`reactor`], which
+// wraps the three epoll syscalls) can opt in; every other module stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod cli;
+pub mod mux;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod session;
@@ -46,7 +52,7 @@ pub use protocol::{
     StatsReply, MAX_FRAME_BYTES,
 };
 pub use registry::{preset_config, DelaySource, ModelRegistry, ModelSet, RegistryError};
-pub use server::{run_connection, serve_stdio, serve_tcp};
+pub use server::{run_connection, serve_stdio, serve_tcp, serve_tcp_blocking};
 pub use service::{run_sim, run_sim_edited, Handled, Service, ServiceConfig};
 pub use session::SessionTable;
 

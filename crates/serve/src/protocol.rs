@@ -460,6 +460,17 @@ pub struct StatsReply {
     /// The daemon's observability mode (`off`/`counters`/`trace`); empty
     /// when talking to a pre-observability daemon.
     pub obs_mode: String,
+    /// Connections currently open on the daemon's multiplexed transport
+    /// (`0` from pre-async daemons, which don't track the gauge).
+    pub connections_open: u64,
+    /// Frames read while their connection already had a request in
+    /// flight — pipelining actually observed on the wire (`0` from
+    /// pre-async daemons).
+    pub frames_pipelined: u64,
+    /// Heavy frames rejected by the daemon-wide admission budget before
+    /// reaching the scheduler queue; a subset of `rejected` (`0` from
+    /// pre-async daemons).
+    pub admission_rejects: u64,
     /// p50 handled latency of `sim` requests in seconds (histogram
     /// bucket upper bound; `0` when none served or counters are off).
     pub sim_p50_s: f64,
@@ -1083,6 +1094,9 @@ impl Serialize for StatsReply {
             ("fleet_runs", self.fleet_runs.to_value()),
             ("fleet_rows", self.fleet_rows.to_value()),
             ("obs_mode", self.obs_mode.to_value()),
+            ("connections_open", self.connections_open.to_value()),
+            ("frames_pipelined", self.frames_pipelined.to_value()),
+            ("admission_rejects", self.admission_rejects.to_value()),
             ("sim_p50_s", self.sim_p50_s.to_value()),
             ("sim_p99_s", self.sim_p99_s.to_value()),
             ("batch_p50_s", self.batch_p50_s.to_value()),
@@ -1135,6 +1149,10 @@ impl Deserialize for StatsReply {
                 Ok(f) => String::from_value(f)?,
                 Err(_) => String::new(),
             },
+            // Absent in pre-async-transport daemons: zero, as above.
+            connections_open: get_u64_or(v, "connections_open", 0)?,
+            frames_pipelined: get_u64_or(v, "frames_pipelined", 0)?,
+            admission_rejects: get_u64_or(v, "admission_rejects", 0)?,
             sim_p50_s: get_f64_or(v, "sim_p50_s", 0.0)?,
             sim_p99_s: get_f64_or(v, "sim_p99_s", 0.0)?,
             batch_p50_s: get_f64_or(v, "batch_p50_s", 0.0)?,
@@ -1622,6 +1640,9 @@ mod tests {
                     fleet_runs: 32,
                     fleet_rows: 4096,
                     obs_mode: "counters".into(),
+                    connections_open: 17,
+                    frames_pipelined: 4096,
+                    admission_rejects: 11,
                     sim_p50_s: 0.000131071,
                     sim_p99_s: 0.001048575,
                     batch_p50_s: 0.002097151,
@@ -1944,6 +1965,28 @@ mod tests {
         assert_eq!(stats.batch_p99_s, 0.0);
         assert_eq!(stats.delta_p99_s, 0.0);
         assert_eq!(stats.queue_p99_s, 0.0);
+    }
+
+    #[test]
+    fn stats_without_transport_fields_decodes_with_zeros() {
+        // Pre-async-transport daemons never send the connection gauge,
+        // pipelining counter, or admission rejects; a newer client must
+        // read them as zeros, not error.
+        let line = "{\"id\":1,\"ok\":true,\"reply\":\"stats\",\"stats\":{\
+                    \"model_loads\":1,\"model_requests\":2,\"cache_hits\":3,\
+                    \"cache_misses\":4,\"cache_entries\":1,\"workers\":2,\
+                    \"queue_capacity\":64,\"completed\":5,\"rejected\":0}}";
+        let Response::Stats { stats, .. } = decode_response(line).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(
+            (
+                stats.connections_open,
+                stats.frames_pipelined,
+                stats.admission_rejects
+            ),
+            (0, 0, 0)
+        );
     }
 
     #[test]

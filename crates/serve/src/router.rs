@@ -1,0 +1,554 @@
+//! `sigrouter` — shared-nothing horizontal scale-out for `sigserve`.
+//!
+//! The router consistent-hashes every request's **circuit fingerprint**
+//! across N shard daemons, so each shard's circuit/program caches stay
+//! hot and disjoint: a given circuit always lands on the same shard,
+//! and adding a shard only moves `1/(n+1)` of the key space (Lamport's
+//! jump consistent hash over an FNV-1a key).
+//!
+//! Data-plane frames (`sim`, `sim.batch`, session ops) are forwarded
+//! **byte-for-byte**: the router decodes only enough to route, then
+//! writes the original line upstream, so shard responses — already
+//! byte-identical to `sigctl golden` — pass through unchanged. Each
+//! client connection gets its own lazily-opened upstream connection per
+//! shard (sessions stay scoped to the client exactly as on a direct
+//! connection); `session.open` pins its session id to the shard that
+//! holds the circuit, and later deltas/closes follow the pin.
+//!
+//! Control-plane frames are handled by the router itself: `ping`
+//! answers locally, `stats` fans out and aggregates (counters sum,
+//! quantiles take the worst shard, model sets union), `trace`
+//! concatenates every shard's spans, and `shutdown` shuts every shard
+//! down before acknowledging and exiting.
+//!
+//! Response ordering: each upstream connection preserves the shard's
+//! in-order pipelining guarantee, but responses from *different* shards
+//! interleave at the client — correlate by id, exactly like against the
+//! blocking transport.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, salvage_id, CircuitSource,
+    ErrorKind, FrameReader, Request, Response, StatsReply, TraceSpan, MAX_FRAME_BYTES,
+};
+
+/// FNV-1a 64-bit over the circuit source: the routing key. Named and
+/// inline sources hash their distinguishing bytes, so the same inline
+/// netlist always routes to the same shard.
+#[must_use]
+pub fn circuit_key(source: &CircuitSource) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    match source {
+        CircuitSource::Name(n) => {
+            eat(b"name:");
+            eat(n.as_bytes());
+        }
+        CircuitSource::Inline(t) => {
+            eat(b"inline:");
+            eat(t.as_bytes());
+        }
+    }
+    hash
+}
+
+/// Lamport's jump consistent hash: maps `key` to a bucket in
+/// `0..buckets` such that growing the bucket count only reassigns the
+/// keys that move to the new bucket.
+#[must_use]
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+pub fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "jump_hash needs at least one bucket");
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(buckets) {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        let r = ((key >> 33).wrapping_add(1)) as f64;
+        j = (((b.wrapping_add(1)) as f64) * ((1u64 << 31) as f64 / r)) as i64;
+    }
+    #[allow(clippy::cast_sign_loss)]
+    {
+        b as u32
+    }
+}
+
+/// The shard a circuit routes to among `shards` backends.
+#[must_use]
+pub fn route(source: &CircuitSource, shards: usize) -> usize {
+    jump_hash(
+        circuit_key(source),
+        u32::try_from(shards.max(1)).unwrap_or(u32::MAX),
+    ) as usize
+}
+
+/// Aggregates shard stats into one reply: counters and capacities sum,
+/// latency quantiles report the worst shard (a conservative fleet-wide
+/// bound), model sets union, and the string fields echo the first
+/// shard (shards are expected to run the same build).
+#[must_use]
+pub fn aggregate_stats(shards: &[StatsReply]) -> StatsReply {
+    let mut total = StatsReply::default();
+    let mut sets: Vec<String> = Vec::new();
+    for (i, s) in shards.iter().enumerate() {
+        sets.extend(s.model_sets.iter().cloned());
+        total.model_loads += s.model_loads;
+        total.model_requests += s.model_requests;
+        total.cache_hits += s.cache_hits;
+        total.cache_misses += s.cache_misses;
+        total.cache_entries += s.cache_entries;
+        total.program_hits += s.program_hits;
+        total.program_misses += s.program_misses;
+        total.program_entries += s.program_entries;
+        total.workers += s.workers;
+        total.queue_capacity += s.queue_capacity;
+        total.completed += s.completed;
+        total.rejected += s.rejected;
+        total.sessions_open += s.sessions_open;
+        total.delta_hits += s.delta_hits;
+        total.gates_reeval += s.gates_reeval;
+        total.fleet_runs += s.fleet_runs;
+        total.fleet_rows += s.fleet_rows;
+        total.connections_open += s.connections_open;
+        total.frames_pipelined += s.frames_pipelined;
+        total.admission_rejects += s.admission_rejects;
+        total.sim_p50_s = total.sim_p50_s.max(s.sim_p50_s);
+        total.sim_p99_s = total.sim_p99_s.max(s.sim_p99_s);
+        total.batch_p50_s = total.batch_p50_s.max(s.batch_p50_s);
+        total.batch_p99_s = total.batch_p99_s.max(s.batch_p99_s);
+        total.delta_p50_s = total.delta_p50_s.max(s.delta_p50_s);
+        total.delta_p99_s = total.delta_p99_s.max(s.delta_p99_s);
+        total.queue_p50_s = total.queue_p50_s.max(s.queue_p50_s);
+        total.queue_p99_s = total.queue_p99_s.max(s.queue_p99_s);
+        if i == 0 {
+            total.simd_level = s.simd_level.clone();
+            total.obs_mode = s.obs_mode.clone();
+        }
+    }
+    sets.sort_unstable();
+    sets.dedup();
+    total.model_sets = sets;
+    total
+}
+
+/// Router-local unique ids for control-plane fan-out frames (the id
+/// space on an upstream control connection is private to that
+/// connection, but distinct ids keep logs readable).
+static CONTROL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One control-plane round trip on a fresh connection to `addr`.
+fn control_roundtrip(addr: &str, request: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    writeln!(stream, "{}", encode_request(request))?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "shard closed before responding",
+            ));
+        }
+        match decode_response(line.trim_end()) {
+            Ok(r) if r.id() == Some(request.id()) => return Ok(r),
+            Ok(_) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("undecodable shard response: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Writes one locally-generated response frame to the client.
+fn respond_local(writer: &Mutex<TcpStream>, response: &Response) {
+    let line = encode_response(response);
+    let mut w = writer.lock().expect("client writer poisoned");
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+/// Per-client routing state: one lazily-opened upstream connection per
+/// shard plus the session→shard pins.
+struct ClientRoutes {
+    shards: Arc<Vec<String>>,
+    upstreams: Vec<Option<TcpStream>>,
+    forwarders: Vec<std::thread::JoinHandle<()>>,
+    session_shard: HashMap<u64, usize>,
+}
+
+impl ClientRoutes {
+    fn new(shards: Arc<Vec<String>>) -> Self {
+        let n = shards.len();
+        ClientRoutes {
+            shards,
+            upstreams: (0..n).map(|_| None).collect(),
+            forwarders: Vec::new(),
+            session_shard: HashMap::new(),
+        }
+    }
+
+    /// The upstream connection for `shard`, opening it (and its
+    /// response forwarder) on first use.
+    fn upstream(
+        &mut self,
+        shard: usize,
+        client: &Arc<Mutex<TcpStream>>,
+    ) -> std::io::Result<&mut TcpStream> {
+        if self.upstreams[shard].is_none() {
+            let stream = TcpStream::connect(&self.shards[shard])?;
+            let reader = BufReader::new(stream.try_clone()?);
+            let client = Arc::clone(client);
+            // Forward every shard response line to the client verbatim.
+            self.forwarders.push(std::thread::spawn(move || {
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    let mut w = client.lock().expect("client writer poisoned");
+                    if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+                        break;
+                    }
+                }
+            }));
+            self.upstreams[shard] = Some(stream);
+        }
+        Ok(self.upstreams[shard].as_mut().expect("just opened"))
+    }
+
+    /// Forwards the client's original frame bytes to `shard`.
+    fn forward(
+        &mut self,
+        shard: usize,
+        line: &str,
+        client: &Arc<Mutex<TcpStream>>,
+    ) -> std::io::Result<()> {
+        let upstream = self.upstream(shard, client)?;
+        writeln!(upstream, "{line}")?;
+        upstream.flush()
+    }
+
+    /// Disconnects every upstream (unblocking the forwarders) and joins
+    /// them so no forwarder outlives its client.
+    fn teardown(mut self) {
+        for upstream in self.upstreams.iter().flatten() {
+            let _ = upstream.shutdown(std::net::Shutdown::Both);
+        }
+        self.upstreams.clear();
+        for f in self.forwarders.drain(..) {
+            let _ = f.join();
+        }
+    }
+}
+
+fn forward_error(id: Option<u64>, shard: usize, e: &std::io::Error) -> Response {
+    Response::Error {
+        id,
+        kind: ErrorKind::Simulation,
+        message: format!("shard {shard} unreachable: {e}"),
+    }
+}
+
+/// Drives one client connection: routes data-plane frames, answers
+/// control-plane frames. Returns `true` when the client requested a
+/// fleet-wide shutdown.
+fn run_client(stream: TcpStream, shards: &Arc<Vec<String>>, stop: &AtomicBool) -> bool {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return false;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return false;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut frames = FrameReader::new(BufReader::new(read_half), MAX_FRAME_BYTES);
+    let mut routes = ClientRoutes::new(Arc::clone(shards));
+    let mut shutdown = false;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match frames.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let line = match frame {
+            Ok(line) => line,
+            Err(e) => {
+                respond_local(&writer, &e.to_response(None));
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match decode_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                respond_local(&writer, &e.to_response(salvage_id(&line)));
+                continue;
+            }
+        };
+        match request {
+            Request::Ping { id } => respond_local(&writer, &Response::Pong { id }),
+            Request::Stats { id } => {
+                let mut replies = Vec::new();
+                let mut failed = None;
+                for (shard, addr) in shards.iter().enumerate() {
+                    let probe = Request::Stats {
+                        id: CONTROL_ID.fetch_add(1, Ordering::Relaxed),
+                    };
+                    match control_roundtrip(addr, &probe) {
+                        Ok(Response::Stats { stats, .. }) => replies.push(stats),
+                        Ok(other) => {
+                            failed = Some(format!("shard {shard} answered {other:?}"));
+                            break;
+                        }
+                        Err(e) => {
+                            failed = Some(format!("shard {shard} unreachable: {e}"));
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    None => respond_local(
+                        &writer,
+                        &Response::Stats {
+                            id,
+                            stats: aggregate_stats(&replies),
+                        },
+                    ),
+                    Some(message) => respond_local(
+                        &writer,
+                        &Response::Error {
+                            id: Some(id),
+                            kind: ErrorKind::Simulation,
+                            message,
+                        },
+                    ),
+                }
+            }
+            Request::Trace { id } => {
+                let mut spans: Vec<TraceSpan> = Vec::new();
+                let mut dropped = 0;
+                for addr in shards.iter() {
+                    let probe = Request::Trace {
+                        id: CONTROL_ID.fetch_add(1, Ordering::Relaxed),
+                    };
+                    if let Ok(Response::Trace {
+                        spans: s,
+                        dropped: d,
+                        ..
+                    }) = control_roundtrip(addr, &probe)
+                    {
+                        spans.extend(s);
+                        dropped += d;
+                    }
+                }
+                respond_local(&writer, &Response::Trace { id, spans, dropped });
+            }
+            Request::Shutdown { id } => {
+                // Shut every shard down (each drains first), then ack
+                // and bring the router itself down.
+                for addr in shards.iter() {
+                    let probe = Request::Shutdown {
+                        id: CONTROL_ID.fetch_add(1, Ordering::Relaxed),
+                    };
+                    let _ = control_roundtrip(addr, &probe);
+                }
+                respond_local(&writer, &Response::ShuttingDown { id });
+                shutdown = true;
+                break;
+            }
+            Request::Sim { id, ref sim } | Request::SimBatch { id, ref sim, .. } => {
+                let shard = route(&sim.circuit, shards.len());
+                if let Err(e) = routes.forward(shard, &line, &writer) {
+                    respond_local(&writer, &forward_error(Some(id), shard, &e));
+                }
+            }
+            Request::SessionOpen {
+                id,
+                ref sim,
+                session,
+            } => {
+                let shard = route(&sim.circuit, shards.len());
+                routes.session_shard.insert(session, shard);
+                if let Err(e) = routes.forward(shard, &line, &writer) {
+                    routes.session_shard.remove(&session);
+                    respond_local(&writer, &forward_error(Some(id), shard, &e));
+                }
+            }
+            Request::SessionDelta { id, session, .. } => {
+                match routes.session_shard.get(&session).copied() {
+                    Some(shard) => {
+                        if let Err(e) = routes.forward(shard, &line, &writer) {
+                            respond_local(&writer, &forward_error(Some(id), shard, &e));
+                        }
+                    }
+                    None => respond_local(
+                        &writer,
+                        &Response::Error {
+                            id: Some(id),
+                            kind: ErrorKind::UnknownSession,
+                            message: format!("session {session} is not open on this connection"),
+                        },
+                    ),
+                }
+            }
+            Request::SessionClose { id, session } => match routes.session_shard.remove(&session) {
+                Some(shard) => {
+                    if let Err(e) = routes.forward(shard, &line, &writer) {
+                        respond_local(&writer, &forward_error(Some(id), shard, &e));
+                    }
+                }
+                None => respond_local(
+                    &writer,
+                    &Response::Error {
+                        id: Some(id),
+                        kind: ErrorKind::UnknownSession,
+                        message: format!("session {session} is not open on this connection"),
+                    },
+                ),
+            },
+        }
+    }
+    routes.teardown();
+    shutdown
+}
+
+/// Serves the router on a bound listener until a client requests
+/// shutdown (which is forwarded to every shard first). One thread per
+/// client connection — the router does no simulation work and holds no
+/// caches, so thread-per-connection is plenty; the daemons behind it
+/// run the epoll transport.
+///
+/// # Errors
+///
+/// Returns the I/O error that broke the accept loop, if any.
+pub fn serve_router(listener: TcpListener, shards: Vec<String>) -> std::io::Result<()> {
+    assert!(!shards.is_empty(), "router needs at least one shard");
+    listener.set_nonblocking(true)?;
+    let shards = Arc::new(shards);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shards = Arc::clone(&shards);
+                let stop = Arc::clone(&stop);
+                handlers.push(std::thread::spawn(move || {
+                    if run_client(stream, &shards, &stop) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_hash_is_stable_in_range_and_consistent() {
+        for key in 0..10_000u64 {
+            let b4 = jump_hash(key, 4);
+            assert!(b4 < 4);
+            assert_eq!(b4, jump_hash(key, 4), "deterministic");
+            // Consistency: growing 4 → 5 buckets either keeps the
+            // bucket or moves the key to the new bucket only.
+            let b5 = jump_hash(key, 5);
+            assert!(b5 == b4 || b5 == 4, "key {key} moved {b4} -> {b5}");
+        }
+        // The fraction that moves is about 1/5.
+        let moved = (0..10_000u64)
+            .filter(|&k| jump_hash(k, 5) != jump_hash(k, 4))
+            .count();
+        assert!((1_000..3_000).contains(&moved), "moved {moved}/10000");
+    }
+
+    #[test]
+    fn benchmark_circuits_split_across_two_shards() {
+        // The CI router e2e relies on the three built-in benchmarks not
+        // all hashing to one shard of two — pin that here.
+        let shards: Vec<usize> = ["c17", "c499", "c1355"]
+            .iter()
+            .map(|n| route(&CircuitSource::Name((*n).to_string()), 2))
+            .collect();
+        assert!(
+            shards.contains(&0) && shards.contains(&1),
+            "benchmarks all routed to one shard: {shards:?}"
+        );
+        // Inline text routes by content, names by name.
+        let a = CircuitSource::Inline("INPUT(a)\nOUTPUT(y)\ny = NOR(a)\n".into());
+        let b = CircuitSource::Inline("INPUT(b)\nOUTPUT(y)\ny = NOR(b)\n".into());
+        assert_eq!(route(&a, 7), route(&a, 7));
+        assert_ne!(circuit_key(&a), circuit_key(&b));
+    }
+
+    #[test]
+    fn stats_aggregation_sums_counters_and_takes_worst_quantiles() {
+        let a = StatsReply {
+            model_sets: vec!["ci/nor-only".into()],
+            completed: 10,
+            cache_entries: 2,
+            sim_p99_s: 0.5,
+            simd_level: "avx2".into(),
+            obs_mode: "counters".into(),
+            ..StatsReply::default()
+        };
+        let b = StatsReply {
+            model_sets: vec!["ci/nor-only".into(), "ci/native".into()],
+            completed: 5,
+            cache_entries: 1,
+            sim_p99_s: 0.25,
+            simd_level: "avx2".into(),
+            obs_mode: "counters".into(),
+            ..StatsReply::default()
+        };
+        let total = aggregate_stats(&[a, b]);
+        assert_eq!(total.completed, 15);
+        assert_eq!(total.cache_entries, 3);
+        assert_eq!(total.sim_p99_s, 0.5);
+        assert_eq!(
+            total.model_sets,
+            vec!["ci/native".to_string(), "ci/nor-only".to_string()]
+        );
+        assert_eq!(total.simd_level, "avx2");
+    }
+}

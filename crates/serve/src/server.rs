@@ -135,13 +135,31 @@ pub fn serve_stdio(service: &Arc<Service>) {
 }
 
 /// Serves the protocol on a bound TCP listener until a client requests
-/// shutdown. Each connection gets a handler thread; a `shutdown` frame
-/// on any connection stops the accept loop, drains, and returns.
+/// shutdown — the daemon's default transport: the epoll readiness loop
+/// of [`crate::mux`], which multiplexes every connection on
+/// `config().io_threads` reactor threads with request pipelining,
+/// in-order responses, and admission control. Responses are
+/// byte-identical to the blocking transport's; only scheduling and
+/// ordering differ (see `docs/protocol.md` § Pipelining).
+///
+/// # Errors
+///
+/// Returns the I/O error that prevented the transport from starting.
+pub fn serve_tcp(service: &Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    crate::mux::serve_mux(service, listener)
+}
+
+/// The PR-3 thread-per-connection blocking transport, kept as an escape
+/// hatch (`sigserve --transport blocking`) and as the baseline the
+/// `BENCH_service.json` saturation rows are measured against. Each
+/// connection gets a handler thread with a 200 ms read timeout; a
+/// `shutdown` frame on any connection stops the accept loop, drains,
+/// and returns.
 ///
 /// # Errors
 ///
 /// Returns the I/O error that broke the accept loop, if any.
-pub fn serve_tcp(service: &Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+pub fn serve_tcp_blocking(service: &Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let stop = Arc::new(AtomicBool::new(false));
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -468,6 +486,36 @@ mod tests {
         // Would hang forever before the per-iteration stop check.
         server.join().expect("server exits");
         chatty.join().expect("chatty client unblocks");
+    }
+
+    #[test]
+    fn tcp_round_trip_blocking_transport() {
+        // The escape-hatch transport stays functional: same protocol,
+        // same responses, thread-per-connection scheduling.
+        let service = test_service();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || serve_tcp_blocking(&service, listener).expect("serve"))
+        };
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{}", sim_line(7, false)).expect("send");
+        writeln!(stream, "{}", encode_request(&Request::Shutdown { id: 8 })).expect("send");
+        let mut responses = Vec::new();
+        for line in BufReader::new(stream.try_clone().expect("clone")).lines() {
+            let line = line.expect("read");
+            responses.push(decode_response(&line).expect("response"));
+            if responses.len() == 2 {
+                break;
+            }
+        }
+        server.join().expect("server thread");
+        assert!(matches!(
+            responses.iter().find(|r| r.id() == Some(7)),
+            Some(Response::Sim { .. })
+        ));
+        assert!(responses.contains(&Response::ShuttingDown { id: 8 }));
     }
 
     #[test]

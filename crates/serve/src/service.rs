@@ -62,6 +62,19 @@ pub struct ServiceConfig {
     /// is explicit; a connection opening past it evicts its own
     /// least-recently-used session (see [`crate::session::SessionTable`]).
     pub session_capacity: usize,
+    /// Reactor threads for the epoll transport (`0` treated as 1). One
+    /// reactor comfortably multiplexes thousands of connections; extra
+    /// threads shard accepted connections round-robin.
+    pub io_threads: usize,
+    /// Per-connection pipelining window: frames dispatched but not yet
+    /// written back. Past it the reactor pauses the connection's reads
+    /// (kernel-buffer backpressure) instead of buffering unboundedly.
+    pub max_inflight: usize,
+    /// Daemon-wide cap on heavy requests (sim / batch / session work)
+    /// admitted but not yet answered. Past it new heavy frames are
+    /// rejected with `overloaded` before touching the pool, so a flood
+    /// never starves executing work with decode/reject churn.
+    pub admission_budget: usize,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +86,9 @@ impl Default for ServiceConfig {
             models_dir: std::path::PathBuf::from("target/sigmodels"),
             max_frame: crate::protocol::MAX_FRAME_BYTES,
             session_capacity: 32,
+            io_threads: 1,
+            max_inflight: 64,
+            admission_budget: 512,
         }
     }
 }
@@ -194,6 +210,15 @@ pub struct Service {
     fleet_runs: AtomicU64,
     /// Cumulative inference rows merged across fleet runs.
     fleet_rows: AtomicU64,
+    /// Gauge: connections currently open on the epoll transport (the
+    /// mux increments on accept, decrements on close).
+    connections_open: AtomicU64,
+    /// Frames read while the same connection already had a request in
+    /// flight — i.e. actual pipelining observed on the wire.
+    frames_pipelined: AtomicU64,
+    /// Heavy frames rejected by the daemon-wide admission budget before
+    /// reaching the pool (each also counts under `rejected`).
+    admission_rejects: AtomicU64,
 }
 
 impl std::fmt::Debug for Service {
@@ -225,8 +250,30 @@ impl Service {
             gates_reeval: AtomicU64::new(0),
             fleet_runs: AtomicU64::new(0),
             fleet_rows: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            frames_pipelined: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
             config,
         })
+    }
+
+    /// The open-connection gauge, owned by the epoll transport.
+    pub(crate) fn connections_gauge(&self) -> &AtomicU64 {
+        &self.connections_open
+    }
+
+    /// Counts one frame read while its connection already had a request
+    /// in flight.
+    pub(crate) fn note_pipelined(&self) {
+        self.frames_pipelined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one admission-budget rejection (also a `rejected`: the
+    /// overloaded semantics are the same whether the pool queue or the
+    /// admission budget said no).
+    pub(crate) fn note_admission_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.admission_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The open-session counter, shared with the per-connection
@@ -300,6 +347,9 @@ impl Service {
             fleet_runs: self.fleet_runs.load(Ordering::Relaxed),
             fleet_rows: self.fleet_rows.load(Ordering::Relaxed),
             obs_mode: sigobs::mode().as_str().to_string(),
+            connections_open: self.connections_open.load(Ordering::SeqCst),
+            frames_pipelined: self.frames_pipelined.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
             sim_p50_s: sim.0,
             sim_p99_s: sim.1,
             batch_p50_s: batch.0,

@@ -349,6 +349,9 @@ fn random_response(rng: &mut rand::rngs::StdRng) -> Response {
                 fleet_runs: rng.gen_range(0..MAX_WIRE_INT),
                 fleet_rows: rng.gen_range(0..MAX_WIRE_INT),
                 obs_mode: ["off", "counters", "trace"][rng.gen_range(0..3usize)].to_string(),
+                connections_open: rng.gen_range(0..MAX_WIRE_INT),
+                frames_pipelined: rng.gen_range(0..MAX_WIRE_INT),
+                admission_rejects: rng.gen_range(0..MAX_WIRE_INT),
                 sim_p50_s: random_f64(rng).abs(),
                 sim_p99_s: random_f64(rng).abs(),
                 batch_p50_s: random_f64(rng).abs(),

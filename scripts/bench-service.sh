@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Measures saturated service throughput for both transports and writes
+# BENCH_service.json: an open-loop `sigload` sweep over connection
+# counts against (a) the default epoll transport and (b) the legacy
+# blocking thread-per-connection transport, on warm inline-c1355
+# sigmoid traffic.
+#
+# Usage: scripts/bench-service.sh [duration_s] [output.json]
+#   duration_s — per-sweep-point send window (default 20; the window
+#                must be long enough that the post-deadline queue drain
+#                does not dominate the blocking daemon's goodput)
+#   output     — artifact path (default: BENCH_service.json in the root)
+#
+# Methodology (all throughput numbers are GOODPUT — successful
+# responses per second; rejects count as errors, not throughput):
+#   * traffic: `sim` frames carrying the c1355 netlist inline (the
+#     realistic CAD-client shape, ~80 KB/frame, cache-hot via content
+#     hash), pipeline window 32 per connection, open loop.
+#   * both daemons: 1 scheduler worker, queue 256, ci models preloaded.
+#   * epoll daemon additionally bounds per-connection in-flight frames
+#     at 4 — its reactor PAUSES reading a connection at the bound, so
+#     saturation never turns into decode-and-reject churn.
+#   * the blocking daemon has no flow control: it decodes every frame
+#     the clients push and rejects what the queue cannot hold, which is
+#     exactly the failure mode the async transport removes.
+# The acceptance row is speedup_at_64 (epoll/blocking goodput at 64
+# connections): the PR target is >= 5.
+set -eu
+cd "$(dirname "$0")/.."
+
+duration="${1:-20}"
+out="${2:-BENCH_service.json}"
+case "$out" in
+/*) ;;
+*) out="$(pwd)/$out" ;;
+esac
+
+sweep="1,4,16,64"
+pipeline=32
+epoll_addr=127.0.0.1:4741
+block_addr=127.0.0.1:4742
+
+cargo build --release -p sigserve
+
+wait_up() {
+    for _ in $(seq 1 150); do
+        if ./target/release/sigctl ping --addr "$1" --id 1 >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "bench-service: daemon on $1 never came up" >&2
+    exit 1
+}
+
+warm() {
+    # One closed-loop pass parses the inline netlist and compiles the
+    # program so every sweep point below measures warm-cache serving.
+    ./target/release/sigload --addr "$1" --circuit c1355 --inline \
+        --models ci --batch-every 0 --connections 1 --requests 2 >/dev/null
+}
+
+echo "bench-service: measuring epoll transport on $epoll_addr"
+./target/release/sigserve --addr "$epoll_addr" --preload ci \
+    --workers 1 --queue 256 --max-inflight 4 &
+epoll_pid=$!
+wait_up "$epoll_addr"
+warm "$epoll_addr"
+./target/release/sigload --addr "$epoll_addr" --circuit c1355 --inline \
+    --models ci --batch-every 0 --sweep "$sweep" --duration "$duration" \
+    --pipeline "$pipeline" --label epoll --json > /tmp/bench-epoll.json
+cat /tmp/bench-epoll.json
+./target/release/sigctl shutdown --addr "$epoll_addr" --id 9 >/dev/null
+wait "$epoll_pid"
+
+echo "bench-service: measuring blocking transport on $block_addr"
+./target/release/sigserve --addr "$block_addr" --preload ci \
+    --workers 1 --queue 256 --transport blocking &
+block_pid=$!
+wait_up "$block_addr"
+warm "$block_addr"
+./target/release/sigload --addr "$block_addr" --circuit c1355 --inline \
+    --models ci --batch-every 0 --sweep "$sweep" --duration "$duration" \
+    --pipeline "$pipeline" --label blocking --json > /tmp/bench-blocking.json
+cat /tmp/bench-blocking.json
+./target/release/sigctl shutdown --addr "$block_addr" --id 9 >/dev/null
+wait "$block_pid"
+
+python3 - "$out" "$duration" <<'EOF'
+import json, sys
+
+out, duration = sys.argv[1], float(sys.argv[2])
+epoll = json.load(open("/tmp/bench-epoll.json"))
+blocking = json.load(open("/tmp/bench-blocking.json"))
+
+def at(sweep, conns):
+    for row in sweep["rows"]:
+        if row["connections"] == conns:
+            return row
+    raise SystemExit(f"no row at {conns} connections")
+
+speedup = at(epoll, 64)["throughput_rps"] / max(
+    at(blocking, 64)["throughput_rps"], 1e-12)
+artifact = {
+    "bench": "service_saturation",
+    "circuit": "c1355 (inline nor-mapped .bench, ~80 KB/frame)",
+    "traffic": {
+        "mode": "open-loop",
+        "duration_s": duration,
+        "pipeline": 32,
+        "workers": 1,
+        "queue": 256,
+        "epoll_max_inflight": 4,
+        "metric": "goodput (successful responses per second)",
+    },
+    "epoll": epoll,
+    "blocking": blocking,
+    "speedup_at_64": round(speedup, 2),
+}
+json.dump(artifact, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(f"wrote {out}: speedup_at_64 = {speedup:.2f}x")
+EOF
